@@ -1,0 +1,98 @@
+// Figure 5a: one-time build overhead of RLgraph's abstractions on both
+// backends — component-graph trace (assembly phase) and main build phase —
+// for a single memory component and a full dueling-DQN-with-prioritized-
+// replay architecture.
+//
+// Paper shape targets: sub-second builds; the define-by-run backend builds
+// faster than the static backend (no graph/placeholder construction); a
+// single component builds far faster than the full architecture.
+#include <benchmark/benchmark.h>
+
+#include "agents/dqn_agent.h"
+#include "bench_common.h"
+#include "components/memories.h"
+#include "core/graph_executor.h"
+#include "env/pong_sim.h"
+
+namespace rlgraph {
+namespace {
+
+ExecutorOptions options_for(Backend backend) {
+  ExecutorOptions opts;
+  opts.backend = backend;
+  return opts;
+}
+
+// Build a single prioritized-replay component as its own sub-graph (the
+// modular performance-testing scenario).
+void BM_BuildMemoryComponent(benchmark::State& state) {
+  Backend backend = static_cast<Backend>(state.range(0));
+  SpacePtr record =
+      Tuple({FloatBox(Shape{24, 24, 1}), IntBox(3), FloatBox(), BoolBox()})
+          ->with_batch_rank();
+  double trace_total = 0, build_total = 0;
+  for (auto _ : state) {
+    auto root = std::make_shared<Component>("test-root");
+    auto* mem = root->add_component(
+        std::make_shared<PrioritizedReplay>("memory", 4096));
+    root->register_api("insert", [mem](BuildContext& ctx, const OpRecs& in) {
+      return mem->call_api(ctx, "insert_records", in);
+    });
+    root->register_api("sample", [mem](BuildContext& ctx, const OpRecs& in) {
+      return mem->call_api(ctx, "get_records", in);
+    });
+    GraphExecutor exec(root,
+                       {{"insert", {record, FloatBox()->with_batch_rank()}},
+                        {"sample", {IntBox(1 << 30)}}},
+                       options_for(backend));
+    exec.build();
+    trace_total += exec.stats().trace_seconds;
+    build_total += exec.stats().build_seconds;
+  }
+  state.counters["trace_s"] = trace_total / state.iterations();
+  state.counters["build_s"] = build_total / state.iterations();
+}
+
+// Build the full DQN agent architecture.
+void BM_BuildDqnArchitecture(benchmark::State& state) {
+  Backend backend = static_cast<Backend>(state.range(0));
+  Json config = bench::pong_agent_config();
+  config["backend"] =
+      Json(backend == Backend::kStatic ? "static" : "define_by_run");
+  PongSim env(PongSim::Config{24, 24, 4, 21, 0.5});
+  double trace_total = 0, build_total = 0;
+  int components = 0;
+  for (auto _ : state) {
+    DQNAgent agent(config, env.state_space(), env.action_space());
+    agent.build();
+    trace_total += agent.executor().stats().trace_seconds;
+    build_total += agent.executor().stats().build_seconds;
+    components = agent.executor().stats().num_components;
+  }
+  state.counters["trace_s"] = trace_total / state.iterations();
+  state.counters["build_s"] = build_total / state.iterations();
+  state.counters["components"] = components;
+}
+
+BENCHMARK(BM_BuildMemoryComponent)
+    ->Arg(static_cast<int>(Backend::kStatic))
+    ->Arg(static_cast<int>(Backend::kImperative))
+    ->Unit(benchmark::kMillisecond)
+    ->ArgName("backend(0=static,1=dbr)");
+BENCHMARK(BM_BuildDqnArchitecture)
+    ->Arg(static_cast<int>(Backend::kStatic))
+    ->Arg(static_cast<int>(Backend::kImperative))
+    ->Unit(benchmark::kMillisecond)
+    ->ArgName("backend(0=static,1=dbr)");
+
+}  // namespace
+}  // namespace rlgraph
+
+int main(int argc, char** argv) {
+  rlgraph::bench::print_header(
+      "Figure 5a: build overhead (trace = component-graph assembly, "
+      "build = op/variable creation)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the figure-reproduction benchmarks.
+#pragma once
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace rlgraph {
+namespace bench {
+
+// The "Atari-scale" DQN/Ape-X agent config used across benchmarks: conv
+// stack + dueling head + prioritized replay (the paper's reference
+// architecture, scaled to this host's synthetic Pong resolution).
+inline Json pong_agent_config() {
+  return Json::parse(R"({
+    "type": "apex",
+    "network": [
+      {"type": "conv2d", "filters": 4, "kernel": 4, "stride": 2,
+       "activation": "relu"},
+      {"type": "conv2d", "filters": 8, "kernel": 3, "stride": 2,
+       "activation": "relu"},
+      {"type": "dense", "units": 32, "activation": "relu"}
+    ],
+    "preprocessor": [{"type": "rescale", "scale": 1.0}],
+    "memory": {"type": "prioritized", "capacity": 20000,
+               "alpha": 0.6, "beta": 0.4},
+    "optimizer": {"type": "adam", "learning_rate": 0.0005},
+    "exploration": {"eps_start": 1.0, "eps_end": 0.05, "decay_steps": 20000},
+    "update": {"batch_size": 32, "sync_interval": 100, "min_records": 200},
+    "discount": 0.99, "double_q": true, "dueling_q": true, "n_step": 3
+  })");
+}
+
+inline Json pong_env_spec(int64_t size = 16) {
+  Json spec;
+  spec["type"] = Json("pong");
+  spec["height"] = Json(size);
+  spec["width"] = Json(size);
+  spec["frame_skip"] = Json(static_cast<int64_t>(4));
+  return spec;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+// Benchmark scale from the environment: RLGRAPH_BENCH_SCALE=quick|full
+// (default: a medium sweep that finishes in a couple of minutes).
+enum class Scale { kQuick, kMedium, kFull };
+inline Scale bench_scale() {
+  const char* env = std::getenv("RLGRAPH_BENCH_SCALE");
+  if (env == nullptr) return Scale::kMedium;
+  std::string s(env);
+  if (s == "quick") return Scale::kQuick;
+  if (s == "full") return Scale::kFull;
+  return Scale::kMedium;
+}
+
+}  // namespace bench
+}  // namespace rlgraph

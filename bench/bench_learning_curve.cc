@@ -1,0 +1,88 @@
+// Figure 7b: learning curves (mean worker episode reward vs. wall-clock) on
+// the Pong-scale Catch environment (episode return in [-21, 21], matching
+// the paper's Pong reward axis), distributed Ape-X: RLgraph vs. RLlib-like.
+//
+// Paper shape target: in line with throughput, RLgraph reaches high scores
+// substantially faster than the RLlib-like baseline under identical
+// hyper-parameters.
+#include <cstdio>
+
+#include "baselines/rllib_like.h"
+#include "bench_common.h"
+#include "execution/apex_executor.h"
+
+namespace rlgraph {
+namespace {
+
+Json catch_agent_config() {
+  return Json::parse(R"({
+    "type": "apex",
+    "network": [{"type": "dense", "units": 64, "activation": "relu"},
+                {"type": "dense", "units": 64, "activation": "relu"}],
+    "memory": {"type": "prioritized", "capacity": 20000,
+               "alpha": 0.6, "beta": 0.4},
+    "optimizer": {"type": "adam", "learning_rate": 0.001},
+    "exploration": {"eps_start": 1.0, "eps_end": 0.02, "decay_steps": 6000},
+    "update": {"batch_size": 32, "sync_interval": 100, "min_records": 500},
+    "discount": 0.98, "double_q": true, "dueling_q": true, "n_step": 3
+  })");
+}
+
+void run(const char* label, const ApexConfig& cfg, double seconds) {
+  ApexExecutor exec(cfg);
+  ApexResult r = exec.run(seconds);
+  std::printf("\n%s: %.0f env frames/s, %lld updates; reward timeline "
+              "(seconds, mean episode reward in [-21, 21]):\n",
+              label, r.frames_per_second,
+              static_cast<long long>(r.learner_updates));
+  // Thin the timeline to ~16 rows.
+  size_t stride = std::max<size_t>(1, r.reward_timeline.size() / 16);
+  for (size_t i = 0; i < r.reward_timeline.size(); i += stride) {
+    std::printf("  t=%7.2fs  reward=%7.2f\n", r.reward_timeline[i].first,
+                r.reward_timeline[i].second);
+  }
+  if (!r.reward_timeline.empty()) {
+    std::printf("  final: t=%7.2fs  reward=%7.2f\n",
+                r.reward_timeline.back().first,
+                r.reward_timeline.back().second);
+  }
+}
+
+}  // namespace
+}  // namespace rlgraph
+
+int main() {
+  using namespace rlgraph;
+  bench::print_header(
+      "Figure 7b: Ape-X learning curves on Catch-21 (Pong-scale rewards)");
+
+  double seconds = 45.0;
+  if (bench::bench_scale() == bench::Scale::kQuick) seconds = 10.0;
+  if (bench::bench_scale() == bench::Scale::kFull) seconds = 120.0;
+
+  ApexConfig cfg;
+  cfg.agent_config = catch_agent_config();
+  cfg.env_spec = Json::parse(
+      R"({"type": "catch", "height": 10, "width": 8,
+          "rounds_per_episode": 21})");
+  cfg.num_workers = 4;
+  cfg.envs_per_worker = 4;
+  cfg.num_replay_shards = 2;
+  cfg.worker_sample_size = 100;
+  cfg.n_step = 3;
+  cfg.discount = 0.98;
+  cfg.min_shard_records = 300;
+  // Sample-bound regime (the paper's): each record is replayed at most
+  // ~replay_ratio times, so learning progress tracks sampling throughput
+  // rather than raw learner speed (which on this single-core host would
+  // otherwise be the shared bottleneck for both implementations).
+  cfg.replay_ratio = 0.15;
+  cfg.seed = 11;
+
+  run("RLgraph", cfg, seconds);
+  run("RLlib-like", baselines::rllib_like(cfg), seconds);
+  std::printf(
+      "\nShape check: RLgraph's curve should climb toward +21 earlier than "
+      "the RLlib-like baseline's (same algorithm and hyper-parameters).\n");
+  return 0;
+}

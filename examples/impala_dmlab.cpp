@@ -1,0 +1,55 @@
+// IMPALA on the DeepMind-Lab-style arena: graph-fused rollout actors feed a
+// globally shared blocking queue; the learner dequeues, stages and applies
+// V-trace updates — the end-to-end computation-graph paradigm of paper §5.1.
+//
+//   $ ./example_impala_dmlab [seconds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "execution/impala_pipeline.h"
+
+using namespace rlgraph;
+
+int main(int argc, char** argv) {
+  double seconds = argc > 1 ? std::atof(argv[1]) : 10.0;
+
+  ImpalaConfig config;
+  config.agent_config = Json::parse(R"({
+    "network": [
+      {"type": "conv2d", "filters": 8, "kernel": 4, "stride": 2,
+       "activation": "relu"},
+      {"type": "dense", "units": 64, "activation": "relu"}
+    ],
+    "rollout_length": 20,
+    "discount": 0.99,
+    "value_coef": 0.5, "entropy_coef": 0.01,
+    "use_staging": true,
+    "optimizer": {"type": "adam", "learning_rate": 0.0005}
+  })");
+  config.env_spec = Json::parse(
+      R"({"type": "dmlab", "height": 24, "width": 32, "render_cost": 4000,
+          "episode_length": 300, "frame_skip": 4})");
+  config.num_actors = 4;
+  config.envs_per_actor = 4;
+  config.queue_capacity = 8;
+
+  std::printf("running IMPALA: %d actors x %d envs, rollout length %lld, "
+              "%.0fs...\n",
+              config.num_actors, config.envs_per_actor,
+              static_cast<long long>(
+                  config.agent_config.get_int("rollout_length", 20)),
+              seconds);
+  std::printf("(each actor's rollout collection + enqueue is ONE executor "
+              "call; the learner's dequeue + staging + V-trace + update is "
+              "ONE executor call)\n");
+
+  ImpalaPipeline pipeline(config);
+  ImpalaResult result = pipeline.run(seconds);
+  std::printf("throughput: %.0f env frames/s over %.1fs\n",
+              result.frames_per_second, result.seconds);
+  std::printf("rollouts: %lld, learner updates: %lld, final loss: %.4f\n",
+              static_cast<long long>(result.rollouts),
+              static_cast<long long>(result.learner_updates),
+              result.final_loss);
+  return 0;
+}

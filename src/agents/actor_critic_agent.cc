@@ -1,0 +1,168 @@
+#include "agents/actor_critic_agent.h"
+
+#include "components/optimizers.h"
+#include "core/build_context.h"
+#include "tensor/kernels.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+ActorCriticAgent::ActorCriticAgent(Json config, SpacePtr state_space,
+                                   SpacePtr action_space)
+    : Agent(std::move(config), std::move(state_space),
+            std::move(action_space)) {
+  rollout_length_ = config_.get_int("rollout_length", 16);
+  discount_ = config_.get_double("discount", 0.99);
+}
+
+void ActorCriticAgent::setup_graph() {
+  auto root = std::make_shared<Component>("agent");
+  auto* policy = root->add_component(std::make_shared<Policy>(
+      "policy", config_.at("network"), action_space_,
+      PolicyHead::kCategorical));
+  Json opt_config = config_.get("optimizer").is_null()
+                        ? Json(JsonObject{})
+                        : config_.get("optimizer");
+  auto* optimizer =
+      root->add_component(make_optimizer("optimizer", opt_config));
+  double value_coef = config_.get_double("value_coef", 0.5);
+  double entropy_coef = config_.get_double("entropy_coef", 0.01);
+
+  root->register_api("act",
+                     [policy](BuildContext& ctx, const OpRecs& inputs) {
+                       return policy->call_api(ctx, "sample_action", inputs);
+                     });
+  root->register_api("act_greedy",
+                     [policy](BuildContext& ctx, const OpRecs& inputs) {
+                       return policy->call_api(ctx, "get_action", inputs);
+                     });
+
+  root->register_api(
+      "get_values",
+      [policy, root_raw = root.get()](BuildContext& ctx,
+                                      const OpRecs& inputs) -> OpRecs {
+        OpRecs lv = policy->call_api(ctx, "get_logits_value", inputs);
+        return root_raw->graph_fn(
+            ctx, "squeeze_value",
+            [](OpContext& ops, const std::vector<OpRef>& in) {
+              return std::vector<OpRef>{ops.squeeze(in[0], 1)};
+            },
+            {lv[1]});
+      });
+
+  // update_batch(states [B,...], actions [B], returns [B])
+  //   -> (loss, update_group).
+  root->register_api(
+      "update_batch",
+      [policy, optimizer, root_raw = root.get(), value_coef, entropy_coef](
+          BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 3,
+                    "update_batch expects (states, actions, returns)");
+        OpRecs lv = policy->call_api(ctx, "get_logits_value", {inputs[0]});
+        OpRecs loss = root_raw->graph_fn(
+            ctx, "a2c_loss",
+            [value_coef, entropy_coef](OpContext& ops,
+                                       const std::vector<OpRef>& in) {
+              OpRef logits = in[0];
+              OpRef values = ops.squeeze(in[1], 1);
+              OpRef actions = in[2], returns = in[3];
+              OpRef logp_all = ops.log_softmax(logits);
+              OpRef logp_a = ops.select_columns(logp_all, actions);
+              OpRef advantage =
+                  ops.stop_gradient(ops.sub(returns, values));
+              OpRef pg = ops.neg(ops.reduce_mean(ops.mul(logp_a, advantage)));
+              OpRef v_loss = ops.mul(
+                  ops.scalar(0.5f),
+                  ops.reduce_mean(ops.square(ops.sub(values, returns))));
+              OpRef entropy = ops.neg(ops.reduce_mean(ops.reduce_sum(
+                  ops.mul(ops.softmax(logits), logp_all), 1)));
+              OpRef total = ops.add(
+                  pg, ops.sub(ops.mul(ops.scalar((float)value_coef), v_loss),
+                              ops.mul(ops.scalar((float)entropy_coef),
+                                      entropy)));
+              return std::vector<OpRef>{total};
+            },
+            {lv[0], lv[1], inputs[1], inputs[2]});
+        OpRecs vars = policy->variable_recs(ctx);
+        OpRecs step_inputs{loss[0]};
+        step_inputs.insert(step_inputs.end(), vars.begin(), vars.end());
+        OpRecs opt_out = optimizer->call_api(ctx, "step", step_inputs);
+        return OpRecs{opt_out[1], opt_out[0]};
+      });
+
+  SpacePtr state_b = state_space_->with_batch_rank();
+  api_spaces_ = {
+      {"act", {state_b}},
+      {"act_greedy", {state_b}},
+      {"get_values", {state_b}},
+      {"update_batch",
+       {state_b, action_space_->with_batch_rank(),
+        FloatBox()->with_batch_rank()}},
+  };
+  root_ = std::move(root);
+}
+
+Tensor ActorCriticAgent::get_actions(const Tensor& states, bool explore) {
+  return executor().execute(explore ? "act" : "act_greedy", {states})[0];
+}
+
+Tensor ActorCriticAgent::get_values(const Tensor& states) {
+  return executor().execute("get_values", {states})[0];
+}
+
+void ActorCriticAgent::observe(const Tensor& states, const Tensor& actions,
+                               const Tensor& rewards,
+                               const Tensor& next_states,
+                               const Tensor& terminals) {
+  rollout_.push_back(Step{states, actions, rewards, terminals});
+  last_next_states_ = next_states;
+  RLG_REQUIRE(static_cast<int64_t>(rollout_.size()) <= rollout_length_,
+              "rollout buffer overfull; call update() every step");
+}
+
+double ActorCriticAgent::update() {
+  if (static_cast<int64_t>(rollout_.size()) < rollout_length_) return 0.0;
+
+  // Bootstrap from V(s_{T}) and roll returns backwards through the buffer,
+  // zeroing across terminals.
+  Tensor bootstrap = get_values(last_next_states_);
+  int64_t env_count = bootstrap.num_elements();
+  std::vector<float> carry = bootstrap.to_floats();
+  std::vector<Tensor> returns(rollout_.size());
+  for (int64_t t = static_cast<int64_t>(rollout_.size()) - 1; t >= 0; --t) {
+    const Step& step = rollout_[static_cast<size_t>(t)];
+    Tensor ret(DType::kFloat32, Shape{env_count});
+    float* pr = ret.mutable_data<float>();
+    const float* rew = step.rewards.data<float>();
+    const uint8_t* term = step.terminals.data<uint8_t>();
+    for (int64_t e = 0; e < env_count; ++e) {
+      double future = term[e] != 0 ? 0.0 : carry[static_cast<size_t>(e)];
+      carry[static_cast<size_t>(e)] =
+          static_cast<float>(rew[e] + discount_ * future);
+      pr[e] = carry[static_cast<size_t>(e)];
+    }
+    returns[static_cast<size_t>(t)] = std::move(ret);
+  }
+
+  // Concatenate the rollout into one batch.
+  std::vector<Tensor> all_s, all_a, all_ret;
+  for (size_t t = 0; t < rollout_.size(); ++t) {
+    all_s.push_back(rollout_[t].states);
+    all_a.push_back(rollout_[t].actions);
+    all_ret.push_back(returns[t]);
+  }
+  rollout_.clear();
+  std::vector<Tensor> out = executor().execute(
+      "update_batch", {kernels::concat(all_s, 0), kernels::concat(all_a, 0),
+                       kernels::concat(all_ret, 0)});
+  return out[0].scalar_value();
+}
+
+std::unique_ptr<Agent> make_actor_critic_agent(const Json& config,
+                                               SpacePtr state_space,
+                                               SpacePtr action_space) {
+  return std::make_unique<ActorCriticAgent>(config, std::move(state_space),
+                                            std::move(action_space));
+}
+
+}  // namespace rlgraph

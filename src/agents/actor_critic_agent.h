@@ -1,0 +1,60 @@
+// ActorCriticAgent: synchronous advantage actor-critic (A2C), assembled
+// entirely from the existing component library (Policy with categorical +
+// value heads, optimizer) — the "prototype new algorithms by defining few
+// components" story of paper §3.3.
+//
+// Driver protocol (Listing 2 semantics): get_actions samples from the
+// categorical policy; observe() accumulates transitions into an internal
+// rollout buffer; update() computes bootstrapped discounted returns and
+// applies one policy-gradient + value + entropy step once a full rollout is
+// buffered.
+//
+// Config keys: "network", "rollout_length", "discount", "value_coef",
+// "entropy_coef", "optimizer".
+#pragma once
+
+#include <deque>
+
+#include "agents/agent.h"
+#include "components/policy.h"
+
+namespace rlgraph {
+
+class ActorCriticAgent : public Agent {
+ public:
+  ActorCriticAgent(Json config, SpacePtr state_space, SpacePtr action_space);
+
+  // Samples actions from the categorical policy (explore=false: greedy).
+  Tensor get_actions(const Tensor& states, bool explore = true) override;
+
+  void observe(const Tensor& states, const Tensor& actions,
+               const Tensor& rewards, const Tensor& next_states,
+               const Tensor& terminals) override;
+
+  // One A2C step when a full rollout is buffered; returns the loss
+  // (0 while the buffer is still filling).
+  double update() override;
+
+  // State values V(s) for a batch (used for bootstrapping and tests).
+  Tensor get_values(const Tensor& states);
+
+  int64_t rollout_length() const { return rollout_length_; }
+  int64_t buffered_steps() const {
+    return static_cast<int64_t>(rollout_.size());
+  }
+
+ protected:
+  void setup_graph() override;
+
+ private:
+  struct Step {
+    Tensor states, actions, rewards, terminals;
+  };
+
+  int64_t rollout_length_;
+  double discount_;
+  std::deque<Step> rollout_;
+  Tensor last_next_states_;
+};
+
+}  // namespace rlgraph

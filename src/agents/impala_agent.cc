@@ -1,0 +1,345 @@
+#include "agents/impala_agent.h"
+
+#include <cstring>
+
+#include "components/optimizers.h"
+#include "components/vtrace.h"
+#include "core/build_context.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+namespace {
+
+// Stack per-step tensors (each [E, rest...]) into [E, T, rest...].
+Tensor stack_time(const std::vector<Tensor>& steps) {
+  RLG_REQUIRE(!steps.empty(), "stack_time on empty rollout");
+  int64_t T = static_cast<int64_t>(steps.size());
+  int64_t E = steps[0].shape().dim(0);
+  Shape rest = steps[0].shape().drop_front(1);
+  Shape out_shape = Shape{E, T}.concat(rest);
+  Tensor out(steps[0].dtype(), out_shape);
+  size_t row_bytes = static_cast<size_t>(
+      rest.num_elements() * static_cast<int64_t>(dtype_size(out.dtype())));
+  auto* po = static_cast<uint8_t*>(out.mutable_raw());
+  for (int64_t t = 0; t < T; ++t) {
+    const auto* ps = static_cast<const uint8_t*>(steps[static_cast<size_t>(t)].raw());
+    for (int64_t e = 0; e < E; ++e) {
+      std::memcpy(po + (static_cast<size_t>(e * T + t)) * row_bytes,
+                  ps + static_cast<size_t>(e) * row_bytes, row_bytes);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EnvStepper::EnvStepper(std::string name,
+                       std::shared_ptr<RolloutContext> context,
+                       SpacePtr obs_space, int64_t rollout_length,
+                       int64_t num_actions)
+    : Component(std::move(name)), context_(std::move(context)) {
+  RLG_REQUIRE(obs_space != nullptr && obs_space->is_box(),
+              "EnvStepper requires a box observation space");
+  const auto& box = static_cast<const BoxSpace&>(*obs_space);
+  Shape obs_shape = box.value_shape();
+  int64_t T = rollout_length;
+
+  std::vector<SpacePtr> out_spaces = {
+      FloatBox(Shape{T + 1}.concat(obs_shape))->with_batch_rank(),  // states
+      FloatBox(Shape{T, num_actions})->with_batch_rank(),  // behavior logits
+      IntBox(num_actions, Shape{T})->with_batch_rank(),    // actions
+      FloatBox(Shape{T})->with_batch_rank(),               // rewards
+      BoolBox(Shape{T})->with_batch_rank(),                // terminals
+  };
+
+  register_api(
+      "step_rollout",
+      [this, T, out_spaces](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        auto rc = context_;
+        CustomKernel kernel = [rc, T](const std::vector<Tensor>&) {
+          RLG_REQUIRE(rc->env != nullptr && rc->act != nullptr,
+                      "EnvStepper used before attach_environment()");
+          if (!rc->started) {
+            rc->current_obs = rc->env->reset();
+            rc->started = true;
+          }
+          std::vector<Tensor> states{rc->current_obs};
+          std::vector<Tensor> logits, actions, rewards, terminals;
+          for (int64_t t = 0; t < T; ++t) {
+            auto [acts, logit] = rc->act(rc->current_obs);
+            VectorStepResult r = rc->env->step(acts);
+            rc->env_frames += r.env_frames;
+            rc->current_obs = r.observations;
+            states.push_back(r.observations);
+            logits.push_back(std::move(logit));
+            actions.push_back(std::move(acts));
+            rewards.push_back(std::move(r.rewards));
+            terminals.push_back(std::move(r.terminals));
+          }
+          return std::vector<Tensor>{stack_time(states), stack_time(logits),
+                                     stack_time(actions),
+                                     stack_time(rewards),
+                                     stack_time(terminals)};
+        };
+        return graph_fn_custom(ctx, "step_rollout", kernel, inputs,
+                               out_spaces);
+      });
+}
+
+IMPALAAgent::IMPALAAgent(Json config, SpacePtr state_space,
+                         SpacePtr action_space, Mode mode)
+    : Agent(std::move(config), std::move(state_space),
+            std::move(action_space)),
+      mode_(mode) {
+  rollout_length_ = config_.get_int("rollout_length", 20);
+  rollout_context_ = std::make_shared<RolloutContext>();
+}
+
+std::vector<SpacePtr> IMPALAAgent::queue_slot_spaces() const {
+  const auto& box = static_cast<const BoxSpace&>(*state_space_);
+  Shape obs = box.value_shape();
+  int64_t T = rollout_length_;
+  const auto& abox = static_cast<const BoxSpace&>(*action_space_);
+  int64_t A = abox.num_categories();
+  return {
+      FloatBox(Shape{T + 1}.concat(obs))->with_batch_rank(),
+      FloatBox(Shape{T, A})->with_batch_rank(),
+      IntBox(A, Shape{T})->with_batch_rank(),
+      FloatBox(Shape{T})->with_batch_rank(),
+      BoolBox(Shape{T})->with_batch_rank(),
+  };
+}
+
+void IMPALAAgent::setup_graph() {
+  auto root = std::make_shared<Component>("agent");
+  if (mode_ == Mode::kActor) {
+    setup_actor(root);
+  } else {
+    setup_learner(root);
+  }
+  root_ = std::move(root);
+}
+
+void IMPALAAgent::setup_actor(std::shared_ptr<Component> root) {
+  auto* policy = root->add_component(std::make_shared<Policy>(
+      "policy", config_.at("network"), action_space_,
+      PolicyHead::kCategorical));
+  auto* stepper = root->add_component(std::make_shared<EnvStepper>(
+      "env-stepper", rollout_context_, state_space_, rollout_length_,
+      policy->num_actions()));
+  RLG_REQUIRE(queue_ != nullptr, "actor requires set_queue() before build");
+  auto* queue_comp = root->add_component(std::make_shared<QueueComponent>(
+      "queue", queue_, queue_slot_spaces()));
+
+  bool redundant_assigns = config_.get_bool("redundant_assigns", false);
+
+  // act_step(states [E, ...]) -> (actions [E], behavior_logits [E, A],
+  // [redundant assign group]).
+  root->register_api(
+      "act_step",
+      [root_raw = root.get(), policy, redundant_assigns](
+          BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        OpRecs lv = policy->call_api(ctx, "get_logits_value", inputs);
+        OpRec actions = root_raw->graph_fn(
+            ctx, "gumbel",
+            [](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef u = ops.apply("RandomUniformLike", {in[0]},
+                                  {{"lo", 1e-8}, {"hi", 1.0}});
+              OpRef g = ops.neg(ops.log(ops.neg(ops.log(u))));
+              return std::vector<OpRef>{ops.argmax(ops.add(in[0], g))};
+            },
+            {lv[0]})[0];
+        OpRecs out{actions, lv[0]};
+        if (redundant_assigns && !ctx.assembling()) {
+          // DM-reference actor behaviour: re-assign policy variables to
+          // themselves every act step (paper §5.1: "DM's code also carried
+          // out unneeded variable assignments in the actor").
+          std::vector<std::string> names = policy->variable_names_recursive();
+          OpRec extra = root_raw->graph_fn(
+              ctx, "redundant_assigns",
+              [names](OpContext& ops, const std::vector<OpRef>&) {
+                std::vector<OpRef> assigns;
+                for (const std::string& n : names) {
+                  assigns.push_back(ops.assign(n, ops.variable(n)));
+                }
+                return std::vector<OpRef>{ops.group(assigns)};
+              },
+              {})[0];
+          out.push_back(extra);
+        }
+        return out;
+      });
+
+  // act_and_enqueue() -> queue size: fused rollout + enqueue, one call.
+  root->register_api(
+      "act_and_enqueue",
+      [stepper, queue_comp](BuildContext& ctx, const OpRecs&) -> OpRecs {
+        OpRecs rollout = stepper->call_api(ctx, "step_rollout", {});
+        return queue_comp->call_api(ctx, "enqueue", rollout);
+      });
+
+  api_spaces_ = {
+      {"act_step", {state_space_->with_batch_rank()}},
+      {"act_and_enqueue", {}},
+  };
+}
+
+void IMPALAAgent::setup_learner(std::shared_ptr<Component> root) {
+  auto* policy = root->add_component(std::make_shared<Policy>(
+      "policy", config_.at("network"), action_space_,
+      PolicyHead::kCategorical));
+  RLG_REQUIRE(queue_ != nullptr, "learner requires set_queue() before build");
+  std::vector<SpacePtr> slot_spaces = queue_slot_spaces();
+  auto* queue_comp = root->add_component(
+      std::make_shared<QueueComponent>("queue", queue_, slot_spaces));
+  bool use_staging = config_.get_bool("use_staging", true);
+  StagingArea* staging = nullptr;
+  if (use_staging) {
+    staging = root->add_component(
+        std::make_shared<StagingArea>("staging", slot_spaces));
+  }
+  auto* loss = root->add_component(std::make_shared<IMPALALoss>(
+      "loss", config_.get_double("discount", 0.99),
+      config_.get_double("value_coef", 0.5),
+      config_.get_double("entropy_coef", 0.01),
+      config_.get_double("clip_rho", 1.0),
+      config_.get_double("clip_pg_rho", 1.0)));
+  Json opt_config = config_.get("optimizer").is_null()
+                        ? Json(JsonObject{})
+                        : config_.get("optimizer");
+  auto* optimizer =
+      root->add_component(make_optimizer("optimizer", opt_config));
+
+  const auto& obs_box = static_cast<const BoxSpace&>(*state_space_);
+  Shape obs = obs_box.value_shape();
+  int64_t T = rollout_length_;
+  int64_t A = policy->num_actions();
+  int64_t unstage_overhead = config_.get_bool("unbatched_unstage", false)
+                                 ? config_.get_int("unstage_overhead", 8)
+                                 : 0;
+
+  root->register_api(
+      "learn_from_queue",
+      [root_raw = root.get(), policy, queue_comp, staging, loss, optimizer,
+       obs, T, A, unstage_overhead](BuildContext& ctx,
+                                    const OpRecs&) -> OpRecs {
+        OpRecs slot = queue_comp->call_api(ctx, "dequeue", {});
+        if (staging != nullptr) {
+          slot = staging->call_api(ctx, "stage_and_get", slot);
+        }
+        if (unstage_overhead > 0 && !ctx.assembling()) {
+          // DM-reference learner behaviour: per-tensor, non-batched work on
+          // the unstaged batch (modeled as extra elementwise passes).
+          for (OpRec& leaf : slot) {
+            if (leaf.space == nullptr || !leaf.space->is_box()) continue;
+            const auto& b = static_cast<const BoxSpace&>(*leaf.space);
+            if (b.dtype() != DType::kFloat32) continue;
+            leaf = root_raw->graph_fn(
+                ctx, "unstage_extra",
+                [unstage_overhead](OpContext& ops,
+                                   const std::vector<OpRef>& in) {
+                  OpRef x = in[0];
+                  for (int64_t i = 0; i < unstage_overhead; ++i) {
+                    x = ops.mul(x, ops.scalar(1.0f));
+                  }
+                  return std::vector<OpRef>{x};
+                },
+                {leaf}, 1, {leaf.space})[0];
+          }
+        }
+        // slot: states [E,T1,obs], mu_logits [E,T,A], actions [E,T],
+        //       rewards [E,T], terminals [E,T].
+        if (ctx.assembling()) return OpRecs(5);
+
+        int64_t flat_obs = obs.num_elements();
+        OpRec flat_states = root_raw->graph_fn(
+            ctx, "flatten_time",
+            [obs, flat_obs](OpContext& ops, const std::vector<OpRef>& in) {
+              Shape target = Shape{kUnknownDim}.concat(obs);
+              (void)flat_obs;
+              return std::vector<OpRef>{ops.reshape(in[0], target)};
+            },
+            {slot[0]}, 1,
+            {std::make_shared<BoxSpace>(DType::kFloat32, obs, 0.0, 1.0)
+                 ->with_batch_rank()})[0];
+
+        OpRecs lv = policy->call_api(ctx, "get_logits_value", {flat_states});
+
+        // Reshape heads back to [E, T(+1), ...] and split off bootstrap.
+        OpRecs shaped = root_raw->graph_fn(
+            ctx, "shape_heads",
+            [T, A](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef logits_all =
+                  ops.reshape(in[0], Shape{kUnknownDim, T + 1, A});
+              OpRef values_all = ops.reshape(ops.squeeze(in[1], 1),
+                                             Shape{kUnknownDim, T + 1});
+              std::vector<OpRef> lsplit = ops.split(logits_all, 1, {T, 1});
+              std::vector<OpRef> vsplit = ops.split(values_all, 1, {T, 1});
+              OpRef bootstrap = ops.squeeze(vsplit[1], 1);
+              return std::vector<OpRef>{lsplit[0], vsplit[0], bootstrap};
+            },
+            {lv[0], lv[1]}, 3,
+            {FloatBox(Shape{T, A})->with_batch_rank(),
+             FloatBox(Shape{T})->with_batch_rank(),
+             FloatBox()->with_batch_rank()});
+
+        OpRecs loss_out = loss->call_api(
+            ctx, "get_loss",
+            {slot[1], shaped[0], slot[2], slot[3], slot[4], shaped[1],
+             shaped[2]});
+
+        OpRecs vars = policy->variable_recs(ctx);
+        OpRecs step_inputs{loss_out[0]};
+        step_inputs.insert(step_inputs.end(), vars.begin(), vars.end());
+        OpRecs opt_out = optimizer->call_api(ctx, "step", step_inputs);
+        return OpRecs{loss_out[0], loss_out[1], loss_out[2], loss_out[3],
+                      opt_out[0]};
+      });
+
+  api_spaces_ = {{"learn_from_queue", {}}};
+}
+
+void IMPALAAgent::attach_environment(VectorEnv* env) {
+  RLG_REQUIRE(mode_ == Mode::kActor, "attach_environment on learner");
+  rollout_context_->env = env;
+  rollout_context_->act =
+      [this](const Tensor& obs) -> std::pair<Tensor, Tensor> {
+    std::vector<Tensor> out = executor().execute("act_step", {obs});
+    return {out[0], out[1]};
+  };
+}
+
+int64_t IMPALAAgent::act_and_enqueue() {
+  int64_t before = rollout_context_->env_frames;
+  executor().execute("act_and_enqueue", {});
+  return rollout_context_->env_frames - before;
+}
+
+Tensor IMPALAAgent::get_actions(const Tensor& states, bool) {
+  RLG_REQUIRE(mode_ == Mode::kActor, "get_actions on learner");
+  return executor().execute("act_step", {states})[0];
+}
+
+void IMPALAAgent::observe(const Tensor&, const Tensor&, const Tensor&,
+                          const Tensor&, const Tensor&) {
+  throw ValueError(
+      "IMPALA agents observe through the rollout queue, not observe()");
+}
+
+double IMPALAAgent::update() {
+  RLG_REQUIRE(mode_ == Mode::kLearner, "update on actor");
+  return executor().execute("learn_from_queue", {})[0].scalar_value();
+}
+
+std::unique_ptr<Agent> make_impala_agent(const Json& config,
+                                         SpacePtr state_space,
+                                         SpacePtr action_space) {
+  IMPALAAgent::Mode mode = config.get_string("type", "") == "impala_actor"
+                               ? IMPALAAgent::Mode::kActor
+                               : IMPALAAgent::Mode::kLearner;
+  return std::make_unique<IMPALAAgent>(config, std::move(state_space),
+                                       std::move(action_space), mode);
+}
+
+}  // namespace rlgraph

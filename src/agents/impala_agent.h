@@ -1,0 +1,93 @@
+// IMPALA (importance-weighted actor-learner architecture) agents.
+//
+// The paper uses IMPALA to demonstrate end-to-end computation graphs: actors
+// fuse environment stepping into the graph and feed rollouts into a globally
+// shared blocking queue; the learner dequeues, stages (to hide transfer
+// latency) and updates with the V-trace loss — one executor call per rollout
+// on the actor, one per update on the learner.
+//
+// Config keys: "network" (conv/dense list), "rollout_length", "discount",
+// "value_coef", "entropy_coef", "optimizer", "use_staging",
+// plus baseline-ablation flags "redundant_assigns" (DM-reference actor
+// behaviour) and "unbatched_unstage" (DM-reference learner behaviour).
+#pragma once
+
+#include <functional>
+
+#include "agents/agent.h"
+#include "components/policy.h"
+#include "components/queue_staging.h"
+#include "env/vector_env.h"
+
+namespace rlgraph {
+
+// Shared mutable context for the graph-fused environment stepper: the
+// worker injects the environment and the act callable after the build.
+struct RolloutContext {
+  VectorEnv* env = nullptr;
+  // obs [E, ...] -> (actions [E], behavior logits [E, A])
+  std::function<std::pair<Tensor, Tensor>(const Tensor&)> act;
+  Tensor current_obs;
+  bool started = false;
+  int64_t env_frames = 0;
+};
+
+// Component wrapping fused rollout collection: one custom kernel steps the
+// vector env `rollout_length` times, invoking the in-graph policy through
+// nested execution, and emits the rollout leaves.
+class EnvStepper : public Component {
+ public:
+  EnvStepper(std::string name, std::shared_ptr<RolloutContext> context,
+             SpacePtr obs_space, int64_t rollout_length, int64_t num_actions);
+
+  std::shared_ptr<RolloutContext> context() { return context_; }
+
+ private:
+  std::shared_ptr<RolloutContext> context_;
+};
+
+class IMPALAAgent : public Agent {
+ public:
+  enum class Mode { kActor, kLearner };
+
+  IMPALAAgent(Json config, SpacePtr state_space, SpacePtr action_space,
+              Mode mode);
+
+  // Must be called before build(): the globally shared rollout queue.
+  void set_queue(std::shared_ptr<SharedTensorQueue> queue) {
+    queue_ = std::move(queue);
+  }
+  std::shared_ptr<SharedTensorQueue> queue() { return queue_; }
+
+  // Actor: inject env + wire the fused stepper (after build()).
+  void attach_environment(VectorEnv* env);
+  // Actor: collect one rollout and enqueue it — a single executor call.
+  // Returns env frames consumed.
+  int64_t act_and_enqueue();
+
+  // --- Agent interface -------------------------------------------------------
+  Tensor get_actions(const Tensor& states, bool explore = true) override;
+  void observe(const Tensor&, const Tensor&, const Tensor&, const Tensor&,
+               const Tensor&) override;
+  // Learner: one dequeue+stage+V-trace+apply step; returns the loss.
+  double update() override;
+
+  Mode mode() const { return mode_; }
+  int64_t rollout_length() const { return rollout_length_; }
+  // Slot signature of the shared queue (leaf spaces).
+  std::vector<SpacePtr> queue_slot_spaces() const;
+
+ protected:
+  void setup_graph() override;
+
+ private:
+  void setup_actor(std::shared_ptr<Component> root);
+  void setup_learner(std::shared_ptr<Component> root);
+
+  Mode mode_;
+  int64_t rollout_length_;
+  std::shared_ptr<SharedTensorQueue> queue_;
+  std::shared_ptr<RolloutContext> rollout_context_;
+};
+
+}  // namespace rlgraph

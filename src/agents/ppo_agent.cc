@@ -1,0 +1,254 @@
+#include "agents/ppo_agent.h"
+
+#include "components/optimizers.h"
+#include "core/build_context.h"
+#include "tensor/kernels.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+PPOAgent::PPOAgent(Json config, SpacePtr state_space, SpacePtr action_space)
+    : Agent(std::move(config), std::move(state_space),
+            std::move(action_space)) {
+  rollout_length_ = config_.get_int("rollout_length", 32);
+  discount_ = config_.get_double("discount", 0.99);
+  gae_lambda_ = config_.get_double("gae_lambda", 0.95);
+  epochs_ = config_.get_int("epochs", 3);
+  minibatch_size_ = config_.get_int("minibatch_size", 64);
+}
+
+void PPOAgent::setup_graph() {
+  auto root = std::make_shared<Component>("agent");
+  auto* policy = root->add_component(std::make_shared<Policy>(
+      "policy", config_.at("network"), action_space_,
+      PolicyHead::kCategorical));
+  Json opt_config = config_.get("optimizer").is_null()
+                        ? Json(JsonObject{})
+                        : config_.get("optimizer");
+  auto* optimizer =
+      root->add_component(make_optimizer("optimizer", opt_config));
+  double clip_ratio = config_.get_double("clip_ratio", 0.2);
+  double value_coef = config_.get_double("value_coef", 0.5);
+  double entropy_coef = config_.get_double("entropy_coef", 0.01);
+
+  // act(states) -> (actions sampled, log pi(a|s), V(s)): everything the
+  // driver needs for GAE and the surrogate ratio in ONE call.
+  root->register_api(
+      "act",
+      [policy, root_raw = root.get()](BuildContext& ctx,
+                                      const OpRecs& inputs) -> OpRecs {
+        OpRecs lv = policy->call_api(ctx, "get_logits_value", inputs);
+        return root_raw->graph_fn(
+            ctx, "sample_with_logp",
+            [](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef logits = in[0];
+              OpRef u = ops.apply("RandomUniformLike", {logits},
+                                  {{"lo", 1e-8}, {"hi", 1.0}});
+              OpRef gumbel = ops.neg(ops.log(ops.neg(ops.log(u))));
+              OpRef actions = ops.argmax(ops.add(logits, gumbel));
+              OpRef logp =
+                  ops.select_columns(ops.log_softmax(logits), actions);
+              OpRef values = ops.squeeze(in[1], 1);
+              return std::vector<OpRef>{actions, logp, values};
+            },
+            {lv[0], lv[1]}, 3);
+      });
+  root->register_api("act_greedy",
+                     [policy](BuildContext& ctx, const OpRecs& inputs) {
+                       return policy->call_api(ctx, "get_action", inputs);
+                     });
+  root->register_api(
+      "get_values",
+      [policy, root_raw = root.get()](BuildContext& ctx,
+                                      const OpRecs& inputs) -> OpRecs {
+        OpRecs lv = policy->call_api(ctx, "get_logits_value", inputs);
+        return root_raw->graph_fn(
+            ctx, "squeeze_value",
+            [](OpContext& ops, const std::vector<OpRef>& in) {
+              return std::vector<OpRef>{ops.squeeze(in[0], 1)};
+            },
+            {lv[1]});
+      });
+
+  // update_batch(states, actions, old_logp, advantages, returns)
+  //   -> (loss, update_group).
+  root->register_api(
+      "update_batch",
+      [policy, optimizer, root_raw = root.get(), clip_ratio, value_coef,
+       entropy_coef](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 5,
+                    "update_batch expects (states, actions, old_logp, "
+                    "advantages, returns)");
+        OpRecs lv = policy->call_api(ctx, "get_logits_value", {inputs[0]});
+        OpRecs loss = root_raw->graph_fn(
+            ctx, "ppo_loss",
+            [clip_ratio, value_coef, entropy_coef](
+                OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef logits = in[0];
+              OpRef values = ops.squeeze(in[1], 1);
+              OpRef actions = in[2], old_logp = in[3];
+              OpRef adv = in[4], returns = in[5];
+              OpRef logp_all = ops.log_softmax(logits);
+              OpRef logp = ops.select_columns(logp_all, actions);
+              OpRef ratio = ops.exp(ops.sub(logp, old_logp));
+              OpRef clipped = ops.clip(ratio, 1.0 - clip_ratio,
+                                       1.0 + clip_ratio);
+              // Clipped surrogate: -mean(min(r*A, clip(r)*A)).
+              OpRef surrogate = ops.minimum(ops.mul(ratio, adv),
+                                            ops.mul(clipped, adv));
+              OpRef pg = ops.neg(ops.reduce_mean(surrogate));
+              OpRef v_loss = ops.mul(
+                  ops.scalar(0.5f),
+                  ops.reduce_mean(ops.square(ops.sub(values, returns))));
+              OpRef entropy = ops.neg(ops.reduce_mean(ops.reduce_sum(
+                  ops.mul(ops.softmax(logits), logp_all), 1)));
+              OpRef total = ops.add(
+                  pg, ops.sub(ops.mul(ops.scalar((float)value_coef), v_loss),
+                              ops.mul(ops.scalar((float)entropy_coef),
+                                      entropy)));
+              return std::vector<OpRef>{total};
+            },
+            {lv[0], lv[1], inputs[1], inputs[2], inputs[3], inputs[4]});
+        OpRecs vars = policy->variable_recs(ctx);
+        OpRecs step_inputs{loss[0]};
+        step_inputs.insert(step_inputs.end(), vars.begin(), vars.end());
+        OpRecs opt_out = optimizer->call_api(ctx, "step", step_inputs);
+        return OpRecs{opt_out[1], opt_out[0]};
+      });
+
+  SpacePtr state_b = state_space_->with_batch_rank();
+  SpacePtr float_b = FloatBox()->with_batch_rank();
+  api_spaces_ = {
+      {"act", {state_b}},
+      {"act_greedy", {state_b}},
+      {"get_values", {state_b}},
+      {"update_batch",
+       {state_b, action_space_->with_batch_rank(), float_b, float_b,
+        float_b}},
+  };
+  root_ = std::move(root);
+}
+
+Tensor PPOAgent::get_actions(const Tensor& states, bool explore) {
+  if (!explore) return executor().execute("act_greedy", {states})[0];
+  std::vector<Tensor> out = executor().execute("act", {states});
+  last_log_probs_ = out[1];
+  // Cache values for GAE alongside the log-probs (attached in observe()).
+  last_values_cache_ = out[2];
+  return out[0];
+}
+
+Tensor PPOAgent::get_values(const Tensor& states) {
+  return executor().execute("get_values", {states})[0];
+}
+
+void PPOAgent::observe(const Tensor& states, const Tensor& actions,
+                       const Tensor& rewards, const Tensor& next_states,
+                       const Tensor& terminals) {
+  RLG_REQUIRE(last_log_probs_.num_elements() == actions.num_elements(),
+              "observe() must follow a matching get_actions() call");
+  rollout_.push_back(Step{states, actions, last_log_probs_, rewards,
+                          terminals, last_values_cache_});
+  last_next_states_ = next_states;
+  RLG_REQUIRE(static_cast<int64_t>(rollout_.size()) <= rollout_length_,
+              "rollout buffer overfull; call update() every step");
+}
+
+double PPOAgent::update() {
+  if (static_cast<int64_t>(rollout_.size()) < rollout_length_) return 0.0;
+
+  int64_t T = static_cast<int64_t>(rollout_.size());
+  int64_t E = rollout_.front().rewards.num_elements();
+
+  // GAE(lambda): delta_t = r_t + gamma*V(s_{t+1})*(1-term) - V(s_t);
+  // A_t = delta_t + gamma*lambda*(1-term)*A_{t+1}.
+  Tensor bootstrap = get_values(last_next_states_);
+  std::vector<float> next_v = bootstrap.to_floats();
+  std::vector<float> gae(static_cast<size_t>(E), 0.0f);
+  std::vector<Tensor> advantages(static_cast<size_t>(T));
+  std::vector<Tensor> returns(static_cast<size_t>(T));
+  for (int64_t t = T - 1; t >= 0; --t) {
+    const Step& step = rollout_[static_cast<size_t>(t)];
+    Tensor adv(DType::kFloat32, Shape{E});
+    Tensor ret(DType::kFloat32, Shape{E});
+    const float* r = step.rewards.data<float>();
+    const uint8_t* term = step.terminals.data<uint8_t>();
+    const float* v = step.values.data<float>();
+    for (int64_t e = 0; e < E; ++e) {
+      auto eu = static_cast<size_t>(e);
+      double not_term = term[e] != 0 ? 0.0 : 1.0;
+      double delta = r[e] + discount_ * next_v[eu] * not_term - v[e];
+      gae[eu] = static_cast<float>(
+          delta + discount_ * gae_lambda_ * not_term * gae[eu]);
+      adv.mutable_data<float>()[e] = gae[eu];
+      ret.mutable_data<float>()[e] = gae[eu] + v[e];
+      next_v[eu] = v[e];
+    }
+    advantages[static_cast<size_t>(t)] = std::move(adv);
+    returns[static_cast<size_t>(t)] = std::move(ret);
+  }
+
+  // Flatten the rollout and normalize advantages.
+  std::vector<Tensor> all_s, all_a, all_lp, all_adv, all_ret;
+  for (int64_t t = 0; t < T; ++t) {
+    auto tu = static_cast<size_t>(t);
+    all_s.push_back(rollout_[tu].states);
+    all_a.push_back(rollout_[tu].actions);
+    all_lp.push_back(rollout_[tu].log_probs);
+    all_adv.push_back(advantages[tu]);
+    all_ret.push_back(returns[tu]);
+  }
+  rollout_.clear();
+  Tensor states = kernels::concat(all_s, 0);
+  Tensor actions = kernels::concat(all_a, 0);
+  Tensor log_probs = kernels::concat(all_lp, 0);
+  Tensor adv = kernels::concat(all_adv, 0);
+  Tensor rets = kernels::concat(all_ret, 0);
+  // Advantage normalization.
+  Tensor mean = kernels::reduce_mean(adv, -1, false);
+  Tensor centered = kernels::sub(adv, mean);
+  Tensor stddev = kernels::sqrt(kernels::add(
+      kernels::reduce_mean(kernels::square(centered), -1, false),
+      Tensor::scalar(1e-6f)));
+  adv = kernels::div(centered, stddev);
+
+  // Epochs of shuffled minibatches.
+  int64_t N = states.shape().dim(0);
+  int64_t mb = std::min(minibatch_size_, N);
+  Rng& rng = executor().rng();
+  double loss_sum = 0.0;
+  int64_t batches = 0;
+  for (int64_t epoch = 0; epoch < epochs_; ++epoch) {
+    // Shuffled index permutation.
+    std::vector<int32_t> perm(static_cast<size_t>(N));
+    for (int64_t i = 0; i < N; ++i) perm[static_cast<size_t>(i)] =
+        static_cast<int32_t>(i);
+    for (int64_t i = N - 1; i > 0; --i) {
+      std::swap(perm[static_cast<size_t>(i)],
+                perm[static_cast<size_t>(rng.uniform_int(i + 1))]);
+    }
+    for (int64_t begin = 0; begin + mb <= N; begin += mb) {
+      Tensor idx = Tensor::from_ints(
+          Shape{mb}, std::vector<int32_t>(
+                         perm.begin() + begin, perm.begin() + begin + mb));
+      std::vector<Tensor> out = executor().execute(
+          "update_batch", {kernels::gather_rows(states, idx),
+                           kernels::gather_rows(actions, idx),
+                           kernels::gather_rows(log_probs, idx),
+                           kernels::gather_rows(adv, idx),
+                           kernels::gather_rows(rets, idx)});
+      loss_sum += out[0].scalar_value();
+      ++batches;
+    }
+  }
+  return batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+}
+
+std::unique_ptr<Agent> make_ppo_agent(const Json& config,
+                                      SpacePtr state_space,
+                                      SpacePtr action_space) {
+  return std::make_unique<PPOAgent>(config, std::move(state_space),
+                                    std::move(action_space));
+}
+
+}  // namespace rlgraph

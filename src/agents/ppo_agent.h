@@ -1,0 +1,65 @@
+// PPOAgent: proximal policy optimization with a clipped surrogate
+// objective and GAE(lambda) advantages — like the original RLgraph's PPO,
+// assembled from the existing component library (categorical Policy,
+// optimizer) plus one agent-level loss graph function.
+//
+// Driver protocol: get_actions samples and caches the behaviour log-probs;
+// observe() buffers transitions; update() runs `epochs` passes of
+// minibatch clipped-surrogate updates over the buffered rollout once it is
+// full.
+//
+// Config keys: "network", "rollout_length", "discount", "gae_lambda",
+// "clip_ratio", "value_coef", "entropy_coef", "epochs", "minibatch_size",
+// "optimizer".
+#pragma once
+
+#include <deque>
+
+#include "agents/agent.h"
+#include "components/policy.h"
+
+namespace rlgraph {
+
+class PPOAgent : public Agent {
+ public:
+  PPOAgent(Json config, SpacePtr state_space, SpacePtr action_space);
+
+  // Samples actions; the matching behaviour log-probs are cached and
+  // attached to the next observe() call.
+  Tensor get_actions(const Tensor& states, bool explore = true) override;
+  // log pi(a|s) of the last get_actions batch.
+  const Tensor& last_log_probs() const { return last_log_probs_; }
+
+  void observe(const Tensor& states, const Tensor& actions,
+               const Tensor& rewards, const Tensor& next_states,
+               const Tensor& terminals) override;
+
+  // Runs the PPO update epochs when a full rollout is buffered; returns the
+  // mean minibatch loss (0 while filling).
+  double update() override;
+
+  Tensor get_values(const Tensor& states);
+  int64_t buffered_steps() const {
+    return static_cast<int64_t>(rollout_.size());
+  }
+
+ protected:
+  void setup_graph() override;
+
+ private:
+  struct Step {
+    Tensor states, actions, log_probs, rewards, terminals, values;
+  };
+
+  int64_t rollout_length_;
+  double discount_;
+  double gae_lambda_;
+  int64_t epochs_;
+  int64_t minibatch_size_;
+  std::deque<Step> rollout_;
+  Tensor last_log_probs_;
+  Tensor last_values_cache_;
+  Tensor last_next_states_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,91 @@
+// Reverse-mode automatic differentiation over the OpContext interface.
+//
+// One implementation serves both backends: on the static backend the
+// gradient computation is emitted as new graph nodes (the TF-style "gradient
+// as graph transformation"); on the imperative backend the same rules
+// evaluate eagerly against the tape (the PyTorch-style backward pass).
+#include <map>
+#include <set>
+#include <vector>
+
+#include "backend/op_context.h"
+#include "util/errors.h"
+#include "util/logging.h"
+
+namespace rlgraph {
+
+std::vector<OpRef> gradients(OpContext& ctx, OpRef loss,
+                             const std::vector<OpRef>& xs) {
+  RLG_REQUIRE(loss.valid(), "gradients: invalid loss ref");
+
+  // 1. Collect the sub-program reachable from `loss` (reverse sweep domain)
+  //    in reverse topological order. Node ids increase with recording order
+  //    in both backends, so sorting by id descending is a valid reverse
+  //    topological order.
+  std::set<int> reachable;
+  {
+    std::vector<int> stack{loss.node};
+    while (!stack.empty()) {
+      int id = stack.back();
+      stack.pop_back();
+      if (!reachable.insert(id).second) continue;
+      RefInfo fwd = ctx.info(id);
+      for (const OpRef& in : fwd.inputs) stack.push_back(in.node);
+    }
+  }
+
+  // 2. Seed d(loss)/d(loss) = 1 and sweep backwards.
+  std::map<OpRef, OpRef> grad;  // forward ref -> accumulated gradient ref
+  grad[loss] = ctx.scalar(1.0f);
+
+  const GradRegistry& rules = GradRegistry::instance();
+  for (auto it = reachable.rbegin(); it != reachable.rend(); ++it) {
+    int id = *it;
+    RefInfo fwd = ctx.info(id);
+    // Gather output gradients; skip nodes with no incoming gradient.
+    std::vector<OpRef> grad_out(fwd.outputs.size(), OpRef{});
+    bool any = false;
+    for (size_t i = 0; i < fwd.outputs.size(); ++i) {
+      auto git = grad.find(fwd.outputs[i]);
+      if (git != grad.end()) {
+        grad_out[i] = git->second;
+        any = true;
+      }
+    }
+    if (!any || fwd.inputs.empty()) continue;
+    const GradFn* rule = rules.lookup(fwd.op);
+    if (rule == nullptr) continue;  // non-differentiable boundary
+    std::vector<OpRef> input_grads = (*rule)(ctx, fwd, grad_out);
+    RLG_CHECK_MSG(input_grads.size() == fwd.inputs.size(),
+                  "grad rule for " << fwd.op << " returned "
+                                   << input_grads.size() << " grads for "
+                                   << fwd.inputs.size() << " inputs");
+    for (size_t i = 0; i < fwd.inputs.size(); ++i) {
+      if (!input_grads[i].valid()) continue;
+      OpRef target = fwd.inputs[i];
+      auto git = grad.find(target);
+      if (git == grad.end()) {
+        grad[target] = input_grads[i];
+      } else {
+        git->second = ctx.add(git->second, input_grads[i]);
+      }
+    }
+  }
+
+  // 3. Emit per-x gradients; missing paths produce zeros of x's shape.
+  std::vector<OpRef> out;
+  out.reserve(xs.size());
+  for (const OpRef& x : xs) {
+    auto git = grad.find(x);
+    if (git != grad.end()) {
+      out.push_back(git->second);
+    } else {
+      RLG_LOG_DEBUG << "gradients: no path from loss to requested x; "
+                       "emitting zeros";
+      out.push_back(ctx.zeros_like(x));
+    }
+  }
+  return out;
+}
+
+}  // namespace rlgraph

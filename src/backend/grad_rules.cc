@@ -1,0 +1,253 @@
+// Gradient (vjp) rules for the differentiable op set, expressed against
+// OpContext so the same rules serve the static and define-by-run backends.
+#include "backend/op_context.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+namespace {
+
+// Reduce a broadcast gradient back to the shape of `like`.
+OpRef sum_to(OpContext& ctx, OpRef g, OpRef like) {
+  Shape target = ctx.shape(like);
+  if (ctx.shape(g) == target) return g;
+  return ctx.apply("SumToShape", {g}, {{"target", std::move(target)}});
+}
+
+// Expand a reduced gradient back across the reduced axis so it broadcasts
+// against the pre-reduction operand.
+OpRef expand_reduced(OpContext& ctx, const RefInfo& fwd, OpRef g) {
+  int64_t axis = attr_int(fwd.attrs, "axis", -1);
+  bool keep_dims = attr_bool(fwd.attrs, "keep_dims", false);
+  if (axis < 0 || keep_dims) return g;
+  return ctx.expand_dims(g, axis);
+}
+
+using G = std::vector<OpRef>;
+constexpr OpRef kNoGrad{};
+
+void register_standard_grads(GradRegistry& r) {
+  r.register_grad("Identity", [](OpContext&, const RefInfo&, const G& dy) {
+    return G{dy[0]};
+  });
+  // StopGradient intentionally has no rule registered.
+
+  r.register_grad("Add", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    return G{sum_to(ctx, dy[0], f.inputs[0]), sum_to(ctx, dy[0], f.inputs[1])};
+  });
+  r.register_grad("Sub", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    return G{sum_to(ctx, dy[0], f.inputs[0]),
+             sum_to(ctx, ctx.neg(dy[0]), f.inputs[1])};
+  });
+  r.register_grad("Mul", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    return G{sum_to(ctx, ctx.mul(dy[0], f.inputs[1]), f.inputs[0]),
+             sum_to(ctx, ctx.mul(dy[0], f.inputs[0]), f.inputs[1])};
+  });
+  r.register_grad("Div", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    OpRef a = f.inputs[0], b = f.inputs[1];
+    OpRef da = sum_to(ctx, ctx.div(dy[0], b), a);
+    OpRef db = sum_to(
+        ctx, ctx.neg(ctx.div(ctx.mul(dy[0], a), ctx.mul(b, b))), b);
+    return G{da, db};
+  });
+  r.register_grad("AddN", [](OpContext&, const RefInfo& f, const G& dy) {
+    return G(f.inputs.size(), dy[0]);
+  });
+
+  auto minmax = [](bool is_min) {
+    return [is_min](OpContext& ctx, const RefInfo& f, const G& dy) {
+      OpRef a = f.inputs[0], b = f.inputs[1];
+      OpRef a_gt_b = ctx.greater(a, b);
+      OpRef zero = ctx.zeros_like(dy[0]);
+      OpRef ga = is_min ? ctx.where(a_gt_b, zero, dy[0])
+                        : ctx.where(a_gt_b, dy[0], zero);
+      OpRef gb = is_min ? ctx.where(a_gt_b, dy[0], zero)
+                        : ctx.where(a_gt_b, zero, dy[0]);
+      return G{sum_to(ctx, ga, a), sum_to(ctx, gb, b)};
+    };
+  };
+  r.register_grad("Minimum", minmax(true));
+  r.register_grad("Maximum", minmax(false));
+
+  r.register_grad("Neg", [](OpContext& ctx, const RefInfo&, const G& dy) {
+    return G{ctx.neg(dy[0])};
+  });
+  r.register_grad("Exp", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    return G{ctx.mul(dy[0], f.outputs[0])};
+  });
+  r.register_grad("Log", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    return G{ctx.div(dy[0], f.inputs[0])};
+  });
+  r.register_grad("Sqrt", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    return G{ctx.mul(dy[0], ctx.div(ctx.scalar(0.5f), f.outputs[0]))};
+  });
+  r.register_grad("Square", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    return G{ctx.mul(dy[0], ctx.mul(ctx.scalar(2.0f), f.inputs[0]))};
+  });
+  r.register_grad("Abs", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    OpRef positive = ctx.greater(f.inputs[0], ctx.zeros_like(f.inputs[0]));
+    return G{ctx.where(positive, dy[0], ctx.neg(dy[0]))};
+  });
+  r.register_grad("Relu", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    OpRef positive = ctx.greater(f.inputs[0], ctx.zeros_like(f.inputs[0]));
+    return G{ctx.where(positive, dy[0], ctx.zeros_like(dy[0]))};
+  });
+  r.register_grad("Sigmoid", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    OpRef s = f.outputs[0];
+    return G{ctx.mul(dy[0], ctx.mul(s, ctx.sub(ctx.scalar(1.0f), s)))};
+  });
+  r.register_grad("Tanh", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    OpRef t = f.outputs[0];
+    return G{ctx.mul(dy[0], ctx.sub(ctx.scalar(1.0f), ctx.square(t)))};
+  });
+  r.register_grad("Clip", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    OpRef x = f.inputs[0];
+    OpRef lo = ctx.scalar(static_cast<float>(attr_double(f.attrs, "lo")));
+    OpRef hi = ctx.scalar(static_cast<float>(attr_double(f.attrs, "hi")));
+    OpRef inside = ctx.apply("LogicalAnd",
+                             {ctx.greater(x, lo), ctx.less(x, hi)});
+    return G{ctx.where(inside, dy[0], ctx.zeros_like(dy[0]))};
+  });
+  r.register_grad("Where", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    OpRef zero = ctx.zeros_like(dy[0]);
+    return G{kNoGrad, ctx.where(f.inputs[0], dy[0], zero),
+             ctx.where(f.inputs[0], zero, dy[0])};
+  });
+
+  r.register_grad("MatMul", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    OpRef at = ctx.apply("Transpose2D", {f.inputs[0]});
+    OpRef bt = ctx.apply("Transpose2D", {f.inputs[1]});
+    return G{ctx.matmul(dy[0], bt), ctx.matmul(at, dy[0])};
+  });
+  r.register_grad("Transpose2D",
+                  [](OpContext& ctx, const RefInfo&, const G& dy) {
+                    return G{ctx.apply("Transpose2D", {dy[0]})};
+                  });
+  r.register_grad("Conv2D", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    AttrMap common{{"stride", attr_int(f.attrs, "stride")},
+                   {"same_padding", attr_bool(f.attrs, "same_padding", false)}};
+    AttrMap in_attrs = common;
+    in_attrs["input_shape"] = ctx.shape(f.inputs[0]);
+    AttrMap filter_attrs = common;
+    filter_attrs["filter_shape"] = ctx.shape(f.inputs[1]);
+    OpRef dx = ctx.apply("Conv2DBackpropInput", {f.inputs[1], dy[0]},
+                         std::move(in_attrs));
+    OpRef df = ctx.apply("Conv2DBackpropFilter", {f.inputs[0], dy[0]},
+                         std::move(filter_attrs));
+    return G{dx, df};
+  });
+
+  r.register_grad("ReduceSum",
+                  [](OpContext& ctx, const RefInfo& f, const G& dy) {
+                    OpRef g = expand_reduced(ctx, f, dy[0]);
+                    return G{ctx.mul(ctx.ones_like(f.inputs[0]), g)};
+                  });
+  r.register_grad("ReduceMean",
+                  [](OpContext& ctx, const RefInfo& f, const G& dy) {
+                    OpRef g = expand_reduced(ctx, f, dy[0]);
+                    OpRef count = ctx.div(ctx.apply("Size", {f.inputs[0]}),
+                                          ctx.apply("Size", {f.outputs[0]}));
+                    return G{ctx.div(ctx.mul(ctx.ones_like(f.inputs[0]), g),
+                                     count)};
+                  });
+  r.register_grad("ReduceMax",
+                  [](OpContext& ctx, const RefInfo& f, const G& dy) {
+                    OpRef y = expand_reduced(ctx, f, f.outputs[0]);
+                    OpRef g = expand_reduced(ctx, f, dy[0]);
+                    OpRef mask = ctx.equal(f.inputs[0], y);
+                    OpRef spread = ctx.mul(ctx.ones_like(f.inputs[0]), g);
+                    return G{ctx.where(mask, spread,
+                                       ctx.zeros_like(f.inputs[0]))};
+                  });
+  r.register_grad("SumToShape",
+                  [](OpContext& ctx, const RefInfo& f, const G& dy) {
+                    return G{ctx.mul(ctx.ones_like(f.inputs[0]), dy[0])};
+                  });
+
+  r.register_grad("Softmax", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    OpRef y = f.outputs[0];
+    int64_t last = ctx.shape(f.inputs[0]).rank() - 1;
+    OpRef inner = ctx.reduce_sum(ctx.mul(dy[0], y), last, /*keep_dims=*/true);
+    return G{ctx.mul(y, ctx.sub(dy[0], inner))};
+  });
+  r.register_grad("LogSoftmax",
+                  [](OpContext& ctx, const RefInfo& f, const G& dy) {
+                    int64_t last = ctx.shape(f.inputs[0]).rank() - 1;
+                    OpRef sm = ctx.softmax(f.inputs[0]);
+                    OpRef s = ctx.reduce_sum(dy[0], last, /*keep_dims=*/true);
+                    return G{ctx.sub(dy[0], ctx.mul(sm, s))};
+                  });
+
+  r.register_grad("SelectColumns",
+                  [](OpContext& ctx, const RefInfo& f, const G& dy) {
+                    Shape vs = ctx.shape(f.inputs[0]);
+                    RLG_REQUIRE(vs.rank() == 2 && vs.dim(1) != kUnknownDim,
+                                "SelectColumns grad needs known column count");
+                    OpRef mask = ctx.one_hot(f.inputs[1], vs.dim(1));
+                    return G{ctx.mul(mask, ctx.expand_dims(dy[0], 1)),
+                             kNoGrad};
+                  });
+
+  r.register_grad("Concat", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    int64_t axis = attr_int(f.attrs, "axis");
+    std::vector<int64_t> sizes;
+    for (const OpRef& in : f.inputs) {
+      int64_t d = ctx.shape(in).dim(static_cast<int>(axis));
+      RLG_REQUIRE(d != kUnknownDim, "Concat grad needs known axis dims");
+      sizes.push_back(d);
+    }
+    return ctx.split(dy[0], axis, std::move(sizes));
+  });
+  r.register_grad("Split", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    int64_t axis = attr_int(f.attrs, "axis");
+    std::vector<OpRef> parts;
+    parts.reserve(dy.size());
+    for (size_t i = 0; i < dy.size(); ++i) {
+      parts.push_back(dy[i].valid() ? dy[i]
+                                    : ctx.zeros_like(f.outputs[i]));
+    }
+    return G{ctx.concat(parts, axis)};
+  });
+
+  auto reshape_like_input = [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    return G{ctx.apply("ReshapeLike", {dy[0], f.inputs[0]})};
+  };
+  r.register_grad("Reshape", reshape_like_input);
+  r.register_grad("ExpandDims", reshape_like_input);
+  r.register_grad("Squeeze", reshape_like_input);
+  r.register_grad("ReshapeLike",
+                  [](OpContext& ctx, const RefInfo& f, const G& dy) {
+                    return G{ctx.apply("ReshapeLike", {dy[0], f.inputs[0]}),
+                             kNoGrad};
+                  });
+
+  r.register_grad("Cast", [](OpContext& ctx, const RefInfo& f, const G& dy) {
+    if (ctx.dtype(f.inputs[0]) == DType::kFloat32 &&
+        attr_dtype(f.attrs, "dtype") == DType::kFloat32) {
+      return G{dy[0]};
+    }
+    return G{kNoGrad};
+  });
+}
+
+}  // namespace
+
+GradRegistry& GradRegistry::instance() {
+  static GradRegistry* registry = new GradRegistry();
+  return *registry;
+}
+
+GradRegistry::GradRegistry() { register_standard_grads(*this); }
+
+void GradRegistry::register_grad(const std::string& op, GradFn fn) {
+  RLG_REQUIRE(grads_.count(op) == 0, "grad for '" << op
+                                                  << "' already registered");
+  grads_[op] = std::move(fn);
+}
+
+const GradFn* GradRegistry::lookup(const std::string& op) const {
+  auto it = grads_.find(op);
+  return it == grads_.end() ? nullptr : &it->second;
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,77 @@
+// Define-by-run backend: evaluates kernels eagerly, recording a tape for
+// autodiff. The PyTorch analogue.
+//
+// Two modes:
+//  * build mode — used during the component-graph build. "Artificial
+//    placeholder" tensors are fabricated from declared spaces and pushed
+//    through the dataflow for shape/type inference (paper §4.2). Stateful
+//    ops are NOT executed in this mode; their outputs are fabricated from
+//    the declared signature so component state is untouched by the build.
+//  * run mode — real execution; every op runs its kernel immediately.
+#pragma once
+
+#include "backend/op_context.h"
+
+namespace rlgraph {
+
+class ImperativeContext : public OpContext {
+ public:
+  ImperativeContext(VariableStore* store, Rng* rng, bool build_mode,
+                    int64_t probe_batch = 2);
+
+  Backend backend() const override { return Backend::kImperative; }
+  bool build_mode() const { return build_mode_; }
+
+  std::vector<OpRef> apply_multi(const std::string& op,
+                                 const std::vector<OpRef>& inputs,
+                                 AttrMap attrs) override;
+  OpRef constant(Tensor value) override;
+  OpRef placeholder(const std::string& name, DType dtype,
+                    Shape shape) override;
+  std::vector<OpRef> apply_custom(const std::string& display_name,
+                                  CustomKernel kernel,
+                                  const std::vector<OpRef>& inputs,
+                                  std::vector<DType> out_dtypes,
+                                  std::vector<Shape> out_shapes) override;
+
+  void create_variable(const std::string& scoped_name,
+                       Tensor initial) override;
+  OpRef variable(const std::string& scoped_name) override;
+  OpRef assign(const std::string& scoped_name, OpRef value) override;
+  OpRef assign_add(const std::string& scoped_name, OpRef delta) override;
+  VariableStore& variable_store() override { return *store_; }
+  Rng& rng() override { return *rng_; }
+
+  DType dtype(OpRef ref) const override;
+  Shape shape(OpRef ref) const override;
+  RefInfo info(int node_id) const override;
+  Tensor value(OpRef ref) const override;
+
+  // Inject an externally provided tensor (e.g. an execute() argument) as a
+  // tape literal.
+  OpRef literal(Tensor value) { return constant(std::move(value)); }
+
+  size_t tape_size() const { return tape_.size(); }
+
+ private:
+  struct TapeEntry {
+    std::string op;
+    std::vector<OpRef> inputs;
+    AttrMap attrs;
+    std::vector<Tensor> outputs;
+  };
+
+  std::vector<OpRef> record(TapeEntry entry);
+  Tensor fabricate(DType dtype, const Shape& shape) const;
+
+  std::vector<TapeEntry> tape_;
+  // Canonical read ref per variable (see static_context.h); invalidated on
+  // assignment so later reads observe the new value.
+  std::map<std::string, OpRef> var_reads_;
+  VariableStore* store_;
+  Rng* rng_;
+  bool build_mode_;
+  int64_t probe_batch_;
+};
+
+}  // namespace rlgraph

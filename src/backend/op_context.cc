@@ -1,0 +1,33 @@
+#include "backend/op_context.h"
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+OpRef OpContext::apply(const std::string& op, const std::vector<OpRef>& inputs,
+                       AttrMap attrs) {
+  std::vector<OpRef> out = apply_multi(op, inputs, std::move(attrs));
+  RLG_CHECK_MSG(out.size() == 1,
+                "apply() on multi-output op " << op << "; use apply_multi");
+  return out[0];
+}
+
+void OpContext::push_scope(const std::string& scope) {
+  scope_stack_.push_back(scope);
+}
+
+void OpContext::pop_scope() {
+  RLG_CHECK_MSG(!scope_stack_.empty(), "pop_scope on empty scope stack");
+  scope_stack_.pop_back();
+}
+
+std::string OpContext::current_scope() const {
+  std::string out;
+  for (const std::string& s : scope_stack_) {
+    if (!out.empty()) out += "/";
+    out += s;
+  }
+  return out;
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,210 @@
+// OpContext: the abstraction graph functions are written against.
+//
+// In the paper, graph functions are "the only places in the code where
+// backend dependent objects are used". In this C++ reproduction we go one
+// step further (the §4.2 "single-stream functions" vision): graph functions
+// are written once against OpContext and run unchanged on both backends.
+//
+//  * StaticGraphContext (TensorFlow analogue) records ops into a GraphDef;
+//    results are symbolic and evaluated later by a Session.
+//  * ImperativeContext (PyTorch analogue) evaluates kernels eagerly onto a
+//    tape; results are concrete tensors.
+//
+// Backend-specific graph-function overrides remain possible at the component
+// level (components may branch on ctx.backend()).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/node.h"
+#include "graph/op_schema.h"
+
+namespace rlgraph {
+
+enum class Backend { kStatic, kImperative };
+
+// A handle to one output of one recorded operation. For the static backend
+// this is literally a GraphDef endpoint; for the imperative backend it names
+// a tape entry output.
+struct OpRef {
+  int node = -1;
+  int index = 0;
+  bool valid() const { return node >= 0; }
+  bool operator==(const OpRef& o) const {
+    return node == o.node && index == o.index;
+  }
+  bool operator<(const OpRef& o) const {
+    return node != o.node ? node < o.node : index < o.index;
+  }
+};
+
+// Producer metadata for an OpRef; autodiff traverses the recorded program
+// through this interface, which is what makes one reverse-mode implementation
+// serve both backends.
+struct RefInfo {
+  int node_id = -1;
+  std::string op;
+  std::vector<OpRef> inputs;
+  AttrMap attrs;
+  std::vector<OpRef> outputs;
+};
+
+class OpContext {
+ public:
+  virtual ~OpContext() = default;
+
+  virtual Backend backend() const = 0;
+  bool is_static() const { return backend() == Backend::kStatic; }
+
+  // --- core recording -------------------------------------------------------
+  virtual std::vector<OpRef> apply_multi(const std::string& op,
+                                         const std::vector<OpRef>& inputs,
+                                         AttrMap attrs = {}) = 0;
+  OpRef apply(const std::string& op, const std::vector<OpRef>& inputs,
+              AttrMap attrs = {});
+
+  virtual OpRef constant(Tensor value) = 0;
+  // Named graph input. Static: creates a Placeholder node. Imperative build:
+  // fabricates an "artificial placeholder" tensor of the given signature
+  // (unknown dims -> a probe batch size), exactly the paper's PT build trick.
+  virtual OpRef placeholder(const std::string& name, DType dtype,
+                            Shape shape) = 0;
+
+  // Component-registered stateful op with an explicit output signature.
+  virtual std::vector<OpRef> apply_custom(const std::string& display_name,
+                                          CustomKernel kernel,
+                                          const std::vector<OpRef>& inputs,
+                                          std::vector<DType> out_dtypes,
+                                          std::vector<Shape> out_shapes) = 0;
+
+  // --- variables --------------------------------------------------------------
+  // Creates the variable in the shared store (must not already exist).
+  virtual void create_variable(const std::string& scoped_name,
+                               Tensor initial) = 0;
+  // Read the current value as a ref.
+  virtual OpRef variable(const std::string& scoped_name) = 0;
+  // Assignment ops; returned ref carries the assigned value and, in static
+  // mode, the side effect when executed.
+  virtual OpRef assign(const std::string& scoped_name, OpRef value) = 0;
+  virtual OpRef assign_add(const std::string& scoped_name, OpRef delta) = 0;
+  virtual VariableStore& variable_store() = 0;
+  // Deterministic per-executor RNG (weight init, build-time sampling).
+  virtual Rng& rng() = 0;
+
+  // --- introspection -----------------------------------------------------------
+  virtual DType dtype(OpRef ref) const = 0;
+  virtual Shape shape(OpRef ref) const = 0;
+  virtual RefInfo info(int node_id) const = 0;
+  // Concrete value; only valid on the imperative backend.
+  virtual Tensor value(OpRef ref) const = 0;
+
+  // --- scoping / devices --------------------------------------------------------
+  // Scope and device of subsequently recorded ops; managed per component by
+  // the graph builder ("RLgraph explicitly manages these properties per
+  // component").
+  void push_scope(const std::string& scope);
+  void pop_scope();
+  std::string current_scope() const;
+  void set_device(std::string device) { device_ = std::move(device); }
+  const std::string& device() const { return device_; }
+
+  // --- convenience op wrappers (shared by all graph functions) -------------------
+  OpRef add(OpRef a, OpRef b) { return apply("Add", {a, b}); }
+  OpRef sub(OpRef a, OpRef b) { return apply("Sub", {a, b}); }
+  OpRef mul(OpRef a, OpRef b) { return apply("Mul", {a, b}); }
+  OpRef div(OpRef a, OpRef b) { return apply("Div", {a, b}); }
+  OpRef minimum(OpRef a, OpRef b) { return apply("Minimum", {a, b}); }
+  OpRef maximum(OpRef a, OpRef b) { return apply("Maximum", {a, b}); }
+  OpRef neg(OpRef a) { return apply("Neg", {a}); }
+  OpRef exp(OpRef a) { return apply("Exp", {a}); }
+  OpRef log(OpRef a) { return apply("Log", {a}); }
+  OpRef sqrt(OpRef a) { return apply("Sqrt", {a}); }
+  OpRef square(OpRef a) { return apply("Square", {a}); }
+  OpRef abs(OpRef a) { return apply("Abs", {a}); }
+  OpRef relu(OpRef a) { return apply("Relu", {a}); }
+  OpRef sigmoid(OpRef a) { return apply("Sigmoid", {a}); }
+  OpRef tanh(OpRef a) { return apply("Tanh", {a}); }
+  OpRef identity(OpRef a) { return apply("Identity", {a}); }
+  OpRef stop_gradient(OpRef a) { return apply("StopGradient", {a}); }
+  OpRef matmul(OpRef a, OpRef b) { return apply("MatMul", {a, b}); }
+  OpRef equal(OpRef a, OpRef b) { return apply("Equal", {a, b}); }
+  OpRef greater(OpRef a, OpRef b) { return apply("Greater", {a, b}); }
+  OpRef less(OpRef a, OpRef b) { return apply("Less", {a, b}); }
+  OpRef where(OpRef cond, OpRef a, OpRef b) {
+    return apply("Where", {cond, a, b});
+  }
+  OpRef softmax(OpRef a) { return apply("Softmax", {a}); }
+  OpRef log_softmax(OpRef a) { return apply("LogSoftmax", {a}); }
+  OpRef argmax(OpRef a) { return apply("ArgMax", {a}); }
+  OpRef one_hot(OpRef idx, int64_t depth) {
+    return apply("OneHot", {idx}, {{"depth", depth}});
+  }
+  OpRef select_columns(OpRef values, OpRef idx) {
+    return apply("SelectColumns", {values, idx});
+  }
+  OpRef reduce_sum(OpRef a, int64_t axis = -1, bool keep_dims = false) {
+    return apply("ReduceSum", {a}, {{"axis", axis}, {"keep_dims", keep_dims}});
+  }
+  OpRef reduce_mean(OpRef a, int64_t axis = -1, bool keep_dims = false) {
+    return apply("ReduceMean", {a},
+                 {{"axis", axis}, {"keep_dims", keep_dims}});
+  }
+  OpRef reduce_max(OpRef a, int64_t axis = -1, bool keep_dims = false) {
+    return apply("ReduceMax", {a}, {{"axis", axis}, {"keep_dims", keep_dims}});
+  }
+  OpRef reshape(OpRef a, Shape target) {
+    return apply("Reshape", {a}, {{"shape", std::move(target)}});
+  }
+  OpRef expand_dims(OpRef a, int64_t axis) {
+    return apply("ExpandDims", {a}, {{"axis", axis}});
+  }
+  OpRef squeeze(OpRef a, int64_t axis) {
+    return apply("Squeeze", {a}, {{"axis", axis}});
+  }
+  OpRef concat(const std::vector<OpRef>& parts, int64_t axis) {
+    return apply("Concat", parts, {{"axis", axis}});
+  }
+  std::vector<OpRef> split(OpRef a, int64_t axis, std::vector<int64_t> sizes) {
+    return apply_multi("Split", {a},
+                       {{"axis", axis}, {"sizes", std::move(sizes)}});
+  }
+  OpRef cast(OpRef a, DType dtype) {
+    return apply("Cast", {a}, {{"dtype", dtype}});
+  }
+  OpRef clip(OpRef a, double lo, double hi) {
+    return apply("Clip", {a}, {{"lo", lo}, {"hi", hi}});
+  }
+  OpRef group(const std::vector<OpRef>& deps) { return apply("Group", deps); }
+  OpRef scalar(float v) { return constant(Tensor::scalar(v)); }
+  // zeros/ones with the same runtime shape as `like` (built from ops so it
+  // works symbolically).
+  OpRef zeros_like(OpRef like) { return mul(like, scalar(0.0f)); }
+  OpRef ones_like(OpRef like) { return add(zeros_like(like), scalar(1.0f)); }
+
+ private:
+  std::vector<std::string> scope_stack_;
+  std::string device_;
+};
+
+// Reverse-mode autodiff over the recorded program: d(loss)/d(xs).
+// Works on both backends through the OpContext interface. Missing gradient
+// paths yield zeros_like(x).
+std::vector<OpRef> gradients(OpContext& ctx, OpRef loss,
+                             const std::vector<OpRef>& xs);
+
+// Gradient (vjp) rule registry, populated in grad_rules.cc.
+using GradFn = std::function<std::vector<OpRef>(
+    OpContext& ctx, const RefInfo& fwd, const std::vector<OpRef>& grad_out)>;
+class GradRegistry {
+ public:
+  static GradRegistry& instance();
+  void register_grad(const std::string& op, GradFn fn);
+  const GradFn* lookup(const std::string& op) const;
+
+ private:
+  GradRegistry();
+  std::map<std::string, GradFn> grads_;
+};
+
+}  // namespace rlgraph

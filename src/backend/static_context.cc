@@ -1,0 +1,169 @@
+#include "backend/static_context.h"
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+StaticGraphContext::StaticGraphContext(VariableStore* store, Rng* rng)
+    : graph_(std::make_shared<GraphDef>()), store_(store), rng_(rng) {
+  RLG_REQUIRE(store != nullptr && rng != nullptr,
+              "StaticGraphContext requires a store and rng");
+}
+
+OpRef StaticGraphContext::emit(NodeDef node) {
+  std::string scope = current_scope();
+  if (!scope.empty()) node.name = scope + "/" + node.name;
+  if (node.device.empty()) node.device = device();
+  int id = graph_->add_node(std::move(node));
+  return OpRef{id, 0};
+}
+
+std::vector<OpRef> StaticGraphContext::apply_multi(
+    const std::string& op, const std::vector<OpRef>& inputs, AttrMap attrs) {
+  const OpSchema& schema = OpRegistry::instance().lookup(op);
+  NodeDef node;
+  node.op = op;
+  node.name = op;
+  node.attrs = std::move(attrs);
+  node.inputs.reserve(inputs.size());
+  ShapeInferenceContext sic;
+  sic.node = &node;
+  for (const OpRef& r : inputs) {
+    RLG_REQUIRE(r.valid(), "apply(" << op << "): invalid input ref");
+    node.inputs.push_back(Endpoint{r.node, r.index});
+    sic.input_dtypes.push_back(graph_->dtype_of({r.node, r.index}));
+    sic.input_shapes.push_back(graph_->shape_of({r.node, r.index}));
+  }
+  OpSignature sig = schema.shape_fn(sic);
+  node.out_dtypes = std::move(sig.dtypes);
+  node.out_shapes = std::move(sig.shapes);
+  node.stateful = schema.stateful;
+  OpRef first = emit(std::move(node));
+  std::vector<OpRef> out;
+  int n = graph_->node(first.node).num_outputs();
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(OpRef{first.node, i});
+  return out;
+}
+
+OpRef StaticGraphContext::constant(Tensor value) {
+  NodeDef node;
+  node.op = "Const";
+  node.name = "Const";
+  node.out_dtypes = {value.dtype()};
+  node.out_shapes = {value.shape()};
+  node.attrs["value"] = std::move(value);
+  return emit(std::move(node));
+}
+
+OpRef StaticGraphContext::placeholder(const std::string& name, DType dtype,
+                                      Shape shape) {
+  NodeDef node;
+  node.op = "Placeholder";
+  node.name = name.empty() ? "Placeholder" : name;
+  node.attrs["dtype"] = dtype;
+  node.attrs["shape"] = shape;
+  node.out_dtypes = {dtype};
+  node.out_shapes = {std::move(shape)};
+  return emit(std::move(node));
+}
+
+std::vector<OpRef> StaticGraphContext::apply_custom(
+    const std::string& display_name, CustomKernel kernel,
+    const std::vector<OpRef>& inputs, std::vector<DType> out_dtypes,
+    std::vector<Shape> out_shapes) {
+  RLG_REQUIRE(out_dtypes.size() == out_shapes.size() && !out_dtypes.empty(),
+              "apply_custom: invalid output signature");
+  NodeDef node;
+  node.op = "CustomStateful";
+  node.name = display_name;
+  node.custom_kernel = std::move(kernel);
+  node.stateful = true;
+  node.out_dtypes = std::move(out_dtypes);
+  node.out_shapes = std::move(out_shapes);
+  for (const OpRef& r : inputs) node.inputs.push_back({r.node, r.index});
+  OpRef first = emit(std::move(node));
+  std::vector<OpRef> out;
+  int n = graph_->node(first.node).num_outputs();
+  for (int i = 0; i < n; ++i) out.push_back(OpRef{first.node, i});
+  return out;
+}
+
+void StaticGraphContext::create_variable(const std::string& scoped_name,
+                                         Tensor initial) {
+  store_->create(scoped_name, std::move(initial));
+}
+
+OpRef StaticGraphContext::variable(const std::string& scoped_name) {
+  auto it = var_reads_.find(scoped_name);
+  if (it != var_reads_.end()) return it->second;
+  const Tensor& current = store_->get(scoped_name);
+  NodeDef node;
+  node.op = "Variable";
+  node.name = scoped_name + "/read";
+  node.attrs["var_name"] = scoped_name;
+  node.attrs["dtype"] = current.dtype();
+  node.attrs["shape"] = current.shape();
+  node.out_dtypes = {current.dtype()};
+  node.out_shapes = {current.shape()};
+  node.stateful = true;
+  OpRef ref = emit(std::move(node));
+  var_reads_[scoped_name] = ref;
+  return ref;
+}
+
+OpRef StaticGraphContext::assign(const std::string& scoped_name, OpRef value) {
+  const Tensor& current = store_->get(scoped_name);
+  NodeDef node;
+  node.op = "Assign";
+  node.name = scoped_name + "/assign";
+  node.attrs["var_name"] = scoped_name;
+  node.inputs = {{value.node, value.index}};
+  node.out_dtypes = {current.dtype()};
+  node.out_shapes = {graph_->shape_of({value.node, value.index})};
+  node.stateful = true;
+  return emit(std::move(node));
+}
+
+OpRef StaticGraphContext::assign_add(const std::string& scoped_name,
+                                     OpRef delta) {
+  const Tensor& current = store_->get(scoped_name);
+  NodeDef node;
+  node.op = "AssignAdd";
+  node.name = scoped_name + "/assign_add";
+  node.attrs["var_name"] = scoped_name;
+  node.inputs = {{delta.node, delta.index}};
+  node.out_dtypes = {current.dtype()};
+  node.out_shapes = {current.shape()};
+  node.stateful = true;
+  return emit(std::move(node));
+}
+
+DType StaticGraphContext::dtype(OpRef ref) const {
+  return graph_->dtype_of({ref.node, ref.index});
+}
+
+Shape StaticGraphContext::shape(OpRef ref) const {
+  return graph_->shape_of({ref.node, ref.index});
+}
+
+RefInfo StaticGraphContext::info(int node_id) const {
+  const NodeDef& n = graph_->node(node_id);
+  RefInfo out;
+  out.node_id = node_id;
+  out.op = n.op;
+  out.attrs = n.attrs;
+  for (const Endpoint& e : n.inputs) out.inputs.push_back({e.node, e.index});
+  for (int i = 0; i < n.num_outputs(); ++i) {
+    out.outputs.push_back(OpRef{node_id, i});
+  }
+  return out;
+}
+
+Tensor StaticGraphContext::value(OpRef) const {
+  throw ValueError(
+      "value() is not available on the static backend; run the op through a "
+      "session instead");
+}
+
+}  // namespace rlgraph

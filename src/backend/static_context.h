@@ -1,0 +1,61 @@
+// Static-graph backend: records operations into a GraphDef with shape
+// inference, scoping and device assignment. The TensorFlow analogue.
+#pragma once
+
+#include <memory>
+
+#include "backend/op_context.h"
+#include "graph/graph_def.h"
+
+namespace rlgraph {
+
+class StaticGraphContext : public OpContext {
+ public:
+  // The context borrows the store and rng (owned by the graph executor) and
+  // owns the graph under construction.
+  StaticGraphContext(VariableStore* store, Rng* rng);
+
+  Backend backend() const override { return Backend::kStatic; }
+
+  std::vector<OpRef> apply_multi(const std::string& op,
+                                 const std::vector<OpRef>& inputs,
+                                 AttrMap attrs) override;
+  OpRef constant(Tensor value) override;
+  OpRef placeholder(const std::string& name, DType dtype,
+                    Shape shape) override;
+  std::vector<OpRef> apply_custom(const std::string& display_name,
+                                  CustomKernel kernel,
+                                  const std::vector<OpRef>& inputs,
+                                  std::vector<DType> out_dtypes,
+                                  std::vector<Shape> out_shapes) override;
+
+  void create_variable(const std::string& scoped_name,
+                       Tensor initial) override;
+  OpRef variable(const std::string& scoped_name) override;
+  OpRef assign(const std::string& scoped_name, OpRef value) override;
+  OpRef assign_add(const std::string& scoped_name, OpRef delta) override;
+  VariableStore& variable_store() override { return *store_; }
+  Rng& rng() override { return *rng_; }
+
+  DType dtype(OpRef ref) const override;
+  Shape shape(OpRef ref) const override;
+  RefInfo info(int node_id) const override;
+  Tensor value(OpRef ref) const override;
+
+  // Graph access for the executor.
+  std::shared_ptr<GraphDef> graph() { return graph_; }
+  const GraphDef& graph_def() const { return *graph_; }
+
+ private:
+  OpRef emit(NodeDef node);
+
+  std::shared_ptr<GraphDef> graph_;
+  VariableStore* store_;
+  Rng* rng_;
+  // One canonical read node per variable: repeated variable() calls return
+  // the same ref, so gradient paths from losses to optimizer-held variable
+  // refs connect (autodiff matches refs by identity).
+  std::map<std::string, OpRef> var_reads_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,1 @@
+#include "baselines/dm_impala_like.h"

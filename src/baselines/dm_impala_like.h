@@ -1,0 +1,22 @@
+// DeepMind-reference IMPALA baseline configuration (paper §5.1, Fig. 9).
+//
+// Same pipeline as the RLgraph IMPALA executor, with the reference
+// implementation's inefficiencies: redundant per-step variable assignments
+// in the actor (removing them "yielded 20% improvement in a single-worker
+// setting") and non-batched per-tensor work on unstaged batches in the
+// learner.
+#pragma once
+
+#include "execution/impala_pipeline.h"
+
+namespace rlgraph {
+namespace baselines {
+
+inline ImpalaConfig dm_impala_like(ImpalaConfig config) {
+  config.redundant_assigns = true;
+  config.unbatched_unstage = true;
+  return config;
+}
+
+}  // namespace baselines
+}  // namespace rlgraph

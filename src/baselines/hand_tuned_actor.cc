@@ -1,0 +1,88 @@
+#include "baselines/hand_tuned_actor.h"
+
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+namespace {
+Tensor xavier(Rng& rng, const Shape& shape, int64_t fan_in, int64_t fan_out) {
+  double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return kernels::random_uniform(shape, -limit, limit, rng);
+}
+}  // namespace
+
+HandTunedActor::HandTunedActor(const Json& network_config,
+                               SpacePtr state_space, int64_t num_actions,
+                               uint64_t seed) {
+  Rng rng(seed);
+  RLG_REQUIRE(state_space != nullptr && state_space->is_box(),
+              "HandTunedActor requires a box state space");
+  Shape current = static_cast<const BoxSpace&>(*state_space).value_shape();
+
+  for (const Json& spec : network_config.as_array()) {
+    Layer layer;
+    const std::string type = spec.get_string("type", "dense");
+    layer.relu = spec.get_string("activation", "none") == "relu";
+    if (type == "conv2d") {
+      layer.kind = Layer::Kind::kConv;
+      int64_t k = spec.get_int("kernel", 3);
+      int64_t filters = spec.get_int("filters", 16);
+      layer.stride = static_cast<int>(spec.get_int("stride", 1));
+      int64_t cin = current.dim(2);
+      layer.weights = xavier(rng, Shape{k, k, cin, filters}, k * k * cin,
+                             k * k * filters);
+      layer.bias = Tensor::zeros(DType::kFloat32, Shape{filters});
+      int64_t oh = (current.dim(0) - k) / layer.stride + 1;
+      int64_t ow = (current.dim(1) - k) / layer.stride + 1;
+      current = Shape{oh, ow, filters};
+    } else {
+      layer.kind = Layer::Kind::kDense;
+      int64_t units = spec.get_int("units", 64);
+      int64_t fan_in = current.num_elements();
+      layer.weights = xavier(rng, Shape{fan_in, units}, fan_in, units);
+      layer.bias = Tensor::zeros(DType::kFloat32, Shape{units});
+      current = Shape{units};
+    }
+    layers_.push_back(std::move(layer));
+  }
+  int64_t features = current.num_elements();
+  v_weights_ = xavier(rng, Shape{features, 1}, features, 1);
+  v_bias_ = Tensor::zeros(DType::kFloat32, Shape{1});
+  a_weights_ = xavier(rng, Shape{features, num_actions}, features,
+                      num_actions);
+  a_bias_ = Tensor::zeros(DType::kFloat32, Shape{num_actions});
+}
+
+Tensor HandTunedActor::q_values(const Tensor& observations) const {
+  Tensor x = observations;
+  for (const Layer& layer : layers_) {
+    if (layer.kind == Layer::Kind::kConv) {
+      x = kernels::conv2d(x, layer.weights, layer.stride,
+                          /*same_padding=*/false);
+      x = kernels::add(x, layer.bias);
+    } else {
+      if (x.shape().rank() > 2) {
+        int64_t batch = x.shape().dim(0);
+        x = x.reshaped(Shape{batch, x.num_elements() / batch});
+      }
+      x = kernels::add(kernels::matmul(x, layer.weights), layer.bias);
+    }
+    if (layer.relu) x = kernels::relu(x);
+  }
+  if (x.shape().rank() > 2) {
+    int64_t batch = x.shape().dim(0);
+    x = x.reshaped(Shape{batch, x.num_elements() / batch});
+  }
+  Tensor v = kernels::add(kernels::matmul(x, v_weights_), v_bias_);
+  Tensor a = kernels::add(kernels::matmul(x, a_weights_), a_bias_);
+  Tensor mean_a = kernels::reduce_mean(a, 1, /*keep_dims=*/true);
+  return kernels::add(v, kernels::sub(a, mean_a));
+}
+
+Tensor HandTunedActor::act(const Tensor& observations) const {
+  return kernels::argmax(q_values(observations));
+}
+
+}  // namespace rlgraph

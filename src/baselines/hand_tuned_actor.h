@@ -1,0 +1,43 @@
+// Hand-tuned imperative actor (the "PT hand-tuned" baseline of Fig. 5b): a
+// bare-bones define-by-run forward pass written directly against the tensor
+// kernels — no components, no op dispatch, no framework bookkeeping. The gap
+// between this and the define-by-run RLgraph actor is the component-
+// traversal overhead the paper measures.
+#pragma once
+
+#include <vector>
+
+#include "spaces/space.h"
+#include "tensor/kernels.h"
+#include "util/json.h"
+#include "util/random.h"
+
+namespace rlgraph {
+
+class HandTunedActor {
+ public:
+  // Same JSON layer-list format as NeuralNetwork (conv2d / dense),
+  // terminated by an implicit dueling head with `num_actions` outputs.
+  HandTunedActor(const Json& network_config, SpacePtr state_space,
+                 int64_t num_actions, uint64_t seed = 1234);
+
+  // Greedy actions for a batch of observations.
+  Tensor act(const Tensor& observations) const;
+  // Q-values (for equivalence testing against the framework policy).
+  Tensor q_values(const Tensor& observations) const;
+
+ private:
+  struct Layer {
+    enum class Kind { kDense, kConv } kind;
+    Tensor weights;  // dense: [in, out]; conv: [k, k, cin, cout]
+    Tensor bias;
+    int stride = 1;
+    bool relu = false;
+  };
+
+  std::vector<Layer> layers_;
+  Tensor v_weights_, v_bias_;  // dueling value head
+  Tensor a_weights_, a_bias_;  // dueling advantage head
+};
+
+}  // namespace rlgraph

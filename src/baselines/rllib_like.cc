@@ -1,0 +1,1 @@
+#include "baselines/rllib_like.h"

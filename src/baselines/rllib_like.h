@@ -1,0 +1,24 @@
+// RLlib-like Ape-X baseline configuration (paper §5.1).
+//
+// Same algorithm, hyper-parameters and topology as the RLgraph executor, but
+// with the execution patterns the paper attributes RLlib's lower throughput
+// to: per-environment (unbatched) act calls in the policy evaluator and
+// incremental, multi-call post-processing of sample batches. The gap
+// emerges from the extra executor round-trips, not from an artificial
+// slowdown.
+#pragma once
+
+#include "execution/apex_executor.h"
+
+namespace rlgraph {
+namespace baselines {
+
+// Flip an RLgraph Ape-X config into the RLlib-like variant.
+inline ApexConfig rllib_like(ApexConfig config) {
+  config.act_per_env = true;
+  config.incremental_post_processing = true;
+  return config;
+}
+
+}  // namespace baselines
+}  // namespace rlgraph

@@ -1,0 +1,54 @@
+#include "components/exploration.h"
+
+#include "core/build_context.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+EpsilonGreedy::EpsilonGreedy(std::string name, int64_t num_actions,
+                             double eps_start, double eps_end,
+                             int64_t decay_steps)
+    : Component(std::move(name)), num_actions_(num_actions),
+      eps_start_(eps_start), eps_end_(eps_end), decay_steps_(decay_steps) {
+  RLG_REQUIRE(num_actions > 0, "EpsilonGreedy requires num_actions > 0");
+  RLG_REQUIRE(decay_steps > 0, "decay_steps must be positive");
+
+  // get_action(q_values [B, A]) -> actions [B]; increments the step counter
+  // once per executed call.
+  register_api(
+      "get_action",
+      [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 1, "get_action expects (q_values)");
+        return graph_fn(
+            ctx, "epsilon_greedy",
+            [this](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef q = in[0];
+              OpRef step =
+                  ops.assign_add(scope() + "/step", ops.scalar(1.0f));
+              OpRef frac = ops.div(
+                  step, ops.scalar(static_cast<float>(decay_steps_)));
+              OpRef eps = ops.maximum(
+                  ops.scalar(static_cast<float>(eps_end_)),
+                  ops.sub(ops.scalar(static_cast<float>(eps_start_)),
+                          ops.mul(ops.scalar(static_cast<float>(
+                                      eps_start_ - eps_end_)),
+                                  frac)));
+              // Per-row uniform draw with the batch's runtime shape.
+              OpRef row_stat = ops.reduce_max(q, 1);  // [B]
+              OpRef u = ops.apply("RandomUniformLike", {row_stat});
+              OpRef explore = ops.less(u, eps);  // [B] bool
+              OpRef random_action = ops.apply("RandomIntLike", {row_stat},
+                                              {{"n", num_actions_}});
+              OpRef greedy = ops.argmax(q);
+              return std::vector<OpRef>{
+                  ops.where(explore, random_action, greedy)};
+            },
+            inputs, 1, {IntBox(num_actions_)->with_batch_rank()});
+      });
+}
+
+void EpsilonGreedy::create_variables(BuildContext& ctx) {
+  create_var(ctx, "step", Tensor::scalar(0.0f));
+}
+
+}  // namespace rlgraph

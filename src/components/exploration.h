@@ -1,0 +1,27 @@
+// Exploration components. EpsilonGreedy keeps its decay step counter as a
+// graph variable, so exploration state lives inside the computation graph
+// like every other heuristic (all pre/post-processing and learning
+// heuristics are first-class components, paper §1 point 4).
+#pragma once
+
+#include "core/component.h"
+
+namespace rlgraph {
+
+class EpsilonGreedy : public Component {
+ public:
+  // Epsilon decays linearly from `eps_start` to `eps_end` over
+  // `decay_steps` act calls.
+  EpsilonGreedy(std::string name, int64_t num_actions, double eps_start = 1.0,
+                double eps_end = 0.05, int64_t decay_steps = 10000);
+
+  void create_variables(BuildContext& ctx) override;
+
+ private:
+  int64_t num_actions_;
+  double eps_start_;
+  double eps_end_;
+  int64_t decay_steps_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,205 @@
+#include "components/layers.h"
+
+#include <cmath>
+
+#include "core/build_context.h"
+#include "tensor/kernels.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+Activation activation_from_string(const std::string& name) {
+  if (name.empty() || name == "none" || name == "linear") {
+    return Activation::kNone;
+  }
+  if (name == "relu") return Activation::kRelu;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "softmax") return Activation::kSoftmax;
+  throw ConfigError("unknown activation: " + name);
+}
+
+OpRef apply_activation(OpContext& ops, Activation act, OpRef x) {
+  switch (act) {
+    case Activation::kNone: return x;
+    case Activation::kRelu: return ops.relu(x);
+    case Activation::kTanh: return ops.tanh(x);
+    case Activation::kSigmoid: return ops.sigmoid(x);
+    case Activation::kSoftmax: return ops.softmax(x);
+  }
+  return x;
+}
+
+namespace {
+
+// Glorot/Xavier uniform initialization.
+Tensor xavier(Rng& rng, const Shape& shape, int64_t fan_in, int64_t fan_out) {
+  double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return kernels::random_uniform(shape, -limit, limit, rng);
+}
+
+// Layers read variables from inside graph-fn bodies, where only the
+// OpContext is available; this resolves the scoped name directly.
+OpRef read_var_for(OpContext& ops, const Component& c,
+                   const std::string& name) {
+  return ops.variable(c.scope() + "/" + name);
+}
+
+const BoxSpace& input_box(const Component& c, const std::string& api) {
+  const std::vector<SpacePtr>& spaces = c.api_input_spaces(api);
+  RLG_REQUIRE(!spaces.empty() && spaces[0] != nullptr && spaces[0]->is_box(),
+              "layer '" << c.scope() << "' requires a box input space");
+  return static_cast<const BoxSpace&>(*spaces[0]);
+}
+
+}  // namespace
+
+// --- DenseLayer -----------------------------------------------------------------
+
+DenseLayer::DenseLayer(std::string name, int64_t units, Activation activation,
+                       bool use_bias)
+    : Component(std::move(name)), units_(units), activation_(activation),
+      use_bias_(use_bias) {
+  RLG_REQUIRE(units > 0, "DenseLayer units must be positive");
+  require_input_spaces({"apply"});
+
+  register_api("apply",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 RLG_REQUIRE(inputs.size() == 1, "dense apply expects (x)");
+                 return graph_fn(
+                     ctx, "apply",
+                     [this](OpContext& ops, const std::vector<OpRef>& in) {
+                       OpRef w = read_var_for(ops, *this, "weights");
+                       OpRef h = ops.matmul(in[0], w);
+                       if (use_bias_) {
+                         h = ops.add(h, read_var_for(ops, *this, "bias"));
+                       }
+                       return std::vector<OpRef>{
+                           apply_activation(ops, activation_, h)};
+                     },
+                     inputs);
+               });
+}
+
+void DenseLayer::create_variables(BuildContext& ctx) {
+  const BoxSpace& box = input_box(*this, "apply");
+  RLG_REQUIRE(box.value_shape().rank() == 1,
+              "DenseLayer expects rank-1 value inputs, got "
+                  << box.value_shape().to_string()
+                  << " — flatten spatial inputs first");
+  int64_t fan_in = box.value_shape().dim(0);
+  create_var(ctx, "weights",
+             xavier(ctx.ops().rng(), Shape{fan_in, units_}, fan_in, units_));
+  if (use_bias_) {
+    create_var(ctx, "bias", Tensor::zeros(DType::kFloat32, Shape{units_}));
+  }
+}
+
+// --- Conv2DLayer -----------------------------------------------------------------
+
+Conv2DLayer::Conv2DLayer(std::string name, int64_t filters,
+                         int64_t kernel_size, int64_t stride,
+                         bool same_padding, Activation activation)
+    : Component(std::move(name)), filters_(filters), kernel_size_(kernel_size),
+      stride_(stride), same_padding_(same_padding), activation_(activation) {
+  RLG_REQUIRE(filters > 0 && kernel_size > 0 && stride > 0,
+              "invalid Conv2D configuration");
+  require_input_spaces({"apply"});
+
+  register_api(
+      "apply", [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 1, "conv apply expects (x)");
+        return graph_fn(
+            ctx, "apply",
+            [this](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef f = read_var_for(ops, *this, "filters");
+              OpRef h = ops.apply("Conv2D", {in[0], f},
+                                  {{"stride", stride_},
+                                   {"same_padding", same_padding_}});
+              h = ops.add(h, read_var_for(ops, *this, "bias"));
+              return std::vector<OpRef>{apply_activation(ops, activation_, h)};
+            },
+            inputs);
+      });
+}
+
+void Conv2DLayer::create_variables(BuildContext& ctx) {
+  const BoxSpace& box = input_box(*this, "apply");
+  RLG_REQUIRE(box.value_shape().rank() == 3,
+              "Conv2DLayer expects [H, W, C] value inputs, got "
+                  << box.value_shape().to_string());
+  int64_t cin = box.value_shape().dim(2);
+  int64_t fan_in = kernel_size_ * kernel_size_ * cin;
+  int64_t fan_out = kernel_size_ * kernel_size_ * filters_;
+  create_var(ctx, "filters",
+             xavier(ctx.ops().rng(),
+                    Shape{kernel_size_, kernel_size_, cin, filters_}, fan_in,
+                    fan_out));
+  create_var(ctx, "bias", Tensor::zeros(DType::kFloat32, Shape{filters_}));
+}
+
+// --- LSTMLayer --------------------------------------------------------------------
+
+LSTMLayer::LSTMLayer(std::string name, int64_t units)
+    : Component(std::move(name)), units_(units) {
+  RLG_REQUIRE(units > 0, "LSTMLayer units must be positive");
+  require_input_spaces({"apply"});
+
+  register_api(
+      "apply", [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 1, "lstm apply expects (x)");
+        return graph_fn(
+            ctx, "apply",
+            [this](OpContext& ops, const std::vector<OpRef>& in) {
+              // x: [B, T, F] with T statically known.
+              std::vector<int64_t> sizes(static_cast<size_t>(time_steps_), 1);
+              std::vector<OpRef> steps = ops.split(in[0], 1, sizes);
+              // Zero initial state: [B, units] built from the first step.
+              OpRef x0 = ops.squeeze(steps[0], 1);
+              OpRef zeros_fxu = ops.constant(
+                  Tensor::zeros(DType::kFloat32, Shape{features_, units_}));
+              OpRef h = ops.matmul(x0, zeros_fxu);
+              OpRef c = h;
+              OpRef w = read_var_for(ops, *this, "weights");
+              OpRef b = read_var_for(ops, *this, "bias");
+              std::vector<OpRef> outputs;
+              outputs.reserve(static_cast<size_t>(time_steps_));
+              for (int64_t t = 0; t < time_steps_; ++t) {
+                OpRef xt = ops.squeeze(steps[static_cast<size_t>(t)], 1);
+                OpRef gates =
+                    ops.add(ops.matmul(ops.concat({xt, h}, 1), w), b);
+                std::vector<OpRef> parts =
+                    ops.split(gates, 1, {units_, units_, units_, units_});
+                OpRef i = ops.sigmoid(parts[0]);
+                OpRef f = ops.sigmoid(parts[1]);
+                OpRef g = ops.tanh(parts[2]);
+                OpRef o = ops.sigmoid(parts[3]);
+                c = ops.add(ops.mul(f, c), ops.mul(i, g));
+                h = ops.mul(o, ops.tanh(c));
+                outputs.push_back(ops.expand_dims(h, 1));
+              }
+              return std::vector<OpRef>{ops.concat(outputs, 1)};
+            },
+            inputs);
+      });
+}
+
+void LSTMLayer::create_variables(BuildContext& ctx) {
+  const BoxSpace& box = input_box(*this, "apply");
+  RLG_REQUIRE(box.value_shape().rank() == 2,
+              "LSTMLayer expects [T, F] value inputs (time in the value "
+              "shape), got " << box.value_shape().to_string());
+  time_steps_ = box.value_shape().dim(0);
+  features_ = box.value_shape().dim(1);
+  int64_t fan_in = features_ + units_;
+  create_var(ctx, "weights",
+             xavier(ctx.ops().rng(), Shape{fan_in, 4 * units_}, fan_in,
+                    4 * units_));
+  // Forget-gate bias initialized to 1 (standard practice).
+  Tensor bias = Tensor::zeros(DType::kFloat32, Shape{4 * units_});
+  float* pb = bias.mutable_data<float>();
+  for (int64_t i = units_; i < 2 * units_; ++i) pb[i] = 1.0f;
+  create_var(ctx, "bias", std::move(bias));
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,66 @@
+// Neural-network layer components: Dense, Conv2D, LSTM.
+//
+// Each layer is a Component whose variables are created behind the input-
+// completeness barrier from the input space recorded at its "apply" API —
+// users never declare inner dimensions manually (paper §3.3: "the method is
+// called automatically and receives types and shapes of variables as input
+// arguments").
+#pragma once
+
+#include <string>
+
+#include "core/component.h"
+
+namespace rlgraph {
+
+enum class Activation { kNone, kRelu, kTanh, kSigmoid, kSoftmax };
+Activation activation_from_string(const std::string& name);
+OpRef apply_activation(OpContext& ops, Activation act, OpRef x);
+
+class DenseLayer : public Component {
+ public:
+  DenseLayer(std::string name, int64_t units,
+             Activation activation = Activation::kNone, bool use_bias = true);
+
+  void create_variables(BuildContext& ctx) override;
+  int64_t units() const { return units_; }
+
+ private:
+  int64_t units_;
+  Activation activation_;
+  bool use_bias_;
+};
+
+class Conv2DLayer : public Component {
+ public:
+  Conv2DLayer(std::string name, int64_t filters, int64_t kernel_size,
+              int64_t stride, bool same_padding = false,
+              Activation activation = Activation::kNone);
+
+  void create_variables(BuildContext& ctx) override;
+
+ private:
+  int64_t filters_;
+  int64_t kernel_size_;
+  int64_t stride_;
+  bool same_padding_;
+  Activation activation_;
+};
+
+// Statically unrolled LSTM over the time axis of [batch, time, features]
+// inputs. The time extent must be part of the declared value shape (as in
+// the fixed-rollout IMPALA pipeline).
+class LSTMLayer : public Component {
+ public:
+  LSTMLayer(std::string name, int64_t units);
+
+  void create_variables(BuildContext& ctx) override;
+  int64_t units() const { return units_; }
+
+ private:
+  int64_t units_;
+  int64_t time_steps_ = 0;
+  int64_t features_ = 0;
+};
+
+}  // namespace rlgraph

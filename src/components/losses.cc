@@ -1,0 +1,64 @@
+#include "components/losses.h"
+
+#include "core/build_context.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+DQNLoss::DQNLoss(std::string name, double discount, bool double_dqn,
+                 double huber_delta)
+    : Component(std::move(name)), discount_(discount),
+      double_dqn_(double_dqn), huber_delta_(huber_delta) {
+  // get_loss(q_values [B,A], actions [B], rewards [B],
+  //          q_next_target [B,A], q_next_online [B,A], terminals [B] bool,
+  //          importance_weights [B]) -> (loss scalar, |td| [B])
+  register_api(
+      "get_loss",
+      [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 7,
+                    "get_loss expects (q, actions, rewards, q_next_target, "
+                    "q_next_online, terminals, weights)");
+        return graph_fn(
+            ctx, "dqn_loss",
+            [this](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef q = in[0], actions = in[1], rewards = in[2];
+              OpRef q_next_t = in[3], q_next_o = in[4];
+              OpRef terminals = in[5], weights = in[6];
+
+              OpRef q_sa = ops.select_columns(q, actions);
+              OpRef next_value;
+              if (double_dqn_) {
+                // Action selection by the online net, evaluation by the
+                // target net.
+                OpRef best = ops.argmax(q_next_o);
+                next_value = ops.select_columns(q_next_t, best);
+              } else {
+                next_value = ops.reduce_max(q_next_t, 1);
+              }
+              OpRef not_terminal = ops.sub(
+                  ops.scalar(1.0f), ops.cast(terminals, DType::kFloat32));
+              OpRef target = ops.add(
+                  rewards,
+                  ops.mul(ops.scalar(static_cast<float>(discount_)),
+                          ops.mul(not_terminal, next_value)));
+              target = ops.stop_gradient(target);
+
+              OpRef td = ops.sub(q_sa, target);
+              OpRef abs_td = ops.abs(td);
+              // Huber loss.
+              OpRef delta = ops.scalar(static_cast<float>(huber_delta_));
+              OpRef quadratic =
+                  ops.mul(ops.scalar(0.5f), ops.square(td));
+              OpRef linear = ops.mul(
+                  delta, ops.sub(abs_td, ops.mul(ops.scalar(0.5f), delta)));
+              OpRef huber =
+                  ops.where(ops.less(abs_td, delta), quadratic, linear);
+              OpRef loss = ops.reduce_mean(ops.mul(weights, huber));
+              return std::vector<OpRef>{loss, abs_td};
+            },
+            inputs, 2,
+            {FloatBox(), FloatBox()->with_batch_rank()});
+      });
+}
+
+}  // namespace rlgraph

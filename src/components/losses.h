@@ -1,0 +1,22 @@
+// Loss components. DQNLoss covers plain, double and n-step Q-learning with
+// Huber loss and importance-weighted TD errors (the Ape-X learner's loss).
+#pragma once
+
+#include "core/component.h"
+
+namespace rlgraph {
+
+class DQNLoss : public Component {
+ public:
+  // `discount` is gamma^n for n-step targets (callers pre-accumulate the
+  // n-step reward worker-side).
+  DQNLoss(std::string name, double discount, bool double_dqn = true,
+          double huber_delta = 1.0);
+
+ private:
+  double discount_;
+  bool double_dqn_;
+  double huber_delta_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,331 @@
+#include "components/memories.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "core/build_context.h"
+#include "tensor/kernels.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+namespace {
+
+// Copy a batch of record rows into the ring buffers; returns the written
+// row indices.
+Tensor insert_rows(MemoryState& state, const std::vector<Tensor>& leaves) {
+  RLG_REQUIRE(!leaves.empty(), "insert_records with no leaves");
+  int64_t batch = leaves[0].shape().dim(0);
+  for (const Tensor& leaf : leaves) {
+    RLG_REQUIRE(leaf.shape().rank() >= 1 && leaf.shape().dim(0) == batch,
+                "record leaves disagree on batch size");
+  }
+  Tensor indices(DType::kInt32, Shape{batch});
+  int32_t* pi = indices.mutable_data<int32_t>();
+  for (int64_t b = 0; b < batch; ++b) {
+    int64_t row = state.next_index;
+    pi[b] = static_cast<int32_t>(row);
+    for (size_t l = 0; l < leaves.size(); ++l) {
+      Tensor& buf = state.buffers[l];
+      const Tensor& leaf = leaves[l];
+      size_t row_bytes = buf.byte_size() / static_cast<size_t>(state.capacity);
+      RLG_REQUIRE(leaf.byte_size() / static_cast<size_t>(batch) == row_bytes,
+                  "record leaf " << l << " row size mismatch");
+      std::memcpy(static_cast<uint8_t*>(buf.mutable_raw()) +
+                      static_cast<size_t>(row) * row_bytes,
+                  static_cast<const uint8_t*>(leaf.raw()) +
+                      static_cast<size_t>(b) * row_bytes,
+                  row_bytes);
+    }
+    state.next_index = (state.next_index + 1) % state.capacity;
+    state.size = std::min(state.size + 1, state.capacity);
+  }
+  return indices;
+}
+
+// Gather rows from the buffers for the given indices.
+std::vector<Tensor> read_rows(const MemoryState& state,
+                              const Tensor& indices) {
+  std::vector<Tensor> out;
+  out.reserve(state.buffers.size());
+  for (const Tensor& buf : state.buffers) {
+    out.push_back(kernels::gather_rows(buf, indices));
+  }
+  return out;
+}
+
+}  // namespace
+
+MemoryBase::MemoryBase(std::string name, int64_t capacity)
+    : Component(std::move(name)), state_(std::make_shared<MemoryState>()) {
+  RLG_REQUIRE(capacity > 0, "memory capacity must be positive");
+  state_->capacity = capacity;
+  require_input_spaces({"insert_records"});
+}
+
+void MemoryBase::create_variables(BuildContext&) {
+  const std::vector<SpacePtr>& spaces = api_input_spaces("insert_records");
+  RLG_REQUIRE(!spaces.empty(), "insert_records spaces missing");
+  const SpacePtr& record_space = spaces[0];
+  std::vector<std::pair<std::string, SpacePtr>> leaves;
+  record_space->flatten(&leaves);
+  for (const auto& [path, leaf] : leaves) {
+    RLG_REQUIRE(leaf->is_box(), "record leaves must be boxes");
+    const auto& box = static_cast<const BoxSpace&>(*leaf);
+    RLG_REQUIRE(box.has_batch_rank(),
+                "records must carry a batch rank (leaf '" << path << "')");
+    leaf_spaces_.push_back(box.with_ranks(false, false));
+    Shape buf_shape = Shape{state_->capacity}.concat(box.value_shape());
+    state_->buffers.push_back(Tensor::zeros(box.dtype(), buf_shape));
+  }
+}
+
+std::vector<SpacePtr> MemoryBase::batched_leaf_spaces() const {
+  std::vector<SpacePtr> out;
+  out.reserve(leaf_spaces_.size());
+  for (const SpacePtr& s : leaf_spaces_) {
+    out.push_back(s->with_ranks(true, false));
+  }
+  return out;
+}
+
+OpRecs MemoryBase::split_record(const OpRec& record) {
+  OpRecs out;
+  if (record.space == nullptr) {
+    // Assembly phase: keep one abstract record per (unknown) leaf; use a
+    // single record since arity is unknown without spaces.
+    out.emplace_back();
+    return out;
+  }
+  std::vector<std::pair<std::string, SpacePtr>> leaves;
+  record.space->flatten(&leaves);
+  RLG_REQUIRE(record.abstract() || record.ops.size() == leaves.size(),
+              "record refs out of sync with record space");
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    OpRec leaf;
+    leaf.space = leaves[i].second;
+    if (!record.abstract()) leaf.ops = {record.ops[i]};
+    out.push_back(std::move(leaf));
+  }
+  return out;
+}
+
+// --- RingMemory ---------------------------------------------------------------
+
+RingMemory::RingMemory(std::string name, int64_t capacity)
+    : MemoryBase(std::move(name), capacity) {
+  register_api("insert_records",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 RLG_REQUIRE(inputs.size() == 2,
+                             "insert_records expects (records, priorities)");
+                 OpRecs leaves = split_record(inputs[0]);
+                 auto state = state_;
+                 CustomKernel kernel = [state](const std::vector<Tensor>& in) {
+                   Tensor idx = insert_rows(*state, in);
+                   return std::vector<Tensor>{Tensor::scalar_int(
+                       static_cast<int32_t>(idx.num_elements()))};
+                 };
+                 return graph_fn_custom(ctx, "insert", kernel, leaves,
+                                        {IntBox(1 << 30)});
+               });
+
+  register_api(
+      "get_records",
+      [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 1, "get_records expects (n)");
+        // Output arity depends on the record space, which is unknown until
+        // the build phase provides input spaces.
+        if (ctx.assembling()) return OpRecs(3);
+        auto state = state_;
+        Rng* rng = &ctx.ops().rng();
+        CustomKernel kernel = [state, rng](const std::vector<Tensor>& in) {
+          int64_t n = static_cast<int64_t>(in[0].scalar_value());
+          RLG_REQUIRE(state->size > 0, "sampling from empty memory");
+          Tensor idx(DType::kInt32, Shape{n});
+          int32_t* pi = idx.mutable_data<int32_t>();
+          for (int64_t i = 0; i < n; ++i) {
+            pi[i] = static_cast<int32_t>(rng->uniform_int(state->size));
+          }
+          std::vector<Tensor> out = read_rows(*state, idx);
+          out.push_back(idx);
+          out.push_back(
+              Tensor::filled(DType::kFloat32, Shape{n}, 1.0));  // weights
+          return out;
+        };
+        std::vector<SpacePtr> out_spaces = batched_leaf_spaces();
+        out_spaces.push_back(IntBox(1 << 30)->with_batch_rank());
+        out_spaces.push_back(FloatBox()->with_batch_rank());
+        return graph_fn_custom(ctx, "sample", kernel, inputs, out_spaces);
+      });
+
+  register_api("update_records",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 // Uniform memory: priority updates are a no-op, kept for a
+                 // uniform agent-facing API.
+                 RLG_REQUIRE(inputs.size() == 2,
+                             "update_records expects (indices, priorities)");
+                 CustomKernel kernel = [](const std::vector<Tensor>& in) {
+                   return std::vector<Tensor>{Tensor::scalar_int(
+                       static_cast<int32_t>(in[0].num_elements()))};
+                 };
+                 return graph_fn_custom(ctx, "update", kernel, inputs,
+                                        {IntBox(1 << 30)});
+               });
+
+  register_api("get_size",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 auto state = state_;
+                 CustomKernel kernel = [state](const std::vector<Tensor>&) {
+                   return std::vector<Tensor>{Tensor::scalar_int(
+                       static_cast<int32_t>(state->size))};
+                 };
+                 return graph_fn_custom(ctx, "size", kernel, inputs,
+                                        {IntBox(1 << 30)});
+               });
+}
+
+// --- PrioritizedReplay -----------------------------------------------------------
+
+PrioritizedReplay::PrioritizedReplay(std::string name, int64_t capacity,
+                                     double alpha, double beta)
+    : MemoryBase(std::move(name), capacity), alpha_(alpha), beta_(beta) {
+  tree_ = add_component(
+      std::make_shared<SegmentTreeComponent>("segment-tree", capacity));
+
+  // insert_records(records, priorities[B]); priorities enter the sum tree as
+  // (p + eps)^alpha, computed with in-graph ops.
+  register_api(
+      "insert_records",
+      [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 2,
+                    "insert_records expects (records, priorities)");
+        OpRecs leaves = split_record(inputs[0]);
+        auto state = state_;
+        CustomKernel kernel = [state](const std::vector<Tensor>& in) {
+          return std::vector<Tensor>{insert_rows(*state, in)};
+        };
+        OpRecs written = graph_fn_custom(
+            ctx, "insert", kernel, leaves,
+            {IntBox(1 << 30)->with_batch_rank()});
+
+        // p_adj = (|p| + eps)^alpha, tracked for max-priority bookkeeping.
+        double alpha = alpha_;
+        OpRecs adjusted = graph_fn(
+            ctx, "adjust_priorities",
+            [alpha, state](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef eps = ops.scalar(1e-6f);
+              OpRef base = ops.add(ops.abs(in[0]), eps);
+              OpRef padj = ops.exp(
+                  ops.mul(ops.scalar(static_cast<float>(alpha)),
+                          ops.log(base)));
+              return std::vector<OpRef>{padj};
+            },
+            {inputs[1]});
+
+        // Track max priority for new-record defaults via a tiny stateful op.
+        CustomKernel track = [state](const std::vector<Tensor>& in) {
+          for (int64_t i = 0; i < in[0].num_elements(); ++i) {
+            state->max_priority =
+                std::max(state->max_priority, in[0].at_flat(i));
+          }
+          return std::vector<Tensor>{in[0]};
+        };
+        OpRecs tracked =
+            graph_fn_custom(ctx, "track_max", track, {adjusted[0]},
+                            {FloatBox()->with_batch_rank()});
+
+        OpRecs updated =
+            tree_->call_api(ctx, "update", {written[0], tracked[0]});
+        return updated;
+      });
+
+  register_api(
+      "get_records",
+      [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 1, "get_records expects (n)");
+        // See RingMemory::get_records: arity unknown during assembly.
+        if (ctx.assembling()) return OpRecs(3);
+        auto state = state_;
+        CustomKernel size_kernel = [state](const std::vector<Tensor>&) {
+          return std::vector<Tensor>{
+              Tensor::scalar_int(static_cast<int32_t>(state->size))};
+        };
+        OpRecs size = graph_fn_custom(ctx, "size", size_kernel, {},
+                                      {IntBox(1 << 30)});
+
+        OpRecs indices =
+            tree_->call_api(ctx, "sample_proportional", {inputs[0], size[0]});
+
+        CustomKernel read = [state](const std::vector<Tensor>& in) {
+          RLG_REQUIRE(state->size > 0, "sampling from empty memory");
+          return read_rows(*state, in[0]);
+        };
+        OpRecs leaves = graph_fn_custom(ctx, "read", read, {indices[0]},
+                                        batched_leaf_spaces());
+
+        // Importance weights: ((N * P(i))^-beta) / max_w.
+        double beta = beta_;
+        auto sum_tree = &tree_->sum_tree();
+        auto min_tree = &tree_->min_tree();
+        CustomKernel weight_kernel = [state, beta, sum_tree, min_tree](
+                                         const std::vector<Tensor>& in) {
+          const Tensor& idx = in[0];
+          double total = sum_tree->sum(0, std::max<int64_t>(state->size, 1));
+          double p_min =
+              std::max(min_tree->min(0, std::max<int64_t>(state->size, 1)),
+                       1e-12);
+          double max_w = std::pow(
+              static_cast<double>(state->size) * (p_min / total), -beta);
+          Tensor w(DType::kFloat32, idx.shape());
+          float* pw = w.mutable_data<float>();
+          const int32_t* pi = idx.data<int32_t>();
+          for (int64_t i = 0; i < idx.num_elements(); ++i) {
+            double p = std::max(sum_tree->get(pi[i]), 1e-12) / total;
+            pw[i] = static_cast<float>(
+                std::pow(static_cast<double>(state->size) * p, -beta) /
+                max_w);
+          }
+          return std::vector<Tensor>{w};
+        };
+        OpRecs weights =
+            graph_fn_custom(ctx, "weights", weight_kernel, {indices[0]},
+                            {FloatBox()->with_batch_rank()});
+
+        OpRecs out = std::move(leaves);
+        out.push_back(indices[0]);
+        out.push_back(weights[0]);
+        return out;
+      });
+
+  register_api(
+      "update_records",
+      [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 2,
+                    "update_records expects (indices, priorities)");
+        double alpha = alpha_;
+        OpRecs adjusted = graph_fn(
+            ctx, "adjust_priorities",
+            [alpha](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef eps = ops.scalar(1e-6f);
+              OpRef base = ops.add(ops.abs(in[0]), eps);
+              return std::vector<OpRef>{
+                  ops.exp(ops.mul(ops.scalar(static_cast<float>(alpha)),
+                                  ops.log(base)))};
+            },
+            {inputs[1]});
+        return tree_->call_api(ctx, "update", {inputs[0], adjusted[0]});
+      });
+
+  register_api("get_size",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 auto state = state_;
+                 CustomKernel kernel = [state](const std::vector<Tensor>&) {
+                   return std::vector<Tensor>{Tensor::scalar_int(
+                       static_cast<int32_t>(state->size))};
+                 };
+                 return graph_fn_custom(ctx, "size", kernel, inputs,
+                                        {IntBox(1 << 30)});
+               });
+}
+
+}  // namespace rlgraph

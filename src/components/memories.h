@@ -1,0 +1,83 @@
+// Replay memory components (paper Fig. 2).
+//
+// Memories are generic over their record structure: the record space is
+// inferred from the first insert_records call (the input-completeness
+// barrier guarantees buffers exist before any sampling graph function runs).
+// Record state lives behind custom stateful kernels — the C++ analogue of
+// TF variables managed through in-graph control flow — while priority math
+// (the alpha exponent) runs through ordinary differentiable ops.
+//
+// API surface (shared by both memories so agents can swap them via config):
+//   insert_records(records, priorities) -> count
+//   get_records(n)   -> record leaves..., indices, importance weights
+//   update_records(indices, priorities) -> count
+//   get_size()       -> current number of stored records
+#pragma once
+
+#include <memory>
+
+#include "components/segment_tree.h"
+#include "core/component.h"
+
+namespace rlgraph {
+
+// State shared by the memory's custom kernels.
+struct MemoryState {
+  std::vector<Tensor> buffers;  // one [capacity, ...] tensor per record leaf
+  int64_t capacity = 0;
+  int64_t size = 0;
+  int64_t next_index = 0;
+  double max_priority = 1.0;
+};
+
+// Common base wiring record buffers; subclasses add their sampling strategy.
+class MemoryBase : public Component {
+ public:
+  MemoryBase(std::string name, int64_t capacity);
+
+  void create_variables(BuildContext& ctx) override;
+
+  int64_t capacity() const { return state_->capacity; }
+  int64_t size() const { return state_->size; }
+
+ protected:
+  // Record leaf spaces (without batch rank), available after the barrier.
+  const std::vector<SpacePtr>& record_leaf_spaces() const {
+    return leaf_spaces_;
+  }
+  // Leaf spaces re-flagged with a batch rank (sampling output signature).
+  std::vector<SpacePtr> batched_leaf_spaces() const;
+
+  // Splits a container record into single-leaf OpRecs for kernel calls.
+  static OpRecs split_record(const OpRec& record);
+
+  // Kernel helpers over the shared state.
+  std::shared_ptr<MemoryState> state_;
+
+ private:
+  std::vector<SpacePtr> leaf_spaces_;
+};
+
+// Uniform-sampling FIFO ring buffer.
+class RingMemory : public MemoryBase {
+ public:
+  RingMemory(std::string name, int64_t capacity);
+};
+
+// Prioritized replay: proportional sampling via a segment-tree sub-component
+// with importance-sampling weights (Schaul et al. semantics as used by
+// Ape-X).
+class PrioritizedReplay : public MemoryBase {
+ public:
+  PrioritizedReplay(std::string name, int64_t capacity, double alpha = 0.6,
+                    double beta = 0.4);
+
+  SegmentTreeComponent& segment_tree() { return *tree_; }
+
+ private:
+  double alpha_;
+  double beta_;
+  SegmentTreeComponent* tree_;  // owned via sub-component list
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,68 @@
+#include "components/neural_network.h"
+
+#include "components/layers.h"
+#include "core/build_context.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+NeuralNetwork::NeuralNetwork(std::string name, const Json& layer_config)
+    : Component(std::move(name)) {
+  RLG_REQUIRE(layer_config.is_array(), "network config must be a layer list");
+  int index = 0;
+  for (const Json& spec : layer_config.as_array()) {
+    const std::string type = spec.get_string("type", "dense");
+    std::string lname = spec.get_string("name",
+                                        type + "-" + std::to_string(index));
+    if (type == "dense") {
+      auto* layer = add_component(std::make_shared<DenseLayer>(
+          lname, spec.get_int("units", 64),
+          activation_from_string(spec.get_string("activation", "none"))));
+      output_units_ = layer->units();
+      layers_.push_back(layer);
+    } else if (type == "conv2d") {
+      layers_.push_back(add_component(std::make_shared<Conv2DLayer>(
+          lname, spec.get_int("filters", 16), spec.get_int("kernel", 3),
+          spec.get_int("stride", 1), spec.get_bool("same_padding", false),
+          activation_from_string(spec.get_string("activation", "none")))));
+      output_units_ = 0;  // spatial; a following dense/flatten resolves it
+    } else if (type == "lstm") {
+      auto* layer = add_component(
+          std::make_shared<LSTMLayer>(lname, spec.get_int("units", 64)));
+      output_units_ = layer->units();
+      layers_.push_back(layer);
+    } else {
+      throw ConfigError("unknown layer type: " + type);
+    }
+    ++index;
+  }
+
+  register_api(
+      "apply", [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 1, "network apply expects (x)");
+        OpRec current = inputs[0];
+        for (Component* layer : layers_) {
+          // Auto-flatten spatial activations before dense layers.
+          bool needs_flatten =
+              dynamic_cast<DenseLayer*>(layer) != nullptr &&
+              current.space != nullptr && current.space->is_box() &&
+              static_cast<const BoxSpace&>(*current.space)
+                      .value_shape().rank() > 1;
+          if (needs_flatten) {
+            const auto& box = static_cast<const BoxSpace&>(*current.space);
+            int64_t flat = box.value_shape().num_elements();
+            current = graph_fn(
+                ctx, "flatten",
+                [flat](OpContext& ops, const std::vector<OpRef>& in) {
+                  return std::vector<OpRef>{
+                      ops.reshape(in[0], Shape{kUnknownDim, flat})};
+                },
+                {current})[0];
+          }
+          current = layer->call_api(ctx, "apply", {current})[0];
+        }
+        return OpRecs{current};
+      });
+}
+
+}  // namespace rlgraph

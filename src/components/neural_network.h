@@ -1,0 +1,32 @@
+// NeuralNetwork: a JSON-configurable stack of layer components with a single
+// "apply" API. Mirrors the paper's declarative network configuration
+// ("network with list of layers").
+//
+// Config example:
+//   [{"type": "conv2d", "filters": 16, "kernel": 4, "stride": 2,
+//     "activation": "relu"},
+//    {"type": "dense", "units": 128, "activation": "relu"}]
+//
+// A flatten step is inserted automatically when a dense layer follows a
+// spatial (rank > 1) activation.
+#pragma once
+
+#include "core/component.h"
+#include "util/json.h"
+
+namespace rlgraph {
+
+class NeuralNetwork : public Component {
+ public:
+  NeuralNetwork(std::string name, const Json& layer_config);
+
+  // Output feature count of the final layer (needed by heads); valid for
+  // dense/lstm-terminated stacks.
+  int64_t output_units() const { return output_units_; }
+
+ private:
+  std::vector<Component*> layers_;
+  int64_t output_units_ = 0;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,189 @@
+#include "components/optimizers.h"
+
+#include "core/build_context.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+namespace {
+
+// Recover the scoped variable name behind a Variable-read ref.
+std::string var_name_of(OpContext& ops, OpRef ref) {
+  RefInfo info = ops.info(ref.node);
+  RLG_REQUIRE(info.op == "Variable",
+              "optimizer step received a non-variable ref (op "
+                  << info.op << "); pass policy variable reads");
+  return attr_string(info.attrs, "var_name");
+}
+
+}  // namespace
+
+Optimizer::Optimizer(std::string name, double learning_rate,
+                     double clip_grad_norm)
+    : Component(std::move(name)), learning_rate_(learning_rate),
+      clip_grad_norm_(clip_grad_norm) {
+  RLG_REQUIRE(learning_rate > 0.0, "learning rate must be positive");
+
+  // step(loss, var_0, var_1, ...) -> (update_group, loss)
+  register_api(
+      "step", [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(!inputs.empty(), "step expects (loss, variables...)");
+        return graph_fn(
+            ctx, "step",
+            [this](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef loss = in[0];
+              std::vector<OpRef> vars(in.begin() + 1, in.end());
+              RLG_REQUIRE(!vars.empty(),
+                          "optimizer step needs at least one variable");
+              std::vector<OpRef> grads = gradients(ops, loss, vars);
+
+              if (clip_grad_norm_ > 0.0) {
+                // Clip by global norm: g *= clip / max(norm, clip).
+                OpRef sq_sum = ops.reduce_sum(ops.square(grads[0]));
+                for (size_t i = 1; i < grads.size(); ++i) {
+                  sq_sum = ops.add(sq_sum,
+                                   ops.reduce_sum(ops.square(grads[i])));
+                }
+                OpRef norm = ops.sqrt(sq_sum);
+                OpRef clip =
+                    ops.scalar(static_cast<float>(clip_grad_norm_));
+                OpRef factor = ops.div(clip, ops.maximum(norm, clip));
+                for (OpRef& g : grads) g = ops.mul(g, factor);
+              }
+
+              std::vector<OpRef> updates;
+              updates.reserve(vars.size());
+              for (size_t i = 0; i < vars.size(); ++i) {
+                std::string name = var_name_of(ops, vars[i]);
+                updates.push_back(
+                    apply_update(ops, name, vars[i], grads[i]));
+              }
+              return std::vector<OpRef>{ops.group(updates), loss};
+            },
+            inputs, 2, {IntBox(1 << 30), FloatBox()});
+      });
+}
+
+std::string Optimizer::slot_name(const std::string& var_name,
+                                 const std::string& slot) const {
+  std::string flat = var_name;
+  for (char& c : flat) {
+    if (c == '/') c = '.';
+  }
+  return scope() + "/" + slot + "/" + flat;
+}
+
+OpRef Optimizer::slot(OpContext& ops, const std::string& var_name,
+                      const std::string& slot, const Tensor& like) {
+  std::string name = slot_name(var_name, slot);
+  if (!ops.variable_store().exists(name)) {
+    ops.create_variable(name, Tensor::zeros(like.dtype(), like.shape()));
+  }
+  return ops.variable(name);
+}
+
+// --- SGD -------------------------------------------------------------------------
+
+GradientDescentOptimizer::GradientDescentOptimizer(std::string name,
+                                                   double learning_rate,
+                                                   double clip_grad_norm)
+    : Optimizer(std::move(name), learning_rate, clip_grad_norm) {}
+
+OpRef GradientDescentOptimizer::apply_update(OpContext& ops,
+                                             const std::string& var_name,
+                                             OpRef, OpRef grad) {
+  OpRef delta =
+      ops.mul(ops.scalar(static_cast<float>(-learning_rate_)), grad);
+  return ops.assign_add(var_name, delta);
+}
+
+// --- RMSProp ----------------------------------------------------------------------
+
+RMSPropOptimizer::RMSPropOptimizer(std::string name, double learning_rate,
+                                   double decay, double epsilon,
+                                   double clip_grad_norm)
+    : Optimizer(std::move(name), learning_rate, clip_grad_norm),
+      decay_(decay), epsilon_(epsilon) {}
+
+OpRef RMSPropOptimizer::apply_update(OpContext& ops,
+                                     const std::string& var_name, OpRef var,
+                                     OpRef grad) {
+  const Tensor& current = ops.variable_store().get(var_name);
+  OpRef v = slot(ops, var_name, "rms", current);
+  OpRef new_v = ops.add(
+      ops.mul(ops.scalar(static_cast<float>(decay_)), v),
+      ops.mul(ops.scalar(static_cast<float>(1.0 - decay_)),
+              ops.square(grad)));
+  OpRef v_assigned = ops.assign(slot_name(var_name, "rms"), new_v);
+  OpRef denom =
+      ops.add(ops.sqrt(v_assigned), ops.scalar(static_cast<float>(epsilon_)));
+  OpRef delta = ops.mul(ops.scalar(static_cast<float>(-learning_rate_)),
+                        ops.div(grad, denom));
+  (void)var;
+  return ops.assign_add(var_name, delta);
+}
+
+// --- Adam --------------------------------------------------------------------------
+
+AdamOptimizer::AdamOptimizer(std::string name, double learning_rate,
+                             double beta1, double beta2, double epsilon,
+                             double clip_grad_norm)
+    : Optimizer(std::move(name), learning_rate, clip_grad_norm),
+      beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+OpRef AdamOptimizer::apply_update(OpContext& ops, const std::string& var_name,
+                                  OpRef, OpRef grad) {
+  const Tensor& current = ops.variable_store().get(var_name);
+  // Bias-correction step count, tracked per variable (a shared step would be
+  // incremented once per variable per update).
+  std::string tv_name = slot_name(var_name, "t");
+  if (!ops.variable_store().exists(tv_name)) {
+    ops.create_variable(tv_name, Tensor::scalar(0.0f));
+  }
+  OpRef t = ops.assign_add(tv_name, ops.scalar(1.0f));
+
+  OpRef m = slot(ops, var_name, "m", current);
+  OpRef v = slot(ops, var_name, "v", current);
+  OpRef b1 = ops.scalar(static_cast<float>(beta1_));
+  OpRef b2 = ops.scalar(static_cast<float>(beta2_));
+  OpRef one = ops.scalar(1.0f);
+  OpRef new_m = ops.add(ops.mul(b1, m), ops.mul(ops.sub(one, b1), grad));
+  OpRef new_v =
+      ops.add(ops.mul(b2, v), ops.mul(ops.sub(one, b2), ops.square(grad)));
+  OpRef m_a = ops.assign(slot_name(var_name, "m"), new_m);
+  OpRef v_a = ops.assign(slot_name(var_name, "v"), new_v);
+  // beta^t = exp(t * log(beta)).
+  OpRef b1_t = ops.exp(ops.mul(t, ops.log(b1)));
+  OpRef b2_t = ops.exp(ops.mul(t, ops.log(b2)));
+  OpRef m_hat = ops.div(m_a, ops.sub(one, b1_t));
+  OpRef v_hat = ops.div(v_a, ops.sub(one, b2_t));
+  OpRef delta = ops.mul(
+      ops.scalar(static_cast<float>(-learning_rate_)),
+      ops.div(m_hat, ops.add(ops.sqrt(v_hat),
+                             ops.scalar(static_cast<float>(epsilon_)))));
+  return ops.assign_add(var_name, delta);
+}
+
+std::shared_ptr<Optimizer> make_optimizer(const std::string& name,
+                                          const Json& spec) {
+  const std::string type = spec.get_string("type", "adam");
+  double lr = spec.get_double("learning_rate", 1e-4);
+  double clip = spec.get_double("clip_grad_norm", 0.0);
+  if (type == "sgd") {
+    return std::make_shared<GradientDescentOptimizer>(name, lr, clip);
+  }
+  if (type == "rmsprop") {
+    return std::make_shared<RMSPropOptimizer>(
+        name, lr, spec.get_double("decay", 0.99),
+        spec.get_double("epsilon", 1e-6), clip);
+  }
+  if (type == "adam") {
+    return std::make_shared<AdamOptimizer>(
+        name, lr, spec.get_double("beta1", 0.9),
+        spec.get_double("beta2", 0.999), spec.get_double("epsilon", 1e-8),
+        clip);
+  }
+  throw ConfigError("unknown optimizer type: " + type);
+}
+
+}  // namespace rlgraph

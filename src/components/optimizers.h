@@ -1,0 +1,76 @@
+// Optimizer components. step(loss, variables...) runs reverse-mode autodiff
+// from the loss to the given variable refs and emits the update assignments
+// (all inside the graph — a fetched update op applies one training step).
+#pragma once
+
+#include "core/component.h"
+
+namespace rlgraph {
+
+class Optimizer : public Component {
+ public:
+  Optimizer(std::string name, double learning_rate, double clip_grad_norm);
+
+  double learning_rate() const { return learning_rate_; }
+
+ protected:
+  // Per-variable update rule: given (ops, var_name, var_ref, grad_ref),
+  // return the assignment ref applying the update.
+  virtual OpRef apply_update(OpContext& ops, const std::string& var_name,
+                             OpRef var, OpRef grad) = 0;
+
+  // Lazily ensure an optimizer slot variable exists (e.g. Adam moments).
+  OpRef slot(OpContext& ops, const std::string& var_name,
+             const std::string& slot_name, const Tensor& like);
+  std::string slot_name(const std::string& var_name,
+                        const std::string& slot_name) const;
+
+  double learning_rate_;
+  double clip_grad_norm_;  // <= 0 disables clipping
+};
+
+class GradientDescentOptimizer : public Optimizer {
+ public:
+  GradientDescentOptimizer(std::string name, double learning_rate,
+                           double clip_grad_norm = 0.0);
+
+ protected:
+  OpRef apply_update(OpContext& ops, const std::string& var_name, OpRef var,
+                     OpRef grad) override;
+};
+
+class RMSPropOptimizer : public Optimizer {
+ public:
+  RMSPropOptimizer(std::string name, double learning_rate, double decay = 0.99,
+                   double epsilon = 1e-6, double clip_grad_norm = 0.0);
+
+ protected:
+  OpRef apply_update(OpContext& ops, const std::string& var_name, OpRef var,
+                     OpRef grad) override;
+
+ private:
+  double decay_;
+  double epsilon_;
+};
+
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(std::string name, double learning_rate, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8,
+                double clip_grad_norm = 0.0);
+
+ protected:
+  OpRef apply_update(OpContext& ops, const std::string& var_name, OpRef var,
+                     OpRef grad) override;
+
+ private:
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+};
+
+// Factory from a JSON spec: {"type": "adam", "learning_rate": 1e-4, ...}.
+std::shared_ptr<Optimizer> make_optimizer(const std::string& name,
+                                          const Json& spec);
+
+}  // namespace rlgraph

@@ -1,0 +1,133 @@
+#include "components/policy.h"
+
+#include "core/build_context.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+Policy::Policy(std::string name, const Json& network_config,
+               SpacePtr action_space, PolicyHead head)
+    : Component(std::move(name)), head_(head) {
+  RLG_REQUIRE(action_space != nullptr && action_space->is_box(),
+              "Policy requires a categorical box action space");
+  const auto& box = static_cast<const BoxSpace&>(*action_space);
+  RLG_REQUIRE(box.num_categories() > 0,
+              "Policy requires a categorical (IntBox) action space");
+  num_actions_ = box.num_categories();
+
+  network_ =
+      add_component(std::make_shared<NeuralNetwork>("network", network_config));
+  switch (head_) {
+    case PolicyHead::kQValues:
+      q_head_ = add_component(
+          std::make_shared<DenseLayer>("q-head", num_actions_));
+      register_q_apis();
+      break;
+    case PolicyHead::kDuelingQ:
+      value_head_ =
+          add_component(std::make_shared<DenseLayer>("value-head", 1));
+      advantage_head_ = add_component(
+          std::make_shared<DenseLayer>("advantage-head", num_actions_));
+      register_q_apis();
+      break;
+    case PolicyHead::kCategorical:
+      logits_head_ = add_component(
+          std::make_shared<DenseLayer>("logits-head", num_actions_));
+      value_head_ =
+          add_component(std::make_shared<DenseLayer>("value-head", 1));
+      register_categorical_apis();
+      break;
+  }
+}
+
+void Policy::register_q_apis() {
+  register_api(
+      "get_q_values",
+      [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 1, "get_q_values expects (states)");
+        OpRec features = network_->call_api(ctx, "apply", inputs)[0];
+        if (head_ == PolicyHead::kQValues) {
+          return q_head_->call_api(ctx, "apply", {features});
+        }
+        // Dueling: Q = V + A - mean(A).
+        OpRec v = value_head_->call_api(ctx, "apply", {features})[0];
+        OpRec a = advantage_head_->call_api(ctx, "apply", {features})[0];
+        return graph_fn(
+            ctx, "dueling",
+            [](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef v = in[0], a = in[1];
+              OpRef mean_a = ops.reduce_mean(a, 1, /*keep_dims=*/true);
+              return std::vector<OpRef>{
+                  ops.add(v, ops.sub(a, mean_a))};
+            },
+            {v, a});
+      });
+
+  register_api("get_action",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 OpRec q = call_api(ctx, "get_q_values", inputs)[0];
+                 return graph_fn(
+                     ctx, "greedy",
+                     [](OpContext& ops, const std::vector<OpRef>& in) {
+                       return std::vector<OpRef>{ops.argmax(in[0])};
+                     },
+                     {q}, 1,
+                     {IntBox(num_actions_)->with_batch_rank()});
+               });
+}
+
+void Policy::register_categorical_apis() {
+  register_api(
+      "get_logits_value",
+      [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 1, "get_logits_value expects (states)");
+        OpRec features = network_->call_api(ctx, "apply", inputs)[0];
+        OpRec logits = logits_head_->call_api(ctx, "apply", {features})[0];
+        OpRec value = value_head_->call_api(ctx, "apply", {features})[0];
+        return OpRecs{logits, value};
+      });
+
+  // Sample from the categorical distribution with the Gumbel-max trick so
+  // sampling stays inside the graph.
+  register_api(
+      "sample_action",
+      [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        OpRecs lv = call_api(ctx, "get_logits_value", inputs);
+        return graph_fn(
+            ctx, "gumbel_sample",
+            [](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef u = ops.apply("RandomUniformLike", {in[0]},
+                                  {{"lo", 1e-8}, {"hi", 1.0}});
+              OpRef gumbel = ops.neg(ops.log(ops.neg(ops.log(u))));
+              return std::vector<OpRef>{ops.argmax(ops.add(in[0], gumbel))};
+            },
+            {lv[0]}, 1, {IntBox(num_actions_)->with_batch_rank()});
+      });
+
+  register_api("get_action",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 OpRecs lv = call_api(ctx, "get_logits_value", inputs);
+                 return graph_fn(
+                     ctx, "greedy",
+                     [](OpContext& ops, const std::vector<OpRef>& in) {
+                       return std::vector<OpRef>{ops.argmax(in[0])};
+                     },
+                     {lv[0]}, 1, {IntBox(num_actions_)->with_batch_rank()});
+               });
+}
+
+OpRecs Policy::variable_recs(BuildContext& ctx) {
+  if (ctx.assembling()) return {};
+  OpRecs out;
+  for (const std::string& name : variable_names_recursive()) {
+    OpRef ref = ctx.ops().variable(name);
+    Shape s = ctx.ops().shape(ref);
+    auto space = std::make_shared<BoxSpace>(ctx.ops().dtype(ref),
+                                            s.fully_specified() ? s : Shape{},
+                                            -1e30, 1e30);
+    out.emplace_back(space, ref);
+  }
+  return out;
+}
+
+}  // namespace rlgraph

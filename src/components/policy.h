@@ -1,0 +1,47 @@
+// Policy: network + action head(s). Supports Q-value heads (plain and
+// dueling, for DQN-family agents) and categorical softmax heads with a value
+// baseline (for IMPALA).
+#pragma once
+
+#include "components/layers.h"
+#include "components/neural_network.h"
+#include "core/component.h"
+#include "util/json.h"
+
+namespace rlgraph {
+
+enum class PolicyHead { kQValues, kDuelingQ, kCategorical };
+
+class Policy : public Component {
+ public:
+  // `action_space` must be a categorical IntBox; `network_config` is the
+  // layer list (see NeuralNetwork).
+  Policy(std::string name, const Json& network_config, SpacePtr action_space,
+         PolicyHead head = PolicyHead::kQValues);
+
+  int64_t num_actions() const { return num_actions_; }
+  NeuralNetwork& network() { return *network_; }
+
+  // Build-time helper: refs of every trainable variable under this policy
+  // (the paper's policy.variables()); empty in assemble mode.
+  OpRecs variable_recs(BuildContext& ctx);
+
+ private:
+  // APIs registered depending on head type:
+  //  Q-heads: get_q_values(states) -> q; get_action(states) -> greedy action
+  //  Categorical: get_logits_value(states) -> (logits, value);
+  //               sample_action(states) -> sampled action;
+  //               get_action(states) -> greedy action
+  void register_q_apis();
+  void register_categorical_apis();
+
+  int64_t num_actions_;
+  PolicyHead head_;
+  NeuralNetwork* network_;
+  DenseLayer* q_head_ = nullptr;
+  DenseLayer* value_head_ = nullptr;      // dueling V or categorical value
+  DenseLayer* advantage_head_ = nullptr;  // dueling A
+  DenseLayer* logits_head_ = nullptr;     // categorical
+};
+
+}  // namespace rlgraph

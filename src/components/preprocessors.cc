@@ -1,0 +1,178 @@
+#include "components/preprocessors.h"
+
+#include "core/build_context.h"
+#include "tensor/kernels.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+GrayScale::GrayScale(std::string name) : Component(std::move(name)) {
+  register_api("preprocess",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 return graph_fn(
+                     ctx, "grayscale",
+                     [](OpContext& ops, const std::vector<OpRef>& in) {
+                       return std::vector<OpRef>{ops.reduce_mean(
+                           in[0], ops.shape(in[0]).rank() - 1,
+                           /*keep_dims=*/true)};
+                     },
+                     inputs);
+               });
+}
+
+Rescale::Rescale(std::string name, double scale, double offset)
+    : Component(std::move(name)), scale_(scale), offset_(offset) {
+  register_api("preprocess",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 return graph_fn(
+                     ctx, "rescale",
+                     [this](OpContext& ops, const std::vector<OpRef>& in) {
+                       OpRef scaled = ops.mul(
+                           in[0], ops.scalar(static_cast<float>(scale_)));
+                       if (offset_ != 0.0) {
+                         scaled = ops.add(
+                             scaled, ops.scalar(static_cast<float>(offset_)));
+                       }
+                       return std::vector<OpRef>{scaled};
+                     },
+                     inputs);
+               });
+}
+
+ClipValue::ClipValue(std::string name, double lo, double hi)
+    : Component(std::move(name)), lo_(lo), hi_(hi) {
+  register_api("preprocess",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 return graph_fn(
+                     ctx, "clip",
+                     [this](OpContext& ops, const std::vector<OpRef>& in) {
+                       return std::vector<OpRef>{ops.clip(in[0], lo_, hi_)};
+                     },
+                     inputs);
+               });
+}
+
+FrameStack::FrameStack(std::string name, int64_t num_frames)
+    : Component(std::move(name)), num_frames_(num_frames),
+      state_(std::make_shared<State>()) {
+  RLG_REQUIRE(num_frames > 0, "FrameStack requires num_frames > 0");
+
+  register_api(
+      "preprocess",
+      [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 1, "frame_stack expects (frames)");
+        SpacePtr out_space;
+        if (inputs[0].space != nullptr && inputs[0].space->is_box()) {
+          const auto& box = static_cast<const BoxSpace&>(*inputs[0].space);
+          Shape vs = box.value_shape();
+          RLG_REQUIRE(vs.rank() >= 1, "frame_stack needs channelled input");
+          Shape out = vs.with_dim(vs.rank() - 1,
+                                  vs.dim(vs.rank() - 1) * num_frames_);
+          out_space = std::make_shared<BoxSpace>(box.dtype(), out, box.low(),
+                                                 box.high())
+                          ->with_ranks(box.has_batch_rank(),
+                                       box.has_time_rank());
+        } else {
+          out_space = FloatBox()->with_batch_rank();
+        }
+        auto state = state_;
+        int64_t k = num_frames_;
+        CustomKernel kernel = [state, k](const std::vector<Tensor>& in) {
+          const Tensor& frames = in[0];
+          int64_t batch = frames.shape().dim(0);
+          if (static_cast<int64_t>(state->slots.size()) < batch) {
+            state->slots.resize(static_cast<size_t>(batch));
+          }
+          std::vector<Tensor> rows;
+          rows.reserve(static_cast<size_t>(batch));
+          int axis = frames.shape().rank() - 1;
+          for (int64_t b = 0; b < batch; ++b) {
+            Tensor frame = kernels::slice_rows(frames, b, 1);
+            auto& history = state->slots[static_cast<size_t>(b)];
+            history.push_back(frame);
+            while (static_cast<int64_t>(history.size()) > k) {
+              history.pop_front();
+            }
+            std::vector<Tensor> window(history.begin(), history.end());
+            // Left-pad with the oldest frame until the window is full.
+            while (static_cast<int64_t>(window.size()) < k) {
+              window.insert(window.begin(), window.front());
+            }
+            rows.push_back(kernels::concat(window, axis));
+          }
+          return std::vector<Tensor>{kernels::concat(rows, 0)};
+        };
+        return graph_fn_custom(ctx, "stack", kernel, inputs, {out_space});
+      });
+
+  // reset() clears every slot's history (episode boundary).
+  register_api("reset",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 auto state = state_;
+                 CustomKernel kernel = [state](const std::vector<Tensor>&) {
+                   for (auto& slot : state->slots) slot.clear();
+                   return std::vector<Tensor>{Tensor::scalar_int(0)};
+                 };
+                 return graph_fn_custom(ctx, "reset", kernel, inputs,
+                                        {IntBox(1 << 30)});
+               });
+}
+
+PreprocessorStack::PreprocessorStack(std::string name, const Json& config)
+    : Component(std::move(name)) {
+  RLG_REQUIRE(config.is_array(), "preprocessor config must be a list");
+  int index = 0;
+  for (const Json& spec : config.as_array()) {
+    const std::string type = spec.get_string("type", "");
+    std::string sname = type + "-" + std::to_string(index++);
+    if (type == "grayscale") {
+      stages_.push_back(add_component(std::make_shared<GrayScale>(sname)));
+    } else if (type == "rescale") {
+      stages_.push_back(add_component(std::make_shared<Rescale>(
+          sname, spec.get_double("scale", 1.0),
+          spec.get_double("offset", 0.0))));
+    } else if (type == "clip") {
+      stages_.push_back(add_component(std::make_shared<ClipValue>(
+          sname, spec.get_double("lo", -1.0), spec.get_double("hi", 1.0))));
+    } else if (type == "frame_stack") {
+      stages_.push_back(add_component(std::make_shared<FrameStack>(
+          sname, spec.get_int("num_frames", 4))));
+    } else {
+      throw ConfigError("unknown preprocessor type: " + type);
+    }
+  }
+
+  register_api("preprocess",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 RLG_REQUIRE(inputs.size() == 1, "preprocess expects (x)");
+                 OpRec current = inputs[0];
+                 for (Component* stage : stages_) {
+                   current = stage->call_api(ctx, "preprocess", {current})[0];
+                 }
+                 return OpRecs{current};
+               });
+
+  register_api("reset",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 OpRecs out;
+                 for (Component* stage : stages_) {
+                   if (stage->has_api("reset")) {
+                     out = stage->call_api(ctx, "reset", inputs);
+                   }
+                 }
+                 if (out.empty()) {
+                   // No stateful stages: constant zero op keeps the API
+                   // signature uniform.
+                   out = graph_fn(
+                       ctx, "noop",
+                       [](OpContext& ops, const std::vector<OpRef>&) {
+                         return std::vector<OpRef>{
+                             ops.constant(Tensor::scalar_int(0))};
+                       },
+                       {}, 1, {IntBox(1 << 30)});
+                 }
+                 return out;
+               });
+}
+
+}  // namespace rlgraph

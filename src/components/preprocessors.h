@@ -1,0 +1,69 @@
+// Preprocessing components. All pre-processing heuristics are first-class
+// components (individually buildable/testable), configured declaratively:
+//   [{"type": "grayscale"}, {"type": "rescale", "scale": 0.00392},
+//    {"type": "frame_stack", "num_frames": 4}]
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "core/component.h"
+#include "util/json.h"
+
+namespace rlgraph {
+
+// Channel-mean grayscale: [B, H, W, C] -> [B, H, W, 1].
+class GrayScale : public Component {
+ public:
+  explicit GrayScale(std::string name);
+};
+
+// x * scale + offset.
+class Rescale : public Component {
+ public:
+  Rescale(std::string name, double scale, double offset = 0.0);
+
+ private:
+  double scale_;
+  double offset_;
+};
+
+// clip(x, lo, hi) — used for reward clipping.
+class ClipValue : public Component {
+ public:
+  ClipValue(std::string name, double lo, double hi);
+
+ private:
+  double lo_, hi_;
+};
+
+// Stateful frame stacking along the channel axis: [B, H, W, C] ->
+// [B, H, W, C * k]. Keeps a per-slot (per vectorized-env index) history; the
+// batch index identifies the slot. reset() clears all histories (call on
+// episode boundaries of the vector as a whole) — per-slot reset via
+// reset_slot kernel input.
+class FrameStack : public Component {
+ public:
+  FrameStack(std::string name, int64_t num_frames);
+
+  struct State {
+    std::vector<std::deque<Tensor>> slots;
+  };
+
+ private:
+  int64_t num_frames_;
+  std::shared_ptr<State> state_;
+};
+
+// A configurable stack of the above with a single "preprocess" API.
+class PreprocessorStack : public Component {
+ public:
+  PreprocessorStack(std::string name, const Json& config);
+
+  size_t num_stages() const { return stages_.size(); }
+
+ private:
+  std::vector<Component*> stages_;
+};
+
+}  // namespace rlgraph

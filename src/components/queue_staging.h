@@ -1,0 +1,50 @@
+// Queue and staging-area components for in-graph pipelines (IMPALA, §5.1):
+// actors enqueue rollouts into a globally shared blocking queue; the learner
+// dequeues and uses a staging area to overlap host work with device compute.
+//
+// The queue object itself is shared across the actor and learner component
+// graphs (the in-process analogue of a TF shared FIFOQueue between workers).
+#pragma once
+
+#include <memory>
+
+#include "core/component.h"
+#include "util/queues.h"
+
+namespace rlgraph {
+
+// The shared queue payload: one rollout = the flattened leaf tensors.
+using TensorSlot = std::vector<Tensor>;
+using SharedTensorQueue = BlockingQueue<TensorSlot>;
+
+class QueueComponent : public Component {
+ public:
+  // `slot_spaces` declares the leaf signature of one queue element (used for
+  // the dequeue output signature).
+  QueueComponent(std::string name, std::shared_ptr<SharedTensorQueue> queue,
+                 std::vector<SpacePtr> slot_spaces);
+
+  SharedTensorQueue& queue() { return *queue_; }
+
+ private:
+  std::shared_ptr<SharedTensorQueue> queue_;
+  std::vector<SpacePtr> slot_spaces_;
+};
+
+// Single-slot staging area: stage_and_get(x...) stores the new batch and
+// returns the previously staged one (zeros on the first call), hiding
+// transfer latency behind compute like a device staging area.
+class StagingArea : public Component {
+ public:
+  StagingArea(std::string name, std::vector<SpacePtr> slot_spaces);
+
+ private:
+  struct State {
+    bool filled = false;
+    TensorSlot slot;
+  };
+  std::vector<SpacePtr> slot_spaces_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace rlgraph

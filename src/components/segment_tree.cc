@@ -1,0 +1,180 @@
+#include "components/segment_tree.h"
+
+#include <limits>
+
+#include "core/build_context.h"
+#include "tensor/kernels.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+namespace {
+int64_t next_pow2(int64_t n) {
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+SumSegmentTree::SumSegmentTree(int64_t capacity)
+    : capacity_(next_pow2(capacity)) {
+  RLG_REQUIRE(capacity > 0, "segment tree capacity must be positive");
+  tree_.assign(static_cast<size_t>(2 * capacity_), 0.0);
+}
+
+void SumSegmentTree::update(int64_t index, double value) {
+  RLG_REQUIRE(index >= 0 && index < capacity_,
+              "segment tree index " << index << " out of range");
+  RLG_REQUIRE(value >= 0.0, "sum tree values must be >= 0, got " << value);
+  int64_t i = index + capacity_;
+  tree_[static_cast<size_t>(i)] = value;
+  for (i >>= 1; i >= 1; i >>= 1) {
+    tree_[static_cast<size_t>(i)] = tree_[static_cast<size_t>(2 * i)] +
+                                    tree_[static_cast<size_t>(2 * i + 1)];
+  }
+}
+
+double SumSegmentTree::get(int64_t index) const {
+  RLG_REQUIRE(index >= 0 && index < capacity_, "index out of range");
+  return tree_[static_cast<size_t>(index + capacity_)];
+}
+
+double SumSegmentTree::sum(int64_t begin, int64_t end) const {
+  RLG_REQUIRE(begin >= 0 && end <= capacity_ && begin <= end,
+              "bad sum range");
+  double result = 0.0;
+  int64_t lo = begin + capacity_, hi = end + capacity_;
+  while (lo < hi) {
+    if (lo & 1) result += tree_[static_cast<size_t>(lo++)];
+    if (hi & 1) result += tree_[static_cast<size_t>(--hi)];
+    lo >>= 1;
+    hi >>= 1;
+  }
+  return result;
+}
+
+int64_t SumSegmentTree::prefix_sum_index(double mass) const {
+  RLG_REQUIRE(mass >= 0.0, "prefix mass must be >= 0");
+  int64_t i = 1;
+  while (i < capacity_) {
+    double left = tree_[static_cast<size_t>(2 * i)];
+    if (mass < left) {
+      i = 2 * i;
+    } else {
+      mass -= left;
+      i = 2 * i + 1;
+    }
+  }
+  return i - capacity_;
+}
+
+MinSegmentTree::MinSegmentTree(int64_t capacity)
+    : capacity_(next_pow2(capacity)) {
+  RLG_REQUIRE(capacity > 0, "segment tree capacity must be positive");
+  tree_.assign(static_cast<size_t>(2 * capacity_),
+               std::numeric_limits<double>::infinity());
+}
+
+void MinSegmentTree::update(int64_t index, double value) {
+  RLG_REQUIRE(index >= 0 && index < capacity_, "index out of range");
+  int64_t i = index + capacity_;
+  tree_[static_cast<size_t>(i)] = value;
+  for (i >>= 1; i >= 1; i >>= 1) {
+    tree_[static_cast<size_t>(i)] =
+        std::min(tree_[static_cast<size_t>(2 * i)],
+                 tree_[static_cast<size_t>(2 * i + 1)]);
+  }
+}
+
+double MinSegmentTree::get(int64_t index) const {
+  RLG_REQUIRE(index >= 0 && index < capacity_, "index out of range");
+  return tree_[static_cast<size_t>(index + capacity_)];
+}
+
+double MinSegmentTree::min(int64_t begin, int64_t end) const {
+  RLG_REQUIRE(begin >= 0 && end <= capacity_ && begin <= end,
+              "bad min range");
+  double result = std::numeric_limits<double>::infinity();
+  int64_t lo = begin + capacity_, hi = end + capacity_;
+  while (lo < hi) {
+    if (lo & 1) result = std::min(result, tree_[static_cast<size_t>(lo++)]);
+    if (hi & 1) result = std::min(result, tree_[static_cast<size_t>(--hi)]);
+    lo >>= 1;
+    hi >>= 1;
+  }
+  return result;
+}
+
+SegmentTreeComponent::SegmentTreeComponent(std::string name, int64_t capacity)
+    : Component(std::move(name)), capacity_(capacity),
+      sum_tree_(std::make_shared<SumSegmentTree>(capacity)),
+      min_tree_(std::make_shared<MinSegmentTree>(capacity)) {
+  // update(indices int32 [n], values float [n]) -> count written.
+  register_api("update",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 RLG_REQUIRE(inputs.size() == 2,
+                             "segment-tree update expects (indices, values)");
+                 auto sum = sum_tree_;
+                 auto min = min_tree_;
+                 CustomKernel kernel =
+                     [sum, min](const std::vector<Tensor>& in) {
+                       const Tensor& idx = in[0];
+                       const Tensor& val = in[1];
+                       const int32_t* pi = idx.data<int32_t>();
+                       for (int64_t i = 0; i < idx.num_elements(); ++i) {
+                         double v = val.at_flat(i);
+                         sum->update(pi[i], v);
+                         min->update(pi[i], v);
+                       }
+                       return std::vector<Tensor>{Tensor::scalar_int(
+                           static_cast<int32_t>(idx.num_elements()))};
+                     };
+                 return graph_fn_custom(ctx, "update", kernel, inputs,
+                                        {IntBox(1 << 30)});
+               });
+
+  // total() -> float scalar sum of all priorities.
+  register_api("total",
+               [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                 auto sum = sum_tree_;
+                 CustomKernel kernel = [sum](const std::vector<Tensor>&) {
+                   return std::vector<Tensor>{
+                       Tensor::scalar(static_cast<float>(sum->total()))};
+                 };
+                 return graph_fn_custom(ctx, "total", kernel, inputs,
+                                        {FloatBox()});
+               });
+
+  // sample_proportional(n int scalar, limit int scalar) -> indices int32 [n]
+  // drawn with probability proportional to priority, restricted to [0,limit).
+  register_api(
+      "sample_proportional",
+      [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 2,
+                    "sample_proportional expects (n, limit)");
+        auto sum = sum_tree_;
+        // Per-executor RNG captured at build time keeps sampling
+        // deterministic under a fixed seed.
+        Rng* rng = ctx.building() || ctx.running() ? &ctx.ops().rng() : nullptr;
+        CustomKernel kernel = [sum, rng](const std::vector<Tensor>& in) {
+          int64_t n = static_cast<int64_t>(in[0].scalar_value());
+          int64_t limit = static_cast<int64_t>(in[1].scalar_value());
+          double mass_total = sum->sum(0, std::max<int64_t>(limit, 1));
+          Tensor out(DType::kInt32, Shape{n});
+          int32_t* po = out.mutable_data<int32_t>();
+          for (int64_t i = 0; i < n; ++i) {
+            double mass = rng->uniform(0.0, mass_total);
+            int64_t idx = sum->prefix_sum_index(mass);
+            if (idx >= limit) idx = limit - 1;
+            po[i] = static_cast<int32_t>(idx);
+          }
+          return std::vector<Tensor>{out};
+        };
+        auto out_space = std::make_shared<BoxSpace>(DType::kInt32, Shape{},
+                                                    0, 1e18);
+        return graph_fn_custom(ctx, "sample_proportional", kernel, inputs,
+                               {out_space->with_batch_rank()});
+      });
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,68 @@
+// Segment trees for prioritized experience replay.
+//
+// SumSegmentTree / MinSegmentTree are the plain data structures; the
+// SegmentTree component wraps them behind API methods so priority management
+// is itself an individually buildable and testable sub-graph (paper Fig. 2:
+// the prioritized-replay component owns a segment-tree sub-component).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/component.h"
+#include "util/random.h"
+
+namespace rlgraph {
+
+// Classic power-of-two segment tree with sum reduction and prefix-sum
+// descent (O(log n) update/query).
+class SumSegmentTree {
+ public:
+  explicit SumSegmentTree(int64_t capacity);
+
+  int64_t capacity() const { return capacity_; }
+  void update(int64_t index, double value);
+  double get(int64_t index) const;
+  // Sum over [begin, end).
+  double sum(int64_t begin, int64_t end) const;
+  double total() const { return sum(0, capacity_); }
+  // Smallest index such that sum(0, index+1) > mass (for proportional
+  // sampling); mass must be in [0, total()).
+  int64_t prefix_sum_index(double mass) const;
+
+ private:
+  int64_t capacity_;
+  std::vector<double> tree_;
+};
+
+class MinSegmentTree {
+ public:
+  explicit MinSegmentTree(int64_t capacity);
+
+  void update(int64_t index, double value);
+  double get(int64_t index) const;
+  double min(int64_t begin, int64_t end) const;
+  double min_all() const { return min(0, capacity_); }
+
+ private:
+  int64_t capacity_;
+  std::vector<double> tree_;
+};
+
+// Component wrapper: priority bookkeeping as API methods over custom
+// stateful kernels.
+class SegmentTreeComponent : public Component {
+ public:
+  SegmentTreeComponent(std::string name, int64_t capacity);
+
+  SumSegmentTree& sum_tree() { return *sum_tree_; }
+  MinSegmentTree& min_tree() { return *min_tree_; }
+
+ private:
+  int64_t capacity_;
+  std::shared_ptr<SumSegmentTree> sum_tree_;
+  std::shared_ptr<MinSegmentTree> min_tree_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,55 @@
+#include "components/splitter_merger.h"
+
+#include "core/build_context.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+ContainerSplitter::ContainerSplitter(std::string name, int num_leaves)
+    : Component(std::move(name)), num_leaves_(num_leaves) {
+  RLG_REQUIRE(num_leaves > 0, "splitter requires num_leaves > 0");
+  register_api(
+      "split", [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 1, "split expects one container record");
+        if (ctx.assembling()) {
+          return OpRecs(static_cast<size_t>(num_leaves_));
+        }
+        const OpRec& rec = inputs[0];
+        RLG_REQUIRE(rec.space != nullptr, "split: record has no space");
+        std::vector<std::pair<std::string, SpacePtr>> leaves;
+        rec.space->flatten(&leaves);
+        RLG_REQUIRE(static_cast<int>(leaves.size()) == num_leaves_,
+                    "splitter declared " << num_leaves_ << " leaves but got "
+                                         << leaves.size());
+        RLG_REQUIRE(rec.ops.size() == leaves.size(),
+                    "split: refs out of sync with space");
+        OpRecs out;
+        for (size_t i = 0; i < leaves.size(); ++i) {
+          out.emplace_back(leaves[i].second, rec.ops[i]);
+        }
+        return out;
+      });
+}
+
+ContainerMerger::ContainerMerger(std::string name, SpacePtr target_space)
+    : Component(std::move(name)), target_space_(std::move(target_space)) {
+  RLG_REQUIRE(target_space_ != nullptr, "merger requires a target space");
+  register_api(
+      "merge", [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        if (ctx.assembling()) return OpRecs(1);
+        std::vector<std::pair<std::string, SpacePtr>> leaves;
+        target_space_->flatten(&leaves);
+        RLG_REQUIRE(inputs.size() == leaves.size(),
+                    "merge: got " << inputs.size() << " records for "
+                                  << leaves.size() << " leaves");
+        OpRec rec;
+        rec.space = target_space_;
+        for (const OpRec& in : inputs) {
+          RLG_REQUIRE(in.single(), "merge: inputs must be single-leaf");
+          rec.ops.push_back(in.op());
+        }
+        return OpRecs{rec};
+      });
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,29 @@
+// Container splitter/merger components: decompose nested-space records into
+// leaf records and reassemble them ("nested space splitters and mergers",
+// paper §3.3). These are pure record restructurers — no backend ops.
+#pragma once
+
+#include "core/component.h"
+
+namespace rlgraph {
+
+class ContainerSplitter : public Component {
+ public:
+  // `num_leaves` declares the output arity (needed during assembly, when
+  // spaces are unknown).
+  ContainerSplitter(std::string name, int num_leaves);
+
+ private:
+  int num_leaves_;
+};
+
+class ContainerMerger : public Component {
+ public:
+  // Merges leaf records back into `target_space`'s structure.
+  ContainerMerger(std::string name, SpacePtr target_space);
+
+ private:
+  SpacePtr target_space_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,36 @@
+#include "components/synchronizer.h"
+
+#include "core/build_context.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+Synchronizer::Synchronizer(std::string name, std::string source_prefix,
+                           std::string dest_prefix)
+    : Component(std::move(name)), source_prefix_(std::move(source_prefix)),
+      dest_prefix_(std::move(dest_prefix)) {
+  // sync() -> number of variables copied.
+  register_api(
+      "sync", [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        VariableStore* store =
+            ctx.assembling() ? nullptr : &ctx.ops().variable_store();
+        std::string src = source_prefix_, dst = dest_prefix_;
+        CustomKernel kernel = [store, src, dst](const std::vector<Tensor>&) {
+          int32_t copied = 0;
+          for (const std::string& name : store->names()) {
+            if (name.rfind(src, 0) != 0) continue;
+            std::string target = dst + name.substr(src.size());
+            if (!store->exists(target)) continue;
+            store->set(target, store->get(name).clone());
+            ++copied;
+          }
+          RLG_REQUIRE(copied > 0, "synchronizer copied no variables from '"
+                                      << src << "' to '" << dst << "'");
+          return std::vector<Tensor>{Tensor::scalar_int(copied)};
+        };
+        return graph_fn_custom(ctx, "sync", kernel, inputs,
+                               {IntBox(1 << 30)});
+      });
+}
+
+}  // namespace rlgraph

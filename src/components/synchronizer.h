@@ -1,0 +1,22 @@
+// Synchronizer: copies variables from one component scope to another (e.g.
+// online policy -> target policy). State synchronization is a component API
+// like everything else, so target-network syncs batch into the same session
+// call as the update when desired.
+#pragma once
+
+#include "core/component.h"
+
+namespace rlgraph {
+
+class Synchronizer : public Component {
+ public:
+  // Copies every variable named `<source_prefix>/X` to `<dest_prefix>/X`.
+  Synchronizer(std::string name, std::string source_prefix,
+               std::string dest_prefix);
+
+ private:
+  std::string source_prefix_;
+  std::string dest_prefix_;
+};
+
+}  // namespace rlgraph

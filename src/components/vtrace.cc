@@ -1,0 +1,169 @@
+#include "components/vtrace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/build_context.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+VTraceResult vtrace_from_log_rhos(const std::vector<float>& log_rhos,
+                                  const std::vector<float>& discounts,
+                                  const std::vector<float>& rewards,
+                                  const std::vector<float>& values,
+                                  const std::vector<float>& bootstrap,
+                                  int64_t batch, int64_t time,
+                                  double clip_rho_threshold,
+                                  double clip_pg_rho_threshold) {
+  size_t n = static_cast<size_t>(batch * time);
+  RLG_REQUIRE(log_rhos.size() == n && discounts.size() == n &&
+                  rewards.size() == n && values.size() == n &&
+                  bootstrap.size() == static_cast<size_t>(batch),
+              "vtrace input size mismatch");
+  VTraceResult out;
+  out.vs.assign(n, 0.0f);
+  out.pg_advantages.assign(n, 0.0f);
+
+  for (int64_t b = 0; b < batch; ++b) {
+    // Backward recursion: vs_t = V(x_t) + delta_t + gamma_t * c_t *
+    // (vs_{t+1} - V(x_{t+1})).
+    double acc = 0.0;  // vs_{t+1} - V(x_{t+1})
+    for (int64_t t = time - 1; t >= 0; --t) {
+      size_t i = static_cast<size_t>(b * time + t);
+      double rho = std::exp(log_rhos[i]);
+      double clipped_rho = std::min(rho, clip_rho_threshold);
+      double c = std::min(rho, 1.0);  // c-bar = 1
+      double next_v = t == time - 1 ? bootstrap[static_cast<size_t>(b)]
+                                    : values[i + 1];
+      double delta =
+          clipped_rho * (rewards[i] + discounts[i] * next_v - values[i]);
+      acc = delta + discounts[i] * c * acc;
+      out.vs[i] = static_cast<float>(values[i] + acc);
+    }
+    // Policy-gradient advantages use vs_{t+1}.
+    for (int64_t t = 0; t < time; ++t) {
+      size_t i = static_cast<size_t>(b * time + t);
+      double rho = std::exp(log_rhos[i]);
+      double clipped_pg_rho = std::min(rho, clip_pg_rho_threshold);
+      double vs_next = t == time - 1 ? bootstrap[static_cast<size_t>(b)]
+                                     : out.vs[i + 1];
+      out.pg_advantages[i] = static_cast<float>(
+          clipped_pg_rho *
+          (rewards[i] + discounts[i] * vs_next - values[i]));
+    }
+  }
+  return out;
+}
+
+IMPALALoss::IMPALALoss(std::string name, double discount, double value_coef,
+                       double entropy_coef, double clip_rho,
+                       double clip_pg_rho)
+    : Component(std::move(name)), discount_(discount), value_coef_(value_coef),
+      entropy_coef_(entropy_coef), clip_rho_(clip_rho),
+      clip_pg_rho_(clip_pg_rho) {
+  // get_loss(behavior_logits [B,T,A], target_logits [B,T,A], actions [B,T],
+  //          rewards [B,T], terminals [B,T] bool, values [B,T],
+  //          bootstrap [B]) -> (loss, pg_loss, value_loss, entropy)
+  register_api(
+      "get_loss",
+      [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 7,
+                    "get_loss expects (behavior_logits, target_logits, "
+                    "actions, rewards, terminals, values, bootstrap)");
+        int64_t T = 0, A = 0;
+        if (!ctx.assembling()) {
+          RLG_REQUIRE(inputs[1].space != nullptr && inputs[1].space->is_box(),
+                      "target_logits space required");
+          const auto& box = static_cast<const BoxSpace&>(*inputs[1].space);
+          RLG_REQUIRE(box.value_shape().rank() == 2,
+                      "logits must be [B, T, A] with batch rank, got value "
+                      "shape " << box.value_shape().to_string());
+          T = box.value_shape().dim(0);
+          A = box.value_shape().dim(1);
+        }
+
+        // Differentiable quantities via ops.
+        OpRecs pieces = graph_fn(
+            ctx, "log_probs",
+            [T, A](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef mu_logits = in[0], pi_logits = in[1], actions = in[2];
+              OpRef flat_pi = ops.reshape(pi_logits, Shape{kUnknownDim, A});
+              OpRef flat_mu = ops.reshape(mu_logits, Shape{kUnknownDim, A});
+              OpRef flat_a = ops.reshape(actions, Shape{kUnknownDim});
+              OpRef log_pi_a = ops.select_columns(
+                  ops.log_softmax(flat_pi), flat_a);  // [B*T]
+              OpRef log_mu_a = ops.select_columns(
+                  ops.log_softmax(flat_mu), flat_a);
+              OpRef log_rhos = ops.reshape(
+                  ops.sub(ops.stop_gradient(log_pi_a), log_mu_a),
+                  Shape{kUnknownDim, T});
+              OpRef log_pi_bt =
+                  ops.reshape(log_pi_a, Shape{kUnknownDim, T});
+              // Entropy of the target policy (per step, averaged).
+              OpRef p = ops.softmax(flat_pi);
+              OpRef logp = ops.log_softmax(flat_pi);
+              OpRef entropy = ops.neg(
+                  ops.reduce_mean(ops.reduce_sum(ops.mul(p, logp), 1)));
+              return std::vector<OpRef>{log_rhos, log_pi_bt, entropy};
+            },
+            {inputs[0], inputs[1], inputs[2]}, 3);
+
+        OpRecs discounts = graph_fn(
+            ctx, "discounts",
+            [this](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef not_term = ops.sub(ops.scalar(1.0f),
+                                       ops.cast(in[0], DType::kFloat32));
+              return std::vector<OpRef>{ops.mul(
+                  ops.scalar(static_cast<float>(discount_)), not_term)};
+            },
+            {inputs[4]});
+
+        // V-trace targets via custom kernel (constant w.r.t. gradients).
+        double rho_c = clip_rho_, pg_rho_c = clip_pg_rho_;
+        CustomKernel vtrace_kernel = [rho_c, pg_rho_c](
+                                         const std::vector<Tensor>& in) {
+          const Tensor& log_rhos = in[0];
+          int64_t batch = log_rhos.shape().dim(0);
+          int64_t time = log_rhos.shape().dim(1);
+          VTraceResult r = vtrace_from_log_rhos(
+              log_rhos.to_floats(), in[1].to_floats(), in[2].to_floats(),
+              in[3].to_floats(), in[4].to_floats(), batch, time, rho_c,
+              pg_rho_c);
+          Shape bt = log_rhos.shape();
+          return std::vector<Tensor>{Tensor::from_floats(bt, r.vs),
+                                     Tensor::from_floats(bt, r.pg_advantages)};
+        };
+        SpacePtr bt_space = FloatBox(Shape{T})->with_batch_rank();
+        OpRecs targets = graph_fn_custom(
+            ctx, "vtrace", vtrace_kernel,
+            {pieces[0], discounts[0], inputs[3], inputs[5], inputs[6]},
+            {bt_space, bt_space});
+
+        // Combine.
+        return graph_fn(
+            ctx, "combine",
+            [this](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef log_pi = in[0], entropy = in[1];
+              OpRef values = in[2], vs = in[3], pg_adv = in[4];
+              OpRef pg_loss =
+                  ops.neg(ops.reduce_mean(ops.mul(log_pi, pg_adv)));
+              OpRef v_loss = ops.mul(
+                  ops.scalar(0.5f),
+                  ops.reduce_mean(
+                      ops.square(ops.sub(values, ops.stop_gradient(vs)))));
+              OpRef loss = ops.add(
+                  pg_loss,
+                  ops.sub(ops.mul(ops.scalar(static_cast<float>(value_coef_)),
+                                  v_loss),
+                          ops.mul(ops.scalar(
+                                      static_cast<float>(entropy_coef_)),
+                                  entropy)));
+              return std::vector<OpRef>{loss, pg_loss, v_loss, entropy};
+            },
+            {pieces[1], pieces[2], inputs[5], targets[0], targets[1]}, 4,
+            {FloatBox(), FloatBox(), FloatBox(), FloatBox()});
+      });
+}
+
+}  // namespace rlgraph

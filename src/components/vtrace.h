@@ -1,0 +1,51 @@
+// V-trace off-policy correction (Espeholt et al. 2018) and the IMPALA loss
+// component built on it.
+#pragma once
+
+#include <vector>
+
+#include "core/component.h"
+
+namespace rlgraph {
+
+// Plain-math v-trace over a [batch, time] rollout (row-major, time minor).
+//
+// Inputs (all length batch*time unless noted):
+//   log_rhos      log(pi_target(a|s) / pi_behavior(a|s))
+//   discounts     gamma * (1 - terminal)
+//   rewards
+//   values        V(s) under the target network
+//   bootstrap     V(s_{T}) per batch row (length batch)
+// Outputs: vs (v-trace targets) and pg_advantages, both batch*time.
+struct VTraceResult {
+  std::vector<float> vs;
+  std::vector<float> pg_advantages;
+};
+VTraceResult vtrace_from_log_rhos(const std::vector<float>& log_rhos,
+                                  const std::vector<float>& discounts,
+                                  const std::vector<float>& rewards,
+                                  const std::vector<float>& values,
+                                  const std::vector<float>& bootstrap,
+                                  int64_t batch, int64_t time,
+                                  double clip_rho_threshold = 1.0,
+                                  double clip_pg_rho_threshold = 1.0);
+
+// IMPALA loss: v-trace policy gradient + value baseline + entropy bonus.
+// The v-trace targets are computed by a custom kernel (constants w.r.t. the
+// gradient, as in the reference implementation); the differentiable parts
+// (log-probs, baseline, entropy) are ordinary ops.
+class IMPALALoss : public Component {
+ public:
+  IMPALALoss(std::string name, double discount, double value_coef = 0.5,
+             double entropy_coef = 0.01, double clip_rho = 1.0,
+             double clip_pg_rho = 1.0);
+
+ private:
+  double discount_;
+  double value_coef_;
+  double entropy_coef_;
+  double clip_rho_;
+  double clip_pg_rho_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,48 @@
+#include "core/build_context.h"
+
+#include "core/component.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+BuildContext::BuildContext(OpContext* ops, BuildMode mode, MetaGraph* meta,
+                           FastPathRecorder* recorder)
+    : ops_(ops), mode_(mode), meta_(meta), recorder_(recorder) {
+  RLG_REQUIRE(mode == BuildMode::kAssemble || ops != nullptr,
+              "build/run modes require a backend context");
+}
+
+void BuildContext::push_call(Component* component, const std::string& method) {
+  call_stack_.emplace_back(component, method);
+}
+
+void BuildContext::pop_call() {
+  RLG_CHECK_MSG(!call_stack_.empty(), "pop_call on empty call stack");
+  call_stack_.pop_back();
+}
+
+Component* BuildContext::current_component() const {
+  return call_stack_.empty() ? nullptr : call_stack_.back().first;
+}
+
+std::string BuildContext::current_caller_scope() const {
+  return call_stack_.empty() ? std::string()
+                             : call_stack_.back().first->scope();
+}
+
+void BuildContext::record_edge(const std::string& caller,
+                               const std::string& callee,
+                               const std::string& method) {
+  if (meta_ != nullptr && mode_ == BuildMode::kAssemble) {
+    meta_->edges.push_back({caller, callee, method});
+  }
+}
+
+void BuildContext::record_graph_fn(const std::string& component,
+                                   const std::string& name) {
+  if (meta_ != nullptr && mode_ == BuildMode::kAssemble) {
+    meta_->graph_fns.push_back({component, name});
+  }
+}
+
+}  // namespace rlgraph

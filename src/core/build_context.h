@@ -1,0 +1,66 @@
+// BuildContext: the framework state threaded through API methods and graph
+// functions during the three build phases and define-by-run execution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backend/op_context.h"
+#include "core/meta_graph.h"
+
+namespace rlgraph {
+
+class Component;
+class FastPathRecorder;
+
+enum class BuildMode {
+  kAssemble,  // phase 2: abstract traversal, no backend objects
+  kBuild,     // phase 3: ops/variables/placeholders are created
+  kRun,       // define-by-run execution of a built component graph
+};
+
+class BuildContext {
+ public:
+  BuildContext(OpContext* ops, BuildMode mode, MetaGraph* meta = nullptr,
+               FastPathRecorder* recorder = nullptr);
+
+  OpContext& ops() {
+    RLG_CHECK_MSG(ops_ != nullptr, "no backend context in assemble mode");
+    return *ops_;
+  }
+  BuildMode mode() const { return mode_; }
+  bool assembling() const { return mode_ == BuildMode::kAssemble; }
+  bool building() const { return mode_ == BuildMode::kBuild; }
+  bool running() const { return mode_ == BuildMode::kRun; }
+
+  // --- component call stack (drives scoping and meta edges) -----------------
+  void push_call(Component* component, const std::string& method);
+  void pop_call();
+  Component* current_component() const;
+  std::string current_caller_scope() const;
+
+  // --- meta graph recording ----------------------------------------------------
+  void record_edge(const std::string& caller, const std::string& callee,
+                   const std::string& method);
+  void record_graph_fn(const std::string& component, const std::string& name);
+  MetaGraph* meta() { return meta_; }
+
+  // --- fast-path tracing (define-by-run mode) ------------------------------------
+  FastPathRecorder* recorder() { return recorder_; }
+
+  int api_calls() const { return api_calls_; }
+  int graph_fn_calls() const { return graph_fn_calls_; }
+
+ private:
+  friend class Component;
+
+  OpContext* ops_;
+  BuildMode mode_;
+  MetaGraph* meta_;
+  FastPathRecorder* recorder_;
+  std::vector<std::pair<Component*, std::string>> call_stack_;
+  int api_calls_ = 0;
+  int graph_fn_calls_ = 0;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,356 @@
+#include "core/component.h"
+
+#include <algorithm>
+
+#include "core/build_context.h"
+#include "core/fast_path.h"
+#include "util/errors.h"
+#include "util/logging.h"
+
+namespace rlgraph {
+
+OpRef OpRec::op() const {
+  RLG_REQUIRE(single(), "op record is not a single-leaf record (has "
+                            << ops.size() << " leaves)");
+  return ops[0];
+}
+
+Component::Component(std::string name) : name_(std::move(name)) {
+  RLG_REQUIRE(!name_.empty(), "component name must not be empty");
+  RLG_REQUIRE(name_.find('/') == std::string::npos,
+              "component name must not contain '/': " << name_);
+}
+
+std::string Component::scope() const {
+  if (parent_ == nullptr) return name_;
+  return parent_->scope() + "/" + name_;
+}
+
+void Component::adopt(std::shared_ptr<Component> child) {
+  RLG_REQUIRE(child != nullptr, "add_component(nullptr)");
+  RLG_REQUIRE(child->parent_ == nullptr,
+              "component '" << child->name() << "' already has a parent");
+  for (const auto& c : children_) {
+    RLG_REQUIRE(c->name() != child->name(),
+                "duplicate sub-component name '" << child->name() << "' in '"
+                                                 << name_ << "'");
+  }
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+}
+
+int Component::component_count() const {
+  int n = 1;
+  for (const auto& c : children_) n += c->component_count();
+  return n;
+}
+
+void Component::register_api(const std::string& name, ApiFn fn,
+                             bool split_inputs) {
+  RLG_REQUIRE(api_methods_.count(name) == 0,
+              "API method '" << name << "' already registered on '" << name_
+                             << "'");
+  api_methods_[name] = ApiMethodInfo{name, std::move(fn), split_inputs};
+}
+
+void Component::record_input_spaces(BuildContext& ctx,
+                                    const std::string& method,
+                                    const OpRecs& inputs) {
+  if (!ctx.building()) return;
+  std::vector<SpacePtr> spaces;
+  spaces.reserve(inputs.size());
+  for (const OpRec& rec : inputs) {
+    if (rec.space == nullptr) return;  // abstract record; nothing to learn
+    spaces.push_back(rec.space);
+  }
+  auto it = input_spaces_.find(method);
+  if (it == input_spaces_.end()) {
+    input_spaces_[method] = std::move(spaces);
+  }
+  // Subsequent calls with differing spaces are legal (e.g. a layer reused on
+  // two inputs); variables were created from the first-seen spaces.
+}
+
+OpRecs Component::call_api(BuildContext& ctx, const std::string& method,
+                           const OpRecs& inputs) {
+  auto it = api_methods_.find(method);
+  if (it == api_methods_.end()) {
+    throw NotFoundError("component '" + scope() + "' has no API method '" +
+                        method + "'");
+  }
+  const ApiMethodInfo& info = it->second;
+  ctx.record_edge(ctx.current_caller_scope(), scope(), method);
+  record_input_spaces(ctx, method, inputs);
+  ctx.push_call(this, method);
+  ++ctx.api_calls_;
+  OpRecs out;
+  try {
+    if (info.split_inputs &&
+        std::any_of(inputs.begin(), inputs.end(), [](const OpRec& r) {
+          return r.space != nullptr && r.space->is_container();
+        })) {
+      out = call_api_split(ctx, info, inputs);
+    } else {
+      out = info.fn(ctx, inputs);
+    }
+  } catch (...) {
+    ctx.pop_call();
+    throw;
+  }
+  ctx.pop_call();
+  return out;
+}
+
+OpRecs Component::call_api_split(BuildContext& ctx, const ApiMethodInfo& info,
+                                 const OpRecs& inputs) {
+  // Find the leaf structure from the first container input; all container
+  // inputs must share it. Single-leaf inputs are broadcast to every call.
+  const Space* container = nullptr;
+  size_t num_leaves = 0;
+  for (const OpRec& rec : inputs) {
+    if (rec.space != nullptr && rec.space->is_container()) {
+      std::vector<std::pair<std::string, SpacePtr>> leaves;
+      rec.space->flatten(&leaves);
+      if (container == nullptr) {
+        container = rec.space.get();
+        num_leaves = leaves.size();
+      } else {
+        RLG_REQUIRE(leaves.size() == num_leaves,
+                    "split API: container inputs disagree on leaf count");
+      }
+      RLG_REQUIRE(rec.abstract() || rec.ops.size() == num_leaves,
+                  "split API: record leaf refs out of sync with its space");
+    }
+  }
+  RLG_CHECK(container != nullptr);
+
+  std::vector<std::pair<std::string, SpacePtr>> leaves;
+  container->flatten(&leaves);
+
+  // One call per leaf.
+  std::vector<OpRecs> per_leaf_outputs;
+  for (size_t leaf = 0; leaf < num_leaves; ++leaf) {
+    OpRecs leaf_inputs;
+    leaf_inputs.reserve(inputs.size());
+    for (const OpRec& rec : inputs) {
+      if (rec.space != nullptr && rec.space->is_container()) {
+        std::vector<std::pair<std::string, SpacePtr>> rec_leaves;
+        rec.space->flatten(&rec_leaves);
+        OpRec lr;
+        lr.space = rec_leaves[leaf].second;
+        if (!rec.abstract()) lr.ops = {rec.ops[leaf]};
+        leaf_inputs.push_back(std::move(lr));
+      } else {
+        leaf_inputs.push_back(rec);
+      }
+    }
+    per_leaf_outputs.push_back(info.fn(ctx, leaf_inputs));
+  }
+
+  // Merge outputs: output i across all leaves becomes one container record
+  // (structure of the input container, leaf spaces replaced).
+  size_t arity = per_leaf_outputs[0].size();
+  for (const OpRecs& o : per_leaf_outputs) {
+    RLG_REQUIRE(o.size() == arity, "split API produced varying output arity");
+  }
+  OpRecs merged;
+  merged.reserve(arity);
+  for (size_t out_i = 0; out_i < arity; ++out_i) {
+    OpRec rec;
+    std::vector<std::pair<std::string, SpacePtr>> out_leaves;
+    std::vector<OpRef> refs;
+    bool have_spaces = true;
+    for (size_t leaf = 0; leaf < num_leaves; ++leaf) {
+      const OpRec& lr = per_leaf_outputs[leaf][out_i];
+      if (lr.space == nullptr) have_spaces = false;
+      out_leaves.emplace_back(leaves[leaf].first, lr.space);
+      if (!lr.abstract()) refs.push_back(lr.op());
+    }
+    if (have_spaces && !out_leaves.empty()) {
+      // Rebuild a Dict space keyed by the flattened paths. (Tuple containers
+      // flatten to numeric paths, which round-trip through Dict cleanly for
+      // record-keeping purposes.)
+      std::vector<std::pair<std::string, SpacePtr>> entries(out_leaves.begin(),
+                                                            out_leaves.end());
+      rec.space = num_leaves == 1 ? entries[0].second
+                                  : Dict(std::move(entries));
+    }
+    rec.ops = std::move(refs);
+    merged.push_back(std::move(rec));
+  }
+  return merged;
+}
+
+bool Component::input_complete() const {
+  for (const std::string& api : required_input_apis_) {
+    if (input_spaces_.count(api) == 0) return false;
+  }
+  return true;
+}
+
+void Component::ensure_built(BuildContext& ctx) {
+  if (built_) return;
+  RLG_REQUIRE(!ctx.running(),
+              "component '" << scope()
+                            << "' reached define-by-run execution unbuilt");
+  if (!input_complete()) throw InputIncomplete(this);
+  create_variables(ctx);
+  built_ = true;
+}
+
+void Component::create_variables(BuildContext&) {}
+
+const std::vector<SpacePtr>& Component::api_input_spaces(
+    const std::string& api_name) const {
+  auto it = input_spaces_.find(api_name);
+  if (it == input_spaces_.end()) {
+    throw BuildError("no input spaces recorded for API '" + api_name +
+                     "' of component '" + scope() + "'");
+  }
+  return it->second;
+}
+
+namespace {
+
+// Derive the output space of a graph function result from its ref signature
+// and the batch/time flags of the inputs.
+SpacePtr infer_space(OpContext& ops, OpRef ref, bool batch, bool time) {
+  Shape s = ops.shape(ref);
+  DType dtype = ops.dtype(ref);
+  int drop = 0;
+  if (batch && s.rank() > drop) ++drop;
+  if (time && s.rank() > drop) ++drop;
+  std::vector<int64_t> value_dims;
+  for (int i = drop; i < s.rank(); ++i) {
+    int64_t d = s.dim(i);
+    // Unknown non-leading dims cannot be represented in a box space; default
+    // them to 0 markers is worse than clamping — use 1 and rely on explicit
+    // out_spaces where this matters.
+    value_dims.push_back(d == kUnknownDim ? 1 : d);
+  }
+  auto box = std::make_shared<BoxSpace>(dtype, Shape(value_dims),
+                                        -1e30, 1e30);
+  return box->with_ranks(batch, time);
+}
+
+}  // namespace
+
+OpRecs Component::graph_fn(BuildContext& ctx, const std::string& name,
+                           const GraphFnBody& body, const OpRecs& inputs,
+                           int num_outputs, std::vector<SpacePtr> out_spaces) {
+  ctx.record_graph_fn(scope(), name);
+  ++ctx.graph_fn_calls_;
+
+  if (ctx.assembling()) {
+    return OpRecs(static_cast<size_t>(num_outputs));
+  }
+
+  ensure_built(ctx);
+
+  std::vector<OpRef> refs;
+  bool batch = false, time = false;
+  refs.reserve(inputs.size());
+  for (const OpRec& rec : inputs) {
+    RLG_REQUIRE(rec.single(),
+                "graph function '" << scope() << "/" << name
+                                   << "' requires single-leaf records; split "
+                                      "container records first");
+    refs.push_back(rec.op());
+    if (rec.space != nullptr) {
+      batch = batch || rec.space->has_batch_rank();
+      time = time || rec.space->has_time_rank();
+    }
+  }
+
+  OpContext& ops = ctx.ops();
+  ops.push_scope(scope());
+  std::string prev_device = ops.device();
+  if (!device_.empty()) ops.set_device(device_);
+  std::vector<OpRef> out_refs;
+  try {
+    out_refs = body(ops, refs);
+  } catch (...) {
+    ops.set_device(prev_device);
+    ops.pop_scope();
+    throw;
+  }
+  ops.set_device(prev_device);
+  ops.pop_scope();
+
+  RLG_REQUIRE(static_cast<int>(out_refs.size()) == num_outputs,
+              "graph function '" << scope() << "/" << name << "' returned "
+                                 << out_refs.size() << " refs, declared "
+                                 << num_outputs);
+
+  if (ctx.recorder() != nullptr) {
+    ctx.recorder()->record_step(scope() + "/" + name, body, refs, out_refs);
+  }
+
+  OpRecs out;
+  out.reserve(out_refs.size());
+  for (size_t i = 0; i < out_refs.size(); ++i) {
+    SpacePtr space = i < out_spaces.size() && out_spaces[i] != nullptr
+                         ? out_spaces[i]
+                         : infer_space(ops, out_refs[i], batch, time);
+    out.emplace_back(std::move(space), out_refs[i]);
+  }
+  return out;
+}
+
+OpRecs Component::graph_fn_custom(BuildContext& ctx, const std::string& name,
+                                  CustomKernel kernel, const OpRecs& inputs,
+                                  std::vector<SpacePtr> out_spaces) {
+  RLG_REQUIRE(!out_spaces.empty(),
+              "graph_fn_custom requires an explicit output signature");
+  std::vector<DType> out_dtypes;
+  std::vector<Shape> out_shapes;
+  for (const SpacePtr& s : out_spaces) {
+    RLG_REQUIRE(s != nullptr && s->is_box(),
+                "graph_fn_custom output spaces must be boxes");
+    const auto& box = static_cast<const BoxSpace&>(*s);
+    out_dtypes.push_back(box.dtype());
+    out_shapes.push_back(box.full_shape());
+  }
+  std::string display = scope() + "/" + name;
+  GraphFnBody body = [kernel = std::move(kernel), out_dtypes, out_shapes,
+                      display](OpContext& ops, const std::vector<OpRef>& in) {
+    return ops.apply_custom(display, kernel, in, out_dtypes, out_shapes);
+  };
+  // Take the count before moving out_spaces (argument evaluation order is
+  // unspecified).
+  int num_outputs = static_cast<int>(out_spaces.size());
+  return graph_fn(ctx, name, body, inputs, num_outputs,
+                  std::move(out_spaces));
+}
+
+void Component::create_var(BuildContext& ctx, const std::string& name,
+                           Tensor initial) {
+  std::string scoped = scope() + "/" + name;
+  ctx.ops().create_variable(scoped, std::move(initial));
+  variable_names_.push_back(scoped);
+}
+
+OpRef Component::read_var(BuildContext& ctx, const std::string& name) {
+  return ctx.ops().variable(scope() + "/" + name);
+}
+
+OpRef Component::assign_var(BuildContext& ctx, const std::string& name,
+                            OpRef value) {
+  return ctx.ops().assign(scope() + "/" + name, value);
+}
+
+OpRef Component::assign_add_var(BuildContext& ctx, const std::string& name,
+                                OpRef delta) {
+  return ctx.ops().assign_add(scope() + "/" + name, delta);
+}
+
+std::vector<std::string> Component::variable_names_recursive() const {
+  std::vector<std::string> out = variable_names_;
+  for (const auto& c : children_) {
+    std::vector<std::string> sub = c->variable_names_recursive();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,194 @@
+// Component: RLgraph's core abstraction (paper §3.2).
+//
+// A component encapsulates arbitrary computations behind declared API
+// methods. Components nest (sub-components), interact only through API-
+// method calls (the edges of the component graph), and confine all backend
+// code to graph functions. The framework manages scopes, devices, input
+// spaces and the variable-creation barrier.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/op_context.h"
+#include "spaces/space.h"
+
+namespace rlgraph {
+
+class BuildContext;
+class Component;
+
+// What flows through API methods: a space plus one backend op ref per leaf
+// of that space (exactly one for plain boxes; several for Dict/Tuple
+// records). During the assembly phase both are absent — records are purely
+// abstract connectivity tokens.
+struct OpRec {
+  SpacePtr space;
+  std::vector<OpRef> ops;
+
+  OpRec() = default;
+  OpRec(SpacePtr s, OpRef ref) : space(std::move(s)), ops{ref} {}
+  OpRec(SpacePtr s, std::vector<OpRef> refs)
+      : space(std::move(s)), ops(std::move(refs)) {}
+
+  bool abstract() const { return ops.empty(); }
+  bool single() const { return ops.size() == 1; }
+  // The backend ref; requires a single-leaf record.
+  OpRef op() const;
+};
+
+using OpRecs = std::vector<OpRec>;
+
+using ApiFn = std::function<OpRecs(BuildContext&, const OpRecs&)>;
+// Graph-function body: the only place backend objects (OpRefs via
+// OpContext) are manipulated.
+using GraphFnBody =
+    std::function<std::vector<OpRef>(OpContext&, const std::vector<OpRef>&)>;
+
+struct ApiMethodInfo {
+  std::string name;
+  ApiFn fn;
+  // The @rlgraph_api(split=True) option: container inputs are auto-split
+  // into leaves, the method is called once per leaf, and outputs are merged
+  // back into a container record.
+  bool split_inputs = false;
+};
+
+class Component {
+ public:
+  explicit Component(std::string name);
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const { return name_; }
+  // Full scope path from the root, e.g. "agent/policy/dense-0".
+  std::string scope() const;
+  Component* parent() const { return parent_; }
+
+  // Device assignment for this component's ops and variables ("" inherits
+  // the parent's device). Managed explicitly, not via nested contexts.
+  void set_device(std::string device) { device_ = std::move(device); }
+  const std::string& device() const { return device_; }
+
+  // --- composition (phase 1) -------------------------------------------------
+  // Adds a sub-component; returns a non-owning typed pointer for wiring.
+  template <typename T>
+  T* add_component(std::shared_ptr<T> child) {
+    T* raw = child.get();
+    adopt(child);
+    return raw;
+  }
+  const std::vector<std::shared_ptr<Component>>& sub_components() const {
+    return children_;
+  }
+  // Number of components in this subtree (incl. self) — the paper's
+  // "43 components" metric for DQN.
+  int component_count() const;
+
+  // --- API methods -----------------------------------------------------------
+  void register_api(const std::string& name, ApiFn fn,
+                    bool split_inputs = false);
+  bool has_api(const std::string& name) const {
+    return api_methods_.count(name) > 0;
+  }
+  const std::map<std::string, ApiMethodInfo>& api_methods() const {
+    return api_methods_;
+  }
+
+  // Invoke an API method of this component. This is an edge of the
+  // component graph; only through here may components exchange data.
+  OpRecs call_api(BuildContext& ctx, const std::string& method,
+                  const OpRecs& inputs);
+
+  // --- graph functions ----------------------------------------------------------
+  // Runs `body` under this component's scope/device. During assembly the
+  // body is NOT executed; `num_outputs` declares the output arity for the
+  // abstract record columns. Output spaces are inferred from the resulting
+  // refs unless `out_spaces` overrides them.
+  OpRecs graph_fn(BuildContext& ctx, const std::string& name,
+                  const GraphFnBody& body, const OpRecs& inputs,
+                  int num_outputs = 1,
+                  std::vector<SpacePtr> out_spaces = {});
+  // Stateful component op (memory insert/sample, ...) with an explicit
+  // output signature; `kernel` closes over this component's state.
+  OpRecs graph_fn_custom(BuildContext& ctx, const std::string& name,
+                         CustomKernel kernel, const OpRecs& inputs,
+                         std::vector<SpacePtr> out_spaces);
+
+  // --- variables & the input-completeness barrier -----------------------------
+  // Override to create this component's variables; called exactly once, when
+  // the component becomes input-complete, before any of its graph functions
+  // execute.
+  virtual void create_variables(BuildContext& ctx);
+  // Declare the API methods whose input spaces must be known before
+  // create_variables can run (e.g. a memory requires "insert_records").
+  // Without a declaration, the component is complete at its first graph-
+  // function invocation.
+  void require_input_spaces(std::vector<std::string> api_names) {
+    required_input_apis_ = std::move(api_names);
+  }
+  bool input_complete() const;
+  bool built() const { return built_; }
+
+  // Input spaces recorded at each API method during the build.
+  const std::vector<SpacePtr>& api_input_spaces(
+      const std::string& api_name) const;
+  bool has_api_input_spaces(const std::string& api_name) const {
+    return input_spaces_.count(api_name) > 0;
+  }
+
+  // Variable helpers (names are scoped automatically).
+  void create_var(BuildContext& ctx, const std::string& name, Tensor initial);
+  OpRef read_var(BuildContext& ctx, const std::string& name);
+  OpRef assign_var(BuildContext& ctx, const std::string& name, OpRef value);
+  OpRef assign_add_var(BuildContext& ctx, const std::string& name,
+                       OpRef delta);
+  // Fully scoped names of this component's variables (not sub-components').
+  const std::vector<std::string>& variable_names() const {
+    return variable_names_;
+  }
+  // Scoped names of all variables in this subtree.
+  std::vector<std::string> variable_names_recursive() const;
+
+ private:
+  friend class GraphBuilder;
+
+  void adopt(std::shared_ptr<Component> child);
+  void ensure_built(BuildContext& ctx);
+  void record_input_spaces(BuildContext& ctx, const std::string& method,
+                           const OpRecs& inputs);
+  OpRecs call_api_split(BuildContext& ctx, const ApiMethodInfo& method,
+                        const OpRecs& inputs);
+
+  std::string name_;
+  std::string device_;
+  Component* parent_ = nullptr;
+  std::vector<std::shared_ptr<Component>> children_;
+  std::map<std::string, ApiMethodInfo> api_methods_;
+  std::map<std::string, std::vector<SpacePtr>> input_spaces_;
+  std::vector<std::string> required_input_apis_;
+  std::vector<std::string> variable_names_;
+  bool built_ = false;
+};
+
+// Thrown (internally) when a graph function is reached before its component
+// is input-complete; the builder defers and retries (paper's iterative
+// build).
+class InputIncomplete : public std::exception {
+ public:
+  explicit InputIncomplete(Component* component) : component_(component) {}
+  Component* component() const { return component_; }
+  const char* what() const noexcept override {
+    return "component not input-complete";
+  }
+
+ private:
+  Component* component_;
+};
+
+}  // namespace rlgraph

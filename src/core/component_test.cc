@@ -1,0 +1,48 @@
+#include "core/component_test.h"
+
+#include "spaces/nested.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+ComponentTest::ComponentTest(
+    std::shared_ptr<Component> component,
+    std::map<std::string, std::vector<SpacePtr>> api_input_spaces,
+    ExecutorOptions options)
+    : api_input_spaces_(api_input_spaces),
+      executor_(std::move(component), std::move(api_input_spaces), options) {
+  executor_.build();
+}
+
+std::vector<Tensor> ComponentTest::test(const std::string& api,
+                                        const std::vector<Tensor>& inputs) {
+  return executor_.execute(api, inputs);
+}
+
+std::vector<Tensor> ComponentTest::test_with_sampled_inputs(
+    const std::string& api, int64_t batch_size, int64_t time_size) {
+  auto it = api_input_spaces_.find(api);
+  RLG_REQUIRE(it != api_input_spaces_.end(),
+              "no input spaces declared for API '" << api << "'");
+  std::vector<Tensor> inputs;
+  for (const SpacePtr& space : it->second) {
+    NestedTensor sample =
+        space->sample(executor_.rng(), batch_size, time_size);
+    for (auto& [path, tensor] : sample.flatten()) {
+      inputs.push_back(std::move(tensor));
+    }
+  }
+  return executor_.execute(api, inputs);
+}
+
+std::vector<Tensor> ComponentTest::expect_outputs(
+    const std::string& api, const std::vector<Tensor>& inputs,
+    size_t expected_leaves) {
+  std::vector<Tensor> out = executor_.execute(api, inputs);
+  RLG_REQUIRE(out.size() == expected_leaves,
+              "API '" << api << "' returned " << out.size()
+                      << " leaves, expected " << expected_leaves);
+  return out;
+}
+
+}  // namespace rlgraph

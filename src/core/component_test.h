@@ -1,0 +1,44 @@
+// ComponentTest: build any component or component combination as its own
+// sub-graph from declared input spaces and call its API with example data —
+// the incremental sub-graph testing utility of paper §3.3 / Listing 1.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graph_executor.h"
+
+namespace rlgraph {
+
+class ComponentTest {
+ public:
+  // Builds `component` as a root with the given per-API input spaces.
+  ComponentTest(std::shared_ptr<Component> component,
+                std::map<std::string, std::vector<SpacePtr>> api_input_spaces,
+                ExecutorOptions options = {});
+
+  // Execute one API method with explicit leaf tensors.
+  std::vector<Tensor> test(const std::string& api,
+                           const std::vector<Tensor>& inputs = {});
+
+  // Execute one API method on inputs sampled from its declared spaces.
+  std::vector<Tensor> test_with_sampled_inputs(const std::string& api,
+                                               int64_t batch_size = 2,
+                                               int64_t time_size = 1);
+
+  // Convenience assertion helper: run `api` and check output leaf count.
+  std::vector<Tensor> expect_outputs(const std::string& api,
+                                     const std::vector<Tensor>& inputs,
+                                     size_t expected_leaves);
+
+  GraphExecutor& executor() { return executor_; }
+  Rng& rng() { return executor_.rng(); }
+
+ private:
+  std::map<std::string, std::vector<SpacePtr>> api_input_spaces_;
+  GraphExecutor executor_;
+};
+
+}  // namespace rlgraph

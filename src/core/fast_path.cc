@@ -1,0 +1,108 @@
+#include "core/fast_path.h"
+
+#include "backend/imperative_context.h"
+#include "util/errors.h"
+#include "util/logging.h"
+
+namespace rlgraph {
+
+std::vector<Tensor> FastPathProgram::run(
+    VariableStore* variables, Rng* rng,
+    const std::vector<Tensor>& inputs) const {
+  RLG_REQUIRE(valid(), "fast-path program is not valid");
+  RLG_REQUIRE(inputs.size() == num_inputs_,
+              "fast-path program expects " << num_inputs_ << " inputs, got "
+                                           << inputs.size());
+  ImperativeContext ctx(variables, rng, /*build_mode=*/false);
+  std::vector<OpRef> input_refs;
+  input_refs.reserve(inputs.size());
+  for (const Tensor& t : inputs) input_refs.push_back(ctx.literal(t));
+
+  std::vector<std::vector<OpRef>> step_outputs(steps_.size());
+  auto resolve = [&](const Source& s) -> OpRef {
+    if (s.step < 0) return input_refs[static_cast<size_t>(s.index)];
+    return step_outputs[static_cast<size_t>(s.step)]
+                       [static_cast<size_t>(s.index)];
+  };
+
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const Step& step = steps_[i];
+    std::vector<OpRef> args;
+    args.reserve(step.sources.size());
+    for (const Source& s : step.sources) args.push_back(resolve(s));
+    step_outputs[i] = step.body(ctx, args);
+    RLG_CHECK_MSG(static_cast<int>(step_outputs[i].size()) ==
+                      step.num_outputs,
+                  "fast-path step '" << step.label
+                                     << "' output arity changed");
+  }
+
+  std::vector<Tensor> out;
+  out.reserve(outputs_.size());
+  for (const Source& s : outputs_) out.push_back(ctx.value(resolve(s)));
+  return out;
+}
+
+void FastPathRecorder::register_input(OpRef ref, int input_index) {
+  sources_[{ref.node, ref.index}] = FastPathProgram::Source{-1, input_index};
+}
+
+bool FastPathRecorder::resolve(OpRef ref,
+                               FastPathProgram::Source* out) const {
+  auto it = sources_.find({ref.node, ref.index});
+  if (it == sources_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void FastPathRecorder::record_step(const std::string& label,
+                                   const GraphFnBody& body,
+                                   const std::vector<OpRef>& inputs,
+                                   const std::vector<OpRef>& outputs) {
+  if (!valid_) return;
+  FastPathProgram::Step step;
+  step.label = label;
+  step.body = body;
+  step.num_outputs = static_cast<int>(outputs.size());
+  for (const OpRef& in : inputs) {
+    FastPathProgram::Source src;
+    if (!resolve(in, &src)) {
+      invalidate("graph function '" + label +
+                 "' consumed a ref of unknown origin");
+      return;
+    }
+    step.sources.push_back(src);
+  }
+  int step_index = static_cast<int>(steps_.size());
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    sources_[{outputs[i].node, outputs[i].index}] =
+        FastPathProgram::Source{step_index, static_cast<int>(i)};
+  }
+  steps_.push_back(std::move(step));
+}
+
+void FastPathRecorder::invalidate(const std::string& reason) {
+  if (valid_) {
+    RLG_LOG_DEBUG << "fast-path contraction disabled: " << reason;
+  }
+  valid_ = false;
+}
+
+FastPathProgram FastPathRecorder::finish(const std::vector<OpRef>& outputs,
+                                         size_t num_inputs) {
+  FastPathProgram program;
+  program.valid_ = valid_;
+  program.num_inputs_ = num_inputs;
+  for (const OpRef& out : outputs) {
+    FastPathProgram::Source src;
+    if (!resolve(out, &src)) {
+      program.valid_ = false;
+      break;
+    }
+    program.outputs_.push_back(src);
+  }
+  program.steps_ = std::move(steps_);
+  return program;
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,71 @@
+// Fast-path edge contraction for define-by-run execution (paper §5.1).
+//
+// Dispatching a define-by-run API call through nested component API methods
+// costs one indirection per edge. When the graph builder can identify that a
+// call is a pure chain of graph functions (calls are edges, components are
+// vertices), it contracts the edges: the traced program invokes the graph-
+// function bodies directly with pre-computed argument routing, skipping all
+// intermediate component calls.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "backend/op_context.h"
+#include "core/component.h"
+
+namespace rlgraph {
+
+class FastPathProgram {
+ public:
+  struct Source {
+    int step = -1;  // -1: API input, else producing step index
+    int index = 0;  // input index or step output index
+  };
+  struct Step {
+    GraphFnBody body;
+    std::vector<Source> sources;
+    int num_outputs = 0;
+    std::string label;  // "component-scope/fn-name" for diagnostics
+  };
+
+  bool valid() const { return valid_ && !steps_.empty(); }
+  size_t num_steps() const { return steps_.size(); }
+
+  // Replays the contracted program against fresh inputs.
+  std::vector<Tensor> run(VariableStore* variables, Rng* rng,
+                          const std::vector<Tensor>& inputs) const;
+
+ private:
+  friend class FastPathRecorder;
+
+  std::vector<Step> steps_;
+  std::vector<Source> outputs_;
+  size_t num_inputs_ = 0;
+  bool valid_ = false;
+};
+
+// Records a program during one normally-dispatched define-by-run call.
+class FastPathRecorder {
+ public:
+  void register_input(OpRef ref, int input_index);
+  // Called by Component::graph_fn after the body executed.
+  void record_step(const std::string& label, const GraphFnBody& body,
+                   const std::vector<OpRef>& inputs,
+                   const std::vector<OpRef>& outputs);
+  // Mark the recording as non-contractible (e.g. a ref of unknown origin).
+  void invalidate(const std::string& reason);
+
+  FastPathProgram finish(const std::vector<OpRef>& outputs,
+                         size_t num_inputs);
+
+ private:
+  bool resolve(OpRef ref, FastPathProgram::Source* out) const;
+
+  std::map<std::pair<int, int>, FastPathProgram::Source> sources_;
+  std::vector<FastPathProgram::Step> steps_;
+  bool valid_ = true;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,149 @@
+#include "core/graph_builder.h"
+
+#include <sstream>
+
+#include "core/build_context.h"
+#include "util/errors.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace rlgraph {
+
+std::string MetaGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph component_graph {\n";
+  for (const CallEdge& e : edges) {
+    os << "  \"" << (e.caller.empty() ? "<api>" : e.caller) << "\" -> \""
+       << e.callee << "\" [label=\"" << e.method << "\"];\n";
+  }
+  for (const GraphFnCall& g : graph_fns) {
+    os << "  \"" << g.component << "\" -> \"" << g.component << "/"
+       << g.name << "()\" [style=dotted];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+GraphBuilder::GraphBuilder(
+    Component* root,
+    std::map<std::string, std::vector<SpacePtr>> api_input_spaces)
+    : root_(root), api_input_spaces_(std::move(api_input_spaces)) {
+  RLG_REQUIRE(root_ != nullptr, "GraphBuilder requires a root component");
+  for (const auto& [method, spaces] : api_input_spaces_) {
+    RLG_REQUIRE(root_->has_api(method),
+                "root component '" << root_->name()
+                                   << "' has no API method '" << method
+                                   << "'");
+    for (const SpacePtr& s : spaces) {
+      RLG_REQUIRE(s != nullptr, "null input space for API '" << method << "'");
+    }
+  }
+}
+
+MetaGraph GraphBuilder::assemble() {
+  Stopwatch watch;
+  MetaGraph meta;
+  BuildContext ctx(nullptr, BuildMode::kAssemble, &meta);
+  // "Call all api methods once, generate op columns."
+  for (const auto& [method, spaces] : api_input_spaces_) {
+    OpRecs inputs(spaces.size());
+    OpRecs outputs = root_->call_api(ctx, method, inputs);
+    meta.api_output_arity[method] = static_cast<int>(outputs.size());
+  }
+  meta.num_components = root_->component_count();
+  meta.trace_seconds = watch.elapsed_seconds();
+  return meta;
+}
+
+BuiltApi GraphBuilder::build_api_method(OpContext& ctx,
+                                        const std::string& method,
+                                        const std::vector<SpacePtr>& spaces,
+                                        BuildContext& bctx) {
+  BuiltApi api;
+  api.name = method;
+  api.input_spaces = spaces;
+
+  // One input record per API input parameter; one placeholder per leaf.
+  OpRecs inputs;
+  inputs.reserve(spaces.size());
+  int arg_index = 0;
+  for (const SpacePtr& space : spaces) {
+    std::vector<std::pair<std::string, SpacePtr>> leaves;
+    space->flatten(&leaves);
+    OpRec rec;
+    rec.space = space;
+    for (const auto& [path, leaf] : leaves) {
+      const auto& box = static_cast<const BoxSpace&>(*leaf);
+      std::string ph_name = "api/" + method + "/arg" +
+                            std::to_string(arg_index) +
+                            (path.empty() ? "" : "/" + path);
+      OpRef ref = ctx.placeholder(ph_name, box.dtype(), box.full_shape());
+      rec.ops.push_back(ref);
+      api.placeholders.push_back(ref);
+    }
+    ++arg_index;
+    inputs.push_back(std::move(rec));
+  }
+  api.num_input_leaves = api.placeholders.size();
+
+  OpRecs outputs = root_->call_api(bctx, method, inputs);
+  for (const OpRec& rec : outputs) {
+    RLG_REQUIRE(!rec.abstract(), "API method '"
+                                     << method
+                                     << "' returned an abstract record from "
+                                        "the build phase");
+    api.output_spaces.push_back(rec.space);
+    for (const OpRef& ref : rec.ops) api.fetches.push_back(ref);
+  }
+  return api;
+}
+
+std::map<std::string, BuiltApi> GraphBuilder::build(OpContext& ctx,
+                                                    BuildStats* stats) {
+  Stopwatch watch;
+  BuildContext bctx(&ctx, BuildMode::kBuild);
+
+  std::map<std::string, BuiltApi> registry;
+  std::vector<std::string> pending;
+  for (const auto& [method, _] : api_input_spaces_) pending.push_back(method);
+
+  int iterations = 0;
+  while (!pending.empty()) {
+    ++iterations;
+    std::vector<std::string> still_pending;
+    Component* last_incomplete = nullptr;
+    for (const std::string& method : pending) {
+      try {
+        registry[method] = build_api_method(
+            ctx, method, api_input_spaces_.at(method), bctx);
+      } catch (const InputIncomplete& e) {
+        last_incomplete = e.component();
+        still_pending.push_back(method);
+      }
+    }
+    if (still_pending.size() == pending.size()) {
+      throw BuildError(
+          "build constraint violation: no progress; component '" +
+          (last_incomplete != nullptr ? last_incomplete->scope()
+                                      : std::string("?")) +
+          "' never became input-complete. Check that some API method "
+          "provides its required input spaces.");
+    }
+    pending = std::move(still_pending);
+  }
+
+  if (stats != nullptr) {
+    stats->build_seconds = watch.elapsed_seconds();
+    stats->num_components = root_->component_count();
+    stats->api_calls = bctx.api_calls();
+    stats->graph_fn_calls = bctx.graph_fn_calls();
+    stats->build_iterations = iterations;
+  }
+  RLG_LOG_INFO << "built component graph for '" << root_->name() << "': "
+               << root_->component_count() << " components, "
+               << bctx.graph_fn_calls() << " graph fn calls, " << iterations
+               << " iterations";
+  return registry;
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,65 @@
+// GraphBuilder: drives the assembly (phase 2) and graph-compilation
+// (phase 3) build phases over a root component (paper §3.3, Algorithm 1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/component.h"
+#include "core/meta_graph.h"
+
+namespace rlgraph {
+
+// Build product per root API method: the op registry entry the executor
+// dispatches through.
+struct BuiltApi {
+  std::string name;
+  // Per declared input record (possibly a container space).
+  std::vector<SpacePtr> input_spaces;
+  // Flattened placeholder refs, one per input leaf (static backend).
+  std::vector<OpRef> placeholders;
+  // Output records and their flattened fetch refs.
+  std::vector<SpacePtr> output_spaces;
+  std::vector<OpRef> fetches;
+  size_t num_input_leaves = 0;
+};
+
+struct BuildStats {
+  double trace_seconds = 0.0;   // phase 2 (component-graph assembly)
+  double build_seconds = 0.0;   // phase 3 (op/variable creation)
+  double optimize_seconds = 0.0;
+  int num_components = 0;
+  int api_calls = 0;
+  int graph_fn_calls = 0;
+  int graph_nodes_before = 0;  // static backend only
+  int graph_nodes_after = 0;
+  int build_iterations = 0;    // deferral rounds until input-complete
+};
+
+class GraphBuilder {
+ public:
+  GraphBuilder(Component* root,
+               std::map<std::string, std::vector<SpacePtr>> api_input_spaces);
+
+  // Phase 2: traverse each root API method once with abstract records.
+  MetaGraph assemble();
+
+  // Phase 3: re-traverse with the backend context, creating placeholders,
+  // variables (behind the input-completeness barrier) and operations.
+  // Methods whose components are not yet input-complete are deferred and
+  // retried until a fixed point ("breadth-first-search until there are no
+  // more components to build or a constraint violation is detected").
+  std::map<std::string, BuiltApi> build(OpContext& ctx, BuildStats* stats);
+
+ private:
+  BuiltApi build_api_method(OpContext& ctx, const std::string& method,
+                            const std::vector<SpacePtr>& spaces,
+                            BuildContext& bctx);
+
+  Component* root_;
+  std::map<std::string, std::vector<SpacePtr>> api_input_spaces_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,257 @@
+#include "core/graph_executor.h"
+
+#include "core/build_context.h"
+#include "util/errors.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/serialization.h"
+
+namespace rlgraph {
+
+GraphExecutor::GraphExecutor(
+    std::shared_ptr<Component> root,
+    std::map<std::string, std::vector<SpacePtr>> api_input_spaces,
+    ExecutorOptions options)
+    : root_(std::move(root)),
+      api_input_spaces_(std::move(api_input_spaces)),
+      options_(options), rng_(options.seed) {
+  RLG_REQUIRE(root_ != nullptr, "GraphExecutor requires a root component");
+}
+
+namespace {
+// Apply a device map to the component tree: longest scope-prefix wins.
+void apply_device_map(Component* component,
+                      const std::map<std::string, std::string>& device_map) {
+  std::string scope = component->scope();
+  std::string best;
+  size_t best_len = 0;
+  for (const auto& [prefix, device] : device_map) {
+    bool match = scope.rfind(prefix, 0) == 0 &&
+                 (scope.size() == prefix.size() ||
+                  scope[prefix.size()] == '/');
+    if (match && prefix.size() >= best_len) {
+      best = device;
+      best_len = prefix.size();
+    }
+  }
+  if (!best.empty()) component->set_device(best);
+  for (const auto& child : component->sub_components()) {
+    apply_device_map(child.get(), device_map);
+  }
+}
+}  // namespace
+
+const BuildStats& GraphExecutor::build() {
+  if (built_) return stats_;
+
+  if (!options_.device_map.empty()) {
+    apply_device_map(root_.get(), options_.device_map);
+  }
+  GraphBuilder builder(root_.get(), api_input_spaces_);
+  // Phase 2: component-graph assembly.
+  meta_ = builder.assemble();
+  stats_.trace_seconds = meta_.trace_seconds;
+
+  // Phase 3: backend build.
+  if (options_.backend == Backend::kStatic) {
+    StaticGraphContext ctx(&variables_, &rng_);
+    ctx.set_device(options_.default_device);
+    api_registry_ = builder.build(ctx, &stats_);
+    graph_ = ctx.graph();
+    stats_.graph_nodes_before = graph_->num_nodes();
+
+    if (options_.optimize) {
+      Stopwatch watch;
+      std::vector<Endpoint> roots;
+      for (const auto& [_, api] : api_registry_) {
+        for (const OpRef& f : api.fetches) roots.push_back({f.node, f.index});
+        for (const OpRef& p : api.placeholders) {
+          roots.push_back({p.node, p.index});
+        }
+      }
+      OptimizeResult opt = optimize_graph(*graph_, roots);
+      // Remap the registry onto the optimized graph.
+      for (auto& [_, api] : api_registry_) {
+        for (OpRef& f : api.fetches) {
+          Endpoint e = opt.endpoint_map.at({f.node, f.index});
+          f = OpRef{e.node, e.index};
+        }
+        for (OpRef& p : api.placeholders) {
+          Endpoint e = opt.endpoint_map.at({p.node, p.index});
+          p = OpRef{e.node, e.index};
+        }
+      }
+      graph_ = opt.graph;
+      stats_.optimize_seconds = watch.elapsed_seconds();
+    }
+    stats_.graph_nodes_after = graph_->num_nodes();
+    session_ = std::make_unique<Session>(graph_, &variables_, &rng_);
+  } else {
+    ImperativeContext ctx(&variables_, &rng_, /*build_mode=*/true,
+                          options_.probe_batch);
+    ctx.set_device(options_.default_device);
+    api_registry_ = builder.build(ctx, &stats_);
+    // The build tape is discarded; define-by-run execution re-dispatches per
+    // call (or replays the fast path).
+  }
+  built_ = true;
+  return stats_;
+}
+
+std::vector<Tensor> GraphExecutor::execute(const std::string& api_name,
+                                           const std::vector<Tensor>& inputs) {
+  RLG_REQUIRE(built_, "GraphExecutor::execute before build()");
+  auto it = api_registry_.find(api_name);
+  if (it == api_registry_.end()) {
+    throw NotFoundError("unknown API method '" + api_name + "'");
+  }
+  const BuiltApi& api = it->second;
+  RLG_REQUIRE(inputs.size() == api.num_input_leaves,
+              "API '" << api_name << "' expects " << api.num_input_leaves
+                      << " input tensors, got " << inputs.size());
+  ++execution_calls_;
+  if (options_.profiling) {
+    ScopedTimer timer(&profile_, "execute/" + api_name);
+    profile_.increment("calls/" + api_name);
+    return options_.backend == Backend::kStatic
+               ? execute_static(api, inputs)
+               : execute_imperative(api, inputs);
+  }
+  return options_.backend == Backend::kStatic
+             ? execute_static(api, inputs)
+             : execute_imperative(api, inputs);
+}
+
+std::vector<Tensor> GraphExecutor::execute_static(
+    const BuiltApi& api, const std::vector<Tensor>& inputs) {
+  FeedMap feeds;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    feeds[api.placeholders[i].node] = inputs[i];
+  }
+  std::vector<Endpoint> fetches;
+  fetches.reserve(api.fetches.size());
+  for (const OpRef& f : api.fetches) fetches.push_back({f.node, f.index});
+  return session_->run(fetches, feeds);
+}
+
+std::vector<Tensor> GraphExecutor::execute_imperative(
+    const BuiltApi& api, const std::vector<Tensor>& inputs) {
+  // Fast path: replay the contracted program when available.
+  auto fp = fast_paths_.find(api.name);
+  if (fp != fast_paths_.end() && fp->second.valid()) {
+    return fp->second.run(&variables_, &rng_, inputs);
+  }
+
+  ImperativeContext ctx(&variables_, &rng_, /*build_mode=*/false);
+  bool trace = options_.fast_path && fp == fast_paths_.end();
+  FastPathRecorder recorder;
+  BuildContext bctx(&ctx, BuildMode::kRun, nullptr,
+                    trace ? &recorder : nullptr);
+
+  // Bind inputs, leaf-wise per declared record.
+  OpRecs records;
+  size_t cursor = 0;
+  int input_index = 0;
+  for (const SpacePtr& space : api.input_spaces) {
+    std::vector<std::pair<std::string, SpacePtr>> leaves;
+    space->flatten(&leaves);
+    OpRec rec;
+    rec.space = space;
+    for (size_t l = 0; l < leaves.size(); ++l) {
+      OpRef ref = ctx.literal(inputs[cursor++]);
+      if (trace) recorder.register_input(ref, input_index);
+      ++input_index;
+      rec.ops.push_back(ref);
+    }
+    records.push_back(std::move(rec));
+  }
+
+  OpRecs outputs = root_->call_api(bctx, api.name, records);
+
+  std::vector<OpRef> out_refs;
+  std::vector<Tensor> out;
+  for (const OpRec& rec : outputs) {
+    for (const OpRef& ref : rec.ops) {
+      out_refs.push_back(ref);
+      out.push_back(ctx.value(ref));
+    }
+  }
+  if (trace) {
+    FastPathProgram program = recorder.finish(out_refs, inputs.size());
+    if (program.valid()) {
+      RLG_LOG_DEBUG << "fast-path contraction enabled for API '" << api.name
+                    << "' (" << program.num_steps() << " steps)";
+    }
+    fast_paths_[api.name] = std::move(program);
+  }
+  return out;
+}
+
+std::string GraphExecutor::graph_dump() const {
+  if (graph_ == nullptr) return "(define-by-run backend: no static graph)";
+  return graph_->to_string();
+}
+
+std::map<std::string, Tensor> GraphExecutor::get_weights(
+    const std::string& prefix) {
+  std::map<std::string, Tensor> out;
+  for (const std::string& name : variables_.names()) {
+    if (name.rfind(prefix, 0) == 0) {
+      out.emplace(name, variables_.get(name).clone());
+    }
+  }
+  return out;
+}
+
+void GraphExecutor::set_weights(const std::map<std::string, Tensor>& weights) {
+  for (const auto& [name, value] : weights) {
+    variables_.set(name, value.clone());
+  }
+}
+
+namespace {
+constexpr uint32_t kCheckpointMagic = 0x524C4756;  // "RLGV"
+constexpr uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+std::vector<uint8_t> GraphExecutor::export_variables() {
+  ByteWriter w;
+  w.write_u32(kCheckpointMagic);
+  w.write_u32(kCheckpointVersion);
+  std::vector<std::string> names = variables_.names();
+  w.write_u32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    const Tensor& t = variables_.get(name);
+    w.write_string(name);
+    w.write_u8(static_cast<uint8_t>(t.dtype()));
+    w.write_u32(static_cast<uint32_t>(t.shape().rank()));
+    for (int64_t d : t.shape().dims()) w.write_i64(d);
+    w.write_u64(t.byte_size());
+    w.write_bytes(t.raw(), t.byte_size());
+  }
+  return w.take();
+}
+
+void GraphExecutor::import_variables(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  RLG_REQUIRE(r.read_u32() == kCheckpointMagic,
+              "bad checkpoint magic; not an RLgraph variable file");
+  RLG_REQUIRE(r.read_u32() == kCheckpointVersion,
+              "unsupported checkpoint version");
+  uint32_t count = r.read_u32();
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name = r.read_string();
+    DType dtype = static_cast<DType>(r.read_u8());
+    uint32_t rank = r.read_u32();
+    std::vector<int64_t> dims(rank);
+    for (uint32_t d = 0; d < rank; ++d) dims[d] = r.read_i64();
+    uint64_t nbytes = r.read_u64();
+    Tensor t(dtype, Shape(dims));
+    RLG_REQUIRE(t.byte_size() == nbytes, "checkpoint size mismatch for '"
+                                             << name << "'");
+    r.read_bytes(t.mutable_raw(), nbytes);
+    variables_.set(name, std::move(t));
+  }
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,116 @@
+// GraphExecutor: the execution bridge between the component graph and a
+// backend (paper §4.1). Owns the variable store, drives all build phases,
+// and serves execute(api, inputs) requests:
+//
+//  * static backend — looks up placeholders and fetch ops in the op registry
+//    and batches everything into a single session call; the component graph
+//    is not consulted again after the build.
+//  * define-by-run backend — re-dispatches the call chain of graph functions
+//    through the component graph, or replays the contracted fast-path
+//    program when edge contraction succeeded.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/imperative_context.h"
+#include "backend/static_context.h"
+#include "core/fast_path.h"
+#include "core/graph_builder.h"
+#include "graph/passes.h"
+#include "graph/session.h"
+#include "util/metrics.h"
+
+namespace rlgraph {
+
+struct ExecutorOptions {
+  Backend backend = Backend::kStatic;
+  // Run the graph optimization passes after the static build.
+  bool optimize = true;
+  // Attempt fast-path edge contraction for define-by-run dispatch.
+  bool fast_path = true;
+  uint64_t seed = 1234;
+  // Probe batch extent used for artificial placeholders in define-by-run
+  // builds.
+  int64_t probe_batch = 2;
+  std::string default_device = "/cpu:0";
+  // Per-component device assignments applied to the component tree before
+  // the build (longest scope prefix wins); entries: scope -> device.
+  std::map<std::string, std::string> device_map;
+  // Record per-API execute() latencies into the profiling registry.
+  bool profiling = false;
+};
+
+class GraphExecutor {
+ public:
+  // The executor shares ownership of the root component; a component tree
+  // must be built by at most one executor.
+  GraphExecutor(std::shared_ptr<Component> root,
+                std::map<std::string, std::vector<SpacePtr>> api_input_spaces,
+                ExecutorOptions options = {});
+
+  // Runs assembly + build (+ optimization); idempotent.
+  const BuildStats& build();
+
+  // Serve one API request. Inputs/outputs are flattened leaf tensors in
+  // space-flatten order.
+  std::vector<Tensor> execute(const std::string& api,
+                              const std::vector<Tensor>& inputs = {});
+
+  // --- introspection ---------------------------------------------------------
+  Component* root() { return root_.get(); }
+  const MetaGraph& meta_graph() const { return meta_; }
+  const BuildStats& stats() const { return stats_; }
+  const std::map<std::string, BuiltApi>& api_registry() const {
+    return api_registry_;
+  }
+  VariableStore& variables() { return variables_; }
+  Rng& rng() { return rng_; }
+  Backend backend() const { return options_.backend; }
+  // Static backend: one per execute(); define-by-run: dispatch count.
+  int64_t execution_calls() const { return execution_calls_; }
+  // Per-API latency summaries (populated when options.profiling is set) —
+  // the "hooks for summaries or profiling" of paper §4.1.
+  const MetricRegistry& profile() const { return profile_; }
+  std::string profile_report() const { return profile_.report(); }
+  // Readable dump of the built computation graph (static backend).
+  std::string graph_dump() const;
+
+  // --- weights ------------------------------------------------------------------
+  // All variables whose scoped name starts with `prefix` ("" = all).
+  std::map<std::string, Tensor> get_weights(const std::string& prefix = "");
+  void set_weights(const std::map<std::string, Tensor>& weights);
+  // Checkpoint format (magic "RLGV"); round-trips through import.
+  std::vector<uint8_t> export_variables();
+  void import_variables(const std::vector<uint8_t>& bytes);
+
+ private:
+  std::vector<Tensor> execute_static(const BuiltApi& api,
+                                     const std::vector<Tensor>& inputs);
+  std::vector<Tensor> execute_imperative(const BuiltApi& api,
+                                         const std::vector<Tensor>& inputs);
+
+  std::shared_ptr<Component> root_;
+  std::map<std::string, std::vector<SpacePtr>> api_input_spaces_;
+  ExecutorOptions options_;
+  VariableStore variables_;
+  Rng rng_;
+
+  bool built_ = false;
+  MetaGraph meta_;
+  BuildStats stats_;
+  std::map<std::string, BuiltApi> api_registry_;
+  int64_t execution_calls_ = 0;
+  MetricRegistry profile_;
+
+  // Static backend state.
+  std::shared_ptr<GraphDef> graph_;
+  std::unique_ptr<Session> session_;
+
+  // Define-by-run state.
+  std::map<std::string, FastPathProgram> fast_paths_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,39 @@
+// The component graph produced by the assembly phase: a backend-independent
+// record of which components call which API methods (paper Algorithm 1).
+//
+// Assembly calls every root API method once with abstract op records; no
+// shapes, dtypes or backend objects exist yet. The resulting MetaGraph backs
+// the API registry arities, the build statistics reported in Fig. 5a, and
+// the dataflow visualization (Appendix A).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rlgraph {
+
+struct MetaGraph {
+  struct CallEdge {
+    std::string caller;  // component scope ("" for external API entry)
+    std::string callee;  // component scope
+    std::string method;
+  };
+  struct GraphFnCall {
+    std::string component;  // component scope
+    std::string name;
+  };
+
+  std::vector<CallEdge> edges;
+  std::vector<GraphFnCall> graph_fns;
+  // Root API method name -> number of returned op records.
+  std::map<std::string, int> api_output_arity;
+  int num_components = 0;
+  double trace_seconds = 0.0;
+
+  // GraphViz-style dump of the component call graph (the visualization story
+  // of the paper's appendix).
+  std::string to_dot() const;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,67 @@
+#include "env/catch_env.h"
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+CatchEnv::CatchEnv(Config config) : config_(config), rng_(11) {
+  RLG_REQUIRE(config_.height >= 3 && config_.width >= 3,
+              "CatchEnv grid too small");
+  state_space_ =
+      FloatBox(Shape{config_.height, config_.width, 1}, 0.0, 1.0);
+  action_space_ = IntBox(3);  // left, stay, right
+}
+
+std::unique_ptr<Environment> CatchEnv::from_json(const Json& spec) {
+  Config c;
+  c.height = spec.get_int("height", 10);
+  c.width = spec.get_int("width", 8);
+  c.rounds_per_episode = spec.get_int("rounds_per_episode", 21);
+  return std::make_unique<CatchEnv>(c);
+}
+
+Tensor CatchEnv::observe() const {
+  Tensor obs = Tensor::zeros(DType::kFloat32,
+                             Shape{config_.height, config_.width, 1});
+  float* p = obs.mutable_data<float>();
+  p[ball_row_ * config_.width + ball_col_] = 1.0f;
+  p[(config_.height - 1) * config_.width + paddle_col_] = 1.0f;
+  return obs;
+}
+
+void CatchEnv::new_round() {
+  ball_row_ = 0;
+  ball_col_ = rng_.uniform_int(config_.width);
+  paddle_col_ = config_.width / 2;
+}
+
+Tensor CatchEnv::reset() {
+  rounds_done_ = 0;
+  new_round();
+  return observe();
+}
+
+StepResult CatchEnv::step(int64_t action) {
+  RLG_REQUIRE(action >= 0 && action < 3, "CatchEnv action out of range");
+  paddle_col_ = std::min(config_.width - 1,
+                         std::max<int64_t>(0, paddle_col_ + (action - 1)));
+  ++ball_row_;
+  StepResult r;
+  if (ball_row_ == config_.height - 1) {
+    r.reward = ball_col_ == paddle_col_ ? 1.0 : -1.0;
+    ++rounds_done_;
+    if (rounds_done_ >= config_.rounds_per_episode) {
+      r.terminal = true;
+    } else {
+      new_round();
+    }
+  }
+  r.observation = observe();
+  return r;
+}
+
+std::unique_ptr<Environment> make_catch(const Json& spec) {
+  return CatchEnv::from_json(spec);
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,45 @@
+// CatchEnv: the learnable Pong stand-in for learning-curve experiments.
+//
+// A ball falls from a random top column; the agent moves a paddle at the
+// bottom (left / stay / right) and earns +1 for a catch, -1 for a miss. An
+// episode is `rounds_per_episode` rounds (21 by default), so episode returns
+// live in [-21, 21] — the same reward axis as the paper's Pong learning
+// curves (Fig. 7b / 8). A small convnet or MLP solves it quickly, giving
+// real learning curves on laptop-scale budgets.
+#pragma once
+
+#include "env/environment.h"
+#include "util/random.h"
+
+namespace rlgraph {
+
+class CatchEnv : public Environment {
+ public:
+  struct Config {
+    int64_t height = 10;
+    int64_t width = 8;
+    int64_t rounds_per_episode = 21;
+  };
+
+  explicit CatchEnv(Config config);
+  static std::unique_ptr<Environment> from_json(const Json& spec);
+
+  SpacePtr state_space() const override { return state_space_; }
+  SpacePtr action_space() const override { return action_space_; }
+  Tensor reset() override;
+  StepResult step(int64_t action) override;
+  void seed(uint64_t seed) override { rng_ = Rng(seed); }
+
+ private:
+  Tensor observe() const;
+  void new_round();
+
+  Config config_;
+  SpacePtr state_space_;
+  SpacePtr action_space_;
+  int64_t ball_row_ = 0, ball_col_ = 0, paddle_col_ = 0;
+  int64_t rounds_done_ = 0;
+  Rng rng_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,48 @@
+// DmLabSim: a 3D-ish environment with configurable render cost, standing in
+// for DeepMind Lab's seekavoid_arena_01 ("more expensive to render than
+// Atari tasks", paper §5.1). A raycast-style column renderer plus a render
+// budget knob make per-frame cost a first-class experimental parameter, so
+// the IMPALA throughput comparison (Fig. 9) exercises the same bottleneck
+// structure: actor-side rendering dominating, learner batching hidden
+// behind a queue.
+#pragma once
+
+#include "env/environment.h"
+#include "util/random.h"
+
+namespace rlgraph {
+
+class DmLabSim : public Environment {
+ public:
+  struct Config {
+    int64_t height = 24;
+    int64_t width = 32;
+    // Extra busy-work iterations per frame (simulated scene complexity).
+    int64_t render_cost = 2000;
+    int64_t episode_length = 300;
+    int frame_skip = 4;
+  };
+
+  explicit DmLabSim(Config config);
+  static std::unique_ptr<Environment> from_json(const Json& spec);
+
+  SpacePtr state_space() const override { return state_space_; }
+  SpacePtr action_space() const override { return action_space_; }
+  Tensor reset() override;
+  StepResult step(int64_t action) override;
+  void seed(uint64_t seed) override { rng_ = Rng(seed); }
+  int frames_per_step() const override { return config_.frame_skip; }
+
+ private:
+  Tensor render();
+
+  Config config_;
+  SpacePtr state_space_;
+  SpacePtr action_space_;
+  double pos_x_ = 0, pos_y_ = 0, heading_ = 0;
+  int64_t steps_ = 0;
+  uint64_t noise_state_ = 0x9E3779B9u;
+  Rng rng_;
+};
+
+}  // namespace rlgraph

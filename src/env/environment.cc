@@ -1,0 +1,49 @@
+#include "env/environment.h"
+
+#include <map>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+int64_t Environment::num_actions() const {
+  const auto& box = static_cast<const BoxSpace&>(*action_space());
+  RLG_REQUIRE(box.num_categories() > 0,
+              "environment action space is not categorical");
+  return box.num_categories();
+}
+
+// Built-in factories (explicit registration avoids the static-initializer
+// dead-stripping problem with static libraries).
+std::unique_ptr<Environment> make_grid_world(const Json&);
+std::unique_ptr<Environment> make_catch(const Json&);
+std::unique_ptr<Environment> make_pong(const Json&);
+std::unique_ptr<Environment> make_dmlab(const Json&);
+
+namespace {
+using Factory = std::function<std::unique_ptr<Environment>(const Json&)>;
+std::map<std::string, Factory>& factories() {
+  static auto* m = new std::map<std::string, Factory>{
+      {"grid_world", make_grid_world},
+      {"catch", make_catch},
+      {"pong", make_pong},
+      {"dmlab", make_dmlab},
+  };
+  return *m;
+}
+}  // namespace
+
+void register_environment(const std::string& type, Factory factory) {
+  factories()[type] = std::move(factory);
+}
+
+std::unique_ptr<Environment> make_environment(const Json& spec) {
+  const std::string type = spec.get_string("type", "");
+  auto it = factories().find(type);
+  if (it == factories().end()) {
+    throw ConfigError("unknown environment type: '" + type + "'");
+  }
+  return it->second(spec);
+}
+
+}  // namespace rlgraph

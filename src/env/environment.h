@@ -1,0 +1,48 @@
+// Environment interface and registry.
+//
+// Environments are the synthetic stand-ins for the paper's benchmarks
+// (Atari Pong via ALE, DeepMind Lab): each exposes a state space, a discrete
+// action interface and step semantics with per-episode accounting. See
+// DESIGN.md §1 for the substitution rationale.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "spaces/space.h"
+#include "util/json.h"
+
+namespace rlgraph {
+
+struct StepResult {
+  Tensor observation;
+  double reward = 0.0;
+  bool terminal = false;
+};
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  // Value spaces (no batch rank).
+  virtual SpacePtr state_space() const = 0;
+  virtual SpacePtr action_space() const = 0;
+  virtual int64_t num_actions() const;
+
+  virtual Tensor reset() = 0;
+  virtual StepResult step(int64_t action) = 0;
+  virtual void seed(uint64_t seed) = 0;
+
+  // Environment frames consumed per step() (frame-skip), for the
+  // frames-per-second accounting used throughout the evaluation.
+  virtual int frames_per_step() const { return 1; }
+};
+
+// Factory registry; create via JSON spec {"type": "pong", ...}.
+std::unique_ptr<Environment> make_environment(const Json& spec);
+void register_environment(
+    const std::string& type,
+    std::function<std::unique_ptr<Environment>(const Json&)> factory);
+
+}  // namespace rlgraph

@@ -1,0 +1,69 @@
+#include "env/grid_world.h"
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+GridWorld::GridWorld(Config config) : config_(config), rng_(7) {
+  RLG_REQUIRE(config_.size >= 2, "GridWorld size must be >= 2");
+  state_space_ = FloatBox(Shape{config_.size * config_.size}, 0.0, 1.0);
+  action_space_ = IntBox(4);
+  if (config_.with_holes && config_.size >= 4) {
+    // Fixed hole layout keeps the task deterministic across seeds.
+    holes_.insert({1, 1});
+    holes_.insert({2, config_.size - 2});
+  }
+}
+
+std::unique_ptr<Environment> GridWorld::from_json(const Json& spec) {
+  Config c;
+  c.size = spec.get_int("size", 4);
+  c.step_penalty = spec.get_double("step_penalty", 0.01);
+  c.max_steps = spec.get_int("max_steps", 100);
+  c.with_holes = spec.get_bool("with_holes", true);
+  return std::make_unique<GridWorld>(c);
+}
+
+Tensor GridWorld::observe() const {
+  Tensor obs =
+      Tensor::zeros(DType::kFloat32, Shape{config_.size * config_.size});
+  obs.mutable_data<float>()[row_ * config_.size + col_] = 1.0f;
+  return obs;
+}
+
+Tensor GridWorld::reset() {
+  row_ = 0;
+  col_ = 0;
+  steps_ = 0;
+  return observe();
+}
+
+StepResult GridWorld::step(int64_t action) {
+  RLG_REQUIRE(action >= 0 && action < 4, "GridWorld action out of range");
+  ++steps_;
+  switch (action) {
+    case 0: row_ = std::max<int64_t>(0, row_ - 1); break;           // up
+    case 1: row_ = std::min(config_.size - 1, row_ + 1); break;     // down
+    case 2: col_ = std::max<int64_t>(0, col_ - 1); break;           // left
+    case 3: col_ = std::min(config_.size - 1, col_ + 1); break;     // right
+  }
+  StepResult r;
+  r.observation = observe();
+  r.reward = -config_.step_penalty;
+  if (holes_.count({row_, col_}) > 0) {
+    r.reward = -1.0;
+    r.terminal = true;
+  } else if (row_ == config_.size - 1 && col_ == config_.size - 1) {
+    r.reward = 1.0;
+    r.terminal = true;
+  } else if (steps_ >= config_.max_steps) {
+    r.terminal = true;
+  }
+  return r;
+}
+
+std::unique_ptr<Environment> make_grid_world(const Json& spec) {
+  return GridWorld::from_json(spec);
+}
+
+}  // namespace rlgraph

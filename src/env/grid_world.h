@@ -1,0 +1,42 @@
+// GridWorld: a small deterministic navigation task used by the quickstart
+// example and learning tests. One-hot position observation, four actions,
+// step penalty, +1 at the goal, -1 in holes.
+#pragma once
+
+#include <set>
+
+#include "env/environment.h"
+#include "util/random.h"
+
+namespace rlgraph {
+
+class GridWorld : public Environment {
+ public:
+  struct Config {
+    int64_t size = 4;
+    double step_penalty = 0.01;
+    int64_t max_steps = 100;
+    bool with_holes = true;
+  };
+
+  explicit GridWorld(Config config);
+  static std::unique_ptr<Environment> from_json(const Json& spec);
+
+  SpacePtr state_space() const override { return state_space_; }
+  SpacePtr action_space() const override { return action_space_; }
+  Tensor reset() override;
+  StepResult step(int64_t action) override;
+  void seed(uint64_t seed) override { rng_ = Rng(seed); }
+
+ private:
+  Tensor observe() const;
+
+  Config config_;
+  SpacePtr state_space_;
+  SpacePtr action_space_;
+  int64_t row_ = 0, col_ = 0, steps_ = 0;
+  std::set<std::pair<int64_t, int64_t>> holes_;
+  Rng rng_;
+};
+
+}  // namespace rlgraph

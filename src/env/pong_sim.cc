@@ -1,0 +1,140 @@
+#include "env/pong_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+namespace {
+constexpr double kPaddleHalf = 0.12;  // paddle half-height (normalized)
+constexpr double kPaddleSpeed = 0.06;
+constexpr double kBallSpeed = 0.04;
+}  // namespace
+
+PongSim::PongSim(Config config) : config_(config), rng_(3) {
+  RLG_REQUIRE(config_.height >= 8 && config_.width >= 8,
+              "PongSim resolution too small");
+  state_space_ =
+      FloatBox(Shape{config_.height, config_.width, 1}, 0.0, 1.0);
+  action_space_ = IntBox(3);  // up, stay, down
+}
+
+std::unique_ptr<Environment> PongSim::from_json(const Json& spec) {
+  Config c;
+  c.height = spec.get_int("height", 32);
+  c.width = spec.get_int("width", 32);
+  c.frame_skip = static_cast<int>(spec.get_int("frame_skip", 4));
+  c.points_per_episode = spec.get_int("points_per_episode", 21);
+  c.opponent_speed = spec.get_double("opponent_speed", 0.5);
+  return std::make_unique<PongSim>(c);
+}
+
+void PongSim::new_point() {
+  ball_x_ = 0.5;
+  ball_y_ = 0.5;
+  double angle = rng_.uniform(-0.6, 0.6);
+  ball_vx_ = (rng_.bernoulli(0.5) ? 1.0 : -1.0) * kBallSpeed * std::cos(angle);
+  ball_vy_ = kBallSpeed * std::sin(angle);
+}
+
+Tensor PongSim::reset() {
+  agent_score_ = 0;
+  opponent_score_ = 0;
+  agent_y_ = 0.5;
+  opponent_y_ = 0.5;
+  new_point();
+  return render();
+}
+
+int PongSim::advance(int64_t action) {
+  // Agent paddle on the right, opponent on the left.
+  agent_y_ += (action - 1) * kPaddleSpeed;
+  agent_y_ = std::clamp(agent_y_, kPaddleHalf, 1.0 - kPaddleHalf);
+  // Opponent tracks the ball at reduced speed.
+  double target = ball_y_;
+  double delta = std::clamp(target - opponent_y_,
+                            -kPaddleSpeed * config_.opponent_speed,
+                            kPaddleSpeed * config_.opponent_speed);
+  opponent_y_ = std::clamp(opponent_y_ + delta, kPaddleHalf,
+                           1.0 - kPaddleHalf);
+
+  ball_x_ += ball_vx_;
+  ball_y_ += ball_vy_;
+  if (ball_y_ <= 0.0 || ball_y_ >= 1.0) {
+    ball_vy_ = -ball_vy_;
+    ball_y_ = std::clamp(ball_y_, 0.0, 1.0);
+  }
+  // Left paddle (opponent).
+  if (ball_x_ <= 0.02 && ball_vx_ < 0) {
+    if (std::fabs(ball_y_ - opponent_y_) <= kPaddleHalf) {
+      ball_vx_ = -ball_vx_;
+      ball_vy_ += (ball_y_ - opponent_y_) * 0.08;
+    } else {
+      return +1;  // agent scores
+    }
+  }
+  // Right paddle (agent).
+  if (ball_x_ >= 0.98 && ball_vx_ > 0) {
+    if (std::fabs(ball_y_ - agent_y_) <= kPaddleHalf) {
+      ball_vx_ = -ball_vx_;
+      ball_vy_ += (ball_y_ - agent_y_) * 0.08;
+    } else {
+      return -1;  // opponent scores
+    }
+  }
+  return 0;
+}
+
+Tensor PongSim::render() const {
+  Tensor obs = Tensor::zeros(DType::kFloat32,
+                             Shape{config_.height, config_.width, 1});
+  float* p = obs.mutable_data<float>();
+  auto put = [&](double x, double y, float v) {
+    int64_t r = std::clamp<int64_t>(
+        static_cast<int64_t>(y * (config_.height - 1)), 0,
+        config_.height - 1);
+    int64_t c = std::clamp<int64_t>(
+        static_cast<int64_t>(x * (config_.width - 1)), 0, config_.width - 1);
+    p[r * config_.width + c] = v;
+  };
+  // Paddles: vertical strips.
+  for (double dy = -kPaddleHalf; dy <= kPaddleHalf; dy += 0.04) {
+    put(0.0, opponent_y_ + dy, 0.5f);
+    put(1.0, agent_y_ + dy, 0.5f);
+  }
+  put(ball_x_, ball_y_, 1.0f);
+  return obs;
+}
+
+StepResult PongSim::step(int64_t action) {
+  RLG_REQUIRE(action >= 0 && action < 3, "PongSim action out of range");
+  StepResult result;
+  int outcome = 0;
+  for (int f = 0; f < config_.frame_skip && outcome == 0; ++f) {
+    outcome = advance(action);
+  }
+  if (outcome != 0) {
+    result.reward = outcome;
+    if (outcome > 0) {
+      ++agent_score_;
+    } else {
+      ++opponent_score_;
+    }
+    if (agent_score_ >= config_.points_per_episode ||
+        opponent_score_ >= config_.points_per_episode) {
+      result.terminal = true;
+    } else {
+      new_point();
+    }
+  }
+  result.observation = render();
+  return result;
+}
+
+std::unique_ptr<Environment> make_pong(const Json& spec) {
+  return PongSim::from_json(spec);
+}
+
+}  // namespace rlgraph

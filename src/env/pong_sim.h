@@ -1,0 +1,48 @@
+// PongSim: a dynamics-faithful Pong simulator rendered to a float image —
+// the throughput stand-in for the ALE Pong environment. Two paddles (agent
+// vs. a tracking opponent), ball with reflection dynamics, ±1 per point, 21
+// points per episode, configurable frame skip (frame accounting matches the
+// paper: reported frames include skipped frames).
+#pragma once
+
+#include "env/environment.h"
+#include "util/random.h"
+
+namespace rlgraph {
+
+class PongSim : public Environment {
+ public:
+  struct Config {
+    int64_t height = 32;
+    int64_t width = 32;
+    int frame_skip = 4;
+    int64_t points_per_episode = 21;
+    double opponent_speed = 0.5;  // < 1: beatable opponent
+  };
+
+  explicit PongSim(Config config);
+  static std::unique_ptr<Environment> from_json(const Json& spec);
+
+  SpacePtr state_space() const override { return state_space_; }
+  SpacePtr action_space() const override { return action_space_; }
+  Tensor reset() override;
+  StepResult step(int64_t action) override;
+  void seed(uint64_t seed) override { rng_ = Rng(seed); }
+  int frames_per_step() const override { return config_.frame_skip; }
+
+ private:
+  Tensor render() const;
+  // Advance one physics frame; returns point outcome (-1, 0, +1 for agent).
+  int advance(int64_t action);
+  void new_point();
+
+  Config config_;
+  SpacePtr state_space_;
+  SpacePtr action_space_;
+  double ball_x_ = 0, ball_y_ = 0, ball_vx_ = 0, ball_vy_ = 0;
+  double agent_y_ = 0, opponent_y_ = 0;
+  int64_t agent_score_ = 0, opponent_score_ = 0;
+  Rng rng_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,64 @@
+#include "env/vector_env.h"
+
+#include "tensor/kernels.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+VectorEnv::VectorEnv(const Json& spec, int64_t num_envs, uint64_t seed) {
+  RLG_REQUIRE(num_envs > 0, "VectorEnv requires at least one env");
+  envs_.reserve(static_cast<size_t>(num_envs));
+  for (int64_t i = 0; i < num_envs; ++i) {
+    auto env = make_environment(spec);
+    env->seed(seed * 7919 + static_cast<uint64_t>(i) * 104729 + 1);
+    envs_.push_back(std::move(env));
+  }
+  episode_return_.assign(static_cast<size_t>(num_envs), 0.0);
+}
+
+Tensor VectorEnv::reset() {
+  current_obs_.clear();
+  for (auto& env : envs_) current_obs_.push_back(env->reset());
+  std::fill(episode_return_.begin(), episode_return_.end(), 0.0);
+  return kernels::stack_rows(current_obs_);
+}
+
+VectorStepResult VectorEnv::step(const Tensor& actions) {
+  RLG_REQUIRE(actions.dtype() == DType::kInt32 &&
+                  actions.num_elements() == num_envs(),
+              "VectorEnv::step expects int32 actions of size num_envs");
+  const int32_t* pa = actions.data<int32_t>();
+  VectorStepResult out;
+  Tensor rewards(DType::kFloat32, Shape{num_envs()});
+  Tensor terminals(DType::kBool, Shape{num_envs()});
+  float* pr = rewards.mutable_data<float>();
+  uint8_t* pt = terminals.mutable_data<uint8_t>();
+  for (int64_t i = 0; i < num_envs(); ++i) {
+    StepResult r = envs_[static_cast<size_t>(i)]->step(pa[i]);
+    out.env_frames += envs_[static_cast<size_t>(i)]->frames_per_step();
+    episode_return_[static_cast<size_t>(i)] += r.reward;
+    pr[i] = static_cast<float>(r.reward);
+    pt[i] = r.terminal ? 1 : 0;
+    if (r.terminal) {
+      finished_returns_.push_back(episode_return_[static_cast<size_t>(i)]);
+      episode_return_[static_cast<size_t>(i)] = 0.0;
+      current_obs_[static_cast<size_t>(i)] =
+          envs_[static_cast<size_t>(i)]->reset();
+    } else {
+      current_obs_[static_cast<size_t>(i)] = std::move(r.observation);
+    }
+  }
+  total_env_frames_ += out.env_frames;
+  out.observations = kernels::stack_rows(current_obs_);
+  out.rewards = std::move(rewards);
+  out.terminals = std::move(terminals);
+  return out;
+}
+
+std::vector<double> VectorEnv::drain_episode_returns() {
+  std::vector<double> out = std::move(finished_returns_);
+  finished_returns_.clear();
+  return out;
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,49 @@
+// VectorEnv: a vector of environment copies stepped with batched actions
+// (the "vectorized environment worker" of the Ape-X executor). Environments
+// auto-reset on terminal; per-episode returns are accumulated for the mean-
+// worker-reward metric used in the learning-curve figures.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "env/environment.h"
+
+namespace rlgraph {
+
+struct VectorStepResult {
+  Tensor observations;  // [num_envs, ...state]
+  Tensor rewards;       // [num_envs] float32
+  Tensor terminals;     // [num_envs] bool
+  int64_t env_frames = 0;
+};
+
+class VectorEnv {
+ public:
+  // Creates `num_envs` copies from the JSON spec, seeded distinctly.
+  VectorEnv(const Json& spec, int64_t num_envs, uint64_t seed = 1);
+
+  int64_t num_envs() const { return static_cast<int64_t>(envs_.size()); }
+  SpacePtr state_space() const { return envs_[0]->state_space(); }
+  SpacePtr action_space() const { return envs_[0]->action_space(); }
+  int64_t num_actions() const { return envs_[0]->num_actions(); }
+
+  // Reset all copies; returns stacked observations.
+  Tensor reset();
+  // Step every env with its action ([num_envs] int32); auto-resets
+  // terminated envs (the returned observation is the fresh reset).
+  VectorStepResult step(const Tensor& actions);
+
+  // Returns of episodes completed since the last drain.
+  std::vector<double> drain_episode_returns();
+  int64_t total_env_frames() const { return total_env_frames_; }
+
+ private:
+  std::vector<std::unique_ptr<Environment>> envs_;
+  std::vector<Tensor> current_obs_;
+  std::vector<double> episode_return_;
+  std::vector<double> finished_returns_;
+  int64_t total_env_frames_ = 0;
+};
+
+}  // namespace rlgraph

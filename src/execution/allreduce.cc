@@ -1,0 +1,123 @@
+#include "execution/allreduce.h"
+
+#include <cstring>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+RingAllReduce::RingAllReduce(int num_ranks)
+    : num_ranks_(num_ranks), mailboxes_(static_cast<size_t>(num_ranks)) {
+  RLG_REQUIRE(num_ranks >= 1, "RingAllReduce requires >= 1 rank");
+  int steps = 2 * (num_ranks - 1);
+  for (auto& box : mailboxes_) {
+    box.slots.resize(static_cast<size_t>(std::max(steps, 1)));
+    box.ready.assign(static_cast<size_t>(std::max(steps, 1)), false);
+  }
+}
+
+void RingAllReduce::send(int to_rank, int step, std::vector<float> chunk) {
+  Mailbox& box = mailboxes_[static_cast<size_t>(to_rank)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.slots[static_cast<size_t>(step)] = std::move(chunk);
+    box.ready[static_cast<size_t>(step)] = true;
+  }
+  box.cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++messages_;
+  }
+}
+
+std::vector<float> RingAllReduce::receive(int rank, int step) {
+  Mailbox& box = mailboxes_[static_cast<size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  box.cv.wait(lock, [&] { return box.ready[static_cast<size_t>(step)]; });
+  box.ready[static_cast<size_t>(step)] = false;
+  return std::move(box.slots[static_cast<size_t>(step)]);
+}
+
+std::vector<Tensor> RingAllReduce::reduce(int rank,
+                                          const std::vector<Tensor>& local) {
+  RLG_REQUIRE(rank >= 0 && rank < num_ranks_, "bad rank");
+  // Flatten the tensor list into one buffer split into num_ranks chunks.
+  std::vector<float> flat;
+  std::vector<std::pair<DType, Shape>> signatures;
+  for (const Tensor& t : local) {
+    check_dtype(t, DType::kFloat32, "allreduce");
+    signatures.emplace_back(t.dtype(), t.shape());
+    std::vector<float> values = t.to_floats();
+    flat.insert(flat.end(), values.begin(), values.end());
+  }
+
+  if (num_ranks_ > 1) {
+    int n = num_ranks_;
+    size_t total = flat.size();
+    size_t chunk_size = (total + static_cast<size_t>(n) - 1) /
+                        static_cast<size_t>(n);
+    auto chunk_range = [&](int c) {
+      size_t begin = std::min(total, static_cast<size_t>(c) * chunk_size);
+      size_t end = std::min(total, begin + chunk_size);
+      return std::make_pair(begin, end);
+    };
+    int next = (rank + 1) % n;
+
+    // Phase 1: reduce-scatter. At step s, rank r sends chunk (r - s) and
+    // accumulates the received chunk (r - s - 1) into its buffer.
+    for (int s = 0; s < n - 1; ++s) {
+      int send_chunk = ((rank - s) % n + n) % n;
+      auto [sb, se] = chunk_range(send_chunk);
+      send(next, s, std::vector<float>(flat.begin() + sb, flat.begin() + se));
+      std::vector<float> incoming = receive(rank, s);
+      int recv_chunk = ((rank - s - 1) % n + n) % n;
+      auto [rb, re] = chunk_range(recv_chunk);
+      RLG_CHECK(incoming.size() == re - rb);
+      for (size_t i = 0; i < incoming.size(); ++i) {
+        flat[rb + i] += incoming[i];
+      }
+    }
+    // Phase 2: all-gather. At step s, rank r sends its (now fully reduced)
+    // chunk (r + 1 - s) and overwrites chunk (r - s).
+    for (int s = 0; s < n - 1; ++s) {
+      int send_chunk = ((rank + 1 - s) % n + n) % n;
+      auto [sb, se] = chunk_range(send_chunk);
+      send(next, n - 1 + s,
+           std::vector<float>(flat.begin() + sb, flat.begin() + se));
+      std::vector<float> incoming = receive(rank, n - 1 + s);
+      int recv_chunk = ((rank - s) % n + n) % n;
+      auto [rb, re] = chunk_range(recv_chunk);
+      RLG_CHECK(incoming.size() == re - rb);
+      std::memcpy(flat.data() + rb, incoming.data(),
+                  incoming.size() * sizeof(float));
+    }
+  }
+
+  // Mean and unflatten.
+  float inv = 1.0f / static_cast<float>(num_ranks_);
+  for (float& v : flat) v *= inv;
+  std::vector<Tensor> out;
+  size_t cursor = 0;
+  for (const auto& [dtype, shape] : signatures) {
+    Tensor t(dtype, shape);
+    std::memcpy(t.mutable_raw(), flat.data() + cursor, t.byte_size());
+    cursor += static_cast<size_t>(t.num_elements());
+    out.push_back(std::move(t));
+  }
+
+  // Round barrier: make the object reusable for the next reduce().
+  {
+    std::unique_lock<std::mutex> lock(round_mutex_);
+    int64_t my_round = round_;
+    if (++arrived_ == num_ranks_) {
+      arrived_ = 0;
+      ++round_;
+      round_cv_.notify_all();
+    } else {
+      round_cv_.wait(lock, [&] { return round_ != my_round; });
+    }
+  }
+  return out;
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,60 @@
+// Ring all-reduce over tensor lists — the in-process analogue of the
+// Horovod plugin the paper's graph executors can delegate distributed
+// communication to ("plug-in third party tools such as Uber's Horovod ...
+// e.g. ring all-reduce", §4.1).
+//
+// Participants are ranks in a logical ring; each rank contributes one
+// tensor list (e.g. per-tower gradients) and every rank receives the
+// element-wise mean. The implementation runs the classic two-phase ring
+// (reduce-scatter over chunks, then all-gather) over an in-process channel
+// so chunk traffic, neighbour-only communication and step count match the
+// real algorithm: 2*(n-1) chunk sends per rank.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rlgraph {
+
+class RingAllReduce {
+ public:
+  explicit RingAllReduce(int num_ranks);
+
+  int num_ranks() const { return num_ranks_; }
+
+  // Called concurrently by every rank (one thread per rank) with its local
+  // tensors; blocks until the ring completes and returns the mean. All
+  // ranks must pass identically-shaped lists.
+  std::vector<Tensor> reduce(int rank, const std::vector<Tensor>& local);
+
+  // Total chunk messages passed around the ring so far (2*(n-1) per
+  // reduce() per rank).
+  int64_t messages_sent() const { return messages_; }
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    // One slot per step; a rank's neighbour deposits its chunk here.
+    std::vector<std::vector<float>> slots;
+    std::vector<bool> ready;
+  };
+
+  void send(int to_rank, int step, std::vector<float> chunk);
+  std::vector<float> receive(int rank, int step);
+
+  int num_ranks_;
+  std::vector<Mailbox> mailboxes_;
+  std::mutex state_mutex_;
+  int64_t messages_ = 0;
+  // Generation barrier so the object can be reused across reduce() rounds.
+  std::mutex round_mutex_;
+  std::condition_variable round_cv_;
+  int arrived_ = 0;
+  int64_t round_ = 0;
+};
+
+}  // namespace rlgraph

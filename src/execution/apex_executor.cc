@@ -1,0 +1,412 @@
+#include "execution/apex_executor.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "components/memories.h"
+#include "core/build_context.h"
+#include "tensor/kernels.h"
+#include "util/errors.h"
+#include "util/logging.h"
+
+namespace rlgraph {
+
+// --- ApexWorker -----------------------------------------------------------------
+
+ApexWorker::ApexWorker(const ApexConfig& config, int worker_index)
+    : config_(config) {
+  Json cfg = config.agent_config;
+  // Workers never store records locally; shrink the (unused) memory.
+  cfg["memory"]["capacity"] = Json(static_cast<int64_t>(16));
+  cfg["seed"] = Json(static_cast<int64_t>(config.seed + 1000 +
+                                          static_cast<uint64_t>(worker_index)));
+  agent_ = std::make_unique<DQNAgent>(cfg, config.state_space,
+                                      config.action_space);
+  agent_->build();
+  env_ = std::make_unique<VectorEnv>(
+      config.env_spec, config.envs_per_worker,
+      config.seed * 31 + static_cast<uint64_t>(worker_index));
+  nstep_.resize(static_cast<size_t>(config.envs_per_worker));
+}
+
+void ApexWorker::set_weights(const std::map<std::string, Tensor>& weights) {
+  agent_->set_weights(weights);
+}
+
+int64_t ApexWorker::executor_calls() {
+  return agent_->executor().execution_calls();
+}
+
+SampleBatch ApexWorker::sample(int64_t num_records) {
+  if (!started_) {
+    current_obs_ = env_->reset();
+    started_ = true;
+    // Prime the preprocessed view with one act (also warms caches).
+    agent_->get_actions(current_obs_);
+    current_pre_ = agent_->last_preprocessed();
+  }
+
+  const int64_t E = env_->num_envs();
+  const double gamma = config_.discount;
+  const int n = config_.n_step;
+
+  std::vector<Tensor> rec_s, rec_a, rec_r, rec_s2, rec_t;
+  auto emit = [&](const Pending& p, const Tensor& s2_row, bool terminal) {
+    rec_s.push_back(p.state);
+    rec_a.push_back(p.action);
+    rec_r.push_back(Tensor::from_floats(
+        Shape{1}, {static_cast<float>(p.reward_acc)}));
+    rec_s2.push_back(s2_row);
+    rec_t.push_back(Tensor::from_bools(Shape{1}, {terminal}));
+  };
+
+  SampleBatch out;
+  while (static_cast<int64_t>(rec_s.size()) < num_records) {
+    // 1. Act. RLgraph: one batched executor call across the env vector.
+    //    RLlib-like: one call per environment (paper §5.1: "multiple
+    //    session calls", per-env accounting).
+    Tensor actions;
+    Tensor pre;
+    if (!config_.act_per_env) {
+      actions = agent_->get_actions(current_obs_);
+      pre = agent_->last_preprocessed();
+    } else {
+      std::vector<Tensor> action_rows, pre_rows;
+      for (int64_t e = 0; e < E; ++e) {
+        Tensor obs_row = kernels::slice_rows(current_obs_, e, 1);
+        action_rows.push_back(agent_->get_actions(obs_row));
+        pre_rows.push_back(agent_->last_preprocessed());
+      }
+      actions = kernels::concat(action_rows, 0);
+      pre = kernels::concat(pre_rows, 0);
+    }
+
+    // Aged-out n-step records resolve against the current preprocessed
+    // state (s_{t+n}).
+    for (int64_t e = 0; e < E; ++e) {
+      auto& dq = nstep_[static_cast<size_t>(e)];
+      while (!dq.empty() && dq.front().age >= n) {
+        emit(dq.front(), kernels::slice_rows(pre, e, 1), false);
+        dq.pop_front();
+      }
+    }
+
+    // 2. Step the vectorized environment.
+    VectorStepResult r = env_->step(actions);
+    out.env_frames += r.env_frames;
+
+    // 3. Accumulate n-step rewards.
+    const float* pr = r.rewards.data<float>();
+    const uint8_t* pt = r.terminals.data<uint8_t>();
+    for (int64_t e = 0; e < E; ++e) {
+      auto& dq = nstep_[static_cast<size_t>(e)];
+      dq.push_back(Pending{kernels::slice_rows(pre, e, 1),
+                           kernels::slice_rows(actions, e, 1), 0.0, 0});
+      for (Pending& p : dq) {
+        p.reward_acc += std::pow(gamma, p.age) * pr[e];
+        ++p.age;
+      }
+      if (pt[e] != 0) {
+        // Terminal: flush everything; s2 is masked by the terminal flag.
+        Tensor dummy = kernels::slice_rows(pre, e, 1);
+        while (!dq.empty()) {
+          emit(dq.front(), dummy, true);
+          dq.pop_front();
+        }
+      }
+    }
+
+    current_obs_ = r.observations;
+    current_pre_ = pre;
+  }
+
+  for (double ret : env_->drain_episode_returns()) {
+    out.episode_returns.push_back(ret);
+  }
+  out.num_records = static_cast<int64_t>(rec_s.size());
+  out.states = kernels::concat(rec_s, 0);
+  out.actions = kernels::concat(rec_a, 0);
+  out.rewards = kernels::concat(rec_r, 0);
+  out.next_states = kernels::concat(rec_s2, 0);
+  out.terminals = kernels::concat(rec_t, 0);
+  post_process(&out);
+  return out;
+}
+
+void ApexWorker::post_process(SampleBatch* batch) {
+  // Worker-side prioritization (Ape-X heuristic): initial priorities are the
+  // worker's own TD errors.
+  if (!config_.incremental_post_processing) {
+    // RLgraph: one batched executor call.
+    batch->priorities = agent_->compute_priorities(
+        batch->states, batch->actions, batch->rewards, batch->next_states,
+        batch->terminals);
+    return;
+  }
+  // RLlib-like: incremental chunked post-processing, one executor call per
+  // chunk.
+  std::vector<Tensor> parts;
+  int64_t total = batch->num_records;
+  int64_t chunk = std::max<int64_t>(1, config_.post_process_chunk);
+  for (int64_t begin = 0; begin < total; begin += chunk) {
+    int64_t size = std::min(chunk, total - begin);
+    parts.push_back(agent_->compute_priorities(
+        kernels::slice_rows(batch->states, begin, size),
+        kernels::slice_rows(batch->actions, begin, size),
+        kernels::slice_rows(batch->rewards, begin, size),
+        kernels::slice_rows(batch->next_states, begin, size),
+        kernels::slice_rows(batch->terminals, begin, size)));
+  }
+  batch->priorities = kernels::concat(parts, 0);
+}
+
+// --- ReplayShard -----------------------------------------------------------------
+
+ReplayShard::ReplayShard(const ApexConfig& config, int shard_index) {
+  const Json& mem = config.agent_config.get("memory");
+  auto root = std::make_shared<Component>("shard");
+  auto* memory = root->add_component(std::make_shared<PrioritizedReplay>(
+      "memory", mem.is_null() ? 100000 : mem.get_int("capacity", 100000),
+      mem.get_double("alpha", 0.6), mem.get_double("beta", 0.4)));
+
+  SpacePtr pre_b = config.preprocessed_space_->with_batch_rank();
+  SpacePtr action_b = config.action_space->with_batch_rank();
+  SpacePtr float_b = FloatBox()->with_batch_rank();
+  SpacePtr bool_b = BoolBox()->with_batch_rank();
+  SpacePtr record_space = Tuple({pre_b, action_b, float_b, pre_b, bool_b});
+
+  root->register_api(
+      "insert",
+      [memory, record_space](BuildContext& ctx,
+                             const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 6, "insert expects 6 leaves");
+        OpRec record;
+        record.space = record_space;
+        for (size_t i = 0; i < 5; ++i) {
+          if (!inputs[i].abstract()) record.ops.push_back(inputs[i].op());
+        }
+        return memory->call_api(ctx, "insert_records", {record, inputs[5]});
+      });
+  root->register_api("sample",
+                     [memory](BuildContext& ctx, const OpRecs& inputs) {
+                       OpRecs out =
+                           memory->call_api(ctx, "get_records", inputs);
+                       if (ctx.assembling()) out.resize(7);
+                       return out;
+                     });
+  root->register_api("update_priorities",
+                     [memory](BuildContext& ctx, const OpRecs& inputs) {
+                       return memory->call_api(ctx, "update_records", inputs);
+                     });
+  root->register_api("size",
+                     [memory](BuildContext& ctx, const OpRecs& inputs) {
+                       return memory->call_api(ctx, "get_size", inputs);
+                     });
+
+  ExecutorOptions opts;
+  opts.seed = config.seed + 500 + static_cast<uint64_t>(shard_index);
+  executor_ = std::make_unique<GraphExecutor>(
+      root,
+      std::map<std::string, std::vector<SpacePtr>>{
+          {"insert", {pre_b, action_b, float_b, pre_b, bool_b, float_b}},
+          {"sample", {IntBox(1 << 30)}},
+          {"update_priorities",
+           {IntBox(1 << 30)->with_batch_rank(), float_b}},
+          {"size", {}},
+      },
+      opts);
+  executor_->build();
+}
+
+void ReplayShard::insert(const SampleBatch& batch) {
+  if (batch.num_records == 0) return;
+  executor_->execute("insert",
+                     {batch.states, batch.actions, batch.rewards,
+                      batch.next_states, batch.terminals, batch.priorities});
+  size_ += batch.num_records;
+}
+
+std::vector<Tensor> ReplayShard::sample(int64_t n) {
+  if (size() == 0) return {};
+  return executor_->execute("sample",
+                            {Tensor::scalar_int(static_cast<int32_t>(n))});
+}
+
+void ReplayShard::update_priorities(const Tensor& indices,
+                                    const Tensor& priorities) {
+  executor_->execute("update_priorities", {indices, priorities});
+}
+
+int64_t ReplayShard::size() {
+  return static_cast<int64_t>(
+      executor_->execute("size", {})[0].scalar_value());
+}
+
+// --- ApexExecutor -----------------------------------------------------------------
+
+ApexExecutor::ApexExecutor(ApexConfig config) : config_(std::move(config)) {
+  // Derive spaces once on the driver.
+  auto probe = make_environment(config_.env_spec);
+  config_.state_space = probe->state_space();
+  config_.action_space = probe->action_space();
+  config_.preprocessed_space_ = preprocessed_space(
+      config_.agent_config.get("preprocessor"), config_.state_space);
+
+  spawn_workers(config_.num_workers, [cfg = config_](int i) {
+    return std::make_unique<ApexWorker>(cfg, i);
+  });
+  for (int s = 0; s < config_.num_replay_shards; ++s) {
+    shards_.push_back(std::make_unique<raylite::Actor<ReplayShard>>(
+        [cfg = config_, s] { return std::make_unique<ReplayShard>(cfg, s); }));
+  }
+}
+
+ApexExecutor::~ApexExecutor() {
+  stop_.store(true);
+  if (learner_thread_.joinable()) learner_thread_.join();
+  for (auto& s : shards_) s->stop();
+}
+
+void ApexExecutor::learner_loop() {
+  // The learner agent is constructed on this thread (actor-style isolation).
+  Json cfg = config_.agent_config;
+  cfg["seed"] = Json(static_cast<int64_t>(config_.seed + 77));
+  cfg["memory"]["capacity"] = Json(static_cast<int64_t>(16));
+  DQNAgent learner(cfg, config_.state_space, config_.action_space);
+  learner.build();
+  learner.sync_target();
+  param_server_.push(learner.get_weights("agent/policy"));
+
+  size_t rr = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto& shard = *shards_[rr];
+    rr = (rr + 1) % shards_.size();
+    int64_t min_needed =
+        std::max(config_.learner_batch, config_.min_shard_records);
+    auto size_fut = shard.call(
+        [](ReplayShard& s) { return s.size(); });
+    if (size_fut.get() < min_needed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    int64_t batch_size = config_.learner_batch;
+    if (config_.replay_ratio > 0.0) {
+      // Throttle: do not replay records more than replay_ratio times on
+      // average; blocks learning on sample arrival (paper's sample-bound
+      // regime).
+      while (!stop_.load(std::memory_order_relaxed) &&
+             static_cast<double>((learner_updates_.load() + 1) * batch_size) >
+                 config_.replay_ratio *
+                     static_cast<double>(records_inserted_.load())) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (stop_.load(std::memory_order_relaxed)) break;
+    }
+    auto batch_fut = shard.call([batch_size](ReplayShard& s) {
+      return s.sample(batch_size);
+    });
+    std::vector<Tensor> batch = batch_fut.get();
+    if (batch.empty()) continue;
+    auto [loss, td] = learner.update_from_batch(batch[0], batch[1], batch[2],
+                                                batch[3], batch[4], batch[6]);
+    (void)loss;
+    Tensor indices = batch[5];
+    shard.call([indices, td = td](ReplayShard& s) {
+      s.update_priorities(indices, td);
+      return 0;
+    });
+    int64_t updates = learner_updates_.fetch_add(1) + 1;
+    if (updates % config_.learner_weight_push_interval == 0) {
+      auto weights = learner.get_weights("agent/policy");
+      auto target = learner.get_weights("agent/target-policy");
+      weights.insert(target.begin(), target.end());
+      param_server_.push(std::move(weights));
+    }
+  }
+}
+
+ApexResult ApexExecutor::run(double seconds) {
+  ApexResult result;
+  Stopwatch watch;
+  if (config_.learner_updates) {
+    learner_thread_ = std::thread([this] { learner_loop(); });
+  }
+
+  struct WorkerState {
+    raylite::Future<SampleBatch> pending;
+    int64_t tasks_done = 0;
+    int64_t weight_version = 0;
+  };
+  std::vector<WorkerState> states(workers_.size());
+  int64_t task_size = config_.worker_sample_size;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    states[i].pending = workers_[i]->call(
+        [task_size](ApexWorker& w) { return w.sample(task_size); });
+  }
+
+  size_t insert_rr = 0;
+  std::vector<double> recent_returns;
+  while (watch.elapsed_seconds() < seconds) {
+    bool any_ready = false;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      if (!states[i].pending.ready()) continue;
+      any_ready = true;
+      SampleBatch batch = states[i].pending.get();
+      result.env_frames += batch.env_frames;
+      records_inserted_.fetch_add(batch.num_records,
+                                  std::memory_order_relaxed);
+      ++result.sample_tasks;
+      for (double ret : batch.episode_returns) {
+        recent_returns.push_back(ret);
+      }
+      if (!batch.episode_returns.empty()) {
+        size_t keep = std::min<size_t>(recent_returns.size(), 64);
+        double mean = std::accumulate(recent_returns.end() -
+                                          static_cast<long>(keep),
+                                      recent_returns.end(), 0.0) /
+                      static_cast<double>(keep);
+        result.reward_timeline.emplace_back(watch.elapsed_seconds(), mean);
+      }
+      // Route the batch to a replay shard (round-robin).
+      auto& shard = *shards_[insert_rr];
+      insert_rr = (insert_rr + 1) % shards_.size();
+      shard.call([batch](ReplayShard& s) {
+        s.insert(batch);
+        return 0;
+      });
+      // Periodic weight pull before the next task.
+      ++states[i].tasks_done;
+      if (states[i].tasks_done % config_.worker_weight_pull_interval == 0) {
+        std::map<std::string, Tensor> weights;
+        int64_t version = states[i].weight_version;
+        if (param_server_.pull_if_newer(version, &weights, &version)) {
+          states[i].weight_version = version;
+          workers_[i]->call([weights](ApexWorker& w) {
+            w.set_weights(weights);
+            return 0;
+          });
+        }
+      }
+      states[i].pending = workers_[i]->call(
+          [task_size](ApexWorker& w) { return w.sample(task_size); });
+    }
+    if (!any_ready) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  stop_.store(true);
+  if (learner_thread_.joinable()) learner_thread_.join();
+  // Drain outstanding sample tasks so actors shut down cleanly.
+  for (auto& st : states) {
+    if (st.pending.valid()) st.pending.wait();
+  }
+
+  result.seconds = watch.elapsed_seconds();
+  result.learner_updates = learner_updates_.load();
+  result.frames_per_second =
+      static_cast<double>(result.env_frames) / result.seconds;
+  return result;
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,148 @@
+// Distributed prioritized experience replay (Ape-X, Horgan et al. 2018) on
+// the raylite execution engine — the workload of Figs. 6 / 7a / 7b.
+//
+// Topology (mirroring the paper's Ray executor):
+//   * N sampler actors, each with a vectorized environment worker and a
+//     local acting agent (worker-side n-step post-processing and
+//     prioritization, batched into single executor calls),
+//   * M replay-shard actors holding prioritized memories,
+//   * an asynchronous learner thread pulling batches from the shards,
+//     updating, and pushing priorities + weights back,
+//   * a driver coordination loop moving sample futures into shard inserts.
+//
+// The RLlib-like baseline (paper §5.1) runs the same topology with the
+// inefficiencies the paper names: per-env (unbatched) act calls and
+// incremental per-chunk post-processing executor calls instead of one
+// batched call per task.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <thread>
+
+#include "agents/dqn_agent.h"
+#include "env/vector_env.h"
+#include "execution/ray_executor.h"
+
+namespace rlgraph {
+
+struct ApexConfig {
+  Json agent_config;  // DQN/Ape-X agent config (see DQNAgent)
+  Json env_spec;
+  int num_workers = 4;
+  int envs_per_worker = 4;
+  int num_replay_shards = 4;
+  int64_t worker_sample_size = 200;  // records per sample task
+  int n_step = 3;
+  double discount = 0.99;
+  int64_t learner_batch = 32;
+  int64_t min_shard_records = 200;  // per-shard warmup before learning
+  int learner_weight_push_interval = 10;  // updates between weight pushes
+  int worker_weight_pull_interval = 1;    // tasks between weight pulls
+  // Replay-ratio throttle: cap learner record-consumption (updates x batch)
+  // at `replay_ratio` x records inserted so far. 0 disables the throttle.
+  // With a binding ratio, learning progress is sample-bound and tracks
+  // sampling throughput — the regime of the paper's Fig. 7b.
+  double replay_ratio = 0.0;
+  bool learner_updates = true;  // false: pure sampling throughput mode
+  uint64_t seed = 1;
+
+  // Filled by ApexExecutor from env_spec (workers/shards need the spaces
+  // before any environment exists on their threads).
+  SpacePtr state_space;
+  SpacePtr action_space;
+  SpacePtr preprocessed_space_;
+
+  // --- RLlib-like baseline switches (both off = RLgraph behaviour) --------
+  // Act one env at a time instead of one batched call across the vector.
+  bool act_per_env = false;
+  // Post-process (priorities) in small incremental chunks, one executor
+  // call each, instead of a single batched call per task.
+  bool incremental_post_processing = false;
+  int64_t post_process_chunk = 16;
+};
+
+// One sampled task: flattened transition batch + metrics.
+struct SampleBatch {
+  Tensor states, actions, rewards, next_states, terminals, priorities;
+  int64_t num_records = 0;
+  int64_t env_frames = 0;
+  std::vector<double> episode_returns;
+};
+
+// Sampler actor body (lives on a raylite actor thread).
+class ApexWorker {
+ public:
+  ApexWorker(const ApexConfig& config, int worker_index);
+
+  SampleBatch sample(int64_t num_records);
+  void set_weights(const std::map<std::string, Tensor>& weights);
+  int64_t executor_calls();
+
+ private:
+  void post_process(SampleBatch* batch);
+
+  ApexConfig config_;
+  std::unique_ptr<DQNAgent> agent_;
+  std::unique_ptr<VectorEnv> env_;
+  Tensor current_obs_;       // raw observations [E, ...]
+  Tensor current_pre_;       // preprocessed observations of the last act
+  bool started_ = false;
+
+  // Per-env n-step accumulation buffers.
+  struct Pending {
+    Tensor state;  // preprocessed s_t (single row)
+    Tensor action;
+    double reward_acc = 0.0;
+    int age = 0;
+  };
+  std::vector<std::deque<Pending>> nstep_;
+};
+
+// Replay-shard actor body.
+class ReplayShard {
+ public:
+  ReplayShard(const ApexConfig& config, int shard_index);
+
+  void insert(const SampleBatch& batch);
+  // Returns {s, a, r, s2, t, indices, weights}; empty if not warm.
+  std::vector<Tensor> sample(int64_t n);
+  void update_priorities(const Tensor& indices, const Tensor& priorities);
+  int64_t size();
+
+ private:
+  std::unique_ptr<GraphExecutor> executor_;
+  int64_t size_ = 0;
+};
+
+struct ApexResult {
+  double seconds = 0.0;
+  int64_t env_frames = 0;
+  int64_t sample_tasks = 0;
+  int64_t learner_updates = 0;
+  double frames_per_second = 0.0;
+  // (elapsed seconds, mean episode return) timeline for learning curves.
+  std::vector<std::pair<double, double>> reward_timeline;
+};
+
+class ApexExecutor : public RayExecutor<ApexWorker> {
+ public:
+  explicit ApexExecutor(ApexConfig config);
+  ~ApexExecutor() override;
+
+  // Run the coordination loop for `seconds`; safe to call once.
+  ApexResult run(double seconds);
+
+ private:
+  void learner_loop();
+
+  ApexConfig config_;
+  std::vector<std::unique_ptr<raylite::Actor<ReplayShard>>> shards_;
+  std::thread learner_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> learner_updates_{0};
+  std::atomic<int64_t> records_inserted_{0};
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,51 @@
+#include "execution/device.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+DeviceRegistry::DeviceRegistry(int num_accelerators) {
+  devices_.push_back({"/cpu:0", false});
+  for (int i = 0; i < num_accelerators; ++i) {
+    devices_.push_back({"/gpu:" + std::to_string(i), true});
+  }
+}
+
+std::vector<std::string> DeviceRegistry::accelerator_names() const {
+  std::vector<std::string> out;
+  for (const DeviceInfo& d : devices_) {
+    if (d.accelerator) out.push_back(d.name);
+  }
+  return out;
+}
+
+bool DeviceRegistry::has_device(const std::string& name) const {
+  return std::any_of(devices_.begin(), devices_.end(),
+                     [&](const DeviceInfo& d) { return d.name == name; });
+}
+
+void DeviceMap::assign(const std::string& component_scope,
+                       const std::string& device) {
+  RLG_REQUIRE(!component_scope.empty() && !device.empty(),
+              "device map assignment requires scope and device");
+  assignments_.emplace_back(component_scope, device);
+}
+
+std::string DeviceMap::device_for(const std::string& component_scope) const {
+  std::string best_device;
+  size_t best_len = 0;
+  for (const auto& [scope, device] : assignments_) {
+    bool prefix = component_scope.rfind(scope, 0) == 0 &&
+                  (component_scope.size() == scope.size() ||
+                   component_scope[scope.size()] == '/');
+    if (prefix && scope.size() >= best_len) {
+      best_len = scope.size();
+      best_device = device;
+    }
+  }
+  return best_device;
+}
+
+}  // namespace rlgraph

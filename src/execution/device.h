@@ -1,0 +1,48 @@
+// Virtual device registry.
+//
+// The paper assigns component ops/variables to devices through explicit
+// device maps read against local device information (paper §4.1). In this
+// reproduction devices are virtual: "/cpu:0" plus N simulated accelerators
+// "/gpu:k". Device strategies (multi_device.h) use the registry to create
+// tower replicas; measured per-tower compute feeds the simulated-parallel
+// wall-clock model documented in EXPERIMENTS.md (the host is single-core).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rlgraph {
+
+struct DeviceInfo {
+  std::string name;     // "/gpu:0"
+  bool accelerator = false;
+};
+
+class DeviceRegistry {
+ public:
+  // `num_accelerators` simulated devices alongside the host CPU.
+  explicit DeviceRegistry(int num_accelerators = 0);
+
+  const std::vector<DeviceInfo>& devices() const { return devices_; }
+  std::vector<std::string> accelerator_names() const;
+  bool has_device(const std::string& name) const;
+
+ private:
+  std::vector<DeviceInfo> devices_;
+};
+
+// Per-component device assignment ("each component's ops and variables can
+// be assigned separately and selectively").
+class DeviceMap {
+ public:
+  void assign(const std::string& component_scope, const std::string& device);
+  // Longest-prefix lookup: an assignment on "agent/policy" covers
+  // "agent/policy/dense-0" unless overridden.
+  std::string device_for(const std::string& component_scope) const;
+  bool empty() const { return assignments_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> assignments_;
+};
+
+}  // namespace rlgraph

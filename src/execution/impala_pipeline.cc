@@ -1,0 +1,116 @@
+#include "execution/impala_pipeline.h"
+
+#include "env/environment.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace rlgraph {
+
+ImpalaPipeline::ImpalaPipeline(ImpalaConfig config)
+    : config_(std::move(config)) {
+  auto probe = make_environment(config_.env_spec);
+  state_space_ = probe->state_space();
+  action_space_ = probe->action_space();
+  queue_ = std::make_shared<SharedTensorQueue>(
+      static_cast<size_t>(config_.queue_capacity));
+}
+
+ImpalaPipeline::~ImpalaPipeline() {
+  stop_.store(true);
+  queue_->close();
+  for (auto& t : actor_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ImpalaPipeline::actor_loop(int actor_index) {
+  try {
+    Json cfg = config_.agent_config;
+    cfg["type"] = Json("impala_actor");
+    cfg["seed"] = Json(static_cast<int64_t>(
+        config_.seed + 100 + static_cast<uint64_t>(actor_index)));
+    cfg["redundant_assigns"] = Json(config_.redundant_assigns);
+    IMPALAAgent actor(cfg, state_space_, action_space_,
+                      IMPALAAgent::Mode::kActor);
+    actor.set_queue(queue_);
+    actor.build();
+    VectorEnv env(config_.env_spec, config_.envs_per_actor,
+                  config_.seed * 13 + static_cast<uint64_t>(actor_index));
+    actor.attach_environment(&env);
+
+    int64_t version = 0;
+    int64_t local_rollouts = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      if (local_rollouts % config_.actor_weight_pull_interval == 0) {
+        std::map<std::string, Tensor> weights;
+        if (param_server_.pull_if_newer(version, &weights, &version)) {
+          actor.set_weights(weights);
+        }
+      }
+      env_frames_.fetch_add(actor.act_and_enqueue(),
+                            std::memory_order_relaxed);
+      rollouts_.fetch_add(1, std::memory_order_relaxed);
+      ++local_rollouts;
+    }
+  } catch (const std::exception& e) {
+    // Queue closed during shutdown lands here; anything else is logged.
+    if (!stop_.load()) {
+      RLG_LOG_ERROR << "IMPALA actor " << actor_index << " died: "
+                    << e.what();
+    }
+  }
+}
+
+ImpalaResult ImpalaPipeline::run(double seconds) {
+  ImpalaResult result;
+  Stopwatch watch;
+
+  for (int a = 0; a < config_.num_actors; ++a) {
+    actor_threads_.emplace_back([this, a] { actor_loop(a); });
+  }
+
+  Json cfg = config_.agent_config;
+  cfg["type"] = Json("impala_learner");
+  cfg["seed"] = Json(static_cast<int64_t>(config_.seed + 7));
+  cfg["unbatched_unstage"] = Json(config_.unbatched_unstage);
+  IMPALAAgent learner(cfg, state_space_, action_space_,
+                      IMPALAAgent::Mode::kLearner);
+  learner.set_queue(queue_);
+  learner.build();
+  param_server_.push(learner.get_weights("agent/policy"));
+
+  int64_t updates = 0;
+  double loss = 0.0;
+  while (watch.elapsed_seconds() < seconds) {
+    if (config_.learner_updates) {
+      loss = learner.update();
+      ++updates;
+      if (updates % config_.learner_weight_push_interval == 0) {
+        param_server_.push(learner.get_weights("agent/policy"));
+      }
+    } else {
+      // Pure-throughput mode: drain the queue without updating.
+      auto slot = queue_->pop();
+      if (!slot.has_value()) break;
+      ++updates;
+    }
+  }
+
+  stop_.store(true);
+  queue_->close();
+  for (auto& t : actor_threads_) {
+    if (t.joinable()) t.join();
+  }
+  actor_threads_.clear();
+
+  result.seconds = watch.elapsed_seconds();
+  result.env_frames = env_frames_.load();
+  result.rollouts = rollouts_.load();
+  result.learner_updates = updates;
+  result.frames_per_second =
+      static_cast<double>(result.env_frames) / result.seconds;
+  result.final_loss = loss;
+  return result;
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,63 @@
+// IMPALA pipeline (paper §5.1, Fig. 9): N actors with graph-fused rollout
+// collection feed a globally shared blocking queue; the learner dequeues,
+// stages, and applies V-trace updates. Weights flow back through the
+// in-process parameter server (the distributed-TF stand-in).
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "agents/impala_agent.h"
+#include "execution/param_server.h"
+#include "util/json.h"
+
+namespace rlgraph {
+
+struct ImpalaConfig {
+  Json agent_config;  // network, rollout_length, discount, optimizer, ...
+  Json env_spec;
+  int num_actors = 4;
+  int envs_per_actor = 4;
+  int queue_capacity = 16;
+  int actor_weight_pull_interval = 5;   // rollouts between weight pulls
+  int learner_weight_push_interval = 5; // updates between weight pushes
+  bool learner_updates = true;
+  uint64_t seed = 1;
+
+  // DM-reference baseline switches (paper §5.1; both off = RLgraph).
+  bool redundant_assigns = false;
+  bool unbatched_unstage = false;
+};
+
+struct ImpalaResult {
+  double seconds = 0.0;
+  int64_t env_frames = 0;
+  int64_t rollouts = 0;
+  int64_t learner_updates = 0;
+  double frames_per_second = 0.0;
+  double final_loss = 0.0;
+};
+
+class ImpalaPipeline {
+ public:
+  explicit ImpalaPipeline(ImpalaConfig config);
+  ~ImpalaPipeline();
+
+  ImpalaResult run(double seconds);
+
+ private:
+  void actor_loop(int actor_index);
+
+  ImpalaConfig config_;
+  SpacePtr state_space_;
+  SpacePtr action_space_;
+  std::shared_ptr<SharedTensorQueue> queue_;
+  ParameterServer param_server_;
+  std::vector<std::thread> actor_threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> env_frames_{0};
+  std::atomic<int64_t> rollouts_{0};
+};
+
+}  // namespace rlgraph

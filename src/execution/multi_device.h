@@ -1,0 +1,51 @@
+// Synchronous multi-device update strategy (paper §4.1 / Fig. 8).
+//
+// The update batch is split into one sub-batch per device tower; towers
+// compute their updates concurrently, and weights are averaged after each
+// step (gradient averaging for SGD-style steps). Because this host has a
+// single core, tower compute is measured per tower and the *simulated*
+// parallel wall-clock (max over towers + coordination) drives the reported
+// timeline — see EXPERIMENTS.md for the model.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "agents/dqn_agent.h"
+#include "execution/device.h"
+
+namespace rlgraph {
+
+class MultiDeviceSyncTrainer {
+ public:
+  // `num_devices` towers, all built from `agent_config`. Tower 0 is the
+  // "main" agent: it owns the replay memory and serves acting.
+  MultiDeviceSyncTrainer(const Json& agent_config, SpacePtr state_space,
+                         SpacePtr action_space, int num_devices);
+
+  DQNAgent& main_agent() { return *towers_[0]; }
+  int num_devices() const { return static_cast<int>(towers_.size()); }
+
+  // One synchronous multi-tower update: sample batch_size * num_devices
+  // records, split across towers, update each, average weights.
+  // Returns the mean tower loss; 0 if the memory is not warm yet.
+  double update();
+
+  // Simulated wall-clock seconds spent in updates, under the parallel-device
+  // model: sum over steps of (max tower time + coordination time).
+  double simulated_update_seconds() const { return simulated_seconds_; }
+  // Actual single-core seconds spent (for reference).
+  double measured_update_seconds() const { return measured_seconds_; }
+  int64_t updates_done() const { return updates_done_; }
+
+ private:
+  void average_weights();
+
+  std::vector<std::unique_ptr<DQNAgent>> towers_;
+  int64_t batch_size_;
+  double simulated_seconds_ = 0.0;
+  double measured_seconds_ = 0.0;
+  int64_t updates_done_ = 0;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,26 @@
+#include "execution/param_server.h"
+
+namespace rlgraph {
+
+int64_t ParameterServer::push(std::map<std::string, Tensor> weights) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  weights_ = std::move(weights);
+  return ++version_;
+}
+
+int64_t ParameterServer::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+bool ParameterServer::pull_if_newer(int64_t have_version,
+                                    std::map<std::string, Tensor>* weights,
+                                    int64_t* version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (version_ <= have_version) return false;
+  *weights = weights_;
+  *version = version_;
+  return true;
+}
+
+}  // namespace rlgraph

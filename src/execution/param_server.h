@@ -1,0 +1,34 @@
+// In-process parameter server: versioned weight publication with pull-based
+// sync — the stand-in for distributed-TF parameter servers / the weight
+// path between the Ape-X learner and its sample collectors.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace rlgraph {
+
+class ParameterServer {
+ public:
+  // Publish a new weight snapshot; returns the new version number.
+  int64_t push(std::map<std::string, Tensor> weights);
+
+  // Current version (0 = nothing published yet).
+  int64_t version() const;
+
+  // Pull the snapshot if newer than `have_version`; returns true and fills
+  // outputs on success, false when the caller is already up to date.
+  bool pull_if_newer(int64_t have_version,
+                     std::map<std::string, Tensor>* weights,
+                     int64_t* version) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Tensor> weights_;
+  int64_t version_ = 0;
+};
+
+}  // namespace rlgraph

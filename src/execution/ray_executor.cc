@@ -1,0 +1,3 @@
+// RayExecutor is header-only (templates); this translation unit exists to
+// anchor the target and hold nothing else.
+#include "execution/ray_executor.h"

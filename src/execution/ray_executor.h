@@ -1,0 +1,52 @@
+// Generic Ray-style executor scaffolding (paper §4.1: "Implementing other
+// distributed semantics on Ray with RLgraph only requires extending the
+// generic Ray executor to implement a coordination loop").
+//
+// RayExecutor owns a pool of worker actors plus shared services (parameter
+// server, metrics); subclasses implement the coordination loop over raylite
+// futures.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "execution/param_server.h"
+#include "raylite/actor.h"
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace rlgraph {
+
+template <typename WorkerT>
+class RayExecutor {
+ public:
+  virtual ~RayExecutor() { shutdown(); }
+
+  // Spawn `n` worker actors; `factory(i)` builds worker i on its own actor
+  // thread (graph executors are constructed where they are used).
+  void spawn_workers(
+      int n, std::function<std::unique_ptr<WorkerT>(int)> factory) {
+    for (int i = 0; i < n; ++i) {
+      workers_.push_back(std::make_unique<raylite::Actor<WorkerT>>(
+          [factory, i] { return factory(i); }));
+    }
+  }
+
+  size_t num_workers() const { return workers_.size(); }
+  raylite::Actor<WorkerT>& worker(size_t i) { return *workers_[i]; }
+
+  ParameterServer& parameter_server() { return param_server_; }
+  MetricRegistry& metrics() { return metrics_; }
+
+  void shutdown() {
+    for (auto& w : workers_) w->stop();
+    workers_.clear();
+  }
+
+ protected:
+  std::vector<std::unique_ptr<raylite::Actor<WorkerT>>> workers_;
+  ParameterServer param_server_;
+  MetricRegistry metrics_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,38 @@
+// The computation graph container produced by the build phases.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/node.h"
+
+namespace rlgraph {
+
+class GraphDef {
+ public:
+  // Adds a node; fills in id and uniquifies name. Returns the node id.
+  int add_node(NodeDef node);
+
+  const NodeDef& node(int id) const;
+  NodeDef& mutable_node(int id);
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<NodeDef>& nodes() const { return nodes_; }
+
+  DType dtype_of(const Endpoint& e) const;
+  const Shape& shape_of(const Endpoint& e) const;
+
+  // Look up a node by (unique) name; throws NotFoundError.
+  int node_by_name(const std::string& name) const;
+  bool has_node_name(const std::string& name) const;
+
+  // Human-readable dump (one line per node), for debugging and the
+  // visualization story of the paper's appendix.
+  std::string to_string() const;
+
+ private:
+  std::vector<NodeDef> nodes_;
+  std::map<std::string, int> by_name_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,82 @@
+#include "graph/op_schema.h"
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+void VariableStore::create(const std::string& name, Tensor initial) {
+  RLG_REQUIRE(values_.count(name) == 0,
+              "variable '" << name << "' already exists");
+  values_.emplace(name, std::move(initial));
+}
+
+bool VariableStore::exists(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+const Tensor& VariableStore::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw NotFoundError("variable '" + name + "' not found");
+  }
+  return it->second;
+}
+
+void VariableStore::set(const std::string& name, Tensor value) {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw NotFoundError("variable '" + name + "' not found");
+  }
+  RLG_REQUIRE(it->second.dtype() == value.dtype() &&
+                  it->second.shape() == value.shape(),
+              "variable '" << name << "' assignment changes signature from "
+                           << it->second.shape().to_string() << " to "
+                           << value.shape().to_string());
+  it->second = std::move(value);
+}
+
+std::vector<std::string> VariableStore::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, _] : values_) out.push_back(name);
+  return out;
+}
+
+// Defined in ops_standard.cc; registers the built-in op set.
+void register_standard_ops(OpRegistry& registry);
+
+OpRegistry& OpRegistry::instance() {
+  static OpRegistry* registry = new OpRegistry();
+  return *registry;
+}
+
+OpRegistry::OpRegistry() { register_standard_ops(*this); }
+
+void OpRegistry::register_op(OpSchema schema) {
+  RLG_REQUIRE(ops_.count(schema.name) == 0,
+              "op '" << schema.name << "' already registered");
+  ops_.emplace(schema.name, std::move(schema));
+}
+
+const OpSchema& OpRegistry::lookup(const std::string& name) const {
+  auto it = ops_.find(name);
+  if (it == ops_.end()) throw NotFoundError("unknown op type '" + name + "'");
+  return it->second;
+}
+
+bool OpRegistry::contains(const std::string& name) const {
+  return ops_.count(name) > 0;
+}
+
+std::vector<std::string> OpRegistry::op_names() const {
+  std::vector<std::string> out;
+  out.reserve(ops_.size());
+  for (const auto& [name, _] : ops_) out.push_back(name);
+  return out;
+}
+
+OpSignature single(DType dtype, Shape shape) {
+  return OpSignature{{dtype}, {std::move(shape)}};
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,85 @@
+// Operation schema registry: per-op shape inference and kernels.
+//
+// Every op type used by either backend is registered here once. Gradient
+// (vjp) rules live in backend/grad_rules.cc because they are expressed in
+// terms of the backend-independent OpContext.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/node.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace rlgraph {
+
+// Persistent storage for graph variables (network weights, counters).
+// Variables are identified by their fully scoped name. The store is owned by
+// the graph executor; both backends read/write through it so weight
+// import/export and synchronization are backend-independent.
+class VariableStore {
+ public:
+  void create(const std::string& name, Tensor initial);
+  bool exists(const std::string& name) const;
+  const Tensor& get(const std::string& name) const;
+  void set(const std::string& name, Tensor value);
+  std::vector<std::string> names() const;
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, Tensor> values_;
+};
+
+// Everything a kernel may touch at execution time.
+struct KernelContext {
+  const NodeDef* node = nullptr;
+  std::vector<Tensor> inputs;
+  VariableStore* variables = nullptr;
+  Rng* rng = nullptr;
+};
+
+// Shape inference input: dtypes/shapes of the node inputs plus attrs.
+struct ShapeInferenceContext {
+  const NodeDef* node = nullptr;
+  std::vector<DType> input_dtypes;
+  std::vector<Shape> input_shapes;
+};
+
+struct OpSignature {
+  std::vector<DType> dtypes;
+  std::vector<Shape> shapes;
+};
+
+using ShapeFn = std::function<OpSignature(const ShapeInferenceContext&)>;
+using KernelFn = std::function<std::vector<Tensor>(KernelContext&)>;
+
+struct OpSchema {
+  std::string name;
+  ShapeFn shape_fn;
+  KernelFn kernel;
+  // Stateful ops have side effects (variable writes, RNG, component state);
+  // they run on every session invocation and are exempt from folding/CSE.
+  bool stateful = false;
+};
+
+class OpRegistry {
+ public:
+  static OpRegistry& instance();
+
+  void register_op(OpSchema schema);
+  const OpSchema& lookup(const std::string& name) const;
+  bool contains(const std::string& name) const;
+  std::vector<std::string> op_names() const;
+
+ private:
+  OpRegistry();
+  std::map<std::string, OpSchema> ops_;
+};
+
+// Convenience single-output signature.
+OpSignature single(DType dtype, Shape shape);
+
+}  // namespace rlgraph

@@ -1,0 +1,43 @@
+// Graph optimization passes run by the static-graph executor after the
+// component-graph build (paper §4.2: "RLgraph's separation of concerns opens
+// up opportunities for optimization at all stages ... integrated at the graph
+// build stage").
+//
+// Implemented passes:
+//  * dead-node elimination relative to the API registry's root endpoints,
+//  * constant folding of stateless ops with all-constant inputs,
+//  * fusion of chains of parameter-free elementwise ops into a single
+//    FusedElementwise node.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "graph/graph_def.h"
+
+namespace rlgraph {
+
+struct OptimizeOptions {
+  bool constant_folding = true;
+  bool elementwise_fusion = true;
+  // DCE always runs; it is what keeps rebuilt graphs minimal.
+};
+
+struct OptimizeResult {
+  std::shared_ptr<GraphDef> graph;
+  // Mapping from old endpoints to new endpoints for every live node.
+  std::map<Endpoint, Endpoint> endpoint_map;
+  int nodes_before = 0;
+  int nodes_after = 0;
+  int folded = 0;
+  int fused_chains = 0;
+};
+
+// `roots` are the endpoints that must stay addressable (API registry outputs
+// and placeholders are kept implicitly as they appear in live node inputs).
+OptimizeResult optimize_graph(const GraphDef& graph,
+                              const std::vector<Endpoint>& roots,
+                              const OptimizeOptions& options = {});
+
+}  // namespace rlgraph

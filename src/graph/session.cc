@@ -1,0 +1,115 @@
+#include "graph/session.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+Session::Session(std::shared_ptr<const GraphDef> graph,
+                 VariableStore* variables, Rng* rng)
+    : graph_(std::move(graph)), variables_(variables), rng_(rng) {
+  RLG_REQUIRE(graph_ != nullptr, "Session requires a graph");
+}
+
+const Session::Plan& Session::plan_for(const std::vector<Endpoint>& fetches) {
+  auto it = plan_cache_.find(fetches);
+  if (it != plan_cache_.end()) return it->second;
+
+  // Iterative post-order DFS from the fetch roots over data + control deps.
+  Plan plan;
+  std::vector<uint8_t> state(static_cast<size_t>(graph_->num_nodes()),
+                             0);  // 0=unvisited 1=on-stack 2=done
+  std::vector<std::pair<int, size_t>> stack;  // (node, next-dep index)
+  auto deps_of = [&](int id) {
+    const NodeDef& n = graph_->node(id);
+    std::vector<int> deps;
+    deps.reserve(n.inputs.size() + n.control_inputs.size());
+    for (const Endpoint& e : n.inputs) deps.push_back(e.node);
+    for (int c : n.control_inputs) deps.push_back(c);
+    return deps;
+  };
+  for (const Endpoint& fetch : fetches) {
+    RLG_REQUIRE(fetch.node >= 0 && fetch.node < graph_->num_nodes(),
+                "fetch endpoint references unknown node " << fetch.node);
+    if (state[static_cast<size_t>(fetch.node)] == 2) continue;
+    stack.emplace_back(fetch.node, 0);
+    state[static_cast<size_t>(fetch.node)] = 1;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      std::vector<int> deps = deps_of(id);
+      if (next < deps.size()) {
+        int dep = deps[next++];
+        uint8_t s = state[static_cast<size_t>(dep)];
+        if (s == 0) {
+          state[static_cast<size_t>(dep)] = 1;
+          stack.emplace_back(dep, 0);
+        } else {
+          RLG_CHECK_MSG(s != 1, "cycle detected in graph at node "
+                                    << graph_->node(dep).name);
+        }
+      } else {
+        state[static_cast<size_t>(id)] = 2;
+        plan.schedule.push_back(id);
+        stack.pop_back();
+      }
+    }
+  }
+  return plan_cache_.emplace(fetches, std::move(plan)).first->second;
+}
+
+std::vector<Tensor> Session::run(const std::vector<Endpoint>& fetches,
+                                 const FeedMap& feeds) {
+  ++num_runs_;
+  const Plan& plan = plan_for(fetches);
+  const OpRegistry& registry = OpRegistry::instance();
+
+  // Per-run output table: node id -> outputs.
+  std::map<int, std::vector<Tensor>> results;
+  for (const auto& [node_id, value] : feeds) {
+    const NodeDef& n = graph_->node(node_id);
+    RLG_REQUIRE(n.op == "Placeholder",
+                "feed target '" << n.name << "' is not a placeholder");
+    RLG_REQUIRE(n.out_dtypes[0] == value.dtype(),
+                "feed for '" << n.name << "' has dtype "
+                             << dtype_name(value.dtype()) << ", expected "
+                             << dtype_name(n.out_dtypes[0]));
+    RLG_REQUIRE(n.out_shapes[0].matches(value.shape()),
+                "feed for '" << n.name << "' has shape "
+                             << value.shape().to_string() << ", expected "
+                             << n.out_shapes[0].to_string());
+    results[node_id] = {value};
+  }
+
+  for (int id : plan.schedule) {
+    if (results.count(id) > 0) continue;  // fed placeholder
+    const NodeDef& n = graph_->node(id);
+    const OpSchema& schema = registry.lookup(n.op);
+    KernelContext ctx;
+    ctx.node = &n;
+    ctx.variables = variables_;
+    ctx.rng = rng_;
+    ctx.inputs.reserve(n.inputs.size());
+    for (const Endpoint& e : n.inputs) {
+      auto it = results.find(e.node);
+      RLG_CHECK_MSG(it != results.end(),
+                    "dependency not evaluated for node " << n.name);
+      ctx.inputs.push_back(it->second[static_cast<size_t>(e.index)]);
+    }
+    std::vector<Tensor> out = schema.kernel(ctx);
+    RLG_CHECK_MSG(static_cast<int>(out.size()) == n.num_outputs(),
+                  "op " << n.op << " produced " << out.size()
+                        << " outputs, node declares " << n.num_outputs());
+    ++nodes_executed_;
+    results[id] = std::move(out);
+  }
+
+  std::vector<Tensor> fetched;
+  fetched.reserve(fetches.size());
+  for (const Endpoint& f : fetches) {
+    fetched.push_back(results.at(f.node)[static_cast<size_t>(f.index)]);
+  }
+  return fetched;
+}
+
+}  // namespace rlgraph

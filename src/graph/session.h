@@ -1,0 +1,54 @@
+// Session: executes fetches against a GraphDef with feeds, the static-graph
+// backend's runtime (the TF-session analogue).
+//
+// Each run evaluates the transitive closure of the fetched endpoints in
+// topological order. Stateless node results are memoized within a run;
+// stateful nodes (variables, assigns, random, component kernels) execute at
+// most once per run but never across runs. Execution plans (the node
+// schedule for a fetch set) are cached across runs, so steady-state act/
+// update calls pay only dispatch cost — this is what makes batching multiple
+// logical operations into one session call profitable, the effect the
+// paper's Ape-X comparison measures.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "graph/graph_def.h"
+#include "graph/op_schema.h"
+#include "util/metrics.h"
+
+namespace rlgraph {
+
+using FeedMap = std::map<int, Tensor>;  // placeholder node id -> value
+
+class Session {
+ public:
+  // The session borrows the graph/store/rng; the graph executor owns them.
+  Session(std::shared_ptr<const GraphDef> graph, VariableStore* variables,
+          Rng* rng);
+
+  // Evaluate the fetches given feeds. Fetch order defines result order.
+  std::vector<Tensor> run(const std::vector<Endpoint>& fetches,
+                          const FeedMap& feeds);
+
+  int64_t num_runs() const { return num_runs_; }
+  int64_t nodes_executed() const { return nodes_executed_; }
+
+ private:
+  struct Plan {
+    std::vector<int> schedule;  // node ids in execution order
+  };
+
+  const Plan& plan_for(const std::vector<Endpoint>& fetches);
+
+  std::shared_ptr<const GraphDef> graph_;
+  VariableStore* variables_;
+  Rng* rng_;
+  std::map<std::vector<Endpoint>, Plan> plan_cache_;
+  int64_t num_runs_ = 0;
+  int64_t nodes_executed_ = 0;
+};
+
+}  // namespace rlgraph

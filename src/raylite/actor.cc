@@ -1,0 +1,29 @@
+#include "raylite/actor.h"
+
+namespace rlgraph {
+namespace raylite {
+
+std::vector<size_t> wait(const std::vector<UntypedFuture>& futures,
+                         size_t num_returns) {
+  num_returns = std::min(num_returns, futures.size());
+  std::vector<size_t> ready;
+  if (futures.empty()) return ready;
+  while (true) {
+    ready.clear();
+    for (size_t i = 0; i < futures.size(); ++i) {
+      if (futures[i].ready()) ready.push_back(i);
+    }
+    if (ready.size() >= num_returns) return ready;
+    // Park briefly on the first unready future rather than spinning.
+    for (const UntypedFuture& f : futures) {
+      if (!f.ready()) {
+        // wait_for with a short timeout to re-check the whole set.
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace raylite
+}  // namespace rlgraph

@@ -1,0 +1,128 @@
+// raylite actors: each actor instance lives on its own mailbox thread;
+// method calls enqueue closures and return futures. Mirrors Ray's
+// actor.method.remote() -> future pattern with in-process threads.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/errors.h"
+#include "util/queues.h"
+
+namespace rlgraph {
+namespace raylite {
+
+// Type-erased future used by wait(); Future<T> wraps it with typed get().
+class UntypedFuture {
+ public:
+  UntypedFuture() = default;
+  explicit UntypedFuture(std::shared_future<std::shared_ptr<void>> fut)
+      : fut_(std::move(fut)) {}
+
+  bool valid() const { return fut_.valid(); }
+  bool ready() const {
+    return fut_.valid() &&
+           fut_.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready;
+  }
+  void wait() const { fut_.wait(); }
+  std::shared_ptr<void> get_raw() const { return fut_.get(); }
+
+ protected:
+  std::shared_future<std::shared_ptr<void>> fut_;
+};
+
+template <typename R>
+class Future : public UntypedFuture {
+ public:
+  Future() = default;
+  explicit Future(std::shared_future<std::shared_ptr<void>> fut)
+      : UntypedFuture(std::move(fut)) {}
+
+  // Blocks; rethrows the actor-side exception if the call failed.
+  R get() const {
+    std::shared_ptr<void> raw = fut_.get();
+    return *std::static_pointer_cast<R>(raw);
+  }
+};
+
+// Blocks until at least num_returns of the futures are ready (or all
+// remaining), mirroring ray.wait(). Returns indices of ready futures.
+std::vector<size_t> wait(const std::vector<UntypedFuture>& futures,
+                         size_t num_returns);
+
+// Hosts an instance of T on a dedicated thread. The instance is constructed
+// on the actor thread (via the factory), used only there, and destroyed
+// there — so non-thread-safe state (graph executors!) is safe inside.
+template <typename T>
+class Actor {
+ public:
+  // Spawn with a factory executed on the actor thread.
+  explicit Actor(std::function<std::unique_ptr<T>()> factory) {
+    thread_ = std::thread([this, factory = std::move(factory)] {
+      std::unique_ptr<T> instance = factory();
+      while (true) {
+        auto task = mailbox_.pop();
+        if (!task.has_value()) break;
+        (*task)(*instance);
+      }
+    });
+  }
+
+  ~Actor() { stop(); }
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  // Enqueue a call; fn runs on the actor thread with exclusive access.
+  template <typename Fn,
+            typename R = std::invoke_result_t<Fn, T&>>
+  Future<R> call(Fn fn) {
+    auto promise = std::make_shared<std::promise<std::shared_ptr<void>>>();
+    Future<R> fut(promise->get_future().share());
+    bool ok = mailbox_.push([promise, fn = std::move(fn)](T& instance) mutable {
+      try {
+        if constexpr (std::is_void_v<R>) {
+          fn(instance);
+          promise->set_value(std::make_shared<int>(0));
+        } else {
+          promise->set_value(
+              std::make_shared<R>(fn(instance)));
+        }
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    });
+    RLG_REQUIRE(ok, "call on stopped actor");
+    return fut;
+  }
+
+  // Graceful shutdown: drain outstanding calls, then join.
+  void stop() {
+    mailbox_.close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  size_t pending_calls() const { return mailbox_.size(); }
+
+ private:
+  BlockingQueue<std::function<void(T&)>> mailbox_;
+  std::thread thread_;
+};
+
+// Future<void> needs a distinct get().
+template <>
+class Future<void> : public UntypedFuture {
+ public:
+  Future() = default;
+  explicit Future(std::shared_future<std::shared_ptr<void>> fut)
+      : UntypedFuture(std::move(fut)) {}
+  void get() const { fut_.get(); }
+};
+
+}  // namespace raylite
+}  // namespace rlgraph

@@ -1,0 +1,17 @@
+#include "raylite/object_store.h"
+
+namespace rlgraph {
+namespace raylite {
+
+void ObjectStore::erase(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  objects_.erase(id);
+}
+
+size_t ObjectStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.size();
+}
+
+}  // namespace raylite
+}  // namespace rlgraph

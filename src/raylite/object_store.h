@@ -1,0 +1,70 @@
+// raylite: a thread-based actor execution engine standing in for Ray.
+//
+// The paper's Ape-X executor runs on Ray's centralized execution model:
+// remote actors (samplers, replay shards) produce futures, a driver loop
+// schedules work with ray.wait, and large objects move through an object
+// store. raylite reproduces those primitives in-process: each actor owns a
+// mailbox thread, calls return futures, and the object store holds shared
+// immutable values by id.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+namespace raylite {
+
+struct ObjectId {
+  uint64_t value = 0;
+  bool operator<(const ObjectId& o) const { return value < o.value; }
+  bool operator==(const ObjectId& o) const { return value == o.value; }
+};
+
+// Shared, immutable object storage. Values are stored type-erased; get()
+// checks the requested type.
+class ObjectStore {
+ public:
+  template <typename T>
+  ObjectId put(T value) {
+    auto holder = std::make_shared<std::any>(std::move(value));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ObjectId id{next_id_++};
+    objects_[id] = std::move(holder);
+    return id;
+  }
+
+  template <typename T>
+  std::shared_ptr<const T> get(ObjectId id) const {
+    std::shared_ptr<std::any> holder;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = objects_.find(id);
+      if (it == objects_.end()) {
+        throw NotFoundError("object id " + std::to_string(id.value) +
+                            " not in store");
+      }
+      holder = it->second;
+    }
+    const T* value = std::any_cast<T>(holder.get());
+    RLG_REQUIRE(value != nullptr, "object store type mismatch for id "
+                                      << id.value);
+    // Alias the any holder so the value stays alive while referenced.
+    return std::shared_ptr<const T>(holder, value);
+  }
+
+  void erase(ObjectId id);
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<ObjectId, std::shared_ptr<std::any>> objects_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace raylite
+}  // namespace rlgraph

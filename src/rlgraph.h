@@ -1,0 +1,60 @@
+// Umbrella header for the RLgraph-cpp public API.
+//
+// Pull in everything a downstream application typically needs: spaces,
+// agents, environments, the component/executor core and the distributed
+// executors. Individual headers remain includable for finer-grained builds.
+#pragma once
+
+// Core abstractions (paper §3): components, build phases, executors.
+#include "core/component.h"
+#include "core/build_context.h"
+#include "core/component_test.h"
+#include "core/graph_executor.h"
+
+// Spaces and tensors.
+#include "spaces/nested.h"
+#include "spaces/space.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+
+// Off-the-shelf component library.
+#include "components/exploration.h"
+#include "components/layers.h"
+#include "components/losses.h"
+#include "components/memories.h"
+#include "components/neural_network.h"
+#include "components/optimizers.h"
+#include "components/policy.h"
+#include "components/preprocessors.h"
+#include "components/queue_staging.h"
+#include "components/splitter_merger.h"
+#include "components/synchronizer.h"
+#include "components/vtrace.h"
+
+// Agents (paper §3.4).
+#include "agents/actor_critic_agent.h"
+#include "agents/agent.h"
+#include "agents/dqn_agent.h"
+#include "agents/impala_agent.h"
+#include "agents/ppo_agent.h"
+
+// Environments.
+#include "env/catch_env.h"
+#include "env/dmlab_sim.h"
+#include "env/environment.h"
+#include "env/grid_world.h"
+#include "env/pong_sim.h"
+#include "env/vector_env.h"
+
+// raylite actor engine.
+#include "raylite/actor.h"
+#include "raylite/object_store.h"
+
+// Execution (paper §4): devices, distributed executors, sync plugins.
+#include "execution/allreduce.h"
+#include "execution/apex_executor.h"
+#include "execution/device.h"
+#include "execution/impala_pipeline.h"
+#include "execution/multi_device.h"
+#include "execution/param_server.h"
+#include "execution/ray_executor.h"

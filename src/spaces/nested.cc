@@ -1,0 +1,158 @@
+#include "spaces/nested.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "spaces/space.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+NestedTensor NestedTensor::dict(
+    std::vector<std::pair<std::string, NestedTensor>> entries) {
+  NestedTensor out;
+  out.kind_ = Kind::kDict;
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.dict_ = std::move(entries);
+  return out;
+}
+
+NestedTensor NestedTensor::tuple(std::vector<NestedTensor> entries) {
+  NestedTensor out;
+  out.kind_ = Kind::kTuple;
+  out.tuple_ = std::move(entries);
+  return out;
+}
+
+const Tensor& NestedTensor::tensor() const {
+  RLG_REQUIRE(is_tensor(), "NestedTensor is not a plain tensor");
+  return tensor_;
+}
+
+const std::vector<std::pair<std::string, NestedTensor>>&
+NestedTensor::dict_entries() const {
+  RLG_REQUIRE(is_dict(), "NestedTensor is not a dict");
+  return dict_;
+}
+
+const std::vector<NestedTensor>& NestedTensor::tuple_entries() const {
+  RLG_REQUIRE(is_tuple(), "NestedTensor is not a tuple");
+  return tuple_;
+}
+
+const NestedTensor& NestedTensor::at(const std::string& key) const {
+  for (const auto& [k, v] : dict_entries()) {
+    if (k == key) return v;
+  }
+  throw NotFoundError("NestedTensor key not found: " + key);
+}
+
+const NestedTensor& NestedTensor::at(size_t index) const {
+  const auto& entries = tuple_entries();
+  RLG_REQUIRE(index < entries.size(), "NestedTensor tuple index out of range");
+  return entries[index];
+}
+
+void NestedTensor::flatten_into(
+    std::vector<std::pair<std::string, Tensor>>* out,
+    const std::string& prefix) const {
+  switch (kind_) {
+    case Kind::kTensor:
+      out->emplace_back(prefix, tensor_);
+      return;
+    case Kind::kDict:
+      for (const auto& [k, v] : dict_) {
+        v.flatten_into(out, prefix.empty() ? k : prefix + "/" + k);
+      }
+      return;
+    case Kind::kTuple:
+      for (size_t i = 0; i < tuple_.size(); ++i) {
+        std::string p = std::to_string(i);
+        tuple_[i].flatten_into(out, prefix.empty() ? p : prefix + "/" + p);
+      }
+      return;
+  }
+}
+
+std::vector<std::pair<std::string, Tensor>> NestedTensor::flatten() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  flatten_into(&out, "");
+  return out;
+}
+
+namespace {
+
+NestedTensor unflatten_rec(
+    const Space& space,
+    const std::vector<std::pair<std::string, Tensor>>& leaves,
+    size_t* cursor) {
+  switch (space.kind()) {
+    case SpaceKind::kBox: {
+      RLG_REQUIRE(*cursor < leaves.size(), "unflatten: not enough leaves");
+      return NestedTensor(leaves[(*cursor)++].second);
+    }
+    case SpaceKind::kDict: {
+      const auto& ds = static_cast<const DictSpace&>(space);
+      std::vector<std::pair<std::string, NestedTensor>> entries;
+      for (const auto& [k, sub] : ds.entries()) {
+        entries.emplace_back(k, unflatten_rec(*sub, leaves, cursor));
+      }
+      return NestedTensor::dict(std::move(entries));
+    }
+    case SpaceKind::kTuple: {
+      const auto& ts = static_cast<const TupleSpace&>(space);
+      std::vector<NestedTensor> entries;
+      for (const SpacePtr& sub : ts.entries()) {
+        entries.push_back(unflatten_rec(*sub, leaves, cursor));
+      }
+      return NestedTensor::tuple(std::move(entries));
+    }
+  }
+  throw Error("unreachable");
+}
+
+}  // namespace
+
+NestedTensor NestedTensor::unflatten(
+    const Space& space,
+    const std::vector<std::pair<std::string, Tensor>>& leaves) {
+  size_t cursor = 0;
+  NestedTensor out = unflatten_rec(space, leaves, &cursor);
+  RLG_REQUIRE(cursor == leaves.size(),
+              "unflatten: leaf count mismatch (consumed "
+                  << cursor << " of " << leaves.size() << ")");
+  return out;
+}
+
+std::string NestedTensor::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kTensor:
+      os << tensor_.to_string(8);
+      break;
+    case Kind::kDict: {
+      os << "{";
+      bool first = true;
+      for (const auto& [k, v] : dict_) {
+        if (!first) os << ", ";
+        first = false;
+        os << k << ": " << v.to_string();
+      }
+      os << "}";
+      break;
+    }
+    case Kind::kTuple: {
+      os << "(";
+      for (size_t i = 0; i < tuple_.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << tuple_[i].to_string();
+      }
+      os << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace rlgraph

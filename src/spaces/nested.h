@@ -1,0 +1,60 @@
+// NestedTensor: a value of a (possibly container) space — a tensor, an
+// ordered string-keyed map, or a tuple. This is what flows through agent
+// APIs when states/actions are nested records, and what the splitter/merger
+// components decompose.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rlgraph {
+
+class Space;
+
+class NestedTensor {
+ public:
+  enum class Kind { kTensor, kDict, kTuple };
+
+  NestedTensor() : kind_(Kind::kTensor) {}
+  NestedTensor(Tensor t) : kind_(Kind::kTensor), tensor_(std::move(t)) {}
+  static NestedTensor dict(
+      std::vector<std::pair<std::string, NestedTensor>> entries);
+  static NestedTensor tuple(std::vector<NestedTensor> entries);
+
+  Kind kind() const { return kind_; }
+  bool is_tensor() const { return kind_ == Kind::kTensor; }
+  bool is_dict() const { return kind_ == Kind::kDict; }
+  bool is_tuple() const { return kind_ == Kind::kTuple; }
+
+  const Tensor& tensor() const;
+  const std::vector<std::pair<std::string, NestedTensor>>& dict_entries()
+      const;
+  const std::vector<NestedTensor>& tuple_entries() const;
+  const NestedTensor& at(const std::string& key) const;
+  const NestedTensor& at(size_t index) const;
+
+  // Flatten to ordered (path, tensor) leaves, matching Space::flatten order.
+  std::vector<std::pair<std::string, Tensor>> flatten() const;
+  // Rebuild from leaves using a space as the structure template.
+  static NestedTensor unflatten(
+      const Space& space,
+      const std::vector<std::pair<std::string, Tensor>>& leaves);
+
+  std::string to_string() const;
+
+ private:
+  void flatten_into(std::vector<std::pair<std::string, Tensor>>* out,
+                    const std::string& prefix) const;
+
+  Kind kind_;
+  Tensor tensor_;
+  std::vector<std::pair<std::string, NestedTensor>> dict_;
+  std::vector<NestedTensor> tuple_;
+};
+
+}  // namespace rlgraph

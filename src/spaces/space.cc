@@ -1,0 +1,405 @@
+#include "spaces/space.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "spaces/nested.h"
+#include "tensor/kernels.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+void Space::flatten(std::vector<std::pair<std::string, SpacePtr>>* out,
+                    const std::string& prefix) const {
+  flatten_into(out, prefix);
+}
+
+// --- BoxSpace ---------------------------------------------------------------
+
+BoxSpace::BoxSpace(DType dtype, Shape value_shape, double low, double high,
+                   int64_t num_categories)
+    : dtype_(dtype), value_shape_(std::move(value_shape)), low_(low),
+      high_(high), num_categories_(num_categories) {
+  RLG_REQUIRE(value_shape_.fully_specified(),
+              "box value shape must be fully specified, got "
+                  << value_shape_.to_string());
+  RLG_REQUIRE(low <= high, "box bounds inverted: [" << low << ", " << high
+                                                    << "]");
+}
+
+Shape BoxSpace::full_shape() const {
+  Shape s = value_shape_;
+  if (time_rank_) s = s.prepend(kUnknownDim);
+  if (batch_rank_) s = s.prepend(kUnknownDim);
+  return s;
+}
+
+SpacePtr BoxSpace::with_ranks(bool batch, bool time) const {
+  auto out = std::make_shared<BoxSpace>(dtype_, value_shape_, low_, high_,
+                                        num_categories_);
+  out->batch_rank_ = batch;
+  out->time_rank_ = time;
+  return out;
+}
+
+NestedTensor BoxSpace::sample(Rng& rng, int64_t batch_size,
+                              int64_t time_size) const {
+  Shape s = value_shape_;
+  if (time_rank_) s = s.prepend(time_size);
+  if (batch_rank_) s = s.prepend(batch_size);
+  switch (dtype_) {
+    case DType::kFloat32: {
+      double lo = std::max(low_, -1.0e4);
+      double hi = std::min(high_, 1.0e4);
+      return NestedTensor(kernels::random_uniform(s, lo, hi, rng));
+    }
+    case DType::kInt32: {
+      int64_t n = num_categories_ > 0
+                      ? num_categories_
+                      : static_cast<int64_t>(high_ - low_) + 1;
+      Tensor t = kernels::random_int(s, n, rng);
+      if (num_categories_ == 0 && low_ != 0.0) {
+        int32_t* p = t.mutable_data<int32_t>();
+        for (int64_t i = 0; i < t.num_elements(); ++i) {
+          p[i] += static_cast<int32_t>(low_);
+        }
+      }
+      return NestedTensor(std::move(t));
+    }
+    case DType::kBool: {
+      Tensor t(DType::kBool, s);
+      uint8_t* p = t.mutable_data<uint8_t>();
+      for (int64_t i = 0; i < t.num_elements(); ++i) {
+        p[i] = rng.bernoulli(0.5) ? 1 : 0;
+      }
+      return NestedTensor(std::move(t));
+    }
+    case DType::kUInt8: {
+      Tensor t = kernels::random_int(s, 256, rng).cast(DType::kUInt8);
+      return NestedTensor(std::move(t));
+    }
+  }
+  throw ValueError("unknown dtype in sample");
+}
+
+NestedTensor BoxSpace::zeros(int64_t batch_size, int64_t time_size) const {
+  Shape s = value_shape_;
+  if (time_rank_) s = s.prepend(time_size);
+  if (batch_rank_) s = s.prepend(batch_size);
+  return NestedTensor(Tensor::zeros(dtype_, s));
+}
+
+bool BoxSpace::contains(const NestedTensor& value) const {
+  if (!value.is_tensor()) return false;
+  const Tensor& t = value.tensor();
+  if (t.dtype() != dtype_) return false;
+  if (!full_shape().matches(t.shape())) return false;
+  if (dtype_ == DType::kFloat32 || dtype_ == DType::kInt32) {
+    double lo = num_categories_ > 0 ? 0.0 : low_;
+    double hi = num_categories_ > 0 ? static_cast<double>(num_categories_ - 1)
+                                    : high_;
+    for (int64_t i = 0; i < t.num_elements(); ++i) {
+      double v = t.at_flat(i);
+      if (v < lo || v > hi) return false;
+    }
+  }
+  return true;
+}
+
+bool BoxSpace::equals(const Space& other) const {
+  if (other.kind() != SpaceKind::kBox) return false;
+  const auto& o = static_cast<const BoxSpace&>(other);
+  return dtype_ == o.dtype_ && value_shape_ == o.value_shape_ &&
+         low_ == o.low_ && high_ == o.high_ &&
+         num_categories_ == o.num_categories_ &&
+         batch_rank_ == o.batch_rank_ && time_rank_ == o.time_rank_;
+}
+
+std::string BoxSpace::to_string() const {
+  std::ostringstream os;
+  os << dtype_name(dtype_) << "Box" << full_shape().to_string();
+  if (num_categories_ > 0) os << "{" << num_categories_ << "}";
+  return os.str();
+}
+
+Json BoxSpace::to_json() const {
+  Json j;
+  switch (dtype_) {
+    case DType::kFloat32: j["type"] = "float"; break;
+    case DType::kInt32: j["type"] = "int"; break;
+    case DType::kBool: j["type"] = "bool"; break;
+    case DType::kUInt8: j["type"] = "uint8"; break;
+  }
+  JsonArray dims;
+  for (int64_t d : value_shape_.dims()) dims.push_back(Json(d));
+  j["shape"] = Json(dims);
+  if (num_categories_ > 0) {
+    j["num_categories"] = Json(num_categories_);
+  } else if (dtype_ == DType::kFloat32) {
+    j["low"] = Json(low_);
+    j["high"] = Json(high_);
+  }
+  if (batch_rank_) j["add_batch_rank"] = Json(true);
+  if (time_rank_) j["add_time_rank"] = Json(true);
+  return j;
+}
+
+void BoxSpace::flatten_into(
+    std::vector<std::pair<std::string, SpacePtr>>* out,
+    const std::string& prefix) const {
+  out->emplace_back(prefix, shared_from_this());
+}
+
+SpacePtr FloatBox(Shape shape, double low, double high) {
+  return std::make_shared<BoxSpace>(DType::kFloat32, std::move(shape), low,
+                                    high);
+}
+
+SpacePtr IntBox(int64_t num_categories, Shape shape) {
+  RLG_REQUIRE(num_categories > 0, "IntBox requires num_categories > 0");
+  return std::make_shared<BoxSpace>(DType::kInt32, std::move(shape), 0,
+                                    static_cast<double>(num_categories - 1),
+                                    num_categories);
+}
+
+SpacePtr BoolBox(Shape shape) {
+  return std::make_shared<BoxSpace>(DType::kBool, std::move(shape), 0, 1);
+}
+
+// --- DictSpace ---------------------------------------------------------------
+
+DictSpace::DictSpace(std::vector<std::pair<std::string, SpacePtr>> entries)
+    : entries_(std::move(entries)) {
+  RLG_REQUIRE(!entries_.empty(), "Dict space requires at least one entry");
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    RLG_REQUIRE(entries_[i].first != entries_[i - 1].first,
+                "duplicate Dict space key: " << entries_[i].first);
+  }
+}
+
+SpacePtr DictSpace::at(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  throw NotFoundError("Dict space key not found: " + key);
+}
+
+SpacePtr DictSpace::with_ranks(bool batch, bool time) const {
+  std::vector<std::pair<std::string, SpacePtr>> entries;
+  entries.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) {
+    entries.emplace_back(k, v->with_ranks(batch, time));
+  }
+  auto out = std::make_shared<DictSpace>(std::move(entries));
+  out->batch_rank_ = batch;
+  out->time_rank_ = time;
+  return out;
+}
+
+NestedTensor DictSpace::sample(Rng& rng, int64_t batch_size,
+                               int64_t time_size) const {
+  std::vector<std::pair<std::string, NestedTensor>> entries;
+  entries.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) {
+    entries.emplace_back(k, v->sample(rng, batch_size, time_size));
+  }
+  return NestedTensor::dict(std::move(entries));
+}
+
+NestedTensor DictSpace::zeros(int64_t batch_size, int64_t time_size) const {
+  std::vector<std::pair<std::string, NestedTensor>> entries;
+  entries.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) {
+    entries.emplace_back(k, v->zeros(batch_size, time_size));
+  }
+  return NestedTensor::dict(std::move(entries));
+}
+
+bool DictSpace::contains(const NestedTensor& value) const {
+  if (!value.is_dict()) return false;
+  const auto& ve = value.dict_entries();
+  if (ve.size() != entries_.size()) return false;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (ve[i].first != entries_[i].first) return false;
+    if (!entries_[i].second->contains(ve[i].second)) return false;
+  }
+  return true;
+}
+
+bool DictSpace::equals(const Space& other) const {
+  if (other.kind() != SpaceKind::kDict) return false;
+  const auto& o = static_cast<const DictSpace&>(other);
+  if (entries_.size() != o.entries_.size()) return false;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].first != o.entries_[i].first) return false;
+    if (!entries_[i].second->equals(*o.entries_[i].second)) return false;
+  }
+  return true;
+}
+
+std::string DictSpace::to_string() const {
+  std::ostringstream os;
+  os << "Dict{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << entries_[i].first << ": " << entries_[i].second->to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+Json DictSpace::to_json() const {
+  Json j;
+  j["type"] = "dict";
+  Json spaces;
+  for (const auto& [k, v] : entries_) spaces[k] = v->to_json();
+  j["spaces"] = spaces;
+  return j;
+}
+
+void DictSpace::flatten_into(
+    std::vector<std::pair<std::string, SpacePtr>>* out,
+    const std::string& prefix) const {
+  for (const auto& [k, v] : entries_) {
+    v->flatten(out, prefix.empty() ? k : prefix + "/" + k);
+  }
+}
+
+// --- TupleSpace ----------------------------------------------------------------
+
+TupleSpace::TupleSpace(std::vector<SpacePtr> entries)
+    : entries_(std::move(entries)) {
+  RLG_REQUIRE(!entries_.empty(), "Tuple space requires at least one entry");
+}
+
+SpacePtr TupleSpace::with_ranks(bool batch, bool time) const {
+  std::vector<SpacePtr> entries;
+  entries.reserve(entries_.size());
+  for (const SpacePtr& v : entries_) entries.push_back(v->with_ranks(batch, time));
+  auto out = std::make_shared<TupleSpace>(std::move(entries));
+  out->batch_rank_ = batch;
+  out->time_rank_ = time;
+  return out;
+}
+
+NestedTensor TupleSpace::sample(Rng& rng, int64_t batch_size,
+                                int64_t time_size) const {
+  std::vector<NestedTensor> entries;
+  entries.reserve(entries_.size());
+  for (const SpacePtr& v : entries_) {
+    entries.push_back(v->sample(rng, batch_size, time_size));
+  }
+  return NestedTensor::tuple(std::move(entries));
+}
+
+NestedTensor TupleSpace::zeros(int64_t batch_size, int64_t time_size) const {
+  std::vector<NestedTensor> entries;
+  entries.reserve(entries_.size());
+  for (const SpacePtr& v : entries_) {
+    entries.push_back(v->zeros(batch_size, time_size));
+  }
+  return NestedTensor::tuple(std::move(entries));
+}
+
+bool TupleSpace::contains(const NestedTensor& value) const {
+  if (!value.is_tuple()) return false;
+  const auto& ve = value.tuple_entries();
+  if (ve.size() != entries_.size()) return false;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i]->contains(ve[i])) return false;
+  }
+  return true;
+}
+
+bool TupleSpace::equals(const Space& other) const {
+  if (other.kind() != SpaceKind::kTuple) return false;
+  const auto& o = static_cast<const TupleSpace&>(other);
+  if (entries_.size() != o.entries_.size()) return false;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i]->equals(*o.entries_[i])) return false;
+  }
+  return true;
+}
+
+std::string TupleSpace::to_string() const {
+  std::ostringstream os;
+  os << "Tuple(";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << entries_[i]->to_string();
+  }
+  os << ")";
+  return os.str();
+}
+
+Json TupleSpace::to_json() const {
+  Json j;
+  j["type"] = "tuple";
+  JsonArray spaces;
+  for (const SpacePtr& v : entries_) spaces.push_back(v->to_json());
+  j["spaces"] = Json(spaces);
+  return j;
+}
+
+void TupleSpace::flatten_into(
+    std::vector<std::pair<std::string, SpacePtr>>* out,
+    const std::string& prefix) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    std::string p = std::to_string(i);
+    entries_[i]->flatten(out, prefix.empty() ? p : prefix + "/" + p);
+  }
+}
+
+SpacePtr Dict(std::vector<std::pair<std::string, SpacePtr>> entries) {
+  return std::make_shared<DictSpace>(std::move(entries));
+}
+
+SpacePtr Tuple(std::vector<SpacePtr> entries) {
+  return std::make_shared<TupleSpace>(std::move(entries));
+}
+
+// --- JSON parsing ----------------------------------------------------------------
+
+SpacePtr Space::from_json(const Json& spec) {
+  const std::string type = spec.get_string("type", "float");
+  SpacePtr out;
+  if (type == "dict") {
+    std::vector<std::pair<std::string, SpacePtr>> entries;
+    for (const auto& [k, v] : spec.at("spaces").as_object()) {
+      entries.emplace_back(k, from_json(v));
+    }
+    out = Dict(std::move(entries));
+  } else if (type == "tuple") {
+    std::vector<SpacePtr> entries;
+    for (const Json& v : spec.at("spaces").as_array()) {
+      entries.push_back(from_json(v));
+    }
+    out = Tuple(std::move(entries));
+  } else {
+    std::vector<int64_t> dims;
+    if (spec.has("shape")) {
+      for (const Json& d : spec.at("shape").as_array()) {
+        dims.push_back(d.as_int());
+      }
+    }
+    Shape shape{dims};
+    if (type == "float") {
+      out = FloatBox(shape, spec.get_double("low", -1e30),
+                     spec.get_double("high", 1e30));
+    } else if (type == "int") {
+      out = IntBox(spec.get_int("num_categories", 2), shape);
+    } else if (type == "bool") {
+      out = BoolBox(shape);
+    } else {
+      throw ConfigError("unknown space type: " + type);
+    }
+  }
+  bool batch = spec.get_bool("add_batch_rank", false);
+  bool time = spec.get_bool("add_time_rank", false);
+  if (batch || time) out = out->with_ranks(batch, time);
+  return out;
+}
+
+}  // namespace rlgraph

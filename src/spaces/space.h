@@ -1,0 +1,177 @@
+// RLgraph spaces: backend-independent descriptions of tensor signatures.
+//
+// "Developers ... only need to specify type and shape of input spaces to an
+// algorithm's outermost container component." Spaces carry dtype, value
+// shape, optional batch/time ranks (represented as leading unknown dims) and
+// bounds. Container spaces (Dict, Tuple) describe nested records and drive
+// the auto split/merge utilities.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/json.h"
+#include "util/random.h"
+
+namespace rlgraph {
+
+class Space;
+using SpacePtr = std::shared_ptr<const Space>;
+
+enum class SpaceKind { kBox, kDict, kTuple };
+
+class NestedTensor;  // defined in spaces/nested.h
+
+class Space : public std::enable_shared_from_this<Space> {
+ public:
+  virtual ~Space() = default;
+
+  virtual SpaceKind kind() const = 0;
+  bool is_box() const { return kind() == SpaceKind::kBox; }
+  bool is_container() const { return !is_box(); }
+
+  bool has_batch_rank() const { return batch_rank_; }
+  bool has_time_rank() const { return time_rank_; }
+
+  // Return a copy of this space with batch/time ranks added (recursively for
+  // containers). Rank layout is [batch, time, ...value].
+  SpacePtr with_batch_rank() const { return with_ranks(true, time_rank_); }
+  SpacePtr with_time_rank() const { return with_ranks(batch_rank_, true); }
+  virtual SpacePtr with_ranks(bool batch, bool time) const = 0;
+
+  // Sample a value; unknown (batch/time) dims take the given extents.
+  virtual NestedTensor sample(Rng& rng, int64_t batch_size = 1,
+                              int64_t time_size = 1) const = 0;
+  // Zero value of the same signature.
+  virtual NestedTensor zeros(int64_t batch_size = 1,
+                             int64_t time_size = 1) const = 0;
+  // Signature + bounds check.
+  virtual bool contains(const NestedTensor& value) const = 0;
+
+  virtual bool equals(const Space& other) const = 0;
+  virtual std::string to_string() const = 0;
+  virtual Json to_json() const = 0;
+
+  // Flatten into ordered (path, leaf-box) pairs; "" path for a bare box,
+  // "a/b" style paths inside containers.
+  void flatten(std::vector<std::pair<std::string, SpacePtr>>* out,
+               const std::string& prefix = "") const;
+
+  // Parse from a JSON spec, e.g.
+  //   {"type": "float", "shape": [84, 84, 4], "low": 0, "high": 1}
+  //   {"type": "int", "num_categories": 6}
+  //   {"type": "dict", "spaces": {"discrete": {...}, "cont": {...}}}
+  static SpacePtr from_json(const Json& spec);
+
+ protected:
+  virtual void flatten_into(
+      std::vector<std::pair<std::string, SpacePtr>>* out,
+      const std::string& prefix) const = 0;
+
+  bool batch_rank_ = false;
+  bool time_rank_ = false;
+};
+
+// A (possibly bounded) dense box of one dtype.
+class BoxSpace : public Space {
+ public:
+  BoxSpace(DType dtype, Shape value_shape, double low, double high,
+           int64_t num_categories = 0);
+
+  SpaceKind kind() const override { return SpaceKind::kBox; }
+  DType dtype() const { return dtype_; }
+  // Value shape without batch/time ranks.
+  const Shape& value_shape() const { return value_shape_; }
+  // Full signature including leading unknown batch/time dims.
+  Shape full_shape() const;
+  double low() const { return low_; }
+  double high() const { return high_; }
+  // > 0 for categorical int spaces (action spaces).
+  int64_t num_categories() const { return num_categories_; }
+
+  SpacePtr with_ranks(bool batch, bool time) const override;
+  NestedTensor sample(Rng& rng, int64_t batch_size,
+                      int64_t time_size) const override;
+  NestedTensor zeros(int64_t batch_size, int64_t time_size) const override;
+  bool contains(const NestedTensor& value) const override;
+  bool equals(const Space& other) const override;
+  std::string to_string() const override;
+  Json to_json() const override;
+
+ protected:
+  void flatten_into(std::vector<std::pair<std::string, SpacePtr>>* out,
+                    const std::string& prefix) const override;
+
+ private:
+  DType dtype_;
+  Shape value_shape_;
+  double low_;
+  double high_;
+  int64_t num_categories_;
+};
+
+// Convenience factories mirroring the paper's FloatBox / IntBox / BoolBox.
+SpacePtr FloatBox(Shape shape = {}, double low = -1e30, double high = 1e30);
+SpacePtr IntBox(int64_t num_categories, Shape shape = {});
+SpacePtr BoolBox(Shape shape = {});
+
+class DictSpace : public Space {
+ public:
+  explicit DictSpace(std::vector<std::pair<std::string, SpacePtr>> entries);
+
+  SpaceKind kind() const override { return SpaceKind::kDict; }
+  const std::vector<std::pair<std::string, SpacePtr>>& entries() const {
+    return entries_;
+  }
+  SpacePtr at(const std::string& key) const;
+
+  SpacePtr with_ranks(bool batch, bool time) const override;
+  NestedTensor sample(Rng& rng, int64_t batch_size,
+                      int64_t time_size) const override;
+  NestedTensor zeros(int64_t batch_size, int64_t time_size) const override;
+  bool contains(const NestedTensor& value) const override;
+  bool equals(const Space& other) const override;
+  std::string to_string() const override;
+  Json to_json() const override;
+
+ protected:
+  void flatten_into(std::vector<std::pair<std::string, SpacePtr>>* out,
+                    const std::string& prefix) const override;
+
+ private:
+  std::vector<std::pair<std::string, SpacePtr>> entries_;  // sorted by key
+};
+
+class TupleSpace : public Space {
+ public:
+  explicit TupleSpace(std::vector<SpacePtr> entries);
+
+  SpaceKind kind() const override { return SpaceKind::kTuple; }
+  const std::vector<SpacePtr>& entries() const { return entries_; }
+
+  SpacePtr with_ranks(bool batch, bool time) const override;
+  NestedTensor sample(Rng& rng, int64_t batch_size,
+                      int64_t time_size) const override;
+  NestedTensor zeros(int64_t batch_size, int64_t time_size) const override;
+  bool contains(const NestedTensor& value) const override;
+  bool equals(const Space& other) const override;
+  std::string to_string() const override;
+  Json to_json() const override;
+
+ protected:
+  void flatten_into(std::vector<std::pair<std::string, SpacePtr>>* out,
+                    const std::string& prefix) const override;
+
+ private:
+  std::vector<SpacePtr> entries_;
+};
+
+// Helper used across factories: make a Dict space from an initializer list.
+SpacePtr Dict(std::vector<std::pair<std::string, SpacePtr>> entries);
+SpacePtr Tuple(std::vector<SpacePtr> entries);
+
+}  // namespace rlgraph

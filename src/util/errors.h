@@ -1,0 +1,92 @@
+// Error types and checking macros used across RLgraph.
+//
+// RLgraph reports programmer and configuration errors via exceptions derived
+// from rlgraph::Error. The RLG_CHECK* macros are used for internal invariant
+// checks; build-time user errors (bad spaces, unknown ops, ...) throw the
+// more specific subclasses so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rlgraph {
+
+// Base class of all RLgraph errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A value (shape, dtype, argument) failed validation.
+class ValueError : public Error {
+ public:
+  using Error::Error;
+};
+
+// Something was looked up by name and not found (op type, API method, ...).
+class NotFoundError : public Error {
+ public:
+  using Error::Error;
+};
+
+// The component-graph build detected a constraint violation (e.g. a graph
+// function executed before its component was input-complete).
+class BuildError : public Error {
+ public:
+  using Error::Error;
+};
+
+// Errors from the JSON parser / config handling.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace internal {
+
+// Stream-style message collector that throws on destruction via Raise().
+class ErrorStream {
+ public:
+  template <typename T>
+  ErrorStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rlgraph
+
+// Internal invariant check; failure indicates a bug in RLgraph itself.
+#define RLG_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      throw ::rlgraph::Error(std::string("RLG_CHECK failed: " #cond " at ") + \
+                             __FILE__ + ":" + std::to_string(__LINE__));    \
+    }                                                                       \
+  } while (0)
+
+#define RLG_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::rlgraph::internal::ErrorStream es_;                                 \
+      es_ << "RLG_CHECK failed: " #cond " at " << __FILE__ << ":"           \
+          << __LINE__ << ": " << msg;                                       \
+      throw ::rlgraph::Error(es_.str());                                    \
+    }                                                                       \
+  } while (0)
+
+// User-facing validation; throws ValueError with the streamed message.
+#define RLG_REQUIRE(cond, msg)                                   \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::rlgraph::internal::ErrorStream es_;                      \
+      es_ << msg;                                                \
+      throw ::rlgraph::ValueError(es_.str());                    \
+    }                                                            \
+  } while (0)

@@ -1,0 +1,448 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace rlgraph {
+
+namespace {
+const Json& shared_null() {
+  static const Json null;
+  return null;
+}
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) throw ConfigError("JSON value is not a bool");
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (type_ != Type::kNumber) throw ConfigError("JSON value is not a number");
+  return num_;
+}
+
+int64_t Json::as_int() const {
+  if (type_ != Type::kNumber) throw ConfigError("JSON value is not a number");
+  return static_cast<int64_t>(num_);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) throw ConfigError("JSON value is not a string");
+  return str_;
+}
+
+const JsonArray& Json::as_array() const {
+  if (type_ != Type::kArray) throw ConfigError("JSON value is not an array");
+  return arr_;
+}
+
+JsonArray& Json::as_array() {
+  if (type_ != Type::kArray) throw ConfigError("JSON value is not an array");
+  return arr_;
+}
+
+const JsonObject& Json::as_object() const {
+  if (type_ != Type::kObject) throw ConfigError("JSON value is not an object");
+  return obj_;
+}
+
+JsonObject& Json::as_object() {
+  if (type_ != Type::kObject) throw ConfigError("JSON value is not an object");
+  return obj_;
+}
+
+bool Json::has(const std::string& key) const {
+  return type_ == Type::kObject && obj_.count(key) > 0;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (type_ != Type::kObject) throw ConfigError("JSON value is not an object");
+  auto it = obj_.find(key);
+  if (it == obj_.end()) throw NotFoundError("JSON key not found: " + key);
+  return it->second;
+}
+
+const Json& Json::get(const std::string& key) const {
+  if (type_ != Type::kObject) return shared_null();
+  auto it = obj_.find(key);
+  return it == obj_.end() ? shared_null() : it->second;
+}
+
+bool Json::get_bool(const std::string& key, bool def) const {
+  const Json& v = get(key);
+  return v.is_null() ? def : v.as_bool();
+}
+
+int64_t Json::get_int(const std::string& key, int64_t def) const {
+  const Json& v = get(key);
+  return v.is_null() ? def : v.as_int();
+}
+
+double Json::get_double(const std::string& key, double def) const {
+  const Json& v = get(key);
+  return v.is_null() ? def : v.as_double();
+}
+
+std::string Json::get_string(const std::string& key,
+                             const std::string& def) const {
+  const Json& v = get(key);
+  return v.is_null() ? def : v.as_string();
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) throw ConfigError("JSON value is not an object");
+  return obj_[key];
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return num_ == other.num_;
+    case Type::kString: return str_ == other.str_;
+    case Type::kArray: return arr_ == other.arr_;
+    case Type::kObject: return obj_ == other.obj_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+namespace {
+
+void escape_string(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void format_number(double v, std::string* out) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    *out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    *out += buf;
+  }
+}
+
+void newline_indent(std::string* out, int indent, int depth) {
+  if (indent < 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: format_number(num_, out); break;
+    case Type::kString: escape_string(str_, out); break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline_indent(out, indent, depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        escape_string(k, out);
+        *out += indent < 0 ? ":" : ": ";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(&out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser: recursive descent over the full JSON grammar.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    skip_ws();
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    int line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ConfigError("JSON parse error at line " + std::to_string(line) +
+                      ", column " + std::to_string(col) + ": " + msg);
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char advance() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (advance() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      advance();
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      char c = advance();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return Json(std::move(obj));
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      advance();
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      char c = advance();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return Json(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = advance();
+      if (c == '"') break;
+      if (c == '\\') {
+        char esc = advance();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = advance();
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("invalid \\u escape");
+              }
+            }
+            // Encode as UTF-8 (basic multilingual plane only; surrogate
+            // pairs in configs are out of scope for RL configs).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("invalid escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    size_t start = pos_;
+    if (peek() == '-') advance();
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("invalid number");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("invalid fraction");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("invalid exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return Json(std::stod(text_.substr(start, pos_ - start)));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace rlgraph

@@ -1,0 +1,95 @@
+// A small, self-contained JSON value type, parser and writer.
+//
+// RLgraph agents are configured declaratively (paper §3.4): a JSON document
+// names the algorithm and its components (network layer list, memory type,
+// optimizer, device strategy, ...). This module provides the value model
+// those configs are expressed in. It supports the full JSON grammar plus
+// convenience typed accessors with defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps keys ordered, which makes writer output deterministic.
+using JsonObject = std::map<std::string, Json>;
+
+// A JSON value: null, bool, number (stored as double, with integer
+// preservation for values that round-trip), string, array or object.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kNumber), num_(v) {}
+  Json(int64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(size_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Strict accessors; throw ConfigError on type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  int64_t as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  // Object helpers.
+  bool has(const std::string& key) const;
+  // Throws NotFoundError if absent.
+  const Json& at(const std::string& key) const;
+  // Returns a shared null if absent.
+  const Json& get(const std::string& key) const;
+  // Typed getters with defaults (absent key or null value -> default).
+  bool get_bool(const std::string& key, bool def) const;
+  int64_t get_int(const std::string& key, int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  std::string get_string(const std::string& key, const std::string& def) const;
+
+  // Mutating object access; converts a null value into an object.
+  Json& operator[](const std::string& key);
+
+  // Serialize. indent < 0 -> compact single line.
+  std::string dump(int indent = -1) const;
+
+  // Parse from text; throws ConfigError with line/column on failure.
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+}  // namespace rlgraph

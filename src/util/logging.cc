@@ -1,0 +1,71 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace rlgraph {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized, read env on first use.
+std::mutex g_io_mutex;
+
+int level_from_env() {
+  const char* env = std::getenv("RLGRAPH_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "DEBUG") == 0) return 0;
+  if (std::strcmp(env, "INFO") == 0) return 1;
+  if (std::strcmp(env, "WARN") == 0) return 2;
+  if (std::strcmp(env, "ERROR") == 0) return 3;
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+int effective_level() {
+  int l = g_level.load(std::memory_order_relaxed);
+  if (l < 0) {
+    l = level_from_env();
+    g_level.store(l, std::memory_order_relaxed);
+  }
+  return l;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return static_cast<LogLevel>(effective_level()); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= effective_level()), level_(level) {
+  if (enabled_) {
+    const char* base = std::strrchr(file, '/');
+    stream_ << "[" << level_name(level_) << " "
+            << (base != nullptr ? base + 1 : file) << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::lock_guard<std::mutex> lock(g_io_mutex);
+    std::cerr << stream_.str() << "\n";
+  }
+}
+
+}  // namespace internal
+}  // namespace rlgraph

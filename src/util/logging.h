@@ -1,0 +1,48 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Usage: RLG_LOG(INFO) << "built " << n << " components";
+// Level is controlled globally via set_log_level() or the RLGRAPH_LOG_LEVEL
+// environment variable (DEBUG|INFO|WARN|ERROR, default WARN so tests and
+// benchmarks stay quiet).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rlgraph {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rlgraph
+
+#define RLG_LOG(severity)                                               \
+  ::rlgraph::internal::LogMessage(::rlgraph::LogLevel::k##severity,     \
+                                  __FILE__, __LINE__)
+
+#define RLG_LOG_DEBUG RLG_LOG(Debug)
+#define RLG_LOG_INFO RLG_LOG(Info)
+#define RLG_LOG_WARN RLG_LOG(Warn)
+#define RLG_LOG_ERROR RLG_LOG(Error)

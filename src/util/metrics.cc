@@ -1,0 +1,85 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rlgraph {
+
+void SummaryStats::record(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  sum_sq_ += v * v;
+}
+
+double SummaryStats::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double SummaryStats::stddev() const {
+  if (count_ < 2) return 0.0;
+  double m = mean();
+  double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::string SummaryStats::to_string() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " min=" << min()
+     << " max=" << max() << " stddev=" << stddev();
+  return os.str();
+}
+
+void MetricRegistry::increment(const std::string& name, int64_t by) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += by;
+}
+
+void MetricRegistry::record_time(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  timers_[name].record(seconds);
+}
+
+int64_t MetricRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+SummaryStats MetricRegistry::timer(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = timers_.find(name);
+  return it == timers_.end() ? SummaryStats{} : it->second;
+}
+
+std::map<std::string, int64_t> MetricRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::string MetricRegistry::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << ": " << value << "\n";
+  }
+  for (const auto& [name, stats] : timers_) {
+    os << name << ": " << stats.to_string() << "\n";
+  }
+  return os.str();
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  timers_.clear();
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,86 @@
+// Lightweight timing and throughput instrumentation.
+//
+// The benchmark harness reports the same quantities the paper does
+// (environment frames per second, build seconds, mean worker reward), all
+// collected through these helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rlgraph {
+
+// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Streaming summary statistics (count/mean/min/max/stddev) over doubles.
+class SummaryStats {
+ public:
+  void record(double v);
+  int64_t count() const { return count_; }
+  double mean() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double stddev() const;
+  std::string to_string() const;
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Thread-safe registry of named counters and timers, used by executors to
+// expose per-run metrics (session calls, samples processed, queue waits).
+class MetricRegistry {
+ public:
+  void increment(const std::string& name, int64_t by = 1);
+  void record_time(const std::string& name, double seconds);
+  int64_t counter(const std::string& name) const;
+  SummaryStats timer(const std::string& name) const;
+  std::map<std::string, int64_t> counters() const;
+  std::string report() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, SummaryStats> timers_;
+};
+
+// RAII timer that records into a registry on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+  ~ScopedTimer() {
+    if (registry_ != nullptr) {
+      registry_->record_time(name_, watch_.elapsed_seconds());
+    }
+  }
+
+ private:
+  MetricRegistry* registry_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace rlgraph

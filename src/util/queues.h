@@ -1,0 +1,93 @@
+// Thread-safe queues used by the actor engine and the IMPALA pipeline.
+//
+// BlockingQueue<T> is an (optionally bounded) MPMC queue; a bounded queue
+// blocks producers when full, which is exactly the semantics of the globally
+// shared blocking sample queue in the IMPALA architecture (paper §5.1).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace rlgraph {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  // capacity == 0 means unbounded.
+  explicit BlockingQueue(size_t capacity = 0) : capacity_(capacity) {}
+
+  // Blocks while the queue is full (bounded) unless closed; returns false if
+  // the queue was closed before the element could be enqueued.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] {
+      return closed_ || capacity_ == 0 || items_.size() < capacity_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; returns false if full or closed.
+  bool try_push(T value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) {
+      return false;
+    }
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an element is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // Wakes all waiters; subsequent pushes fail, pops drain remaining items.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rlgraph

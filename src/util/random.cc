@@ -1,0 +1,90 @@
+#include "util/random.h"
+
+#include <mutex>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+namespace {
+// splitmix64: used to decorrelate seeds for split streams.
+uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) : engine_(seed) {}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t Rng::uniform_int(int64_t n) {
+  RLG_REQUIRE(n > 0, "uniform_int requires n > 0, got " << n);
+  return std::uniform_int_distribution<int64_t>(0, n - 1)(engine_);
+}
+
+double Rng::normal() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+int64_t Rng::categorical(const std::vector<double>& weights) {
+  RLG_REQUIRE(!weights.empty(), "categorical requires non-empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    RLG_REQUIRE(w >= 0.0, "categorical weights must be >= 0, got " << w);
+    total += w;
+  }
+  if (total <= 0.0) return uniform_int(static_cast<int64_t>(weights.size()));
+  double r = uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+Rng Rng::split() {
+  uint64_t s = next_u64();
+  uint64_t mixed = splitmix64(s);
+  return Rng(mixed);
+}
+
+uint64_t Rng::next_u64() { return engine_(); }
+
+namespace {
+std::mutex g_rng_mutex;
+Rng* g_rng = nullptr;
+}  // namespace
+
+Rng& global_rng() {
+  std::lock_guard<std::mutex> lock(g_rng_mutex);
+  if (g_rng == nullptr) g_rng = new Rng(0xD1CEULL);
+  return *g_rng;
+}
+
+void seed_global_rng(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(g_rng_mutex);
+  delete g_rng;
+  g_rng = new Rng(seed);
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,49 @@
+// Seedable random number generation used everywhere in RLgraph.
+//
+// All stochastic behaviour in the library (space sampling, exploration,
+// prioritized sampling, environment dynamics, weight init) routes through
+// Rng instances so experiments are reproducible given a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rlgraph {
+
+// A thin wrapper around a fast 64-bit PRNG (splitmix-seeded xoshiro-style via
+// std::mt19937_64) with the distribution helpers RLgraph needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n) for n > 0.
+  int64_t uniform_int(int64_t n);
+  // Standard normal.
+  double normal();
+  double normal(double mean, double stddev);
+  // Bernoulli with probability p of true.
+  bool bernoulli(double p);
+  // Sample an index from an unnormalized weight vector (weights >= 0).
+  int64_t categorical(const std::vector<double>& weights);
+
+  // Split off an independent stream (for per-worker RNGs).
+  Rng split();
+
+  uint64_t next_u64();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+// Process-global RNG for convenience paths where the caller did not thread a
+// generator through (e.g. default weight initialization). Seed it once at
+// program start for reproducibility.
+Rng& global_rng();
+void seed_global_rng(uint64_t seed);
+
+}  // namespace rlgraph

@@ -1,0 +1,121 @@
+#include "util/serialization.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace rlgraph {
+
+void ByteWriter::write_u8(uint8_t v) { buffer_.push_back(v); }
+
+void ByteWriter::write_u32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void ByteWriter::write_u64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void ByteWriter::write_i64(int64_t v) { write_u64(static_cast<uint64_t>(v)); }
+
+void ByteWriter::write_f32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u32(bits);
+}
+
+void ByteWriter::write_f64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u64(bits);
+}
+
+void ByteWriter::write_string(const std::string& s) {
+  write_u32(static_cast<uint32_t>(s.size()));
+  write_bytes(s.data(), s.size());
+}
+
+void ByteWriter::write_bytes(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + n);
+}
+
+void ByteReader::require(size_t n) {
+  if (pos_ + n > buffer_.size()) {
+    throw Error("ByteReader: truncated stream (need " + std::to_string(n) +
+                " bytes, have " + std::to_string(buffer_.size() - pos_) + ")");
+  }
+}
+
+uint8_t ByteReader::read_u8() {
+  require(1);
+  return buffer_[pos_++];
+}
+
+uint32_t ByteReader::read_u32() {
+  require(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(buffer_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ByteReader::read_u64() {
+  require(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(buffer_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+int64_t ByteReader::read_i64() { return static_cast<int64_t>(read_u64()); }
+
+float ByteReader::read_f32() {
+  uint32_t bits = read_u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double ByteReader::read_f64() {
+  uint64_t bits = read_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::read_string() {
+  uint32_t n = read_u32();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(buffer_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void ByteReader::read_bytes(void* out, size_t n) {
+  require(n);
+  std::memcpy(out, buffer_.data() + pos_, n);
+  pos_ += n;
+}
+
+void write_file(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw Error("cannot open file for writing: " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw Error("write failed: " + path);
+}
+
+std::vector<uint8_t> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw Error("cannot open file for reading: " + path);
+  std::streamsize size = f.tellg();
+  f.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  f.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!f) throw Error("read failed: " + path);
+  return bytes;
+}
+
+}  // namespace rlgraph

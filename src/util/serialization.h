@@ -1,0 +1,60 @@
+// Binary serialization primitives for model checkpoints.
+//
+// Agent::export_model / import_model (paper Listing 2) write weights through
+// this little-endian tagged stream. The format is deliberately simple:
+// magic, version, then length-prefixed entries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+class ByteWriter {
+ public:
+  void write_u8(uint8_t v);
+  void write_u32(uint32_t v);
+  void write_u64(uint64_t v);
+  void write_i64(int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_bytes(const void* data, size_t n);
+
+  const std::vector<uint8_t>& bytes() const { return buffer_; }
+  std::vector<uint8_t> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::vector<uint8_t> bytes) : buffer_(std::move(bytes)) {}
+
+  uint8_t read_u8();
+  uint32_t read_u32();
+  uint64_t read_u64();
+  int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  void read_bytes(void* out, size_t n);
+  bool at_end() const { return pos_ == buffer_.size(); }
+  size_t remaining() const { return buffer_.size() - pos_; }
+
+ private:
+  void require(size_t n);
+
+  std::vector<uint8_t> buffer_;
+  size_t pos_ = 0;
+};
+
+// File helpers (throw rlgraph::Error on I/O failure).
+void write_file(const std::string& path, const std::vector<uint8_t>& bytes);
+std::vector<uint8_t> read_file(const std::string& path);
+
+}  // namespace rlgraph

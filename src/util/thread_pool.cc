@@ -1,0 +1,30 @@
+#include "util/thread_pool.h"
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  RLG_REQUIRE(num_threads > 0, "ThreadPool requires at least one thread");
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    auto task = queue_.pop();
+    if (!task.has_value()) return;
+    (*task)();
+  }
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,43 @@
+// Fixed-size thread pool. Backs the virtual device abstraction (each device
+// replica computes its gradient tower on a pool worker) and miscellaneous
+// parallel sections.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "util/queues.h"
+
+namespace rlgraph {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task; the future resolves with the task's result (or its
+  // exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    queue_.push([task] { (*task)(); });
+    return fut;
+  }
+
+  size_t size() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rlgraph

@@ -1,0 +1,292 @@
+// Tests for the component-graph core: composition, API registration, the
+// three build phases, the input-completeness barrier, scoping/devices, and
+// the split-API option.
+#include <gtest/gtest.h>
+
+#include "core/build_context.h"
+#include "spaces/nested.h"
+#include "core/graph_executor.h"
+
+namespace rlgraph {
+namespace {
+
+// A minimal component: y = x * scale + bias, with "bias" created from the
+// input space behind the barrier.
+class ScaleComponent : public Component {
+ public:
+  ScaleComponent(std::string name, float scale)
+      : Component(std::move(name)), scale_(scale) {
+    require_input_spaces({"apply"});
+    register_api("apply",
+                 [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                   return graph_fn(
+                       ctx, "scale",
+                       [this](OpContext& ops, const std::vector<OpRef>& in) {
+                         OpRef scaled =
+                             ops.mul(in[0], ops.scalar(scale_));
+                         OpRef bias = ops.variable(scope() + "/bias");
+                         return std::vector<OpRef>{ops.add(scaled, bias)};
+                       },
+                       inputs);
+                 });
+  }
+
+  void create_variables(BuildContext& ctx) override {
+    const auto& box =
+        static_cast<const BoxSpace&>(*api_input_spaces("apply")[0]);
+    create_var(ctx, "bias",
+               Tensor::zeros(DType::kFloat32, box.value_shape()));
+    ++create_variables_calls;
+  }
+
+  int create_variables_calls = 0;
+
+ private:
+  float scale_;
+};
+
+TEST(ComponentTest, CompositionAndScopes) {
+  auto root = std::make_shared<Component>("root");
+  auto* a = root->add_component(std::make_shared<Component>("a"));
+  auto* b = a->add_component(std::make_shared<Component>("b"));
+  EXPECT_EQ(root->scope(), "root");
+  EXPECT_EQ(a->scope(), "root/a");
+  EXPECT_EQ(b->scope(), "root/a/b");
+  EXPECT_EQ(root->component_count(), 3);
+  EXPECT_THROW(root->add_component(std::make_shared<Component>("a")),
+               ValueError);
+  EXPECT_THROW(Component("bad/name"), ValueError);
+}
+
+TEST(ComponentTest, ComponentsCannotBeReparented) {
+  auto child = std::make_shared<Component>("c");
+  Component p1("p1"), p2("p2");
+  p1.add_component(child);
+  EXPECT_THROW(p2.add_component(child), ValueError);
+}
+
+TEST(ComponentTest, ApiRegistrationAndUnknownApi) {
+  Component c("c");
+  c.register_api("f", [](BuildContext&, const OpRecs&) { return OpRecs{}; });
+  EXPECT_TRUE(c.has_api("f"));
+  EXPECT_THROW(
+      c.register_api("f",
+                     [](BuildContext&, const OpRecs&) { return OpRecs{}; }),
+      ValueError);
+  BuildContext ctx(nullptr, BuildMode::kAssemble);
+  EXPECT_THROW(c.call_api(ctx, "missing", {}), NotFoundError);
+}
+
+TEST(ComponentTest, BuildCreatesVariablesOnce) {
+  auto root = std::make_shared<Component>("root");
+  auto scale = std::make_shared<ScaleComponent>("scaler", 2.0f);
+  auto* scale_raw = root->add_component(scale);
+  root->register_api("run",
+                     [scale_raw](BuildContext& ctx, const OpRecs& inputs) {
+                       // Two calls through the same component.
+                       OpRecs once = scale_raw->call_api(ctx, "apply", inputs);
+                       return scale_raw->call_api(ctx, "apply", once);
+                     });
+  GraphExecutor exec(root,
+                     {{"run", {FloatBox(Shape{2})->with_batch_rank()}}});
+  exec.build();
+  EXPECT_EQ(scale_raw->create_variables_calls, 1);
+  EXPECT_TRUE(scale_raw->built());
+  EXPECT_TRUE(exec.variables().exists("root/scaler/bias"));
+  auto out =
+      exec.execute("run", {Tensor::from_floats(Shape{1, 2}, {1.0f, 3.0f})});
+  EXPECT_EQ(out[0].to_floats(), (std::vector<float>{4.0f, 12.0f}));
+}
+
+// A component whose variables depend on another API's spaces.
+class DependentComponent : public Component {
+ public:
+  explicit DependentComponent(std::string name) : Component(std::move(name)) {
+    require_input_spaces({"set_spaces"});
+    register_api("set_spaces",
+                 [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                   return graph_fn(
+                       ctx, "store",
+                       [](OpContext& ops, const std::vector<OpRef>& in) {
+                         return std::vector<OpRef>{ops.identity(in[0])};
+                       },
+                       inputs);
+                 });
+    register_api("read_var",
+                 [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+                   return graph_fn(
+                       ctx, "read",
+                       [this](OpContext& ops, const std::vector<OpRef>&) {
+                         return std::vector<OpRef>{
+                             ops.variable(scope() + "/v")};
+                       },
+                       inputs);
+                 });
+  }
+  void create_variables(BuildContext& ctx) override {
+    const auto& box =
+        static_cast<const BoxSpace&>(*api_input_spaces("set_spaces")[0]);
+    create_var(ctx, "v", Tensor::zeros(DType::kFloat32, box.value_shape()));
+  }
+};
+
+TEST(ComponentTest, DeferralRetriesUntilComplete) {
+  auto root = std::make_shared<Component>("root");
+  auto* dep = root->add_component(std::make_shared<DependentComponent>("d"));
+  // "a_read" sorts before "b_feed": the first build round must defer it
+  // (the paper's iterative build behaviour).
+  root->register_api("a_read", [dep](BuildContext& ctx, const OpRecs& in) {
+    return dep->call_api(ctx, "read_var", in);
+  });
+  root->register_api("b_feed", [dep](BuildContext& ctx, const OpRecs& in) {
+    return dep->call_api(ctx, "set_spaces", in);
+  });
+  GraphExecutor exec(root,
+                     {{"a_read", {}},
+                      {"b_feed", {FloatBox(Shape{4})->with_batch_rank()}}});
+  exec.build();
+  EXPECT_EQ(exec.stats().build_iterations, 2);
+  auto out = exec.execute("a_read", {});
+  EXPECT_EQ(out[0].shape(), (Shape{4}));
+}
+
+TEST(ComponentTest, UnresolvableDependencyIsAConstraintViolation) {
+  auto root = std::make_shared<Component>("root");
+  auto* dep = root->add_component(std::make_shared<DependentComponent>("d"));
+  // Nothing ever calls set_spaces: the build must fail with a clear error.
+  root->register_api("read", [dep](BuildContext& ctx, const OpRecs& in) {
+    return dep->call_api(ctx, "read_var", in);
+  });
+  GraphExecutor exec(root, {{"read", {}}});
+  EXPECT_THROW(exec.build(), BuildError);
+}
+
+TEST(ComponentTest, MetaGraphRecordsEdgesAndArity) {
+  auto root = std::make_shared<Component>("root");
+  auto* s = root->add_component(std::make_shared<ScaleComponent>("s", 1.0f));
+  root->register_api("run", [s](BuildContext& ctx, const OpRecs& in) {
+    return s->call_api(ctx, "apply", in);
+  });
+  GraphExecutor exec(root, {{"run", {FloatBox(Shape{1})->with_batch_rank()}}});
+  exec.build();
+  const MetaGraph& meta = exec.meta_graph();
+  EXPECT_EQ(meta.num_components, 2);
+  EXPECT_EQ(meta.api_output_arity.at("run"), 1);
+  bool found_edge = false;
+  for (const auto& e : meta.edges) {
+    if (e.callee == "root/s" && e.method == "apply") found_edge = true;
+  }
+  EXPECT_TRUE(found_edge);
+  EXPECT_FALSE(meta.to_dot().empty());
+}
+
+TEST(ComponentTest, DeviceAssignmentsReachNodes) {
+  auto root = std::make_shared<Component>("root");
+  auto scale = std::make_shared<ScaleComponent>("s", 1.0f);
+  scale->set_device("/gpu:1");
+  auto* s = root->add_component(scale);
+  root->register_api("run", [s](BuildContext& ctx, const OpRecs& in) {
+    return s->call_api(ctx, "apply", in);
+  });
+  ExecutorOptions opts;
+  opts.optimize = false;
+  GraphExecutor exec(root, {{"run", {FloatBox(Shape{1})->with_batch_rank()}}},
+                     opts);
+  exec.build();
+  std::string dump = exec.graph_dump();
+  EXPECT_NE(dump.find("@/gpu:1"), std::string::npos);
+  EXPECT_NE(dump.find("@/cpu:0"), std::string::npos);
+}
+
+TEST(ComponentTest, ScopedNodeNames) {
+  auto root = std::make_shared<Component>("agent");
+  auto* s = root->add_component(std::make_shared<ScaleComponent>("sc", 1.0f));
+  root->register_api("run", [s](BuildContext& ctx, const OpRecs& in) {
+    return s->call_api(ctx, "apply", in);
+  });
+  ExecutorOptions opts;
+  opts.optimize = false;
+  GraphExecutor exec(root, {{"run", {FloatBox(Shape{1})->with_batch_rank()}}},
+                     opts);
+  exec.build();
+  EXPECT_NE(exec.graph_dump().find("agent/sc/Mul"), std::string::npos);
+}
+
+TEST(ComponentTest, SplitApiCallsPerLeaf) {
+  // observe-style API with split=true: one call per container leaf.
+  auto root = std::make_shared<Component>("root");
+  root->register_api(
+      "observe",
+      [root_raw = root.get()](BuildContext& ctx,
+                              const OpRecs& inputs) -> OpRecs {
+        return root_raw->graph_fn(
+            ctx, "insert",
+            [](OpContext& ops, const std::vector<OpRef>& in) {
+              return std::vector<OpRef>{ops.reduce_sum(in[0])};
+            },
+            inputs);
+      },
+      /*split_inputs=*/true);
+  SpacePtr records = Dict({{"a", FloatBox(Shape{2})},
+                           {"b", FloatBox(Shape{3})}})
+                         ->with_batch_rank();
+  GraphExecutor exec(root, {{"observe", {records}}});
+  exec.build();
+  Rng rng(1);
+  NestedTensor sample = records->sample(rng, 2);
+  std::vector<Tensor> leaves;
+  for (auto& [path, t] : sample.flatten()) leaves.push_back(t);
+  auto out = exec.execute("observe", leaves);
+  // One output leaf per input leaf, merged into a container record.
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(ComponentTest, GraphFnRejectsContainerRecords) {
+  auto root = std::make_shared<Component>("root");
+  root->register_api("f", [root_raw = root.get()](BuildContext& ctx,
+                                                  const OpRecs& inputs) {
+    return root_raw->graph_fn(
+        ctx, "body",
+        [](OpContext&, const std::vector<OpRef>& in) {
+          return std::vector<OpRef>{in[0]};
+        },
+        inputs);
+  });
+  SpacePtr dict = Dict({{"a", FloatBox()}, {"b", FloatBox()}})
+                      ->with_batch_rank();
+  GraphExecutor exec(root, {{"f", {dict}}});
+  EXPECT_THROW(exec.build(), ValueError);
+}
+
+TEST(ComponentTest, OutputArityMismatchDetected) {
+  auto root = std::make_shared<Component>("root");
+  root->register_api("f", [root_raw = root.get()](BuildContext& ctx,
+                                                  const OpRecs& inputs) {
+    return root_raw->graph_fn(
+        ctx, "body",
+        [](OpContext&, const std::vector<OpRef>& in) {
+          return std::vector<OpRef>{in[0], in[0]};  // declares 1, returns 2
+        },
+        inputs, /*num_outputs=*/1);
+  });
+  GraphExecutor exec(root, {{"f", {FloatBox()->with_batch_rank()}}});
+  EXPECT_THROW(exec.build(), ValueError);
+}
+
+TEST(ComponentTest, VariableNamesRecursive) {
+  auto root = std::make_shared<Component>("root");
+  auto* a = root->add_component(std::make_shared<ScaleComponent>("a", 1.0f));
+  auto* b = root->add_component(std::make_shared<ScaleComponent>("b", 1.0f));
+  root->register_api("run", [a, b](BuildContext& ctx, const OpRecs& in) {
+    return b->call_api(ctx, "apply", a->call_api(ctx, "apply", in));
+  });
+  GraphExecutor exec(root, {{"run", {FloatBox(Shape{2})->with_batch_rank()}}});
+  exec.build();
+  auto names = root->variable_names_recursive();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "root/a/bias");
+  EXPECT_EQ(names[1], "root/b/bias");
+}
+
+}  // namespace
+}  // namespace rlgraph

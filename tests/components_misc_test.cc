@@ -1,0 +1,249 @@
+// Tests for the remaining component library pieces: queue + staging area,
+// synchronizer, splitter/merger wiring, the graph-fused EnvStepper, and the
+// build-mode guarantee that stateful kernels never execute during builds.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "agents/impala_agent.h"
+#include "components/queue_staging.h"
+#include "components/synchronizer.h"
+#include "core/component_test.h"
+#include "env/grid_world.h"
+#include "env/vector_env.h"
+#include "spaces/nested.h"
+
+namespace rlgraph {
+namespace {
+
+// --- QueueComponent -----------------------------------------------------------
+
+class QueueFixture {
+ public:
+  explicit QueueFixture(size_t capacity)
+      : queue_(std::make_shared<SharedTensorQueue>(capacity)) {
+    std::vector<SpacePtr> slot{FloatBox(Shape{2})->with_batch_rank(),
+                               IntBox(4)->with_batch_rank()};
+    auto root = std::make_shared<Component>("root");
+    auto* q = root->add_component(
+        std::make_shared<QueueComponent>("queue", queue_, slot));
+    root->register_api("enqueue", [q](BuildContext& ctx, const OpRecs& in) {
+      return q->call_api(ctx, "enqueue", in);
+    });
+    root->register_api("dequeue", [q](BuildContext& ctx, const OpRecs& in) {
+      return q->call_api(ctx, "dequeue", in);
+    });
+    test_ = std::make_unique<ComponentTest>(
+        root, std::map<std::string, std::vector<SpacePtr>>{
+                  {"enqueue", slot}, {"dequeue", {}}});
+  }
+
+  std::shared_ptr<SharedTensorQueue> queue_;
+  std::unique_ptr<ComponentTest> test_;
+};
+
+TEST(QueueComponentTest, EnqueueDequeueRoundTrip) {
+  QueueFixture fix(4);
+  Tensor a = Tensor::from_floats(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_ints(Shape{3}, {0, 1, 2});
+  fix.test_->test("enqueue", {a, b});
+  EXPECT_EQ(fix.queue_->size(), 1u);
+  auto out = fix.test_->test("dequeue", {});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].equals(a));
+  EXPECT_TRUE(out[1].equals(b));
+  EXPECT_EQ(fix.queue_->size(), 0u);
+}
+
+TEST(QueueComponentTest, FifoAcrossGraphCalls) {
+  QueueFixture fix(4);
+  for (int i = 0; i < 3; ++i) {
+    fix.test_->test("enqueue",
+                    {Tensor::filled(DType::kFloat32, Shape{1, 2}, i),
+                     Tensor::from_ints(Shape{1}, {i})});
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto out = fix.test_->test("dequeue", {});
+    EXPECT_EQ(out[1].to_ints()[0], i);
+  }
+}
+
+TEST(QueueComponentTest, BoundedQueueBlocksProducer) {
+  QueueFixture fix(1);
+  Tensor a = Tensor::zeros(DType::kFloat32, Shape{1, 2});
+  Tensor b = Tensor::from_ints(Shape{1}, {0});
+  fix.test_->test("enqueue", {a, b});
+  std::atomic<bool> second_done{false};
+  std::thread producer([&] {
+    // Raw queue push from another thread (components are per-graph, but the
+    // queue object is shared) — blocks until the consumer drains.
+    fix.queue_->push({a, b});
+    second_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_done.load());
+  fix.test_->test("dequeue", {});
+  producer.join();
+  EXPECT_TRUE(second_done.load());
+}
+
+// --- StagingArea -----------------------------------------------------------------
+
+TEST(StagingAreaTest, ReturnsPreviousBatch) {
+  std::vector<SpacePtr> slot{FloatBox(Shape{2})->with_batch_rank()};
+  auto root = std::make_shared<Component>("root");
+  auto* stage =
+      root->add_component(std::make_shared<StagingArea>("staging", slot));
+  root->register_api("stage", [stage](BuildContext& ctx, const OpRecs& in) {
+    return stage->call_api(ctx, "stage_and_get", in);
+  });
+  ComponentTest test(root, {{"stage", slot}});
+  Tensor first = Tensor::from_floats(Shape{1, 2}, {1, 2});
+  Tensor second = Tensor::from_floats(Shape{1, 2}, {3, 4});
+  // First call returns zeros (nothing staged yet).
+  Tensor out0 = test.test("stage", {first})[0];
+  for (int64_t i = 0; i < out0.num_elements(); ++i) {
+    EXPECT_DOUBLE_EQ(out0.at_flat(i), 0.0);
+  }
+  // Second call returns the first batch (one-step pipeline delay).
+  Tensor out1 = test.test("stage", {second})[0];
+  EXPECT_TRUE(out1.equals(first));
+  Tensor out2 = test.test("stage", {first})[0];
+  EXPECT_TRUE(out2.equals(second));
+}
+
+// --- Synchronizer ------------------------------------------------------------------
+
+TEST(SynchronizerTest, CopiesMatchingPrefixes) {
+  auto root = std::make_shared<Component>("root");
+  auto* sync = root->add_component(
+      std::make_shared<Synchronizer>("sync", "root/src", "root/dst"));
+  root->register_api("sync", [sync](BuildContext& ctx, const OpRecs& in) {
+    return sync->call_api(ctx, "sync", in);
+  });
+  ComponentTest test(root, {{"sync", {}}});
+  VariableStore& vars = test.executor().variables();
+  vars.create("root/src/w", Tensor::from_floats(Shape{2}, {1, 2}));
+  vars.create("root/dst/w", Tensor::zeros(DType::kFloat32, Shape{2}));
+  vars.create("root/other/w", Tensor::from_floats(Shape{2}, {9, 9}));
+  Tensor copied = test.test("sync", {})[0];
+  EXPECT_EQ(copied.to_ints()[0], 1);
+  EXPECT_TRUE(vars.get("root/dst/w").equals(vars.get("root/src/w")));
+  // Unrelated variables untouched.
+  EXPECT_FLOAT_EQ(vars.get("root/other/w").data<float>()[0], 9.0f);
+}
+
+TEST(SynchronizerTest, NoMatchingVariablesIsAnError) {
+  auto root = std::make_shared<Component>("root");
+  auto* sync = root->add_component(
+      std::make_shared<Synchronizer>("sync", "root/nope", "root/alsono"));
+  root->register_api("sync", [sync](BuildContext& ctx, const OpRecs& in) {
+    return sync->call_api(ctx, "sync", in);
+  });
+  ComponentTest test(root, {{"sync", {}}});
+  EXPECT_THROW(test.test("sync", {}), ValueError);
+}
+
+// --- Build-mode semantics -------------------------------------------------------
+
+TEST(BuildModeTest, StatefulKernelsDoNotRunDuringBuild) {
+  // A counting custom kernel must not execute while the (define-by-run)
+  // build pushes artificial tensors through the graph (paper §4.2), only
+  // at real execution time.
+  int executions = 0;
+  auto root = std::make_shared<Component>("root");
+  root->register_api(
+      "f", [root_raw = root.get(), &executions](BuildContext& ctx,
+                                                const OpRecs& in) {
+        CustomKernel kernel = [&executions](const std::vector<Tensor>& args) {
+          ++executions;
+          return std::vector<Tensor>{args[0]};
+        };
+        return root_raw->graph_fn_custom(ctx, "count", kernel, in,
+                                         {FloatBox()->with_batch_rank()});
+      });
+  ExecutorOptions opts;
+  opts.backend = Backend::kImperative;
+  GraphExecutor exec(root, {{"f", {FloatBox()->with_batch_rank()}}}, opts);
+  exec.build();
+  EXPECT_EQ(executions, 0);  // build fabricated outputs instead
+  exec.execute("f", {Tensor::from_floats(Shape{2}, {1, 2})});
+  EXPECT_EQ(executions, 1);
+}
+
+TEST(BuildModeTest, StaticBuildNeverExecutesKernels) {
+  int executions = 0;
+  auto root = std::make_shared<Component>("root");
+  root->register_api(
+      "f", [root_raw = root.get(), &executions](BuildContext& ctx,
+                                                const OpRecs& in) {
+        CustomKernel kernel = [&executions](const std::vector<Tensor>& args) {
+          ++executions;
+          return std::vector<Tensor>{args[0]};
+        };
+        return root_raw->graph_fn_custom(ctx, "count", kernel, in,
+                                         {FloatBox()->with_batch_rank()});
+      });
+  GraphExecutor exec(root, {{"f", {FloatBox()->with_batch_rank()}}});
+  exec.build();
+  EXPECT_EQ(executions, 0);  // only symbolic nodes were created
+  exec.execute("f", {Tensor::from_floats(Shape{2}, {1, 2})});
+  EXPECT_EQ(executions, 1);
+}
+
+// --- EnvStepper ---------------------------------------------------------------------
+
+TEST(EnvStepperTest, FusedRolloutShapesAndAccounting) {
+  Json env_spec;
+  env_spec["type"] = Json("grid_world");
+  VectorEnv env(env_spec, 3, 5);
+  auto context = std::make_shared<RolloutContext>();
+  context->env = &env;
+  // A scripted policy: always action 1, logits all zeros.
+  context->act = [](const Tensor& obs) {
+    int64_t e = obs.shape().dim(0);
+    return std::make_pair(
+        Tensor::filled(DType::kInt32, Shape{e}, 1.0),
+        Tensor::zeros(DType::kFloat32, Shape{e, 4}));
+  };
+  auto root = std::make_shared<Component>("root");
+  auto* stepper = root->add_component(std::make_shared<EnvStepper>(
+      "stepper", context, env.state_space(), /*rollout_length=*/6,
+      /*num_actions=*/4));
+  root->register_api("rollout",
+                     [stepper](BuildContext& ctx, const OpRecs& in) {
+                       return stepper->call_api(ctx, "step_rollout", in);
+                     });
+  ComponentTest test(root, {{"rollout", {}}});
+  auto out = test.test("rollout", {});
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].shape(), (Shape{3, 7, 16}));  // states incl. bootstrap
+  EXPECT_EQ(out[1].shape(), (Shape{3, 6, 4}));   // behavior logits
+  EXPECT_EQ(out[2].shape(), (Shape{3, 6}));      // actions
+  EXPECT_EQ(out[3].shape(), (Shape{3, 6}));      // rewards
+  EXPECT_EQ(out[4].shape(), (Shape{3, 6}));      // terminals
+  EXPECT_EQ(context->env_frames, 3 * 6);
+  // Actions recorded are the scripted ones.
+  for (int64_t i = 0; i < out[2].num_elements(); ++i) {
+    EXPECT_EQ(out[2].to_ints()[static_cast<size_t>(i)], 1);
+  }
+  // States time-major consistency: rollout states at t+1 equal next obs of
+  // step t — cheap proxy: the first state row equals the env reset obs.
+  EXPECT_EQ(context->env_frames, env.total_env_frames());
+}
+
+TEST(EnvStepperTest, UnattachedStepperFailsClearly) {
+  auto context = std::make_shared<RolloutContext>();
+  auto root = std::make_shared<Component>("root");
+  auto* stepper = root->add_component(std::make_shared<EnvStepper>(
+      "stepper", context, FloatBox(Shape{4}), 3, 2));
+  root->register_api("rollout",
+                     [stepper](BuildContext& ctx, const OpRecs& in) {
+                       return stepper->call_api(ctx, "step_rollout", in);
+                     });
+  ComponentTest test(root, {{"rollout", {}}});
+  EXPECT_THROW(test.test("rollout", {}), ValueError);
+}
+
+}  // namespace
+}  // namespace rlgraph

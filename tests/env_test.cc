@@ -1,0 +1,226 @@
+// Environment tests: spaces, determinism, episode semantics, frame
+// accounting, the env registry and VectorEnv bookkeeping.
+#include <gtest/gtest.h>
+
+#include "env/catch_env.h"
+#include "env/dmlab_sim.h"
+#include "env/grid_world.h"
+#include "env/pong_sim.h"
+#include "env/vector_env.h"
+#include "spaces/nested.h"
+#include "util/metrics.h"
+
+namespace rlgraph {
+namespace {
+
+TEST(EnvRegistryTest, CreatesAllBuiltins) {
+  for (const char* type : {"grid_world", "catch", "pong", "dmlab"}) {
+    Json spec;
+    spec["type"] = Json(type);
+    auto env = make_environment(spec);
+    ASSERT_NE(env, nullptr) << type;
+    Tensor obs = env->reset();
+    EXPECT_TRUE(env->state_space()->contains(NestedTensor(obs))) << type;
+    StepResult r = env->step(0);
+    EXPECT_TRUE(env->state_space()->contains(NestedTensor(r.observation)))
+        << type;
+  }
+  Json bad;
+  bad["type"] = Json("atari_for_real");
+  EXPECT_THROW(make_environment(bad), ConfigError);
+}
+
+TEST(GridWorldTest, ReachesGoalOnOptimalPath) {
+  GridWorld env(GridWorld::Config{4, 0.01, 100, /*with_holes=*/false});
+  env.reset();
+  double total = 0;
+  bool terminal = false;
+  // Optimal: 3x down, 3x right.
+  for (int a : {1, 1, 1, 3, 3, 3}) {
+    StepResult r = env.step(a);
+    total += r.reward;
+    terminal = r.terminal;
+  }
+  EXPECT_TRUE(terminal);
+  // Five penalized steps, then the goal step yields +1 (replacing the
+  // penalty).
+  EXPECT_NEAR(total, 1.0 - 5 * 0.01, 1e-9);
+}
+
+TEST(GridWorldTest, FallsIntoHole) {
+  GridWorld env(GridWorld::Config{4, 0.01, 100, /*with_holes=*/true});
+  env.reset();
+  env.step(1);                      // (1, 0)
+  StepResult r = env.step(3);       // (1, 1) = hole
+  EXPECT_TRUE(r.terminal);
+  EXPECT_DOUBLE_EQ(r.reward, -1.0);
+}
+
+TEST(GridWorldTest, EpisodeTimeout) {
+  GridWorld env(GridWorld::Config{4, 0.0, 5, false});
+  env.reset();
+  StepResult r;
+  for (int i = 0; i < 5; ++i) r = env.step(0);  // bump into the wall
+  EXPECT_TRUE(r.terminal);
+}
+
+TEST(CatchEnvTest, EpisodeReturnBounds) {
+  CatchEnv env(CatchEnv::Config{10, 8, 21});
+  env.seed(3);
+  env.reset();
+  double total = 0;
+  int episodes = 0;
+  Rng rng(4);
+  while (episodes < 1) {
+    StepResult r = env.step(rng.uniform_int(3));
+    total += r.reward;
+    if (r.terminal) ++episodes;
+  }
+  // 21 rounds of +/-1: return in [-21, 21] with the same parity semantics
+  // as a Pong episode (paper Fig. 7b axis).
+  EXPECT_GE(total, -21.0);
+  EXPECT_LE(total, 21.0);
+}
+
+TEST(CatchEnvTest, PerfectPlayScoresPlus21) {
+  CatchEnv env(CatchEnv::Config{6, 5, 21});
+  env.seed(9);
+  Tensor obs = env.reset();
+  double total = 0;
+  bool terminal = false;
+  while (!terminal) {
+    // Oracle: read ball and paddle columns from the observation.
+    const float* p = obs.data<float>();
+    int ball_col = -1, paddle_col = -1;
+    for (int r = 0; r < 6; ++r) {
+      for (int c = 0; c < 5; ++c) {
+        if (p[r * 5 + c] > 0.5f) {
+          if (r == 5) {
+            paddle_col = c;
+          } else {
+            ball_col = c;
+          }
+        }
+      }
+    }
+    int64_t action = ball_col < paddle_col ? 0 : (ball_col > paddle_col ? 2 : 1);
+    StepResult r = env.step(action);
+    total += r.reward;
+    terminal = r.terminal;
+    obs = r.observation;
+  }
+  EXPECT_DOUBLE_EQ(total, 21.0);
+}
+
+TEST(PongSimTest, EpisodeEndsAtPointCap) {
+  PongSim env(PongSim::Config{16, 16, 4, /*points=*/2, /*opponent=*/0.0});
+  env.seed(5);
+  env.reset();
+  double total = 0;
+  bool terminal = false;
+  int steps = 0;
+  while (!terminal && steps < 20000) {
+    StepResult r = env.step(1);  // stay: weak opponent still loses rallies
+    total += r.reward;
+    terminal = r.terminal;
+    ++steps;
+  }
+  EXPECT_TRUE(terminal);
+  EXPECT_EQ(std::abs(std::abs(total) - 2.0) < 2.0, true);
+  EXPECT_EQ(env.frames_per_step(), 4);
+}
+
+TEST(PongSimTest, DeterministicUnderSeed) {
+  auto run = [](uint64_t seed) {
+    PongSim env(PongSim::Config{});
+    env.seed(seed);
+    env.reset();
+    double checksum = 0;
+    for (int i = 0; i < 50; ++i) {
+      StepResult r = env.step(i % 3);
+      checksum += r.observation.at_flat(i % r.observation.num_elements()) +
+                  r.reward;
+    }
+    return checksum;
+  };
+  EXPECT_DOUBLE_EQ(run(7), run(7));
+}
+
+TEST(DmLabSimTest, RenderCostScalesStepTime) {
+  DmLabSim cheap(DmLabSim::Config{24, 32, /*render_cost=*/0, 1000, 4});
+  DmLabSim pricey(DmLabSim::Config{24, 32, /*render_cost=*/200000, 1000, 4});
+  cheap.reset();
+  pricey.reset();
+  Stopwatch w1;
+  for (int i = 0; i < 20; ++i) cheap.step(0);
+  double t_cheap = w1.elapsed_seconds();
+  Stopwatch w2;
+  for (int i = 0; i < 20; ++i) pricey.step(0);
+  double t_pricey = w2.elapsed_seconds();
+  EXPECT_GT(t_pricey, t_cheap * 2);
+}
+
+TEST(DmLabSimTest, FixedEpisodeLength) {
+  DmLabSim env(DmLabSim::Config{8, 8, 0, /*episode_length=*/5, 1});
+  env.reset();
+  StepResult r;
+  for (int i = 0; i < 5; ++i) r = env.step(4);
+  EXPECT_TRUE(r.terminal);
+}
+
+TEST(VectorEnvTest, BatchedStepAndAutoReset) {
+  Json spec;
+  spec["type"] = Json("grid_world");
+  spec["max_steps"] = Json(3);
+  spec["with_holes"] = Json(false);
+  VectorEnv venv(spec, 4, 11);
+  Tensor obs = venv.reset();
+  EXPECT_EQ(obs.shape(), (Shape{4, 16}));
+  Tensor actions = Tensor::from_ints(Shape{4}, {0, 0, 0, 0});
+  for (int i = 0; i < 3; ++i) {
+    VectorStepResult r = venv.step(actions);
+    EXPECT_EQ(r.observations.shape(), (Shape{4, 16}));
+    EXPECT_EQ(r.env_frames, 4);
+  }
+  // All four envs timed out and auto-reset; episode returns recorded.
+  EXPECT_EQ(venv.drain_episode_returns().size(), 4u);
+  EXPECT_TRUE(venv.drain_episode_returns().empty());  // drained
+  EXPECT_EQ(venv.total_env_frames(), 12);
+}
+
+TEST(VectorEnvTest, FrameSkipAccounting) {
+  Json spec;
+  spec["type"] = Json("pong");
+  spec["frame_skip"] = Json(4);
+  VectorEnv venv(spec, 2, 1);
+  venv.reset();
+  VectorStepResult r = venv.step(Tensor::from_ints(Shape{2}, {1, 1}));
+  EXPECT_EQ(r.env_frames, 2 * 4);
+}
+
+TEST(VectorEnvTest, SeedsDecorrelateCopies) {
+  Json spec;
+  spec["type"] = Json("catch");
+  VectorEnv venv(spec, 2, 123);
+  Tensor obs = venv.reset();
+  // Two catch envs with different seeds usually start with different ball
+  // columns; compare the two rows.
+  Tensor row0 = obs.reshaped(Shape{2, 80});
+  bool differ = false;
+  for (int i = 0; i < 80; ++i) {
+    if (row0.data<float>()[i] != row0.data<float>()[80 + i]) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(VectorEnvTest, InputValidation) {
+  Json spec;
+  spec["type"] = Json("grid_world");
+  VectorEnv venv(spec, 2, 1);
+  venv.reset();
+  EXPECT_THROW(venv.step(Tensor::from_ints(Shape{3}, {0, 0, 0})), ValueError);
+  EXPECT_THROW(venv.step(Tensor::from_floats(Shape{2}, {0, 0})), ValueError);
+}
+
+}  // namespace
+}  // namespace rlgraph

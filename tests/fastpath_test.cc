@@ -1,0 +1,162 @@
+// Focused tests for fast-path edge contraction (paper §5.1): recording,
+// routing, stateful steps, invalidation, and the contracted program's
+// equivalence with dispatched execution.
+#include <gtest/gtest.h>
+
+#include "backend/imperative_context.h"
+#include "core/build_context.h"
+#include "core/fast_path.h"
+#include "core/graph_executor.h"
+#include "tensor/kernels.h"
+
+namespace rlgraph {
+namespace {
+
+TEST(FastPathTest, RecordsAndReplaysLinearChain) {
+  VariableStore store;
+  Rng rng(1);
+  FastPathRecorder recorder;
+
+  GraphFnBody square = [](OpContext& ops, const std::vector<OpRef>& in) {
+    return std::vector<OpRef>{ops.square(in[0])};
+  };
+  GraphFnBody add_one = [](OpContext& ops, const std::vector<OpRef>& in) {
+    return std::vector<OpRef>{ops.add(in[0], ops.scalar(1.0f))};
+  };
+
+  // Simulate a traced run: input -> square -> add_one.
+  ImperativeContext trace(&store, &rng, false);
+  OpRef input = trace.literal(Tensor::scalar(3.0f));
+  recorder.register_input(input, 0);
+  std::vector<OpRef> sq = square(trace, {input});
+  recorder.record_step("c/square", square, {input}, sq);
+  std::vector<OpRef> out = add_one(trace, {sq[0]});
+  recorder.record_step("c/add_one", add_one, {sq[0]}, out);
+  FastPathProgram program = recorder.finish(out, 1);
+
+  ASSERT_TRUE(program.valid());
+  EXPECT_EQ(program.num_steps(), 2u);
+  std::vector<Tensor> result =
+      program.run(&store, &rng, {Tensor::scalar(5.0f)});
+  EXPECT_FLOAT_EQ(result[0].scalar_value(), 26.0f);
+}
+
+TEST(FastPathTest, UnknownRefInvalidates) {
+  VariableStore store;
+  Rng rng(1);
+  FastPathRecorder recorder;
+  ImperativeContext trace(&store, &rng, false);
+  // Consume a ref that was never registered as an input or produced by a
+  // recorded step.
+  OpRef orphan = trace.literal(Tensor::scalar(1.0f));
+  GraphFnBody body = [](OpContext& ops, const std::vector<OpRef>& in) {
+    return std::vector<OpRef>{ops.neg(in[0])};
+  };
+  std::vector<OpRef> out = body(trace, {orphan});
+  recorder.record_step("c/f", body, {orphan}, out);
+  FastPathProgram program = recorder.finish(out, 0);
+  EXPECT_FALSE(program.valid());
+  EXPECT_THROW(program.run(&store, &rng, {}), ValueError);
+}
+
+TEST(FastPathTest, MultiOutputRouting) {
+  VariableStore store;
+  Rng rng(1);
+  FastPathRecorder recorder;
+  ImperativeContext trace(&store, &rng, false);
+  OpRef input = trace.literal(
+      Tensor::from_floats(Shape{1, 4}, {1, 2, 3, 4}));
+  recorder.register_input(input, 0);
+  GraphFnBody splitter = [](OpContext& ops, const std::vector<OpRef>& in) {
+    return ops.split(in[0], 1, {2, 2});
+  };
+  std::vector<OpRef> halves = splitter(trace, {input});
+  recorder.record_step("c/split", splitter, {input}, halves);
+  GraphFnBody joiner = [](OpContext& ops, const std::vector<OpRef>& in) {
+    // Use the SECOND output first to exercise index routing.
+    return std::vector<OpRef>{ops.concat({in[1], in[0]}, 1)};
+  };
+  std::vector<OpRef> joined = joiner(trace, {halves[0], halves[1]});
+  recorder.record_step("c/join", joiner, {halves[0], halves[1]}, joined);
+  FastPathProgram program = recorder.finish(joined, 1);
+  ASSERT_TRUE(program.valid());
+  Tensor out = program.run(&store, &rng,
+                           {Tensor::from_floats(Shape{1, 4},
+                                                {10, 20, 30, 40})})[0];
+  EXPECT_EQ(out.to_floats(), (std::vector<float>{30, 40, 10, 20}));
+}
+
+TEST(FastPathTest, StatefulStepsRunPerReplay) {
+  // A counter variable incremented inside a recorded body must advance on
+  // every replay (stateful steps are re-executed, not cached).
+  VariableStore store;
+  store.create("c/count", Tensor::scalar(0.0f));
+  Rng rng(1);
+  FastPathRecorder recorder;
+  ImperativeContext trace(&store, &rng, false);
+  OpRef input = trace.literal(Tensor::scalar(0.0f));
+  recorder.register_input(input, 0);
+  GraphFnBody body = [](OpContext& ops, const std::vector<OpRef>& in) {
+    OpRef c = ops.assign_add("c/count", ops.scalar(1.0f));
+    return std::vector<OpRef>{ops.add(in[0], c)};
+  };
+  std::vector<OpRef> out = body(trace, {input});
+  recorder.record_step("c/inc", body, {input}, out);
+  FastPathProgram program = recorder.finish(out, 1);
+  ASSERT_TRUE(program.valid());
+  // Trace itself incremented once.
+  EXPECT_FLOAT_EQ(store.get("c/count").scalar_value(), 1.0f);
+  program.run(&store, &rng, {Tensor::scalar(0.0f)});
+  program.run(&store, &rng, {Tensor::scalar(0.0f)});
+  EXPECT_FLOAT_EQ(store.get("c/count").scalar_value(), 3.0f);
+}
+
+TEST(FastPathTest, ExecutorContractionReducesDispatch) {
+  // End-to-end: the executor's fast path cuts per-call component dispatch.
+  // Verified behaviourally: results stay identical while the API keeps
+  // functioning across many calls (timing is covered by bench 5b).
+  auto make_root = [] {
+    auto root = std::make_shared<Component>("root");
+    struct Chain : Component {
+      explicit Chain(std::string n) : Component(std::move(n)) {
+        register_api("f", [this](BuildContext& ctx, const OpRecs& in) {
+          return graph_fn(
+              ctx, "body",
+              [](OpContext& ops, const std::vector<OpRef>& args) {
+                return std::vector<OpRef>{ops.tanh(args[0])};
+              },
+              in);
+        });
+      }
+    };
+    auto* c1 = root->add_component(std::make_shared<Chain>("c1"));
+    auto* c2 = root->add_component(std::make_shared<Chain>("c2"));
+    auto* c3 = root->add_component(std::make_shared<Chain>("c3"));
+    root->register_api("run", [c1, c2, c3](BuildContext& ctx,
+                                           const OpRecs& in) {
+      return c3->call_api(
+          ctx, "f", c2->call_api(ctx, "f", c1->call_api(ctx, "f", in)));
+    });
+    return root;
+  };
+  ExecutorOptions fast_opts;
+  fast_opts.backend = Backend::kImperative;
+  fast_opts.fast_path = true;
+  GraphExecutor fast(make_root(), {{"run", {FloatBox()->with_batch_rank()}}},
+                     fast_opts);
+  fast.build();
+  ExecutorOptions slow_opts = fast_opts;
+  slow_opts.fast_path = false;
+  GraphExecutor slow(make_root(), {{"run", {FloatBox()->with_batch_rank()}}},
+                     slow_opts);
+  slow.build();
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    Tensor x = kernels::random_uniform(Shape{3}, -2, 2, rng);
+    EXPECT_TRUE(fast.execute("run", {x})[0].all_close(
+        slow.execute("run", {x})[0], 1e-6));
+  }
+}
+
+}  // namespace
+}  // namespace rlgraph

@@ -1,0 +1,343 @@
+// Tests for the numeric kernels, including parameterized broadcasting sweeps
+// and convolution forward/backward checks against naive references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/kernels.h"
+
+namespace rlgraph {
+namespace {
+
+using kernels::add;
+using kernels::mul;
+
+Tensor floats(const Shape& s, std::vector<float> v) {
+  return Tensor::from_floats(s, std::move(v));
+}
+
+TEST(KernelsTest, ElementwiseBinary) {
+  Tensor a = floats(Shape{3}, {1, 2, 3});
+  Tensor b = floats(Shape{3}, {10, 20, 30});
+  EXPECT_EQ(add(a, b).to_floats(), (std::vector<float>{11, 22, 33}));
+  EXPECT_EQ(kernels::sub(b, a).to_floats(), (std::vector<float>{9, 18, 27}));
+  EXPECT_EQ(mul(a, b).to_floats(), (std::vector<float>{10, 40, 90}));
+  EXPECT_EQ(kernels::div(b, a).to_floats(),
+            (std::vector<float>{10, 10, 10}));
+  EXPECT_EQ(kernels::minimum(a, floats(Shape{3}, {2, 1, 5})).to_floats(),
+            (std::vector<float>{1, 1, 3}));
+  EXPECT_EQ(kernels::maximum(a, floats(Shape{3}, {2, 1, 5})).to_floats(),
+            (std::vector<float>{2, 2, 5}));
+}
+
+TEST(KernelsTest, IntElementwise) {
+  Tensor a = Tensor::from_ints(Shape{2}, {3, 4});
+  Tensor b = Tensor::from_ints(Shape{2}, {1, 2});
+  EXPECT_EQ(add(a, b).to_ints(), (std::vector<int32_t>{4, 6}));
+  EXPECT_THROW(add(a, floats(Shape{2}, {1, 2})), ValueError);
+}
+
+// Parameterized broadcasting sweep: (a shape, b shape, expected shape).
+struct BroadcastCase {
+  Shape a, b, expected;
+};
+class BroadcastTest : public ::testing::TestWithParam<BroadcastCase> {};
+
+TEST_P(BroadcastTest, AddMatchesPerElementReference) {
+  const BroadcastCase& c = GetParam();
+  Rng rng(77);
+  Tensor a = kernels::random_uniform(c.a, -2, 2, rng);
+  Tensor b = kernels::random_uniform(c.b, -2, 2, rng);
+  Tensor out = add(a, b);
+  ASSERT_EQ(out.shape(), c.expected);
+  // Reference: compute via explicit multi-index arithmetic.
+  int rank = c.expected.rank();
+  std::vector<int64_t> idx(static_cast<size_t>(rank), 0);
+  for (int64_t flat = 0; flat < out.num_elements(); ++flat) {
+    auto source_index = [&](const Shape& s) {
+      int64_t si = 0, stride = 1;
+      for (int d = s.rank() - 1, od = rank - 1; d >= 0; --d, --od) {
+        int64_t coord = s.dim(d) == 1 ? 0 : idx[static_cast<size_t>(od)];
+        si += coord * stride;
+        stride *= s.dim(d);
+      }
+      return si;
+    };
+    float expected = a.data<float>()[source_index(c.a)] +
+                     b.data<float>()[source_index(c.b)];
+    EXPECT_FLOAT_EQ(out.data<float>()[flat], expected) << "flat=" << flat;
+    for (int d = rank - 1; d >= 0; --d) {
+      if (++idx[static_cast<size_t>(d)] < c.expected.dim(d)) break;
+      idx[static_cast<size_t>(d)] = 0;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastTest,
+    ::testing::Values(
+        BroadcastCase{Shape{4}, Shape{4}, Shape{4}},
+        BroadcastCase{Shape{2, 3}, Shape{3}, Shape{2, 3}},
+        BroadcastCase{Shape{2, 3}, Shape{}, Shape{2, 3}},
+        BroadcastCase{Shape{2, 1}, Shape{1, 5}, Shape{2, 5}},
+        BroadcastCase{Shape{3, 1, 2}, Shape{4, 1}, Shape{3, 4, 2}},
+        BroadcastCase{Shape{1}, Shape{5}, Shape{5}},
+        BroadcastCase{Shape{2, 2, 2}, Shape{2, 2, 2}, Shape{2, 2, 2}}));
+
+TEST(KernelsTest, UnaryOps) {
+  Tensor x = floats(Shape{4}, {-1, 0, 2, -3});
+  EXPECT_EQ(kernels::relu(x).to_floats(), (std::vector<float>{0, 0, 2, 0}));
+  EXPECT_EQ(kernels::neg(x).to_floats(), (std::vector<float>{1, 0, -2, 3}));
+  EXPECT_EQ(kernels::abs(x).to_floats(), (std::vector<float>{1, 0, 2, 3}));
+  EXPECT_EQ(kernels::square(x).to_floats(),
+            (std::vector<float>{1, 0, 4, 9}));
+  EXPECT_FLOAT_EQ(kernels::sigmoid(floats(Shape{1}, {0})).to_floats()[0],
+                  0.5f);
+  EXPECT_EQ(kernels::clip(x, -1.5, 1.5).to_floats(),
+            (std::vector<float>{-1, 0, 1.5, -1.5}));
+}
+
+TEST(KernelsTest, Comparisons) {
+  Tensor a = floats(Shape{3}, {1, 2, 3});
+  Tensor b = floats(Shape{3}, {2, 2, 2});
+  Tensor g = kernels::greater(a, b);
+  EXPECT_EQ(g.dtype(), DType::kBool);
+  EXPECT_EQ(g.data<uint8_t>()[0], 0);
+  EXPECT_EQ(g.data<uint8_t>()[2], 1);
+  Tensor e = kernels::equal(a, b);
+  EXPECT_EQ(e.data<uint8_t>()[1], 1);
+  Tensor l = kernels::less(a, b);
+  EXPECT_EQ(l.data<uint8_t>()[0], 1);
+  Tensor both = kernels::logical_and(g, kernels::logical_not(l));
+  EXPECT_EQ(both.data<uint8_t>()[2], 1);
+}
+
+TEST(KernelsTest, Where) {
+  Tensor cond = Tensor::from_bools(Shape{2}, {true, false});
+  Tensor a = floats(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = floats(Shape{2, 2}, {9, 9, 9, 9});
+  // Per-row select: cond [2] against values [2, 2].
+  EXPECT_EQ(kernels::where(cond, a, b).to_floats(),
+            (std::vector<float>{1, 2, 9, 9}));
+}
+
+TEST(KernelsTest, MatMul) {
+  Tensor a = floats(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = floats(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = kernels::matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.to_floats(), (std::vector<float>{58, 64, 139, 154}));
+  EXPECT_THROW(kernels::matmul(a, a), ValueError);
+}
+
+TEST(KernelsTest, Transpose2D) {
+  Tensor a = floats(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(kernels::transpose2d(a).to_floats(),
+            (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+// Naive conv reference for validation.
+Tensor naive_conv(const Tensor& in, const Tensor& f, int stride, bool same) {
+  int64_t B = in.shape().dim(0), H = in.shape().dim(1), W = in.shape().dim(2),
+          C = in.shape().dim(3);
+  int64_t kh = f.shape().dim(0), kw = f.shape().dim(1),
+          O = f.shape().dim(3);
+  int64_t oh, ow, ph = 0, pw = 0;
+  if (same) {
+    oh = (H + stride - 1) / stride;
+    ow = (W + stride - 1) / stride;
+    ph = std::max<int64_t>(0, ((oh - 1) * stride + kh - H)) / 2;
+    pw = std::max<int64_t>(0, ((ow - 1) * stride + kw - W)) / 2;
+  } else {
+    oh = (H - kh) / stride + 1;
+    ow = (W - kw) / stride + 1;
+  }
+  Tensor out = Tensor::zeros(DType::kFloat32, Shape{B, oh, ow, O});
+  for (int64_t b = 0; b < B; ++b)
+    for (int64_t y = 0; y < oh; ++y)
+      for (int64_t x = 0; x < ow; ++x)
+        for (int64_t o = 0; o < O; ++o) {
+          double acc = 0;
+          for (int64_t fy = 0; fy < kh; ++fy)
+            for (int64_t fx = 0; fx < kw; ++fx)
+              for (int64_t c = 0; c < C; ++c) {
+                int64_t iy = y * stride + fy - ph;
+                int64_t ix = x * stride + fx - pw;
+                if (iy < 0 || iy >= H || ix < 0 || ix >= W) continue;
+                acc += in.at_flat(((b * H + iy) * W + ix) * C + c) *
+                       f.at_flat(((fy * kw + fx) * C + c) * O + o);
+              }
+          out.set_flat(((b * oh + y) * ow + x) * O + o, acc);
+        }
+  return out;
+}
+
+struct ConvCase {
+  int64_t h, w, c, k, filters;
+  int stride;
+  bool same;
+};
+class ConvTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvTest, MatchesNaiveReference) {
+  const ConvCase& p = GetParam();
+  Rng rng(123);
+  Tensor in = kernels::random_uniform(Shape{2, p.h, p.w, p.c}, -1, 1, rng);
+  Tensor f =
+      kernels::random_uniform(Shape{p.k, p.k, p.c, p.filters}, -1, 1, rng);
+  Tensor got = kernels::conv2d(in, f, p.stride, p.same);
+  Tensor want = naive_conv(in, f, p.stride, p.same);
+  EXPECT_TRUE(got.all_close(want, 1e-4))
+      << got.to_string() << " vs " << want.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ConvTest,
+    ::testing::Values(ConvCase{5, 5, 1, 3, 2, 1, false},
+                      ConvCase{8, 8, 3, 3, 4, 2, false},
+                      ConvCase{6, 6, 2, 2, 3, 2, false},
+                      ConvCase{5, 5, 1, 3, 2, 1, true},
+                      ConvCase{7, 9, 2, 3, 2, 2, true}));
+
+TEST(KernelsTest, ConvBackwardShapesAndFiniteDiff) {
+  Rng rng(9);
+  Shape in_shape{1, 4, 4, 1};
+  Shape f_shape{2, 2, 1, 2};
+  Tensor in = kernels::random_uniform(in_shape, -1, 1, rng);
+  Tensor f = kernels::random_uniform(f_shape, -1, 1, rng);
+  Tensor out = kernels::conv2d(in, f, 1, false);
+  // Loss = sum(out); grad_out = ones.
+  Tensor gout = Tensor::filled(DType::kFloat32, out.shape(), 1.0);
+  Tensor gin = kernels::conv2d_backprop_input(in_shape, f, gout, 1, false);
+  Tensor gf = kernels::conv2d_backprop_filter(in, f_shape, gout, 1, false);
+  ASSERT_EQ(gin.shape(), in_shape);
+  ASSERT_EQ(gf.shape(), f_shape);
+  auto loss = [&](const Tensor& input, const Tensor& filter) {
+    Tensor o = kernels::conv2d(input, filter, 1, false);
+    double s = 0;
+    for (int64_t i = 0; i < o.num_elements(); ++i) s += o.at_flat(i);
+    return s;
+  };
+  const double eps = 1e-3;
+  for (int64_t i = 0; i < in.num_elements(); i += 3) {
+    Tensor p = in.clone(), m = in.clone();
+    p.set_flat(i, in.at_flat(i) + eps);
+    m.set_flat(i, in.at_flat(i) - eps);
+    double fd = (loss(p, f) - loss(m, f)) / (2 * eps);
+    EXPECT_NEAR(gin.at_flat(i), fd, 1e-2);
+  }
+  for (int64_t i = 0; i < f.num_elements(); ++i) {
+    Tensor p = f.clone(), m = f.clone();
+    p.set_flat(i, f.at_flat(i) + eps);
+    m.set_flat(i, f.at_flat(i) - eps);
+    double fd = (loss(in, p) - loss(in, m)) / (2 * eps);
+    EXPECT_NEAR(gf.at_flat(i), fd, 1e-2);
+  }
+}
+
+TEST(KernelsTest, Reductions) {
+  Tensor x = floats(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(kernels::reduce_sum(x, -1, false).scalar_value(), 21.0);
+  EXPECT_FLOAT_EQ(kernels::reduce_mean(x, -1, false).scalar_value(), 3.5);
+  EXPECT_FLOAT_EQ(kernels::reduce_max(x, -1, false).scalar_value(), 6.0);
+  EXPECT_EQ(kernels::reduce_sum(x, 0, false).to_floats(),
+            (std::vector<float>{5, 7, 9}));
+  EXPECT_EQ(kernels::reduce_sum(x, 1, false).to_floats(),
+            (std::vector<float>{6, 15}));
+  EXPECT_EQ(kernels::reduce_mean(x, 1, true).shape(), (Shape{2, 1}));
+  EXPECT_EQ(kernels::reduce_max(x, 0, false).to_floats(),
+            (std::vector<float>{4, 5, 6}));
+}
+
+TEST(KernelsTest, SumToShape) {
+  Tensor x = floats(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(kernels::sum_to_shape(x, Shape{3}).to_floats(),
+            (std::vector<float>{5, 7, 9}));
+  EXPECT_EQ(kernels::sum_to_shape(x, Shape{2, 1}).to_floats(),
+            (std::vector<float>{6, 15}));
+  EXPECT_FLOAT_EQ(kernels::sum_to_shape(x, Shape{}).scalar_value(), 21.0);
+  EXPECT_TRUE(kernels::sum_to_shape(x, Shape{2, 3}).equals(x));
+}
+
+TEST(KernelsTest, SoftmaxProperties) {
+  Tensor x = floats(Shape{2, 3}, {1, 2, 3, 1000, 1000, 1000});
+  Tensor s = kernels::softmax(x);
+  // Rows sum to 1, even in the numerically-extreme row.
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 3; ++c) sum += s.data<float>()[r * 3 + c];
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+  EXPECT_NEAR(s.data<float>()[3], 1.0f / 3, 1e-5);
+  // log_softmax = log(softmax).
+  Tensor ls = kernels::log_softmax(x);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(ls.data<float>()[i], std::log(s.data<float>()[i]), 1e-5);
+  }
+}
+
+TEST(KernelsTest, ArgmaxOneHotSelect) {
+  Tensor q = floats(Shape{2, 3}, {1, 5, 2, 9, 0, 3});
+  Tensor am = kernels::argmax(q);
+  EXPECT_EQ(am.to_ints(), (std::vector<int32_t>{1, 0}));
+  Tensor oh = kernels::one_hot(am, 3);
+  EXPECT_EQ(oh.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(oh.data<float>()[1], 1.0f);
+  EXPECT_FLOAT_EQ(oh.data<float>()[3], 1.0f);
+  Tensor sel = kernels::select_columns(q, am);
+  EXPECT_EQ(sel.to_floats(), (std::vector<float>{5, 9}));
+  EXPECT_THROW(kernels::one_hot(Tensor::from_ints(Shape{1}, {5}), 3),
+               ValueError);
+}
+
+TEST(KernelsTest, GatherRows) {
+  Tensor params = floats(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor idx = Tensor::from_ints(Shape{2}, {2, 0});
+  Tensor out = kernels::gather_rows(params, idx);
+  EXPECT_EQ(out.to_floats(), (std::vector<float>{5, 6, 1, 2}));
+  EXPECT_THROW(
+      kernels::gather_rows(params, Tensor::from_ints(Shape{1}, {3})),
+      ValueError);
+}
+
+TEST(KernelsTest, ConcatSplitSlice) {
+  Tensor a = floats(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = floats(Shape{1, 2}, {5, 6});
+  Tensor cat0 = kernels::concat({a, b}, 0);
+  EXPECT_EQ(cat0.shape(), (Shape{3, 2}));
+  EXPECT_EQ(cat0.to_floats(), (std::vector<float>{1, 2, 3, 4, 5, 6}));
+  Tensor c = floats(Shape{2, 1}, {9, 10});
+  Tensor cat1 = kernels::concat({a, c}, 1);
+  EXPECT_EQ(cat1.to_floats(), (std::vector<float>{1, 2, 9, 3, 4, 10}));
+  auto parts = kernels::split(cat1, 1, {2, 1});
+  EXPECT_TRUE(parts[0].equals(a));
+  EXPECT_TRUE(parts[1].equals(c));
+  Tensor sl = kernels::slice_rows(cat0, 1, 2);
+  EXPECT_EQ(sl.to_floats(), (std::vector<float>{3, 4, 5, 6}));
+  EXPECT_THROW(kernels::slice_rows(cat0, 2, 2), ValueError);
+}
+
+TEST(KernelsTest, StackRows) {
+  Tensor a = floats(Shape{2}, {1, 2});
+  Tensor b = floats(Shape{2}, {3, 4});
+  Tensor s = kernels::stack_rows({a, b});
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.to_floats(), (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(KernelsTest, RandomKernels) {
+  Rng rng(42);
+  Tensor u = kernels::random_uniform(Shape{100}, 2, 3, rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(u.data<float>()[i], 2.0f);
+    EXPECT_LT(u.data<float>()[i], 3.0f);
+  }
+  Tensor ri = kernels::random_int(Shape{100}, 4, rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(ri.data<int32_t>()[i], 0);
+    EXPECT_LT(ri.data<int32_t>()[i], 4);
+  }
+}
+
+}  // namespace
+}  // namespace rlgraph

@@ -1,0 +1,245 @@
+// Tests for loss components: DQN loss against hand-computed values, V-trace
+// against a slow reference, and the IMPALA loss contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "components/losses.h"
+#include "components/vtrace.h"
+#include "core/component_test.h"
+#include "tensor/kernels.h"
+
+namespace rlgraph {
+namespace {
+
+ComponentTest make_dqn_loss_test(double discount, bool double_q,
+                                 double huber_delta = 1.0) {
+  auto root = std::make_shared<Component>("root");
+  auto* loss = root->add_component(
+      std::make_shared<DQNLoss>("loss", discount, double_q, huber_delta));
+  root->register_api("get_loss", [loss](BuildContext& ctx, const OpRecs& in) {
+    return loss->call_api(ctx, "get_loss", in);
+  });
+  SpacePtr q = FloatBox(Shape{2})->with_batch_rank();
+  SpacePtr a = IntBox(2)->with_batch_rank();
+  SpacePtr f = FloatBox()->with_batch_rank();
+  SpacePtr b = BoolBox()->with_batch_rank();
+  return ComponentTest(root, {{"get_loss", {q, a, f, q, q, b, f}}});
+}
+
+TEST(DQNLossTest, HandComputedSingleTransition) {
+  // Q(s) = [1, 2], a = 0, r = 1, Q_t(s') = [0.5, 3], non-terminal,
+  // gamma = 0.9, plain max target: target = 1 + 0.9*3 = 3.7,
+  // td = 1 - 3.7 = -2.7, |td| = 2.7, huber(delta=1) = 2.7 - 0.5 = 2.2.
+  auto test = make_dqn_loss_test(0.9, /*double_q=*/false);
+  auto out = test.test(
+      "get_loss",
+      {Tensor::from_floats(Shape{1, 2}, {1, 2}),
+       Tensor::from_ints(Shape{1}, {0}),
+       Tensor::from_floats(Shape{1}, {1}),
+       Tensor::from_floats(Shape{1, 2}, {0.5f, 3}),
+       Tensor::from_floats(Shape{1, 2}, {0, 0}),
+       Tensor::from_bools(Shape{1}, {false}),
+       Tensor::from_floats(Shape{1}, {1})});
+  EXPECT_NEAR(out[0].scalar_value(), 2.2, 1e-5);
+  EXPECT_NEAR(out[1].at_flat(0), 2.7, 1e-5);
+}
+
+TEST(DQNLossTest, TerminalMasksBootstrap) {
+  // Terminal: target = r = 1; td = Q(s,a) - 1 = 0 -> loss 0.
+  auto test = make_dqn_loss_test(0.9, false);
+  auto out = test.test(
+      "get_loss",
+      {Tensor::from_floats(Shape{1, 2}, {1, 2}),
+       Tensor::from_ints(Shape{1}, {0}),
+       Tensor::from_floats(Shape{1}, {1}),
+       Tensor::from_floats(Shape{1, 2}, {100, 100}),
+       Tensor::from_floats(Shape{1, 2}, {100, 100}),
+       Tensor::from_bools(Shape{1}, {true}),
+       Tensor::from_floats(Shape{1}, {1})});
+  EXPECT_NEAR(out[0].scalar_value(), 0.0, 1e-6);
+}
+
+TEST(DQNLossTest, DoubleQUsesOnlineSelection) {
+  // Online net argmax picks action 0; target net evaluates it (0.5), so
+  // target = 1 + 0.9*0.5 = 1.45 (NOT 1 + 0.9*3 = 3.7).
+  auto test = make_dqn_loss_test(0.9, /*double_q=*/true);
+  auto out = test.test(
+      "get_loss",
+      {Tensor::from_floats(Shape{1, 2}, {1.45f, 0}),
+       Tensor::from_ints(Shape{1}, {0}),
+       Tensor::from_floats(Shape{1}, {1}),
+       Tensor::from_floats(Shape{1, 2}, {0.5f, 3.0f}),   // target net
+       Tensor::from_floats(Shape{1, 2}, {10.0f, 1.0f}),  // online net
+       Tensor::from_bools(Shape{1}, {false}),
+       Tensor::from_floats(Shape{1}, {1})});
+  EXPECT_NEAR(out[0].scalar_value(), 0.0, 1e-5);
+}
+
+TEST(DQNLossTest, ImportanceWeightsScaleLoss) {
+  auto test = make_dqn_loss_test(0.0, false);
+  auto run = [&](float w) {
+    return test.test(
+        "get_loss",
+        {Tensor::from_floats(Shape{1, 2}, {0.5f, 0}),
+         Tensor::from_ints(Shape{1}, {0}),
+         Tensor::from_floats(Shape{1}, {0}),
+         Tensor::from_floats(Shape{1, 2}, {0, 0}),
+         Tensor::from_floats(Shape{1, 2}, {0, 0}),
+         Tensor::from_bools(Shape{1}, {false}),
+         Tensor::from_floats(Shape{1}, {w})})[0]
+        .scalar_value();
+  };
+  EXPECT_NEAR(run(2.0f), 2.0 * run(1.0f), 1e-6);
+}
+
+TEST(DQNLossTest, HuberQuadraticInsideDelta) {
+  // |td| = 0.5 < delta: loss = 0.5 * td^2 = 0.125.
+  auto test = make_dqn_loss_test(0.0, false);
+  auto out = test.test(
+      "get_loss",
+      {Tensor::from_floats(Shape{1, 2}, {0.5f, 0}),
+       Tensor::from_ints(Shape{1}, {0}),
+       Tensor::from_floats(Shape{1}, {0}),
+       Tensor::from_floats(Shape{1, 2}, {0, 0}),
+       Tensor::from_floats(Shape{1, 2}, {0, 0}),
+       Tensor::from_bools(Shape{1}, {false}),
+       Tensor::from_floats(Shape{1}, {1})});
+  EXPECT_NEAR(out[0].scalar_value(), 0.125, 1e-6);
+}
+
+// --- V-trace -----------------------------------------------------------------
+
+// Slow, obviously-correct forward implementation of the v-trace recursion
+// from the IMPALA paper.
+VTraceResult vtrace_reference(const std::vector<float>& log_rhos,
+                              const std::vector<float>& discounts,
+                              const std::vector<float>& rewards,
+                              const std::vector<float>& values,
+                              const std::vector<float>& bootstrap,
+                              int64_t batch, int64_t time, double rho_bar,
+                              double pg_rho_bar) {
+  VTraceResult out;
+  out.vs.resize(static_cast<size_t>(batch * time));
+  out.pg_advantages.resize(static_cast<size_t>(batch * time));
+  for (int64_t b = 0; b < batch; ++b) {
+    auto V = [&](int64_t t) {
+      return t == time ? bootstrap[static_cast<size_t>(b)]
+                       : values[static_cast<size_t>(b * time + t)];
+    };
+    // vs_s = V(s) + sum_{t>=s} gamma^{t-s} (prod c) delta_t — computed
+    // directly from the definition, O(T^2).
+    for (int64_t s = 0; s < time; ++s) {
+      double acc = V(s);
+      for (int64_t t = s; t < time; ++t) {
+        double prod = 1.0;
+        for (int64_t i = s; i < t; ++i) {
+          size_t ii = static_cast<size_t>(b * time + i);
+          prod *= discounts[ii] * std::min(1.0, static_cast<double>(std::exp(log_rhos[ii])));
+        }
+        size_t tt = static_cast<size_t>(b * time + t);
+        double rho = std::min(rho_bar, static_cast<double>(std::exp(log_rhos[tt])));
+        double delta =
+            rho * (rewards[tt] + discounts[tt] * V(t + 1) - V(t));
+        acc += prod * delta;
+      }
+      out.vs[static_cast<size_t>(b * time + s)] = static_cast<float>(acc);
+    }
+    for (int64_t s = 0; s < time; ++s) {
+      size_t ss = static_cast<size_t>(b * time + s);
+      double vs_next = s == time - 1
+                           ? bootstrap[static_cast<size_t>(b)]
+                           : out.vs[ss + 1];
+      double rho = std::min(pg_rho_bar, static_cast<double>(std::exp(log_rhos[ss])));
+      out.pg_advantages[ss] = static_cast<float>(
+          rho * (rewards[ss] + discounts[ss] * vs_next - V(s)));
+    }
+  }
+  return out;
+}
+
+class VTraceTest : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {
+};
+
+TEST_P(VTraceTest, MatchesQuadraticReference) {
+  auto [batch, time] = GetParam();
+  Rng rng(static_cast<uint64_t>(batch * 100 + time));
+  size_t n = static_cast<size_t>(batch * time);
+  std::vector<float> log_rhos(n), discounts(n), rewards(n), values(n);
+  std::vector<float> bootstrap(static_cast<size_t>(batch));
+  for (size_t i = 0; i < n; ++i) {
+    log_rhos[i] = static_cast<float>(rng.uniform(-0.8, 0.8));
+    discounts[i] = rng.bernoulli(0.1) ? 0.0f : 0.95f;
+    rewards[i] = static_cast<float>(rng.uniform(-1, 1));
+    values[i] = static_cast<float>(rng.uniform(-2, 2));
+  }
+  for (auto& b : bootstrap) b = static_cast<float>(rng.uniform(-2, 2));
+
+  VTraceResult fast = vtrace_from_log_rhos(log_rhos, discounts, rewards,
+                                           values, bootstrap, batch, time);
+  VTraceResult slow = vtrace_reference(log_rhos, discounts, rewards, values,
+                                       bootstrap, batch, time, 1.0, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fast.vs[i], slow.vs[i], 1e-3) << "vs[" << i << "]";
+    EXPECT_NEAR(fast.pg_advantages[i], slow.pg_advantages[i], 1e-3)
+        << "pg[" << i << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VTraceTest,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(1, 5),
+                                           std::make_pair(3, 8),
+                                           std::make_pair(2, 20)));
+
+TEST(VTraceTest, OnPolicyReducesToNStepReturn) {
+  // With log_rhos = 0 (on-policy) and no clipping active, vs equals the
+  // discounted n-step return bootstrap.
+  int64_t T = 3;
+  std::vector<float> log_rhos(static_cast<size_t>(T), 0.0f);
+  std::vector<float> discounts(static_cast<size_t>(T), 0.9f);
+  std::vector<float> rewards{1.0f, 2.0f, 3.0f};
+  std::vector<float> values{0.0f, 0.0f, 0.0f};
+  std::vector<float> bootstrap{10.0f};
+  VTraceResult r = vtrace_from_log_rhos(log_rhos, discounts, rewards, values,
+                                        bootstrap, 1, T);
+  // vs_0 = 1 + 0.9*(2 + 0.9*(3 + 0.9*10)) = 1 + 0.9*2 + 0.81*3 + 0.729*10.
+  EXPECT_NEAR(r.vs[0], 1 + 0.9 * 2 + 0.81 * 3 + 0.729 * 10, 1e-4);
+}
+
+TEST(VTraceTest, InputValidation) {
+  EXPECT_THROW(vtrace_from_log_rhos({0.0f}, {0.9f}, {1.0f}, {0.0f},
+                                    {0.0f, 0.0f}, 1, 1),
+               ValueError);
+}
+
+// --- IMPALA loss ----------------------------------------------------------------
+
+TEST(IMPALALossTest, OutputsAndEntropySign) {
+  int64_t T = 4, A = 3;
+  auto root = std::make_shared<Component>("root");
+  auto* loss = root->add_component(std::make_shared<IMPALALoss>(
+      "loss", 0.99, 0.5, 0.01));
+  root->register_api("get_loss", [loss](BuildContext& ctx, const OpRecs& in) {
+    return loss->call_api(ctx, "get_loss", in);
+  });
+  SpacePtr logits = FloatBox(Shape{T, A})->with_batch_rank();
+  SpacePtr bt_f = FloatBox(Shape{T})->with_batch_rank();
+  SpacePtr bt_i = IntBox(A, Shape{T})->with_batch_rank();
+  SpacePtr bt_b = BoolBox(Shape{T})->with_batch_rank();
+  SpacePtr b_f = FloatBox()->with_batch_rank();
+  ComponentTest test(root, {{"get_loss",
+                             {logits, logits, bt_i, bt_f, bt_b, bt_f, b_f}}});
+  auto out = test.test_with_sampled_inputs("get_loss", /*batch=*/2);
+  ASSERT_EQ(out.size(), 4u);  // loss, pg, value, entropy
+  for (const Tensor& t : out) EXPECT_EQ(t.shape(), Shape{});
+  // Entropy of any categorical distribution is non-negative and bounded by
+  // log(A).
+  EXPECT_GE(out[3].scalar_value(), 0.0);
+  EXPECT_LE(out[3].scalar_value(), std::log(static_cast<double>(A)) + 1e-5);
+  // Value loss is a mean of squares.
+  EXPECT_GE(out[2].scalar_value(), 0.0);
+}
+
+}  // namespace
+}  // namespace rlgraph

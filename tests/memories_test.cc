@@ -1,0 +1,298 @@
+// Tests for segment trees (property-checked against naive references) and
+// the memory components (FIFO semantics, prioritized sampling proportions,
+// importance weights).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "components/memories.h"
+#include "core/component_test.h"
+
+namespace rlgraph {
+namespace {
+
+// --- SumSegmentTree ------------------------------------------------------------
+
+TEST(SumSegmentTreeTest, BasicSums) {
+  SumSegmentTree tree(8);
+  tree.update(0, 1.0);
+  tree.update(3, 2.0);
+  tree.update(7, 4.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 7.0);
+  EXPECT_DOUBLE_EQ(tree.sum(0, 4), 3.0);
+  EXPECT_DOUBLE_EQ(tree.sum(4, 8), 4.0);
+  EXPECT_DOUBLE_EQ(tree.get(3), 2.0);
+  tree.update(3, 0.5);
+  EXPECT_DOUBLE_EQ(tree.total(), 5.5);
+}
+
+TEST(SumSegmentTreeTest, NonPowerOfTwoCapacity) {
+  SumSegmentTree tree(5);  // rounds up internally
+  for (int i = 0; i < 5; ++i) tree.update(i, i + 1.0);
+  EXPECT_DOUBLE_EQ(tree.sum(0, 5), 15.0);
+  EXPECT_DOUBLE_EQ(tree.sum(1, 3), 5.0);
+}
+
+TEST(SumSegmentTreeTest, PrefixSumIndex) {
+  SumSegmentTree tree(4);
+  tree.update(0, 1.0);
+  tree.update(1, 2.0);
+  tree.update(2, 3.0);
+  EXPECT_EQ(tree.prefix_sum_index(0.5), 0);
+  EXPECT_EQ(tree.prefix_sum_index(1.5), 1);
+  EXPECT_EQ(tree.prefix_sum_index(2.9), 1);
+  EXPECT_EQ(tree.prefix_sum_index(3.1), 2);
+  EXPECT_EQ(tree.prefix_sum_index(5.9), 2);
+}
+
+TEST(SumSegmentTreeTest, RejectsInvalidInput) {
+  SumSegmentTree tree(4);
+  EXPECT_THROW(tree.update(4, 1.0), ValueError);
+  EXPECT_THROW(tree.update(-1, 1.0), ValueError);
+  EXPECT_THROW(tree.update(0, -0.5), ValueError);
+}
+
+// Property test: random updates/queries match a naive array implementation.
+class SegmentTreePropertyTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SegmentTreePropertyTest, MatchesNaiveReference) {
+  int64_t capacity = GetParam();
+  SumSegmentTree sum_tree(capacity);
+  MinSegmentTree min_tree(capacity);
+  std::vector<double> naive(static_cast<size_t>(capacity), 0.0);
+  std::vector<double> naive_min(static_cast<size_t>(capacity), 1e18);
+  Rng rng(static_cast<uint64_t>(capacity) * 997);
+  for (int step = 0; step < 300; ++step) {
+    int64_t idx = rng.uniform_int(capacity);
+    double value = rng.uniform(0.0, 10.0);
+    sum_tree.update(idx, value);
+    min_tree.update(idx, value);
+    naive[static_cast<size_t>(idx)] = value;
+    naive_min[static_cast<size_t>(idx)] = value;
+
+    int64_t lo = rng.uniform_int(capacity);
+    int64_t hi = lo + rng.uniform_int(capacity - lo + 1);
+    double expected = 0;
+    for (int64_t i = lo; i < hi; ++i) expected += naive[static_cast<size_t>(i)];
+    EXPECT_NEAR(sum_tree.sum(lo, hi), expected, 1e-9);
+
+    if (sum_tree.total() > 0) {
+      double mass = rng.uniform(0.0, sum_tree.total() * 0.999);
+      int64_t found = sum_tree.prefix_sum_index(mass);
+      // Verify the defining property of prefix_sum_index.
+      double before = sum_tree.sum(0, found);
+      double with = before + sum_tree.get(found);
+      EXPECT_LE(before, mass + 1e-9);
+      EXPECT_GT(with, mass - 1e-9);
+    }
+  }
+  double expected_min = 1e18;
+  for (double v : naive_min) expected_min = std::min(expected_min, v);
+  if (expected_min < 1e17) {
+    // Only meaningful once every slot in some prefix was touched; compare
+    // over the full range against the untouched +inf default.
+    EXPECT_LE(min_tree.min_all(), expected_min + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SegmentTreePropertyTest,
+                         ::testing::Values(1, 4, 7, 16, 33, 100));
+
+// --- Memory components ------------------------------------------------------------
+
+class MemoryFixture {
+ public:
+  explicit MemoryFixture(std::shared_ptr<MemoryBase> memory) {
+    SpacePtr s = FloatBox(Shape{2})->with_batch_rank();
+    SpacePtr a = IntBox(3)->with_batch_rank();
+    record_space_ = Tuple({FloatBox(Shape{2}), IntBox(3)})->with_batch_rank();
+    auto root = std::make_shared<Component>("root");
+    auto* mem = root->add_component(std::move(memory));
+    root->register_api("insert", [mem](BuildContext& ctx, const OpRecs& in) {
+      return mem->call_api(ctx, "insert_records", in);
+    });
+    root->register_api("sample", [mem](BuildContext& ctx, const OpRecs& in) {
+      return mem->call_api(ctx, "get_records", in);
+    });
+    root->register_api("update", [mem](BuildContext& ctx, const OpRecs& in) {
+      return mem->call_api(ctx, "update_records", in);
+    });
+    root->register_api("size", [mem](BuildContext& ctx, const OpRecs& in) {
+      return mem->call_api(ctx, "get_size", in);
+    });
+    test_ = std::make_unique<ComponentTest>(
+        root, std::map<std::string, std::vector<SpacePtr>>{
+                  {"insert", {record_space_, FloatBox()->with_batch_rank()}},
+                  {"sample", {IntBox(1 << 30)}},
+                  {"update",
+                   {IntBox(1 << 30)->with_batch_rank(),
+                    FloatBox()->with_batch_rank()}},
+                  {"size", {}}});
+    (void)s;
+    (void)a;
+  }
+
+  // Insert records with values (id, id) / action id%3 and given priorities.
+  void insert(const std::vector<int>& ids, double priority = 1.0) {
+    int64_t n = static_cast<int64_t>(ids.size());
+    std::vector<float> states;
+    std::vector<int32_t> actions;
+    std::vector<float> prios;
+    for (int id : ids) {
+      states.push_back(static_cast<float>(id));
+      states.push_back(static_cast<float>(id));
+      actions.push_back(id % 3);
+      prios.push_back(static_cast<float>(priority));
+    }
+    test_->test("insert", {Tensor::from_floats(Shape{n, 2}, states),
+                           Tensor::from_ints(Shape{n}, actions),
+                           Tensor::from_floats(Shape{n}, prios)});
+  }
+
+  // Sample n; returns (state ids, indices, weights).
+  std::tuple<std::vector<int>, Tensor, Tensor> sample(int64_t n) {
+    auto out = test_->test("sample", {Tensor::scalar_int(
+                                         static_cast<int32_t>(n))});
+    std::vector<int> ids;
+    for (int64_t i = 0; i < n; ++i) {
+      ids.push_back(static_cast<int>(out[0].data<float>()[i * 2]));
+    }
+    return {ids, out[2], out[3]};
+  }
+
+  int64_t size() {
+    return static_cast<int64_t>(test_->test("size", {})[0].scalar_value());
+  }
+
+  ComponentTest& test() { return *test_; }
+
+ private:
+  SpacePtr record_space_;
+  std::unique_ptr<ComponentTest> test_;
+};
+
+TEST(RingMemoryTest, InsertAndSize) {
+  MemoryFixture fix(std::make_shared<RingMemory>("memory", 8));
+  EXPECT_EQ(fix.size(), 0);
+  fix.insert({0, 1, 2});
+  EXPECT_EQ(fix.size(), 3);
+  fix.insert({3, 4, 5, 6, 7});
+  EXPECT_EQ(fix.size(), 8);
+  fix.insert({8, 9});  // wraps: capacity stays 8
+  EXPECT_EQ(fix.size(), 8);
+}
+
+TEST(RingMemoryTest, FifoOverwriteInvariant) {
+  MemoryFixture fix(std::make_shared<RingMemory>("memory", 4));
+  fix.insert({0, 1, 2, 3});
+  fix.insert({4, 5});  // overwrites ids 0, 1
+  std::map<int, int> seen;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto [ids, idx, w] = fix.sample(4);
+    for (int id : ids) ++seen[id];
+  }
+  EXPECT_EQ(seen.count(0), 0u);
+  EXPECT_EQ(seen.count(1), 0u);
+  EXPECT_GT(seen[4], 0);
+  EXPECT_GT(seen[5], 0);
+}
+
+TEST(RingMemoryTest, UniformWeightsAreOnes) {
+  MemoryFixture fix(std::make_shared<RingMemory>("memory", 8));
+  fix.insert({0, 1, 2, 3});
+  auto [ids, idx, w] = fix.sample(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(w.data<float>()[i], 1.0f);
+  }
+}
+
+TEST(RingMemoryTest, SamplingEmptyMemoryFails) {
+  MemoryFixture fix(std::make_shared<RingMemory>("memory", 8));
+  EXPECT_THROW(fix.sample(2), ValueError);
+}
+
+TEST(PrioritizedReplayTest, SamplingProportionalToPriority) {
+  MemoryFixture fix(
+      std::make_shared<PrioritizedReplay>("memory", 16, /*alpha=*/1.0,
+                                          /*beta=*/0.0));
+  fix.insert({0}, 1.0);
+  fix.insert({1}, 9.0);
+  std::map<int, int> counts;
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    auto [ids, idx, w] = fix.sample(1);
+    ++counts[ids[0]];
+  }
+  // With alpha=1, id 1 should be drawn ~9x as often as id 0.
+  EXPECT_GT(counts[1], counts[0] * 4);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(PrioritizedReplayTest, AlphaFlattensPriorities) {
+  MemoryFixture fix(std::make_shared<PrioritizedReplay>("memory", 16,
+                                                        /*alpha=*/0.0,
+                                                        /*beta=*/0.0));
+  fix.insert({0}, 1.0);
+  fix.insert({1}, 100.0);
+  std::map<int, int> counts;
+  for (int t = 0; t < 1000; ++t) {
+    auto [ids, idx, w] = fix.sample(1);
+    ++counts[ids[0]];
+  }
+  // alpha=0: uniform regardless of priority.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 1000.0, 0.5, 0.1);
+}
+
+TEST(PrioritizedReplayTest, UpdateRecordsChangesSampling) {
+  MemoryFixture fix(std::make_shared<PrioritizedReplay>("memory", 16, 1.0,
+                                                        0.0));
+  fix.insert({0, 1}, 1.0);
+  // Find the slot index of record id 1 and crank its priority.
+  fix.test().test("update",
+                  {Tensor::from_ints(Shape{1}, {1}),
+                   Tensor::from_floats(Shape{1}, {50.0f})});
+  std::map<int, int> counts;
+  for (int t = 0; t < 400; ++t) {
+    auto [ids, idx, w] = fix.sample(1);
+    ++counts[ids[0]];
+  }
+  EXPECT_GT(counts[1], counts[0] * 3);
+}
+
+TEST(PrioritizedReplayTest, ImportanceWeightsNormalized) {
+  MemoryFixture fix(std::make_shared<PrioritizedReplay>("memory", 16, 1.0,
+                                                        /*beta=*/1.0));
+  fix.insert({0}, 1.0);
+  fix.insert({1}, 4.0);
+  bool saw_low_weight = false;
+  for (int t = 0; t < 100; ++t) {
+    auto [ids, idx, w] = fix.sample(2);
+    for (int i = 0; i < 2; ++i) {
+      float weight = w.data<float>()[i];
+      EXPECT_LE(weight, 1.0f + 1e-4);  // normalized by max weight
+      EXPECT_GT(weight, 0.0f);
+      if (ids[static_cast<size_t>(i)] == 1) {
+        // Higher-priority records get lower IS weights.
+        if (weight < 0.6f) saw_low_weight = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_low_weight);
+}
+
+TEST(PrioritizedReplayTest, CapacityWrapKeepsTreeConsistent) {
+  MemoryFixture fix(std::make_shared<PrioritizedReplay>("memory", 4, 1.0,
+                                                        0.0));
+  for (int round = 0; round < 5; ++round) {
+    fix.insert({round * 2, round * 2 + 1}, 1.0 + round);
+  }
+  EXPECT_EQ(fix.size(), 4);
+  // All sampled ids must be among the last 4 inserted.
+  for (int t = 0; t < 50; ++t) {
+    auto [ids, idx, w] = fix.sample(2);
+    for (int id : ids) EXPECT_GE(id, 6);
+  }
+}
+
+}  // namespace
+}  // namespace rlgraph

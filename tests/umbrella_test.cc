@@ -1,0 +1,40 @@
+// Compile-and-link check for the public umbrella header plus a tiny
+// integration touching one symbol from each subsystem through it.
+#include <gtest/gtest.h>
+
+#include "raylite/object_store.h"
+#include "rlgraph.h"
+
+namespace rlgraph {
+namespace {
+
+TEST(UmbrellaHeaderTest, OneSymbolPerSubsystem) {
+  // spaces / tensor
+  SpacePtr space = FloatBox(Shape{2})->with_batch_rank();
+  Rng rng(1);
+  Tensor t = kernels::random_uniform(Shape{1, 2}, 0, 1, rng);
+  EXPECT_TRUE(space->contains(NestedTensor(t)));
+  // env
+  GridWorld env(GridWorld::Config{});
+  EXPECT_EQ(env.num_actions(), 4);
+  // components + core
+  auto policy = std::make_shared<Policy>(
+      "policy", Json::parse(R"([{"type": "dense", "units": 4}])"), IntBox(2),
+      PolicyHead::kQValues);
+  ComponentTest test(policy,
+                     {{"get_q_values", {FloatBox(Shape{3})->with_batch_rank()}}});
+  EXPECT_EQ(test.test_with_sampled_inputs("get_q_values", 2)[0].shape(),
+            (Shape{2, 2}));
+  // execution
+  ParameterServer ps;
+  EXPECT_EQ(ps.version(), 0);
+  DeviceRegistry devices(1);
+  EXPECT_TRUE(devices.has_device("/gpu:0"));
+  // raylite (via ray_executor include chain)
+  raylite::ObjectStore store;
+  auto id = store.put(42);
+  EXPECT_EQ(*store.get<int>(id), 42);
+}
+
+}  // namespace
+}  // namespace rlgraph

@@ -1,0 +1,343 @@
+// Tests for the util substrate: JSON, RNG, metrics, serialization, queues,
+// thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/queues.h"
+#include "util/random.h"
+#include "util/serialization.h"
+#include "util/thread_pool.h"
+
+namespace rlgraph {
+namespace {
+
+// --- JSON -------------------------------------------------------------------
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("3.5").as_double(), 3.5);
+  EXPECT_EQ(Json::parse("-42").as_int(), -42);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5E-2").as_double(), -0.025);
+  EXPECT_EQ(Json::parse("\"hello\"").as_string(), "hello");
+}
+
+TEST(JsonTest, ParsesContainers) {
+  Json j = Json::parse(R"({"a": [1, 2, 3], "b": {"c": true}})");
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.at("a").as_array().size(), 3u);
+  EXPECT_EQ(j.at("a").as_array()[1].as_int(), 2);
+  EXPECT_TRUE(j.at("b").at("c").as_bool());
+}
+
+TEST(JsonTest, ParsesEscapes) {
+  Json j = Json::parse(R"("line\nbreak\t\"quoted\" \\ A")");
+  EXPECT_EQ(j.as_string(), "line\nbreak\t\"quoted\" \\ A");
+}
+
+TEST(JsonTest, ParsesNestedDeep) {
+  Json j = Json::parse(R"([[[[1]]], {"x": [{"y": [2]}]}])");
+  EXPECT_EQ(j.as_array()[0].as_array()[0].as_array()[0].as_array()[0].as_int(),
+            1);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), ConfigError);
+  EXPECT_THROW(Json::parse("{"), ConfigError);
+  EXPECT_THROW(Json::parse("[1,]"), ConfigError);
+  EXPECT_THROW(Json::parse("{\"a\": }"), ConfigError);
+  EXPECT_THROW(Json::parse("tru"), ConfigError);
+  EXPECT_THROW(Json::parse("1 2"), ConfigError);
+  EXPECT_THROW(Json::parse("\"unterminated"), ConfigError);
+  EXPECT_THROW(Json::parse("01a"), ConfigError);
+}
+
+TEST(JsonTest, ErrorsCarryLineAndColumn) {
+  try {
+    Json::parse("{\n  \"a\": bad\n}");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  const std::string text =
+      R"({"arr":[1,2.5,null,true],"nested":{"k":"v"},"s":"x\ny"})";
+  Json j = Json::parse(text);
+  Json j2 = Json::parse(j.dump());
+  EXPECT_TRUE(j == j2);
+  // Pretty dump also round-trips.
+  Json j3 = Json::parse(j.dump(2));
+  EXPECT_TRUE(j == j3);
+}
+
+TEST(JsonTest, TypedGettersWithDefaults) {
+  Json j = Json::parse(R"({"a": 5, "b": "x"})");
+  EXPECT_EQ(j.get_int("a", 0), 5);
+  EXPECT_EQ(j.get_int("missing", 7), 7);
+  EXPECT_EQ(j.get_string("b", ""), "x");
+  EXPECT_TRUE(j.get_bool("missing", true));
+  EXPECT_THROW(j.at("missing"), NotFoundError);
+  EXPECT_THROW(j.at("a").as_string(), ConfigError);
+}
+
+TEST(JsonTest, MutationBuildsObjects) {
+  Json j;
+  j["x"] = Json(1);
+  j["y"]["z"] = Json("deep");
+  EXPECT_EQ(j.at("x").as_int(), 1);
+  EXPECT_EQ(j.at("y").at("z").as_string(), "deep");
+}
+
+// --- RNG --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.uniform_int(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+  }
+  EXPECT_THROW(rng.uniform_int(0), ValueError);
+}
+
+TEST(RngTest, CategoricalProportions) {
+  Rng rng(3);
+  std::vector<double> weights{1.0, 3.0};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.categorical(weights)];
+  }
+  double ratio = static_cast<double>(counts[1]) / counts[0];
+  EXPECT_NEAR(ratio, 3.0, 0.4);
+  EXPECT_THROW(rng.categorical({}), ValueError);
+  EXPECT_THROW(rng.categorical({-1.0}), ValueError);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(9);
+  Rng b = a.split();
+  // Streams should differ immediately.
+  bool any_diff = false;
+  Rng a2(9);
+  Rng b2 = a2.split();
+  for (int i = 0; i < 10; ++i) {
+    double va = b.uniform(), vb = b2.uniform();
+    EXPECT_DOUBLE_EQ(va, vb);  // split is deterministic
+    if (va != a.uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(5);
+  double sum = 0, sum_sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.normal(2.0, 0.5);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+// --- Logging -----------------------------------------------------------------
+
+TEST(LoggingTest, LevelFilteringAndRestore) {
+  LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Suppressed levels must not crash and are cheap no-ops.
+  RLG_LOG_DEBUG << "hidden " << 1;
+  RLG_LOG_INFO << "hidden " << 2.5;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(original);
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+TEST(MetricsTest, SummaryStats) {
+  SummaryStats s;
+  s.record(1.0);
+  s.record(3.0);
+  s.record(5.0);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(8.0 / 3.0), 1e-9);
+}
+
+TEST(MetricsTest, RegistryCountersAndTimers) {
+  MetricRegistry reg;
+  reg.increment("frames", 10);
+  reg.increment("frames", 5);
+  reg.record_time("act", 0.5);
+  EXPECT_EQ(reg.counter("frames"), 15);
+  EXPECT_EQ(reg.counter("missing"), 0);
+  EXPECT_EQ(reg.timer("act").count(), 1);
+  reg.reset();
+  EXPECT_EQ(reg.counter("frames"), 0);
+}
+
+TEST(MetricsTest, ScopedTimerRecords) {
+  MetricRegistry reg;
+  { ScopedTimer t(&reg, "scope"); }
+  EXPECT_EQ(reg.timer("scope").count(), 1);
+}
+
+// --- Serialization -----------------------------------------------------------
+
+TEST(SerializationTest, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.write_u8(0xAB);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFULL);
+  w.write_i64(-42);
+  w.write_f32(3.25f);
+  w.write_f64(-1.5e100);
+  w.write_string("hello world");
+  ByteReader r(w.take());
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_FLOAT_EQ(r.read_f32(), 3.25f);
+  EXPECT_DOUBLE_EQ(r.read_f64(), -1.5e100);
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(SerializationTest, TruncatedStreamThrows) {
+  ByteWriter w;
+  w.write_u32(7);
+  ByteReader r(w.take());
+  EXPECT_EQ(r.read_u32(), 7u);
+  EXPECT_THROW(r.read_u64(), Error);
+}
+
+// --- Queues ------------------------------------------------------------------
+
+TEST(QueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_EQ(*q.pop(), 2);
+  EXPECT_EQ(*q.pop(), 3);
+}
+
+TEST(QueueTest, BoundedBlocksProducerUntilConsumed) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  EXPECT_FALSE(q.try_push(2));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(2);
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(*q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*q.pop(), 2);
+}
+
+TEST(QueueTest, CloseUnblocksAndDrains) {
+  BlockingQueue<int> q;
+  q.push(5);
+  q.close();
+  EXPECT_FALSE(q.push(6));
+  EXPECT_EQ(*q.pop(), 5);       // drains remaining
+  EXPECT_FALSE(q.pop().has_value());  // then signals closed
+}
+
+TEST(QueueTest, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> q;
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(QueueTest, ConcurrentProducersConsumers) {
+  BlockingQueue<int> q(8);
+  std::atomic<int64_t> sum{0};
+  const int per_producer = 500;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 1; i <= per_producer; ++i) q.push(i);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) sum.fetch_add(*v);
+    });
+  }
+  for (int p = 0; p < 3; ++p) threads[p].join();
+  q.close();
+  threads[3].join();
+  threads[4].join();
+  EXPECT_EQ(sum.load(), 3LL * per_producer * (per_producer + 1) / 2);
+}
+
+// --- ThreadPool ----------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsTasksAndReturnsValues) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManyTasks) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+}  // namespace
+}  // namespace rlgraph
