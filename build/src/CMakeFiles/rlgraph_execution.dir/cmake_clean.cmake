@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlgraph_execution.dir/execution/allreduce.cc.o"
+  "CMakeFiles/rlgraph_execution.dir/execution/allreduce.cc.o.d"
+  "CMakeFiles/rlgraph_execution.dir/execution/apex_executor.cc.o"
+  "CMakeFiles/rlgraph_execution.dir/execution/apex_executor.cc.o.d"
+  "CMakeFiles/rlgraph_execution.dir/execution/device.cc.o"
+  "CMakeFiles/rlgraph_execution.dir/execution/device.cc.o.d"
+  "CMakeFiles/rlgraph_execution.dir/execution/impala_pipeline.cc.o"
+  "CMakeFiles/rlgraph_execution.dir/execution/impala_pipeline.cc.o.d"
+  "CMakeFiles/rlgraph_execution.dir/execution/multi_device.cc.o"
+  "CMakeFiles/rlgraph_execution.dir/execution/multi_device.cc.o.d"
+  "CMakeFiles/rlgraph_execution.dir/execution/param_server.cc.o"
+  "CMakeFiles/rlgraph_execution.dir/execution/param_server.cc.o.d"
+  "CMakeFiles/rlgraph_execution.dir/execution/ray_executor.cc.o"
+  "CMakeFiles/rlgraph_execution.dir/execution/ray_executor.cc.o.d"
+  "librlgraph_execution.a"
+  "librlgraph_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlgraph_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlgraph_raylite.dir/raylite/actor.cc.o"
+  "CMakeFiles/rlgraph_raylite.dir/raylite/actor.cc.o.d"
+  "CMakeFiles/rlgraph_raylite.dir/raylite/object_store.cc.o"
+  "CMakeFiles/rlgraph_raylite.dir/raylite/object_store.cc.o.d"
+  "librlgraph_raylite.a"
+  "librlgraph_raylite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlgraph_raylite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rlgraph_raylite.
+# This may be replaced when dependencies are built.
