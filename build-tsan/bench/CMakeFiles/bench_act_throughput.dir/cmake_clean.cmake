@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_act_throughput.dir/bench_act_throughput.cc.o"
+  "CMakeFiles/bench_act_throughput.dir/bench_act_throughput.cc.o.d"
+  "bench_act_throughput"
+  "bench_act_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_act_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

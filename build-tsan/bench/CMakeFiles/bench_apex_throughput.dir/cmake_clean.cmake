@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apex_throughput.dir/bench_apex_throughput.cc.o"
+  "CMakeFiles/bench_apex_throughput.dir/bench_apex_throughput.cc.o.d"
+  "bench_apex_throughput"
+  "bench_apex_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apex_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_build_overhead.dir/bench_build_overhead.cc.o"
+  "CMakeFiles/bench_build_overhead.dir/bench_build_overhead.cc.o.d"
+  "bench_build_overhead"
+  "bench_build_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_build_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

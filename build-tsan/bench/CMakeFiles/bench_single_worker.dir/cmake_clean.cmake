@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_single_worker.dir/bench_single_worker.cc.o"
+  "CMakeFiles/bench_single_worker.dir/bench_single_worker.cc.o.d"
+  "bench_single_worker"
+  "bench_single_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_single_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

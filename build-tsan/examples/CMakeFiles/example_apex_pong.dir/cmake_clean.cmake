@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_apex_pong.dir/apex_pong.cpp.o"
+  "CMakeFiles/example_apex_pong.dir/apex_pong.cpp.o.d"
+  "example_apex_pong"
+  "example_apex_pong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_apex_pong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

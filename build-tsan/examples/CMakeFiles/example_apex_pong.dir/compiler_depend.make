@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_apex_pong.
+# This may be replaced when dependencies are built.

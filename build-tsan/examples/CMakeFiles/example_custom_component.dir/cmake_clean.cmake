@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_component.dir/custom_component.cpp.o"
+  "CMakeFiles/example_custom_component.dir/custom_component.cpp.o.d"
+  "example_custom_component"
+  "example_custom_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

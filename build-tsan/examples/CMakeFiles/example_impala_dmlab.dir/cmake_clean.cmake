@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_impala_dmlab.dir/impala_dmlab.cpp.o"
+  "CMakeFiles/example_impala_dmlab.dir/impala_dmlab.cpp.o.d"
+  "example_impala_dmlab"
+  "example_impala_dmlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_impala_dmlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

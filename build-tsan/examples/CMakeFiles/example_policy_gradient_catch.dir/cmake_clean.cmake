@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_policy_gradient_catch.dir/policy_gradient_catch.cpp.o"
+  "CMakeFiles/example_policy_gradient_catch.dir/policy_gradient_catch.cpp.o.d"
+  "example_policy_gradient_catch"
+  "example_policy_gradient_catch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_policy_gradient_catch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

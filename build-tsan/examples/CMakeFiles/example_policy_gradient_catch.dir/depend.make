@@ -1,0 +1,2 @@
+# Empty dependencies file for example_policy_gradient_catch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_subgraph_testing.dir/subgraph_testing.cpp.o"
+  "CMakeFiles/example_subgraph_testing.dir/subgraph_testing.cpp.o.d"
+  "example_subgraph_testing"
+  "example_subgraph_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_subgraph_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

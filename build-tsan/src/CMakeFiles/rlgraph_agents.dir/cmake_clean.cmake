@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlgraph_agents.dir/agents/actor_critic_agent.cc.o"
+  "CMakeFiles/rlgraph_agents.dir/agents/actor_critic_agent.cc.o.d"
+  "CMakeFiles/rlgraph_agents.dir/agents/agent.cc.o"
+  "CMakeFiles/rlgraph_agents.dir/agents/agent.cc.o.d"
+  "CMakeFiles/rlgraph_agents.dir/agents/dqn_agent.cc.o"
+  "CMakeFiles/rlgraph_agents.dir/agents/dqn_agent.cc.o.d"
+  "CMakeFiles/rlgraph_agents.dir/agents/impala_agent.cc.o"
+  "CMakeFiles/rlgraph_agents.dir/agents/impala_agent.cc.o.d"
+  "CMakeFiles/rlgraph_agents.dir/agents/ppo_agent.cc.o"
+  "CMakeFiles/rlgraph_agents.dir/agents/ppo_agent.cc.o.d"
+  "librlgraph_agents.a"
+  "librlgraph_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlgraph_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

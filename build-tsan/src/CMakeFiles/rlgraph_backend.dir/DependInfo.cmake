@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/autodiff.cc" "src/CMakeFiles/rlgraph_backend.dir/backend/autodiff.cc.o" "gcc" "src/CMakeFiles/rlgraph_backend.dir/backend/autodiff.cc.o.d"
+  "/root/repo/src/backend/grad_rules.cc" "src/CMakeFiles/rlgraph_backend.dir/backend/grad_rules.cc.o" "gcc" "src/CMakeFiles/rlgraph_backend.dir/backend/grad_rules.cc.o.d"
+  "/root/repo/src/backend/imperative_context.cc" "src/CMakeFiles/rlgraph_backend.dir/backend/imperative_context.cc.o" "gcc" "src/CMakeFiles/rlgraph_backend.dir/backend/imperative_context.cc.o.d"
+  "/root/repo/src/backend/op_context.cc" "src/CMakeFiles/rlgraph_backend.dir/backend/op_context.cc.o" "gcc" "src/CMakeFiles/rlgraph_backend.dir/backend/op_context.cc.o.d"
+  "/root/repo/src/backend/static_context.cc" "src/CMakeFiles/rlgraph_backend.dir/backend/static_context.cc.o" "gcc" "src/CMakeFiles/rlgraph_backend.dir/backend/static_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

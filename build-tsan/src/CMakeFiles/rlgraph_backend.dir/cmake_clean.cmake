@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlgraph_backend.dir/backend/autodiff.cc.o"
+  "CMakeFiles/rlgraph_backend.dir/backend/autodiff.cc.o.d"
+  "CMakeFiles/rlgraph_backend.dir/backend/grad_rules.cc.o"
+  "CMakeFiles/rlgraph_backend.dir/backend/grad_rules.cc.o.d"
+  "CMakeFiles/rlgraph_backend.dir/backend/imperative_context.cc.o"
+  "CMakeFiles/rlgraph_backend.dir/backend/imperative_context.cc.o.d"
+  "CMakeFiles/rlgraph_backend.dir/backend/op_context.cc.o"
+  "CMakeFiles/rlgraph_backend.dir/backend/op_context.cc.o.d"
+  "CMakeFiles/rlgraph_backend.dir/backend/static_context.cc.o"
+  "CMakeFiles/rlgraph_backend.dir/backend/static_context.cc.o.d"
+  "librlgraph_backend.a"
+  "librlgraph_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlgraph_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

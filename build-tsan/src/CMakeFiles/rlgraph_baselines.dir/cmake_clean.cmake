@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlgraph_baselines.dir/baselines/dm_impala_like.cc.o"
+  "CMakeFiles/rlgraph_baselines.dir/baselines/dm_impala_like.cc.o.d"
+  "CMakeFiles/rlgraph_baselines.dir/baselines/hand_tuned_actor.cc.o"
+  "CMakeFiles/rlgraph_baselines.dir/baselines/hand_tuned_actor.cc.o.d"
+  "CMakeFiles/rlgraph_baselines.dir/baselines/rllib_like.cc.o"
+  "CMakeFiles/rlgraph_baselines.dir/baselines/rllib_like.cc.o.d"
+  "librlgraph_baselines.a"
+  "librlgraph_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlgraph_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/components/exploration.cc" "src/CMakeFiles/rlgraph_components.dir/components/exploration.cc.o" "gcc" "src/CMakeFiles/rlgraph_components.dir/components/exploration.cc.o.d"
+  "/root/repo/src/components/layers.cc" "src/CMakeFiles/rlgraph_components.dir/components/layers.cc.o" "gcc" "src/CMakeFiles/rlgraph_components.dir/components/layers.cc.o.d"
+  "/root/repo/src/components/losses.cc" "src/CMakeFiles/rlgraph_components.dir/components/losses.cc.o" "gcc" "src/CMakeFiles/rlgraph_components.dir/components/losses.cc.o.d"
+  "/root/repo/src/components/memories.cc" "src/CMakeFiles/rlgraph_components.dir/components/memories.cc.o" "gcc" "src/CMakeFiles/rlgraph_components.dir/components/memories.cc.o.d"
+  "/root/repo/src/components/neural_network.cc" "src/CMakeFiles/rlgraph_components.dir/components/neural_network.cc.o" "gcc" "src/CMakeFiles/rlgraph_components.dir/components/neural_network.cc.o.d"
+  "/root/repo/src/components/optimizers.cc" "src/CMakeFiles/rlgraph_components.dir/components/optimizers.cc.o" "gcc" "src/CMakeFiles/rlgraph_components.dir/components/optimizers.cc.o.d"
+  "/root/repo/src/components/policy.cc" "src/CMakeFiles/rlgraph_components.dir/components/policy.cc.o" "gcc" "src/CMakeFiles/rlgraph_components.dir/components/policy.cc.o.d"
+  "/root/repo/src/components/preprocessors.cc" "src/CMakeFiles/rlgraph_components.dir/components/preprocessors.cc.o" "gcc" "src/CMakeFiles/rlgraph_components.dir/components/preprocessors.cc.o.d"
+  "/root/repo/src/components/queue_staging.cc" "src/CMakeFiles/rlgraph_components.dir/components/queue_staging.cc.o" "gcc" "src/CMakeFiles/rlgraph_components.dir/components/queue_staging.cc.o.d"
+  "/root/repo/src/components/segment_tree.cc" "src/CMakeFiles/rlgraph_components.dir/components/segment_tree.cc.o" "gcc" "src/CMakeFiles/rlgraph_components.dir/components/segment_tree.cc.o.d"
+  "/root/repo/src/components/splitter_merger.cc" "src/CMakeFiles/rlgraph_components.dir/components/splitter_merger.cc.o" "gcc" "src/CMakeFiles/rlgraph_components.dir/components/splitter_merger.cc.o.d"
+  "/root/repo/src/components/synchronizer.cc" "src/CMakeFiles/rlgraph_components.dir/components/synchronizer.cc.o" "gcc" "src/CMakeFiles/rlgraph_components.dir/components/synchronizer.cc.o.d"
+  "/root/repo/src/components/vtrace.cc" "src/CMakeFiles/rlgraph_components.dir/components/vtrace.cc.o" "gcc" "src/CMakeFiles/rlgraph_components.dir/components/vtrace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_backend.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_spaces.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

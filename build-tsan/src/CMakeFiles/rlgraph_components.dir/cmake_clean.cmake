@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlgraph_components.dir/components/exploration.cc.o"
+  "CMakeFiles/rlgraph_components.dir/components/exploration.cc.o.d"
+  "CMakeFiles/rlgraph_components.dir/components/layers.cc.o"
+  "CMakeFiles/rlgraph_components.dir/components/layers.cc.o.d"
+  "CMakeFiles/rlgraph_components.dir/components/losses.cc.o"
+  "CMakeFiles/rlgraph_components.dir/components/losses.cc.o.d"
+  "CMakeFiles/rlgraph_components.dir/components/memories.cc.o"
+  "CMakeFiles/rlgraph_components.dir/components/memories.cc.o.d"
+  "CMakeFiles/rlgraph_components.dir/components/neural_network.cc.o"
+  "CMakeFiles/rlgraph_components.dir/components/neural_network.cc.o.d"
+  "CMakeFiles/rlgraph_components.dir/components/optimizers.cc.o"
+  "CMakeFiles/rlgraph_components.dir/components/optimizers.cc.o.d"
+  "CMakeFiles/rlgraph_components.dir/components/policy.cc.o"
+  "CMakeFiles/rlgraph_components.dir/components/policy.cc.o.d"
+  "CMakeFiles/rlgraph_components.dir/components/preprocessors.cc.o"
+  "CMakeFiles/rlgraph_components.dir/components/preprocessors.cc.o.d"
+  "CMakeFiles/rlgraph_components.dir/components/queue_staging.cc.o"
+  "CMakeFiles/rlgraph_components.dir/components/queue_staging.cc.o.d"
+  "CMakeFiles/rlgraph_components.dir/components/segment_tree.cc.o"
+  "CMakeFiles/rlgraph_components.dir/components/segment_tree.cc.o.d"
+  "CMakeFiles/rlgraph_components.dir/components/splitter_merger.cc.o"
+  "CMakeFiles/rlgraph_components.dir/components/splitter_merger.cc.o.d"
+  "CMakeFiles/rlgraph_components.dir/components/synchronizer.cc.o"
+  "CMakeFiles/rlgraph_components.dir/components/synchronizer.cc.o.d"
+  "CMakeFiles/rlgraph_components.dir/components/vtrace.cc.o"
+  "CMakeFiles/rlgraph_components.dir/components/vtrace.cc.o.d"
+  "librlgraph_components.a"
+  "librlgraph_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlgraph_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

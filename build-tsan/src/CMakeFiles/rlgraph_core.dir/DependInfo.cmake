@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/build_context.cc" "src/CMakeFiles/rlgraph_core.dir/core/build_context.cc.o" "gcc" "src/CMakeFiles/rlgraph_core.dir/core/build_context.cc.o.d"
+  "/root/repo/src/core/component.cc" "src/CMakeFiles/rlgraph_core.dir/core/component.cc.o" "gcc" "src/CMakeFiles/rlgraph_core.dir/core/component.cc.o.d"
+  "/root/repo/src/core/component_test.cc" "src/CMakeFiles/rlgraph_core.dir/core/component_test.cc.o" "gcc" "src/CMakeFiles/rlgraph_core.dir/core/component_test.cc.o.d"
+  "/root/repo/src/core/fast_path.cc" "src/CMakeFiles/rlgraph_core.dir/core/fast_path.cc.o" "gcc" "src/CMakeFiles/rlgraph_core.dir/core/fast_path.cc.o.d"
+  "/root/repo/src/core/graph_builder.cc" "src/CMakeFiles/rlgraph_core.dir/core/graph_builder.cc.o" "gcc" "src/CMakeFiles/rlgraph_core.dir/core/graph_builder.cc.o.d"
+  "/root/repo/src/core/graph_executor.cc" "src/CMakeFiles/rlgraph_core.dir/core/graph_executor.cc.o" "gcc" "src/CMakeFiles/rlgraph_core.dir/core/graph_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_backend.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_spaces.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlgraph_core.dir/core/build_context.cc.o"
+  "CMakeFiles/rlgraph_core.dir/core/build_context.cc.o.d"
+  "CMakeFiles/rlgraph_core.dir/core/component.cc.o"
+  "CMakeFiles/rlgraph_core.dir/core/component.cc.o.d"
+  "CMakeFiles/rlgraph_core.dir/core/component_test.cc.o"
+  "CMakeFiles/rlgraph_core.dir/core/component_test.cc.o.d"
+  "CMakeFiles/rlgraph_core.dir/core/fast_path.cc.o"
+  "CMakeFiles/rlgraph_core.dir/core/fast_path.cc.o.d"
+  "CMakeFiles/rlgraph_core.dir/core/graph_builder.cc.o"
+  "CMakeFiles/rlgraph_core.dir/core/graph_builder.cc.o.d"
+  "CMakeFiles/rlgraph_core.dir/core/graph_executor.cc.o"
+  "CMakeFiles/rlgraph_core.dir/core/graph_executor.cc.o.d"
+  "librlgraph_core.a"
+  "librlgraph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlgraph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

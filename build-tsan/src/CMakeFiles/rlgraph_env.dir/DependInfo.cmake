@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/catch_env.cc" "src/CMakeFiles/rlgraph_env.dir/env/catch_env.cc.o" "gcc" "src/CMakeFiles/rlgraph_env.dir/env/catch_env.cc.o.d"
+  "/root/repo/src/env/dmlab_sim.cc" "src/CMakeFiles/rlgraph_env.dir/env/dmlab_sim.cc.o" "gcc" "src/CMakeFiles/rlgraph_env.dir/env/dmlab_sim.cc.o.d"
+  "/root/repo/src/env/environment.cc" "src/CMakeFiles/rlgraph_env.dir/env/environment.cc.o" "gcc" "src/CMakeFiles/rlgraph_env.dir/env/environment.cc.o.d"
+  "/root/repo/src/env/grid_world.cc" "src/CMakeFiles/rlgraph_env.dir/env/grid_world.cc.o" "gcc" "src/CMakeFiles/rlgraph_env.dir/env/grid_world.cc.o.d"
+  "/root/repo/src/env/pong_sim.cc" "src/CMakeFiles/rlgraph_env.dir/env/pong_sim.cc.o" "gcc" "src/CMakeFiles/rlgraph_env.dir/env/pong_sim.cc.o.d"
+  "/root/repo/src/env/vector_env.cc" "src/CMakeFiles/rlgraph_env.dir/env/vector_env.cc.o" "gcc" "src/CMakeFiles/rlgraph_env.dir/env/vector_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_spaces.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlgraph_env.dir/env/catch_env.cc.o"
+  "CMakeFiles/rlgraph_env.dir/env/catch_env.cc.o.d"
+  "CMakeFiles/rlgraph_env.dir/env/dmlab_sim.cc.o"
+  "CMakeFiles/rlgraph_env.dir/env/dmlab_sim.cc.o.d"
+  "CMakeFiles/rlgraph_env.dir/env/environment.cc.o"
+  "CMakeFiles/rlgraph_env.dir/env/environment.cc.o.d"
+  "CMakeFiles/rlgraph_env.dir/env/grid_world.cc.o"
+  "CMakeFiles/rlgraph_env.dir/env/grid_world.cc.o.d"
+  "CMakeFiles/rlgraph_env.dir/env/pong_sim.cc.o"
+  "CMakeFiles/rlgraph_env.dir/env/pong_sim.cc.o.d"
+  "CMakeFiles/rlgraph_env.dir/env/vector_env.cc.o"
+  "CMakeFiles/rlgraph_env.dir/env/vector_env.cc.o.d"
+  "librlgraph_env.a"
+  "librlgraph_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlgraph_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

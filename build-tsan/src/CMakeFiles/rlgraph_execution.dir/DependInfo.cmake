@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/execution/allreduce.cc" "src/CMakeFiles/rlgraph_execution.dir/execution/allreduce.cc.o" "gcc" "src/CMakeFiles/rlgraph_execution.dir/execution/allreduce.cc.o.d"
+  "/root/repo/src/execution/apex_executor.cc" "src/CMakeFiles/rlgraph_execution.dir/execution/apex_executor.cc.o" "gcc" "src/CMakeFiles/rlgraph_execution.dir/execution/apex_executor.cc.o.d"
+  "/root/repo/src/execution/device.cc" "src/CMakeFiles/rlgraph_execution.dir/execution/device.cc.o" "gcc" "src/CMakeFiles/rlgraph_execution.dir/execution/device.cc.o.d"
+  "/root/repo/src/execution/impala_pipeline.cc" "src/CMakeFiles/rlgraph_execution.dir/execution/impala_pipeline.cc.o" "gcc" "src/CMakeFiles/rlgraph_execution.dir/execution/impala_pipeline.cc.o.d"
+  "/root/repo/src/execution/multi_device.cc" "src/CMakeFiles/rlgraph_execution.dir/execution/multi_device.cc.o" "gcc" "src/CMakeFiles/rlgraph_execution.dir/execution/multi_device.cc.o.d"
+  "/root/repo/src/execution/param_server.cc" "src/CMakeFiles/rlgraph_execution.dir/execution/param_server.cc.o" "gcc" "src/CMakeFiles/rlgraph_execution.dir/execution/param_server.cc.o.d"
+  "/root/repo/src/execution/ray_executor.cc" "src/CMakeFiles/rlgraph_execution.dir/execution/ray_executor.cc.o" "gcc" "src/CMakeFiles/rlgraph_execution.dir/execution/ray_executor.cc.o.d"
+  "/root/repo/src/execution/supervisor.cc" "src/CMakeFiles/rlgraph_execution.dir/execution/supervisor.cc.o" "gcc" "src/CMakeFiles/rlgraph_execution.dir/execution/supervisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_agents.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_raylite.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_components.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_backend.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_env.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_spaces.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph_def.cc" "src/CMakeFiles/rlgraph_graph.dir/graph/graph_def.cc.o" "gcc" "src/CMakeFiles/rlgraph_graph.dir/graph/graph_def.cc.o.d"
+  "/root/repo/src/graph/op_schema.cc" "src/CMakeFiles/rlgraph_graph.dir/graph/op_schema.cc.o" "gcc" "src/CMakeFiles/rlgraph_graph.dir/graph/op_schema.cc.o.d"
+  "/root/repo/src/graph/ops_standard.cc" "src/CMakeFiles/rlgraph_graph.dir/graph/ops_standard.cc.o" "gcc" "src/CMakeFiles/rlgraph_graph.dir/graph/ops_standard.cc.o.d"
+  "/root/repo/src/graph/passes.cc" "src/CMakeFiles/rlgraph_graph.dir/graph/passes.cc.o" "gcc" "src/CMakeFiles/rlgraph_graph.dir/graph/passes.cc.o.d"
+  "/root/repo/src/graph/session.cc" "src/CMakeFiles/rlgraph_graph.dir/graph/session.cc.o" "gcc" "src/CMakeFiles/rlgraph_graph.dir/graph/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

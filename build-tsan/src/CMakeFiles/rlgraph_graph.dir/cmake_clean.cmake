@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlgraph_graph.dir/graph/graph_def.cc.o"
+  "CMakeFiles/rlgraph_graph.dir/graph/graph_def.cc.o.d"
+  "CMakeFiles/rlgraph_graph.dir/graph/op_schema.cc.o"
+  "CMakeFiles/rlgraph_graph.dir/graph/op_schema.cc.o.d"
+  "CMakeFiles/rlgraph_graph.dir/graph/ops_standard.cc.o"
+  "CMakeFiles/rlgraph_graph.dir/graph/ops_standard.cc.o.d"
+  "CMakeFiles/rlgraph_graph.dir/graph/passes.cc.o"
+  "CMakeFiles/rlgraph_graph.dir/graph/passes.cc.o.d"
+  "CMakeFiles/rlgraph_graph.dir/graph/session.cc.o"
+  "CMakeFiles/rlgraph_graph.dir/graph/session.cc.o.d"
+  "librlgraph_graph.a"
+  "librlgraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlgraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raylite/actor.cc" "src/CMakeFiles/rlgraph_raylite.dir/raylite/actor.cc.o" "gcc" "src/CMakeFiles/rlgraph_raylite.dir/raylite/actor.cc.o.d"
+  "/root/repo/src/raylite/fault_injection.cc" "src/CMakeFiles/rlgraph_raylite.dir/raylite/fault_injection.cc.o" "gcc" "src/CMakeFiles/rlgraph_raylite.dir/raylite/fault_injection.cc.o.d"
+  "/root/repo/src/raylite/object_store.cc" "src/CMakeFiles/rlgraph_raylite.dir/raylite/object_store.cc.o" "gcc" "src/CMakeFiles/rlgraph_raylite.dir/raylite/object_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/rlgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librlgraph_raylite.a"
+)

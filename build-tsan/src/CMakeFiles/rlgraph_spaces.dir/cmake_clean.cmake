@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlgraph_spaces.dir/spaces/nested.cc.o"
+  "CMakeFiles/rlgraph_spaces.dir/spaces/nested.cc.o.d"
+  "CMakeFiles/rlgraph_spaces.dir/spaces/space.cc.o"
+  "CMakeFiles/rlgraph_spaces.dir/spaces/space.cc.o.d"
+  "librlgraph_spaces.a"
+  "librlgraph_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlgraph_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlgraph_tensor.dir/tensor/kernels.cc.o"
+  "CMakeFiles/rlgraph_tensor.dir/tensor/kernels.cc.o.d"
+  "CMakeFiles/rlgraph_tensor.dir/tensor/shape.cc.o"
+  "CMakeFiles/rlgraph_tensor.dir/tensor/shape.cc.o.d"
+  "CMakeFiles/rlgraph_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/rlgraph_tensor.dir/tensor/tensor.cc.o.d"
+  "librlgraph_tensor.a"
+  "librlgraph_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlgraph_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

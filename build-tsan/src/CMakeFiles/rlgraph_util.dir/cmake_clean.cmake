@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlgraph_util.dir/util/json.cc.o"
+  "CMakeFiles/rlgraph_util.dir/util/json.cc.o.d"
+  "CMakeFiles/rlgraph_util.dir/util/logging.cc.o"
+  "CMakeFiles/rlgraph_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/rlgraph_util.dir/util/metrics.cc.o"
+  "CMakeFiles/rlgraph_util.dir/util/metrics.cc.o.d"
+  "CMakeFiles/rlgraph_util.dir/util/random.cc.o"
+  "CMakeFiles/rlgraph_util.dir/util/random.cc.o.d"
+  "CMakeFiles/rlgraph_util.dir/util/serialization.cc.o"
+  "CMakeFiles/rlgraph_util.dir/util/serialization.cc.o.d"
+  "CMakeFiles/rlgraph_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/rlgraph_util.dir/util/thread_pool.cc.o.d"
+  "librlgraph_util.a"
+  "librlgraph_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlgraph_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

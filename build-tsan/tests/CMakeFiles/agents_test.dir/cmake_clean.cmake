@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agents_test.dir/agents_test.cc.o"
+  "CMakeFiles/agents_test.dir/agents_test.cc.o.d"
+  "agents_test"
+  "agents_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agents_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allreduce_test.dir/allreduce_test.cc.o"
+  "CMakeFiles/allreduce_test.dir/allreduce_test.cc.o.d"
+  "allreduce_test"
+  "allreduce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_test.dir/component_test.cc.o"
+  "CMakeFiles/component_test.dir/component_test.cc.o.d"
+  "component_test"
+  "component_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memories_test.dir/memories_test.cc.o"
+  "CMakeFiles/memories_test.dir/memories_test.cc.o.d"
+  "memories_test"
+  "memories_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memories_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

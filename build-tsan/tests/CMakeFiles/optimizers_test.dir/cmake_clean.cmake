@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizers_test.dir/optimizers_test.cc.o"
+  "CMakeFiles/optimizers_test.dir/optimizers_test.cc.o.d"
+  "optimizers_test"
+  "optimizers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppo_test.dir/ppo_test.cc.o"
+  "CMakeFiles/ppo_test.dir/ppo_test.cc.o.d"
+  "ppo_test"
+  "ppo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raylite_test.dir/raylite_test.cc.o"
+  "CMakeFiles/raylite_test.dir/raylite_test.cc.o.d"
+  "raylite_test"
+  "raylite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raylite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

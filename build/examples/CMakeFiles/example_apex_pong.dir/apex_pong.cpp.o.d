@@ -272,7 +272,8 @@ examples/CMakeFiles/example_apex_pong.dir/apex_pong.cpp.o: \
  /root/repo/src/components/neural_network.h \
  /root/repo/src/env/vector_env.h /root/repo/src/env/environment.h \
  /root/repo/src/execution/ray_executor.h \
- /root/repo/src/execution/param_server.h /root/repo/src/raylite/actor.h \
- /usr/include/c++/12/future /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/util/queues.h \
- /usr/include/c++/12/optional
+ /root/repo/src/execution/param_server.h \
+ /root/repo/src/execution/supervisor.h \
+ /usr/include/c++/12/condition_variable /root/repo/src/raylite/actor.h \
+ /usr/include/c++/12/optional /root/repo/src/raylite/fault_injection.h \
+ /root/repo/src/util/queues.h

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/execution/multi_device.cc" "src/CMakeFiles/rlgraph_execution.dir/execution/multi_device.cc.o" "gcc" "src/CMakeFiles/rlgraph_execution.dir/execution/multi_device.cc.o.d"
   "/root/repo/src/execution/param_server.cc" "src/CMakeFiles/rlgraph_execution.dir/execution/param_server.cc.o" "gcc" "src/CMakeFiles/rlgraph_execution.dir/execution/param_server.cc.o.d"
   "/root/repo/src/execution/ray_executor.cc" "src/CMakeFiles/rlgraph_execution.dir/execution/ray_executor.cc.o" "gcc" "src/CMakeFiles/rlgraph_execution.dir/execution/ray_executor.cc.o.d"
+  "/root/repo/src/execution/supervisor.cc" "src/CMakeFiles/rlgraph_execution.dir/execution/supervisor.cc.o" "gcc" "src/CMakeFiles/rlgraph_execution.dir/execution/supervisor.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/raylite/actor.cc" "src/CMakeFiles/rlgraph_raylite.dir/raylite/actor.cc.o" "gcc" "src/CMakeFiles/rlgraph_raylite.dir/raylite/actor.cc.o.d"
+  "/root/repo/src/raylite/fault_injection.cc" "src/CMakeFiles/rlgraph_raylite.dir/raylite/fault_injection.cc.o" "gcc" "src/CMakeFiles/rlgraph_raylite.dir/raylite/fault_injection.cc.o.d"
   "/root/repo/src/raylite/object_store.cc" "src/CMakeFiles/rlgraph_raylite.dir/raylite/object_store.cc.o" "gcc" "src/CMakeFiles/rlgraph_raylite.dir/raylite/object_store.cc.o.d"
   )
 

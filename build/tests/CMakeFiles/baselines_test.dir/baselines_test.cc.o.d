@@ -351,10 +351,11 @@ tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/env/vector_env.h /root/repo/src/env/environment.h \
  /root/repo/src/execution/param_server.h \
+ /root/repo/src/execution/supervisor.h \
+ /root/repo/src/raylite/fault_injection.h \
  /root/repo/src/baselines/hand_tuned_actor.h \
  /root/repo/src/tensor/kernels.h /root/repo/src/baselines/rllib_like.h \
  /root/repo/src/execution/apex_executor.h \
  /root/repo/src/agents/dqn_agent.h /root/repo/src/components/memories.h \
  /root/repo/src/components/segment_tree.h \
- /root/repo/src/execution/ray_executor.h /root/repo/src/raylite/actor.h \
- /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h
+ /root/repo/src/execution/ray_executor.h /root/repo/src/raylite/actor.h

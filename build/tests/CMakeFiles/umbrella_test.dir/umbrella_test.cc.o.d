@@ -364,11 +364,11 @@ tests/CMakeFiles/umbrella_test.dir/umbrella_test.cc.o: \
  /root/repo/src/agents/ppo_agent.h /root/repo/src/env/catch_env.h \
  /root/repo/src/env/dmlab_sim.h /root/repo/src/env/grid_world.h \
  /root/repo/src/env/pong_sim.h /root/repo/src/raylite/actor.h \
- /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
- /usr/include/c++/12/thread /root/repo/src/execution/allreduce.h \
+ /usr/include/c++/12/thread /root/repo/src/raylite/fault_injection.h \
+ /root/repo/src/execution/allreduce.h \
  /root/repo/src/execution/apex_executor.h \
  /root/repo/src/execution/ray_executor.h \
  /root/repo/src/execution/param_server.h \
- /root/repo/src/execution/device.h \
+ /root/repo/src/execution/supervisor.h /root/repo/src/execution/device.h \
  /root/repo/src/execution/impala_pipeline.h \
  /root/repo/src/execution/multi_device.h

@@ -252,9 +252,20 @@ ApexExecutor::ApexExecutor(ApexConfig config) : config_(std::move(config)) {
   config_.preprocessed_space_ = preprocessed_space(
       config_.agent_config.get("preprocessor"), config_.state_space);
 
-  spawn_workers(config_.num_workers, [cfg = config_](int i) {
-    return std::make_unique<ApexWorker>(cfg, i);
-  });
+  param_server_.attach_metrics(&metrics_, "apex.weight_staleness");
+
+  std::function<std::shared_ptr<raylite::FaultInjector>(int)> injectors;
+  if (config_.enable_fault_injection) {
+    injectors = [cfg = config_](int i) {
+      raylite::FaultConfig fc = cfg.fault_config;
+      fc.seed = cfg.fault_config.seed + static_cast<uint64_t>(i);
+      return std::make_shared<raylite::FaultInjector>(fc);
+    };
+  }
+  spawn_workers(
+      config_.num_workers,
+      [cfg = config_](int i) { return std::make_unique<ApexWorker>(cfg, i); },
+      injectors);
   for (int s = 0; s < config_.num_replay_shards; ++s) {
     shards_.push_back(std::make_unique<raylite::Actor<ReplayShard>>(
         [cfg = config_, s] { return std::make_unique<ReplayShard>(cfg, s); }));
@@ -281,46 +292,56 @@ void ApexExecutor::learner_loop() {
   while (!stop_.load(std::memory_order_relaxed)) {
     auto& shard = *shards_[rr];
     rr = (rr + 1) % shards_.size();
-    int64_t min_needed =
-        std::max(config_.learner_batch, config_.min_shard_records);
-    auto size_fut = shard.call(
-        [](ReplayShard& s) { return s.size(); });
-    if (size_fut.get() < min_needed) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-      continue;
-    }
-    int64_t batch_size = config_.learner_batch;
-    if (config_.replay_ratio > 0.0) {
-      // Throttle: do not replay records more than replay_ratio times on
-      // average; blocks learning on sample arrival (paper's sample-bound
-      // regime).
-      while (!stop_.load(std::memory_order_relaxed) &&
-             static_cast<double>((learner_updates_.load() + 1) * batch_size) >
-                 config_.replay_ratio *
-                     static_cast<double>(records_inserted_.load())) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // A failed shard actor resolves its futures with ActorDeadError; the
+    // learner skips it and keeps making progress on the remaining shards
+    // (degraded throughput, never a hang).
+    try {
+      int64_t min_needed =
+          std::max(config_.learner_batch, config_.min_shard_records);
+      auto size_fut = shard.call(
+          [](ReplayShard& s) { return s.size(); });
+      if (size_fut.get() < min_needed) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        continue;
       }
-      if (stop_.load(std::memory_order_relaxed)) break;
-    }
-    auto batch_fut = shard.call([batch_size](ReplayShard& s) {
-      return s.sample(batch_size);
-    });
-    std::vector<Tensor> batch = batch_fut.get();
-    if (batch.empty()) continue;
-    auto [loss, td] = learner.update_from_batch(batch[0], batch[1], batch[2],
-                                                batch[3], batch[4], batch[6]);
-    (void)loss;
-    Tensor indices = batch[5];
-    shard.call([indices, td = td](ReplayShard& s) {
-      s.update_priorities(indices, td);
-      return 0;
-    });
-    int64_t updates = learner_updates_.fetch_add(1) + 1;
-    if (updates % config_.learner_weight_push_interval == 0) {
-      auto weights = learner.get_weights("agent/policy");
-      auto target = learner.get_weights("agent/target-policy");
-      weights.insert(target.begin(), target.end());
-      param_server_.push(std::move(weights));
+      int64_t batch_size = config_.learner_batch;
+      if (config_.replay_ratio > 0.0) {
+        // Throttle: do not replay records more than replay_ratio times on
+        // average; blocks learning on sample arrival (paper's sample-bound
+        // regime).
+        while (!stop_.load(std::memory_order_relaxed) &&
+               static_cast<double>((learner_updates_.load() + 1) *
+                                   batch_size) >
+                   config_.replay_ratio *
+                       static_cast<double>(records_inserted_.load())) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (stop_.load(std::memory_order_relaxed)) break;
+      }
+      auto batch_fut = shard.call([batch_size](ReplayShard& s) {
+        return s.sample(batch_size);
+      });
+      std::vector<Tensor> batch = batch_fut.get();
+      if (batch.empty()) continue;
+      auto [loss, td] = learner.update_from_batch(batch[0], batch[1],
+                                                  batch[2], batch[3],
+                                                  batch[4], batch[6]);
+      (void)loss;
+      Tensor indices = batch[5];
+      shard.call([indices, td = td](ReplayShard& s) {
+        s.update_priorities(indices, td);
+        return 0;
+      });
+      int64_t updates = learner_updates_.fetch_add(1) + 1;
+      if (updates % config_.learner_weight_push_interval == 0) {
+        auto weights = learner.get_weights("agent/policy");
+        auto target = learner.get_weights("agent/target-policy");
+        weights.insert(target.begin(), target.end());
+        param_server_.push(std::move(weights));
+      }
+    } catch (const Error& e) {
+      metrics_.increment("apex.learner_shard_errors");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
   }
 }
@@ -328,30 +349,135 @@ void ApexExecutor::learner_loop() {
 ApexResult ApexExecutor::run(double seconds) {
   ApexResult result;
   Stopwatch watch;
+
+  // Supervision: heartbeat the worker pool, restart failed actors through
+  // the original factory, and re-sync replacements from the parameter
+  // server so they do not sample with init-time weights.
+  start_supervision(config_.supervisor, [this](size_t i) {
+    auto snap = param_server_.snapshot();
+    if (!snap) return;
+    WorkerHandle handle = worker_handle(i);
+    if (!handle || handle->state() != raylite::ActorState::kRunning) return;
+    std::map<std::string, Tensor> weights = *snap;
+    handle->call([weights](ApexWorker& w) {
+      w.set_weights(weights);
+      return 0;
+    });
+  });
+
   if (config_.learner_updates) {
     learner_thread_ = std::thread([this] { learner_loop(); });
   }
 
-  struct WorkerState {
+  // One logical task slot per worker. A slot's task normally runs on its
+  // home worker; after a failure/timeout it is reissued on the next live
+  // worker (up to max_task_retries), then dropped so the slot starts fresh.
+  struct TaskSlot {
     raylite::Future<SampleBatch> pending;
+    WorkerHandle actor;   // the actor this task was issued on
+    Stopwatch age;        // time since issue (straggler detection)
+    int attempts = 0;     // issue attempts for the current logical task
     int64_t tasks_done = 0;
     int64_t weight_version = 0;
   };
-  std::vector<WorkerState> states(workers_.size());
+  const size_t n = num_workers();
+  std::vector<TaskSlot> slots(n);
   int64_t task_size = config_.worker_sample_size;
-  for (size_t i = 0; i < workers_.size(); ++i) {
-    states[i].pending = workers_[i]->call(
-        [task_size](ApexWorker& w) { return w.sample(task_size); });
-  }
+
+  // Issue the slot's task on its home worker if live, else the next live
+  // worker; returns false when no worker can currently serve it (the slot
+  // retries on a later sweep — the supervisor may revive someone).
+  auto issue = [&](size_t slot_index) {
+    TaskSlot& slot = slots[slot_index];
+    for (size_t k = 0; k < n; ++k) {
+      size_t widx = (slot_index + k) % n;
+      if (!worker_running(widx)) continue;
+      WorkerHandle handle = worker_handle(widx);
+      // Refresh weights on the serving actor before the task if a newer
+      // snapshot is available.
+      if (config_.worker_weight_pull_interval > 0 &&
+          slot.tasks_done % config_.worker_weight_pull_interval == 0) {
+        std::map<std::string, Tensor> weights;
+        int64_t version = slot.weight_version;
+        if (param_server_.pull_if_newer(version, &weights, &version)) {
+          slot.weight_version = version;
+          handle->call([weights](ApexWorker& w) {
+            w.set_weights(weights);
+            return 0;
+          });
+        }
+      }
+      slot.actor = handle;
+      slot.pending = handle->call(
+          [task_size](ApexWorker& w) { return w.sample(task_size); });
+      slot.age.reset();
+      return true;
+    }
+    slot.actor.reset();
+    slot.pending = raylite::Future<SampleBatch>();
+    return false;
+  };
+
+  // A failed or timed-out attempt: retry elsewhere up to the budget, then
+  // drop the task and start a counting-from-zero replacement.
+  auto retry_or_drop = [&](size_t slot_index, const char* counter) {
+    TaskSlot& slot = slots[slot_index];
+    metrics_.increment(counter);
+    ++slot.attempts;
+    if (slot.attempts > config_.max_task_retries) {
+      metrics_.increment("apex.tasks_dropped");
+      ++result.tasks_dropped;
+      slot.attempts = 0;
+    } else {
+      metrics_.increment("apex.task_retries");
+      ++result.task_retries;
+    }
+    issue(slot_index);
+  };
+
+  for (size_t i = 0; i < n; ++i) issue(i);
 
   size_t insert_rr = 0;
   std::vector<double> recent_returns;
   while (watch.elapsed_seconds() < seconds) {
-    bool any_ready = false;
-    for (size_t i = 0; i < workers_.size(); ++i) {
-      if (!states[i].pending.ready()) continue;
-      any_ready = true;
-      SampleBatch batch = states[i].pending.get();
+    bool any_progress = false;
+    for (size_t i = 0; i < n; ++i) {
+      TaskSlot& slot = slots[i];
+      if (!slot.pending.valid()) {
+        // No live worker last sweep; try again (supervisor may have
+        // restarted one).
+        if (issue(i)) any_progress = true;
+        continue;
+      }
+      if (slot.pending.failed()) {
+        ++result.task_failures;
+        any_progress = true;
+        retry_or_drop(i, "apex.task_failures");
+        continue;
+      }
+      if (!slot.pending.ready()) {
+        if (config_.task_timeout_ms > 0.0 &&
+            slot.age.elapsed_seconds() * 1000.0 > config_.task_timeout_ms) {
+          // Straggler: abandon the future (its late result is ignored) and
+          // reissue; the serving actor keeps running.
+          ++result.task_timeouts;
+          any_progress = true;
+          retry_or_drop(i, "apex.task_timeouts");
+        }
+        continue;
+      }
+      SampleBatch batch;
+      try {
+        batch = slot.pending.get();
+      } catch (const Error&) {
+        // Raced a failure between the checks above.
+        ++result.task_failures;
+        any_progress = true;
+        retry_or_drop(i, "apex.task_failures");
+        continue;
+      }
+      any_progress = true;
+      slot.attempts = 0;
       result.env_frames += batch.env_frames;
       records_inserted_.fetch_add(batch.num_records,
                                   std::memory_order_relaxed);
@@ -374,38 +500,34 @@ ApexResult ApexExecutor::run(double seconds) {
         s.insert(batch);
         return 0;
       });
-      // Periodic weight pull before the next task.
-      ++states[i].tasks_done;
-      if (states[i].tasks_done % config_.worker_weight_pull_interval == 0) {
-        std::map<std::string, Tensor> weights;
-        int64_t version = states[i].weight_version;
-        if (param_server_.pull_if_newer(version, &weights, &version)) {
-          states[i].weight_version = version;
-          workers_[i]->call([weights](ApexWorker& w) {
-            w.set_weights(weights);
-            return 0;
-          });
-        }
-      }
-      states[i].pending = workers_[i]->call(
-          [task_size](ApexWorker& w) { return w.sample(task_size); });
+      ++slot.tasks_done;
+      issue(i);
     }
-    if (!any_ready) {
+    if (!any_progress) {
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   }
 
   stop_.store(true);
   if (learner_thread_.joinable()) learner_thread_.join();
-  // Drain outstanding sample tasks so actors shut down cleanly.
-  for (auto& st : states) {
-    if (st.pending.valid()) st.pending.wait();
+  stop_supervision();
+  // Drain outstanding sample tasks so actors shut down cleanly. Futures on
+  // failed actors resolve errored, so the bounded wait only covers genuine
+  // in-flight work.
+  for (auto& slot : slots) {
+    if (slot.pending.valid()) {
+      slot.pending.wait_for(std::chrono::seconds(30));
+    }
   }
 
+  if (supervisor() != nullptr) {
+    result.worker_restarts = supervisor()->total_restarts();
+  }
   result.seconds = watch.elapsed_seconds();
   result.learner_updates = learner_updates_.load();
   result.frames_per_second =
       static_cast<double>(result.env_frames) / result.seconds;
+  result.metrics_report = metrics_.report();
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <deque>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "agents/dqn_agent.h"
@@ -47,6 +48,20 @@ struct ApexConfig {
   double replay_ratio = 0.0;
   bool learner_updates = true;  // false: pure sampling throughput mode
   uint64_t seed = 1;
+
+  // --- Fault tolerance ----------------------------------------------------
+  // Attach a deterministic fault injector to every sampler actor's mailbox
+  // (worker i draws from a stream seeded with fault_config.seed + i).
+  bool enable_fault_injection = false;
+  raylite::FaultConfig fault_config;
+  // Heartbeat/backoff/budget for the worker supervisor (always running).
+  SupervisorConfig supervisor;
+  // A sample task whose future fails (or times out) is reissued on another
+  // live worker up to this many times, then dropped; the learner keeps
+  // making progress on whatever arrives.
+  int max_task_retries = 2;
+  // Straggler deadline per sample task; 0 disables timeouts.
+  double task_timeout_ms = 0.0;
 
   // Filled by ApexExecutor from env_spec (workers/shards need the spaces
   // before any environment exists on their threads).
@@ -124,6 +139,13 @@ struct ApexResult {
   double frames_per_second = 0.0;
   // (elapsed seconds, mean episode return) timeline for learning curves.
   std::vector<std::pair<double, double>> reward_timeline;
+  // Fault-tolerance accounting (all zero on a fault-free run).
+  int64_t worker_restarts = 0;
+  int64_t task_failures = 0;
+  int64_t task_timeouts = 0;
+  int64_t task_retries = 0;
+  int64_t tasks_dropped = 0;
+  std::string metrics_report;
 };
 
 class ApexExecutor : public RayExecutor<ApexWorker> {

@@ -1,8 +1,9 @@
 #include "execution/impala_pipeline.h"
 
+#include <algorithm>
+
 #include "env/environment.h"
 #include "util/logging.h"
-#include "util/metrics.h"
 
 namespace rlgraph {
 
@@ -13,6 +14,14 @@ ImpalaPipeline::ImpalaPipeline(ImpalaConfig config)
   action_space_ = probe->action_space();
   queue_ = std::make_shared<SharedTensorQueue>(
       static_cast<size_t>(config_.queue_capacity));
+  param_server_.attach_metrics(&metrics_, "impala.weight_staleness");
+  if (config_.enable_fault_injection) {
+    for (int a = 0; a < config_.num_actors; ++a) {
+      raylite::FaultConfig fc = config_.fault_config;
+      fc.seed = config_.fault_config.seed + static_cast<uint64_t>(a);
+      injectors_.push_back(std::make_shared<raylite::FaultInjector>(fc));
+    }
+  }
 }
 
 ImpalaPipeline::~ImpalaPipeline() {
@@ -23,41 +32,102 @@ ImpalaPipeline::~ImpalaPipeline() {
   }
 }
 
-void ImpalaPipeline::actor_loop(int actor_index) {
-  try {
-    Json cfg = config_.agent_config;
-    cfg["type"] = Json("impala_actor");
-    cfg["seed"] = Json(static_cast<int64_t>(
-        config_.seed + 100 + static_cast<uint64_t>(actor_index)));
-    cfg["redundant_assigns"] = Json(config_.redundant_assigns);
-    IMPALAAgent actor(cfg, state_space_, action_space_,
-                      IMPALAAgent::Mode::kActor);
-    actor.set_queue(queue_);
-    actor.build();
-    VectorEnv env(config_.env_spec, config_.envs_per_actor,
-                  config_.seed * 13 + static_cast<uint64_t>(actor_index));
-    actor.attach_environment(&env);
+void ImpalaPipeline::actor_loop(int actor_index, int incarnation) {
+  Json cfg = config_.agent_config;
+  cfg["type"] = Json("impala_actor");
+  cfg["seed"] = Json(static_cast<int64_t>(
+      config_.seed + 100 + static_cast<uint64_t>(actor_index) +
+      1000 * static_cast<uint64_t>(incarnation)));
+  cfg["redundant_assigns"] = Json(config_.redundant_assigns);
+  IMPALAAgent actor(cfg, state_space_, action_space_,
+                    IMPALAAgent::Mode::kActor);
+  actor.set_queue(queue_);
+  actor.build();
+  VectorEnv env(config_.env_spec, config_.envs_per_actor,
+                config_.seed * 13 + static_cast<uint64_t>(actor_index) +
+                    997 * static_cast<uint64_t>(incarnation));
+  actor.attach_environment(&env);
 
-    int64_t version = 0;
-    int64_t local_rollouts = 0;
-    while (!stop_.load(std::memory_order_relaxed)) {
-      if (local_rollouts % config_.actor_weight_pull_interval == 0) {
-        std::map<std::string, Tensor> weights;
-        if (param_server_.pull_if_newer(version, &weights, &version)) {
-          actor.set_weights(weights);
-        }
+  raylite::FaultInjector* injector =
+      actor_index < static_cast<int>(injectors_.size())
+          ? injectors_[static_cast<size_t>(actor_index)].get()
+          : nullptr;
+
+  int64_t version = 0;
+  int64_t local_rollouts = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (injector != nullptr) {
+      raylite::FaultDecision d = injector->next();
+      switch (d.action) {
+        case raylite::FaultAction::kNone:
+          break;
+        case raylite::FaultAction::kDelay:
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(d.delay_ms));
+          break;
+        case raylite::FaultAction::kFailTask:
+          // The rollout is lost in flight; the learner just sees less data.
+          dropped_rollouts_.fetch_add(1, std::memory_order_relaxed);
+          metrics_.increment("impala.dropped_rollouts");
+          continue;
+        case raylite::FaultAction::kCrashActor:
+          throw InjectedFaultError("injected IMPALA actor crash");
       }
-      env_frames_.fetch_add(actor.act_and_enqueue(),
-                            std::memory_order_relaxed);
-      rollouts_.fetch_add(1, std::memory_order_relaxed);
-      ++local_rollouts;
     }
-  } catch (const std::exception& e) {
-    // Queue closed during shutdown lands here; anything else is logged.
-    if (!stop_.load()) {
-      RLG_LOG_ERROR << "IMPALA actor " << actor_index << " died: "
-                    << e.what();
+    if (local_rollouts % config_.actor_weight_pull_interval == 0) {
+      std::map<std::string, Tensor> weights;
+      if (param_server_.pull_if_newer(version, &weights, &version)) {
+        actor.set_weights(weights);
+      }
     }
+    env_frames_.fetch_add(actor.act_and_enqueue(),
+                          std::memory_order_relaxed);
+    rollouts_.fetch_add(1, std::memory_order_relaxed);
+    ++local_rollouts;
+  }
+}
+
+void ImpalaPipeline::supervised_actor_loop(int actor_index) {
+  double backoff_ms = config_.supervisor.backoff_initial_ms;
+  int restarts = 0;
+  for (int incarnation = 0;; ++incarnation) {
+    try {
+      actor_loop(actor_index, incarnation);
+      break;  // clean stop
+    } catch (const std::exception& e) {
+      // Queue closed during shutdown lands here; anything else is a worker
+      // failure the in-thread supervisor handles.
+      if (stop_.load()) break;
+      metrics_.increment("impala.actor_failures");
+      if (restarts >= config_.supervisor.max_restarts_per_worker) {
+        metrics_.increment("impala.actors_given_up");
+        RLG_LOG_WARN << "IMPALA actor " << actor_index
+                     << " exceeded restart budget after: " << e.what();
+        break;
+      }
+      ++restarts;
+      actor_restarts_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.increment("impala.actor_restarts");
+      RLG_LOG_INFO << "IMPALA actor " << actor_index << " died ("
+                   << e.what() << "); restart " << restarts << " after "
+                   << backoff_ms << "ms";
+      // Interruptible backoff sleep.
+      Stopwatch backoff_watch;
+      while (!stop_.load() &&
+             backoff_watch.elapsed_seconds() * 1000.0 < backoff_ms) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      backoff_ms = std::min(backoff_ms * config_.supervisor.backoff_multiplier,
+                            config_.supervisor.backoff_max_ms);
+      if (stop_.load()) break;
+    }
+  }
+  // Last producer gone while the run is still live: close the queue so the
+  // learner's dequeue fails fast instead of blocking forever (degraded
+  // mode — it keeps the updates it already made).
+  if (live_actors_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      !stop_.load()) {
+    queue_->close();
   }
 }
 
@@ -65,8 +135,9 @@ ImpalaResult ImpalaPipeline::run(double seconds) {
   ImpalaResult result;
   Stopwatch watch;
 
+  live_actors_.store(config_.num_actors);
   for (int a = 0; a < config_.num_actors; ++a) {
-    actor_threads_.emplace_back([this, a] { actor_loop(a); });
+    actor_threads_.emplace_back([this, a] { supervised_actor_loop(a); });
   }
 
   Json cfg = config_.agent_config;
@@ -83,15 +154,32 @@ ImpalaResult ImpalaPipeline::run(double seconds) {
   double loss = 0.0;
   while (watch.elapsed_seconds() < seconds) {
     if (config_.learner_updates) {
-      loss = learner.update();
+      if (queue_->closed() && queue_->size() == 0) {
+        // All producers permanently dead and the backlog is drained:
+        // nothing more to learn from.
+        metrics_.increment("impala.learner_starved");
+        break;
+      }
+      try {
+        loss = learner.update();
+      } catch (const Error&) {
+        // Queue closed under the learner mid-dequeue (producer die-off
+        // racing the check above); treat like starvation.
+        metrics_.increment("impala.learner_starved");
+        break;
+      }
       ++updates;
       if (updates % config_.learner_weight_push_interval == 0) {
         param_server_.push(learner.get_weights("agent/policy"));
       }
     } else {
-      // Pure-throughput mode: drain the queue without updating.
-      auto slot = queue_->pop();
-      if (!slot.has_value()) break;
+      // Pure-throughput mode: drain the queue without updating. The timed
+      // pop notices producer die-off instead of blocking forever.
+      auto slot = queue_->pop_for(std::chrono::milliseconds(100));
+      if (!slot.has_value()) {
+        if (queue_->closed()) break;
+        continue;
+      }
       ++updates;
     }
   }
@@ -110,6 +198,9 @@ ImpalaResult ImpalaPipeline::run(double seconds) {
   result.frames_per_second =
       static_cast<double>(result.env_frames) / result.seconds;
   result.final_loss = loss;
+  result.actor_restarts = actor_restarts_.load();
+  result.dropped_rollouts = dropped_rollouts_.load();
+  result.metrics_report = metrics_.report();
   return result;
 }
 

@@ -2,15 +2,27 @@
 // collection feed a globally shared blocking queue; the learner dequeues,
 // stages, and applies V-trace updates. Weights flow back through the
 // in-process parameter server (the distributed-TF stand-in).
+//
+// Fault tolerance: each actor thread is wrapped in an in-thread supervisor
+// that restarts it (fresh agent + environment) with exponential backoff up
+// to a restart budget; a per-actor FaultInjector can deterministically drop
+// rollouts, delay, or crash actors. The learner degrades gracefully — when
+// every producer is permanently dead the queue is closed and the learner
+// stops instead of hanging on an empty queue.
 #pragma once
 
 #include <atomic>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "agents/impala_agent.h"
 #include "execution/param_server.h"
+#include "execution/supervisor.h"
+#include "raylite/fault_injection.h"
 #include "util/json.h"
+#include "util/metrics.h"
 
 namespace rlgraph {
 
@@ -28,6 +40,14 @@ struct ImpalaConfig {
   // DM-reference baseline switches (paper §5.1; both off = RLgraph).
   bool redundant_assigns = false;
   bool unbatched_unstage = false;
+
+  // --- Fault tolerance ----------------------------------------------------
+  // Consult a deterministic fault injector once per rollout per actor
+  // (actor i draws from a stream seeded with fault_config.seed + i).
+  bool enable_fault_injection = false;
+  raylite::FaultConfig fault_config;
+  // Backoff/budget for in-thread actor restarts.
+  SupervisorConfig supervisor;
 };
 
 struct ImpalaResult {
@@ -37,6 +57,10 @@ struct ImpalaResult {
   int64_t learner_updates = 0;
   double frames_per_second = 0.0;
   double final_loss = 0.0;
+  // Fault-tolerance accounting (zero on a fault-free run).
+  int64_t actor_restarts = 0;
+  int64_t dropped_rollouts = 0;
+  std::string metrics_report;
 };
 
 class ImpalaPipeline {
@@ -46,18 +70,28 @@ class ImpalaPipeline {
 
   ImpalaResult run(double seconds);
 
+  MetricRegistry& metrics() { return metrics_; }
+
  private:
-  void actor_loop(int actor_index);
+  // One full actor lifetime; throws on injected crashes / organic failures.
+  void actor_loop(int actor_index, int incarnation);
+  // Restart wrapper around actor_loop with backoff and budget.
+  void supervised_actor_loop(int actor_index);
 
   ImpalaConfig config_;
   SpacePtr state_space_;
   SpacePtr action_space_;
   std::shared_ptr<SharedTensorQueue> queue_;
   ParameterServer param_server_;
+  MetricRegistry metrics_;
+  std::vector<std::shared_ptr<raylite::FaultInjector>> injectors_;
   std::vector<std::thread> actor_threads_;
   std::atomic<bool> stop_{false};
   std::atomic<int64_t> env_frames_{0};
   std::atomic<int64_t> rollouts_{0};
+  std::atomic<int64_t> live_actors_{0};
+  std::atomic<int64_t> actor_restarts_{0};
+  std::atomic<int64_t> dropped_rollouts_{0};
 };
 
 }  // namespace rlgraph

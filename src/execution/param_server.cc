@@ -2,9 +2,10 @@
 
 namespace rlgraph {
 
-int64_t ParameterServer::push(std::map<std::string, Tensor> weights) {
+int64_t ParameterServer::push(WeightMap weights) {
+  auto snapshot = std::make_shared<const WeightMap>(std::move(weights));
   std::lock_guard<std::mutex> lock(mutex_);
-  weights_ = std::move(weights);
+  weights_ = std::move(snapshot);
   return ++version_;
 }
 
@@ -13,14 +14,41 @@ int64_t ParameterServer::version() const {
   return version_;
 }
 
-bool ParameterServer::pull_if_newer(int64_t have_version,
-                                    std::map<std::string, Tensor>* weights,
+bool ParameterServer::pull_if_newer(int64_t have_version, WeightMap* weights,
                                     int64_t* version) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (version_ <= have_version) return false;
-  *weights = weights_;
-  *version = version_;
+  std::shared_ptr<const WeightMap> snapshot;
+  int64_t current;
+  MetricRegistry* metrics;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (version_ <= have_version) return false;
+    snapshot = weights_;
+    current = version_;
+    metrics = metrics_;
+  }
+  // The copy (and the metric write) happen outside the lock: concurrent
+  // pushes only swap the pointer, they never touch *snapshot.
+  *weights = *snapshot;
+  *version = current;
+  if (metrics != nullptr) {
+    metrics->set_gauge(staleness_gauge_,
+                       static_cast<double>(current - have_version));
+  }
   return true;
+}
+
+std::shared_ptr<const ParameterServer::WeightMap> ParameterServer::snapshot(
+    int64_t* version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (version != nullptr) *version = version_;
+  return weights_;
+}
+
+void ParameterServer::attach_metrics(MetricRegistry* metrics,
+                                     std::string staleness_gauge) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = metrics;
+  staleness_gauge_ = std::move(staleness_gauge);
 }
 
 }  // namespace rlgraph

@@ -1,34 +1,52 @@
 // In-process parameter server: versioned weight publication with pull-based
 // sync — the stand-in for distributed-TF parameter servers / the weight
 // path between the Ape-X learner and its sample collectors.
+//
+// Snapshots are immutable and shared_ptr-published: push swaps in a new map,
+// pulls grab the pointer under a short critical section and copy (or read)
+// outside it, so worker pulls never serialize against learner pushes.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "tensor/tensor.h"
+#include "util/metrics.h"
 
 namespace rlgraph {
 
 class ParameterServer {
  public:
+  using WeightMap = std::map<std::string, Tensor>;
+
   // Publish a new weight snapshot; returns the new version number.
-  int64_t push(std::map<std::string, Tensor> weights);
+  int64_t push(WeightMap weights);
 
   // Current version (0 = nothing published yet).
   int64_t version() const;
 
   // Pull the snapshot if newer than `have_version`; returns true and fills
-  // outputs on success, false when the caller is already up to date.
-  bool pull_if_newer(int64_t have_version,
-                     std::map<std::string, Tensor>* weights,
+  // outputs on success, false when the caller is already up to date. The
+  // map copy happens outside the server mutex.
+  bool pull_if_newer(int64_t have_version, WeightMap* weights,
                      int64_t* version) const;
+
+  // Zero-copy pull: the immutable snapshot (never mutated after publish)
+  // plus its version. Null until the first push.
+  std::shared_ptr<const WeightMap> snapshot(int64_t* version = nullptr) const;
+
+  // Report pull staleness (publisher version minus puller version) into
+  // `metrics` as gauge `name` on every versioned pull.
+  void attach_metrics(MetricRegistry* metrics, std::string staleness_gauge);
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, Tensor> weights_;
+  std::shared_ptr<const WeightMap> weights_;
   int64_t version_ = 0;
+  MetricRegistry* metrics_ = nullptr;
+  std::string staleness_gauge_;
 };
 
 }  // namespace rlgraph

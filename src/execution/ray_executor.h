@@ -3,14 +3,20 @@
 // generic Ray executor to implement a coordination loop").
 //
 // RayExecutor owns a pool of worker actors plus shared services (parameter
-// server, metrics); subclasses implement the coordination loop over raylite
-// futures.
+// server, metrics, supervisor); subclasses implement the coordination loop
+// over raylite futures. Worker slots are restartable: the original factory
+// is retained so a supervisor can replace a failed actor in place, and
+// slots are handed out as shared_ptr handles so a coordination loop holding
+// a handle never races a concurrent restart.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "execution/param_server.h"
+#include "execution/supervisor.h"
 #include "raylite/actor.h"
 #include "util/json.h"
 #include "util/metrics.h"
@@ -20,31 +26,121 @@ namespace rlgraph {
 template <typename WorkerT>
 class RayExecutor {
  public:
+  using WorkerActor = raylite::Actor<WorkerT>;
+  using WorkerHandle = std::shared_ptr<WorkerActor>;
+
   virtual ~RayExecutor() { shutdown(); }
 
   // Spawn `n` worker actors; `factory(i)` builds worker i on its own actor
-  // thread (graph executors are constructed where they are used).
+  // thread (graph executors are constructed where they are used). An
+  // optional `injector_factory(i)` attaches a fault injector to worker i's
+  // mailbox; the injector is shared with restarts so the injected schedule
+  // continues across replacements.
   void spawn_workers(
-      int n, std::function<std::unique_ptr<WorkerT>(int)> factory) {
+      int n, std::function<std::unique_ptr<WorkerT>(int)> factory,
+      std::function<std::shared_ptr<raylite::FaultInjector>(int)>
+          injector_factory = nullptr) {
+    factory_ = factory;
+    std::lock_guard<std::mutex> lock(workers_mutex_);
     for (int i = 0; i < n; ++i) {
-      workers_.push_back(std::make_unique<raylite::Actor<WorkerT>>(
-          [factory, i] { return factory(i); }));
+      injectors_.push_back(injector_factory ? injector_factory(i) : nullptr);
+      workers_.push_back(std::make_shared<WorkerActor>(
+          [factory, i] { return factory(i); }, injectors_.back()));
     }
   }
 
-  size_t num_workers() const { return workers_.size(); }
-  raylite::Actor<WorkerT>& worker(size_t i) { return *workers_[i]; }
+  size_t num_workers() const {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    return workers_.size();
+  }
+
+  // Snapshot of the current actor in slot i. Hold the handle for the
+  // duration of a call/future round-trip; fetch a fresh one per task so a
+  // restarted replacement is picked up.
+  WorkerHandle worker_handle(size_t i) const {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    return workers_[i];
+  }
+
+  // Convenience accessor for tests / single-threaded use (no supervision
+  // running). Prefer worker_handle() in coordination loops.
+  WorkerActor& worker(size_t i) { return *worker_handle(i); }
+
+  bool worker_failed(size_t i) const {
+    WorkerHandle handle = worker_handle(i);
+    return handle == nullptr ||
+           handle->state() == raylite::ActorState::kFailed;
+  }
+
+  // True if the slot currently holds a live (running) actor.
+  bool worker_running(size_t i) const {
+    WorkerHandle handle = worker_handle(i);
+    return handle != nullptr &&
+           handle->state() == raylite::ActorState::kRunning;
+  }
+
+  // Replace slot i with a fresh actor built from the original factory (the
+  // fault injector carries over). The old actor is stopped asynchronously
+  // via its handle refcount: outstanding futures stay valid, they just
+  // resolve errored. After the swap the resync hook (if any) runs so the
+  // replacement pulls current weights instead of starting stale.
+  bool restart_worker(size_t i) {
+    RLG_REQUIRE(factory_ != nullptr, "restart_worker before spawn_workers");
+    auto factory = factory_;
+    int index = static_cast<int>(i);
+    WorkerHandle replacement = std::make_shared<WorkerActor>(
+        [factory, index] { return factory(index); }, injectors_[i]);
+    WorkerHandle old;
+    {
+      std::lock_guard<std::mutex> lock(workers_mutex_);
+      old = workers_[i];
+      workers_[i] = replacement;
+    }
+    if (old) old->stop();
+    if (resync_) resync_(i);
+    return true;
+  }
+
+  // Start a heartbeat supervisor over the worker pool. `resync(i)` runs
+  // after each restart (typically: push current ParameterServer weights into
+  // the replacement).
+  void start_supervision(const SupervisorConfig& config,
+                         std::function<void(size_t)> resync = nullptr) {
+    resync_ = std::move(resync);
+    supervisor_ = std::make_unique<Supervisor>(
+        config, num_workers(),
+        [this](size_t i) { return worker_failed(i); },
+        [this](size_t i) { return restart_worker(i); }, &metrics_);
+    supervisor_->start();
+  }
+
+  void stop_supervision() {
+    if (supervisor_) supervisor_->stop();
+  }
+
+  Supervisor* supervisor() { return supervisor_.get(); }
 
   ParameterServer& parameter_server() { return param_server_; }
   MetricRegistry& metrics() { return metrics_; }
 
   void shutdown() {
-    for (auto& w : workers_) w->stop();
-    workers_.clear();
+    stop_supervision();
+    std::vector<WorkerHandle> workers;
+    {
+      std::lock_guard<std::mutex> lock(workers_mutex_);
+      workers.swap(workers_);
+      injectors_.clear();
+    }
+    for (auto& w : workers) w->stop();
   }
 
  protected:
-  std::vector<std::unique_ptr<raylite::Actor<WorkerT>>> workers_;
+  mutable std::mutex workers_mutex_;
+  std::vector<WorkerHandle> workers_;
+  std::vector<std::shared_ptr<raylite::FaultInjector>> injectors_;
+  std::function<std::unique_ptr<WorkerT>(int)> factory_;
+  std::function<void(size_t)> resync_;
+  std::unique_ptr<Supervisor> supervisor_;
   ParameterServer param_server_;
   MetricRegistry metrics_;
 };

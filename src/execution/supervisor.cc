@@ -1,0 +1,134 @@
+#include "execution/supervisor.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+
+namespace rlgraph {
+
+Supervisor::Supervisor(SupervisorConfig config, size_t num_workers,
+                       std::function<bool(size_t)> is_failed,
+                       std::function<bool(size_t)> restart,
+                       MetricRegistry* metrics)
+    : config_(config),
+      is_failed_(std::move(is_failed)),
+      restart_(std::move(restart)),
+      metrics_(metrics) {
+  slots_.resize(num_workers);
+  auto now = std::chrono::steady_clock::now();
+  for (Slot& slot : slots_) {
+    slot.backoff_ms = config_.backoff_initial_ms;
+    slot.next_eligible = now;
+  }
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Supervisor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Supervisor::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (running_) {
+    cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                           config_.heartbeat_interval_ms),
+                 [&] { return !running_; });
+    if (!running_) break;
+    lock.unlock();
+    poll();
+    lock.lock();
+  }
+}
+
+void Supervisor::poll() {
+  auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      Slot& slot = slots_[i];
+      if (slot.gave_up || now < slot.next_eligible) continue;
+    }
+    if (!is_failed_(i)) continue;
+    if (metrics_ != nullptr) {
+      metrics_->increment("supervisor.worker_failures");
+      metrics_->increment("supervisor.worker." + std::to_string(i) +
+                          ".failures");
+    }
+    bool give_up = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      Slot& slot = slots_[i];
+      if (slot.restarts >= config_.max_restarts_per_worker) {
+        slot.gave_up = true;
+        give_up = true;
+      } else {
+        ++slot.restarts;
+        slot.next_eligible =
+            now + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          slot.backoff_ms));
+        slot.backoff_ms = std::min(slot.backoff_ms * config_.backoff_multiplier,
+                                   config_.backoff_max_ms);
+      }
+    }
+    if (give_up) {
+      if (metrics_ != nullptr) metrics_->increment("supervisor.gave_up");
+      RLG_LOG_WARN << "supervisor: worker " << i
+                   << " exceeded restart budget ("
+                   << config_.max_restarts_per_worker << "); giving up";
+      continue;
+    }
+    bool ok = restart_(i);
+    if (metrics_ != nullptr) {
+      metrics_->increment(ok ? "supervisor.restarts"
+                             : "supervisor.restart_errors");
+    }
+    RLG_LOG_INFO << "supervisor: restarted worker " << i << " (attempt "
+                 << restarts(i) << (ok ? ")" : ", spawn failed)");
+  }
+}
+
+int64_t Supervisor::total_restarts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const Slot& slot : slots_) total += slot.restarts;
+  return total;
+}
+
+int Supervisor::restarts(size_t worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_[worker].restarts;
+}
+
+bool Supervisor::gave_up(size_t worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_[worker].gave_up;
+}
+
+bool Supervisor::all_given_up() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Slot& slot : slots_) {
+    if (!slot.gave_up) return false;
+  }
+  return !slots_.empty();
+}
+
+}  // namespace rlgraph

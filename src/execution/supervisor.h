@@ -1,0 +1,83 @@
+// Worker supervision for Ray-style executors: a heartbeat thread polls
+// worker health and restarts failed workers through caller-supplied hooks,
+// with exponential backoff and a per-worker restart budget. Mirrors the
+// supervision trees of production actor systems (Ray's max_restarts /
+// Erlang-style one-for-one strategy) in-process.
+//
+// The supervisor is deliberately untyped: it only sees `is_failed(i)` and
+// `restart(i)` callbacks, so the templated RayExecutor (and the thread-based
+// IMPALA pipeline) can both use it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace rlgraph {
+
+struct SupervisorConfig {
+  double heartbeat_interval_ms = 10.0;
+  // Restarts allowed per worker before the supervisor gives the slot up for
+  // dead (coordination loops then reroute its work).
+  int max_restarts_per_worker = 3;
+  double backoff_initial_ms = 5.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 500.0;
+};
+
+class Supervisor {
+ public:
+  // `is_failed(i)` must be cheap and thread-safe; `restart(i)` replaces the
+  // worker and returns false if the replacement could not even be spawned
+  // (the slot stays failed and is retried after backoff). `metrics` may be
+  // null.
+  Supervisor(SupervisorConfig config, size_t num_workers,
+             std::function<bool(size_t)> is_failed,
+             std::function<bool(size_t)> restart, MetricRegistry* metrics);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  void start();
+  void stop();
+
+  // Single heartbeat sweep; exposed so tests and single-threaded
+  // coordination loops can drive supervision without the background thread.
+  void poll();
+
+  int64_t total_restarts() const;
+  int restarts(size_t worker) const;
+  bool gave_up(size_t worker) const;
+  // True if every supervised worker is permanently dead.
+  bool all_given_up() const;
+
+ private:
+  struct Slot {
+    int restarts = 0;
+    bool gave_up = false;
+    double backoff_ms;
+    std::chrono::steady_clock::time_point next_eligible;
+  };
+
+  void loop();
+
+  SupervisorConfig config_;
+  std::function<bool(size_t)> is_failed_;
+  std::function<bool(size_t)> restart_;
+  MetricRegistry* metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rlgraph

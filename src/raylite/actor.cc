@@ -1,28 +1,76 @@
 #include "raylite/actor.h"
 
+#include <algorithm>
+
 namespace rlgraph {
 namespace raylite {
 
+const char* to_string(ActorState state) {
+  switch (state) {
+    case ActorState::kRunning:
+      return "running";
+    case ActorState::kFailed:
+      return "failed";
+    case ActorState::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Registers one WaitSet with every future; returns it. Invalid futures are
+// counted as permanently unready (they can never resolve).
+std::shared_ptr<detail::WaitSet> register_wait_set(
+    const std::vector<UntypedFuture>& futures) {
+  auto ws = std::make_shared<detail::WaitSet>();
+  for (const UntypedFuture& f : futures) {
+    if (f.valid()) f.internal_state()->add_waiter(ws);
+  }
+  return ws;
+}
+
+std::vector<size_t> collect_ready(const std::vector<UntypedFuture>& futures) {
+  std::vector<size_t> ready;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    if (futures[i].ready()) ready.push_back(i);
+  }
+  return ready;
+}
+
+size_t clamp_num_returns(const std::vector<UntypedFuture>& futures,
+                         size_t num_returns) {
+  size_t resolvable = 0;
+  for (const UntypedFuture& f : futures) {
+    if (f.valid()) ++resolvable;
+  }
+  return std::min(num_returns, resolvable);
+}
+
+}  // namespace
+
 std::vector<size_t> wait(const std::vector<UntypedFuture>& futures,
                          size_t num_returns) {
-  num_returns = std::min(num_returns, futures.size());
-  std::vector<size_t> ready;
-  if (futures.empty()) return ready;
-  while (true) {
-    ready.clear();
-    for (size_t i = 0; i < futures.size(); ++i) {
-      if (futures[i].ready()) ready.push_back(i);
-    }
-    if (ready.size() >= num_returns) return ready;
-    // Park briefly on the first unready future rather than spinning.
-    for (const UntypedFuture& f : futures) {
-      if (!f.ready()) {
-        // wait_for with a short timeout to re-check the whole set.
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
-        break;
-      }
-    }
-  }
+  num_returns = clamp_num_returns(futures, num_returns);
+  if (futures.empty() || num_returns == 0) return collect_ready(futures);
+  auto ws = register_wait_set(futures);
+  std::unique_lock<std::mutex> lock(ws->mutex);
+  ws->cv.wait(lock, [&] { return ws->ready_count >= num_returns; });
+  lock.unlock();
+  return collect_ready(futures);
+}
+
+std::vector<size_t> wait_for(const std::vector<UntypedFuture>& futures,
+                             size_t num_returns,
+                             std::chrono::milliseconds timeout) {
+  num_returns = clamp_num_returns(futures, num_returns);
+  if (futures.empty() || num_returns == 0) return collect_ready(futures);
+  auto ws = register_wait_set(futures);
+  std::unique_lock<std::mutex> lock(ws->mutex);
+  ws->cv.wait_for(lock, timeout,
+                  [&] { return ws->ready_count >= num_returns; });
+  lock.unlock();
+  return collect_ready(futures);
 }
 
 }  // namespace raylite

@@ -1,59 +1,226 @@
 // raylite actors: each actor instance lives on its own mailbox thread;
 // method calls enqueue closures and return futures. Mirrors Ray's
 // actor.method.remote() -> future pattern with in-process threads.
+//
+// Fault-tolerance model (mirroring Ray's actor semantics):
+//   * Futures carry an explicit error state: a task that throws marks its
+//     future errored and get() rethrows the original exception type.
+//   * Actors have a health state (kRunning/kFailed/kStopped). A throwing
+//     factory or an injected crash marks the actor kFailed and fails all
+//     queued calls with ActorDeadError instead of tearing down the process;
+//     supervisors (execution/supervisor.h) observe the state and restart.
+//   * A per-actor FaultInjector (fault_injection.h) can deterministically
+//     inject task failures, delays, and crashes for chaos testing.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <functional>
-#include <future>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "raylite/fault_injection.h"
 #include "util/errors.h"
 #include "util/queues.h"
 
 namespace rlgraph {
 namespace raylite {
 
+namespace detail {
+
+// Shared notification target for wait(): futures signal it as they resolve,
+// so multi-future waits park on one condition variable instead of polling.
+struct WaitSet {
+  std::mutex mutex;
+  std::condition_variable cv;
+  size_t ready_count = 0;
+
+  void notify() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++ready_count;
+    }
+    cv.notify_all();
+  }
+};
+
+// Manually managed future state (instead of std::shared_future) so futures
+// can report failure without consuming the result, support timed waits, and
+// fan out readiness to WaitSets.
+struct FutureState {
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  std::shared_ptr<void> value;
+  std::exception_ptr error;
+  bool ready = false;
+  std::vector<std::shared_ptr<WaitSet>> waiters;
+
+  void resolve(std::shared_ptr<void> v, std::exception_ptr e) {
+    std::vector<std::shared_ptr<WaitSet>> to_notify;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (ready) return;  // first resolution wins
+      value = std::move(v);
+      error = std::move(e);
+      ready = true;
+      to_notify.swap(waiters);
+    }
+    cv.notify_all();
+    for (auto& w : to_notify) w->notify();
+  }
+
+  void set_value(std::shared_ptr<void> v) { resolve(std::move(v), nullptr); }
+  void set_error(std::exception_ptr e) { resolve(nullptr, std::move(e)); }
+
+  bool is_ready() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return ready;
+  }
+
+  bool is_failed() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return ready && error != nullptr;
+  }
+
+  void wait() const {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return ready; });
+  }
+
+  template <typename Rep, typename Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) const {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, timeout, [&] { return ready; });
+  }
+
+  // Rethrows the task's exception or returns the value; blocks until ready.
+  std::shared_ptr<void> get() const {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return ready; });
+    if (error) std::rethrow_exception(error);
+    return value;
+  }
+
+  // Registers `w` to be notified on resolution (immediately if already
+  // resolved).
+  void add_waiter(std::shared_ptr<WaitSet> w) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!ready) {
+        waiters.push_back(std::move(w));
+        return;
+      }
+    }
+    w->notify();
+  }
+};
+
+}  // namespace detail
+
 // Type-erased future used by wait(); Future<T> wraps it with typed get().
 class UntypedFuture {
  public:
   UntypedFuture() = default;
-  explicit UntypedFuture(std::shared_future<std::shared_ptr<void>> fut)
-      : fut_(std::move(fut)) {}
+  explicit UntypedFuture(std::shared_ptr<detail::FutureState> state)
+      : state_(std::move(state)) {}
 
-  bool valid() const { return fut_.valid(); }
-  bool ready() const {
-    return fut_.valid() &&
-           fut_.wait_for(std::chrono::seconds(0)) ==
-               std::future_status::ready;
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const { return state_ && state_->is_ready(); }
+  // True once the call resolved with an exception (task threw, actor died,
+  // or a fault was injected). ready() is also true in that case.
+  bool failed() const { return state_ && state_->is_failed(); }
+  void wait() const { state_->wait(); }
+  // Returns true if the future resolved within `timeout`.
+  template <typename Rep, typename Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) const {
+    return state_->wait_for(timeout);
   }
-  void wait() const { fut_.wait(); }
-  std::shared_ptr<void> get_raw() const { return fut_.get(); }
+  std::shared_ptr<void> get_raw() const { return state_->get(); }
+
+  std::shared_ptr<detail::FutureState> internal_state() const {
+    return state_;
+  }
 
  protected:
-  std::shared_future<std::shared_ptr<void>> fut_;
+  std::shared_ptr<detail::FutureState> state_;
 };
 
 template <typename R>
 class Future : public UntypedFuture {
  public:
   Future() = default;
-  explicit Future(std::shared_future<std::shared_ptr<void>> fut)
-      : UntypedFuture(std::move(fut)) {}
+  explicit Future(std::shared_ptr<detail::FutureState> state)
+      : UntypedFuture(std::move(state)) {}
 
   // Blocks; rethrows the actor-side exception if the call failed.
   R get() const {
-    std::shared_ptr<void> raw = fut_.get();
+    std::shared_ptr<void> raw = state_->get();
     return *std::static_pointer_cast<R>(raw);
+  }
+
+  // Non-blocking: nullopt while pending; rethrows if the call failed.
+  std::optional<R> try_get() const {
+    if (!ready()) return std::nullopt;
+    return get();
+  }
+
+  // Blocks up to `timeout`; throws TimeoutError if the call has not
+  // resolved by then (the task keeps running — the result is not lost).
+  template <typename Rep, typename Period>
+  R get_for(std::chrono::duration<Rep, Period> timeout) const {
+    if (!state_->wait_for(timeout)) {
+      throw TimeoutError("future not ready within timeout");
+    }
+    return get();
   }
 };
 
+// Future<void> needs distinct getters.
+template <>
+class Future<void> : public UntypedFuture {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<detail::FutureState> state)
+      : UntypedFuture(std::move(state)) {}
+  void get() const { state_->get(); }
+  template <typename Rep, typename Period>
+  void get_for(std::chrono::duration<Rep, Period> timeout) const {
+    if (!state_->wait_for(timeout)) {
+      throw TimeoutError("future not ready within timeout");
+    }
+    get();
+  }
+};
+
+// Builds an already-errored future (calls on dead actors resolve this way).
+template <typename R>
+Future<R> make_errored_future(std::exception_ptr error) {
+  auto state = std::make_shared<detail::FutureState>();
+  state->set_error(std::move(error));
+  return Future<R>(std::move(state));
+}
+
 // Blocks until at least num_returns of the futures are ready (or all
-// remaining), mirroring ray.wait(). Returns indices of ready futures.
+// remaining), mirroring ray.wait(). Returns indices of ready futures
+// (errored futures count as ready). Parks on a condition variable — no
+// polling.
 std::vector<size_t> wait(const std::vector<UntypedFuture>& futures,
                          size_t num_returns);
+
+// Timed variant: returns the indices ready once num_returns resolved or the
+// timeout expired, whichever comes first (possibly fewer than num_returns).
+std::vector<size_t> wait_for(const std::vector<UntypedFuture>& futures,
+                             size_t num_returns,
+                             std::chrono::milliseconds timeout);
+
+// Actor lifecycle: kRunning serves calls; kFailed means the factory threw or
+// a crash was injected (queued calls fail with ActorDeadError; a supervisor
+// may build a replacement); kStopped is a clean drain-and-join shutdown.
+enum class ActorState { kRunning, kFailed, kStopped };
+
+const char* to_string(ActorState state);
 
 // Hosts an instance of T on a dedicated thread. The instance is constructed
 // on the actor thread (via the factory), used only there, and destroyed
@@ -61,15 +228,13 @@ std::vector<size_t> wait(const std::vector<UntypedFuture>& futures,
 template <typename T>
 class Actor {
  public:
-  // Spawn with a factory executed on the actor thread.
-  explicit Actor(std::function<std::unique_ptr<T>()> factory) {
+  // Spawn with a factory executed on the actor thread. An optional fault
+  // injector is consulted once per dequeued task (chaos testing).
+  explicit Actor(std::function<std::unique_ptr<T>()> factory,
+                 std::shared_ptr<FaultInjector> injector = nullptr)
+      : injector_(std::move(injector)) {
     thread_ = std::thread([this, factory = std::move(factory)] {
-      std::unique_ptr<T> instance = factory();
-      while (true) {
-        auto task = mailbox_.pop();
-        if (!task.has_value()) break;
-        (*task)(*instance);
-      }
+      run_loop(factory);
     });
   }
 
@@ -79,25 +244,36 @@ class Actor {
   Actor& operator=(const Actor&) = delete;
 
   // Enqueue a call; fn runs on the actor thread with exclusive access.
+  // Calling a kFailed actor returns an already-errored future (so
+  // coordination loops handle dead workers uniformly through the future
+  // error path); calling a kStopped actor throws.
   template <typename Fn,
             typename R = std::invoke_result_t<Fn, T&>>
   Future<R> call(Fn fn) {
-    auto promise = std::make_shared<std::promise<std::shared_ptr<void>>>();
-    Future<R> fut(promise->get_future().share());
-    bool ok = mailbox_.push([promise, fn = std::move(fn)](T& instance) mutable {
+    auto state = std::make_shared<detail::FutureState>();
+    Future<R> fut(state);
+    Task task;
+    task.state = state;
+    task.run = [state, fn = std::move(fn)](T& instance) mutable {
       try {
         if constexpr (std::is_void_v<R>) {
           fn(instance);
-          promise->set_value(std::make_shared<int>(0));
+          state->set_value(std::make_shared<int>(0));
         } else {
-          promise->set_value(
-              std::make_shared<R>(fn(instance)));
+          state->set_value(std::make_shared<R>(fn(instance)));
         }
       } catch (...) {
-        promise->set_exception(std::current_exception());
+        state->set_error(std::current_exception());
       }
-    });
-    RLG_REQUIRE(ok, "call on stopped actor");
+    };
+    bool ok = mailbox_.push(std::move(task));
+    if (!ok) {
+      if (state_.load() == ActorState::kFailed) {
+        state->set_error(failure_error());
+        return fut;
+      }
+      RLG_REQUIRE(false, "call on stopped actor");
+    }
     return fut;
   }
 
@@ -105,23 +281,106 @@ class Actor {
   void stop() {
     mailbox_.close();
     if (thread_.joinable()) thread_.join();
+    ActorState expected = ActorState::kRunning;
+    state_.compare_exchange_strong(expected, ActorState::kStopped);
+  }
+
+  ActorState state() const { return state_.load(std::memory_order_acquire); }
+  bool failed() const { return state() == ActorState::kFailed; }
+
+  // The exception that killed the actor (null while healthy).
+  std::exception_ptr failure() const {
+    std::lock_guard<std::mutex> lock(failure_mutex_);
+    return failure_;
   }
 
   size_t pending_calls() const { return mailbox_.size(); }
+  int64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
 
  private:
-  BlockingQueue<std::function<void(T&)>> mailbox_;
-  std::thread thread_;
-};
+  struct Task {
+    std::function<void(T&)> run;
+    std::shared_ptr<detail::FutureState> state;
+  };
 
-// Future<void> needs a distinct get().
-template <>
-class Future<void> : public UntypedFuture {
- public:
-  Future() = default;
-  explicit Future(std::shared_future<std::shared_ptr<void>> fut)
-      : UntypedFuture(std::move(fut)) {}
-  void get() const { fut_.get(); }
+  void run_loop(const std::function<std::unique_ptr<T>()>& factory) {
+    std::unique_ptr<T> instance;
+    try {
+      instance = factory();
+    } catch (...) {
+      fail(std::current_exception());
+      return;
+    }
+    while (true) {
+      auto task = mailbox_.pop();
+      if (!task.has_value()) break;
+      if (injector_) {
+        FaultDecision d = injector_->next();
+        switch (d.action) {
+          case FaultAction::kNone:
+            break;
+          case FaultAction::kDelay:
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+                d.delay_ms));
+            break;
+          case FaultAction::kFailTask:
+            task->state->set_error(std::make_exception_ptr(
+                InjectedFaultError("injected task failure")));
+            continue;
+          case FaultAction::kCrashActor:
+            // Flip to kFailed before resolving the doomed future so anyone
+            // woken by it already observes the actor as dead.
+            fail(std::make_exception_ptr(
+                InjectedFaultError("injected actor crash")));
+            task->state->set_error(std::make_exception_ptr(
+                InjectedFaultError("injected actor crash")));
+            return;
+        }
+      }
+      task->run(*instance);
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Marks the actor dead and fails every queued call; never touches the
+  // hosting process. Runs on the actor thread.
+  void fail(std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(failure_mutex_);
+      failure_ = error;
+    }
+    state_.store(ActorState::kFailed, std::memory_order_release);
+    mailbox_.close();
+    while (auto task = mailbox_.try_pop()) {
+      task->state->set_error(failure_error());
+    }
+  }
+
+  std::exception_ptr failure_error() const {
+    std::string why = "actor is dead";
+    {
+      std::lock_guard<std::mutex> lock(failure_mutex_);
+      if (failure_) {
+        try {
+          std::rethrow_exception(failure_);
+        } catch (const std::exception& e) {
+          why = std::string("actor is dead: ") + e.what();
+        } catch (...) {
+        }
+      }
+    }
+    return std::make_exception_ptr(ActorDeadError(why));
+  }
+
+  BlockingQueue<Task> mailbox_;
+  std::shared_ptr<FaultInjector> injector_;
+  std::atomic<ActorState> state_{ActorState::kRunning};
+  std::atomic<int64_t> tasks_executed_{0};
+  mutable std::mutex failure_mutex_;
+  std::exception_ptr failure_;
+  std::thread thread_;
 };
 
 }  // namespace raylite

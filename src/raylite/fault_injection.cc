@@ -1,0 +1,60 @@
+#include "raylite/fault_injection.h"
+
+namespace rlgraph {
+namespace raylite {
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config), rng_(config.seed) {}
+
+FaultDecision FaultInjector::next() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++decisions_;
+  FaultDecision d;
+  if (decisions_ <= config_.warmup_tasks) return d;
+  // Exactly-once deterministic crash after N completed tasks (N == 0 kills
+  // the very first task): a replacement actor sharing this injector
+  // continues with the probabilistic schedule instead of dying again.
+  if (config_.crash_after_tasks >= 0 &&
+      decisions_ == config_.crash_after_tasks + 1) {
+    d.action = FaultAction::kCrashActor;
+    ++crashes_;
+    return d;
+  }
+  double u = rng_.uniform();
+  if (u < config_.crash_prob) {
+    d.action = FaultAction::kCrashActor;
+    ++crashes_;
+  } else if (u < config_.crash_prob + config_.task_failure_prob) {
+    d.action = FaultAction::kFailTask;
+    ++task_failures_;
+  } else if (u < config_.crash_prob + config_.task_failure_prob +
+                     config_.delay_prob) {
+    d.action = FaultAction::kDelay;
+    d.delay_ms = rng_.uniform(config_.delay_min_ms, config_.delay_max_ms);
+    ++delays_;
+  }
+  return d;
+}
+
+int64_t FaultInjector::decisions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decisions_;
+}
+
+int64_t FaultInjector::injected_task_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return task_failures_;
+}
+
+int64_t FaultInjector::injected_delays() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delays_;
+}
+
+int64_t FaultInjector::injected_crashes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashes_;
+}
+
+}  // namespace raylite
+}  // namespace rlgraph

@@ -1,0 +1,74 @@
+// Deterministic fault injection for the raylite actor engine.
+//
+// A FaultInjector is threaded into an actor's mailbox loop and consulted once
+// per dequeued task; it decides — from a seeded Rng stream, so the schedule
+// is reproducible — whether to run the task normally, fail it, delay it
+// (straggler simulation), or crash the whole actor. Chaos tests drive the
+// Ape-X / IMPALA executors through injectors to prove the supervision and
+// degraded-mode coordination paths without real process faults.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/random.h"
+
+namespace rlgraph {
+namespace raylite {
+
+struct FaultConfig {
+  // Per-task probabilities; evaluated in crash > task-failure > delay order
+  // from a single uniform draw (their sum should stay <= 1).
+  double crash_prob = 0.0;
+  double task_failure_prob = 0.0;
+  double delay_prob = 0.0;
+  // Injected delay duration, uniform in [delay_min_ms, delay_max_ms).
+  double delay_min_ms = 1.0;
+  double delay_max_ms = 5.0;
+  // No injection for the first `warmup_tasks` decisions (lets workers build
+  // and produce some data before chaos starts).
+  int64_t warmup_tasks = 0;
+  // Deterministic crash after this many completed tasks (0 kills the very
+  // first task); < 0 disables. Used by tests that must observe >= 1 crash.
+  int64_t crash_after_tasks = -1;
+  uint64_t seed = 0;
+};
+
+enum class FaultAction { kNone, kFailTask, kDelay, kCrashActor };
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  double delay_ms = 0.0;
+
+  bool operator==(const FaultDecision& other) const {
+    return action == other.action && delay_ms == other.delay_ms;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  // Draws the next decision from the seeded schedule. Thread-safe; with a
+  // single consumer (one actor), the decision sequence depends only on the
+  // seed and config.
+  FaultDecision next();
+
+  const FaultConfig& config() const { return config_; }
+  int64_t decisions() const;
+  int64_t injected_task_failures() const;
+  int64_t injected_delays() const;
+  int64_t injected_crashes() const;
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  mutable std::mutex mutex_;
+  int64_t decisions_ = 0;
+  int64_t task_failures_ = 0;
+  int64_t delays_ = 0;
+  int64_t crashes_ = 0;
+};
+
+}  // namespace raylite
+}  // namespace rlgraph

@@ -43,6 +43,27 @@ class ConfigError : public Error {
   using Error::Error;
 };
 
+// A timed wait (future get_for, queue pop_for) expired before completion.
+class TimeoutError : public Error {
+ public:
+  using Error::Error;
+};
+
+// A raylite actor is no longer able to serve calls: its factory threw, an
+// injected crash killed it, or it failed while tasks were still queued.
+// Futures of calls that were lost to the failure carry this error.
+class ActorDeadError : public Error {
+ public:
+  using Error::Error;
+};
+
+// A deterministically injected fault (raylite::FaultInjector); distinct from
+// organic failures so chaos tests can assert on the source.
+class InjectedFaultError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace internal {
 
 // Stream-style message collector that throws on destruction via Raise().

@@ -47,6 +47,22 @@ void MetricRegistry::record_time(const std::string& name, double seconds) {
   timers_[name].record(seconds);
 }
 
+void MetricRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+double MetricRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double> MetricRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_;
+}
+
 int64_t MetricRegistry::counter(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
@@ -70,6 +86,9 @@ std::string MetricRegistry::report() const {
   for (const auto& [name, value] : counters_) {
     os << name << ": " << value << "\n";
   }
+  for (const auto& [name, value] : gauges_) {
+    os << name << ": " << value << "\n";
+  }
   for (const auto& [name, stats] : timers_) {
     os << name << ": " << stats.to_string() << "\n";
   }
@@ -79,6 +98,7 @@ std::string MetricRegistry::report() const {
 void MetricRegistry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
+  gauges_.clear();
   timers_.clear();
 }
 

@@ -48,21 +48,27 @@ class SummaryStats {
   double max_ = 0.0;
 };
 
-// Thread-safe registry of named counters and timers, used by executors to
-// expose per-run metrics (session calls, samples processed, queue waits).
+// Thread-safe registry of named counters, gauges, and timers, used by
+// executors to expose per-run metrics (session calls, samples processed,
+// queue waits, worker restarts, weight staleness).
 class MetricRegistry {
  public:
   void increment(const std::string& name, int64_t by = 1);
   void record_time(const std::string& name, double seconds);
+  // Gauges are last-write-wins instantaneous values (e.g. staleness).
+  void set_gauge(const std::string& name, double value);
   int64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
   SummaryStats timer(const std::string& name) const;
   std::map<std::string, int64_t> counters() const;
+  std::map<std::string, double> gauges() const;
   std::string report() const;
   void reset();
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
   std::map<std::string, SummaryStats> timers_;
 };
 

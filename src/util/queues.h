@@ -5,6 +5,7 @@
 // shared blocking sample queue in the IMPALA architecture (paper §5.1).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -46,6 +47,23 @@ class BlockingQueue {
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // Timed pop: blocks up to `timeout` for an element; returns nullopt on
+  // timeout or when the queue is closed and drained. Lets consumers notice
+  // dead producers instead of hanging (degraded-mode coordination loops).
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();

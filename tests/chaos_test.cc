@@ -1,0 +1,260 @@
+// Chaos tests: the fault-tolerant execution stack end-to-end. Supervisor
+// restart policy, Ape-X under injected worker crashes/failures/delays, and
+// IMPALA under actor die-off — the coordination loops must degrade (retry,
+// drop, reroute) but never hang or crash, and the learner must keep making
+// progress while any data source remains.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "execution/apex_executor.h"
+#include "execution/impala_pipeline.h"
+#include "execution/supervisor.h"
+
+namespace rlgraph {
+namespace {
+
+SupervisorConfig fast_supervisor() {
+  SupervisorConfig cfg;
+  cfg.heartbeat_interval_ms = 2.0;
+  cfg.max_restarts_per_worker = 5;
+  cfg.backoff_initial_ms = 1.0;
+  cfg.backoff_multiplier = 2.0;
+  cfg.backoff_max_ms = 20.0;
+  return cfg;
+}
+
+TEST(SupervisorTest, RestartsUntilBudgetThenGivesUp) {
+  std::atomic<int> restarts{0};
+  SupervisorConfig cfg = fast_supervisor();
+  cfg.max_restarts_per_worker = 2;
+  MetricRegistry metrics;
+  // The worker never recovers: every heartbeat sees it failed.
+  Supervisor sup(
+      cfg, 1, [](size_t) { return true; },
+      [&](size_t) {
+        restarts.fetch_add(1);
+        return true;
+      },
+      &metrics);
+  // Drive heartbeats manually past the backoff windows.
+  for (int i = 0; i < 50 && !sup.gave_up(0); ++i) {
+    sup.poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(sup.gave_up(0));
+  EXPECT_TRUE(sup.all_given_up());
+  EXPECT_EQ(restarts.load(), 2);
+  EXPECT_EQ(sup.total_restarts(), 2);
+  EXPECT_EQ(metrics.counter("supervisor.restarts"), 2);
+  EXPECT_EQ(metrics.counter("supervisor.gave_up"), 1);
+}
+
+TEST(SupervisorTest, RecoveredWorkerStopsConsumingBudget) {
+  std::atomic<bool> failed{true};
+  std::atomic<int> restarts{0};
+  Supervisor sup(
+      fast_supervisor(), 1, [&](size_t) { return failed.load(); },
+      [&](size_t) {
+        restarts.fetch_add(1);
+        failed.store(false);  // the restart heals the worker
+        return true;
+      },
+      nullptr);
+  for (int i = 0; i < 10; ++i) {
+    sup.poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(restarts.load(), 1);
+  EXPECT_FALSE(sup.gave_up(0));
+}
+
+TEST(SupervisorTest, BackgroundHeartbeatThread) {
+  std::atomic<bool> failed{true};
+  std::atomic<int> restarts{0};
+  Supervisor sup(
+      fast_supervisor(), 1, [&](size_t) { return failed.load(); },
+      [&](size_t) {
+        restarts.fetch_add(1);
+        failed.store(false);
+        return true;
+      },
+      nullptr);
+  sup.start();
+  for (int i = 0; i < 200 && restarts.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  sup.stop();
+  EXPECT_EQ(restarts.load(), 1);
+}
+
+Json chaos_agent_config() {
+  return Json::parse(R"({
+    "type": "apex",
+    "network": [{"type": "dense", "units": 16, "activation": "relu"}],
+    "memory": {"type": "prioritized", "capacity": 512},
+    "optimizer": {"type": "adam", "learning_rate": 0.001},
+    "exploration": {"eps_start": 0.6, "eps_end": 0.1, "decay_steps": 500},
+    "update": {"batch_size": 16, "sync_interval": 20, "min_records": 32}
+  })");
+}
+
+// The acceptance-criteria run: Ape-X with worker crash probability > 0 (plus
+// a deterministic crash so >= 1 restart is guaranteed) completes within its
+// deadline, restarts workers, and the learner still advances.
+TEST(ApexChaosTest, SurvivesInjectedCrashesAndKeepsLearning) {
+  ApexConfig cfg;
+  cfg.agent_config = chaos_agent_config();
+  cfg.env_spec = Json::parse(R"({"type": "grid_world"})");
+  cfg.num_workers = 2;
+  cfg.envs_per_worker = 2;
+  cfg.num_replay_shards = 2;
+  cfg.worker_sample_size = 40;
+  cfg.min_shard_records = 32;
+  cfg.n_step = 3;
+  cfg.enable_fault_injection = true;
+  cfg.fault_config.crash_prob = 0.02;
+  cfg.fault_config.task_failure_prob = 0.05;
+  cfg.fault_config.delay_prob = 0.1;
+  cfg.fault_config.delay_min_ms = 1.0;
+  cfg.fault_config.delay_max_ms = 5.0;
+  cfg.fault_config.warmup_tasks = 2;
+  cfg.fault_config.crash_after_tasks = 4;  // every worker crashes once
+  cfg.fault_config.seed = 17;
+  cfg.supervisor = fast_supervisor();
+  cfg.max_task_retries = 2;
+
+  ApexExecutor exec(cfg);
+  ApexResult result = exec.run(2.5);
+
+  EXPECT_GE(result.worker_restarts, 1);
+  EXPECT_GT(result.sample_tasks, 2);
+  EXPECT_GT(result.env_frames, 100);
+  EXPECT_GT(result.learner_updates, 0);
+  // The deterministic crash loses each worker's in-flight task: the retry
+  // path must have fired.
+  EXPECT_GT(result.task_failures, 0);
+  EXPECT_GT(result.task_retries + result.tasks_dropped, 0);
+  EXPECT_FALSE(result.metrics_report.empty());
+  EXPECT_EQ(exec.metrics().counter("supervisor.restarts"),
+            result.worker_restarts);
+}
+
+// Permanent total worker loss: the supervisor's budget is zero, so the only
+// worker dies for good. The coordination loop must run to its deadline
+// without hanging while the learner drains what was already collected.
+TEST(ApexChaosTest, TotalWorkerLossDegradesWithoutHanging) {
+  ApexConfig cfg;
+  cfg.agent_config = chaos_agent_config();
+  cfg.env_spec = Json::parse(R"({"type": "grid_world"})");
+  cfg.num_workers = 1;
+  cfg.envs_per_worker = 2;
+  cfg.num_replay_shards = 1;
+  cfg.worker_sample_size = 40;
+  cfg.min_shard_records = 32;
+  cfg.enable_fault_injection = true;
+  cfg.fault_config.crash_after_tasks = 2;
+  cfg.fault_config.seed = 9;
+  cfg.supervisor = fast_supervisor();
+  cfg.supervisor.max_restarts_per_worker = 0;
+
+  ApexExecutor exec(cfg);
+  ApexResult result = exec.run(1.0);
+
+  EXPECT_EQ(result.worker_restarts, 0);
+  EXPECT_GE(result.sample_tasks, 1);  // the pre-crash task landed
+  EXPECT_GE(result.seconds, 1.0);     // ran to the deadline, no early abort
+  EXPECT_GT(exec.metrics().counter("supervisor.gave_up"), 0);
+}
+
+// Straggler handling: heavy injected delays plus a tight task deadline force
+// the timeout/reissue path; the run must still complete and collect data.
+TEST(ApexChaosTest, StragglerTimeoutsReissueTasks) {
+  ApexConfig cfg;
+  cfg.agent_config = chaos_agent_config();
+  cfg.env_spec = Json::parse(R"({"type": "grid_world"})");
+  cfg.num_workers = 2;
+  cfg.envs_per_worker = 2;
+  cfg.num_replay_shards = 1;
+  cfg.worker_sample_size = 40;
+  cfg.min_shard_records = 32;
+  cfg.learner_updates = false;
+  cfg.enable_fault_injection = true;
+  cfg.fault_config.delay_prob = 0.5;
+  cfg.fault_config.delay_min_ms = 300.0;
+  cfg.fault_config.delay_max_ms = 400.0;
+  cfg.fault_config.warmup_tasks = 1;
+  cfg.fault_config.seed = 23;
+  cfg.supervisor = fast_supervisor();
+  cfg.task_timeout_ms = 100.0;
+  cfg.max_task_retries = 3;
+
+  ApexExecutor exec(cfg);
+  ApexResult result = exec.run(2.0);
+
+  EXPECT_GT(result.env_frames, 0);
+  EXPECT_GT(result.task_timeouts, 0);
+  EXPECT_EQ(exec.metrics().counter("apex.task_timeouts"),
+            result.task_timeouts);
+}
+
+TEST(ImpalaChaosTest, ActorCrashesAreRestartedInThread) {
+  ImpalaConfig cfg;
+  cfg.agent_config = Json::parse(R"({
+    "network": [{"type": "dense", "units": 16, "activation": "relu"}],
+    "rollout_length": 8, "discount": 0.95,
+    "optimizer": {"type": "adam", "learning_rate": 0.001}
+  })");
+  cfg.env_spec = Json::parse(R"({"type": "grid_world"})");
+  cfg.num_actors = 2;
+  cfg.envs_per_actor = 2;
+  cfg.queue_capacity = 4;
+  cfg.enable_fault_injection = true;
+  cfg.fault_config.crash_after_tasks = 3;  // every actor crashes once
+  cfg.fault_config.task_failure_prob = 0.05;
+  cfg.fault_config.seed = 31;
+  cfg.supervisor = fast_supervisor();
+
+  ImpalaPipeline pipeline(cfg);
+  ImpalaResult result = pipeline.run(2.0);
+
+  EXPECT_GE(result.actor_restarts, 1);
+  EXPECT_GT(result.env_frames, 20);
+  EXPECT_GT(result.learner_updates, 0);
+  EXPECT_TRUE(std::isfinite(result.final_loss));
+}
+
+// All IMPALA producers die permanently before producing anything: the queue
+// closes, the learner notices starvation, and run() returns far before the
+// (generous) deadline instead of blocking on an empty queue.
+TEST(ImpalaChaosTest, TotalActorLossDoesNotHangLearner) {
+  ImpalaConfig cfg;
+  cfg.agent_config = Json::parse(R"({
+    "network": [{"type": "dense", "units": 16, "activation": "relu"}],
+    "rollout_length": 8, "discount": 0.95,
+    "optimizer": {"type": "adam", "learning_rate": 0.001}
+  })");
+  cfg.env_spec = Json::parse(R"({"type": "grid_world"})");
+  cfg.num_actors = 2;
+  cfg.envs_per_actor = 2;
+  cfg.queue_capacity = 4;
+  cfg.enable_fault_injection = true;
+  cfg.fault_config.crash_after_tasks = 0;  // die before the first rollout
+  cfg.fault_config.seed = 5;
+  cfg.supervisor = fast_supervisor();
+  cfg.supervisor.max_restarts_per_worker = 0;
+
+  ImpalaPipeline pipeline(cfg);
+  Stopwatch watch;
+  ImpalaResult result = pipeline.run(20.0);
+
+  EXPECT_LT(watch.elapsed_seconds(), 15.0);  // returned early, no hang
+  EXPECT_EQ(result.actor_restarts, 0);
+  EXPECT_GT(pipeline.metrics().counter("impala.learner_starved") +
+                pipeline.metrics().counter("impala.actors_given_up"),
+            0);
+}
+
+}  // namespace
+}  // namespace rlgraph

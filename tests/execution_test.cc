@@ -49,6 +49,41 @@ TEST(ParameterServerTest, VersionedPullSemantics) {
   EXPECT_EQ(version, 2);
 }
 
+TEST(ParameterServerTest, SnapshotIsImmutableAndShared) {
+  ParameterServer ps;
+  EXPECT_EQ(ps.snapshot(), nullptr);
+  ps.push({{"w", Tensor::scalar(1.0f)}});
+  int64_t version = 0;
+  auto snap1 = ps.snapshot(&version);
+  ASSERT_NE(snap1, nullptr);
+  EXPECT_EQ(version, 1);
+  EXPECT_FLOAT_EQ(snap1->at("w").scalar_value(), 1.0f);
+  // A later push publishes a fresh map; the old snapshot is untouched.
+  ps.push({{"w", Tensor::scalar(2.0f)}});
+  auto snap2 = ps.snapshot(&version);
+  EXPECT_EQ(version, 2);
+  EXPECT_FLOAT_EQ(snap1->at("w").scalar_value(), 1.0f);
+  EXPECT_FLOAT_EQ(snap2->at("w").scalar_value(), 2.0f);
+  EXPECT_NE(snap1.get(), snap2.get());
+}
+
+TEST(ParameterServerTest, StalenessGauge) {
+  ParameterServer ps;
+  MetricRegistry metrics;
+  ps.attach_metrics(&metrics, "staleness");
+  ps.push({{"w", Tensor::scalar(1.0f)}});
+  ps.push({{"w", Tensor::scalar(2.0f)}});
+  ps.push({{"w", Tensor::scalar(3.0f)}});
+  std::map<std::string, Tensor> w;
+  int64_t version = 0;
+  // A worker three versions behind records staleness 3 on its pull.
+  EXPECT_TRUE(ps.pull_if_newer(0, &w, &version));
+  EXPECT_DOUBLE_EQ(metrics.gauge("staleness"), 3.0);
+  ps.push({{"w", Tensor::scalar(4.0f)}});
+  EXPECT_TRUE(ps.pull_if_newer(version, &w, &version));
+  EXPECT_DOUBLE_EQ(metrics.gauge("staleness"), 1.0);
+}
+
 Json small_agent_config() {
   return Json::parse(R"({
     "type": "apex",

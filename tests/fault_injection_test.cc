@@ -1,0 +1,140 @@
+// Tests for the deterministic fault injector and its actor integration:
+// same seed must reproduce the exact injected-failure schedule, and injected
+// faults must surface through the future error path / actor health state.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "raylite/actor.h"
+#include "raylite/fault_injection.h"
+
+namespace rlgraph {
+namespace raylite {
+namespace {
+
+FaultConfig chaos_config(uint64_t seed) {
+  FaultConfig fc;
+  fc.crash_prob = 0.05;
+  fc.task_failure_prob = 0.2;
+  fc.delay_prob = 0.3;
+  fc.delay_min_ms = 1.0;
+  fc.delay_max_ms = 4.0;
+  fc.seed = seed;
+  return fc;
+}
+
+std::vector<FaultDecision> draw_schedule(FaultInjector& injector, int n) {
+  std::vector<FaultDecision> schedule;
+  for (int i = 0; i < n; ++i) schedule.push_back(injector.next());
+  return schedule;
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultInjector a(chaos_config(42));
+  FaultInjector b(chaos_config(42));
+  std::vector<FaultDecision> sa = draw_schedule(a, 1000);
+  std::vector<FaultDecision> sb = draw_schedule(b, 1000);
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(a.decisions(), 1000);
+  EXPECT_EQ(a.injected_task_failures(), b.injected_task_failures());
+  EXPECT_EQ(a.injected_delays(), b.injected_delays());
+  EXPECT_EQ(a.injected_crashes(), b.injected_crashes());
+  // With these probabilities, 1000 draws inject every category.
+  EXPECT_GT(a.injected_task_failures(), 0);
+  EXPECT_GT(a.injected_delays(), 0);
+  EXPECT_GT(a.injected_crashes(), 0);
+}
+
+TEST(FaultInjectorTest, DifferentSeedDifferentSchedule) {
+  FaultInjector a(chaos_config(1));
+  FaultInjector b(chaos_config(2));
+  EXPECT_NE(draw_schedule(a, 1000), draw_schedule(b, 1000));
+}
+
+TEST(FaultInjectorTest, WarmupSuppressesInjection) {
+  FaultConfig fc = chaos_config(7);
+  fc.task_failure_prob = 1.0;
+  fc.crash_prob = 0.0;
+  fc.delay_prob = 0.0;
+  fc.warmup_tasks = 10;
+  FaultInjector injector(fc);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(injector.next().action, FaultAction::kNone);
+  }
+  EXPECT_EQ(injector.next().action, FaultAction::kFailTask);
+}
+
+TEST(FaultInjectorTest, DeterministicCrashFiresExactlyOnce) {
+  FaultConfig fc;  // no probabilistic faults
+  fc.crash_after_tasks = 3;
+  fc.seed = 5;
+  FaultInjector injector(fc);
+  // Three tasks complete, the fourth crashes.
+  EXPECT_EQ(injector.next().action, FaultAction::kNone);
+  EXPECT_EQ(injector.next().action, FaultAction::kNone);
+  EXPECT_EQ(injector.next().action, FaultAction::kNone);
+  EXPECT_EQ(injector.next().action, FaultAction::kCrashActor);
+  // A replacement actor sharing the injector continues fault-free.
+  EXPECT_EQ(injector.next().action, FaultAction::kNone);
+  EXPECT_EQ(injector.injected_crashes(), 1);
+}
+
+struct Counter {
+  int value = 0;
+  int add(int x) {
+    value += x;
+    return value;
+  }
+};
+
+TEST(FaultInjectionActorTest, InjectedTaskFailuresErrorFutures) {
+  FaultConfig fc;
+  fc.task_failure_prob = 1.0;
+  fc.warmup_tasks = 2;
+  fc.seed = 3;
+  auto injector = std::make_shared<FaultInjector>(fc);
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); }, injector);
+  // Warmup tasks run normally.
+  EXPECT_EQ(actor.call([](Counter& c) { return c.add(1); }).get(), 1);
+  EXPECT_EQ(actor.call([](Counter& c) { return c.add(1); }).get(), 2);
+  // Then every task fails with InjectedFaultError, but the actor survives.
+  auto f = actor.call([](Counter& c) { return c.add(1); });
+  EXPECT_THROW(f.get(), InjectedFaultError);
+  EXPECT_EQ(actor.state(), ActorState::kRunning);
+  EXPECT_EQ(injector->injected_task_failures(), 1);
+}
+
+TEST(FaultInjectionActorTest, InjectedCrashKillsActorAndPendingTasks) {
+  FaultConfig fc;
+  fc.crash_after_tasks = 2;
+  fc.seed = 3;
+  auto injector = std::make_shared<FaultInjector>(fc);
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); }, injector);
+  EXPECT_EQ(actor.call([](Counter& c) { return c.add(1); }).get(), 1);
+  EXPECT_EQ(actor.call([](Counter& c) { return c.add(1); }).get(), 2);
+  auto doomed = actor.call([](Counter& c) { return c.add(1); });
+  doomed.wait();
+  EXPECT_TRUE(doomed.failed());
+  EXPECT_THROW(doomed.get(), InjectedFaultError);
+  // The crash is observable as actor health, and later calls fail fast.
+  auto late = actor.call([](Counter& c) { return c.add(1); });
+  EXPECT_THROW(late.get(), ActorDeadError);
+  EXPECT_EQ(actor.state(), ActorState::kFailed);
+  EXPECT_EQ(injector->injected_crashes(), 1);
+}
+
+TEST(FaultInjectionActorTest, InjectedDelaySlowsButCompletes) {
+  FaultConfig fc;
+  fc.delay_prob = 1.0;
+  fc.delay_min_ms = 5.0;
+  fc.delay_max_ms = 10.0;
+  fc.seed = 11;
+  auto injector = std::make_shared<FaultInjector>(fc);
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); }, injector);
+  EXPECT_EQ(actor.call([](Counter& c) { return c.add(5); }).get(), 5);
+  EXPECT_EQ(injector->injected_delays(), 1);
+}
+
+}  // namespace
+}  // namespace raylite
+}  // namespace rlgraph

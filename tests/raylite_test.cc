@@ -58,6 +58,74 @@ TEST(ActorTest, PropagatesExceptions) {
   EXPECT_EQ(actor.call([](Counter& c) { return c.add(1); }).get(), 1);
 }
 
+TEST(ActorTest, RethrowsOriginalErrorSubtype) {
+  // A throwing task marks the future errored and get() rethrows the
+  // original rlgraph::Error subtype, not a flattened base type.
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); });
+  auto f = actor.call([](Counter&) -> int {
+    throw NotFoundError("no such record");
+  });
+  f.wait();
+  EXPECT_TRUE(f.ready());
+  EXPECT_TRUE(f.failed());
+  try {
+    f.get();
+    FAIL() << "expected NotFoundError";
+  } catch (const NotFoundError& e) {
+    EXPECT_STREQ(e.what(), "no such record");
+  }
+  // A successful call's future is ready but not failed.
+  auto ok = actor.call([](Counter& c) { return c.add(2); });
+  EXPECT_EQ(ok.get(), 2);
+  EXPECT_TRUE(ok.ready());
+  EXPECT_FALSE(ok.failed());
+}
+
+TEST(FutureTest, TryGetAndTimedGet) {
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); });
+  auto slow = actor.call([](Counter&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    return 9;
+  });
+  EXPECT_FALSE(slow.try_get().has_value());
+  EXPECT_THROW(slow.get_for(std::chrono::milliseconds(1)), TimeoutError);
+  EXPECT_FALSE(slow.wait_for(std::chrono::milliseconds(1)));
+  // The task was not lost to the timeout — it still completes.
+  EXPECT_EQ(slow.get_for(std::chrono::seconds(10)), 9);
+  EXPECT_EQ(slow.try_get().value(), 9);
+  EXPECT_TRUE(slow.wait_for(std::chrono::milliseconds(1)));
+}
+
+TEST(ActorTest, FactoryFailureMarksActorFailed) {
+  Actor<Counter> actor([]() -> std::unique_ptr<Counter> {
+    throw ValueError("factory exploded");
+  });
+  // Calls resolve errored with ActorDeadError instead of hanging or
+  // terminating the process.
+  auto f = actor.call([](Counter& c) { return c.value; });
+  f.wait();
+  EXPECT_TRUE(f.failed());
+  EXPECT_THROW(f.get(), ActorDeadError);
+  EXPECT_EQ(actor.state(), ActorState::kFailed);
+  EXPECT_NE(actor.failure(), nullptr);
+  // Subsequent calls on the dead actor return already-errored futures.
+  auto g = actor.call([](Counter& c) { return c.value; });
+  EXPECT_TRUE(g.failed());
+  EXPECT_THROW(g.get(), ActorDeadError);
+}
+
+TEST(ActorTest, LifecycleStates) {
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); });
+  EXPECT_EQ(actor.state(), ActorState::kRunning);
+  actor.call([](Counter& c) { return c.add(1); }).get();
+  actor.stop();
+  EXPECT_EQ(actor.state(), ActorState::kStopped);
+  EXPECT_EQ(actor.failure(), nullptr);
+  EXPECT_STREQ(to_string(ActorState::kRunning), "running");
+  EXPECT_STREQ(to_string(ActorState::kFailed), "failed");
+  EXPECT_STREQ(to_string(ActorState::kStopped), "stopped");
+}
+
 TEST(ActorTest, VoidCalls) {
   Actor<Counter> actor([] { return std::make_unique<Counter>(); });
   Future<void> f = actor.call([](Counter& c) { c.value = 42; });
@@ -100,6 +168,35 @@ TEST(WaitTest, EmptyAndOverflowingNumReturns) {
   auto f = actor.call([](Counter&) { return 0; });
   std::vector<UntypedFuture> one{f};
   EXPECT_EQ(wait(one, 99).size(), 1u);  // clamped
+}
+
+TEST(WaitTest, ErroredFuturesCountAsReady) {
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); });
+  auto bad = actor.call([](Counter&) -> int { throw ValueError("boom"); });
+  auto slow = actor.call([](Counter&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return 1;
+  });
+  std::vector<UntypedFuture> futures{bad, slow};
+  std::vector<size_t> ready = wait(futures, 1);
+  ASSERT_GE(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 0u);
+  EXPECT_TRUE(futures[0].failed());
+}
+
+TEST(WaitTest, TimedWaitReturnsEarlyOnTimeout) {
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); });
+  auto slow = actor.call([](Counter&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return 1;
+  });
+  std::vector<UntypedFuture> futures{slow};
+  // Nothing resolves within 5ms: the timed wait comes back empty-handed.
+  std::vector<size_t> ready =
+      wait_for(futures, 1, std::chrono::milliseconds(5));
+  EXPECT_TRUE(ready.empty());
+  ready = wait_for(futures, 1, std::chrono::seconds(10));
+  EXPECT_EQ(ready.size(), 1u);
 }
 
 TEST(ObjectStoreTest, PutGetTyped) {

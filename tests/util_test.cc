@@ -214,6 +214,18 @@ TEST(MetricsTest, ScopedTimerRecords) {
   EXPECT_EQ(reg.timer("scope").count(), 1);
 }
 
+TEST(MetricsTest, GaugesAreLastWriteWins) {
+  MetricRegistry reg;
+  EXPECT_DOUBLE_EQ(reg.gauge("staleness"), 0.0);
+  reg.set_gauge("staleness", 3.0);
+  reg.set_gauge("staleness", 1.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("staleness"), 1.5);
+  EXPECT_EQ(reg.gauges().size(), 1u);
+  EXPECT_NE(reg.report().find("staleness: 1.5"), std::string::npos);
+  reg.reset();
+  EXPECT_DOUBLE_EQ(reg.gauge("staleness"), 0.0);
+}
+
 // --- Serialization -----------------------------------------------------------
 
 TEST(SerializationTest, PrimitivesRoundTrip) {
@@ -288,6 +300,23 @@ TEST(QueueTest, CloseWakesBlockedConsumer) {
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   q.close();
   consumer.join();
+}
+
+TEST(QueueTest, TimedPop) {
+  BlockingQueue<int> q;
+  // Empty queue: times out instead of blocking forever.
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(5)).has_value());
+  q.push(3);
+  EXPECT_EQ(*q.pop_for(std::chrono::milliseconds(5)), 3);
+  // A late producer wakes the timed waiter.
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(4);
+  });
+  EXPECT_EQ(*q.pop_for(std::chrono::seconds(10)), 4);
+  producer.join();
+  q.close();
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(5)).has_value());
 }
 
 TEST(QueueTest, ConcurrentProducersConsumers) {
