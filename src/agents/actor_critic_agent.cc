@@ -102,12 +102,20 @@ void ActorCriticAgent::setup_graph() {
   root_ = std::move(root);
 }
 
+void ActorCriticAgent::on_built() {
+  GraphExecutor& ex = executor();
+  h_act_ = ex.api_handle("act");
+  h_act_greedy_ = ex.api_handle("act_greedy");
+  h_get_values_ = ex.api_handle("get_values");
+  h_update_batch_ = ex.api_handle("update_batch");
+}
+
 Tensor ActorCriticAgent::get_actions(const Tensor& states, bool explore) {
-  return executor().execute(explore ? "act" : "act_greedy", {states})[0];
+  return executor().execute(explore ? h_act_ : h_act_greedy_, {states})[0];
 }
 
 Tensor ActorCriticAgent::get_values(const Tensor& states) {
-  return executor().execute("get_values", {states})[0];
+  return executor().execute(h_get_values_, {states})[0];
 }
 
 void ActorCriticAgent::observe(const Tensor& states, const Tensor& actions,
@@ -153,8 +161,8 @@ double ActorCriticAgent::update() {
   }
   rollout_.clear();
   std::vector<Tensor> out = executor().execute(
-      "update_batch", {kernels::concat(all_s, 0), kernels::concat(all_a, 0),
-                       kernels::concat(all_ret, 0)});
+      h_update_batch_, {kernels::concat(all_s, 0), kernels::concat(all_a, 0),
+                        kernels::concat(all_ret, 0)});
   return out[0].scalar_value();
 }
 

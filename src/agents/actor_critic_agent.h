@@ -45,6 +45,7 @@ class ActorCriticAgent : public Agent {
 
  protected:
   void setup_graph() override;
+  void on_built() override;
 
  private:
   struct Step {
@@ -55,6 +56,9 @@ class ActorCriticAgent : public Agent {
   double discount_;
   std::deque<Step> rollout_;
   Tensor last_next_states_;
+
+  // Hot-path API handles, resolved once after build.
+  ApiHandle h_act_, h_act_greedy_, h_get_values_, h_update_batch_;
 };
 
 }  // namespace rlgraph

@@ -20,6 +20,7 @@ void Agent::build() {
   executor_ = std::make_unique<GraphExecutor>(root_, api_spaces_,
                                               executor_options_);
   executor_->build();
+  on_built();
   built_ = true;
 }
 

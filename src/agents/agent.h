@@ -53,6 +53,9 @@ class Agent {
  protected:
   // Subclasses construct their root component + api spaces before build().
   virtual void setup_graph() = 0;
+  // Called once after the executor build; subclasses resolve ApiHandles for
+  // their hot call paths here so steady-state calls skip the name lookup.
+  virtual void on_built() {}
 
   Json config_;
   SpacePtr state_space_;   // raw env state space (no batch rank)

@@ -255,9 +255,23 @@ void DQNAgent::setup_graph() {
   root_ = std::move(root);
 }
 
+void DQNAgent::on_built() {
+  GraphExecutor& ex = executor();
+  h_act_ = ex.api_handle("act");
+  h_act_greedy_ = ex.api_handle("act_greedy");
+  h_observe_ = ex.api_handle("observe");
+  h_update_ = ex.api_handle("update");
+  h_update_batch_ = ex.api_handle("update_batch");
+  h_sample_batch_ = ex.api_handle("sample_batch");
+  h_update_priorities_ = ex.api_handle("update_priorities");
+  h_compute_priorities_ = ex.api_handle("compute_priorities");
+  h_sync_target_ = ex.api_handle("sync_target");
+  h_memory_size_ = ex.api_handle("memory_size");
+}
+
 Tensor DQNAgent::get_actions(const Tensor& states, bool explore) {
   std::vector<Tensor> out =
-      executor().execute(explore ? "act" : "act_greedy", {states});
+      executor().execute(explore ? h_act_ : h_act_greedy_, {states});
   last_preprocessed_ = out[0];
   return out[1];
 }
@@ -278,14 +292,14 @@ void DQNAgent::observe_with_priorities(const Tensor& states,
                                        const Tensor& terminals,
                                        const Tensor& priorities) {
   executor().execute(
-      "observe", {states, actions, rewards, next_states, terminals,
+      h_observe_, {states, actions, rewards, next_states, terminals,
                   priorities});
 }
 
 double DQNAgent::update() {
   if (memory_size() < std::max(min_records_, batch_size_)) return 0.0;
   std::vector<Tensor> out = executor().execute(
-      "update", {Tensor::scalar_int(static_cast<int32_t>(batch_size_))});
+      h_update_, {Tensor::scalar_int(static_cast<int32_t>(batch_size_))});
   ++updates_done_;
   if (sync_interval_ > 0 && updates_done_ % sync_interval_ == 0) {
     sync_target();
@@ -298,7 +312,7 @@ std::pair<double, Tensor> DQNAgent::update_from_batch(
     const Tensor& next_states, const Tensor& terminals,
     const Tensor& weights) {
   std::vector<Tensor> out = executor().execute(
-      "update_batch",
+      h_update_batch_,
       {states, actions, rewards, next_states, terminals, weights});
   ++updates_done_;
   if (sync_interval_ > 0 && updates_done_ % sync_interval_ == 0) {
@@ -308,13 +322,13 @@ std::pair<double, Tensor> DQNAgent::update_from_batch(
 }
 
 std::vector<Tensor> DQNAgent::sample_batch(int64_t n) {
-  return executor().execute("sample_batch",
+  return executor().execute(h_sample_batch_,
                             {Tensor::scalar_int(static_cast<int32_t>(n))});
 }
 
 void DQNAgent::update_priorities(const Tensor& indices,
                                  const Tensor& priorities) {
-  executor().execute("update_priorities", {indices, priorities});
+  executor().execute(h_update_priorities_, {indices, priorities});
 }
 
 Tensor DQNAgent::compute_priorities(const Tensor& states,
@@ -323,16 +337,16 @@ Tensor DQNAgent::compute_priorities(const Tensor& states,
                                     const Tensor& next_states,
                                     const Tensor& terminals) {
   return executor().execute(
-      "compute_priorities",
+      h_compute_priorities_,
       {states, actions, rewards, next_states, terminals})[0];
 }
 
 int64_t DQNAgent::memory_size() {
   return static_cast<int64_t>(
-      executor().execute("memory_size", {})[0].scalar_value());
+      executor().execute(h_memory_size_, {})[0].scalar_value());
 }
 
-void DQNAgent::sync_target() { executor().execute("sync_target", {}); }
+void DQNAgent::sync_target() { executor().execute(h_sync_target_, {}); }
 
 std::unique_ptr<Agent> make_dqn_agent(const Json& config,
                                       SpacePtr state_space,

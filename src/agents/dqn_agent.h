@@ -74,6 +74,7 @@ class DQNAgent : public Agent {
 
  protected:
   void setup_graph() override;
+  void on_built() override;
 
  private:
   SpacePtr preprocessed_space_;
@@ -82,6 +83,11 @@ class DQNAgent : public Agent {
   int64_t min_records_ = 100;
   int64_t updates_done_ = 0;
   Tensor last_preprocessed_;
+
+  // Hot-path API handles, resolved once after build.
+  ApiHandle h_act_, h_act_greedy_, h_observe_, h_update_, h_update_batch_,
+      h_sample_batch_, h_update_priorities_, h_compute_priorities_,
+      h_sync_target_, h_memory_size_;
 };
 
 }  // namespace rlgraph

@@ -300,25 +300,35 @@ void IMPALAAgent::setup_learner(std::shared_ptr<Component> root) {
   api_spaces_ = {{"learn_from_queue", {}}};
 }
 
+void IMPALAAgent::on_built() {
+  GraphExecutor& ex = executor();
+  if (mode_ == Mode::kActor) {
+    h_act_step_ = ex.api_handle("act_step");
+    h_act_and_enqueue_ = ex.api_handle("act_and_enqueue");
+  } else {
+    h_learn_from_queue_ = ex.api_handle("learn_from_queue");
+  }
+}
+
 void IMPALAAgent::attach_environment(VectorEnv* env) {
   RLG_REQUIRE(mode_ == Mode::kActor, "attach_environment on learner");
   rollout_context_->env = env;
   rollout_context_->act =
       [this](const Tensor& obs) -> std::pair<Tensor, Tensor> {
-    std::vector<Tensor> out = executor().execute("act_step", {obs});
+    std::vector<Tensor> out = executor().execute(h_act_step_, {obs});
     return {out[0], out[1]};
   };
 }
 
 int64_t IMPALAAgent::act_and_enqueue() {
   int64_t before = rollout_context_->env_frames;
-  executor().execute("act_and_enqueue", {});
+  executor().execute(h_act_and_enqueue_, {});
   return rollout_context_->env_frames - before;
 }
 
 Tensor IMPALAAgent::get_actions(const Tensor& states, bool) {
   RLG_REQUIRE(mode_ == Mode::kActor, "get_actions on learner");
-  return executor().execute("act_step", {states})[0];
+  return executor().execute(h_act_step_, {states})[0];
 }
 
 void IMPALAAgent::observe(const Tensor&, const Tensor&, const Tensor&,
@@ -329,7 +339,7 @@ void IMPALAAgent::observe(const Tensor&, const Tensor&, const Tensor&,
 
 double IMPALAAgent::update() {
   RLG_REQUIRE(mode_ == Mode::kLearner, "update on actor");
-  return executor().execute("learn_from_queue", {})[0].scalar_value();
+  return executor().execute(h_learn_from_queue_, {})[0].scalar_value();
 }
 
 std::unique_ptr<Agent> make_impala_agent(const Json& config,

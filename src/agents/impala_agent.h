@@ -79,6 +79,7 @@ class IMPALAAgent : public Agent {
 
  protected:
   void setup_graph() override;
+  void on_built() override;
 
  private:
   void setup_actor(std::shared_ptr<Component> root);
@@ -88,6 +89,9 @@ class IMPALAAgent : public Agent {
   int64_t rollout_length_;
   std::shared_ptr<SharedTensorQueue> queue_;
   std::shared_ptr<RolloutContext> rollout_context_;
+
+  // Hot-path API handles, resolved once after build (per mode).
+  ApiHandle h_act_step_, h_act_and_enqueue_, h_learn_from_queue_;
 };
 
 }  // namespace rlgraph

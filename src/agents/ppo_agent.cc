@@ -129,9 +129,17 @@ void PPOAgent::setup_graph() {
   root_ = std::move(root);
 }
 
+void PPOAgent::on_built() {
+  GraphExecutor& ex = executor();
+  h_act_ = ex.api_handle("act");
+  h_act_greedy_ = ex.api_handle("act_greedy");
+  h_get_values_ = ex.api_handle("get_values");
+  h_update_batch_ = ex.api_handle("update_batch");
+}
+
 Tensor PPOAgent::get_actions(const Tensor& states, bool explore) {
-  if (!explore) return executor().execute("act_greedy", {states})[0];
-  std::vector<Tensor> out = executor().execute("act", {states});
+  if (!explore) return executor().execute(h_act_greedy_, {states})[0];
+  std::vector<Tensor> out = executor().execute(h_act_, {states});
   last_log_probs_ = out[1];
   // Cache values for GAE alongside the log-probs (attached in observe()).
   last_values_cache_ = out[2];
@@ -139,7 +147,7 @@ Tensor PPOAgent::get_actions(const Tensor& states, bool explore) {
 }
 
 Tensor PPOAgent::get_values(const Tensor& states) {
-  return executor().execute("get_values", {states})[0];
+  return executor().execute(h_get_values_, {states})[0];
 }
 
 void PPOAgent::observe(const Tensor& states, const Tensor& actions,
@@ -232,7 +240,7 @@ double PPOAgent::update() {
           Shape{mb}, std::vector<int32_t>(
                          perm.begin() + begin, perm.begin() + begin + mb));
       std::vector<Tensor> out = executor().execute(
-          "update_batch", {kernels::gather_rows(states, idx),
+          h_update_batch_, {kernels::gather_rows(states, idx),
                            kernels::gather_rows(actions, idx),
                            kernels::gather_rows(log_probs, idx),
                            kernels::gather_rows(adv, idx),

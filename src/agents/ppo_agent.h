@@ -45,6 +45,7 @@ class PPOAgent : public Agent {
 
  protected:
   void setup_graph() override;
+  void on_built() override;
 
  private:
   struct Step {
@@ -60,6 +61,9 @@ class PPOAgent : public Agent {
   Tensor last_log_probs_;
   Tensor last_values_cache_;
   Tensor last_next_states_;
+
+  // Hot-path API handles, resolved once after build.
+  ApiHandle h_act_, h_act_greedy_, h_get_values_, h_update_batch_;
 };
 
 }  // namespace rlgraph

@@ -106,6 +106,7 @@ std::vector<OpRef> ImperativeContext::apply_custom(
   TapeEntry entry;
   entry.op = "CustomStateful";
   entry.inputs = inputs;
+  entry.custom_kernel = kernel;
   if (build_mode_) {
     for (size_t i = 0; i < out_dtypes.size(); ++i) {
       entry.outputs.push_back(fabricate(out_dtypes[i], out_shapes[i]));
@@ -179,6 +180,7 @@ RefInfo ImperativeContext::info(int node_id) const {
   out.op = e.op;
   out.inputs = e.inputs;
   out.attrs = e.attrs;
+  out.custom_kernel = e.custom_kernel;
   for (int i = 0; i < static_cast<int>(e.outputs.size()); ++i) {
     out.outputs.push_back(OpRef{node_id, i});
   }

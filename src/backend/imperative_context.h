@@ -59,6 +59,7 @@ class ImperativeContext : public OpContext {
     std::vector<OpRef> inputs;
     AttrMap attrs;
     std::vector<Tensor> outputs;
+    CustomKernel custom_kernel;  // CustomStateful entries only
   };
 
   std::vector<OpRef> record(TapeEntry entry);

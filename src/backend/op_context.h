@@ -48,6 +48,9 @@ struct RefInfo {
   std::vector<OpRef> inputs;
   AttrMap attrs;
   std::vector<OpRef> outputs;
+  // Non-null for component-stateful ops ("CustomStateful"); lets the
+  // fast-path lowering rebuild executable plan steps from a recording.
+  CustomKernel custom_kernel;
 };
 
 class OpContext {

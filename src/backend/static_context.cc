@@ -153,6 +153,7 @@ RefInfo StaticGraphContext::info(int node_id) const {
   out.node_id = node_id;
   out.op = n.op;
   out.attrs = n.attrs;
+  out.custom_kernel = n.custom_kernel;
   for (const Endpoint& e : n.inputs) out.inputs.push_back({e.node, e.index});
   for (int i = 0; i < n.num_outputs(); ++i) {
     out.outputs.push_back(OpRef{node_id, i});

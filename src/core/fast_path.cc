@@ -6,17 +6,21 @@
 
 namespace rlgraph {
 
-std::vector<Tensor> FastPathProgram::run(
+// Replays the recorded graph-function bodies ONCE through a build-mode tape
+// (stateful ops fabricate their outputs, so component state is untouched),
+// then converts every tape entry into a CompiledPlan step. After this the
+// program has no interpreter of its own: replays run the shared plan
+// executor, identical to a Session run.
+std::shared_ptr<const CompiledPlan> FastPathProgram::lower(
     VariableStore* variables, Rng* rng,
     const std::vector<Tensor>& inputs) const {
-  RLG_REQUIRE(valid(), "fast-path program is not valid");
-  RLG_REQUIRE(inputs.size() == num_inputs_,
-              "fast-path program expects " << num_inputs_ << " inputs, got "
-                                           << inputs.size());
-  ImperativeContext ctx(variables, rng, /*build_mode=*/false);
+  ImperativeContext lctx(variables, rng, /*build_mode=*/true);
+
+  // Inputs are injected first, so tape ids 0..num_inputs_-1 are exactly the
+  // program inputs in positional order.
   std::vector<OpRef> input_refs;
   input_refs.reserve(inputs.size());
-  for (const Tensor& t : inputs) input_refs.push_back(ctx.literal(t));
+  for (const Tensor& t : inputs) input_refs.push_back(lctx.literal(t));
 
   std::vector<std::vector<OpRef>> step_outputs(steps_.size());
   auto resolve = [&](const Source& s) -> OpRef {
@@ -24,22 +28,96 @@ std::vector<Tensor> FastPathProgram::run(
     return step_outputs[static_cast<size_t>(s.step)]
                        [static_cast<size_t>(s.index)];
   };
-
   for (size_t i = 0; i < steps_.size(); ++i) {
     const Step& step = steps_[i];
     std::vector<OpRef> args;
     args.reserve(step.sources.size());
     for (const Source& s : step.sources) args.push_back(resolve(s));
-    step_outputs[i] = step.body(ctx, args);
-    RLG_CHECK_MSG(static_cast<int>(step_outputs[i].size()) ==
-                      step.num_outputs,
-                  "fast-path step '" << step.label
-                                     << "' output arity changed");
+    step_outputs[i] = step.body(lctx, args);
+    RLG_CHECK_MSG(
+        static_cast<int>(step_outputs[i].size()) == step.num_outputs,
+        "fast-path step '" << step.label << "' output arity changed");
   }
 
+  CompiledPlan::Builder builder;
+  const size_t tape_size = lctx.tape_size();
+  std::vector<int> base_slot(tape_size, -1);
+  for (size_t id = 0; id < tape_size; ++id) {
+    RefInfo info = lctx.info(static_cast<int>(id));
+    if (id < num_inputs_) {
+      base_slot[id] = builder.add_input();
+      continue;
+    }
+    if (info.op == "Const") {
+      base_slot[id] = builder.add_const(lctx.value({static_cast<int>(id), 0}));
+      continue;
+    }
+    RLG_REQUIRE(info.op != "Placeholder",
+                "fast-path body created a placeholder at replay time; the "
+                "program cannot be lowered");
+    NodeDef node;
+    node.op = info.op;
+    node.name = info.op;
+    node.attrs = std::move(info.attrs);
+    node.custom_kernel = std::move(info.custom_kernel);
+    std::vector<int> input_slots;
+    input_slots.reserve(info.inputs.size());
+    for (const OpRef& r : info.inputs) {
+      input_slots.push_back(base_slot[static_cast<size_t>(r.node)] + r.index);
+    }
+    base_slot[id] = builder.add_step(std::move(node), input_slots,
+                                     static_cast<int>(info.outputs.size()));
+  }
+
+  std::vector<int> out_slots;
+  out_slots.reserve(outputs_.size());
+  for (const Source& s : outputs_) {
+    OpRef ref = resolve(s);
+    out_slots.push_back(base_slot[static_cast<size_t>(ref.node)] + ref.index);
+  }
+  builder.set_outputs(std::move(out_slots));
+  std::shared_ptr<const CompiledPlan> plan = builder.finish();
+  RLG_LOG_DEBUG << "fast-path lowered " << steps_.size()
+                << " contracted steps to a compiled plan with "
+                << plan->num_steps() << " kernel steps";
+  return plan;
+}
+
+std::shared_ptr<const CompiledPlan> FastPathProgram::plan() const {
+  std::lock_guard<std::mutex> lock(exec_->mutex);
+  return exec_->plan;
+}
+
+std::vector<Tensor> FastPathProgram::run(
+    VariableStore* variables, Rng* rng,
+    const std::vector<Tensor>& inputs) const {
+  RLG_REQUIRE(valid(), "fast-path program is not valid");
+  RLG_REQUIRE(inputs.size() == num_inputs_,
+              "fast-path program expects " << num_inputs_ << " inputs, got "
+                                           << inputs.size());
+  ExecState& state = *exec_;
+  std::shared_ptr<const CompiledPlan> plan;
+  std::unique_ptr<RunArena> arena;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.plan) state.plan = lower(variables, rng, inputs);
+    plan = state.plan;
+    if (!state.free_arenas.empty()) {
+      arena = std::move(state.free_arenas.back());
+      state.free_arenas.pop_back();
+    }
+  }
+  if (!arena) arena = std::make_unique<RunArena>();
   std::vector<Tensor> out;
-  out.reserve(outputs_.size());
-  for (const Source& s : outputs_) out.push_back(ctx.value(resolve(s)));
+  try {
+    out = plan->execute(*arena, inputs, variables, rng);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.free_arenas.push_back(std::move(arena));
+    throw;
+  }
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.free_arenas.push_back(std::move(arena));
   return out;
 }
 

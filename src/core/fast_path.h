@@ -3,17 +3,24 @@
 // Dispatching a define-by-run API call through nested component API methods
 // costs one indirection per edge. When the graph builder can identify that a
 // call is a pure chain of graph functions (calls are edges, components are
-// vertices), it contracts the edges: the traced program invokes the graph-
-// function bodies directly with pre-computed argument routing, skipping all
-// intermediate component calls.
+// vertices), it contracts the edges and LOWERS the contracted program onto
+// the shared CompiledPlan layer (graph/exec_plan.h): the graph-function
+// bodies are replayed once through a side-effect-free build-mode tape, and
+// every tape op becomes a plan step with its kernel resolved and its
+// operands routed through dense value slots. Steady-state replays then run
+// the exact same compiled-plan executor as the static backend's Session —
+// there is no second interpreter.
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "backend/op_context.h"
 #include "core/component.h"
+#include "graph/exec_plan.h"
 
 namespace rlgraph {
 
@@ -33,17 +40,36 @@ class FastPathProgram {
   bool valid() const { return valid_ && !steps_.empty(); }
   size_t num_steps() const { return steps_.size(); }
 
-  // Replays the contracted program against fresh inputs.
+  // Executes the contracted program against fresh inputs. The first call
+  // lowers the recorded steps into a CompiledPlan (one build-mode replay,
+  // no stateful side effects); subsequent calls execute the plan directly.
+  // Safe to call concurrently: runs check arenas out of a shared pool.
   std::vector<Tensor> run(VariableStore* variables, Rng* rng,
                           const std::vector<Tensor>& inputs) const;
 
+  // The lowered plan (null until the first run).
+  std::shared_ptr<const CompiledPlan> plan() const;
+
  private:
   friend class FastPathRecorder;
+
+  // Plan + arena pool live behind a shared_ptr so copies of a program share
+  // one lowered plan and its recycled arenas/buffers.
+  struct ExecState {
+    std::mutex mutex;
+    std::shared_ptr<const CompiledPlan> plan;
+    std::vector<std::unique_ptr<RunArena>> free_arenas;
+  };
+
+  std::shared_ptr<const CompiledPlan> lower(VariableStore* variables, Rng* rng,
+                                            const std::vector<Tensor>& inputs)
+      const;
 
   std::vector<Step> steps_;
   std::vector<Source> outputs_;
   size_t num_inputs_ = 0;
   bool valid_ = false;
+  std::shared_ptr<ExecState> exec_ = std::make_shared<ExecState>();
 };
 
 // Records a program during one normally-dispatched define-by-run call.

@@ -86,64 +86,93 @@ const BuildStats& GraphExecutor::build() {
     }
     stats_.graph_nodes_after = graph_->num_nodes();
     session_ = std::make_unique<Session>(graph_, &variables_, &rng_);
+    if (options_.profiling) session_->set_metrics(&profile_);
   } else {
     ImperativeContext ctx(&variables_, &rng_, /*build_mode=*/true,
                           options_.probe_batch);
     ctx.set_device(options_.default_device);
     api_registry_ = builder.build(ctx, &stats_);
     // The build tape is discarded; define-by-run execution re-dispatches per
-    // call (or replays the fast path).
+    // call (or replays the lowered fast-path plan).
   }
+
+  // Phase 4: resolve every API to an ApiEntry. On the static backend this
+  // compiles each API's plan up front (fetches + feed order baked), which is
+  // where the paper's build amortization lands: execute() does no per-call
+  // lookups, map assembly, or scheduling.
+  entries_.clear();
+  entries_.reserve(api_registry_.size());
+  handle_ids_.clear();
+  for (auto& [name, api] : api_registry_) {
+    ApiEntry entry;
+    entry.api = &api;
+    if (options_.backend == Backend::kStatic) {
+      std::vector<Endpoint> fetches;
+      fetches.reserve(api.fetches.size());
+      for (const OpRef& f : api.fetches) fetches.push_back({f.node, f.index});
+      std::vector<int> feed_nodes;
+      feed_nodes.reserve(api.placeholders.size());
+      for (const OpRef& p : api.placeholders) feed_nodes.push_back(p.node);
+      entry.prepared = session_->prepare(fetches, feed_nodes);
+    }
+    handle_ids_[name] = static_cast<int>(entries_.size());
+    entries_.push_back(std::move(entry));
+  }
+
   built_ = true;
   return stats_;
+}
+
+ApiHandle GraphExecutor::api_handle(const std::string& api) const {
+  auto it = handle_ids_.find(api);
+  if (it == handle_ids_.end()) {
+    throw NotFoundError("unknown API method '" + api + "'");
+  }
+  return ApiHandle{it->second};
 }
 
 std::vector<Tensor> GraphExecutor::execute(const std::string& api_name,
                                            const std::vector<Tensor>& inputs) {
   RLG_REQUIRE(built_, "GraphExecutor::execute before build()");
-  auto it = api_registry_.find(api_name);
-  if (it == api_registry_.end()) {
-    throw NotFoundError("unknown API method '" + api_name + "'");
-  }
-  const BuiltApi& api = it->second;
+  return execute(api_handle(api_name), inputs);
+}
+
+std::vector<Tensor> GraphExecutor::execute(ApiHandle handle,
+                                           const std::vector<Tensor>& inputs) {
+  RLG_REQUIRE(built_, "GraphExecutor::execute before build()");
+  RLG_REQUIRE(handle.valid() &&
+                  handle.id < static_cast<int>(entries_.size()),
+              "invalid API handle");
+  ApiEntry& entry = entries_[static_cast<size_t>(handle.id)];
+  const BuiltApi& api = *entry.api;
   RLG_REQUIRE(inputs.size() == api.num_input_leaves,
-              "API '" << api_name << "' expects " << api.num_input_leaves
+              "API '" << api.name << "' expects " << api.num_input_leaves
                       << " input tensors, got " << inputs.size());
   ++execution_calls_;
   if (options_.profiling) {
-    ScopedTimer timer(&profile_, "execute/" + api_name);
-    profile_.increment("calls/" + api_name);
-    return options_.backend == Backend::kStatic
-               ? execute_static(api, inputs)
-               : execute_imperative(api, inputs);
+    ScopedTimer timer(&profile_, "execute/" + api.name);
+    profile_.increment("calls/" + api.name);
+    return execute_entry(entry, inputs);
   }
-  return options_.backend == Backend::kStatic
-             ? execute_static(api, inputs)
-             : execute_imperative(api, inputs);
+  return execute_entry(entry, inputs);
 }
 
-std::vector<Tensor> GraphExecutor::execute_static(
-    const BuiltApi& api, const std::vector<Tensor>& inputs) {
-  FeedMap feeds;
-  for (size_t i = 0; i < inputs.size(); ++i) {
-    feeds[api.placeholders[i].node] = inputs[i];
-  }
-  std::vector<Endpoint> fetches;
-  fetches.reserve(api.fetches.size());
-  for (const OpRef& f : api.fetches) fetches.push_back({f.node, f.index});
-  return session_->run(fetches, feeds);
+std::vector<Tensor> GraphExecutor::execute_entry(
+    ApiEntry& entry, const std::vector<Tensor>& inputs) {
+  if (entry.prepared) return entry.prepared->run(inputs);
+  return execute_imperative(entry, inputs);
 }
 
 std::vector<Tensor> GraphExecutor::execute_imperative(
-    const BuiltApi& api, const std::vector<Tensor>& inputs) {
-  // Fast path: replay the contracted program when available.
-  auto fp = fast_paths_.find(api.name);
-  if (fp != fast_paths_.end() && fp->second.valid()) {
-    return fp->second.run(&variables_, &rng_, inputs);
+    ApiEntry& entry, const std::vector<Tensor>& inputs) {
+  // Fast path: replay the lowered plan when contraction succeeded.
+  if (entry.traced && entry.fast_path.valid()) {
+    return entry.fast_path.run(&variables_, &rng_, inputs);
   }
 
+  const BuiltApi& api = *entry.api;
   ImperativeContext ctx(&variables_, &rng_, /*build_mode=*/false);
-  bool trace = options_.fast_path && fp == fast_paths_.end();
+  bool trace = options_.fast_path && !entry.traced;
   FastPathRecorder recorder;
   BuildContext bctx(&ctx, BuildMode::kRun, nullptr,
                     trace ? &recorder : nullptr);
@@ -182,7 +211,8 @@ std::vector<Tensor> GraphExecutor::execute_imperative(
       RLG_LOG_DEBUG << "fast-path contraction enabled for API '" << api.name
                     << "' (" << program.num_steps() << " steps)";
     }
-    fast_paths_[api.name] = std::move(program);
+    entry.fast_path = std::move(program);
+    entry.traced = true;
   }
   return out;
 }

@@ -2,12 +2,16 @@
 // backend (paper §4.1). Owns the variable store, drives all build phases,
 // and serves execute(api, inputs) requests:
 //
-//  * static backend — looks up placeholders and fetch ops in the op registry
-//    and batches everything into a single session call; the component graph
-//    is not consulted again after the build.
+//  * static backend — every API is compiled to a Session::PreparedCall at
+//    build time (fetches + placeholder feed order resolved once); execute()
+//    hands the positional inputs straight to the compiled plan.
 //  * define-by-run backend — re-dispatches the call chain of graph functions
-//    through the component graph, or replays the contracted fast-path
-//    program when edge contraction succeeded.
+//    through the component graph; when edge contraction succeeds, the
+//    contracted program is lowered onto the same compiled-plan layer and
+//    replays run the shared plan executor.
+//
+// Hot call sites (agents, executors) resolve an ApiHandle once after build
+// and call execute(handle, ...) — no per-call string lookup.
 #pragma once
 
 #include <map>
@@ -43,6 +47,12 @@ struct ExecutorOptions {
   bool profiling = false;
 };
 
+// Build-time-resolved reference to one API method of one executor.
+struct ApiHandle {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
 class GraphExecutor {
  public:
   // The executor shares ownership of the root component; a component tree
@@ -54,9 +64,16 @@ class GraphExecutor {
   // Runs assembly + build (+ optimization); idempotent.
   const BuildStats& build();
 
+  // Resolve an API name to its handle (valid after build()). Throws
+  // NotFoundError for unknown names.
+  ApiHandle api_handle(const std::string& api) const;
+
   // Serve one API request. Inputs/outputs are flattened leaf tensors in
-  // space-flatten order.
+  // space-flatten order. The string overload resolves the handle per call;
+  // hot paths should resolve once and use the handle overload.
   std::vector<Tensor> execute(const std::string& api,
+                              const std::vector<Tensor>& inputs = {});
+  std::vector<Tensor> execute(ApiHandle handle,
                               const std::vector<Tensor>& inputs = {});
 
   // --- introspection ---------------------------------------------------------
@@ -72,11 +89,15 @@ class GraphExecutor {
   // Static backend: one per execute(); define-by-run: dispatch count.
   int64_t execution_calls() const { return execution_calls_; }
   // Per-API latency summaries (populated when options.profiling is set) —
-  // the "hooks for summaries or profiling" of paper §4.1.
+  // the "hooks for summaries or profiling" of paper §4.1. When profiling is
+  // on, the session's plan-compile / cache-hit / reuse counters land here
+  // too.
   const MetricRegistry& profile() const { return profile_; }
   std::string profile_report() const { return profile_.report(); }
   // Readable dump of the built computation graph (static backend).
   std::string graph_dump() const;
+  // The session serving static-backend calls (null on define-by-run).
+  Session* session() { return session_.get(); }
 
   // --- weights ------------------------------------------------------------------
   // All variables whose scoped name starts with `prefix` ("" = all).
@@ -87,9 +108,19 @@ class GraphExecutor {
   void import_variables(const std::vector<uint8_t>& bytes);
 
  private:
-  std::vector<Tensor> execute_static(const BuiltApi& api,
-                                     const std::vector<Tensor>& inputs);
-  std::vector<Tensor> execute_imperative(const BuiltApi& api,
+  // Per-API state resolved at build time.
+  struct ApiEntry {
+    const BuiltApi* api = nullptr;
+    // Static backend: the compiled plan call (fetches + feed order baked).
+    std::shared_ptr<Session::PreparedCall> prepared;
+    // Define-by-run: the contracted program once a dispatch traced it.
+    FastPathProgram fast_path;
+    bool traced = false;
+  };
+
+  std::vector<Tensor> execute_entry(ApiEntry& entry,
+                                    const std::vector<Tensor>& inputs);
+  std::vector<Tensor> execute_imperative(ApiEntry& entry,
                                          const std::vector<Tensor>& inputs);
 
   std::shared_ptr<Component> root_;
@@ -102,15 +133,14 @@ class GraphExecutor {
   MetaGraph meta_;
   BuildStats stats_;
   std::map<std::string, BuiltApi> api_registry_;
+  std::map<std::string, int> handle_ids_;
+  std::vector<ApiEntry> entries_;
   int64_t execution_calls_ = 0;
   MetricRegistry profile_;
 
   // Static backend state.
   std::shared_ptr<GraphDef> graph_;
   std::unique_ptr<Session> session_;
-
-  // Define-by-run state.
-  std::map<std::string, FastPathProgram> fast_paths_;
 };
 
 }  // namespace rlgraph

@@ -216,11 +216,15 @@ ReplayShard::ReplayShard(const ApexConfig& config, int shard_index) {
       },
       opts);
   executor_->build();
+  h_insert_ = executor_->api_handle("insert");
+  h_sample_ = executor_->api_handle("sample");
+  h_update_priorities_ = executor_->api_handle("update_priorities");
+  h_size_ = executor_->api_handle("size");
 }
 
 void ReplayShard::insert(const SampleBatch& batch) {
   if (batch.num_records == 0) return;
-  executor_->execute("insert",
+  executor_->execute(h_insert_,
                      {batch.states, batch.actions, batch.rewards,
                       batch.next_states, batch.terminals, batch.priorities});
   size_ += batch.num_records;
@@ -228,18 +232,18 @@ void ReplayShard::insert(const SampleBatch& batch) {
 
 std::vector<Tensor> ReplayShard::sample(int64_t n) {
   if (size() == 0) return {};
-  return executor_->execute("sample",
+  return executor_->execute(h_sample_,
                             {Tensor::scalar_int(static_cast<int32_t>(n))});
 }
 
 void ReplayShard::update_priorities(const Tensor& indices,
                                     const Tensor& priorities) {
-  executor_->execute("update_priorities", {indices, priorities});
+  executor_->execute(h_update_priorities_, {indices, priorities});
 }
 
 int64_t ReplayShard::size() {
   return static_cast<int64_t>(
-      executor_->execute("size", {})[0].scalar_value());
+      executor_->execute(h_size_, {})[0].scalar_value());
 }
 
 // --- ApexExecutor -----------------------------------------------------------------

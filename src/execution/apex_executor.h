@@ -128,6 +128,8 @@ class ReplayShard {
 
  private:
   std::unique_ptr<GraphExecutor> executor_;
+  // Hot-path API handles, resolved once after the shard build.
+  ApiHandle h_insert_, h_sample_, h_update_priorities_, h_size_;
   int64_t size_ = 0;
 };
 

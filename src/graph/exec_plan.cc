@@ -1,0 +1,346 @@
+#include "graph/exec_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+// --- RunArena ---------------------------------------------------------------
+
+RunArena::RunArena()
+#ifdef NDEBUG
+    : check_purity_(false)
+#else
+    : check_purity_(true)
+#endif
+{
+}
+
+void RunArena::begin_run(size_t num_slots) {
+  slots_.assign(num_slots, std::nullopt);
+  refs_.assign(num_slots, 0);
+  live_ = 0;
+  peak_ = 0;
+}
+
+void RunArena::put(int slot, Tensor value, int32_t refs) {
+  if (refs <= 0) return;  // nothing will ever read it
+  slots_[static_cast<size_t>(slot)].emplace(std::move(value));
+  refs_[static_cast<size_t>(slot)] = refs;
+  ++live_;
+  peak_ = std::max(peak_, live_);
+}
+
+const Tensor& RunArena::get(int slot) const {
+  const std::optional<Tensor>& v = slots_[static_cast<size_t>(slot)];
+  RLG_CHECK_MSG(v.has_value(),
+                "plan slot " << slot << " read before production or after "
+                             << "release (refcount bug)");
+  return *v;
+}
+
+void RunArena::unref(int slot) {
+  int32_t& r = refs_[static_cast<size_t>(slot)];
+  if (--r == 0) {
+    slots_[static_cast<size_t>(slot)].reset();
+    --live_;
+  }
+}
+
+void RunArena::end_run() {
+  slots_.assign(slots_.size(), std::nullopt);
+  live_ = 0;
+}
+
+// --- purity checking --------------------------------------------------------
+
+namespace {
+
+uint64_t fnv1a(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<uint64_t> checksum_inputs(const std::vector<Tensor>& inputs) {
+  std::vector<uint64_t> sums;
+  sums.reserve(inputs.size());
+  for (const Tensor& t : inputs) sums.push_back(fnv1a(t.raw(), t.byte_size()));
+  return sums;
+}
+
+}  // namespace
+
+// --- compile from a GraphDef ------------------------------------------------
+
+std::shared_ptr<CompiledPlan> CompiledPlan::compile(
+    std::shared_ptr<const GraphDef> graph, const std::vector<Endpoint>& fetches,
+    const std::vector<int>& feed_nodes) {
+  RLG_REQUIRE(graph != nullptr, "CompiledPlan::compile requires a graph");
+  const int n = graph->num_nodes();
+
+  for (int id : feed_nodes) {
+    RLG_REQUIRE(id >= 0 && id < n,
+                "feed targets unknown node " << id);
+    RLG_REQUIRE(graph->node(id).op == "Placeholder",
+                "feed target '" << graph->node(id).name
+                                << "' is not a placeholder");
+  }
+  std::vector<uint8_t> fed(static_cast<size_t>(n), 0);
+  for (int id : feed_nodes) fed[static_cast<size_t>(id)] = 1;
+
+  // Iterative post-order DFS from the fetch roots over data + control deps.
+  std::vector<int> schedule;
+  std::vector<uint8_t> state(static_cast<size_t>(n),
+                             0);  // 0=unvisited 1=on-stack 2=done
+  std::vector<std::pair<int, size_t>> stack;  // (node, next-dep index)
+  auto deps_of = [&](int id) {
+    const NodeDef& node = graph->node(id);
+    std::vector<int> deps;
+    deps.reserve(node.inputs.size() + node.control_inputs.size());
+    for (const Endpoint& e : node.inputs) deps.push_back(e.node);
+    for (int c : node.control_inputs) deps.push_back(c);
+    return deps;
+  };
+  for (const Endpoint& fetch : fetches) {
+    RLG_REQUIRE(fetch.node >= 0 && fetch.node < n,
+                "fetch endpoint references unknown node " << fetch.node);
+    if (state[static_cast<size_t>(fetch.node)] == 2) continue;
+    stack.emplace_back(fetch.node, 0);
+    state[static_cast<size_t>(fetch.node)] = 1;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      std::vector<int> deps = deps_of(id);
+      if (next < deps.size()) {
+        int dep = deps[next++];
+        uint8_t s = state[static_cast<size_t>(dep)];
+        if (s == 0) {
+          state[static_cast<size_t>(dep)] = 1;
+          stack.emplace_back(dep, 0);
+        } else {
+          RLG_CHECK_MSG(s != 1, "cycle detected in graph at node "
+                                    << graph->node(dep).name);
+        }
+      } else {
+        state[static_cast<size_t>(id)] = 2;
+        schedule.push_back(id);
+        stack.pop_back();
+      }
+    }
+  }
+
+  auto plan = std::shared_ptr<CompiledPlan>(new CompiledPlan());
+  plan->graph_ = graph;
+  // Feeds outside the fetched subgraph get no slot; their per-run values
+  // are dropped. Recorded by name so Session::run (explicit feed map, where
+  // an unused feed is almost always a caller bug) can reject them, while
+  // positional API calls tolerate ignored arguments.
+  for (int id : feed_nodes) {
+    if (state[static_cast<size_t>(id)] != 2) {
+      plan->unused_feed_names_.push_back(graph->node(id).name);
+    }
+  }
+  const OpRegistry& registry = OpRegistry::instance();
+
+  // Dense slot layout: one slot per output of every scheduled node.
+  std::vector<int> slot_base(static_cast<size_t>(n), -1);
+  int next_slot = 0;
+  for (int id : schedule) {
+    slot_base[static_cast<size_t>(id)] = next_slot;
+    next_slot += std::max(1, graph->node(id).num_outputs());
+  }
+  plan->num_slots_ = static_cast<size_t>(next_slot);
+
+  for (int id : schedule) {
+    const NodeDef& node = graph->node(id);
+    if (fed[static_cast<size_t>(id)]) continue;  // value arrives per run
+    if (node.op == "Const" && !node.stateful) {
+      // Preload the attr tensor directly; no kernel dispatch per run.
+      plan->baked_consts_.emplace_back(slot_base[static_cast<size_t>(id)],
+                                       attr_tensor(node.attrs, "value"));
+      continue;
+    }
+    Step step;
+    step.kernel = &registry.lookup(node.op).kernel;  // resolved once
+    step.node = &node;
+    step.input_slots.reserve(node.inputs.size());
+    for (const Endpoint& e : node.inputs) {
+      step.input_slots.push_back(slot_base[static_cast<size_t>(e.node)] +
+                                 e.index);
+    }
+    step.out_base = slot_base[static_cast<size_t>(id)];
+    step.num_outputs = node.num_outputs();
+    plan->steps_.push_back(std::move(step));
+  }
+
+  plan->feed_slots_.reserve(feed_nodes.size());
+  for (int id : feed_nodes) {
+    const NodeDef& node = graph->node(id);
+    plan->feed_slots_.push_back(slot_base[static_cast<size_t>(id)]);  // -1 if unused
+    plan->feed_dtypes_.push_back(node.out_dtypes[0]);
+    plan->feed_shapes_.push_back(node.out_shapes[0]);
+    plan->feed_names_.push_back(node.name);
+  }
+  plan->fetch_slots_.reserve(fetches.size());
+  for (const Endpoint& f : fetches) {
+    plan->fetch_slots_.push_back(slot_base[static_cast<size_t>(f.node)] +
+                                 f.index);
+  }
+  plan->finalize_refcounts();
+  return plan;
+}
+
+// --- Builder (tape / fast-path lowering) ------------------------------------
+
+int CompiledPlan::Builder::add_input() {
+  int slot = num_slots_++;
+  input_slots_.push_back(slot);
+  ++num_inputs_;
+  return slot;
+}
+
+int CompiledPlan::Builder::add_const(Tensor value) {
+  int slot = num_slots_++;
+  consts_.emplace_back(slot, std::move(value));
+  return slot;
+}
+
+int CompiledPlan::Builder::add_step(NodeDef node,
+                                    const std::vector<int>& input_slots,
+                                    int num_outputs) {
+  RLG_REQUIRE(num_outputs > 0, "plan step must have outputs");
+  for (int s : input_slots) {
+    RLG_REQUIRE(s >= 0 && s < num_slots_,
+                "plan step input slot " << s << " not yet produced");
+  }
+  nodes_.push_back(std::move(node));
+  Step step;
+  step.kernel = &OpRegistry::instance().lookup(nodes_.back().op).kernel;
+  step.node = &nodes_.back();
+  step.input_slots = input_slots;
+  step.out_base = num_slots_;
+  step.num_outputs = num_outputs;
+  num_slots_ += num_outputs;
+  steps_.push_back(std::move(step));
+  return steps_.back().out_base;
+}
+
+void CompiledPlan::Builder::set_outputs(std::vector<int> slots) {
+  for (int s : slots) {
+    RLG_REQUIRE(s >= 0 && s < num_slots_, "plan output slot " << s
+                                              << " was never produced");
+  }
+  output_slots_ = std::move(slots);
+}
+
+std::shared_ptr<CompiledPlan> CompiledPlan::Builder::finish() {
+  auto plan = std::shared_ptr<CompiledPlan>(new CompiledPlan());
+  plan->owned_nodes_ = std::move(nodes_);
+  plan->steps_ = std::move(steps_);
+  plan->baked_consts_ = std::move(consts_);
+  plan->feed_slots_ = std::move(input_slots_);
+  plan->fetch_slots_ = std::move(output_slots_);
+  plan->num_slots_ = static_cast<size_t>(num_slots_);
+  plan->finalize_refcounts();
+  return plan;
+}
+
+void CompiledPlan::finalize_refcounts() {
+  initial_refs_.assign(num_slots_, 0);
+  for (const Step& step : steps_) {
+    for (int s : step.input_slots) ++initial_refs_[static_cast<size_t>(s)];
+  }
+  for (int s : fetch_slots_) ++initial_refs_[static_cast<size_t>(s)];
+}
+
+// --- execution --------------------------------------------------------------
+
+std::vector<Tensor> CompiledPlan::execute(RunArena& arena,
+                                          const std::vector<Tensor>& feed_values,
+                                          VariableStore* variables,
+                                          Rng* rng) const {
+  RLG_REQUIRE(feed_values.size() == feed_slots_.size(),
+              "plan expects " << feed_slots_.size() << " feed values, got "
+                              << feed_values.size());
+  const size_t validated =
+      feed_dtypes_.empty() ? 0 : feed_values.size();  // built plans skip
+  for (size_t i = 0; i < validated; ++i) {
+    const Tensor& v = feed_values[i];
+    RLG_REQUIRE(v.dtype() == feed_dtypes_[i],
+                "feed for '" << feed_names_[i] << "' has dtype "
+                             << dtype_name(v.dtype()) << ", expected "
+                             << dtype_name(feed_dtypes_[i]));
+    RLG_REQUIRE(feed_shapes_[i].matches(v.shape()),
+                "feed for '" << feed_names_[i] << "' has shape "
+                             << v.shape().to_string() << ", expected "
+                             << feed_shapes_[i].to_string());
+  }
+
+  // Kernel output allocations inside this run draw from the arena's pool;
+  // released intermediates recycle their buffers within the same run.
+  BufferPoolScope pool_scope(&arena.pool());
+  arena.begin_run(num_slots_);
+  for (size_t i = 0; i < feed_values.size(); ++i) {
+    if (feed_slots_[i] < 0) continue;  // feed unused by the fetched subgraph
+    arena.put(feed_slots_[i], feed_values[i],
+              initial_refs_[static_cast<size_t>(feed_slots_[i])]);
+  }
+  for (const auto& [slot, value] : baked_consts_) {
+    arena.put(slot, value, initial_refs_[static_cast<size_t>(slot)]);
+  }
+
+  const bool check_purity = arena.check_kernel_purity();
+  KernelContext ctx;
+  ctx.variables = variables;
+  ctx.rng = rng;
+  for (const Step& step : steps_) {
+    ctx.node = step.node;
+    ctx.inputs.clear();
+    ctx.inputs.reserve(step.input_slots.size());
+    for (int slot : step.input_slots) ctx.inputs.push_back(arena.get(slot));
+
+    std::vector<uint64_t> sums;
+    if (check_purity) sums = checksum_inputs(ctx.inputs);
+
+    std::vector<Tensor> out = (*step.kernel)(ctx);
+
+    if (check_purity) {
+      std::vector<uint64_t> after = checksum_inputs(ctx.inputs);
+      for (size_t i = 0; i < sums.size(); ++i) {
+        RLG_CHECK_MSG(sums[i] == after[i],
+                      "kernel for op '" << step.node->op << "' (node '"
+                                        << step.node->name
+                                        << "') mutated input " << i
+                                        << "; in-place writes corrupt shared/"
+                                           "pooled buffers");
+      }
+    }
+
+    RLG_CHECK_MSG(static_cast<int>(out.size()) == step.num_outputs,
+                  "op " << step.node->op << " produced " << out.size()
+                        << " outputs, plan expects " << step.num_outputs);
+    for (int j = 0; j < step.num_outputs; ++j) {
+      arena.put(step.out_base + j, std::move(out[static_cast<size_t>(j)]),
+                initial_refs_[static_cast<size_t>(step.out_base + j)]);
+    }
+    for (int slot : step.input_slots) arena.unref(slot);
+  }
+
+  std::vector<Tensor> fetched;
+  fetched.reserve(fetch_slots_.size());
+  for (int slot : fetch_slots_) fetched.push_back(arena.get(slot));
+  arena.end_run();
+
+  counters_.runs.fetch_add(1, std::memory_order_relaxed);
+  counters_.nodes_executed.fetch_add(static_cast<int64_t>(steps_.size()),
+                                     std::memory_order_relaxed);
+  return fetched;
+}
+
+}  // namespace rlgraph

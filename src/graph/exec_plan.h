@@ -1,0 +1,160 @@
+// Compiled execution plans: the one executable-graph layer shared by the
+// Session (static backend) and the fast-path (define-by-run backend).
+//
+// The paper's build process amortizes per-call overhead into a one-time
+// compilation step. A CompiledPlan is that step's output: every scheduled
+// node's kernel is resolved to a function pointer once, the dependency
+// structure is flattened into dense value-slot indices (no per-run maps or
+// registry lookups), and per-slot last-use refcounts let intermediates be
+// released eagerly. Steady-state execution walks a flat step array against a
+// reusable RunArena whose buffer pool recycles tensor storage, so a run does
+// zero schedule work and minimal allocation.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph_def.h"
+#include "graph/op_schema.h"
+#include "tensor/buffer_pool.h"
+
+namespace rlgraph {
+
+// Reusable per-run state for one plan: the dense value-slot table, live
+// refcounts, and the buffer pool serving kernel allocations. An arena is
+// used by at most one run at a time (Session keeps a small pool per plan).
+class RunArena {
+ public:
+  RunArena();
+
+  BufferPool& pool() { return pool_; }
+
+  void begin_run(size_t num_slots);
+  // Store a produced value. refs == 0 drops the value immediately (an
+  // output nothing consumes); the slot still counts toward the peak.
+  void put(int slot, Tensor value, int32_t refs);
+  const Tensor& get(int slot) const;
+  // Consume one reference; the slot's tensor is released at zero so its
+  // buffer can return to the pool mid-run.
+  void unref(int slot);
+  void end_run();
+
+  int64_t live_slots() const { return live_; }
+  // High-water mark of simultaneously live slots in the most recent
+  // (or current) run — what the eager-release tests assert on.
+  int64_t peak_live_slots() const { return peak_; }
+
+  // Debug invariant: verify kernels never mutate their input tensors (a
+  // mutated input would silently corrupt pooled/shared buffers). Defaults
+  // to on in debug builds (NDEBUG not defined), off otherwise.
+  void set_check_kernel_purity(bool on) { check_purity_ = on; }
+  bool check_kernel_purity() const { return check_purity_; }
+
+ private:
+  std::vector<std::optional<Tensor>> slots_;
+  std::vector<int32_t> refs_;
+  int64_t live_ = 0;
+  int64_t peak_ = 0;
+  bool check_purity_;
+  BufferPool pool_;
+};
+
+class CompiledPlan {
+ public:
+  struct Step {
+    const KernelFn* kernel = nullptr;  // resolved once at compile time
+    const NodeDef* node = nullptr;     // attrs/name for the KernelContext
+    std::vector<int> input_slots;
+    int out_base = 0;
+    int num_outputs = 0;
+  };
+
+  struct Counters {
+    std::atomic<int64_t> runs{0};
+    std::atomic<int64_t> nodes_executed{0};
+  };
+
+  // Compile the transitive closure of `fetches` over `graph`. `feed_nodes`
+  // lists the placeholder nodes whose values arrive per run (in the
+  // positional order execute() expects). Throws ValueError if a feed
+  // targets a non-placeholder node. A feed outside the fetched subgraph is
+  // tolerated (its value is dropped; APIs may legitimately ignore an
+  // argument) but recorded in unused_feed_names() so callers that consider
+  // it a bug — Session::run with an explicit feed map — can reject it.
+  static std::shared_ptr<CompiledPlan> compile(
+      std::shared_ptr<const GraphDef> graph,
+      const std::vector<Endpoint>& fetches, const std::vector<int>& feed_nodes);
+
+  // Assembles a plan directly from lowered steps (the fast-path recorder's
+  // route into this layer; also used by tests).
+  class Builder {
+   public:
+    // Next positional plan input; returns its slot.
+    int add_input();
+    // A constant preloaded into its slot each run (shared handle, no
+    // kernel call). Returns the slot.
+    int add_const(Tensor value);
+    // A step running `node.op`'s registered kernel (or the node's custom
+    // kernel via the CustomStateful schema). Returns the base output slot.
+    int add_step(NodeDef node, const std::vector<int>& input_slots,
+                 int num_outputs);
+    void set_outputs(std::vector<int> slots);
+    std::shared_ptr<CompiledPlan> finish();
+
+   private:
+    friend class CompiledPlan;
+    int num_slots_ = 0;
+    int num_inputs_ = 0;
+    std::deque<NodeDef> nodes_;  // stable addresses for Step::node
+    std::vector<Step> steps_;
+    std::vector<std::pair<int, Tensor>> consts_;
+    std::vector<int> input_slots_;
+    std::vector<int> output_slots_;
+  };
+
+  // Run the plan. `feed_values` are positional (feed_nodes order for
+  // graph-compiled plans, add_input order for built plans). Per-run feed
+  // dtype/shape validation happens here; a scheduled placeholder that was
+  // not fed throws when its kernel executes.
+  std::vector<Tensor> execute(RunArena& arena,
+                              const std::vector<Tensor>& feed_values,
+                              VariableStore* variables, Rng* rng) const;
+
+  size_t num_steps() const { return steps_.size(); }
+  size_t num_slots() const { return num_slots_; }
+  size_t num_feeds() const { return feed_slots_.size(); }
+  size_t num_outputs() const { return fetch_slots_.size(); }
+  // Feed placeholders not reachable from the fetches (values are dropped).
+  const std::vector<std::string>& unused_feed_names() const {
+    return unused_feed_names_;
+  }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  CompiledPlan() = default;
+
+  // Shared by compile()/Builder::finish(): compute per-slot refcounts from
+  // step inputs + fetches.
+  void finalize_refcounts();
+
+  std::shared_ptr<const GraphDef> graph_;  // keeps Step::node alive
+  std::deque<NodeDef> owned_nodes_;        // Builder-made plans own theirs
+  std::vector<Step> steps_;
+  std::vector<std::pair<int, Tensor>> baked_consts_;
+  std::vector<int> feed_slots_;
+  // Expected feed signatures (graph-compiled plans; empty for built plans).
+  std::vector<DType> feed_dtypes_;
+  std::vector<Shape> feed_shapes_;
+  std::vector<std::string> feed_names_;
+  std::vector<std::string> unused_feed_names_;
+  std::vector<int> fetch_slots_;
+  std::vector<int32_t> initial_refs_;
+  size_t num_slots_ = 0;
+  mutable Counters counters_;
+};
+
+}  // namespace rlgraph

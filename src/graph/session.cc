@@ -1,6 +1,6 @@
 #include "graph/session.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "util/errors.h"
 
@@ -12,104 +12,133 @@ Session::Session(std::shared_ptr<const GraphDef> graph,
   RLG_REQUIRE(graph_ != nullptr, "Session requires a graph");
 }
 
-const Session::Plan& Session::plan_for(const std::vector<Endpoint>& fetches) {
-  auto it = plan_cache_.find(fetches);
-  if (it != plan_cache_.end()) return it->second;
-
-  // Iterative post-order DFS from the fetch roots over data + control deps.
-  Plan plan;
-  std::vector<uint8_t> state(static_cast<size_t>(graph_->num_nodes()),
-                             0);  // 0=unvisited 1=on-stack 2=done
-  std::vector<std::pair<int, size_t>> stack;  // (node, next-dep index)
-  auto deps_of = [&](int id) {
-    const NodeDef& n = graph_->node(id);
-    std::vector<int> deps;
-    deps.reserve(n.inputs.size() + n.control_inputs.size());
-    for (const Endpoint& e : n.inputs) deps.push_back(e.node);
-    for (int c : n.control_inputs) deps.push_back(c);
-    return deps;
-  };
-  for (const Endpoint& fetch : fetches) {
-    RLG_REQUIRE(fetch.node >= 0 && fetch.node < graph_->num_nodes(),
-                "fetch endpoint references unknown node " << fetch.node);
-    if (state[static_cast<size_t>(fetch.node)] == 2) continue;
-    stack.emplace_back(fetch.node, 0);
-    state[static_cast<size_t>(fetch.node)] = 1;
-    while (!stack.empty()) {
-      auto& [id, next] = stack.back();
-      std::vector<int> deps = deps_of(id);
-      if (next < deps.size()) {
-        int dep = deps[next++];
-        uint8_t s = state[static_cast<size_t>(dep)];
-        if (s == 0) {
-          state[static_cast<size_t>(dep)] = 1;
-          stack.emplace_back(dep, 0);
-        } else {
-          RLG_CHECK_MSG(s != 1, "cycle detected in graph at node "
-                                    << graph_->node(dep).name);
-        }
-      } else {
-        state[static_cast<size_t>(id)] = 2;
-        plan.schedule.push_back(id);
-        stack.pop_back();
-      }
+std::vector<Tensor> Session::PreparedCall::run(
+    const std::vector<Tensor>& feed_values) {
+  // Check an arena out of the free list; concurrent runs of the same plan
+  // each get their own slot table.
+  std::unique_ptr<RunArena> arena;
+  {
+    std::lock_guard<std::mutex> lock(arenas_mutex_);
+    if (!free_arenas_.empty()) {
+      arena = std::move(free_arenas_.back());
+      free_arenas_.pop_back();
     }
   }
-  return plan_cache_.emplace(fetches, std::move(plan)).first->second;
+  if (arena == nullptr) {
+    arena = std::make_unique<RunArena>();
+    ++num_arenas_;
+  }
+
+  std::vector<Tensor> out;
+  try {
+    out = plan_->execute(*arena, feed_values, session_->variables_,
+                         session_->rng_);
+  } catch (...) {
+    arena->end_run();
+    {
+      std::lock_guard<std::mutex> lock(arenas_mutex_);
+      free_arenas_.push_back(std::move(arena));
+    }
+    throw;
+  }
+  last_peak_.store(arena->peak_live_slots(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(arenas_mutex_);
+    free_arenas_.push_back(std::move(arena));
+  }
+  session_->record_run(*this);
+  return out;
+}
+
+int64_t Session::PreparedCall::bytes_reused() const {
+  std::lock_guard<std::mutex> lock(arenas_mutex_);
+  int64_t total = 0;
+  for (const auto& arena : free_arenas_) total += arena->pool().bytes_reused();
+  return total;
+}
+
+void Session::PreparedCall::set_check_kernel_purity(bool on) {
+  std::lock_guard<std::mutex> lock(arenas_mutex_);
+  for (auto& arena : free_arenas_) arena->set_check_kernel_purity(on);
+  // Arenas created later inherit the build-type default; callers that need
+  // the invariant everywhere run single-threaded (tests), where the free
+  // list holds every arena between runs.
+}
+
+std::shared_ptr<Session::PreparedCall> Session::prepare(
+    const std::vector<Endpoint>& fetches, const std::vector<int>& feed_nodes) {
+  PlanKey key{fetches, feed_nodes};
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_ != nullptr) metrics_->increment("session/plan_cache_hits");
+      return it->second;
+    }
+  }
+  // Compile outside the lock (may be slow); last writer wins on a race.
+  std::shared_ptr<CompiledPlan> plan =
+      CompiledPlan::compile(graph_, fetches, feed_nodes);
+  auto call = std::make_shared<PreparedCall>();
+  call->session_ = this;
+  call->plan_ = std::move(plan);
+  plan_compiles_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->increment("session/plan_compiles");
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto [it, inserted] = plan_cache_.emplace(std::move(key), std::move(call));
+  return it->second;
 }
 
 std::vector<Tensor> Session::run(const std::vector<Endpoint>& fetches,
                                  const FeedMap& feeds) {
-  ++num_runs_;
-  const Plan& plan = plan_for(fetches);
-  const OpRegistry& registry = OpRegistry::instance();
-
-  // Per-run output table: node id -> outputs.
-  std::map<int, std::vector<Tensor>> results;
+  std::vector<int> feed_nodes;
+  std::vector<Tensor> feed_values;
+  feed_nodes.reserve(feeds.size());
+  feed_values.reserve(feeds.size());
   for (const auto& [node_id, value] : feeds) {
-    const NodeDef& n = graph_->node(node_id);
-    RLG_REQUIRE(n.op == "Placeholder",
-                "feed target '" << n.name << "' is not a placeholder");
-    RLG_REQUIRE(n.out_dtypes[0] == value.dtype(),
-                "feed for '" << n.name << "' has dtype "
-                             << dtype_name(value.dtype()) << ", expected "
-                             << dtype_name(n.out_dtypes[0]));
-    RLG_REQUIRE(n.out_shapes[0].matches(value.shape()),
-                "feed for '" << n.name << "' has shape "
-                             << value.shape().to_string() << ", expected "
-                             << n.out_shapes[0].to_string());
-    results[node_id] = {value};
+    feed_nodes.push_back(node_id);
+    feed_values.push_back(value);
   }
-
-  for (int id : plan.schedule) {
-    if (results.count(id) > 0) continue;  // fed placeholder
-    const NodeDef& n = graph_->node(id);
-    const OpSchema& schema = registry.lookup(n.op);
-    KernelContext ctx;
-    ctx.node = &n;
-    ctx.variables = variables_;
-    ctx.rng = rng_;
-    ctx.inputs.reserve(n.inputs.size());
-    for (const Endpoint& e : n.inputs) {
-      auto it = results.find(e.node);
-      RLG_CHECK_MSG(it != results.end(),
-                    "dependency not evaluated for node " << n.name);
-      ctx.inputs.push_back(it->second[static_cast<size_t>(e.index)]);
+  std::shared_ptr<PreparedCall> call = prepare(fetches, feed_nodes);
+  // An explicit feed map naming placeholders the fetched subgraph never
+  // reads was previously ignored silently; it is almost always a caller
+  // bug, so name the offenders. (Positional API calls via prepare() keep
+  // tolerating ignored arguments.)
+  const std::vector<std::string>& unused = call->plan().unused_feed_names();
+  if (!unused.empty()) {
+    std::string names;
+    for (const std::string& u : unused) {
+      if (!names.empty()) names += ", ";
+      names += "'" + u + "'";
     }
-    std::vector<Tensor> out = schema.kernel(ctx);
-    RLG_CHECK_MSG(static_cast<int>(out.size()) == n.num_outputs(),
-                  "op " << n.op << " produced " << out.size()
-                        << " outputs, node declares " << n.num_outputs());
-    ++nodes_executed_;
-    results[id] = std::move(out);
+    throw ValueError(
+        "feeds target placeholders not used by the fetched subgraph: " +
+        names);
   }
+  return call->run(feed_values);
+}
 
-  std::vector<Tensor> fetched;
-  fetched.reserve(fetches.size());
-  for (const Endpoint& f : fetches) {
-    fetched.push_back(results.at(f.node)[static_cast<size_t>(f.index)]);
+void Session::record_run(const PreparedCall& call) {
+  num_runs_.fetch_add(1, std::memory_order_relaxed);
+  nodes_executed_.fetch_add(static_cast<int64_t>(call.plan().num_steps()),
+                            std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    metrics_->increment("session/runs");
+    metrics_->increment("session/nodes_executed",
+                        static_cast<int64_t>(call.plan().num_steps()));
+    metrics_->set_gauge("session/bytes_reused",
+                        static_cast<double>(bytes_reused()));
   }
-  return fetched;
+}
+
+int64_t Session::bytes_reused() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  int64_t total = 0;
+  for (const auto& [key, call] : plan_cache_) {
+    total += call->bytes_reused();
+  }
+  return total;
 }
 
 }  // namespace rlgraph

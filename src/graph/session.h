@@ -1,20 +1,22 @@
 // Session: executes fetches against a GraphDef with feeds, the static-graph
 // backend's runtime (the TF-session analogue).
 //
-// Each run evaluates the transitive closure of the fetched endpoints in
-// topological order. Stateless node results are memoized within a run;
-// stateful nodes (variables, assigns, random, component kernels) execute at
-// most once per run but never across runs. Execution plans (the node
-// schedule for a fetch set) are cached across runs, so steady-state act/
-// update calls pay only dispatch cost — this is what makes batching multiple
-// logical operations into one session call profitable, the effect the
-// paper's Ape-X comparison measures.
+// The session is a thin cache of CompiledPlans keyed by (fetches, feed
+// signature). A plan resolves kernels, flattens dependencies into dense
+// value slots and precomputes last-use refcounts once; steady-state runs do
+// zero schedule work (see graph/exec_plan.h). Callers on a hot path can
+// prepare() a call once and skip even the cache lookup — this is what makes
+// batching multiple logical operations into one session call profitable,
+// the effect the paper's Ape-X comparison measures.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "graph/exec_plan.h"
 #include "graph/graph_def.h"
 #include "graph/op_schema.h"
 #include "util/metrics.h"
@@ -25,30 +27,72 @@ using FeedMap = std::map<int, Tensor>;  // placeholder node id -> value
 
 class Session {
  public:
+  // A (fetches, feed set) resolved to its compiled plan plus reusable run
+  // arenas. Obtained once via Session::prepare; run() is the per-call hot
+  // path: no maps, no key comparisons, one arena checkout.
+  class PreparedCall {
+   public:
+    std::vector<Tensor> run(const std::vector<Tensor>& feed_values);
+    const CompiledPlan& plan() const { return *plan_; }
+    // Aggregate pool stats over this call's arenas.
+    int64_t bytes_reused() const;
+    // Peak simultaneously-live value slots of the most recent run.
+    int64_t last_peak_live_slots() const { return last_peak_; }
+    void set_check_kernel_purity(bool on);
+
+   private:
+    friend class Session;
+    Session* session_ = nullptr;
+    std::shared_ptr<CompiledPlan> plan_;
+    mutable std::mutex arenas_mutex_;
+    std::vector<std::unique_ptr<RunArena>> free_arenas_;
+    size_t num_arenas_ = 0;
+    std::atomic<int64_t> last_peak_{0};
+  };
+
   // The session borrows the graph/store/rng; the graph executor owns them.
   Session(std::shared_ptr<const GraphDef> graph, VariableStore* variables,
           Rng* rng);
 
   // Evaluate the fetches given feeds. Fetch order defines result order.
+  // Feeds must target placeholder nodes inside the fetched subgraph;
+  // unused feeds are an error naming the offending placeholders.
   std::vector<Tensor> run(const std::vector<Endpoint>& fetches,
                           const FeedMap& feeds);
 
-  int64_t num_runs() const { return num_runs_; }
-  int64_t nodes_executed() const { return nodes_executed_; }
+  // Compile (or fetch from cache) the plan for a fetch set + feed node
+  // list; feed values are later passed positionally in `feed_nodes` order.
+  std::shared_ptr<PreparedCall> prepare(const std::vector<Endpoint>& fetches,
+                                        const std::vector<int>& feed_nodes);
+
+  // Per-plan counters are aggregated into `metrics` (compiles, cache hits,
+  // nodes executed, bytes reused) when set.
+  void set_metrics(MetricRegistry* metrics) { metrics_ = metrics; }
+
+  int64_t num_runs() const { return num_runs_.load(); }
+  int64_t nodes_executed() const { return nodes_executed_.load(); }
+  int64_t plan_compiles() const { return plan_compiles_.load(); }
+  int64_t plan_cache_hits() const { return plan_cache_hits_.load(); }
+  int64_t bytes_reused() const;
 
  private:
-  struct Plan {
-    std::vector<int> schedule;  // node ids in execution order
-  };
+  friend class PreparedCall;
 
-  const Plan& plan_for(const std::vector<Endpoint>& fetches);
+  void record_run(const PreparedCall& call);
 
   std::shared_ptr<const GraphDef> graph_;
   VariableStore* variables_;
   Rng* rng_;
-  std::map<std::vector<Endpoint>, Plan> plan_cache_;
-  int64_t num_runs_ = 0;
-  int64_t nodes_executed_ = 0;
+
+  using PlanKey = std::pair<std::vector<Endpoint>, std::vector<int>>;
+  mutable std::mutex cache_mutex_;
+  std::map<PlanKey, std::shared_ptr<PreparedCall>> plan_cache_;
+
+  std::atomic<int64_t> num_runs_{0};
+  std::atomic<int64_t> nodes_executed_{0};
+  std::atomic<int64_t> plan_compiles_{0};
+  std::atomic<int64_t> plan_cache_hits_{0};
+  MetricRegistry* metrics_ = nullptr;
 };
 
 }  // namespace rlgraph

@@ -1,0 +1,83 @@
+#include "tensor/buffer_pool.h"
+
+#include <new>
+
+namespace rlgraph {
+
+namespace {
+thread_local BufferPool* t_current_pool = nullptr;
+}  // namespace
+
+BufferPool::BufferPool(size_t max_pooled_bytes)
+    : state_(std::make_shared<State>()) {
+  state_->max_pooled = max_pooled_bytes;
+}
+
+BufferPool::~BufferPool() { trim(); }
+
+std::shared_ptr<void> BufferPool::allocate(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  void* p = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    auto it = state_->free_lists.find(bytes);
+    if (it != state_->free_lists.end() && !it->second.empty()) {
+      p = it->second.back();
+      it->second.pop_back();
+      state_->pooled -= bytes;
+      state_->reused += static_cast<int64_t>(bytes);
+    } else {
+      state_->allocated += static_cast<int64_t>(bytes);
+    }
+  }
+  if (p == nullptr) p = ::operator new(bytes);
+  // The deleter owns a reference to the pool state, so returns stay valid
+  // after the BufferPool object itself is gone.
+  std::shared_ptr<State> state = state_;
+  return std::shared_ptr<void>(p, [state, bytes](void* q) {
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (state->pooled + bytes <= state->max_pooled) {
+        state->free_lists[bytes].push_back(q);
+        state->pooled += bytes;
+        return;
+      }
+    }
+    ::operator delete(q);
+  });
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  for (auto& [bytes, list] : state_->free_lists) {
+    for (void* p : list) ::operator delete(p);
+    list.clear();
+  }
+  state_->free_lists.clear();
+  state_->pooled = 0;
+}
+
+int64_t BufferPool::bytes_reused() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->reused;
+}
+
+int64_t BufferPool::bytes_allocated() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->allocated;
+}
+
+int64_t BufferPool::pooled_bytes() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return static_cast<int64_t>(state_->pooled);
+}
+
+BufferPool* BufferPool::current() { return t_current_pool; }
+
+BufferPoolScope::BufferPoolScope(BufferPool* pool) : previous_(t_current_pool) {
+  t_current_pool = pool;
+}
+
+BufferPoolScope::~BufferPoolScope() { t_current_pool = previous_; }
+
+}  // namespace rlgraph

@@ -4,11 +4,14 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/buffer_pool.h"
+
 namespace rlgraph {
 
 namespace {
 std::shared_ptr<void> allocate(size_t bytes) {
   if (bytes == 0) bytes = 1;  // keep a valid pointer for 0-element tensors
+  if (BufferPool* pool = BufferPool::current()) return pool->allocate(bytes);
   return std::shared_ptr<void>(::operator new(bytes),
                                [](void* p) { ::operator delete(p); });
 }
