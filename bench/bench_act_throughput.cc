@@ -78,8 +78,9 @@ Row run_hand_tuned(int64_t num_envs, double seconds) {
 }  // namespace
 }  // namespace rlgraph
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rlgraph;
+  bench::Reporter reporter("act_throughput", argc, argv);
   bench::print_header(
       "Figure 5b: worker act throughput vs. number of parallel Pong envs");
   std::vector<int64_t> env_counts{1, 2, 4, 8, 16, 32};
@@ -100,6 +101,12 @@ int main() {
       std::printf("%-26s %8lld %14.0f %10lld\n", r.impl.c_str(),
                   static_cast<long long>(r.envs), r.frames_per_second,
                   static_cast<long long>(r.executor_calls));
+      Json params;
+      params["impl"] = Json(r.impl);
+      params["envs"] = Json(r.envs);
+      params["exec_calls"] = Json(r.executor_calls);
+      reporter.record("act_fps", r.frames_per_second, "env_frames/s",
+                      std::move(params));
     }
     std::printf("\n");
   }

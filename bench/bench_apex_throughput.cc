@@ -12,8 +12,9 @@
 #include "bench_common.h"
 #include "execution/apex_executor.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rlgraph;
+  bench::Reporter reporter("apex_throughput", argc, argv);
   bench::print_header(
       "Figure 6: distributed Ape-X sample throughput on synthetic Pong");
 
@@ -45,6 +46,15 @@ int main() {
     cfg.worker_sample_size = 100;
     cfg.n_step = 3;
     cfg.min_shard_records = 200;
+    auto report = [&](const char* impl, const ApexResult& r) {
+      Json params;
+      params["impl"] = Json(impl);
+      params["workers"] = Json(workers);
+      params["learner_updates"] = Json(r.learner_updates);
+      params["sample_tasks"] = Json(r.sample_tasks);
+      reporter.record("apex_fps", r.frames_per_second, "env_frames/s",
+                      std::move(params));
+    };
     {
       ApexExecutor exec(cfg);
       ApexResult r = exec.run(seconds);
@@ -53,6 +63,7 @@ int main() {
                   r.frames_per_second,
                   static_cast<long long>(r.learner_updates),
                   static_cast<long long>(r.sample_tasks));
+      report("RLgraph", r);
     }
     {
       ApexExecutor exec(baselines::rllib_like(cfg));
@@ -62,6 +73,7 @@ int main() {
                   r.frames_per_second,
                   static_cast<long long>(r.learner_updates),
                   static_cast<long long>(r.sample_tasks));
+      report("RLlib-like", r);
     }
   }
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -65,6 +66,65 @@ inline Scale bench_scale() {
   if (s == "full") return Scale::kFull;
   return Scale::kMedium;
 }
+
+// Machine-readable results: pass `--json out.json` (or `--json=out.json`)
+// to any benchmark binary and every record() lands in that file as
+//   {"benchmark": ..., "scale": ..., "results": [
+//      {"name": ..., "value": ..., "unit": ..., "params": {...}}, ...]}
+// written once at scope exit. Without the flag, record() is a no-op beyond
+// the usual stdout table, so CI and humans share one binary.
+class Reporter {
+ public:
+  Reporter(const std::string& benchmark, int argc, char** argv)
+      : benchmark_(benchmark) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg(argv[i]);
+      if (arg == "--json" && i + 1 < argc) {
+        path_ = argv[i + 1];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      }
+    }
+  }
+
+  ~Reporter() {
+    if (path_.empty()) return;
+    Json doc;
+    doc["benchmark"] = Json(benchmark_);
+    Scale s = bench_scale();
+    doc["scale"] = Json(s == Scale::kQuick
+                            ? "quick"
+                            : (s == Scale::kFull ? "full" : "medium"));
+    doc["results"] = Json(rows_);
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return;
+    }
+    out << doc.dump(2) << "\n";
+  }
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void record(const std::string& name, double value, const std::string& unit,
+              Json params = Json(JsonObject{})) {
+    if (path_.empty()) return;
+    Json row;
+    row["name"] = Json(name);
+    row["value"] = Json(value);
+    row["unit"] = Json(unit);
+    row["params"] = std::move(params);
+    rows_.push_back(std::move(row));
+  }
+
+ private:
+  std::string benchmark_;
+  std::string path_;
+  JsonArray rows_;
+};
 
 }  // namespace bench
 }  // namespace rlgraph

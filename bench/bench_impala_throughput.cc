@@ -41,8 +41,9 @@ Json dmlab_env_spec() {
 }  // namespace
 }  // namespace rlgraph
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rlgraph;
+  bench::Reporter reporter("impala_throughput", argc, argv);
   bench::print_header(
       "Figure 9: IMPALA throughput on the DM-Lab-style arena");
 
@@ -66,6 +67,15 @@ int main() {
     cfg.num_actors = actors;
     cfg.envs_per_actor = 4;
     cfg.queue_capacity = 8;
+    auto report = [&](const char* impl, const ImpalaResult& r) {
+      Json params;
+      params["impl"] = Json(impl);
+      params["actors"] = Json(actors);
+      params["rollouts"] = Json(r.rollouts);
+      params["learner_updates"] = Json(r.learner_updates);
+      reporter.record("impala_fps", r.frames_per_second, "env_frames/s",
+                      std::move(params));
+    };
     {
       ImpalaPipeline pipeline(cfg);
       ImpalaResult r = pipeline.run(seconds);
@@ -73,6 +83,7 @@ int main() {
       std::printf("%-14s %8d %14.0f %10lld %10lld\n", "RLgraph", actors,
                   r.frames_per_second, static_cast<long long>(r.rollouts),
                   static_cast<long long>(r.learner_updates));
+      report("RLgraph", r);
     }
     {
       ImpalaPipeline pipeline(baselines::dm_impala_like(cfg));
@@ -81,6 +92,7 @@ int main() {
       std::printf("%-14s %8d %14.0f %10lld %10lld\n", "DM-like", actors,
                   r.frames_per_second, static_cast<long long>(r.rollouts),
                   static_cast<long long>(r.learner_updates));
+      report("DM-like", r);
     }
   }
   std::printf("\nRLgraph / DM-like throughput ratio (paper: ~1.10-1.15 until "

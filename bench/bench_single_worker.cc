@@ -39,8 +39,9 @@ double worker_fps(const ApexConfig& base, int envs, int64_t task_size,
 }  // namespace
 }  // namespace rlgraph
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rlgraph;
+  bench::Reporter reporter("single_worker", argc, argv);
   bench::print_header(
       "Figure 7a: single-worker throughput vs. task size and #envs");
 
@@ -77,6 +78,17 @@ int main() {
       std::printf("%-24s %6d %10lld %14.0f\n",
                   "ablate:incr-postproc", envs, static_cast<long long>(task),
                   incr_only);
+      const std::pair<const char*, double> impls[] = {
+          {"RLgraph", rlgraph},
+          {"RLlib-like", rllib},
+          {"ablate:incr-postproc", incr_only}};
+      for (const auto& [impl, fps] : impls) {
+        Json params;
+        params["impl"] = Json(impl);
+        params["envs"] = Json(envs);
+        params["task_size"] = Json(task);
+        reporter.record("sample_fps", fps, "env_frames/s", std::move(params));
+      }
     }
     std::printf("\n");
   }

@@ -1,9 +1,13 @@
 #include "graph/exec_plan.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <set>
 #include <utility>
 
 #include "util/errors.h"
+#include "util/thread_pool.h"
 
 namespace rlgraph {
 
@@ -20,17 +24,26 @@ RunArena::RunArena()
 
 void RunArena::begin_run(size_t num_slots) {
   slots_.assign(num_slots, std::nullopt);
-  refs_.assign(num_slots, 0);
-  live_ = 0;
-  peak_ = 0;
+  if (refs_capacity_ < num_slots) {
+    refs_ = std::make_unique<std::atomic<int32_t>[]>(num_slots);
+    refs_capacity_ = num_slots;
+  }
+  for (size_t i = 0; i < num_slots; ++i) {
+    refs_[i].store(0, std::memory_order_relaxed);
+  }
+  live_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
 }
 
 void RunArena::put(int slot, Tensor value, int32_t refs) {
   if (refs <= 0) return;  // nothing will ever read it
   slots_[static_cast<size_t>(slot)].emplace(std::move(value));
-  refs_[static_cast<size_t>(slot)] = refs;
-  ++live_;
-  peak_ = std::max(peak_, live_);
+  refs_[static_cast<size_t>(slot)].store(refs, std::memory_order_release);
+  int64_t live = live_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !peak_.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
 }
 
 const Tensor& RunArena::get(int slot) const {
@@ -42,16 +55,19 @@ const Tensor& RunArena::get(int slot) const {
 }
 
 void RunArena::unref(int slot) {
-  int32_t& r = refs_[static_cast<size_t>(slot)];
-  if (--r == 0) {
+  // The last consumer (acq_rel decrement) is the only thread that touches
+  // the slot afterwards, so the reset below is race-free even when several
+  // consumer steps finish concurrently.
+  if (refs_[static_cast<size_t>(slot)].fetch_sub(
+          1, std::memory_order_acq_rel) == 1) {
     slots_[static_cast<size_t>(slot)].reset();
-    --live_;
+    live_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void RunArena::end_run() {
   slots_.assign(slots_.size(), std::nullopt);
-  live_ = 0;
+  live_.store(0, std::memory_order_relaxed);
 }
 
 // --- purity checking --------------------------------------------------------
@@ -157,6 +173,7 @@ std::shared_ptr<CompiledPlan> CompiledPlan::compile(
   }
   plan->num_slots_ = static_cast<size_t>(next_slot);
 
+  std::vector<int> step_of_node(static_cast<size_t>(n), -1);
   for (int id : schedule) {
     const NodeDef& node = graph->node(id);
     if (fed[static_cast<size_t>(id)]) continue;  // value arrives per run
@@ -166,9 +183,11 @@ std::shared_ptr<CompiledPlan> CompiledPlan::compile(
                                        attr_tensor(node.attrs, "value"));
       continue;
     }
+    const OpSchema& schema = registry.lookup(node.op);
     Step step;
-    step.kernel = &registry.lookup(node.op).kernel;  // resolved once
+    step.kernel = &schema.kernel;  // resolved once
     step.node = &node;
+    step.stateful = node.stateful || schema.stateful;
     step.input_slots.reserve(node.inputs.size());
     for (const Endpoint& e : node.inputs) {
       step.input_slots.push_back(slot_base[static_cast<size_t>(e.node)] +
@@ -176,7 +195,20 @@ std::shared_ptr<CompiledPlan> CompiledPlan::compile(
     }
     step.out_base = slot_base[static_cast<size_t>(id)];
     step.num_outputs = node.num_outputs();
+    step_of_node[static_cast<size_t>(id)] =
+        static_cast<int>(plan->steps_.size());
     plan->steps_.push_back(std::move(step));
+  }
+
+  // Control inputs are scheduling-only edges; map them onto step indices
+  // for the parallel executor (a control dep on a fed/baked/unscheduled
+  // node is satisfied before the first step runs).
+  std::vector<std::pair<int, int>> control_edges;
+  for (size_t s = 0; s < plan->steps_.size(); ++s) {
+    for (int c : plan->steps_[s].node->control_inputs) {
+      int from = step_of_node[static_cast<size_t>(c)];
+      if (from >= 0) control_edges.emplace_back(from, static_cast<int>(s));
+    }
   }
 
   plan->feed_slots_.reserve(feed_nodes.size());
@@ -192,7 +224,7 @@ std::shared_ptr<CompiledPlan> CompiledPlan::compile(
     plan->fetch_slots_.push_back(slot_base[static_cast<size_t>(f.node)] +
                                  f.index);
   }
-  plan->finalize_refcounts();
+  plan->finalize_schedule(control_edges);
   return plan;
 }
 
@@ -220,9 +252,11 @@ int CompiledPlan::Builder::add_step(NodeDef node,
                 "plan step input slot " << s << " not yet produced");
   }
   nodes_.push_back(std::move(node));
+  const OpSchema& schema = OpRegistry::instance().lookup(nodes_.back().op);
   Step step;
-  step.kernel = &OpRegistry::instance().lookup(nodes_.back().op).kernel;
+  step.kernel = &schema.kernel;
   step.node = &nodes_.back();
+  step.stateful = nodes_.back().stateful || schema.stateful;
   step.input_slots = input_slots;
   step.out_base = num_slots_;
   step.num_outputs = num_outputs;
@@ -247,16 +281,70 @@ std::shared_ptr<CompiledPlan> CompiledPlan::Builder::finish() {
   plan->feed_slots_ = std::move(input_slots_);
   plan->fetch_slots_ = std::move(output_slots_);
   plan->num_slots_ = static_cast<size_t>(num_slots_);
-  plan->finalize_refcounts();
+  plan->finalize_schedule({});
   return plan;
 }
 
-void CompiledPlan::finalize_refcounts() {
+void CompiledPlan::finalize_schedule(
+    const std::vector<std::pair<int, int>>& control_edges) {
   initial_refs_.assign(num_slots_, 0);
   for (const Step& step : steps_) {
     for (int s : step.input_slots) ++initial_refs_[static_cast<size_t>(s)];
   }
   for (int s : fetch_slots_) ++initial_refs_[static_cast<size_t>(s)];
+
+  // Inter-op dependency structure. Data edges come from the producing step
+  // of each input slot; control edges are passed in; the stateful chain
+  // serializes side effects (and RNG draws) in schedule order.
+  std::vector<int> producer_of_slot(num_slots_, -1);
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    for (int j = 0; j < steps_[i].num_outputs; ++j) {
+      producer_of_slot[static_cast<size_t>(steps_[i].out_base + j)] =
+          static_cast<int>(i);
+    }
+  }
+  std::vector<std::set<int>> deps(steps_.size());
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    for (int s : steps_[i].input_slots) {
+      int p = producer_of_slot[static_cast<size_t>(s)];
+      if (p >= 0) deps[i].insert(p);
+    }
+  }
+  for (const auto& [from, to] : control_edges) {
+    deps[static_cast<size_t>(to)].insert(from);
+  }
+  int prev_stateful = -1;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (!steps_[i].stateful) continue;
+    if (prev_stateful >= 0) deps[i].insert(prev_stateful);
+    prev_stateful = static_cast<int>(i);
+  }
+
+  initial_ready_.clear();
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    steps_[i].successors.clear();
+    steps_[i].num_deps = static_cast<int>(deps[i].size());
+    if (steps_[i].num_deps == 0) initial_ready_.push_back(static_cast<int>(i));
+  }
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    for (int d : deps[i]) {
+      steps_[static_cast<size_t>(d)].successors.push_back(static_cast<int>(i));
+    }
+  }
+
+  // Max antichain width via levelization: the compile-time parallelism
+  // bound the executor consults before paying any scheduling overhead.
+  std::vector<int> level(steps_.size(), 0);
+  std::vector<int> width;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    int lv = 0;
+    for (int d : deps[i]) lv = std::max(lv, level[static_cast<size_t>(d)] + 1);
+    level[i] = lv;
+    if (static_cast<size_t>(lv) >= width.size()) width.resize(lv + 1, 0);
+    ++width[static_cast<size_t>(lv)];
+  }
+  max_width_ = 1;
+  for (int w : width) max_width_ = std::max(max_width_, w);
 }
 
 // --- execution --------------------------------------------------------------
@@ -295,41 +383,14 @@ std::vector<Tensor> CompiledPlan::execute(RunArena& arena,
     arena.put(slot, value, initial_refs_[static_cast<size_t>(slot)]);
   }
 
-  const bool check_purity = arena.check_kernel_purity();
-  KernelContext ctx;
-  ctx.variables = variables;
-  ctx.rng = rng;
-  for (const Step& step : steps_) {
-    ctx.node = step.node;
-    ctx.inputs.clear();
-    ctx.inputs.reserve(step.input_slots.size());
-    for (int slot : step.input_slots) ctx.inputs.push_back(arena.get(slot));
-
-    std::vector<uint64_t> sums;
-    if (check_purity) sums = checksum_inputs(ctx.inputs);
-
-    std::vector<Tensor> out = (*step.kernel)(ctx);
-
-    if (check_purity) {
-      std::vector<uint64_t> after = checksum_inputs(ctx.inputs);
-      for (size_t i = 0; i < sums.size(); ++i) {
-        RLG_CHECK_MSG(sums[i] == after[i],
-                      "kernel for op '" << step.node->op << "' (node '"
-                                        << step.node->name
-                                        << "') mutated input " << i
-                                        << "; in-place writes corrupt shared/"
-                                           "pooled buffers");
-      }
-    }
-
-    RLG_CHECK_MSG(static_cast<int>(out.size()) == step.num_outputs,
-                  "op " << step.node->op << " produced " << out.size()
-                        << " outputs, plan expects " << step.num_outputs);
-    for (int j = 0; j < step.num_outputs; ++j) {
-      arena.put(step.out_base + j, std::move(out[static_cast<size_t>(j)]),
-                initial_refs_[static_cast<size_t>(step.out_base + j)]);
-    }
-    for (int slot : step.input_slots) arena.unref(slot);
+  // Inter-op dispatch: the parallel scheduler only pays off when the step
+  // DAG actually has width and the process has pool threads. max_width_ is
+  // the compile-time bound, so chains (and RLGRAPH_NUM_THREADS=1) take the
+  // zero-overhead serial loop.
+  if (max_width_ > 1 && steps_.size() >= 4 && global_parallelism() > 1) {
+    execute_parallel(arena, variables, rng);
+  } else {
+    execute_serial(arena, variables, rng);
   }
 
   std::vector<Tensor> fetched;
@@ -341,6 +402,165 @@ std::vector<Tensor> CompiledPlan::execute(RunArena& arena,
   counters_.nodes_executed.fetch_add(static_cast<int64_t>(steps_.size()),
                                      std::memory_order_relaxed);
   return fetched;
+}
+
+void CompiledPlan::run_step(const Step& step, KernelContext& ctx,
+                            RunArena& arena, bool check_purity) const {
+  ctx.node = step.node;
+  ctx.inputs.clear();
+  ctx.inputs.reserve(step.input_slots.size());
+  for (int slot : step.input_slots) ctx.inputs.push_back(arena.get(slot));
+
+  std::vector<uint64_t> sums;
+  if (check_purity) sums = checksum_inputs(ctx.inputs);
+
+  std::vector<Tensor> out = (*step.kernel)(ctx);
+
+  if (check_purity) {
+    std::vector<uint64_t> after = checksum_inputs(ctx.inputs);
+    for (size_t i = 0; i < sums.size(); ++i) {
+      RLG_CHECK_MSG(sums[i] == after[i],
+                    "kernel for op '" << step.node->op << "' (node '"
+                                      << step.node->name << "') mutated input "
+                                      << i
+                                      << "; in-place writes corrupt shared/"
+                                         "pooled buffers");
+    }
+  }
+
+  RLG_CHECK_MSG(static_cast<int>(out.size()) == step.num_outputs,
+                "op " << step.node->op << " produced " << out.size()
+                      << " outputs, plan expects " << step.num_outputs);
+  for (int j = 0; j < step.num_outputs; ++j) {
+    arena.put(step.out_base + j, std::move(out[static_cast<size_t>(j)]),
+              initial_refs_[static_cast<size_t>(step.out_base + j)]);
+  }
+  for (int slot : step.input_slots) arena.unref(slot);
+}
+
+void CompiledPlan::execute_serial(RunArena& arena, VariableStore* variables,
+                                  Rng* rng) const {
+  const bool check_purity = arena.check_kernel_purity();
+  KernelContext ctx;  // reused across steps: one inputs allocation per run
+  ctx.variables = variables;
+  ctx.rng = rng;
+  for (const Step& step : steps_) run_step(step, ctx, arena, check_purity);
+}
+
+// Shared state of one parallel plan run. Pool helpers hold it via
+// shared_ptr: a helper scheduled late (after the run completed or failed)
+// locks the mutex, sees no ready work, and returns without touching the
+// arena — so the caller can safely reuse the arena for the next run.
+struct CompiledPlan::Scheduler {
+  const CompiledPlan* plan;
+  RunArena* arena;
+  VariableStore* variables;
+  Rng* rng;
+  BufferPool* pool;
+  bool check_purity;
+
+  // Per-step dependency counters; finishing predecessors race on these
+  // without the mutex (atomic decrement), only ready-list pushes lock.
+  std::vector<std::atomic<int>> deps;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<int> ready;
+  size_t remaining;
+  int executing = 0;
+  std::exception_ptr error;  // first failure wins
+
+  Scheduler(const CompiledPlan* p, RunArena* a, VariableStore* v, Rng* r)
+      : plan(p),
+        arena(a),
+        variables(v),
+        rng(r),
+        pool(&a->pool()),
+        check_purity(a->check_kernel_purity()),
+        deps(p->steps_.size()),
+        remaining(p->steps_.size()) {
+    for (size_t i = 0; i < p->steps_.size(); ++i) {
+      deps[i].store(p->steps_[i].num_deps, std::memory_order_relaxed);
+    }
+    ready = p->initial_ready_;
+  }
+
+  // Run ready steps until none remain (or the run failed). Called by the
+  // submitting thread and by pool helper tasks; `self` lets a drain spawn
+  // additional helpers when one finished step unblocks several successors.
+  void drain(const std::shared_ptr<Scheduler>& self) {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!error && !ready.empty()) {
+      int idx = ready.back();
+      ready.pop_back();
+      ++executing;
+      lock.unlock();
+
+      std::exception_ptr err;
+      std::vector<int> fresh;  // successors this step unblocked
+      try {
+        // Helpers run on pool threads whose thread-local pool binding is
+        // whatever ran there last; rebind to this run's arena pool.
+        BufferPoolScope scope(pool);
+        KernelContext ctx;
+        ctx.variables = variables;
+        ctx.rng = rng;
+        plan->run_step(plan->steps_[static_cast<size_t>(idx)], ctx, *arena,
+                       check_purity);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      if (!err) {
+        for (int succ : plan->steps_[static_cast<size_t>(idx)].successors) {
+          if (deps[static_cast<size_t>(succ)].fetch_sub(
+                  1, std::memory_order_acq_rel) == 1) {
+            fresh.push_back(succ);
+          }
+        }
+      }
+
+      size_t spawn = 0;
+      lock.lock();
+      --executing;
+      if (err) {
+        if (!error) error = err;
+      } else {
+        --remaining;
+        for (int f : fresh) ready.push_back(f);
+        // This thread continues with one ready step; extra ones need
+        // helpers (over-posting is harmless: an idle helper exits fast).
+        if (fresh.size() > 1) spawn = fresh.size() - 1;
+      }
+      if ((remaining == 0 || error) && executing == 0) cv.notify_all();
+      if (spawn > 0) {
+        lock.unlock();
+        ThreadPool& pool_threads = global_pool();
+        spawn = std::min(spawn, pool_threads.size());
+        for (size_t i = 0; i < spawn; ++i) {
+          pool_threads.post([self] { self->drain(self); });
+        }
+        lock.lock();
+      }
+    }
+  }
+};
+
+void CompiledPlan::execute_parallel(RunArena& arena, VariableStore* variables,
+                                    Rng* rng) const {
+  auto sched = std::make_shared<Scheduler>(this, &arena, variables, rng);
+  ThreadPool& pool = global_pool();
+  const size_t helpers = std::min(
+      pool.size(),
+      sched->ready.size() > 1 ? sched->ready.size() - 1 : size_t{0});
+  for (size_t i = 0; i < helpers; ++i) {
+    pool.post([sched] { sched->drain(sched); });
+  }
+  sched->drain(sched);  // the caller participates: never waits on idle workers
+
+  std::unique_lock<std::mutex> lock(sched->mutex);
+  sched->cv.wait(lock, [&] {
+    return (sched->remaining == 0 || sched->error) && sched->executing == 0;
+  });
+  if (sched->error) std::rethrow_exception(sched->error);
 }
 
 }  // namespace rlgraph

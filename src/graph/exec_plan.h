@@ -26,7 +26,10 @@ namespace rlgraph {
 
 // Reusable per-run state for one plan: the dense value-slot table, live
 // refcounts, and the buffer pool serving kernel allocations. An arena is
-// used by at most one run at a time (Session keeps a small pool per plan).
+// used by at most one run at a time (Session keeps a small pool per plan),
+// but within that run the parallel inter-op scheduler may produce/consume
+// slots from several pool threads: refcounts are atomic, and distinct slots
+// are only ever touched by the steps that the dependency edges order.
 class RunArena {
  public:
   RunArena();
@@ -43,10 +46,12 @@ class RunArena {
   void unref(int slot);
   void end_run();
 
-  int64_t live_slots() const { return live_; }
+  int64_t live_slots() const { return live_.load(std::memory_order_relaxed); }
   // High-water mark of simultaneously live slots in the most recent
   // (or current) run — what the eager-release tests assert on.
-  int64_t peak_live_slots() const { return peak_; }
+  int64_t peak_live_slots() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
 
   // Debug invariant: verify kernels never mutate their input tensors (a
   // mutated input would silently corrupt pooled/shared buffers). Defaults
@@ -56,9 +61,10 @@ class RunArena {
 
  private:
   std::vector<std::optional<Tensor>> slots_;
-  std::vector<int32_t> refs_;
-  int64_t live_ = 0;
-  int64_t peak_ = 0;
+  std::unique_ptr<std::atomic<int32_t>[]> refs_;
+  size_t refs_capacity_ = 0;
+  std::atomic<int64_t> live_{0};
+  std::atomic<int64_t> peak_{0};
   bool check_purity_;
   BufferPool pool_;
 };
@@ -71,6 +77,15 @@ class CompiledPlan {
     std::vector<int> input_slots;
     int out_base = 0;
     int num_outputs = 0;
+    // Stateful steps (variable reads/writes, RNG, component state) execute
+    // in schedule order even under the parallel scheduler: each one carries
+    // an implicit edge from its predecessor in the stateful chain, which
+    // both serializes side effects and pins the RNG consumption order.
+    bool stateful = false;
+    // Inter-op scheduling, precomputed at compile time: the steps this one
+    // unblocks, and how many predecessor steps must finish first.
+    std::vector<int> successors;
+    int num_deps = 0;
   };
 
   struct Counters {
@@ -126,6 +141,10 @@ class CompiledPlan {
 
   size_t num_steps() const { return steps_.size(); }
   size_t num_slots() const { return num_slots_; }
+  // Widest antichain of the step DAG (1 = a pure chain): the compile-time
+  // bound on inter-op parallelism. execute() stays on the serial path when
+  // it is 1 or the process runs with RLGRAPH_NUM_THREADS=1.
+  int max_parallel_width() const { return max_width_; }
   size_t num_feeds() const { return feed_slots_.size(); }
   size_t num_outputs() const { return fetch_slots_.size(); }
   // Feed placeholders not reachable from the fetches (values are dropped).
@@ -137,9 +156,27 @@ class CompiledPlan {
  private:
   CompiledPlan() = default;
 
+  struct Scheduler;
+
   // Shared by compile()/Builder::finish(): compute per-slot refcounts from
-  // step inputs + fetches.
-  void finalize_refcounts();
+  // step inputs + fetches, then the inter-op dependency structure
+  // (successor lists, dep counts, stateful chain, max width).
+  // `control_edges` carries extra (from_step, to_step) scheduling-only
+  // edges — graph control inputs — that are not visible in input_slots.
+  void finalize_schedule(
+      const std::vector<std::pair<int, int>>& control_edges);
+
+  // Execute one step against the arena (kernel call, purity check, output
+  // placement, input unref). `ctx` is caller-owned scratch (variables/rng
+  // preset) so the serial loop reuses one allocation. Thread-safe across
+  // distinct steps when each thread brings its own ctx.
+  void run_step(const Step& step, KernelContext& ctx, RunArena& arena,
+                bool check_purity) const;
+
+  void execute_serial(RunArena& arena, VariableStore* variables,
+                      Rng* rng) const;
+  void execute_parallel(RunArena& arena, VariableStore* variables,
+                        Rng* rng) const;
 
   std::shared_ptr<const GraphDef> graph_;  // keeps Step::node alive
   std::deque<NodeDef> owned_nodes_;        // Builder-made plans own theirs
@@ -153,6 +190,8 @@ class CompiledPlan {
   std::vector<std::string> unused_feed_names_;
   std::vector<int> fetch_slots_;
   std::vector<int32_t> initial_refs_;
+  std::vector<int> initial_ready_;  // steps with num_deps == 0
+  int max_width_ = 1;
   size_t num_slots_ = 0;
   mutable Counters counters_;
 };

@@ -9,14 +9,16 @@
 // is carried by the buffer's deleter, which keeps the pool state alive via
 // a shared_ptr, so a pool may be destroyed while buffers it allocated are
 // still in flight (they then free normally).
+//
+// Thread safety: the shared free lists are mutex-guarded, and each thread
+// additionally keeps a small bounded cache of recently freed buffers, so
+// the steady-state alloc/free cycle on parallel-executor threads skips the
+// shared mutex entirely. Stats counters are atomics.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <vector>
 
 namespace rlgraph {
 
@@ -30,17 +32,20 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  // Allocate `bytes` from the free list (exact-size match) or the heap.
+  // Allocate `bytes` from this thread's cache, the shared free lists
+  // (exact-size match), or the heap.
   std::shared_ptr<void> allocate(size_t bytes);
 
-  // Drop all retained free buffers.
+  // Drop all retained free buffers from the shared lists. Buffers parked
+  // in other threads' caches stay there until those threads free or exit.
   void trim();
 
   // --- stats ---------------------------------------------------------------
-  // Bytes served from the free lists (reuse) vs. fresh heap allocations.
+  // Bytes served from the free lists or a thread cache (reuse) vs. fresh
+  // heap allocations.
   int64_t bytes_reused() const;
   int64_t bytes_allocated() const;
-  // Bytes currently retained in free lists.
+  // Bytes currently retained (shared lists + thread caches).
   int64_t pooled_bytes() const;
 
   // The pool active on this thread (set by BufferPoolScope), or nullptr.
@@ -49,14 +54,8 @@ class BufferPool {
  private:
   friend class BufferPoolScope;
 
-  struct State {
-    std::mutex mutex;
-    std::unordered_map<size_t, std::vector<void*>> free_lists;
-    size_t pooled = 0;
-    size_t max_pooled;
-    int64_t reused = 0;
-    int64_t allocated = 0;
-  };
+  struct State;
+  struct ThreadCache;
 
   std::shared_ptr<State> state_;
 };

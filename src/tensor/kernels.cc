@@ -5,10 +5,41 @@
 #include <cstring>
 #include <limits>
 
+#include "util/thread_pool.h"
+
 namespace rlgraph {
 namespace kernels {
 
 namespace {
+
+// --- intra-op sharding -------------------------------------------------------
+//
+// Grain sizes are the cost thresholds of the parallel_for cost model:
+// elements (or flops) per shard below which forking is not worth a wakeup.
+// Every sharded kernel writes disjoint output ranges per shard (or combines
+// per-shard partials in a fixed tree), so parallel results are bitwise
+// identical to the serial path at any thread count.
+constexpr int64_t kCheapGrain = 1 << 14;  // streaming arithmetic: add, relu
+constexpr int64_t kMathGrain = 1 << 12;   // transcendental maps: exp, tanh
+constexpr int64_t kGrainFlops = 1 << 16;  // matmul/conv: flops per shard
+
+// Serial ops skip the type-erased dispatch entirely: a single shard is
+// bitwise identical to the unsharded loop for disjoint-write bodies.
+template <typename Body>
+void shard_range(int64_t grain, int64_t n, Body&& body) {
+  if (n <= 0) return;
+  if (n <= grain || global_parallelism() <= 1) {
+    body(int64_t{0}, n);
+    return;
+  }
+  parallel_for(grain, n, std::forward<Body>(body));
+}
+
+// Rows-of-work variant: `cost` is the per-row work estimate used to derive
+// the grain so that one shard carries at least kGrainFlops worth of work.
+inline int64_t rows_grain(int64_t flops_per_row) {
+  return std::max<int64_t>(1, kGrainFlops / std::max<int64_t>(1, flops_per_row));
+}
 
 // Iterator state for broadcasting: maps a flat output index to flat input
 // indices given per-input strides (stride 0 on broadcast dimensions).
@@ -57,13 +88,17 @@ template <typename Fa, typename Fo, typename Fn>
 Tensor binary_broadcast(const Tensor& a, const Tensor& b, DType out_dtype,
                         Fn fn) {
   if (a.shape() == b.shape()) {
-    // Fast path: no index arithmetic.
+    // Fast path: no index arithmetic; shards write disjoint output ranges.
     Tensor out(out_dtype, a.shape());
     const Fa* pa = a.data<Fa>();
     const Fa* pb = b.data<Fa>();
     Fo* po = out.mutable_data<Fo>();
-    int64_t n = a.num_elements();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    shard_range(kCheapGrain, a.num_elements(),
+                [pa, pb, po, fn](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    po[i] = fn(pa[i], pb[i]);
+                  }
+                });
     return out;
   }
   BroadcastPlan plan = make_plan(a.shape(), b.shape());
@@ -72,23 +107,36 @@ Tensor binary_broadcast(const Tensor& a, const Tensor& b, DType out_dtype,
   const Fa* pb = b.data<Fa>();
   Fo* po = out.mutable_data<Fo>();
   int rank = plan.out_shape.rank();
-  std::vector<int64_t> idx(static_cast<size_t>(rank), 0);
   int64_t n = plan.out_shape.num_elements();
-  int64_t ia = 0, ib = 0;
-  for (int64_t flat = 0; flat < n; ++flat) {
-    po[flat] = fn(pa[ia], pb[ib]);
-    // Odometer increment.
+  // Each shard seeds its odometer (and the two strided input cursors) from
+  // its first flat index, then walks its range exactly like the serial loop.
+  shard_range(kCheapGrain, n, [&plan, pa, pb, po, fn, rank](int64_t begin,
+                                                           int64_t end) {
+    std::vector<int64_t> idx(static_cast<size_t>(rank), 0);
+    int64_t ia = 0, ib = 0;
+    int64_t rem = begin;
     for (int d = rank - 1; d >= 0; --d) {
       auto du = static_cast<size_t>(d);
-      ++idx[du];
-      ia += plan.a_strides[du];
-      ib += plan.b_strides[du];
-      if (idx[du] < plan.out_shape.dim(d)) break;
-      ia -= plan.a_strides[du] * idx[du];
-      ib -= plan.b_strides[du] * idx[du];
-      idx[du] = 0;
+      idx[du] = rem % plan.out_shape.dim(d);
+      rem /= plan.out_shape.dim(d);
+      ia += idx[du] * plan.a_strides[du];
+      ib += idx[du] * plan.b_strides[du];
     }
-  }
+    for (int64_t flat = begin; flat < end; ++flat) {
+      po[flat] = fn(pa[ia], pb[ib]);
+      // Odometer increment.
+      for (int d = rank - 1; d >= 0; --d) {
+        auto du = static_cast<size_t>(d);
+        ++idx[du];
+        ia += plan.a_strides[du];
+        ib += plan.b_strides[du];
+        if (idx[du] < plan.out_shape.dim(d)) break;
+        ia -= plan.a_strides[du] * idx[du];
+        ib -= plan.b_strides[du] * idx[du];
+        idx[du] = 0;
+      }
+    }
+  });
   return out;
 }
 
@@ -126,8 +174,10 @@ Tensor unary_float(const Tensor& a, Fn fn, const char* op) {
   Tensor out(DType::kFloat32, a.shape());
   const float* pa = a.data<float>();
   float* po = out.mutable_data<float>();
-  int64_t n = a.num_elements();
-  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  shard_range(kMathGrain, a.num_elements(),
+              [pa, po, fn](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) po[i] = fn(pa[i]);
+              });
   return out;
 }
 
@@ -255,12 +305,15 @@ Tensor where(const Tensor& cond, const Tensor& a, const Tensor& b) {
   const auto* pa = static_cast<const uint8_t*>(a.raw());
   const auto* pb = static_cast<const uint8_t*>(b.raw());
   auto* po = static_cast<uint8_t*>(out.mutable_raw());
-  for (int64_t c = 0; c < cn; ++c) {
-    const uint8_t* src = pc[c] ? pa : pb;
-    std::memcpy(po + static_cast<size_t>(c * inner) * esize,
-                src + static_cast<size_t>(c * inner) * esize,
-                static_cast<size_t>(inner) * esize);
-  }
+  shard_range(rows_grain(inner), cn,
+              [pc, pa, pb, po, inner, esize](int64_t c0, int64_t c1) {
+                for (int64_t c = c0; c < c1; ++c) {
+                  const uint8_t* src = pc[c] ? pa : pb;
+                  std::memcpy(po + static_cast<size_t>(c * inner) * esize,
+                              src + static_cast<size_t>(c * inner) * esize,
+                              static_cast<size_t>(inner) * esize);
+                }
+              });
   return out;
 }
 
@@ -277,16 +330,27 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data<float>();
   const float* pb = b.data<float>();
   float* po = out.mutable_data<float>();
-  // ikj loop order for cache-friendly access of b and out.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  // Shard over output rows (disjoint writes); within a shard, block the k
+  // dimension so the touched rows of b stay cache-resident, keeping the ikj
+  // inner order. Per output element the accumulation still runs over k in
+  // ascending order, so results are bitwise identical at any thread count.
+  constexpr int64_t kKBlock = 256;
+  shard_range(rows_grain(2 * k * n), m,
+              [pa, pb, po, k, n](int64_t r0, int64_t r1) {
+                for (int64_t kb = 0; kb < k; kb += kKBlock) {
+                  int64_t ke = std::min(k, kb + kKBlock);
+                  for (int64_t i = r0; i < r1; ++i) {
+                    const float* arow = pa + i * k;
+                    float* orow = po + i * n;
+                    for (int64_t kk = kb; kk < ke; ++kk) {
+                      float av = arow[kk];
+                      if (av == 0.0f) continue;
+                      const float* brow = pb + kk * n;
+                      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+                    }
+                  }
+                }
+              });
   return out;
 }
 
@@ -297,9 +361,22 @@ Tensor transpose2d(const Tensor& a) {
   Tensor out(DType::kFloat32, Shape{n, m});
   const float* pa = a.data<float>();
   float* po = out.mutable_data<float>();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
-  }
+  // Blocked transpose: both the reads (pa rows) and the column-strided
+  // writes (po) stay within one kTile x kTile block that fits in L1, instead
+  // of striding the full output column per element. Shards take disjoint
+  // row ranges of the input.
+  constexpr int64_t kTile = 32;
+  shard_range(rows_grain(n), m, [pa, po, m, n](int64_t r0, int64_t r1) {
+    for (int64_t i0 = r0; i0 < r1; i0 += kTile) {
+      int64_t i1 = std::min(r1, i0 + kTile);
+      for (int64_t j0 = 0; j0 < n; j0 += kTile) {
+        int64_t j1 = std::min(n, j0 + kTile);
+        for (int64_t j = j0; j < j1; ++j) {
+          for (int64_t i = i0; i < i1; ++i) po[j * m + i] = pa[i * n + j];
+        }
+      }
+    }
+  });
   return out;
 }
 
@@ -355,8 +432,15 @@ Tensor conv2d(const Tensor& input, const Tensor& filter, int stride,
   const float* pi = input.data<float>();
   const float* pf = filter.data<float>();
   float* po = out.mutable_data<float>();
-  for (int64_t b = 0; b < d.batch; ++b) {
-    for (int64_t oh = 0; oh < d.out_h; ++oh) {
+  // Shard over batch x out_h: every (b, oh) pair owns a disjoint slice of
+  // the output, and the per-pixel accumulation order is unchanged, so the
+  // result is bitwise identical to the serial loop.
+  int64_t conv_row_flops = 2 * d.out_w * d.kh * d.kw * d.in_c * d.out_c;
+  shard_range(rows_grain(conv_row_flops), d.batch * d.out_h,
+              [&d, pi, pf, po, stride](int64_t row0, int64_t row1) {
+    for (int64_t row = row0; row < row1; ++row) {
+      int64_t b = row / d.out_h;
+      int64_t oh = row % d.out_h;
       for (int64_t ow = 0; ow < d.out_w; ++ow) {
         float* opix = po + ((b * d.out_h + oh) * d.out_w + ow) * d.out_c;
         for (int64_t fh = 0; fh < d.kh; ++fh) {
@@ -379,7 +463,7 @@ Tensor conv2d(const Tensor& input, const Tensor& filter, int stride,
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -391,7 +475,12 @@ Tensor conv2d_backprop_input(const Shape& input_shape, const Tensor& filter,
   const float* pf = filter.data<float>();
   const float* pg = grad_out.data<float>();
   float* po = grad_in.mutable_data<float>();
-  for (int64_t b = 0; b < d.batch; ++b) {
+  // Output rows (oh) with stride < kernel height scatter into overlapping
+  // input rows, so the finest race-free shard is one batch image.
+  int64_t image_flops = 2 * d.out_h * d.out_w * d.kh * d.kw * d.in_c * d.out_c;
+  shard_range(rows_grain(image_flops), d.batch,
+              [&d, pf, pg, po, stride](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
     for (int64_t oh = 0; oh < d.out_h; ++oh) {
       for (int64_t ow = 0; ow < d.out_w; ++ow) {
         const float* gpix = pg + ((b * d.out_h + oh) * d.out_w + ow) * d.out_c;
@@ -415,7 +504,8 @@ Tensor conv2d_backprop_input(const Shape& input_shape, const Tensor& filter,
         }
       }
     }
-  }
+    }
+  });
   return grad_in;
 }
 
@@ -423,36 +513,65 @@ Tensor conv2d_backprop_filter(const Tensor& input, const Shape& filter_shape,
                               const Tensor& grad_out, int stride,
                               bool same_padding) {
   ConvDims d = conv_dims(input.shape(), filter_shape, stride, same_padding);
-  Tensor grad_f = Tensor::zeros(DType::kFloat32, filter_shape);
   const float* pi = input.data<float>();
   const float* pg = grad_out.data<float>();
-  float* po = grad_f.mutable_data<float>();
-  for (int64_t b = 0; b < d.batch; ++b) {
-    for (int64_t oh = 0; oh < d.out_h; ++oh) {
-      for (int64_t ow = 0; ow < d.out_w; ++ow) {
-        const float* gpix = pg + ((b * d.out_h + oh) * d.out_w + ow) * d.out_c;
-        for (int64_t fh = 0; fh < d.kh; ++fh) {
-          int64_t ih = oh * stride + fh - d.pad_h;
-          if (ih < 0 || ih >= d.in_h) continue;
-          for (int64_t fw = 0; fw < d.kw; ++fw) {
-            int64_t iw = ow * stride + fw - d.pad_w;
-            if (iw < 0 || iw >= d.in_w) continue;
-            const float* ipix = pi + ((b * d.in_h + ih) * d.in_w + iw) * d.in_c;
-            float* fpix = po + (fh * d.kw + fw) * d.in_c * d.out_c;
-            for (int64_t c = 0; c < d.in_c; ++c) {
-              float iv = ipix[c];
-              if (iv == 0.0f) continue;
-              float* frow = fpix + c * d.out_c;
-              for (int64_t oc = 0; oc < d.out_c; ++oc) {
-                frow[oc] += iv * gpix[oc];
+  // Every batch image scatters into the whole filter, so shards accumulate
+  // private partial gradients over disjoint batch ranges, combined below in
+  // a fixed pairwise tree — shard boundaries and tree shape depend only on
+  // the problem size, never the thread count.
+  auto accumulate = [&d, pi, pg, stride](float* po, int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      for (int64_t oh = 0; oh < d.out_h; ++oh) {
+        for (int64_t ow = 0; ow < d.out_w; ++ow) {
+          const float* gpix =
+              pg + ((b * d.out_h + oh) * d.out_w + ow) * d.out_c;
+          for (int64_t fh = 0; fh < d.kh; ++fh) {
+            int64_t ih = oh * stride + fh - d.pad_h;
+            if (ih < 0 || ih >= d.in_h) continue;
+            for (int64_t fw = 0; fw < d.kw; ++fw) {
+              int64_t iw = ow * stride + fw - d.pad_w;
+              if (iw < 0 || iw >= d.in_w) continue;
+              const float* ipix =
+                  pi + ((b * d.in_h + ih) * d.in_w + iw) * d.in_c;
+              float* fpix = po + (fh * d.kw + fw) * d.in_c * d.out_c;
+              for (int64_t c = 0; c < d.in_c; ++c) {
+                float iv = ipix[c];
+                if (iv == 0.0f) continue;
+                float* frow = fpix + c * d.out_c;
+                for (int64_t oc = 0; oc < d.out_c; ++oc) {
+                  frow[oc] += iv * gpix[oc];
+                }
               }
             }
           }
         }
       }
     }
+  };
+
+  int64_t image_flops = 2 * d.out_h * d.out_w * d.kh * d.kw * d.in_c * d.out_c;
+  ShardBounds sb = shard_bounds(rows_grain(image_flops), d.batch);
+  if (sb.num_shards <= 1) {
+    Tensor grad_f = Tensor::zeros(DType::kFloat32, filter_shape);
+    accumulate(grad_f.mutable_data<float>(), 0, d.batch);
+    return grad_f;
   }
-  return grad_f;
+  std::vector<Tensor> partials(static_cast<size_t>(sb.num_shards));
+  parallel_shards(rows_grain(image_flops), d.batch,
+                  [&](int64_t shard, int64_t b0, int64_t b1) {
+                    Tensor p = Tensor::zeros(DType::kFloat32, filter_shape);
+                    accumulate(p.mutable_data<float>(), b0, b1);
+                    partials[static_cast<size_t>(shard)] = std::move(p);
+                  });
+  int64_t filter_elems = partials[0].num_elements();
+  for (int64_t step = 1; step < sb.num_shards; step *= 2) {
+    for (int64_t i = 0; i + step < sb.num_shards; i += 2 * step) {
+      float* dst = partials[static_cast<size_t>(i)].mutable_data<float>();
+      const float* src = partials[static_cast<size_t>(i + step)].data<float>();
+      for (int64_t e = 0; e < filter_elems; ++e) dst[e] += src[e];
+    }
+  }
+  return partials[0];
 }
 
 namespace {
@@ -463,10 +582,35 @@ Tensor reduce(const Tensor& a, int axis, bool keep_dims, float init, Fn fn,
   check_dtype(a, DType::kFloat32, "reduce");
   const float* pa = a.data<float>();
   if (axis == -1) {
+    // Full reduction: per-shard linear folds combined in a fixed pairwise
+    // tree. Shard boundaries depend only on the element count, so the
+    // result is bitwise identical at any thread count (a single shard is
+    // exactly the classic serial fold).
+    int64_t n = a.num_elements();
+    ShardBounds sb = shard_bounds(kCheapGrain, n);
     float acc = init;
-    for (int64_t i = 0; i < a.num_elements(); ++i) acc = fn(acc, pa[i]);
-    if (mean && a.num_elements() > 0) {
-      acc /= static_cast<float>(a.num_elements());
+    if (sb.num_shards <= 1) {
+      for (int64_t i = 0; i < n; ++i) acc = fn(acc, pa[i]);
+    } else {
+      std::vector<float> partials(static_cast<size_t>(sb.num_shards), init);
+      parallel_shards(kCheapGrain, n,
+                      [&partials, pa, init, fn](int64_t shard, int64_t begin,
+                                                int64_t end) {
+                        float p = init;
+                        for (int64_t i = begin; i < end; ++i) p = fn(p, pa[i]);
+                        partials[static_cast<size_t>(shard)] = p;
+                      });
+      for (int64_t step = 1; step < sb.num_shards; step *= 2) {
+        for (int64_t i = 0; i + step < sb.num_shards; i += 2 * step) {
+          partials[static_cast<size_t>(i)] =
+              fn(partials[static_cast<size_t>(i)],
+                 partials[static_cast<size_t>(i + step)]);
+        }
+      }
+      acc = partials[0];
+    }
+    if (mean && n > 0) {
+      acc /= static_cast<float>(n);
     }
     if (!keep_dims) return Tensor::scalar(acc);
     std::vector<int64_t> dims(static_cast<size_t>(a.shape().rank()), 1);
@@ -489,16 +633,22 @@ Tensor reduce(const Tensor& a, int axis, bool keep_dims, float init, Fn fn,
   }
   Tensor out(DType::kFloat32, Shape(out_dims));
   float* po = out.mutable_data<float>();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t in = 0; in < inner; ++in) {
-      float acc = init;
-      for (int64_t e = 0; e < extent; ++e) {
-        acc = fn(acc, pa[(o * extent + e) * inner + in]);
-      }
-      if (mean && extent > 0) acc /= static_cast<float>(extent);
-      po[o * inner + in] = acc;
-    }
-  }
+  // Axis reduction: every output element folds its own extent, so sharding
+  // over the flat output index writes disjoint ranges and is trivially
+  // bitwise-stable.
+  shard_range(rows_grain(extent), outer * inner,
+              [pa, po, inner, extent, init, fn, mean](int64_t t0, int64_t t1) {
+                for (int64_t t = t0; t < t1; ++t) {
+                  int64_t o = t / inner;
+                  int64_t in = t % inner;
+                  float acc = init;
+                  for (int64_t e = 0; e < extent; ++e) {
+                    acc = fn(acc, pa[(o * extent + e) * inner + in]);
+                  }
+                  if (mean && extent > 0) acc /= static_cast<float>(extent);
+                  po[t] = acc;
+                }
+              });
   return out;
 }
 }  // namespace
@@ -549,18 +699,20 @@ Tensor softmax(const Tensor& a) {
   Tensor out(DType::kFloat32, a.shape());
   const float* pa = a.data<float>();
   float* po = out.mutable_data<float>();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = pa + r * cols;
-    float* orow = po + r * cols;
-    float mx = row[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
-    float sum = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) {
-      orow[c] = std::exp(row[c] - mx);
-      sum += orow[c];
+  shard_range(rows_grain(cols), rows, [pa, po, cols](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* row = pa + r * cols;
+      float* orow = po + r * cols;
+      float mx = row[0];
+      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+      float sum = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) {
+        orow[c] = std::exp(row[c] - mx);
+        sum += orow[c];
+      }
+      for (int64_t c = 0; c < cols; ++c) orow[c] /= sum;
     }
-    for (int64_t c = 0; c < cols; ++c) orow[c] /= sum;
-  }
+  });
   return out;
 }
 
@@ -571,16 +723,18 @@ Tensor log_softmax(const Tensor& a) {
   Tensor out(DType::kFloat32, a.shape());
   const float* pa = a.data<float>();
   float* po = out.mutable_data<float>();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = pa + r * cols;
-    float* orow = po + r * cols;
-    float mx = row[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
-    float sum = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) sum += std::exp(row[c] - mx);
-    float lse = mx + std::log(sum);
-    for (int64_t c = 0; c < cols; ++c) orow[c] = row[c] - lse;
-  }
+  shard_range(rows_grain(cols), rows, [pa, po, cols](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* row = pa + r * cols;
+      float* orow = po + r * cols;
+      float mx = row[0];
+      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+      float sum = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) sum += std::exp(row[c] - mx);
+      float lse = mx + std::log(sum);
+      for (int64_t c = 0; c < cols; ++c) orow[c] = row[c] - lse;
+    }
+  });
   return out;
 }
 
@@ -596,14 +750,16 @@ Tensor argmax(const Tensor& a) {
   Tensor out(DType::kInt32, Shape(dims));
   const float* pa = a.data<float>();
   int32_t* po = out.mutable_data<int32_t>();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = pa + r * cols;
-    int64_t best = 0;
-    for (int64_t c = 1; c < cols; ++c) {
-      if (row[c] > row[best]) best = c;
+  shard_range(rows_grain(cols), rows, [pa, po, cols](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* row = pa + r * cols;
+      int64_t best = 0;
+      for (int64_t c = 1; c < cols; ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      po[r] = static_cast<int32_t>(best);
     }
-    po[r] = static_cast<int32_t>(best);
-  }
+  });
   return out;
 }
 

@@ -1,30 +1,270 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
 #include "util/errors.h"
 
 namespace rlgraph {
 
+namespace {
+// Identifies pool worker threads so post() can use the local deque and so
+// parallel sections know they are nested.
+thread_local ThreadPool* t_pool = nullptr;
+thread_local size_t t_worker_index = 0;
+}  // namespace
+
+struct ThreadPool::WorkerQueue {
+  std::mutex mutex;
+  std::deque<std::function<void()>> tasks;
+};
+
 ThreadPool::ThreadPool(size_t num_threads) {
   RLG_REQUIRE(num_threads > 0, "ThreadPool requires at least one thread");
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
-  queue_.close();
+  stop_.store(true);
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  wake_cv_.notify_all();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
 }
 
-void ThreadPool::worker_loop() {
-  while (true) {
-    auto task = queue_.pop();
-    if (!task.has_value()) return;
-    (*task)();
+void ThreadPool::post(std::function<void()> task) {
+  size_t target;
+  if (t_pool == this) {
+    target = t_worker_index;  // local push: LIFO locality for the owner
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
   }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // Empty critical section: a worker between its (false) predicate check
+  // and the actual sleep holds sleep_mutex_, so this waits until it is
+  // really waiting and the notify below cannot be lost.
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_local(size_t self, std::function<void()>& task) {
+  WorkerQueue& q = *queues_[self];
+  std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.tasks.empty()) return false;
+  task = std::move(q.tasks.back());  // newest first: cache-warm work
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(size_t self, std::function<void()>& task) {
+  const size_t n = queues_.size();
+  for (size_t off = 1; off < n; ++off) {
+    WorkerQueue& q = *queues_[(self + off) % n];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty()) continue;
+    task = std::move(q.tasks.front());  // oldest first: likely biggest work
+    q.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(size_t self) {
+  t_pool = this;
+  t_worker_index = self;
+  while (true) {
+    std::function<void()> task;
+    if (try_pop_local(self, task) || try_steal(self, task)) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    wake_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    // Drain everything that was queued before shutdown was requested.
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) <= 0) {
+      return;
+    }
+  }
+}
+
+// --- process-wide pool -------------------------------------------------------
+
+namespace {
+
+size_t parallelism_from_env() {
+  if (const char* env = std::getenv("RLGRAPH_NUM_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<size_t>(v);
+    return 1;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+std::mutex g_pool_mutex;
+std::atomic<size_t> g_parallelism{0};  // 0 = not yet resolved
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+size_t global_parallelism() {
+  // Lock-free on the hot path: every kernel consults this before deciding
+  // whether an op is worth sharding.
+  size_t p = g_parallelism.load(std::memory_order_acquire);
+  if (p != 0) return p;
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  p = g_parallelism.load(std::memory_order_acquire);
+  if (p == 0) {
+    p = parallelism_from_env();
+    g_parallelism.store(p, std::memory_order_release);
+  }
+  return p;
+}
+
+ThreadPool& global_pool() {
+  size_t p = global_parallelism();
+  RLG_CHECK_MSG(p > 1,
+                "global_pool() requested with parallelism 1 (serial mode)");
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool == nullptr) g_pool = std::make_unique<ThreadPool>(p - 1);
+  return *g_pool;
+}
+
+void set_global_parallelism(size_t n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool.reset();
+  g_parallelism.store(n >= 1 ? n : 1, std::memory_order_release);
+}
+
+// --- deterministic sharding --------------------------------------------------
+
+ShardBounds shard_bounds(int64_t grain, int64_t n) {
+  // Boundaries are a pure function of (grain, n): thread count never enters,
+  // so shard-structured results are identical at any parallelism.
+  constexpr int64_t kMaxShards = 256;  // bounds partial/tree sizes
+  ShardBounds b;
+  if (grain < 1) grain = 1;
+  if (n <= grain) {
+    b.num_shards = n > 0 ? 1 : 0;
+    b.shard_size = n;
+    return b;
+  }
+  b.num_shards = std::min<int64_t>((n + grain - 1) / grain, kMaxShards);
+  b.shard_size = (n + b.num_shards - 1) / b.num_shards;
+  // Recompute the shard count the chosen size actually yields (the last
+  // shard may vanish after rounding up).
+  b.num_shards = (n + b.shard_size - 1) / b.shard_size;
+  return b;
+}
+
+namespace {
+
+// Shared state of one parallel section. Helpers keep it alive via
+// shared_ptr, so a helper task that runs after the section completed (the
+// caller claimed every shard itself) only reads `next`, sees no work, and
+// returns without touching the body.
+struct ShardRun {
+  const std::function<void(int64_t, int64_t, int64_t)>* body = nullptr;
+  int64_t num_shards = 0;
+  int64_t shard_size = 0;
+  int64_t n = 0;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // first failure, guarded by mutex
+
+  // Claim and run shards until none remain. Returns the count completed.
+  int64_t drain() {
+    int64_t ran = 0;
+    while (true) {
+      int64_t s = next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= num_shards) break;
+      int64_t begin = s * shard_size;
+      int64_t end = std::min(n, begin + shard_size);
+      try {
+        (*body)(s, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      ++ran;
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_shards) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done_cv.notify_all();
+      }
+    }
+    return ran;
+  }
+};
+
+}  // namespace
+
+void parallel_shards(
+    int64_t grain, int64_t n,
+    const std::function<void(int64_t, int64_t, int64_t)>& body) {
+  ShardBounds b = shard_bounds(grain, n);
+  if (b.num_shards == 0) return;
+  size_t parallelism = global_parallelism();
+  if (b.num_shards == 1 || parallelism <= 1) {
+    // Forced-serial path (RLGRAPH_NUM_THREADS=1) runs the identical shard
+    // structure inline, so results match the parallel path bitwise.
+    for (int64_t s = 0; s < b.num_shards; ++s) {
+      int64_t begin = s * b.shard_size;
+      body(s, begin, std::min(n, begin + b.shard_size));
+    }
+    return;
+  }
+
+  auto run = std::make_shared<ShardRun>();
+  run->body = &body;
+  run->num_shards = b.num_shards;
+  run->shard_size = b.shard_size;
+  run->n = n;
+
+  ThreadPool& pool = global_pool();
+  size_t helpers = std::min<size_t>(pool.size(),
+                                    static_cast<size_t>(b.num_shards - 1));
+  for (size_t i = 0; i < helpers; ++i) {
+    pool.post([run] { run->drain(); });
+  }
+  run->drain();  // the caller participates: never blocks on idle workers
+
+  {
+    std::unique_lock<std::mutex> lock(run->mutex);
+    run->done_cv.wait(lock, [&] {
+      return run->done.load(std::memory_order_acquire) == run->num_shards;
+    });
+    if (run->error) std::rethrow_exception(run->error);
+  }
+}
+
+void parallel_for(int64_t grain, int64_t n,
+                  const std::function<void(int64_t, int64_t)>& body) {
+  parallel_shards(grain, n,
+                  [&body](int64_t, int64_t begin, int64_t end) {
+                    body(begin, end);
+                  });
 }
 
 }  // namespace rlgraph

@@ -1,14 +1,28 @@
-// Fixed-size thread pool. Backs the virtual device abstraction (each device
-// replica computes its gradient tower on a pool worker) and miscellaneous
-// parallel sections.
+// Work-stealing thread pool and data-parallel primitives.
+//
+// One process-wide pool (global_pool, sized by RLGRAPH_NUM_THREADS, default
+// hardware_concurrency) backs every parallel execution path: intra-op kernel
+// sharding (parallel_for / parallel_shards), inter-op compiled-plan
+// scheduling (graph/exec_plan.cc), and the virtual device replicas. Sharing
+// one pool keeps total thread count bounded no matter how many actors or
+// sessions run concurrently — executors never create private pools.
+//
+// Determinism contract: shard boundaries produced by shard_bounds() depend
+// only on (grain, n), never on the thread count or on scheduling order, so
+// any computation that writes disjoint ranges per shard — or combines
+// per-shard partials in a fixed tree order — is bitwise reproducible at any
+// parallelism level, including the forced-serial RLGRAPH_NUM_THREADS=1 path.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
-
-#include "util/queues.h"
 
 namespace rlgraph {
 
@@ -27,17 +41,75 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
-    queue_.push([task] { (*task)(); });
+    post([task] { (*task)(); });
     return fut;
   }
+
+  // Fire-and-forget enqueue (no future allocation). Called from a pool
+  // worker, the task lands on that worker's own deque (LIFO locality);
+  // external submitters round-robin across worker deques. Idle workers
+  // steal from the front of other workers' deques.
+  void post(std::function<void()> task);
 
   size_t size() const { return threads_.size(); }
 
  private:
-  void worker_loop();
+  struct WorkerQueue;
 
-  BlockingQueue<std::function<void()>> queue_;
+  void worker_loop(size_t self);
+  bool try_pop_local(size_t self, std::function<void()>& task);
+  bool try_steal(size_t self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<int64_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> next_queue_{0};
 };
+
+// --- process-wide pool -------------------------------------------------------
+
+// Total parallelism N: RLGRAPH_NUM_THREADS if set (values < 1 clamp to 1),
+// else std::thread::hardware_concurrency(). The calling thread always
+// participates in parallel sections, so the shared pool runs N-1 workers;
+// N == 1 means no pool threads exist and every primitive runs inline.
+size_t global_parallelism();
+
+// The shared worker pool. Only constructed (lazily) when
+// global_parallelism() > 1; never call this when parallelism is 1.
+ThreadPool& global_pool();
+
+// Test/benchmark hook: tear down and re-size the global pool. Must only be
+// called while no parallel work is in flight.
+void set_global_parallelism(size_t n);
+
+// --- deterministic sharding --------------------------------------------------
+
+struct ShardBounds {
+  int64_t num_shards = 1;
+  int64_t shard_size = 0;  // every shard spans shard_size except the last
+};
+
+// Split [0, n) into fixed ranges of at least `grain` elements. Pure function
+// of (grain, n): the grain is the cost threshold — n <= grain yields one
+// shard, which parallel primitives run inline (tiny ops stay serial).
+ShardBounds shard_bounds(int64_t grain, int64_t n);
+
+// Run body(begin, end) over every shard of [0, n), concurrently when the
+// pool has workers and there is more than one shard. The caller participates
+// (claiming shards from a shared counter), so nesting parallel sections —
+// an inter-op plan step whose kernel shards itself — cannot deadlock.
+// body must write disjoint state per shard. Exceptions from shard bodies are
+// rethrown on the calling thread (first one wins).
+void parallel_for(int64_t grain, int64_t n,
+                  const std::function<void(int64_t, int64_t)>& body);
+
+// Same, with the shard index passed through — reductions index per-shard
+// partials with it, then combine in a fixed tree order.
+void parallel_shards(int64_t grain, int64_t n,
+                     const std::function<void(int64_t, int64_t, int64_t)>& body);
 
 }  // namespace rlgraph

@@ -1,0 +1,145 @@
+// Bitwise serial-vs-parallel equivalence for every sharded kernel: each
+// case computes the result with parallelism forced to 1, then at 2 and 8
+// threads, and requires exact equality. Inputs are sized past the kernels'
+// cost thresholds so the parallel runs genuinely shard.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "tensor/kernels.h"
+#include "util/thread_pool.h"
+
+namespace rlgraph {
+namespace {
+
+Tensor random_tensor(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  return kernels::random_uniform(shape, -2.0, 2.0, rng);
+}
+
+// Run `fn` serially and at several thread counts; every result must be
+// bitwise identical to the serial one.
+void expect_parallel_matches_serial(const std::function<Tensor()>& fn) {
+  set_global_parallelism(1);
+  Tensor serial = fn();
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    set_global_parallelism(threads);
+    Tensor parallel = fn();
+    EXPECT_TRUE(serial.equals(parallel)) << "diverged at " << threads
+                                         << " threads";
+  }
+  set_global_parallelism(1);
+}
+
+TEST(ParallelKernelsTest, ElementwiseBinarySameShape) {
+  Tensor a = random_tensor(Shape{200, 200}, 1);  // 40000 > kCheapGrain
+  Tensor b = random_tensor(Shape{200, 200}, 2);
+  expect_parallel_matches_serial([&] { return kernels::add(a, b); });
+  expect_parallel_matches_serial([&] { return kernels::mul(a, b); });
+  expect_parallel_matches_serial([&] { return kernels::maximum(a, b); });
+}
+
+TEST(ParallelKernelsTest, ElementwiseBinaryBroadcast) {
+  Tensor a = random_tensor(Shape{3000, 8}, 3);
+  Tensor row = random_tensor(Shape{8}, 4);
+  Tensor col = random_tensor(Shape{3000, 1}, 5);
+  expect_parallel_matches_serial([&] { return kernels::add(a, row); });
+  expect_parallel_matches_serial([&] { return kernels::mul(a, col); });
+}
+
+TEST(ParallelKernelsTest, ElementwiseUnary) {
+  Tensor a = random_tensor(Shape{120, 200}, 6);  // 24000 > kMathGrain
+  expect_parallel_matches_serial([&] { return kernels::exp(a); });
+  expect_parallel_matches_serial([&] { return kernels::tanh(a); });
+  expect_parallel_matches_serial([&] { return kernels::sigmoid(a); });
+  expect_parallel_matches_serial([&] { return kernels::relu(a); });
+}
+
+TEST(ParallelKernelsTest, Where) {
+  Tensor a = random_tensor(Shape{200, 200}, 7);
+  Tensor b = random_tensor(Shape{200, 200}, 8);
+  Tensor cond = kernels::greater(a, b);
+  expect_parallel_matches_serial([&] { return kernels::where(cond, a, b); });
+}
+
+TEST(ParallelKernelsTest, MatMul) {
+  Tensor a = random_tensor(Shape{96, 64}, 9);
+  Tensor b = random_tensor(Shape{64, 80}, 10);
+  expect_parallel_matches_serial([&] { return kernels::matmul(a, b); });
+  // k above the 256-element block size exercises the tiled accumulation.
+  Tensor c = random_tensor(Shape{48, 600}, 11);
+  Tensor d = random_tensor(Shape{600, 32}, 12);
+  expect_parallel_matches_serial([&] { return kernels::matmul(c, d); });
+}
+
+TEST(ParallelKernelsTest, Transpose2D) {
+  Tensor a = random_tensor(Shape{200, 300}, 13);  // non-square, off-tile sizes
+  expect_parallel_matches_serial([&] { return kernels::transpose2d(a); });
+  Tensor b = random_tensor(Shape{257, 129}, 14);
+  expect_parallel_matches_serial([&] { return kernels::transpose2d(b); });
+}
+
+TEST(ParallelKernelsTest, Conv2DForward) {
+  Tensor input = random_tensor(Shape{4, 16, 16, 3}, 15);
+  Tensor filter = random_tensor(Shape{3, 3, 3, 8}, 16);
+  expect_parallel_matches_serial(
+      [&] { return kernels::conv2d(input, filter, 1, true); });
+  expect_parallel_matches_serial(
+      [&] { return kernels::conv2d(input, filter, 2, false); });
+}
+
+TEST(ParallelKernelsTest, Conv2DBackpropInput) {
+  Shape input_shape{4, 16, 16, 3};
+  Tensor filter = random_tensor(Shape{3, 3, 3, 8}, 17);
+  Tensor grad_out = random_tensor(Shape{4, 16, 16, 8}, 18);
+  expect_parallel_matches_serial([&] {
+    return kernels::conv2d_backprop_input(input_shape, filter, grad_out, 1,
+                                          true);
+  });
+}
+
+TEST(ParallelKernelsTest, Conv2DBackpropFilter) {
+  // The one conv kernel that reduces across shards (per-shard partial
+  // filters combined in a fixed tree): the core determinism case.
+  Tensor input = random_tensor(Shape{8, 12, 12, 3}, 19);
+  Tensor grad_out = random_tensor(Shape{8, 12, 12, 6}, 20);
+  expect_parallel_matches_serial([&] {
+    return kernels::conv2d_backprop_filter(input, Shape{3, 3, 3, 6}, grad_out,
+                                           1, true);
+  });
+}
+
+TEST(ParallelKernelsTest, FullReductions) {
+  // axis == -1 reduces 40000 elements to a scalar via shard partials + a
+  // fixed pairwise tree; float addition is non-associative, so this only
+  // passes if the combine order is thread-count independent.
+  Tensor a = random_tensor(Shape{200, 200}, 21);
+  expect_parallel_matches_serial(
+      [&] { return kernels::reduce_sum(a, -1, false); });
+  expect_parallel_matches_serial(
+      [&] { return kernels::reduce_mean(a, -1, false); });
+  expect_parallel_matches_serial(
+      [&] { return kernels::reduce_max(a, -1, false); });
+}
+
+TEST(ParallelKernelsTest, AxisReductions) {
+  Tensor a = random_tensor(Shape{300, 200}, 22);
+  for (int axis : {0, 1}) {
+    expect_parallel_matches_serial(
+        [&, axis] { return kernels::reduce_sum(a, axis, false); });
+    expect_parallel_matches_serial(
+        [&, axis] { return kernels::reduce_mean(a, axis, true); });
+    expect_parallel_matches_serial(
+        [&, axis] { return kernels::reduce_max(a, axis, false); });
+  }
+}
+
+TEST(ParallelKernelsTest, SoftmaxFamily) {
+  Tensor a = random_tensor(Shape{128, 512}, 23);
+  expect_parallel_matches_serial([&] { return kernels::softmax(a); });
+  expect_parallel_matches_serial([&] { return kernels::log_softmax(a); });
+  expect_parallel_matches_serial([&] { return kernels::argmax(a); });
+}
+
+}  // namespace
+}  // namespace rlgraph

@@ -1,0 +1,160 @@
+// Work-stealing pool and data-parallel primitive tests: task completion,
+// shard-boundary purity (the determinism contract), caller participation /
+// nesting, exception propagation, and the forced-serial path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace rlgraph {
+namespace {
+
+// Every test pins the parallelism it needs and leaves the process serial,
+// so test order cannot leak pool state.
+struct ParallelismGuard {
+  explicit ParallelismGuard(size_t n) { set_global_parallelism(n); }
+  ~ParallelismGuard() { set_global_parallelism(1); }
+};
+
+TEST(ThreadPoolTest, SubmitRunsTasksAndReturnsValues) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.post([&ran] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolTest, TasksRunOnPoolThreadsNotTheSubmitter) {
+  ThreadPool pool(2);
+  std::thread::id self = std::this_thread::get_id();
+  auto fut = pool.submit([] { return std::this_thread::get_id(); });
+  EXPECT_NE(fut.get(), self);
+}
+
+TEST(ShardBoundsTest, PureFunctionOfGrainAndN) {
+  // The contract behind bitwise reproducibility: boundaries never depend on
+  // the configured parallelism.
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ParallelismGuard guard(threads);
+    ShardBounds b = shard_bounds(100, 1000);
+    EXPECT_EQ(b.num_shards, 10);
+    EXPECT_EQ(b.shard_size, 100);
+  }
+}
+
+TEST(ShardBoundsTest, SmallInputsYieldOneShard) {
+  ShardBounds b = shard_bounds(1 << 14, 100);
+  EXPECT_EQ(b.num_shards, 1);
+  EXPECT_EQ(b.shard_size, 100);
+  EXPECT_EQ(shard_bounds(16, 0).num_shards, 0);
+}
+
+TEST(ShardBoundsTest, ShardCountIsCappedAndCoversRange) {
+  for (int64_t n : {int64_t{1}, int64_t{17}, int64_t{1000}, int64_t{1 << 20}}) {
+    for (int64_t grain : {int64_t{1}, int64_t{7}, int64_t{256}}) {
+      ShardBounds b = shard_bounds(grain, n);
+      ASSERT_GE(b.num_shards, 1);
+      ASSERT_LE(b.num_shards, 256);
+      // Shards tile [0, n) exactly.
+      EXPECT_GE(b.num_shards * b.shard_size, n);
+      EXPECT_LT((b.num_shards - 1) * b.shard_size, n);
+    }
+  }
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ParallelismGuard guard(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(64, kN, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SerialModeCoversEveryIndexExactlyOnce) {
+  ParallelismGuard guard(1);  // RLGRAPH_NUM_THREADS=1 equivalent
+  constexpr int64_t kN = 10000;
+  std::vector<int> hits(kN, 0);  // plain ints: serial path, no pool threads
+  parallel_for(64, kN, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (int64_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i], 1);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  ParallelismGuard guard(4);
+  EXPECT_THROW(parallel_for(1, 1000,
+                            [](int64_t begin, int64_t) {
+                              if (begin >= 500) {
+                                throw std::runtime_error("shard failed");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedSectionsDoNotDeadlock) {
+  // An inter-op step running an intra-op sharded kernel produces nested
+  // parallel sections on pool threads; caller participation must keep this
+  // live even when every worker is busy.
+  ParallelismGuard guard(4);
+  std::atomic<int64_t> total{0};
+  parallel_for(1, 8, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      parallel_for(1, 64, [&](int64_t b, int64_t e) {
+        total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 64);
+}
+
+TEST(ParallelShardsTest, ShardIndicesMatchBounds) {
+  ParallelismGuard guard(4);
+  ShardBounds b = shard_bounds(32, 1000);
+  ASSERT_GT(b.num_shards, 1);
+  std::vector<std::atomic<int>> seen(static_cast<size_t>(b.num_shards));
+  parallel_shards(32, 1000, [&](int64_t shard, int64_t begin, int64_t end) {
+    EXPECT_EQ(begin, shard * b.shard_size);
+    EXPECT_EQ(end, std::min<int64_t>(1000, begin + b.shard_size));
+    seen[static_cast<size_t>(shard)].fetch_add(1);
+  });
+  for (int64_t s = 0; s < b.num_shards; ++s) {
+    EXPECT_EQ(seen[static_cast<size_t>(s)].load(), 1);
+  }
+}
+
+TEST(GlobalPoolTest, RespectsConfiguredParallelism) {
+  ParallelismGuard guard(4);
+  EXPECT_EQ(global_parallelism(), 4u);
+  // The caller participates, so the pool itself runs N-1 workers.
+  EXPECT_EQ(global_pool().size(), 3u);
+}
+
+}  // namespace
+}  // namespace rlgraph
