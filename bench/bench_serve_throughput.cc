@@ -1,0 +1,206 @@
+// Serving-path benchmark: dynamic batching vs. one-request-at-a-time act().
+//
+// Baseline: the same PolicyServer with batching disabled (max_batch_size=1)
+// — every act() request pays its own dispatch round-trip (shard wakeup,
+// full per-call framework overhead of a batch-1 forward pass, client
+// wakeup). Batched: max_batch_size=32 with a queue-delay window sized to
+// the client resubmission burst; the dynamic batcher coalesces the
+// closed-loop clients' requests so dispatch and forward-pass overhead
+// amortize across the batch. Target: >= 3x the one-at-a-time QPS while
+// sustaining mean batch >= 8, with p99 latency bounded by max_queue_delay
+// plus one batched forward pass. A direct in-process get_actions() loop is
+// reported too, as the no-serving-tier reference point.
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "agents/dqn_agent.h"
+#include "bench_common.h"
+#include "serve/policy_server.h"
+
+namespace rlgraph {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Serving-shaped workload: a small dense policy, the regime where
+// per-call framework overhead (plan dispatch, greedy head, bookkeeping)
+// rivals the network compute itself — exactly what request batching
+// amortizes. CPU matmul compute scales linearly with batch, so the win
+// comes from paying the per-forward fixed cost once per batch, not once
+// per request.
+Json serve_agent_config() {
+  return Json::parse(R"({
+    "type": "dqn",
+    "backend": "static",
+    "network": [{"type": "dense", "units": 32, "activation": "relu"}],
+    "memory": {"type": "replay", "capacity": 256},
+    "optimizer": {"type": "adam", "learning_rate": 0.001},
+    "exploration": {"eps_start": 0.1, "eps_end": 0.1, "decay_steps": 100},
+    "update": {"batch_size": 16, "sync_interval": 50, "min_records": 32},
+    "discount": 0.99
+  })");
+}
+
+constexpr int64_t kObsDim = 16;
+constexpr int64_t kNumActions = 4;
+
+std::vector<Tensor> make_observations(int n) {
+  Rng rng(7);
+  std::vector<Tensor> obs;
+  obs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> v(kObsDim);
+    for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    obs.push_back(Tensor::from_floats(Shape{kObsDim}, v));
+  }
+  return obs;
+}
+
+// One-request-at-a-time baseline: batch-1 greedy act in a closed loop.
+double single_request_qps(double seconds) {
+  SpacePtr obs_space = FloatBox(Shape{kObsDim});
+  DQNAgent agent(serve_agent_config(), obs_space, IntBox(kNumActions));
+  agent.build();
+  std::vector<Tensor> obs = make_observations(64);
+  for (int i = 0; i < 32; ++i) {  // warmup: compile + cache the act plan
+    (void)agent.get_actions(obs[0].reshaped(Shape{1, kObsDim}), false);
+  }
+  int64_t requests = 0;
+  Stopwatch watch;
+  while (watch.elapsed_seconds() < seconds) {
+    const Tensor& o = obs[static_cast<size_t>(requests % 64)];
+    (void)agent.get_actions(o.reshaped(Shape{1, kObsDim}), false);
+    ++requests;
+  }
+  return static_cast<double>(requests) / watch.elapsed_seconds();
+}
+
+struct ServedResult {
+  double qps = 0;
+  double mean_batch = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+  int64_t shed = 0;
+};
+
+ServedResult served_qps(int clients, int64_t max_batch, double seconds) {
+  SpacePtr obs_space = FloatBox(Shape{kObsDim});
+  serve::PolicyServerConfig cfg;
+  cfg.num_shards = 1;
+  cfg.batcher.max_batch_size = max_batch;
+  // The window only has to cover the closed-loop clients' resubmission
+  // burst after a batch completes; anything longer is idle time.
+  cfg.batcher.max_queue_delay = 100us;
+  cfg.batcher.queue_capacity = 4096;
+  serve::PolicyServer server(serve_agent_config(), obs_space,
+                             IntBox(kNumActions), cfg);
+  server.start();
+
+  std::vector<Tensor> obs = make_observations(64);
+  for (int i = 0; i < 8; ++i) (void)server.act(obs[0]);  // warmup
+
+  // Closed-loop clients with a pipeline window: each keeps kWindow
+  // requests outstanding (act_async) and refills as futures resolve, like
+  // a client library batching RPCs over one connection. A window of 1
+  // would serialize one context switch per request into the measurement.
+  constexpr size_t kWindow = 8;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> completed{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      int64_t i = 0;
+      std::deque<std::future<serve::ActResult>> inflight;
+      auto submit_one = [&]() -> bool {
+        try {
+          inflight.push_back(
+              server.act_async(obs[static_cast<size_t>((c + i++) % 64)]));
+          return true;
+        } catch (const OverloadedError&) {
+          std::this_thread::sleep_for(100us);  // back off, retry
+          return false;
+        }
+      };
+      while (!stop.load(std::memory_order_relaxed)) {
+        while (inflight.size() < kWindow &&
+               !stop.load(std::memory_order_relaxed)) {
+          (void)submit_one();
+        }
+        if (inflight.empty()) continue;
+        (void)inflight.front().get();
+        inflight.pop_front();
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (auto& f : inflight) {  // drain what we still owe the server
+        try {
+          (void)f.get();
+        } catch (const Error&) {
+        }
+      }
+    });
+  }
+  Stopwatch watch;
+  while (watch.elapsed_seconds() < seconds) std::this_thread::sleep_for(5ms);
+  stop = true;
+  for (auto& t : threads) t.join();
+  const double elapsed = watch.elapsed_seconds();
+  server.shutdown();
+
+  MetricRegistry& m = server.metrics();
+  ServedResult r;
+  r.qps = static_cast<double>(completed.load()) / elapsed;
+  const int64_t batches = m.counter("serve/batches");
+  r.mean_batch = batches > 0 ? static_cast<double>(m.counter("serve/requests")) /
+                                   static_cast<double>(batches)
+                             : 0.0;
+  Histogram& lat = m.histogram("serve/latency_seconds");
+  r.p50 = lat.p50();
+  r.p95 = lat.p95();
+  r.p99 = lat.p99();
+  r.shed = m.counter("serve/shed_overload") + m.counter("serve/shed_deadline");
+  return r;
+}
+
+}  // namespace
+}  // namespace rlgraph
+
+int main(int argc, char** argv) {
+  using namespace rlgraph;
+  bench::Reporter reporter("serve_throughput", argc, argv);
+  bench::Scale scale = bench::bench_scale();
+  const double seconds =
+      scale == bench::Scale::kQuick ? 1.0
+                                    : (scale == bench::Scale::kFull ? 8.0 : 3.0);
+  const std::vector<int> client_counts =
+      scale == bench::Scale::kQuick ? std::vector<int>{16}
+                                    : std::vector<int>{1, 4, 16, 64};
+
+  bench::print_header("serving throughput: dynamic batching vs single act()");
+  const double direct = single_request_qps(seconds);
+  std::printf("%-28s %10.0f req/s  (no serving tier)\n",
+              "direct get_actions()", direct);
+  reporter.record("direct_call_qps", direct, "req/s");
+
+  for (int clients : client_counts) {
+    ServedResult base = served_qps(clients, /*max_batch=*/1, seconds);
+    ServedResult batched = served_qps(clients, /*max_batch=*/64, seconds);
+    const double speedup = batched.qps / base.qps;
+    std::printf(
+        "clients %4d  one-at-a-time %8.0f req/s | batched %8.0f req/s  "
+        "%5.2fx  batch %5.1f  p50 %5.2fms p95 %5.2fms p99 %5.2fms  shed %lld\n",
+        clients, base.qps, batched.qps, speedup, batched.mean_batch,
+        batched.p50 * 1e3, batched.p95 * 1e3, batched.p99 * 1e3,
+        static_cast<long long>(batched.shed));
+    Json params;
+    params["clients"] = Json(static_cast<int64_t>(clients));
+    params["max_batch"] = Json(static_cast<int64_t>(64));
+    reporter.record("one_at_a_time_qps", base.qps, "req/s", params);
+    reporter.record("served_qps", batched.qps, "req/s", params);
+    reporter.record("served_speedup", speedup, "x", params);
+    reporter.record("served_mean_batch", batched.mean_batch, "req", params);
+    reporter.record("served_p99_latency", batched.p99, "s", params);
+  }
+  return 0;
+}

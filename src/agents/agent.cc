@@ -45,6 +45,61 @@ void Agent::import_model(const std::string& path) {
   executor().import_variables(read_file(path));
 }
 
+std::vector<uint8_t> Agent::export_weights(const std::string& prefix) {
+  return serialize_weights(get_weights(prefix));
+}
+
+void Agent::import_weights(const std::vector<uint8_t>& bytes) {
+  set_weights(deserialize_weights(bytes));
+}
+
+namespace {
+constexpr uint32_t kWeightsMagic = 0x524C4757;  // "RLGW"
+constexpr uint32_t kWeightsVersion = 1;
+}  // namespace
+
+std::vector<uint8_t> serialize_weights(
+    const std::map<std::string, Tensor>& weights) {
+  ByteWriter w;
+  w.write_u32(kWeightsMagic);
+  w.write_u32(kWeightsVersion);
+  w.write_u32(static_cast<uint32_t>(weights.size()));
+  for (const auto& [name, t] : weights) {
+    w.write_string(name);
+    w.write_u8(static_cast<uint8_t>(t.dtype()));
+    w.write_u32(static_cast<uint32_t>(t.shape().rank()));
+    for (int64_t d : t.shape().dims()) w.write_i64(d);
+    w.write_u64(t.byte_size());
+    w.write_bytes(t.raw(), t.byte_size());
+  }
+  return w.take();
+}
+
+std::map<std::string, Tensor> deserialize_weights(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  RLG_REQUIRE(r.read_u32() == kWeightsMagic,
+              "bad weight-map magic; not an RLgraph weight snapshot");
+  RLG_REQUIRE(r.read_u32() == kWeightsVersion,
+              "unsupported weight snapshot version");
+  uint32_t count = r.read_u32();
+  std::map<std::string, Tensor> weights;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name = r.read_string();
+    DType dtype = static_cast<DType>(r.read_u8());
+    uint32_t rank = r.read_u32();
+    std::vector<int64_t> dims(rank);
+    for (uint32_t d = 0; d < rank; ++d) dims[d] = r.read_i64();
+    uint64_t nbytes = r.read_u64();
+    Tensor t(dtype, Shape(dims));
+    RLG_REQUIRE(t.byte_size() == nbytes,
+                "weight snapshot size mismatch for '" << name << "'");
+    r.read_bytes(t.mutable_raw(), nbytes);
+    weights.emplace(std::move(name), std::move(t));
+  }
+  return weights;
+}
+
 ExecutorOptions executor_options_from_config(const Json& config) {
   ExecutorOptions opts;
   const std::string backend = config.get_string("backend", "static");

@@ -44,6 +44,13 @@ class Agent {
   void set_weights(const std::map<std::string, Tensor>& weights);
   void export_model(const std::string& path);
   void import_model(const std::string& path);
+  // In-memory weight snapshot (magic "RLGW"): the get_weights(prefix) map
+  // serialized through util/serialization. This is the unit the serving
+  // policy store publishes, and doubles as a minimal checkpoint —
+  // import_weights() on a freshly built agent of the same config restores
+  // the exported variables.
+  std::vector<uint8_t> export_weights(const std::string& prefix = "");
+  void import_weights(const std::vector<uint8_t>& bytes);
 
   GraphExecutor& executor();
   const Json& config() const { return config_; }
@@ -66,6 +73,14 @@ class Agent {
   std::unique_ptr<GraphExecutor> executor_;
   bool built_ = false;
 };
+
+// Weight-map wire format behind Agent::export_weights / import_weights
+// (little-endian tagged stream, magic "RLGW"). Standalone so trainers and
+// serving processes can exchange snapshots without an Agent on both ends.
+std::vector<uint8_t> serialize_weights(
+    const std::map<std::string, Tensor>& weights);
+std::map<std::string, Tensor> deserialize_weights(
+    const std::vector<uint8_t>& bytes);
 
 // Factory: config must contain "type" ("dqn", "apex", "impala_actor",
 // "impala_learner").

@@ -401,7 +401,21 @@ std::vector<Tensor> CompiledPlan::execute(RunArena& arena,
   counters_.runs.fetch_add(1, std::memory_order_relaxed);
   counters_.nodes_executed.fetch_add(static_cast<int64_t>(steps_.size()),
                                      std::memory_order_relaxed);
+  int64_t batch = 1;
+  if (!feed_values.empty() && feed_values[0].shape().rank() >= 1) {
+    batch = feed_values[0].shape().dim(0);
+  }
+  counters_.batch_elements.fetch_add(batch, std::memory_order_relaxed);
   return fetched;
+}
+
+bool CompiledPlan::feeds_batchable() const {
+  if (feed_shapes_.size() != feed_slots_.size()) return false;  // built plan
+  if (feed_shapes_.empty()) return false;
+  for (const Shape& s : feed_shapes_) {
+    if (s.rank() < 1 || s.dim(0) != kUnknownDim) return false;
+  }
+  return true;
 }
 
 void CompiledPlan::run_step(const Step& step, KernelContext& ctx,

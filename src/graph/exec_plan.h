@@ -91,6 +91,11 @@ class CompiledPlan {
   struct Counters {
     std::atomic<int64_t> runs{0};
     std::atomic<int64_t> nodes_executed{0};
+    // Sum of the leading feed dimension over all runs (a feed-less or
+    // scalar-fed run counts 1): total logical elements served through this
+    // plan — runs with a varying dynamic batch divide this by `runs` for
+    // the mean effective batch size.
+    std::atomic<int64_t> batch_elements{0};
   };
 
   // Compile the transitive closure of `fetches` over `graph`. `feed_nodes`
@@ -147,6 +152,12 @@ class CompiledPlan {
   int max_parallel_width() const { return max_width_; }
   size_t num_feeds() const { return feed_slots_.size(); }
   size_t num_outputs() const { return fetch_slots_.size(); }
+  // True iff every feed placeholder accepts any leading extent (rank >= 1
+  // with an unknown first dim): one cached schedule then serves every
+  // request batch size, which is what the serving batcher relies on when it
+  // coalesces requests along the leading dimension. Conservatively false
+  // for Builder-assembled plans, which carry no feed signatures.
+  bool feeds_batchable() const;
   // Feed placeholders not reachable from the fetches (values are dropped).
   const std::vector<std::string>& unused_feed_names() const {
     return unused_feed_names_;

@@ -58,3 +58,9 @@
 #include "execution/multi_device.h"
 #include "execution/param_server.h"
 #include "execution/ray_executor.h"
+
+// Policy serving: dynamic batching, versioned hot-swappable weights,
+// admission control.
+#include "serve/batcher.h"
+#include "serve/policy_server.h"
+#include "serve/policy_store.h"

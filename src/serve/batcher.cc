@@ -1,0 +1,152 @@
+#include "serve/batcher.h"
+
+#include <utility>
+
+namespace rlgraph {
+namespace serve {
+
+DynamicBatcher::DynamicBatcher(BatcherConfig config, MetricRegistry* metrics)
+    : config_(config), metrics_(metrics) {
+  RLG_REQUIRE(config_.max_batch_size >= 1,
+              "batcher max_batch_size must be >= 1, got "
+                  << config_.max_batch_size);
+  RLG_REQUIRE(config_.queue_capacity >= 1,
+              "batcher queue_capacity must be >= 1");
+  if (metrics_ != nullptr) {
+    batch_size_hist_ = &metrics_->histogram("serve/batch_size");
+    queue_delay_hist_ = &metrics_->histogram("serve/queue_delay_seconds");
+  }
+}
+
+DynamicBatcher::~DynamicBatcher() {
+  close();
+  shed_all("batcher destroyed");
+}
+
+std::future<ActResult> DynamicBatcher::submit(Tensor obs,
+                                              ServeClock::time_point deadline) {
+  ActRequest req;
+  req.obs = std::move(obs);
+  req.enqueued = ServeClock::now();
+  req.deadline = deadline;
+  std::future<ActResult> fut = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      throw OverloadedError("policy server is shutting down");
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      if (metrics_ != nullptr) metrics_->increment("serve/shed_overload");
+      throw OverloadedError(
+          "serving queue at capacity (" + std::to_string(config_.queue_capacity) +
+          " requests waiting); back off and retry");
+    }
+    queue_.push_back(std::move(req));
+    // A sleeping worker only needs waking when a flush condition changes:
+    // the first request arriving (it anchors the flush deadline) or the
+    // batch filling up. Intermediate arrivals just join the pending batch —
+    // skipping their notify avoids a wakeup storm on the serving shard.
+    if (queue_.size() != 1 &&
+        queue_.size() < static_cast<size_t>(config_.max_batch_size)) {
+      return fut;
+    }
+  }
+  ready_cv_.notify_one();
+  return fut;
+}
+
+std::vector<ActRequest> DynamicBatcher::next_batch() {
+  const size_t max_batch = static_cast<size_t>(config_.max_batch_size);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    ready_cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return {};  // closed and drained
+    // Wait out the flush window of the OLDEST request — later arrivals do
+    // not extend it — unless a full batch accumulates (or close) first.
+    const ServeClock::time_point flush_at =
+        queue_.front().enqueued + config_.max_queue_delay;
+    while (!closed_ && queue_.size() < max_batch &&
+           ServeClock::now() < flush_at) {
+      ready_cv_.wait_until(lock, flush_at);
+      // Another worker may have drained the queue while we slept.
+      if (queue_.empty()) break;
+    }
+    if (queue_.empty()) continue;
+
+    const ServeClock::time_point now = ServeClock::now();
+    std::vector<ActRequest> batch;
+    std::vector<ActRequest> expired;
+    while (!queue_.empty() && batch.size() < max_batch) {
+      ActRequest req = std::move(queue_.front());
+      queue_.pop_front();
+      if (req.deadline < now) {
+        expired.push_back(std::move(req));
+      } else {
+        batch.push_back(std::move(req));
+      }
+    }
+    lock.unlock();
+
+    for (ActRequest& req : expired) {
+      req.promise.set_exception(std::make_exception_ptr(TimeoutError(
+          "request deadline expired after " +
+          std::to_string(std::chrono::duration<double>(now - req.enqueued)
+                             .count()) +
+          "s in the serving queue")));
+    }
+    if (metrics_ != nullptr && !expired.empty()) {
+      metrics_->increment("serve/shed_deadline",
+                          static_cast<int64_t>(expired.size()));
+    }
+    if (batch.empty()) {
+      // Everything in the window had expired; go back to waiting.
+      lock.lock();
+      continue;
+    }
+    if (metrics_ != nullptr) {
+      batch_size_hist_->record(static_cast<double>(batch.size()));
+      for (const ActRequest& req : batch) {
+        queue_delay_hist_->record(
+            std::chrono::duration<double>(now - req.enqueued).count());
+      }
+    }
+    return batch;
+  }
+}
+
+void DynamicBatcher::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_cv_.notify_all();
+}
+
+bool DynamicBatcher::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+void DynamicBatcher::shed_all(const char* reason) {
+  std::deque<ActRequest> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    orphaned.swap(queue_);
+  }
+  for (ActRequest& req : orphaned) {
+    req.promise.set_exception(
+        std::make_exception_ptr(OverloadedError(reason)));
+  }
+  if (metrics_ != nullptr && !orphaned.empty()) {
+    metrics_->increment("serve/shed_overload",
+                        static_cast<int64_t>(orphaned.size()));
+  }
+}
+
+size_t DynamicBatcher::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace serve
+}  // namespace rlgraph

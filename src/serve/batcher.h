@@ -1,0 +1,103 @@
+// Dynamic request batching for policy serving (Clipper / TF-Serving style).
+//
+// Many client threads submit single-observation act requests; serving shards
+// pull coalesced batches. The flush policy is the classic two-knob one: a
+// batch is dispatched as soon as max_batch_size requests are waiting, or as
+// soon as the OLDEST waiting request has queued for max_queue_delay —
+// arrivals never extend the deadline of requests already waiting, so the
+// p99 latency is bounded by max_queue_delay plus one forward pass. The
+// request queue is the admission-control point: it is bounded, submits
+// beyond capacity shed immediately with a typed OverloadedError, and
+// requests whose per-request deadline expires while queued are shed before
+// dispatch (TimeoutError) instead of wasting a batch slot.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/errors.h"
+#include "util/metrics.h"
+
+namespace rlgraph {
+namespace serve {
+
+using ServeClock = std::chrono::steady_clock;
+
+// No deadline: the request waits as long as the queue holds it.
+inline constexpr ServeClock::time_point kNoDeadline =
+    ServeClock::time_point::max();
+
+// What a client gets back: the action for its observation plus the policy
+// version that computed it (all requests of one batch share a version).
+struct ActResult {
+  Tensor action;
+  int64_t policy_version = 0;
+};
+
+struct ActRequest {
+  Tensor obs;  // single observation, no batch rank
+  ServeClock::time_point enqueued;
+  ServeClock::time_point deadline = kNoDeadline;
+  std::promise<ActResult> promise;
+};
+
+struct BatcherConfig {
+  int64_t max_batch_size = 32;
+  std::chrono::microseconds max_queue_delay{2000};
+  // Bounded request queue (admission control); submits beyond this shed.
+  size_t queue_capacity = 1024;
+};
+
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(BatcherConfig config,
+                          MetricRegistry* metrics = nullptr);
+
+  DynamicBatcher(const DynamicBatcher&) = delete;
+  DynamicBatcher& operator=(const DynamicBatcher&) = delete;
+  ~DynamicBatcher();
+
+  // Enqueue one observation; the future resolves with the action (or the
+  // shed/engine error). Throws OverloadedError when the queue is at
+  // capacity or the batcher is closed.
+  std::future<ActResult> submit(Tensor obs,
+                                ServeClock::time_point deadline = kNoDeadline);
+
+  // Worker side: block until a batch is ready per the flush policy and
+  // return it (never empty while open). More waiting requests than
+  // max_batch_size simply split across successive calls. Deadline-expired
+  // requests are shed here, before dispatch. Returns an empty vector only
+  // once the batcher is closed AND drained — the worker's exit signal.
+  std::vector<ActRequest> next_batch();
+
+  // Graceful shutdown: subsequent submits are rejected, queued requests are
+  // still handed to workers via next_batch().
+  void close();
+  bool closed() const;
+
+  // Fail every queued request with OverloadedError (used after workers have
+  // exited, when nothing will drain the queue anymore).
+  void shed_all(const char* reason);
+
+  size_t pending() const;
+
+ private:
+  const BatcherConfig config_;
+  MetricRegistry* metrics_;  // may be null
+  Histogram* batch_size_hist_ = nullptr;
+  Histogram* queue_delay_hist_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::deque<ActRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace rlgraph

@@ -1,0 +1,172 @@
+#include "serve/policy_server.h"
+
+#include <exception>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rlgraph {
+namespace serve {
+
+// --- AgentServingEngine ------------------------------------------------------
+
+AgentServingEngine::AgentServingEngine(const Json& config,
+                                       SpacePtr state_space,
+                                       SpacePtr action_space) {
+  agent_ = make_agent(config, std::move(state_space), std::move(action_space));
+  agent_->build();
+}
+
+void AgentServingEngine::load(const PolicySnapshot& snapshot) {
+  RLG_REQUIRE(snapshot.valid(), "cannot load an empty policy snapshot");
+  agent_->set_weights(*snapshot.weights);
+}
+
+Tensor AgentServingEngine::forward(const Tensor& obs_batch) {
+  return agent_->get_actions(obs_batch, /*explore=*/false);
+}
+
+// --- PolicyServer ------------------------------------------------------------
+
+PolicyServer::PolicyServer(EngineFactory factory, PolicyServerConfig config)
+    : config_(config), factory_(std::move(factory)),
+      batcher_(config.batcher, &metrics_),
+      latency_hist_(&metrics_.histogram("serve/latency_seconds")) {
+  RLG_REQUIRE(config_.num_shards >= 1,
+              "PolicyServer needs at least one shard, got "
+                  << config_.num_shards);
+  RLG_REQUIRE(factory_ != nullptr, "PolicyServer needs an engine factory");
+}
+
+PolicyServer::PolicyServer(Json agent_config, SpacePtr state_space,
+                           SpacePtr action_space, PolicyServerConfig config)
+    : PolicyServer(
+          [agent_config, state_space, action_space](int) {
+            return std::make_unique<AgentServingEngine>(
+                agent_config, state_space, action_space);
+          },
+          config) {
+  // Single-box state spaces get per-request admission validation; bad
+  // observations then fail their own submit instead of poisoning a batch.
+  if (state_space->is_box()) {
+    const auto& box = static_cast<const BoxSpace&>(*state_space);
+    check_obs_ = true;
+    obs_dtype_ = box.dtype();
+    obs_shape_ = box.value_shape();
+  }
+}
+
+PolicyServer::~PolicyServer() { shutdown(); }
+
+void PolicyServer::start() {
+  if (running_) return;
+  RLG_REQUIRE(!batcher_.closed(),
+              "PolicyServer cannot restart after shutdown()");
+  running_ = true;
+  shards_.reserve(static_cast<size_t>(config_.num_shards));
+  for (int i = 0; i < config_.num_shards; ++i) {
+    shards_.emplace_back([this, i] { serve_loop(i); });
+  }
+}
+
+void PolicyServer::shutdown() {
+  batcher_.close();
+  for (std::thread& t : shards_) {
+    if (t.joinable()) t.join();
+  }
+  shards_.clear();
+  // Anything still queued raced the close and has no shard left to serve it.
+  batcher_.shed_all("policy server shut down");
+  running_ = false;
+}
+
+ServeClock::time_point PolicyServer::deadline_from_now(
+    std::chrono::microseconds d) const {
+  return d.count() > 0 ? ServeClock::now() + d : kNoDeadline;
+}
+
+std::future<ActResult> PolicyServer::act_async(Tensor obs) {
+  return act_async(std::move(obs), config_.default_deadline);
+}
+
+std::future<ActResult> PolicyServer::act_async(
+    Tensor obs, std::chrono::microseconds deadline) {
+  RLG_REQUIRE(running_, "PolicyServer::act before start()");
+  if (check_obs_) {
+    RLG_REQUIRE(obs.dtype() == obs_dtype_ && obs.shape() == obs_shape_,
+                "act observation is " << dtype_name(obs.dtype())
+                    << obs.shape().to_string() << ", expected "
+                    << dtype_name(obs_dtype_) << obs_shape_.to_string()
+                    << " (single observation, no batch rank)");
+  }
+  return batcher_.submit(std::move(obs), deadline_from_now(deadline));
+}
+
+ActResult PolicyServer::act(const Tensor& obs) {
+  return act_async(obs).get();
+}
+
+void PolicyServer::serve_loop(int shard) {
+  std::unique_ptr<ServingEngine> engine;
+  std::exception_ptr engine_error;
+  try {
+    engine = factory_(shard);
+  } catch (...) {
+    // A shard that cannot build its engine must still drain its share of
+    // the queue — starving queued clients forever is worse than erroring
+    // them.
+    engine_error = std::current_exception();
+    metrics_.increment("serve/engine_failures");
+    RLG_LOG_ERROR << "serve shard " << shard << " failed to build its engine";
+  }
+
+  int64_t have_version = 0;
+  for (;;) {
+    std::vector<ActRequest> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // closed and drained
+
+    if (engine_error != nullptr) {
+      for (ActRequest& req : batch) req.promise.set_exception(engine_error);
+      metrics_.increment("serve/batch_failures");
+      continue;
+    }
+
+    try {
+      // Hot-swap between batches: the whole batch runs one version.
+      PolicySnapshot snap = store_.snapshot();
+      if (snap.valid() && snap.version != have_version) {
+        engine->load(snap);
+        have_version = snap.version;
+        metrics_.set_gauge("serve/policy_version",
+                           static_cast<double>(have_version));
+      }
+
+      std::vector<Tensor> observations;
+      observations.reserve(batch.size());
+      for (const ActRequest& req : batch) observations.push_back(req.obs);
+      Tensor actions = engine->forward(stack_leading(observations));
+      std::vector<Tensor> per_request = unstack_leading(actions);
+      RLG_CHECK_MSG(per_request.size() == batch.size(),
+                    "engine returned " << per_request.size()
+                        << " actions for a batch of " << batch.size());
+
+      const ServeClock::time_point done = ServeClock::now();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        latency_hist_->record(
+            std::chrono::duration<double>(done - batch[i].enqueued).count());
+        batch[i].promise.set_value(
+            ActResult{std::move(per_request[i]), have_version});
+      }
+      metrics_.increment("serve/requests",
+                         static_cast<int64_t>(batch.size()));
+      metrics_.increment("serve/batches");
+    } catch (...) {
+      std::exception_ptr error = std::current_exception();
+      for (ActRequest& req : batch) req.promise.set_exception(error);
+      metrics_.increment("serve/batch_failures");
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace rlgraph

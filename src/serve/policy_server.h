@@ -1,0 +1,140 @@
+// PolicyServer: a trained agent as a high-throughput inference service.
+//
+// Clients call act()/act_async() from any number of threads; the dynamic
+// batcher (serve/batcher.h) coalesces their observations and serving shards
+// run one batched greedy forward pass per flush through the agent's cached
+// CompiledPlan — per-call framework overhead is paid once per batch, not
+// once per request. Weights come from the versioned PolicyStore: each shard
+// checks the store between batches and hot-swaps to the newest snapshot, so
+// every response is computed by exactly one published version (reported in
+// ActResult::policy_version) and a batch never observes a torn snapshot.
+//
+// Threading: each shard is a dedicated thread owning a private ServingEngine
+// replica — serve loops block on the batcher's condition variable, which a
+// task on the shared work-stealing pool must never do (the pool may have
+// zero workers under RLGRAPH_NUM_THREADS=1). The batched forward pass
+// itself still shards onto the global pool through the intra-op parallel
+// kernels, exactly like any other compiled-plan run.
+//
+// Shutdown is a graceful drain: new submits are rejected with
+// OverloadedError, queued requests are served, then shards exit.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "agents/agent.h"
+#include "serve/batcher.h"
+#include "serve/policy_store.h"
+
+namespace rlgraph {
+namespace serve {
+
+// One shard's exclusive model replica. load() and forward() are only ever
+// called from the owning shard thread, strictly between batches, so
+// implementations need no internal locking.
+class ServingEngine {
+ public:
+  virtual ~ServingEngine() = default;
+  // Install a published snapshot (called when the store has a newer
+  // version than the one this engine is running).
+  virtual void load(const PolicySnapshot& snapshot) = 0;
+  // Greedy actions for a stacked observation batch [B, ...] -> [B, ...].
+  virtual Tensor forward(const Tensor& obs_batch) = 0;
+};
+
+// The standard engine: a replica agent built from the trainer's declarative
+// config. forward() is get_actions(batch, explore=false); load() is
+// set_weights(), so published snapshots must use the same variable scoping
+// as the replica (publishing trainer.get_weights() of an identically
+// configured agent does).
+class AgentServingEngine : public ServingEngine {
+ public:
+  AgentServingEngine(const Json& config, SpacePtr state_space,
+                     SpacePtr action_space);
+
+  void load(const PolicySnapshot& snapshot) override;
+  Tensor forward(const Tensor& obs_batch) override;
+
+  Agent& agent() { return *agent_; }
+
+ private:
+  std::unique_ptr<Agent> agent_;
+};
+
+struct PolicyServerConfig {
+  // Serving shards (threads × engine replicas) pulling from one batcher.
+  int num_shards = 1;
+  BatcherConfig batcher;
+  // Applied to act()/act_async() calls that pass no explicit deadline;
+  // zero means requests wait for as long as the queue holds them.
+  std::chrono::microseconds default_deadline{0};
+};
+
+class PolicyServer {
+ public:
+  // `factory(shard)` runs on the shard's own thread (engines are built
+  // where they are used, like raylite actors).
+  using EngineFactory = std::function<std::unique_ptr<ServingEngine>(int)>;
+
+  PolicyServer(EngineFactory factory, PolicyServerConfig config = {});
+  // Convenience: one AgentServingEngine replica per shard from a
+  // declarative agent config. Observations submitted to act() are validated
+  // against the state space's leaf signature at admission.
+  PolicyServer(Json agent_config, SpacePtr state_space, SpacePtr action_space,
+               PolicyServerConfig config = {});
+
+  ~PolicyServer();
+
+  PolicyServer(const PolicyServer&) = delete;
+  PolicyServer& operator=(const PolicyServer&) = delete;
+
+  // Spawn the serving shards (idempotent).
+  void start();
+  // Graceful drain: reject new requests, serve what is queued, join shards.
+  void shutdown();
+  bool running() const { return running_; }
+
+  // Publish here (directly or via store().publish*) to hot-swap weights.
+  PolicyStore& store() { return store_; }
+
+  // Submit one observation (no batch rank). Throws OverloadedError when
+  // admission control sheds the request; the future carries TimeoutError if
+  // the deadline expires in the queue, or the engine's error if the batched
+  // forward pass fails.
+  std::future<ActResult> act_async(Tensor obs);
+  std::future<ActResult> act_async(Tensor obs,
+                                   std::chrono::microseconds deadline);
+  // Blocking convenience around act_async.
+  ActResult act(const Tensor& obs);
+
+  // Counters: serve/requests, serve/batches, serve/shed_overload,
+  // serve/shed_deadline, serve/batch_failures. Histograms:
+  // serve/latency_seconds, serve/queue_delay_seconds, serve/batch_size.
+  // Gauge: serve/policy_version.
+  MetricRegistry& metrics() { return metrics_; }
+
+ private:
+  void serve_loop(int shard);
+  ServeClock::time_point deadline_from_now(std::chrono::microseconds d) const;
+
+  const PolicyServerConfig config_;
+  EngineFactory factory_;
+  // Expected observation signature (agent-config construction only).
+  bool check_obs_ = false;
+  DType obs_dtype_ = DType::kFloat32;
+  Shape obs_shape_;
+
+  MetricRegistry metrics_;
+  PolicyStore store_;
+  DynamicBatcher batcher_;
+  Histogram* latency_hist_;
+  std::vector<std::thread> shards_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace serve
+}  // namespace rlgraph

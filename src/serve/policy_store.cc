@@ -1,0 +1,23 @@
+#include "serve/policy_store.h"
+
+#include "agents/agent.h"
+
+namespace rlgraph {
+namespace serve {
+
+int64_t PolicyStore::publish(WeightMap weights) {
+  return server_.push(std::move(weights));
+}
+
+int64_t PolicyStore::publish_serialized(const std::vector<uint8_t>& bytes) {
+  return publish(deserialize_weights(bytes));
+}
+
+PolicySnapshot PolicyStore::snapshot() const {
+  PolicySnapshot snap;
+  snap.weights = server_.snapshot(&snap.version);
+  return snap;
+}
+
+}  // namespace serve
+}  // namespace rlgraph

@@ -1,0 +1,53 @@
+// Versioned, hot-swappable policy weights for the serving subsystem.
+//
+// The trainer publishes immutable weight snapshots; serving shards pick up
+// the newest one between batches. Publication rides on the ParameterServer
+// shared_ptr double-buffering (execution/param_server.h): a publish swaps in
+// a fresh immutable map, in-flight readers keep their version alive through
+// their shared_ptr, and snapshot() returns (version, weights) from one
+// critical section — a torn pair is impossible and serving never blocks on
+// publication.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "execution/param_server.h"
+
+namespace rlgraph {
+namespace serve {
+
+using WeightMap = ParameterServer::WeightMap;
+
+// One published policy version. version == 0 (weights null) means nothing
+// has been published yet; serving then runs the engines' initial weights.
+struct PolicySnapshot {
+  int64_t version = 0;
+  std::shared_ptr<const WeightMap> weights;
+  bool valid() const { return weights != nullptr; }
+};
+
+class PolicyStore {
+ public:
+  // Publish a new snapshot; returns its version (1, 2, ...).
+  int64_t publish(WeightMap weights);
+
+  // Publish from the Agent::export_weights() wire format — the trainer may
+  // live in another process and ship bytes instead of tensors.
+  int64_t publish_serialized(const std::vector<uint8_t>& bytes);
+
+  // Atomic (version, weights) pair of the newest publication.
+  PolicySnapshot snapshot() const;
+
+  int64_t version() const { return server_.version(); }
+
+  // The underlying server, e.g. to attach a staleness gauge.
+  ParameterServer& parameter_server() { return server_; }
+
+ private:
+  ParameterServer server_;
+};
+
+}  // namespace serve
+}  // namespace rlgraph

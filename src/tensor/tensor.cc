@@ -212,4 +212,44 @@ void check_dtype(const Tensor& t, DType expected, const char* op) {
                                         << dtype_name(t.dtype()));
 }
 
+Tensor stack_leading(const std::vector<Tensor>& parts) {
+  RLG_REQUIRE(!parts.empty(), "stack_leading: no tensors to stack");
+  const Tensor& first = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    RLG_REQUIRE(parts[i].dtype() == first.dtype() &&
+                    parts[i].shape() == first.shape(),
+                "stack_leading: part " << i << " is "
+                    << dtype_name(parts[i].dtype())
+                    << parts[i].shape().to_string() << ", expected "
+                    << dtype_name(first.dtype()) << first.shape().to_string());
+  }
+  Tensor out(first.dtype(),
+             first.shape().prepend(static_cast<int64_t>(parts.size())));
+  uint8_t* dst = static_cast<uint8_t*>(out.mutable_raw());
+  const size_t stride = first.byte_size();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    std::memcpy(dst + i * stride, parts[i].raw(), stride);
+  }
+  return out;
+}
+
+std::vector<Tensor> unstack_leading(const Tensor& batch) {
+  RLG_REQUIRE(batch.shape().rank() >= 1,
+              "unstack_leading: need rank >= 1, got scalar");
+  const int64_t n = batch.shape().dim(0);
+  const Shape part_shape = batch.shape().drop_front(1);
+  const size_t stride =
+      static_cast<size_t>(part_shape.num_elements()) * dtype_size(batch.dtype());
+  const uint8_t* src = static_cast<const uint8_t*>(batch.raw());
+  std::vector<Tensor> parts;
+  parts.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor part(batch.dtype(), part_shape);
+    std::memcpy(part.mutable_raw(), src + static_cast<size_t>(i) * stride,
+                stride);
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
 }  // namespace rlgraph

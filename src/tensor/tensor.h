@@ -106,4 +106,12 @@ class Tensor {
 void check_same_shape(const Tensor& a, const Tensor& b, const char* op);
 void check_dtype(const Tensor& t, DType expected, const char* op);
 
+// --- batching by leading dimension -------------------------------------------
+// The serving batcher coalesces per-request tensors into one batched plan
+// run with these: stack_leading([x_1..x_n]) -> [n, ...] and
+// unstack_leading([n, ...]) -> n tensors of shape [...]. All parts must
+// share dtype and shape (ValueError otherwise).
+Tensor stack_leading(const std::vector<Tensor>& parts);
+std::vector<Tensor> unstack_leading(const Tensor& batch);
+
 }  // namespace rlgraph

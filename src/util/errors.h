@@ -49,6 +49,13 @@ class TimeoutError : public Error {
   using Error::Error;
 };
 
+// Admission control rejected a request: the serving queue is at capacity or
+// the server is shutting down. Clients should back off and retry.
+class OverloadedError : public Error {
+ public:
+  using Error::Error;
+};
+
 // A raylite actor is no longer able to serve calls: its factory threw, an
 // injected crash killed it, or it failed while tasks were still queued.
 // Futures of calls that were lost to the failure carry this error.

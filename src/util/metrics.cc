@@ -37,6 +37,84 @@ std::string SummaryStats::to_string() const {
   return os.str();
 }
 
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram() { reset(); }
+
+int Histogram::bucket_index(double v) {
+  if (!(v >= kMinValue)) return 0;  // underflow (also NaN, <= 0)
+  if (v >= kMaxValue) return kNumBuckets + 1;
+  int idx = static_cast<int>(std::log10(v / kMinValue) *
+                             static_cast<double>(kBucketsPerDecade));
+  if (idx < 0) idx = 0;
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx + 1;
+}
+
+double Histogram::bucket_midpoint(int index) {
+  if (index <= 0) return kMinValue;
+  if (index > kNumBuckets) return kMaxValue;
+  double lo = kMinValue *
+              std::pow(10.0, static_cast<double>(index - 1) /
+                                 static_cast<double>(kBucketsPerDecade));
+  double hi = lo * std::pow(10.0, 1.0 / static_cast<double>(kBucketsPerDecade));
+  return std::sqrt(lo * hi);
+}
+
+void Histogram::record(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  double seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::count() const {
+  int64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::mean() const {
+  int64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  int64_t counts[kNumBuckets + 2];
+  int64_t total = 0;
+  for (int i = 0; i < kNumBuckets + 2; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double rank = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets + 2; ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank) return bucket_midpoint(i);
+  }
+  return kMaxValue;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  os << "count=" << count() << " mean=" << mean() << " p50=" << p50()
+     << " p95=" << p95() << " p99=" << p99() << " max=" << max_seen();
+  return os.str();
+}
+
+// --- MetricRegistry ----------------------------------------------------------
+
 void MetricRegistry::increment(const std::string& name, int64_t by) {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_[name] += by;
@@ -45,6 +123,25 @@ void MetricRegistry::increment(const std::string& name, int64_t by) {
 void MetricRegistry::record_time(const std::string& name, double seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
   timers_[name].record(seconds);
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricRegistry::record_value(const std::string& name, double v) {
+  histogram(name).record(v);
+}
+
+std::vector<std::string> MetricRegistry::histogram_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) names.push_back(name);
+  return names;
 }
 
 void MetricRegistry::set_gauge(const std::string& name, double value) {
@@ -92,6 +189,9 @@ std::string MetricRegistry::report() const {
   for (const auto& [name, stats] : timers_) {
     os << name << ": " << stats.to_string() << "\n";
   }
+  for (const auto& [name, hist] : histograms_) {
+    os << name << ": " << hist->to_string() << "\n";
+  }
   return os.str();
 }
 
@@ -100,6 +200,7 @@ void MetricRegistry::reset() {
   counters_.clear();
   gauges_.clear();
   timers_.clear();
+  histograms_.clear();
 }
 
 }  // namespace rlgraph

@@ -5,9 +5,11 @@
 // collected through these helpers.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -48,6 +50,56 @@ class SummaryStats {
   double max_ = 0.0;
 };
 
+// Fixed log-bucketed distribution with lock-light recording, used for
+// serving latency and batch-size distributions where many threads record
+// concurrently on a hot path.
+//
+// Buckets are geometric: kBucketsPerDecade per power of ten across
+// [kMinValue, kMaxValue), plus underflow/overflow buckets. record() is a
+// single relaxed atomic increment (plus a relaxed max update); quantile()
+// walks a snapshot of the counts. Quantiles are therefore approximate to
+// one bucket width (~15% relative), which is plenty for p50/p95/p99 of
+// latencies spanning microseconds to seconds.
+class Histogram {
+ public:
+  static constexpr int kBucketsPerDecade = 16;
+  static constexpr int kNumDecades = 8;  // 1e-6 .. 1e2
+  static constexpr int kNumBuckets = kBucketsPerDecade * kNumDecades;
+  static constexpr double kMinValue = 1e-6;
+  static constexpr double kMaxValue = 1e2;
+
+  Histogram();
+
+  // Record one observation. Values below kMinValue (including <= 0) land in
+  // the underflow bucket, values >= kMaxValue in the overflow bucket.
+  void record(double v);
+
+  int64_t count() const;
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double max_seen() const { return max_.load(std::memory_order_relaxed); }
+
+  // Value below which a fraction q (in [0, 1]) of observations fall,
+  // estimated as the geometric midpoint of the covering bucket. Returns 0
+  // for an empty histogram.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  void reset();
+  // "count=N mean=... p50=... p95=... p99=... max=..."
+  std::string to_string() const;
+
+ private:
+  static int bucket_index(double v);
+  static double bucket_midpoint(int index);
+
+  std::atomic<int64_t> buckets_[kNumBuckets + 2];  // [0]=under, [last]=over
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
 // Thread-safe registry of named counters, gauges, and timers, used by
 // executors to expose per-run metrics (session calls, samples processed,
 // queue waits, worker restarts, weight staleness).
@@ -55,6 +107,12 @@ class MetricRegistry {
  public:
   void increment(const std::string& name, int64_t by = 1);
   void record_time(const std::string& name, double seconds);
+  // Named histogram, created on first use. The returned reference stays
+  // valid until reset(); hot paths should resolve it once and record
+  // directly (record() itself takes no registry lock).
+  Histogram& histogram(const std::string& name);
+  void record_value(const std::string& name, double v);
+  std::vector<std::string> histogram_names() const;
   // Gauges are last-write-wins instantaneous values (e.g. staleness).
   void set_gauge(const std::string& name, double value);
   int64_t counter(const std::string& name) const;
@@ -70,6 +128,8 @@ class MetricRegistry {
   std::map<std::string, int64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, SummaryStats> timers_;
+  // unique_ptr keeps Histogram addresses stable across map rebalancing.
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 // RAII timer that records into a registry on destruction.

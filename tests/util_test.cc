@@ -226,6 +226,57 @@ TEST(MetricsTest, GaugesAreLastWriteWins) {
   EXPECT_DOUBLE_EQ(reg.gauge("staleness"), 0.0);
 }
 
+TEST(MetricsTest, HistogramQuantilesApproximateTheDistribution) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+
+  // 1..100 ms uniformly: p50 ~ 50ms, p95 ~ 95ms, p99 ~ 99ms. Log buckets
+  // give ~15% relative resolution, so assert within a generous band.
+  for (int i = 1; i <= 100; ++i) h.record(i * 1e-3);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_NEAR(h.mean(), 0.0505, 1e-6);
+  EXPECT_GT(h.p50(), 0.035);
+  EXPECT_LT(h.p50(), 0.070);
+  EXPECT_GT(h.p95(), 0.075);
+  EXPECT_LT(h.p95(), 0.120);
+  EXPECT_GE(h.p99(), h.p95());
+  EXPECT_DOUBLE_EQ(h.max_seen(), 0.1);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+}
+
+TEST(MetricsTest, HistogramHandlesOutOfRangeValues) {
+  Histogram h;
+  h.record(0.0);     // underflow bucket
+  h.record(-5.0);    // underflow bucket
+  h.record(1e9);     // overflow bucket
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 1e9);
+  // Quantiles stay within the representable range.
+  EXPECT_LE(h.quantile(1.0), Histogram::kMaxValue);
+  EXPECT_GE(h.quantile(0.0), 0.0);
+}
+
+TEST(MetricsTest, HistogramConcurrentRecordsAllLand) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record(1e-4);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_EQ(&reg.histogram("lat"), &h);  // stable address
+  EXPECT_EQ(reg.histogram_names().size(), 1u);
+  EXPECT_NE(reg.report().find("lat: count=20000"), std::string::npos);
+}
+
 // --- Serialization -----------------------------------------------------------
 
 TEST(SerializationTest, PrimitivesRoundTrip) {
