@@ -81,6 +81,7 @@ Row run_hand_tuned(int64_t num_envs, double seconds) {
 int main(int argc, char** argv) {
   using namespace rlgraph;
   bench::Reporter reporter("act_throughput", argc, argv);
+  bench::TraceFlag trace_flag(argc, argv);
   bench::print_header(
       "Figure 5b: worker act throughput vs. number of parallel Pong envs");
   std::vector<int64_t> env_counts{1, 2, 4, 8, 16, 32};

@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace rlgraph;
   bench::Reporter reporter("apex_throughput", argc, argv);
+  bench::TraceFlag trace_flag(argc, argv);
   bench::print_header(
       "Figure 6: distributed Ape-X sample throughput on synthetic Pong");
 

@@ -9,6 +9,7 @@
 
 #include "util/json.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace rlgraph {
 namespace bench {
@@ -124,6 +125,41 @@ class Reporter {
   std::string benchmark_;
   std::string path_;
   JsonArray rows_;
+};
+
+// Opt-in tracing: pass `--trace out.json` (or `--trace=out.json`) to any
+// benchmark binary to capture a Chrome trace_event file of the run, plus a
+// per-span summary table on stderr at scope exit. Without the flag (and
+// without RLGRAPH_TRACE in the environment) tracing stays disabled and the
+// instrumented code paths cost a single relaxed atomic load.
+class TraceFlag {
+ public:
+  TraceFlag(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg(argv[i]);
+      if (arg == "--trace" && i + 1 < argc) {
+        path_ = argv[i + 1];
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        path_ = arg.substr(8);
+      }
+    }
+    if (!path_.empty()) trace::start(path_);
+  }
+
+  ~TraceFlag() {
+    if (path_.empty()) return;
+    std::string summary = trace::stop();
+    std::fprintf(stderr, "%s\ntrace written to %s\n", summary.c_str(),
+                 path_.c_str());
+  }
+
+  TraceFlag(const TraceFlag&) = delete;
+  TraceFlag& operator=(const TraceFlag&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
 };
 
 }  // namespace bench

@@ -44,6 +44,7 @@ Json dmlab_env_spec() {
 int main(int argc, char** argv) {
   using namespace rlgraph;
   bench::Reporter reporter("impala_throughput", argc, argv);
+  bench::TraceFlag trace_flag(argc, argv);
   bench::print_header(
       "Figure 9: IMPALA throughput on the DM-Lab-style arena");
 

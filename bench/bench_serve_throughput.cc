@@ -169,6 +169,7 @@ ServedResult served_qps(int clients, int64_t max_batch, double seconds) {
 int main(int argc, char** argv) {
   using namespace rlgraph;
   bench::Reporter reporter("serve_throughput", argc, argv);
+  bench::TraceFlag trace_flag(argc, argv);
   bench::Scale scale = bench::bench_scale();
   const double seconds =
       scale == bench::Scale::kQuick ? 1.0

@@ -42,6 +42,7 @@ double worker_fps(const ApexConfig& base, int envs, int64_t task_size,
 int main(int argc, char** argv) {
   using namespace rlgraph;
   bench::Reporter reporter("single_worker", argc, argv);
+  bench::TraceFlag trace_flag(argc, argv);
   bench::print_header(
       "Figure 7a: single-worker throughput vs. task size and #envs");
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Full three-config test matrix (see README "Testing"):
+#
+#   1. default   — every test, optimized build               (ctest, all)
+#   2. tsan      — -DRLGRAPH_TSAN=ON, `sanitize`-labeled tests under
+#                  ThreadSanitizer (thread-heavy + serving suites)
+#   3. asan      — -DRLGRAPH_ASAN=ON, `sanitize`-labeled tests under
+#                  AddressSanitizer
+#
+# Exits non-zero if ANY config fails. Build directories are kept between
+# runs (build/, build-tsan/, build-asan/) so re-runs are incremental.
+#
+# Usage: scripts/run_tests.sh [default|tsan|asan]...   (no args = all three)
+set -u
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+configs=("$@")
+[ ${#configs[@]} -eq 0 ] && configs=(default tsan asan)
+
+failures=()
+
+run_config() {
+  local name="$1" dir="$2" cmake_flags="$3" ctest_flags="$4"
+  echo "=== [$name] configure + build ($dir) ==="
+  if ! cmake -B "$dir" -S . $cmake_flags >"$dir.configure.log" 2>&1; then
+    echo "[$name] CONFIGURE FAILED (see $dir.configure.log)"
+    failures+=("$name")
+    return
+  fi
+  if ! cmake --build "$dir" -j "$JOBS" >"$dir.build.log" 2>&1; then
+    echo "[$name] BUILD FAILED (see $dir.build.log)"
+    tail -n 30 "$dir.build.log"
+    failures+=("$name")
+    return
+  fi
+  echo "=== [$name] ctest $ctest_flags ==="
+  if ! (cd "$dir" && ctest --output-on-failure -j "$JOBS" $ctest_flags); then
+    echo "[$name] TESTS FAILED"
+    failures+=("$name")
+  fi
+}
+
+for config in "${configs[@]}"; do
+  case "$config" in
+    default)
+      run_config default build "" ""
+      ;;
+    tsan)
+      # TSAN wants every translation unit instrumented; a dedicated tree.
+      run_config tsan build-tsan "-DRLGRAPH_TSAN=ON" "-L sanitize"
+      ;;
+    asan)
+      ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+        run_config asan build-asan "-DRLGRAPH_ASAN=ON" "-L sanitize"
+      ;;
+    *)
+      echo "unknown config: $config (expected default|tsan|asan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo
+if [ ${#failures[@]} -gt 0 ]; then
+  echo "FAILED configs: ${failures[*]}"
+  exit 1
+fi
+echo "all configs passed: ${configs[*]}"

@@ -50,7 +50,32 @@ std::vector<uint8_t> Agent::export_weights(const std::string& prefix) {
 }
 
 void Agent::import_weights(const std::vector<uint8_t>& bytes) {
-  set_weights(deserialize_weights(bytes));
+  std::map<std::string, Tensor> weights = deserialize_weights(bytes);
+  // Validate the snapshot against the built graph BEFORE mutating anything:
+  // a snapshot from a different architecture must fail atomically instead
+  // of leaving a half-overwritten variable store behind.
+  const std::map<std::string, Tensor> current = get_weights();
+  if (weights.size() != current.size()) {
+    throw SerializationError(
+        "weight snapshot has " + std::to_string(weights.size()) +
+        " variables but this agent has " + std::to_string(current.size()));
+  }
+  for (const auto& [name, t] : weights) {
+    auto it = current.find(name);
+    if (it == current.end()) {
+      throw SerializationError("weight snapshot names unknown variable '" +
+                               name + "'");
+    }
+    if (it->second.dtype() != t.dtype() || !(it->second.shape() == t.shape())) {
+      throw SerializationError(
+          "weight snapshot variable '" + name + "' is " +
+          std::string(dtype_name(t.dtype())) + t.shape().to_string() +
+          " but the agent expects " +
+          std::string(dtype_name(it->second.dtype())) +
+          it->second.shape().to_string());
+    }
+  }
+  set_weights(weights);
 }
 
 namespace {
@@ -78,24 +103,48 @@ std::vector<uint8_t> serialize_weights(
 std::map<std::string, Tensor> deserialize_weights(
     const std::vector<uint8_t>& bytes) {
   ByteReader r(bytes);
-  RLG_REQUIRE(r.read_u32() == kWeightsMagic,
-              "bad weight-map magic; not an RLgraph weight snapshot");
-  RLG_REQUIRE(r.read_u32() == kWeightsVersion,
-              "unsupported weight snapshot version");
+  if (r.read_u32() != kWeightsMagic) {
+    throw SerializationError(
+        "bad weight-map magic; not an RLgraph weight snapshot (RLGW)");
+  }
+  if (r.read_u32() != kWeightsVersion) {
+    throw SerializationError("unsupported weight snapshot version");
+  }
   uint32_t count = r.read_u32();
   std::map<std::string, Tensor> weights;
   for (uint32_t i = 0; i < count; ++i) {
     std::string name = r.read_string();
-    DType dtype = static_cast<DType>(r.read_u8());
+    const uint8_t dtype_byte = r.read_u8();
+    if (dtype_byte > static_cast<uint8_t>(DType::kBool)) {
+      throw SerializationError("weight snapshot variable '" + name +
+                               "' has invalid dtype tag " +
+                               std::to_string(dtype_byte));
+    }
+    DType dtype = static_cast<DType>(dtype_byte);
     uint32_t rank = r.read_u32();
     std::vector<int64_t> dims(rank);
-    for (uint32_t d = 0; d < rank; ++d) dims[d] = r.read_i64();
+    for (uint32_t d = 0; d < rank; ++d) {
+      dims[d] = r.read_i64();
+      if (dims[d] < 0) {
+        throw SerializationError("weight snapshot variable '" + name +
+                                 "' has negative dimension " +
+                                 std::to_string(dims[d]));
+      }
+    }
     uint64_t nbytes = r.read_u64();
     Tensor t(dtype, Shape(dims));
-    RLG_REQUIRE(t.byte_size() == nbytes,
-                "weight snapshot size mismatch for '" << name << "'");
+    if (t.byte_size() != nbytes) {
+      throw SerializationError("weight snapshot size mismatch for '" + name +
+                               "'");
+    }
     r.read_bytes(t.mutable_raw(), nbytes);
     weights.emplace(std::move(name), std::move(t));
+  }
+  if (!r.at_end()) {
+    throw SerializationError(
+        "weight snapshot has " + std::to_string(r.remaining()) +
+        " trailing bytes after the declared " + std::to_string(count) +
+        " variables");
   }
   return weights;
 }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace rlgraph {
 
@@ -58,6 +59,7 @@ void Supervisor::loop() {
 }
 
 void Supervisor::poll() {
+  trace::TraceSpan span("actor", "supervisor/heartbeat");
   auto now = std::chrono::steady_clock::now();
   for (size_t i = 0; i < slots_.size(); ++i) {
     {

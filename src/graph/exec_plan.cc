@@ -8,6 +8,7 @@
 
 #include "util/errors.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace rlgraph {
 
@@ -370,6 +371,14 @@ std::vector<Tensor> CompiledPlan::execute(RunArena& arena,
                              << feed_shapes_[i].to_string());
   }
 
+  trace::TraceSpan plan_span("plan", "plan/execute");
+  if (plan_span.active()) {
+    plan_span.set_arg("steps", static_cast<int64_t>(steps_.size()));
+    if (!feed_values.empty() && feed_values[0].shape().rank() >= 1) {
+      plan_span.set_arg("batch", feed_values[0].shape().dim(0));
+    }
+  }
+
   // Kernel output allocations inside this run draw from the arena's pool;
   // released intermediates recycle their buffers within the same run.
   BufferPoolScope pool_scope(&arena.pool());
@@ -420,6 +429,7 @@ bool CompiledPlan::feeds_batchable() const {
 
 void CompiledPlan::run_step(const Step& step, KernelContext& ctx,
                             RunArena& arena, bool check_purity) const {
+  trace::TraceSpan kernel_span("kernel", step.node->op);
   ctx.node = step.node;
   ctx.inputs.clear();
   ctx.inputs.reserve(step.input_slots.size());
@@ -429,6 +439,12 @@ void CompiledPlan::run_step(const Step& step, KernelContext& ctx,
   if (check_purity) sums = checksum_inputs(ctx.inputs);
 
   std::vector<Tensor> out = (*step.kernel)(ctx);
+
+  if (kernel_span.active()) {
+    kernel_span.set_detail(
+        step.node->name +
+        (out.empty() ? std::string() : " -> " + out[0].shape().to_string()));
+  }
 
   if (check_purity) {
     std::vector<uint64_t> after = checksum_inputs(ctx.inputs);

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/errors.h"
+#include "util/trace.h"
 
 namespace rlgraph {
 
@@ -14,6 +15,7 @@ Session::Session(std::shared_ptr<const GraphDef> graph,
 
 std::vector<Tensor> Session::PreparedCall::run(
     const std::vector<Tensor>& feed_values) {
+  trace::TraceSpan span("session", "session/execute");
   // Check an arena out of the free list; concurrent runs of the same plan
   // each get their own slot table.
   std::unique_ptr<RunArena> arena;
@@ -72,12 +74,14 @@ std::shared_ptr<Session::PreparedCall> Session::prepare(
     std::lock_guard<std::mutex> lock(cache_mutex_);
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
+      trace::TraceSpan span("session", "session/cache_hit");
       plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
       if (metrics_ != nullptr) metrics_->increment("session/plan_cache_hits");
       return it->second;
     }
   }
   // Compile outside the lock (may be slow); last writer wins on a race.
+  trace::TraceSpan compile_span("session", "session/compile");
   std::shared_ptr<CompiledPlan> plan =
       CompiledPlan::compile(graph_, fetches, feed_nodes);
   auto call = std::make_shared<PreparedCall>();
@@ -92,6 +96,7 @@ std::shared_ptr<Session::PreparedCall> Session::prepare(
 
 std::vector<Tensor> Session::run(const std::vector<Endpoint>& fetches,
                                  const FeedMap& feeds) {
+  trace::TraceSpan span("session", "session/run");
   std::vector<int> feed_nodes;
   std::vector<Tensor> feed_values;
   feed_nodes.reserve(feeds.size());

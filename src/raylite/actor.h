@@ -24,6 +24,7 @@
 #include "raylite/fault_injection.h"
 #include "util/errors.h"
 #include "util/queues.h"
+#include "util/trace.h"
 
 namespace rlgraph {
 namespace raylite {
@@ -339,7 +340,11 @@ class Actor {
             return;
         }
       }
-      task->run(*instance);
+      {
+        trace::TraceSpan span("actor", "actor/task");
+        span.set_arg("pending", static_cast<int64_t>(mailbox_.size()));
+        task->run(*instance);
+      }
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     }
   }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/trace.h"
+
 namespace rlgraph {
 namespace serve {
 
@@ -25,6 +27,7 @@ DynamicBatcher::~DynamicBatcher() {
 
 std::future<ActResult> DynamicBatcher::submit(Tensor obs,
                                               ServeClock::time_point deadline) {
+  trace::TraceSpan span("serve", "serve/admit");
   ActRequest req;
   req.obs = std::move(obs);
   req.enqueued = ServeClock::now();
@@ -74,6 +77,7 @@ std::vector<ActRequest> DynamicBatcher::next_batch() {
     if (queue_.empty()) continue;
 
     const ServeClock::time_point now = ServeClock::now();
+    trace::TraceSpan assembly_span("serve", "serve/batch_assembly");
     std::vector<ActRequest> batch;
     std::vector<ActRequest> expired;
     while (!queue_.empty() && batch.size() < max_batch) {
@@ -110,6 +114,10 @@ std::vector<ActRequest> DynamicBatcher::next_batch() {
             std::chrono::duration<double>(now - req.enqueued).count());
       }
     }
+    // One queue-wait span per dispatched batch, anchored at the oldest
+    // request's enqueue: the flush-policy wait made visible in the trace.
+    trace::record_span("serve", "serve/queue_wait", batch.front().enqueued,
+                       now, "batch", static_cast<int64_t>(batch.size()));
     return batch;
   }
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace rlgraph {
 namespace serve {
@@ -135,6 +136,8 @@ void PolicyServer::serve_loop(int shard) {
       // Hot-swap between batches: the whole batch runs one version.
       PolicySnapshot snap = store_.snapshot();
       if (snap.valid() && snap.version != have_version) {
+        trace::TraceSpan swap_span("serve", "serve/load_snapshot");
+        swap_span.set_arg("policy_version", snap.version);
         engine->load(snap);
         have_version = snap.version;
         metrics_.set_gauge("serve/policy_version",
@@ -144,13 +147,21 @@ void PolicyServer::serve_loop(int shard) {
       std::vector<Tensor> observations;
       observations.reserve(batch.size());
       for (const ActRequest& req : batch) observations.push_back(req.obs);
-      Tensor actions = engine->forward(stack_leading(observations));
+      Tensor actions;
+      {
+        trace::TraceSpan fwd_span("serve", "serve/forward");
+        fwd_span.set_arg("batch", static_cast<int64_t>(batch.size()));
+        fwd_span.set_arg("policy_version", have_version);
+        actions = engine->forward(stack_leading(observations));
+      }
       std::vector<Tensor> per_request = unstack_leading(actions);
       RLG_CHECK_MSG(per_request.size() == batch.size(),
                     "engine returned " << per_request.size()
                         << " actions for a batch of " << batch.size());
 
       const ServeClock::time_point done = ServeClock::now();
+      trace::TraceSpan respond_span("serve", "serve/respond");
+      respond_span.set_arg("batch", static_cast<int64_t>(batch.size()));
       for (size_t i = 0; i < batch.size(); ++i) {
         latency_hist_->record(
             std::chrono::duration<double>(done - batch[i].enqueued).count());

@@ -43,6 +43,14 @@ class ConfigError : public Error {
   using Error::Error;
 };
 
+// A serialized payload (weight snapshot, variable checkpoint) failed
+// validation: truncated stream, wrong magic or version, corrupt metadata, or
+// contents that do not match the graph it is being loaded into.
+class SerializationError : public Error {
+ public:
+  using Error::Error;
+};
+
 // A timed wait (future get_for, queue pop_for) expired before completion.
 class TimeoutError : public Error {
  public:

@@ -41,8 +41,9 @@ void ByteWriter::write_bytes(const void* data, size_t n) {
 
 void ByteReader::require(size_t n) {
   if (pos_ + n > buffer_.size()) {
-    throw Error("ByteReader: truncated stream (need " + std::to_string(n) +
-                " bytes, have " + std::to_string(buffer_.size() - pos_) + ")");
+    throw SerializationError(
+        "ByteReader: truncated stream (need " + std::to_string(n) +
+        " bytes, have " + std::to_string(buffer_.size() - pos_) + ")");
   }
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "util/errors.h"
+#include "util/trace.h"
 
 namespace rlgraph {
 
@@ -89,9 +90,15 @@ void ThreadPool::worker_loop(size_t self) {
   t_worker_index = self;
   while (true) {
     std::function<void()> task;
-    if (try_pop_local(self, task) || try_steal(self, task)) {
+    bool stolen = false;
+    if (try_pop_local(self, task) || (stolen = try_steal(self, task))) {
       pending_.fetch_sub(1, std::memory_order_acq_rel);
-      task();
+      {
+        // Dispatch vs. steal spans show work-distribution imbalance in the
+        // trace: a worker living off steals has an empty local deque.
+        trace::TraceSpan span("sched", stolen ? "pool/steal" : "pool/dispatch");
+        task();
+      }
       continue;
     }
     std::unique_lock<std::mutex> lock(sleep_mutex_);

@@ -1,0 +1,390 @@
+// Numerical gradient checking for the component library: every loss in
+// components/losses.h and every layer in components/layers.h, validated
+// against central finite differences via tests/gradcheck.h, at two or more
+// input shapes each.
+//
+// Programs mirror the component graph functions op-for-op (the activation
+// dispatch IS the shared components/layers.h helper); forward-agreement
+// tests at the bottom pin each program to the real component through
+// ComponentTest, so the finite-difference validation transfers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "components/layers.h"
+#include "components/losses.h"
+#include "core/component_test.h"
+#include "gradcheck.h"
+#include "tensor/kernels.h"
+
+namespace rlgraph {
+namespace {
+
+using gradcheck::Program;
+
+struct CheckCase {
+  std::string name;
+  Program program;
+  std::function<std::vector<Tensor>(Rng&)> make_inputs;
+  std::vector<size_t> check_inputs;  // empty = every float input
+  gradcheck::Options opts;
+};
+
+class ComponentGradTest : public ::testing::TestWithParam<CheckCase> {};
+
+TEST_P(ComponentGradTest, AutodiffMatchesFiniteDifferences) {
+  const CheckCase& c = GetParam();
+  Rng rng(42);
+  gradcheck::Result r = gradcheck::check(c.program, c.make_inputs(rng),
+                                         c.check_inputs, c.opts);
+  EXPECT_TRUE(r.ok()) << r.describe(c.name);
+  // A second draw guards against a luckily-passing first sample.
+  gradcheck::Result r2 = gradcheck::check(c.program, c.make_inputs(rng),
+                                          c.check_inputs, c.opts);
+  EXPECT_TRUE(r2.ok()) << r2.describe(c.name + " (second sample)");
+}
+
+// --- program factories -------------------------------------------------------
+
+// Dense: y = act(x @ w [+ b]); scalar loss = mean(y^2). The activation goes
+// through the real components/layers.h dispatch.
+Program dense_program(Activation act, bool use_bias) {
+  return [act, use_bias](OpContext& ops, const std::vector<OpRef>& in) {
+    OpRef h = ops.matmul(in[0], in[1]);
+    if (use_bias) h = ops.add(h, in[2]);
+    return ops.reduce_mean(ops.square(apply_activation(ops, act, h)));
+  };
+}
+
+// Conv2D: y = act(conv(x, f, stride, padding) + b); loss = mean(y^2).
+Program conv_program(int64_t stride, bool same_padding, Activation act) {
+  return [stride, same_padding, act](OpContext& ops,
+                                     const std::vector<OpRef>& in) {
+    OpRef h = ops.apply("Conv2D", {in[0], in[1]},
+                        {{"stride", stride}, {"same_padding", same_padding}});
+    h = ops.add(h, in[2]);
+    return ops.reduce_mean(ops.square(apply_activation(ops, act, h)));
+  };
+}
+
+// Statically unrolled LSTM, mirroring LSTMLayer's graph function.
+Program lstm_program(int64_t time, int64_t features, int64_t units) {
+  return [time, features, units](OpContext& ops,
+                                 const std::vector<OpRef>& in) {
+    std::vector<int64_t> sizes(static_cast<size_t>(time), 1);
+    std::vector<OpRef> steps = ops.split(in[0], 1, sizes);
+    OpRef x0 = ops.squeeze(steps[0], 1);
+    OpRef zeros_fxu = ops.constant(
+        Tensor::zeros(DType::kFloat32, Shape{features, units}));
+    OpRef h = ops.matmul(x0, zeros_fxu);
+    OpRef c = h;
+    OpRef w = in[1], b = in[2];
+    std::vector<OpRef> outputs;
+    for (int64_t t = 0; t < time; ++t) {
+      OpRef xt = ops.squeeze(steps[static_cast<size_t>(t)], 1);
+      OpRef gates = ops.add(ops.matmul(ops.concat({xt, h}, 1), w), b);
+      std::vector<OpRef> parts =
+          ops.split(gates, 1, {units, units, units, units});
+      OpRef i = ops.sigmoid(parts[0]);
+      OpRef f = ops.sigmoid(parts[1]);
+      OpRef g = ops.tanh(parts[2]);
+      OpRef o = ops.sigmoid(parts[3]);
+      c = ops.add(ops.mul(f, c), ops.mul(i, g));
+      h = ops.mul(o, ops.tanh(c));
+      outputs.push_back(ops.expand_dims(h, 1));
+    }
+    return ops.reduce_mean(ops.square(ops.concat(outputs, 1)));
+  };
+}
+
+// Softmax cross-entropy: mean over the batch of -sum(p * log_softmax(x)).
+Program cross_entropy_program() {
+  return [](OpContext& ops, const std::vector<OpRef>& in) {
+    OpRef per_row =
+        ops.reduce_sum(ops.mul(in[1], ops.log_softmax(in[0])), 1);
+    return ops.reduce_mean(ops.neg(per_row));
+  };
+}
+
+// DQNLoss::get_loss, op-for-op (see components/losses.cc). Inputs:
+// (q, actions, rewards, q_next_target, q_next_online, terminals, weights).
+Program dqn_program(double discount, bool double_q, double huber_delta) {
+  return [discount, double_q, huber_delta](OpContext& ops,
+                                           const std::vector<OpRef>& in) {
+    OpRef q = in[0], actions = in[1], rewards = in[2];
+    OpRef q_next_t = in[3], q_next_o = in[4];
+    OpRef terminals = in[5], weights = in[6];
+    OpRef q_sa = ops.select_columns(q, actions);
+    OpRef next_value;
+    if (double_q) {
+      next_value = ops.select_columns(q_next_t, ops.argmax(q_next_o));
+    } else {
+      next_value = ops.reduce_max(q_next_t, 1);
+    }
+    OpRef not_terminal =
+        ops.sub(ops.scalar(1.0f), ops.cast(terminals, DType::kFloat32));
+    OpRef target = ops.add(
+        rewards, ops.mul(ops.scalar(static_cast<float>(discount)),
+                         ops.mul(not_terminal, next_value)));
+    target = ops.stop_gradient(target);
+    OpRef td = ops.sub(q_sa, target);
+    OpRef abs_td = ops.abs(td);
+    OpRef delta = ops.scalar(static_cast<float>(huber_delta));
+    OpRef quadratic = ops.mul(ops.scalar(0.5f), ops.square(td));
+    OpRef linear = ops.mul(
+        delta, ops.sub(abs_td, ops.mul(ops.scalar(0.5f), delta)));
+    OpRef huber = ops.where(ops.less(abs_td, delta), quadratic, linear);
+    return ops.reduce_mean(ops.mul(weights, huber));
+  };
+}
+
+// --- input samplers ----------------------------------------------------------
+
+std::function<std::vector<Tensor>(Rng&)> dense_inputs(
+    int64_t batch, int64_t fan_in, int64_t units, double w_lo, double w_hi,
+    double b_lo, double b_hi) {
+  return [=](Rng& rng) {
+    return std::vector<Tensor>{
+        kernels::random_uniform(Shape{batch, fan_in}, 0.2, 1.5, rng),
+        kernels::random_uniform(Shape{fan_in, units}, w_lo, w_hi, rng),
+        kernels::random_uniform(Shape{units}, b_lo, b_hi, rng)};
+  };
+}
+
+std::function<std::vector<Tensor>(Rng&)> conv_inputs(
+    int64_t h, int64_t w, int64_t cin, int64_t k, int64_t filters) {
+  return [=](Rng& rng) {
+    return std::vector<Tensor>{
+        kernels::random_uniform(Shape{1, h, w, cin}, 0.2, 1.5, rng),
+        kernels::random_uniform(Shape{k, k, cin, filters}, -0.2, 0.2, rng),
+        kernels::random_uniform(Shape{filters}, -0.3, 0.3, rng)};
+  };
+}
+
+std::function<std::vector<Tensor>(Rng&)> lstm_inputs(
+    int64_t batch, int64_t time, int64_t features, int64_t units) {
+  return [=](Rng& rng) {
+    return std::vector<Tensor>{
+        kernels::random_uniform(Shape{batch, time, features}, -1.0, 1.0, rng),
+        kernels::random_uniform(Shape{features + units, 4 * units}, -0.5, 0.5,
+                                rng),
+        kernels::random_uniform(Shape{4 * units}, -0.3, 0.3, rng)};
+  };
+}
+
+std::function<std::vector<Tensor>(Rng&)> xent_inputs(int64_t batch,
+                                                     int64_t classes) {
+  return [=](Rng& rng) {
+    return std::vector<Tensor>{
+        kernels::random_uniform(Shape{batch, classes}, -1.5, 1.5, rng),
+        kernels::random_uniform(Shape{batch, classes}, 0.1, 1.0, rng)};
+  };
+}
+
+// Random DQN batch with a huge Huber delta: every TD error stays in the
+// smooth quadratic branch, so finite differences are valid everywhere.
+std::function<std::vector<Tensor>(Rng&)> dqn_smooth_inputs(int64_t batch,
+                                                           int64_t actions) {
+  return [=](Rng& rng) {
+    std::vector<int32_t> acts;
+    std::vector<bool> terms;
+    for (int64_t i = 0; i < batch; ++i) {
+      acts.push_back(static_cast<int32_t>(
+          rng.uniform(0.0, static_cast<double>(actions)) ));
+      terms.push_back(i % 3 == 1);
+    }
+    for (int32_t& a : acts) a = std::min<int32_t>(a, actions - 1);
+    return std::vector<Tensor>{
+        kernels::random_uniform(Shape{batch, actions}, 0.2, 1.5, rng),
+        Tensor::from_ints(Shape{batch}, acts),
+        kernels::random_uniform(Shape{batch}, 0.2, 1.5, rng),
+        kernels::random_uniform(Shape{batch, actions}, 0.2, 1.5, rng),
+        kernels::random_uniform(Shape{batch, actions}, 0.2, 1.5, rng),
+        Tensor::from_bools(Shape{batch}, terms),
+        kernels::random_uniform(Shape{batch}, 0.5, 1.5, rng)};
+  };
+}
+
+// Fixed all-terminal DQN batch with delta = 1: td = q_sa - r lands well
+// inside BOTH Huber branches ({0.3, 2.0, -0.5, -1.7}), each at least 0.5
+// away from the |td| = delta switch and the |td| = 0 kink.
+std::vector<Tensor> dqn_two_branch_inputs(Rng&) {
+  return std::vector<Tensor>{
+      Tensor::from_floats(Shape{4, 3}, {1.3f, 9.0f, 9.0f,    //
+                                        9.0f, 3.0f, 9.0f,    //
+                                        9.0f, 9.0f, 0.5f,    //
+                                        -0.7f, 9.0f, 9.0f}),
+      Tensor::from_ints(Shape{4}, {0, 1, 2, 0}),
+      Tensor::from_floats(Shape{4}, {1.0f, 1.0f, 1.0f, 1.0f}),
+      Tensor::from_floats(Shape{4, 3}, std::vector<float>(12, 0.0f)),
+      Tensor::from_floats(Shape{4, 3}, std::vector<float>(12, 0.0f)),
+      Tensor::from_bools(Shape{4}, {true, true, true, true}),
+      Tensor::from_floats(Shape{4}, {1.0f, 0.7f, 1.3f, 0.9f})};
+}
+
+// rewards / q_next_* / terminals reach the loss only through StopGradient
+// (autodiff correctly reports zero; finite differences see the raw
+// sensitivity), so only q and the importance weights are checked.
+const std::vector<size_t> kDqnCheckedInputs{0, 6};
+
+INSTANTIATE_TEST_SUITE_P(
+    Losses, ComponentGradTest,
+    ::testing::Values(
+        CheckCase{"dqn_double_q_small", dqn_program(0.95, true, 100.0),
+                  dqn_smooth_inputs(2, 3), kDqnCheckedInputs, {}},
+        CheckCase{"dqn_double_q_wide", dqn_program(0.99, false, 100.0),
+                  dqn_smooth_inputs(4, 5), kDqnCheckedInputs, {}},
+        CheckCase{"dqn_huber_both_branches", dqn_program(0.9, false, 1.0),
+                  dqn_two_branch_inputs, kDqnCheckedInputs, {}},
+        CheckCase{"cross_entropy_small", cross_entropy_program(),
+                  xent_inputs(2, 3), {}, {}},
+        CheckCase{"cross_entropy_wide", cross_entropy_program(),
+                  xent_inputs(3, 7), {}, {}}));
+
+INSTANTIATE_TEST_SUITE_P(
+    DenseLayers, ComponentGradTest,
+    ::testing::Values(
+        CheckCase{"dense_linear_small",
+                  dense_program(Activation::kNone, true),
+                  dense_inputs(2, 3, 4, -0.5, 0.5, -0.3, 0.3), {}, {}},
+        CheckCase{"dense_linear_wide",
+                  dense_program(Activation::kNone, true),
+                  dense_inputs(4, 5, 2, -0.5, 0.5, -0.3, 0.3), {}, {}},
+        CheckCase{"dense_relu_active_small",
+                  dense_program(Activation::kRelu, true),
+                  dense_inputs(2, 3, 4, 0.2, 0.9, 0.1, 0.3), {}, {}},
+        CheckCase{"dense_relu_active_wide",
+                  dense_program(Activation::kRelu, true),
+                  dense_inputs(3, 4, 2, 0.2, 0.9, 0.1, 0.3), {}, {}},
+        // Strictly negative pre-activations: the dead branch must have an
+        // exactly-zero gradient on both sides.
+        CheckCase{"dense_relu_dead",
+                  dense_program(Activation::kRelu, false),
+                  dense_inputs(2, 3, 4, -0.9, -0.2, 0.0, 0.0), {0, 1}, {}},
+        CheckCase{"dense_tanh_small",
+                  dense_program(Activation::kTanh, true),
+                  dense_inputs(2, 3, 4, -0.5, 0.5, -0.3, 0.3), {}, {}},
+        CheckCase{"dense_tanh_wide",
+                  dense_program(Activation::kTanh, true),
+                  dense_inputs(4, 5, 3, -0.5, 0.5, -0.3, 0.3), {}, {}},
+        CheckCase{"dense_sigmoid_small",
+                  dense_program(Activation::kSigmoid, true),
+                  dense_inputs(2, 3, 4, -0.5, 0.5, -0.3, 0.3), {}, {}},
+        CheckCase{"dense_sigmoid_wide",
+                  dense_program(Activation::kSigmoid, true),
+                  dense_inputs(3, 2, 5, -0.5, 0.5, -0.3, 0.3), {}, {}},
+        CheckCase{"dense_softmax_small",
+                  dense_program(Activation::kSoftmax, true),
+                  dense_inputs(2, 3, 4, -0.5, 0.5, -0.3, 0.3), {}, {}},
+        CheckCase{"dense_softmax_wide",
+                  dense_program(Activation::kSoftmax, true),
+                  dense_inputs(3, 4, 3, -0.5, 0.5, -0.3, 0.3), {}, {}},
+        CheckCase{"dense_no_bias",
+                  dense_program(Activation::kTanh, false),
+                  dense_inputs(2, 3, 4, -0.5, 0.5, 0.0, 0.0), {0, 1}, {}}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ConvAndRecurrentLayers, ComponentGradTest,
+    ::testing::Values(
+        CheckCase{"conv_valid_stride1",
+                  conv_program(1, false, Activation::kNone),
+                  conv_inputs(4, 4, 2, 3, 2), {}, {}},
+        CheckCase{"conv_same_stride2",
+                  conv_program(2, true, Activation::kSigmoid),
+                  conv_inputs(5, 5, 1, 3, 3), {}, {}},
+        CheckCase{"conv_valid_stride2_tanh",
+                  conv_program(2, false, Activation::kTanh),
+                  conv_inputs(5, 5, 2, 2, 2), {}, {}},
+        CheckCase{"lstm_small", lstm_program(3, 2, 3),
+                  lstm_inputs(1, 3, 2, 3), {}, {}},
+        CheckCase{"lstm_wide", lstm_program(2, 3, 4),
+                  lstm_inputs(2, 2, 3, 4), {}, {}}));
+
+// --- forward agreement with the real components ------------------------------
+//
+// The FD validation above is only as good as the programs' fidelity to the
+// component graph functions; these tests pin them together by injecting the
+// program's weights into a built component and comparing outputs.
+
+Tensor eval_forward(const std::function<OpRef(OpContext&,
+                                              const std::vector<OpRef>&)>& fn,
+                    const std::vector<Tensor>& inputs) {
+  VariableStore store;
+  Rng rng(1);
+  ImperativeContext ctx(&store, &rng, /*build_mode=*/false);
+  std::vector<OpRef> refs;
+  for (const Tensor& t : inputs) refs.push_back(ctx.literal(t));
+  return ctx.value(fn(ctx, refs));
+}
+
+ComponentTest make_layer_test(std::shared_ptr<Component> layer,
+                              SpacePtr input_space) {
+  auto root = std::make_shared<Component>("root");
+  auto* l = root->add_component(std::move(layer));
+  root->register_api("apply", [l](BuildContext& ctx, const OpRecs& in) {
+    return l->call_api(ctx, "apply", in);
+  });
+  return ComponentTest(root, {{"apply", {std::move(input_space)}}});
+}
+
+TEST(GradCheckFidelityTest, DenseProgramMatchesDenseLayer) {
+  auto test = make_layer_test(
+      std::make_shared<DenseLayer>("dense", 4, Activation::kTanh),
+      FloatBox(Shape{3})->with_batch_rank());
+  Rng rng(7);
+  Tensor x = kernels::random_uniform(Shape{2, 3}, -1.0, 1.0, rng);
+  Tensor w = test.executor().variables().get("root/dense/weights");
+  Tensor b = test.executor().variables().get("root/dense/bias");
+  Tensor program_out = eval_forward(
+      [](OpContext& ops, const std::vector<OpRef>& in) {
+        return apply_activation(ops, Activation::kTanh,
+                                ops.add(ops.matmul(in[0], in[1]), in[2]));
+      },
+      {x, w, b});
+  Tensor layer_out = test.test("apply", {x})[0];
+  EXPECT_TRUE(program_out.all_close(layer_out, 1e-5));
+}
+
+TEST(GradCheckFidelityTest, ConvProgramMatchesConv2DLayer) {
+  auto test = make_layer_test(
+      std::make_shared<Conv2DLayer>("conv", 3, 3, 2, /*same_padding=*/true),
+      FloatBox(Shape{5, 5, 1})->with_batch_rank());
+  Rng rng(9);
+  Tensor x = kernels::random_uniform(Shape{1, 5, 5, 1}, -1.0, 1.0, rng);
+  Tensor f = test.executor().variables().get("root/conv/filters");
+  Tensor b = test.executor().variables().get("root/conv/bias");
+  Tensor program_out = eval_forward(
+      [](OpContext& ops, const std::vector<OpRef>& in) {
+        OpRef h = ops.apply("Conv2D", {in[0], in[1]},
+                            {{"stride", int64_t{2}},
+                             {"same_padding", true}});
+        return ops.add(h, in[2]);
+      },
+      {x, f, b});
+  Tensor layer_out = test.test("apply", {x})[0];
+  EXPECT_TRUE(program_out.all_close(layer_out, 1e-5));
+}
+
+TEST(GradCheckFidelityTest, DQNProgramMatchesDQNLoss) {
+  auto root = std::make_shared<Component>("root");
+  auto* loss = root->add_component(
+      std::make_shared<DQNLoss>("loss", 0.95, /*double_dqn=*/true, 1.0));
+  root->register_api("get_loss", [loss](BuildContext& ctx, const OpRecs& in) {
+    return loss->call_api(ctx, "get_loss", in);
+  });
+  SpacePtr q = FloatBox(Shape{3})->with_batch_rank();
+  SpacePtr a = IntBox(3)->with_batch_rank();
+  SpacePtr f = FloatBox()->with_batch_rank();
+  SpacePtr b = BoolBox()->with_batch_rank();
+  ComponentTest test(root, {{"get_loss", {q, a, f, q, q, b, f}}});
+
+  Rng rng(11);
+  std::vector<Tensor> inputs = dqn_smooth_inputs(3, 3)(rng);
+  double program_loss =
+      gradcheck::eval_loss(dqn_program(0.95, true, 1.0), inputs);
+  Tensor component_loss = test.test("get_loss", inputs)[0];
+  EXPECT_NEAR(program_loss, component_loss.scalar_value(), 1e-5);
+}
+
+}  // namespace
+}  // namespace rlgraph
