@@ -1,0 +1,167 @@
+// Multi-process Ape-X over the raylite/net socket transport.
+//
+// The same binary plays both roles:
+//
+//   # driver: spawns N worker processes, runs the Ape-X coordination loop
+//   # against them through RemoteApexWorker proxies, prints throughput
+//   $ ./example_apex_multiproc [seconds] [num_workers]
+//
+//   # worker: serve one sampler on an endpoint (normally exec'd by the
+//   # driver, but can be launched by hand on another machine with tcp:...)
+//   $ ./example_apex_multiproc --worker <config.json> <index> <endpoint>
+//
+// The driver's coordination loop is the unchanged ApexExecutor — the only
+// difference from the in-process example is `config.remote_workers`. Kill a
+// worker process mid-run (`kill -9 <pid>`) to watch the supervisor restart
+// the slot through the reconnecting RPC client; the run keeps going on the
+// surviving workers in the meantime.
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "execution/remote_worker.h"
+#include "util/serialization.h"
+
+extern char** environ;
+
+using namespace rlgraph;
+namespace net = raylite::net;
+
+namespace {
+
+ApexConfig make_config() {
+  ApexConfig config;
+  config.agent_config = Json::parse(R"({
+    "type": "apex",
+    "network": [{"type": "dense", "units": 32, "activation": "relu"}],
+    "memory": {"type": "prioritized", "capacity": 4096,
+               "alpha": 0.6, "beta": 0.4},
+    "optimizer": {"type": "adam", "learning_rate": 0.0005},
+    "exploration": {"eps_start": 1.0, "eps_end": 0.05, "decay_steps": 5000},
+    "update": {"batch_size": 32, "sync_interval": 100, "min_records": 64}
+  })");
+  config.env_spec = Json::parse(R"({"type": "grid_world"})");
+  config.envs_per_worker = 2;
+  config.num_replay_shards = 1;
+  config.worker_sample_size = 64;
+  config.min_shard_records = 64;
+  config.n_step = 3;
+  return config;
+}
+
+std::string self_exe() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  RLG_REQUIRE(n > 0, "readlink(/proc/self/exe) failed");
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+pid_t spawn_worker(const std::string& config_path, int index,
+                   const std::string& endpoint) {
+  std::string exe = self_exe();
+  std::string index_str = std::to_string(index);
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(exe.c_str()));
+  argv.push_back(const_cast<char*>("--worker"));
+  argv.push_back(const_cast<char*>(config_path.c_str()));
+  argv.push_back(const_cast<char*>(index_str.c_str()));
+  argv.push_back(const_cast<char*>(endpoint.c_str()));
+  argv.push_back(nullptr);
+  pid_t pid = -1;
+  int rc = ::posix_spawn(&pid, exe.c_str(), nullptr, nullptr, argv.data(),
+                         environ);
+  RLG_REQUIRE(rc == 0, "posix_spawn failed: " << rc);
+  return pid;
+}
+
+bool wait_for_listening(const std::string& endpoint, double timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double, std::milli>(timeout_ms);
+  net::Endpoint ep = net::Endpoint::parse(endpoint);
+  while (std::chrono::steady_clock::now() < deadline) {
+    try {
+      net::Socket probe = net::Socket::connect(ep, 200.0);
+      return true;
+    } catch (const ConnectionError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 5 && std::string(argv[1]) == "--worker") {
+    std::vector<uint8_t> bytes = read_file(argv[2]);
+    ApexConfig config = apex_worker_config_from_json(
+        Json::parse(std::string(bytes.begin(), bytes.end())));
+    run_apex_worker_server(config, std::atoi(argv[3]), argv[4]);
+    return 0;
+  }
+
+  double seconds = argc > 1 ? std::atof(argv[1]) : 10.0;
+  int num_workers = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  ApexConfig config = make_config();
+  config.num_workers = num_workers;
+
+  // Hand the sampler configuration to the worker processes via a file.
+  std::string config_path =
+      "/tmp/apex-multiproc-" + std::to_string(::getpid()) + ".json";
+  {
+    std::ofstream out(config_path);
+    out << apex_worker_config_to_json(config).dump(2);
+  }
+
+  std::vector<pid_t> pids;
+  for (int i = 0; i < num_workers; ++i) {
+    std::string endpoint = "unix:/tmp/apex-multiproc-" +
+                           std::to_string(::getpid()) + "-w" +
+                           std::to_string(i) + ".sock";
+    config.remote_workers.push_back(endpoint);
+    pids.push_back(spawn_worker(config_path, i, endpoint));
+    std::printf("worker %d: pid %d on %s\n", i, (int)pids.back(),
+                endpoint.c_str());
+  }
+  for (int i = 0; i < num_workers; ++i) {
+    if (!wait_for_listening(config.remote_workers[i], 60000.0)) {
+      std::fprintf(stderr, "worker %d never came up\n", i);
+      return 1;
+    }
+  }
+
+  std::printf("running Ape-X across %d worker processes for %.0fs "
+              "(kill -9 a worker pid to exercise the restart path)...\n",
+              num_workers, seconds);
+  ApexResult result;
+  {
+    ApexExecutor executor(config);
+    result = executor.run(seconds);
+  }
+  std::printf("%10.0f env frames/s  (%lld learner updates, %lld sample "
+              "tasks, %lld worker restarts, %lld task failures)\n",
+              result.frames_per_second,
+              static_cast<long long>(result.learner_updates),
+              static_cast<long long>(result.sample_tasks),
+              static_cast<long long>(result.worker_restarts),
+              static_cast<long long>(result.task_failures));
+
+  for (pid_t pid : pids) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  std::remove(config_path.c_str());
+  return 0;
+}

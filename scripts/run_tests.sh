@@ -2,21 +2,51 @@
 # Full three-config test matrix (see README "Testing"):
 #
 #   1. default   — every test, optimized build               (ctest, all)
-#   2. tsan      — -DRLGRAPH_TSAN=ON, `sanitize`-labeled tests under
-#                  ThreadSanitizer (thread-heavy + serving suites)
-#   3. asan      — -DRLGRAPH_ASAN=ON, `sanitize`-labeled tests under
-#                  AddressSanitizer
+#   2. tsan      — -DRLGRAPH_TSAN=ON, `sanitize`- and `net`-labeled tests
+#                  under ThreadSanitizer (thread-heavy, serving, and socket
+#                  transport suites)
+#   3. asan      — -DRLGRAPH_ASAN=ON, same label set under AddressSanitizer
 #
 # Exits non-zero if ANY config fails. Build directories are kept between
 # runs (build/, build-tsan/, build-asan/) so re-runs are incremental.
 #
-# Usage: scripts/run_tests.sh [default|tsan|asan]...   (no args = all three)
+# Every ctest invocation runs under --timeout (default 240s per test, on
+# top of per-test TIMEOUT properties) so a hung socket test fails fast
+# instead of wedging the sweep.
+#
+# Usage: scripts/run_tests.sh [--timeout N] [default|tsan|asan]...
+#        (no configs = all three)
 set -u
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
-configs=("$@")
+TEST_TIMEOUT=240
+
+configs=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --timeout)
+      [ $# -ge 2 ] || { echo "--timeout needs a value (seconds)" >&2; exit 2; }
+      TEST_TIMEOUT="$2"
+      shift 2
+      ;;
+    --timeout=*)
+      TEST_TIMEOUT="${1#--timeout=}"
+      shift
+      ;;
+    *)
+      configs+=("$1")
+      shift
+      ;;
+  esac
+done
 [ ${#configs[@]} -eq 0 ] && configs=(default tsan asan)
+
+# The sanitizer configs target the thread-heavy suites plus the socket
+# transport. Labels are anchored: `net-multiproc` (SIGKILL chaos across real
+# processes) must NOT match — sanitizer runtimes don't follow exec'd
+# children, so it runs under the default config only.
+SANITIZE_LABELS='-L ^sanitize$|^net$'
 
 failures=()
 
@@ -34,8 +64,9 @@ run_config() {
     failures+=("$name")
     return
   fi
-  echo "=== [$name] ctest $ctest_flags ==="
-  if ! (cd "$dir" && ctest --output-on-failure -j "$JOBS" $ctest_flags); then
+  echo "=== [$name] ctest --timeout $TEST_TIMEOUT $ctest_flags ==="
+  if ! (cd "$dir" && ctest --output-on-failure -j "$JOBS" \
+          --timeout "$TEST_TIMEOUT" $ctest_flags); then
     echo "[$name] TESTS FAILED"
     failures+=("$name")
   fi
@@ -48,11 +79,11 @@ for config in "${configs[@]}"; do
       ;;
     tsan)
       # TSAN wants every translation unit instrumented; a dedicated tree.
-      run_config tsan build-tsan "-DRLGRAPH_TSAN=ON" "-L sanitize"
+      run_config tsan build-tsan "-DRLGRAPH_TSAN=ON" "$SANITIZE_LABELS"
       ;;
     asan)
       ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
-        run_config asan build-asan "-DRLGRAPH_ASAN=ON" "-L sanitize"
+        run_config asan build-asan "-DRLGRAPH_ASAN=ON" "$SANITIZE_LABELS"
       ;;
     *)
       echo "unknown config: $config (expected default|tsan|asan)" >&2

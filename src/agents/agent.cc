@@ -1,5 +1,6 @@
 #include "agents/agent.h"
 
+#include "tensor/tensor_io.h"
 #include "util/errors.h"
 #include "util/serialization.h"
 
@@ -91,11 +92,7 @@ std::vector<uint8_t> serialize_weights(
   w.write_u32(static_cast<uint32_t>(weights.size()));
   for (const auto& [name, t] : weights) {
     w.write_string(name);
-    w.write_u8(static_cast<uint8_t>(t.dtype()));
-    w.write_u32(static_cast<uint32_t>(t.shape().rank()));
-    for (int64_t d : t.shape().dims()) w.write_i64(d);
-    w.write_u64(t.byte_size());
-    w.write_bytes(t.raw(), t.byte_size());
+    write_tensor(&w, t);
   }
   return w.take();
 }
@@ -114,30 +111,13 @@ std::map<std::string, Tensor> deserialize_weights(
   std::map<std::string, Tensor> weights;
   for (uint32_t i = 0; i < count; ++i) {
     std::string name = r.read_string();
-    const uint8_t dtype_byte = r.read_u8();
-    if (dtype_byte > static_cast<uint8_t>(DType::kBool)) {
+    Tensor t;
+    try {
+      t = read_tensor(&r);
+    } catch (const SerializationError& e) {
       throw SerializationError("weight snapshot variable '" + name +
-                               "' has invalid dtype tag " +
-                               std::to_string(dtype_byte));
+                               "': " + e.what());
     }
-    DType dtype = static_cast<DType>(dtype_byte);
-    uint32_t rank = r.read_u32();
-    std::vector<int64_t> dims(rank);
-    for (uint32_t d = 0; d < rank; ++d) {
-      dims[d] = r.read_i64();
-      if (dims[d] < 0) {
-        throw SerializationError("weight snapshot variable '" + name +
-                                 "' has negative dimension " +
-                                 std::to_string(dims[d]));
-      }
-    }
-    uint64_t nbytes = r.read_u64();
-    Tensor t(dtype, Shape(dims));
-    if (t.byte_size() != nbytes) {
-      throw SerializationError("weight snapshot size mismatch for '" + name +
-                               "'");
-    }
-    r.read_bytes(t.mutable_raw(), nbytes);
     weights.emplace(std::move(name), std::move(t));
   }
   if (!r.at_end()) {

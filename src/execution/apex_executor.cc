@@ -5,6 +5,7 @@
 
 #include "components/memories.h"
 #include "core/build_context.h"
+#include "execution/remote_worker.h"
 #include "tensor/kernels.h"
 #include "util/errors.h"
 #include "util/logging.h"
@@ -266,9 +267,37 @@ ApexExecutor::ApexExecutor(ApexConfig config) : config_(std::move(config)) {
       return std::make_shared<raylite::FaultInjector>(fc);
     };
   }
+
+  // Worker slots [0, remote_workers.size()) proxy to remote processes; the
+  // rest stay in-process. Wire fault injectors are created once per slot and
+  // captured by the factory, so a supervised restart of the slot keeps its
+  // deterministic fault schedule instead of rewinding it.
+  RLG_REQUIRE(
+      config_.remote_workers.size() <=
+          static_cast<size_t>(config_.num_workers),
+      "more remote worker endpoints than worker slots");
+  std::vector<std::shared_ptr<raylite::net::WireFaultInjector>> wire_injectors(
+      config_.remote_workers.size());
+  if (config_.enable_wire_fault_injection) {
+    for (size_t i = 0; i < wire_injectors.size(); ++i) {
+      raylite::net::WireFaultConfig wf = config_.wire_fault;
+      wf.seed = config_.wire_fault.seed + static_cast<uint64_t>(i);
+      wire_injectors[i] = std::make_shared<raylite::net::WireFaultInjector>(wf);
+    }
+  }
   spawn_workers(
       config_.num_workers,
-      [cfg = config_](int i) { return std::make_unique<ApexWorker>(cfg, i); },
+      [cfg = config_, wire_injectors,
+       metrics = &metrics_](int i) -> std::unique_ptr<ApexWorkerInterface> {
+        if (static_cast<size_t>(i) < cfg.remote_workers.size()) {
+          raylite::net::RpcClientOptions opts = cfg.remote_client;
+          opts.seed = cfg.remote_client.seed + static_cast<uint64_t>(i);
+          return std::make_unique<RemoteApexWorker>(
+              cfg.remote_workers[static_cast<size_t>(i)], std::move(opts),
+              metrics, wire_injectors[static_cast<size_t>(i)]);
+        }
+        return std::make_unique<ApexWorker>(cfg, i);
+      },
       injectors);
   for (int s = 0; s < config_.num_replay_shards; ++s) {
     shards_.push_back(std::make_unique<raylite::Actor<ReplayShard>>(
@@ -363,7 +392,7 @@ ApexResult ApexExecutor::run(double seconds) {
     WorkerHandle handle = worker_handle(i);
     if (!handle || handle->state() != raylite::ActorState::kRunning) return;
     std::map<std::string, Tensor> weights = *snap;
-    handle->call([weights](ApexWorker& w) {
+    handle->call([weights](ApexWorkerInterface& w) {
       w.set_weights(weights);
       return 0;
     });
@@ -405,7 +434,7 @@ ApexResult ApexExecutor::run(double seconds) {
         int64_t version = slot.weight_version;
         if (param_server_.pull_if_newer(version, &weights, &version)) {
           slot.weight_version = version;
-          handle->call([weights](ApexWorker& w) {
+          handle->call([weights](ApexWorkerInterface& w) {
             w.set_weights(weights);
             return 0;
           });
@@ -413,7 +442,7 @@ ApexResult ApexExecutor::run(double seconds) {
       }
       slot.actor = handle;
       slot.pending = handle->call(
-          [task_size](ApexWorker& w) { return w.sample(task_size); });
+          [task_size](ApexWorkerInterface& w) { return w.sample(task_size); });
       slot.age.reset();
       return true;
     }

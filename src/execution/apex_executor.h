@@ -25,6 +25,7 @@
 #include "agents/dqn_agent.h"
 #include "env/vector_env.h"
 #include "execution/ray_executor.h"
+#include "raylite/net/rpc.h"
 
 namespace rlgraph {
 
@@ -69,6 +70,20 @@ struct ApexConfig {
   SpacePtr action_space;
   SpacePtr preprocessed_space_;
 
+  // --- Cross-process workers (raylite/net) --------------------------------
+  // Endpoints ("tcp:host:port" or "unix:/path") of remote sampler processes
+  // (see execution/remote_worker.h: run_apex_worker_server). Worker slots
+  // [0, remote_workers.size()) are RPC proxies to these endpoints; remaining
+  // slots up to num_workers stay in-process. Zero call-site changes: the
+  // coordination loop sees the same ApexWorkerInterface either way.
+  std::vector<std::string> remote_workers;
+  // Client transport tuning (heartbeats, reconnect budget, rpc timeouts).
+  raylite::net::RpcClientOptions remote_client;
+  // Wire-level fault injection on the driver-side client connections
+  // (worker i draws from a stream seeded with wire_fault.seed + i).
+  bool enable_wire_fault_injection = false;
+  raylite::net::WireFaultConfig wire_fault;
+
   // --- RLlib-like baseline switches (both off = RLgraph behaviour) --------
   // Act one env at a time instead of one batched call across the vector.
   bool act_per_env = false;
@@ -86,14 +101,26 @@ struct SampleBatch {
   std::vector<double> episode_returns;
 };
 
+// What the coordination loop needs from a sampler, whether it lives on an
+// in-process actor thread or behind an RPC client in another OS process.
+// RayExecutor<ApexWorkerInterface> hosts either implementation, so placing
+// workers in separate processes requires zero call-site changes.
+class ApexWorkerInterface {
+ public:
+  virtual ~ApexWorkerInterface() = default;
+  virtual SampleBatch sample(int64_t num_records) = 0;
+  virtual void set_weights(const std::map<std::string, Tensor>& weights) = 0;
+  virtual int64_t executor_calls() = 0;
+};
+
 // Sampler actor body (lives on a raylite actor thread).
-class ApexWorker {
+class ApexWorker : public ApexWorkerInterface {
  public:
   ApexWorker(const ApexConfig& config, int worker_index);
 
-  SampleBatch sample(int64_t num_records);
-  void set_weights(const std::map<std::string, Tensor>& weights);
-  int64_t executor_calls();
+  SampleBatch sample(int64_t num_records) override;
+  void set_weights(const std::map<std::string, Tensor>& weights) override;
+  int64_t executor_calls() override;
 
  private:
   void post_process(SampleBatch* batch);
@@ -150,7 +177,7 @@ struct ApexResult {
   std::string metrics_report;
 };
 
-class ApexExecutor : public RayExecutor<ApexWorker> {
+class ApexExecutor : public RayExecutor<ApexWorkerInterface> {
  public:
   explicit ApexExecutor(ApexConfig config);
   ~ApexExecutor() override;

@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "execution/param_server.h"
@@ -101,9 +102,29 @@ class RayExecutor {
     return true;
   }
 
+  // Replace slot i with a permanent tombstone: an actor whose factory throws
+  // ActorLostError, so every subsequent call on the slot resolves to a typed
+  // errored future (wait_for callers can distinguish "gone for good" from
+  // "restarting, retry"). Used when the supervisor abandons the slot.
+  void tombstone_worker(size_t i) {
+    WorkerHandle tombstone = std::make_shared<WorkerActor>(
+        [i]() -> std::unique_ptr<WorkerT> {
+          throw ActorLostError("worker " + std::to_string(i) +
+                               " exceeded its restart budget");
+        });
+    WorkerHandle old;
+    {
+      std::lock_guard<std::mutex> lock(workers_mutex_);
+      old = workers_[i];
+      workers_[i] = tombstone;
+    }
+    if (old) old->stop();
+  }
+
   // Start a heartbeat supervisor over the worker pool. `resync(i)` runs
   // after each restart (typically: push current ParameterServer weights into
-  // the replacement).
+  // the replacement). A slot that exhausts its restart budget is
+  // tombstoned — see tombstone_worker().
   void start_supervision(const SupervisorConfig& config,
                          std::function<void(size_t)> resync = nullptr) {
     resync_ = std::move(resync);
@@ -111,6 +132,7 @@ class RayExecutor {
         config, num_workers(),
         [this](size_t i) { return worker_failed(i); },
         [this](size_t i) { return restart_worker(i); }, &metrics_);
+    supervisor_->set_on_give_up([this](size_t i) { tombstone_worker(i); });
     supervisor_->start();
   }
 

@@ -1,0 +1,225 @@
+#include "execution/remote_worker.h"
+
+#include "agents/agent.h"
+#include "env/environment.h"
+#include "tensor/tensor_io.h"
+#include "util/logging.h"
+#include "util/serialization.h"
+
+namespace rlgraph {
+
+namespace net = raylite::net;
+using net::RpcClient;
+using net::WireFaultInjector;
+
+// --- SampleBatch codec ----------------------------------------------------
+
+std::vector<uint8_t> encode_sample_batch(const SampleBatch& batch) {
+  ByteWriter w;
+  write_tensor(&w, batch.states);
+  write_tensor(&w, batch.actions);
+  write_tensor(&w, batch.rewards);
+  write_tensor(&w, batch.next_states);
+  write_tensor(&w, batch.terminals);
+  write_tensor(&w, batch.priorities);
+  w.write_i64(batch.num_records);
+  w.write_i64(batch.env_frames);
+  w.write_u32(static_cast<uint32_t>(batch.episode_returns.size()));
+  for (double ret : batch.episode_returns) w.write_f64(ret);
+  return w.take();
+}
+
+SampleBatch decode_sample_batch(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  SampleBatch batch;
+  batch.states = read_tensor(&r);
+  batch.actions = read_tensor(&r);
+  batch.rewards = read_tensor(&r);
+  batch.next_states = read_tensor(&r);
+  batch.terminals = read_tensor(&r);
+  batch.priorities = read_tensor(&r);
+  batch.num_records = r.read_i64();
+  batch.env_frames = r.read_i64();
+  uint32_t num_returns = r.read_u32();
+  batch.episode_returns.reserve(num_returns);
+  for (uint32_t i = 0; i < num_returns; ++i) {
+    batch.episode_returns.push_back(r.read_f64());
+  }
+  if (!r.at_end()) {
+    throw SerializationError("sample batch has " +
+                             std::to_string(r.remaining()) +
+                             " trailing bytes");
+  }
+  return batch;
+}
+
+// --- Config round-trip ----------------------------------------------------
+
+Json apex_worker_config_to_json(const ApexConfig& config) {
+  JsonObject o;
+  o["agent_config"] = config.agent_config;
+  o["env_spec"] = config.env_spec;
+  o["envs_per_worker"] = Json(static_cast<int64_t>(config.envs_per_worker));
+  o["worker_sample_size"] = Json(config.worker_sample_size);
+  o["n_step"] = Json(static_cast<int64_t>(config.n_step));
+  o["discount"] = Json(config.discount);
+  o["seed"] = Json(static_cast<int64_t>(config.seed));
+  o["act_per_env"] = Json(config.act_per_env);
+  o["incremental_post_processing"] = Json(config.incremental_post_processing);
+  o["post_process_chunk"] = Json(config.post_process_chunk);
+  return Json(std::move(o));
+}
+
+ApexConfig apex_worker_config_from_json(const Json& json) {
+  ApexConfig config;
+  config.agent_config = json.get("agent_config");
+  config.env_spec = json.get("env_spec");
+  config.envs_per_worker = static_cast<int>(
+      json.get_int("envs_per_worker", config.envs_per_worker));
+  config.worker_sample_size =
+      json.get_int("worker_sample_size", config.worker_sample_size);
+  config.n_step = static_cast<int>(json.get_int("n_step", config.n_step));
+  config.discount = json.get_double("discount", config.discount);
+  config.seed =
+      static_cast<uint64_t>(json.get_int("seed", static_cast<int64_t>(config.seed)));
+  config.act_per_env = json.get_bool("act_per_env", config.act_per_env);
+  config.incremental_post_processing = json.get_bool(
+      "incremental_post_processing", config.incremental_post_processing);
+  config.post_process_chunk =
+      json.get_int("post_process_chunk", config.post_process_chunk);
+  return config;
+}
+
+namespace {
+
+// Worker processes receive a config without driver-derived spaces; probe the
+// environment spec to fill them in (same derivation ApexExecutor does).
+ApexConfig with_derived_spaces(ApexConfig config) {
+  if (config.state_space == nullptr || config.action_space == nullptr) {
+    auto probe = make_environment(config.env_spec);
+    config.state_space = probe->state_space();
+    config.action_space = probe->action_space();
+    config.preprocessed_space_ = preprocessed_space(
+        config.agent_config.get("preprocessor"), config.state_space);
+  }
+  return config;
+}
+
+}  // namespace
+
+// --- RemoteApexWorker -----------------------------------------------------
+
+RemoteApexWorker::RemoteApexWorker(
+    const std::string& endpoint, raylite::net::RpcClientOptions options,
+    MetricRegistry* metrics, std::shared_ptr<WireFaultInjector> injector)
+    : client_(std::make_unique<RpcClient>(net::Endpoint::parse(endpoint),
+                                          std::move(options), metrics,
+                                          std::move(injector))) {}
+
+RemoteApexWorker::~RemoteApexWorker() = default;
+
+SampleBatch RemoteApexWorker::sample(int64_t num_records) {
+  ByteWriter w;
+  w.write_i64(num_records);
+  std::vector<uint8_t> response = client_->call("apex.sample", w.take()).get();
+  return decode_sample_batch(response);
+}
+
+void RemoteApexWorker::set_weights(
+    const std::map<std::string, Tensor>& weights) {
+  client_->call("apex.set_weights", serialize_weights(weights)).get();
+}
+
+int64_t RemoteApexWorker::executor_calls() {
+  std::vector<uint8_t> response =
+      client_->call("apex.executor_calls", {}).get();
+  ByteReader r(std::move(response));
+  return r.read_i64();
+}
+
+void RemoteApexWorker::shutdown_peer() {
+  client_->call("apex.shutdown", {}).get();
+}
+
+// --- ApexWorkerService ----------------------------------------------------
+
+ApexWorkerService::ApexWorkerService(
+    const ApexConfig& config, int worker_index, const std::string& endpoint,
+    MetricRegistry* metrics, std::shared_ptr<WireFaultInjector> injector)
+    : actor_([config = with_derived_spaces(config), worker_index] {
+        return std::make_unique<ApexWorker>(config, worker_index);
+      }),
+      server_(net::Endpoint::parse(endpoint), net::RpcServerOptions{},
+              metrics, std::move(injector)) {
+  server_.register_handler(
+      "apex.sample", [this](const std::vector<uint8_t>& body) {
+        ByteReader r(body);
+        int64_t n = r.read_i64();
+        SampleBatch batch =
+            actor_.call([n](ApexWorker& w) { return w.sample(n); }).get();
+        return encode_sample_batch(batch);
+      });
+  server_.register_handler(
+      "apex.set_weights", [this](const std::vector<uint8_t>& body) {
+        auto weights = deserialize_weights(body);
+        actor_
+            .call([weights = std::move(weights)](ApexWorker& w) {
+              w.set_weights(weights);
+              return 0;
+            })
+            .get();
+        return std::vector<uint8_t>{};
+      });
+  server_.register_handler(
+      "apex.executor_calls", [this](const std::vector<uint8_t>&) {
+        int64_t calls =
+            actor_.call([](ApexWorker& w) { return w.executor_calls(); })
+                .get();
+        ByteWriter w;
+        w.write_i64(calls);
+        return w.take();
+      });
+  server_.register_handler(
+      "apex.shutdown", [this](const std::vector<uint8_t>&) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          shutdown_requested_ = true;
+        }
+        cv_.notify_all();
+        return std::vector<uint8_t>{};
+      });
+  server_.start();
+}
+
+ApexWorkerService::~ApexWorkerService() { stop(); }
+
+std::string ApexWorkerService::endpoint() const {
+  return server_.endpoint().to_string();
+}
+
+void ApexWorkerService::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return shutdown_requested_; });
+}
+
+void ApexWorkerService::stop() {
+  server_.stop();
+  actor_.stop();
+}
+
+// --- Process entry --------------------------------------------------------
+
+void run_apex_worker_server(
+    const ApexConfig& config, int worker_index, const std::string& endpoint,
+    const std::function<void(const std::string&)>& on_ready) {
+  ApexWorkerService service(config, worker_index, endpoint);
+  RLG_LOG_INFO << "apex worker " << worker_index << " serving on "
+               << service.endpoint();
+  if (on_ready) on_ready(service.endpoint());
+  service.wait_for_shutdown();
+  service.stop();
+  RLG_LOG_INFO << "apex worker " << worker_index << " shut down after "
+               << service.requests_served() << " requests";
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,105 @@
+// Cross-process Ape-X samplers over the raylite/net transport.
+//
+// The driver side (`RemoteApexWorker`) is an ApexWorkerInterface whose
+// methods are RPCs, so it slots into RayExecutor<ApexWorkerInterface> with
+// zero coordination-loop changes. Its failure modes map onto the in-process
+// actor lifecycle:
+//   * transient peer death -> calls throw ConnectionLostError (the hosting
+//     actor task fails, the coordination loop retries/reroutes) while the
+//     RpcClient reconnects with backoff;
+//   * reconnect budget exhausted -> calls throw ActorLostError, which
+//     poisons the hosting actor (raylite::Actor treats ActorDeadError
+//     subclasses as fatal) so the PR 1 Supervisor restarts the slot — the
+//     replacement RemoteApexWorker reconnects from scratch;
+//   * the replacement's constructor failing (peer still gone) keeps the slot
+//     kFailed until the supervisor's own budget runs out and the slot is
+//     tombstoned with ActorLostError.
+//
+// The worker side (`ApexWorkerService`) hosts a real ApexWorker on a
+// raylite actor thread behind an RpcServer, serializing access across
+// connections. `run_apex_worker_server` is the process entry point used by
+// examples/apex_multiproc and the multi-process tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "execution/apex_executor.h"
+#include "raylite/net/rpc.h"
+
+namespace rlgraph {
+
+// SampleBatch wire codec (tensor_io framing); decode validates every tensor
+// and throws SerializationError on truncation or corruption.
+std::vector<uint8_t> encode_sample_batch(const SampleBatch& batch);
+SampleBatch decode_sample_batch(const std::vector<uint8_t>& bytes);
+
+// Worker-relevant ApexConfig subset <-> JSON, for handing the sampler
+// configuration to another OS process (argv / config file).
+Json apex_worker_config_to_json(const ApexConfig& config);
+ApexConfig apex_worker_config_from_json(const Json& json);
+
+// RPC proxy for a sampler living in another process. The constructor
+// connects synchronously and throws ConnectionError if the peer is
+// unreachable (so a supervised restart of the slot fails fast and retries
+// after backoff instead of wedging).
+class RemoteApexWorker : public ApexWorkerInterface {
+ public:
+  explicit RemoteApexWorker(
+      const std::string& endpoint,
+      raylite::net::RpcClientOptions options = {},
+      MetricRegistry* metrics = nullptr,
+      std::shared_ptr<raylite::net::WireFaultInjector> injector = nullptr);
+  ~RemoteApexWorker() override;
+
+  SampleBatch sample(int64_t num_records) override;
+  void set_weights(const std::map<std::string, Tensor>& weights) override;
+  int64_t executor_calls() override;
+
+  // Remote-only extra: ask the peer process to shut down gracefully.
+  void shutdown_peer();
+
+  raylite::net::RpcClient& client() { return *client_; }
+
+ private:
+  std::unique_ptr<raylite::net::RpcClient> client_;
+};
+
+// Hosts an ApexWorker (on its own raylite actor thread) behind an RpcServer.
+// Handlers: apex.sample, apex.set_weights, apex.executor_calls,
+// apex.shutdown. Derives env spaces from env_spec if the config does not
+// carry them (the usual case in a freshly-launched worker process).
+class ApexWorkerService {
+ public:
+  ApexWorkerService(
+      const ApexConfig& config, int worker_index, const std::string& endpoint,
+      MetricRegistry* metrics = nullptr,
+      std::shared_ptr<raylite::net::WireFaultInjector> injector = nullptr);
+  ~ApexWorkerService();
+
+  // Resolved listen endpoint (tcp:host:0 binds an ephemeral port).
+  std::string endpoint() const;
+  // Blocks until an apex.shutdown RPC arrives.
+  void wait_for_shutdown();
+  void stop();
+
+  int64_t requests_served() const { return server_.requests_served(); }
+
+ private:
+  raylite::Actor<ApexWorker> actor_;
+  raylite::net::RpcServer server_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_requested_ = false;
+};
+
+// Process entry point: serve worker `worker_index` on `endpoint` until a
+// graceful shutdown RPC arrives. `on_ready` (if given) runs once the server
+// is listening, with the resolved endpoint — used by launchers to signal
+// readiness before the driver connects.
+void run_apex_worker_server(
+    const ApexConfig& config, int worker_index, const std::string& endpoint,
+    const std::function<void(const std::string&)>& on_ready = nullptr);
+
+}  // namespace rlgraph

@@ -96,6 +96,7 @@ void Supervisor::poll() {
       RLG_LOG_WARN << "supervisor: worker " << i
                    << " exceeded restart budget ("
                    << config_.max_restarts_per_worker << "); giving up";
+      if (on_give_up_) on_give_up_(i);
       continue;
     }
     bool ok = restart_(i);

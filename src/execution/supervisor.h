@@ -48,6 +48,14 @@ class Supervisor {
   void start();
   void stop();
 
+  // Invoked (from the supervision thread, outside the supervisor lock) when
+  // a worker exhausts its restart budget and the slot is abandoned. Callers
+  // typically tombstone the slot so subsequent calls fail with a typed
+  // ActorLostError instead of hanging. Set before start().
+  void set_on_give_up(std::function<void(size_t)> on_give_up) {
+    on_give_up_ = std::move(on_give_up);
+  }
+
   // Single heartbeat sweep; exposed so tests and single-threaded
   // coordination loops can drive supervision without the background thread.
   void poll();
@@ -71,6 +79,7 @@ class Supervisor {
   SupervisorConfig config_;
   std::function<bool(size_t)> is_failed_;
   std::function<bool(size_t)> restart_;
+  std::function<void(size_t)> on_give_up_;
   MetricRegistry* metrics_;
 
   mutable std::mutex mutex_;

@@ -248,6 +248,12 @@ class Actor {
   // Calling a kFailed actor returns an already-errored future (so
   // coordination loops handle dead workers uniformly through the future
   // error path); calling a kStopped actor throws.
+  //
+  // A task that throws ActorDeadError (or a subclass) is declaring the
+  // actor's backing resource permanently unusable — e.g. a remote proxy
+  // whose transport exhausted its reconnect budget. The actor transitions
+  // to kFailed ("poisoned") so the supervisor's restart path takes over,
+  // instead of healthy-looking futures failing forever.
   template <typename Fn,
             typename R = std::invoke_result_t<Fn, T&>>
   Future<R> call(Fn fn) {
@@ -255,7 +261,8 @@ class Actor {
     Future<R> fut(state);
     Task task;
     task.state = state;
-    task.run = [state, fn = std::move(fn)](T& instance) mutable {
+    task.run = [state,
+                fn = std::move(fn)](T& instance) mutable -> std::exception_ptr {
       try {
         if constexpr (std::is_void_v<R>) {
           fn(instance);
@@ -263,9 +270,14 @@ class Actor {
         } else {
           state->set_value(std::make_shared<R>(fn(instance)));
         }
+      } catch (const ActorDeadError&) {
+        std::exception_ptr poison = std::current_exception();
+        state->set_error(poison);
+        return poison;
       } catch (...) {
         state->set_error(std::current_exception());
       }
+      return nullptr;
     };
     bool ok = mailbox_.push(std::move(task));
     if (!ok) {
@@ -302,7 +314,9 @@ class Actor {
 
  private:
   struct Task {
-    std::function<void(T&)> run;
+    // Returns non-null when the task poisoned the actor (threw
+    // ActorDeadError); the run loop then fails the actor with it.
+    std::function<std::exception_ptr(T&)> run;
     std::shared_ptr<detail::FutureState> state;
   };
 
@@ -340,12 +354,17 @@ class Actor {
             return;
         }
       }
+      std::exception_ptr poison;
       {
         trace::TraceSpan span("actor", "actor/task");
         span.set_arg("pending", static_cast<int64_t>(mailbox_.size()));
-        task->run(*instance);
+        poison = task->run(*instance);
       }
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      if (poison) {
+        fail(poison);
+        return;
+      }
     }
   }
 
@@ -365,17 +384,24 @@ class Actor {
 
   std::exception_ptr failure_error() const {
     std::string why = "actor is dead";
+    bool lost = false;
     {
       std::lock_guard<std::mutex> lock(failure_mutex_);
       if (failure_) {
         try {
           std::rethrow_exception(failure_);
+        } catch (const ActorLostError& e) {
+          // Permanent loss (restart budget exhausted) keeps its type so
+          // wait_for/get callers can stop waiting for a replacement.
+          why = std::string("actor is lost: ") + e.what();
+          lost = true;
         } catch (const std::exception& e) {
           why = std::string("actor is dead: ") + e.what();
         } catch (...) {
         }
       }
     }
+    if (lost) return std::make_exception_ptr(ActorLostError(why));
     return std::make_exception_ptr(ActorDeadError(why));
   }
 

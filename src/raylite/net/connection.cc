@@ -1,0 +1,213 @@
+#include "raylite/net/connection.h"
+
+#include "util/trace.h"
+
+namespace rlgraph {
+namespace raylite {
+namespace net {
+
+namespace {
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool is_data_frame(FrameType type) {
+  return type == FrameType::kRequest || type == FrameType::kResponse ||
+         type == FrameType::kError;
+}
+
+}  // namespace
+
+Connection::Connection(Socket socket, ConnectionOptions options,
+                       FrameHandler on_frame, DownHandler on_down,
+                       std::shared_ptr<WireFaultInjector> injector,
+                       MetricRegistry* metrics, std::string metric_prefix)
+    : socket_(std::move(socket)),
+      options_(options),
+      on_frame_(std::move(on_frame)),
+      on_down_(std::move(on_down)),
+      injector_(std::move(injector)),
+      metrics_(metrics),
+      metric_prefix_(std::move(metric_prefix)) {
+  last_recv_ns_.store(now_ns());
+  reader_ = std::thread([this] { reader_loop(); });
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+Connection::~Connection() {
+  close_hard();
+  if (reader_.joinable()) reader_.join();
+  if (writer_.joinable()) writer_.join();
+}
+
+bool Connection::send(Frame frame) {
+  if (down_.load(std::memory_order_acquire)) return false;
+  return outbound_.push(std::move(frame));
+}
+
+void Connection::close_graceful(double drain_timeout_ms) {
+  Frame goodbye;
+  goodbye.type = FrameType::kGoodbye;
+  outbound_.push(std::move(goodbye));
+  // Closing the queue lets the writer drain what is already enqueued
+  // (including the goodbye) and then exit, which hard-closes the socket and
+  // unblocks the reader.
+  outbound_.close();
+  // Wait for the writer to finish the drain (it marks the connection down
+  // once everything incl. the goodbye hit the wire). Returning earlier would
+  // let the owner destroy us and hard-cut the socket under the writer, so
+  // the peer would see EOF mid-stream instead of a drained goodbye.
+  std::unique_lock<std::mutex> lock(down_mutex_);
+  down_cv_.wait_for(
+      lock, std::chrono::duration<double, std::milli>(drain_timeout_ms),
+      [this] { return down_.load(std::memory_order_acquire); });
+}
+
+void Connection::close_hard() { become_down(true, "closed by owner"); }
+
+void Connection::become_down(bool graceful, const std::string& reason) {
+  bool expected = false;
+  if (!down_.compare_exchange_strong(expected, true)) return;
+  {
+    // Pair the flag flip with the lock so a close_graceful() waiter can't
+    // miss the notify between its predicate check and its wait.
+    std::lock_guard<std::mutex> lock(down_mutex_);
+  }
+  down_cv_.notify_all();
+  outbound_.close();
+  socket_.shutdown_both();  // unblocks both threads' blocking I/O
+  if (metrics_ != nullptr && !graceful) {
+    metrics_->increment(metric_prefix_ + ".faulted");
+  }
+  if (on_down_) on_down_(graceful, reason);
+}
+
+void Connection::reader_loop() {
+  while (!down_.load(std::memory_order_acquire)) {
+    Frame frame;
+    bool ok;
+    try {
+      ok = read_frame(socket_, &frame);
+    } catch (const SerializationError& e) {
+      become_down(false, std::string("corrupt stream: ") + e.what());
+      return;
+    }
+    if (!ok) {
+      become_down(peer_said_goodbye_.load(), "connection cut (EOF/reset)");
+      return;
+    }
+    last_recv_ns_.store(now_ns(), std::memory_order_release);
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    switch (frame.type) {
+      case FrameType::kPing: {
+        Frame pong;
+        pong.type = FrameType::kPong;
+        send(pong);
+        break;
+      }
+      case FrameType::kPong:
+        break;  // liveness clock already refreshed
+      case FrameType::kGoodbye:
+        peer_said_goodbye_.store(true);
+        become_down(true, "peer said goodbye");
+        return;
+      default: {
+        trace::TraceSpan span("net", "net/recv");
+        span.set_arg("bytes", static_cast<int64_t>(frame.payload.size()));
+        if (on_frame_) on_frame_(std::move(frame));
+        break;
+      }
+    }
+  }
+}
+
+bool Connection::send_now(const Frame& frame, std::string* down_reason) {
+  WireFaultDecision decision;
+  if (injector_ != nullptr && is_data_frame(frame.type)) {
+    decision = injector_->next();
+  }
+  switch (decision.action) {
+    case WireFaultAction::kDisconnect:
+      *down_reason = "injected disconnect";
+      return false;
+    case WireFaultAction::kDrop:
+      if (metrics_ != nullptr) {
+        metrics_->increment(metric_prefix_ + ".frames_dropped");
+      }
+      return true;  // silently lost; the connection itself lives on
+    case WireFaultAction::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(decision.delay_ms));
+      break;
+    default:
+      break;
+  }
+  std::vector<uint8_t> bytes = encode_frame(frame);
+  if (decision.action == WireFaultAction::kTruncate) {
+    // Cut mid-frame: the peer reads a short payload and treats the stream as
+    // dead — exactly what a crash between write() calls looks like.
+    size_t prefix = bytes.size() > 1 ? bytes.size() / 2 : 1;
+    socket_.send_all(bytes.data(), prefix);
+    *down_reason = "injected truncation";
+    return false;
+  }
+  {
+    trace::TraceSpan span("net", "net/send");
+    span.set_arg("bytes", static_cast<int64_t>(bytes.size()));
+    int copies = decision.action == WireFaultAction::kDuplicate ? 2 : 1;
+    for (int c = 0; c < copies; ++c) {
+      if (!socket_.send_all(bytes.data(), bytes.size())) {
+        *down_reason = "send failed (peer gone)";
+        return false;
+      }
+      frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return true;
+}
+
+void Connection::writer_loop() {
+  const auto idle_wait = std::chrono::duration<double, std::milli>(
+      options_.heartbeat_interval_ms);
+  const double timeout_ns = options_.heartbeat_timeout_ms * 1e6;
+  while (!down_.load(std::memory_order_acquire)) {
+    std::optional<Frame> frame = outbound_.pop_for(idle_wait);
+    std::string down_reason;
+    if (frame.has_value()) {
+      if (!send_now(*frame, &down_reason)) {
+        become_down(false, down_reason);
+        return;
+      }
+      continue;
+    }
+    if (outbound_.closed()) {
+      // close_graceful(): everything (incl. the goodbye) is flushed.
+      become_down(true, "drained and closed");
+      return;
+    }
+    // Idle: probe the peer, and check how long it has been silent.
+    double silent_ns = static_cast<double>(
+        now_ns() - last_recv_ns_.load(std::memory_order_acquire));
+    if (silent_ns > timeout_ns) {
+      if (metrics_ != nullptr) {
+        metrics_->increment(metric_prefix_ + ".heartbeat_timeouts");
+      }
+      become_down(false, "heartbeat timeout (peer silent for " +
+                             std::to_string(silent_ns / 1e6) + "ms)");
+      return;
+    }
+    Frame ping;
+    ping.type = FrameType::kPing;
+    if (!send_now(ping, &down_reason)) {
+      become_down(false, down_reason);
+      return;
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace raylite
+}  // namespace rlgraph

@@ -1,0 +1,111 @@
+// A framed, heartbeat-monitored, fault-injectable connection.
+//
+// Connection owns an established Socket plus two threads:
+//   * the reader thread parses frames off the wire, answers kPing with
+//     kPong, refreshes the liveness clock on every frame, and hands
+//     request/response/error frames to the owner's on_frame callback;
+//   * the writer thread drains the outbound queue, injects wire faults on
+//     data frames (see wire_fault.h), emits a kPing whenever the link has
+//     been idle for heartbeat_interval_ms, and declares the peer dead when
+//     nothing has been received for heartbeat_timeout_ms.
+//
+// Death (EOF, reset, parse error, heartbeat timeout, injected cut) is
+// funneled through a single on_down(graceful, reason) callback that fires
+// exactly once. on_down runs on the reader or writer thread: it must signal
+// the owner, never destroy the Connection. The owner destroys the
+// Connection from outside those threads (the destructor joins them).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "raylite/net/frame.h"
+#include "raylite/net/wire_fault.h"
+#include "util/metrics.h"
+#include "util/queues.h"
+
+namespace rlgraph {
+namespace raylite {
+namespace net {
+
+struct ConnectionOptions {
+  // Send a kPing after this much outbound idleness; expect *some* frame from
+  // the peer at least every heartbeat_timeout_ms. The timeout must comfortably
+  // exceed the interval (and sanitizer slowdowns): the defaults tolerate a
+  // 20x stall before declaring death.
+  double heartbeat_interval_ms = 50.0;
+  double heartbeat_timeout_ms = 1000.0;
+};
+
+class Connection {
+ public:
+  using FrameHandler = std::function<void(Frame&&)>;
+  // graceful=true means the peer said kGoodbye (drained shutdown); false is
+  // a fault (EOF, reset, corrupt stream, heartbeat timeout, injected cut).
+  using DownHandler = std::function<void(bool graceful,
+                                         const std::string& reason)>;
+
+  Connection(Socket socket, ConnectionOptions options, FrameHandler on_frame,
+             DownHandler on_down,
+             std::shared_ptr<WireFaultInjector> injector = nullptr,
+             MetricRegistry* metrics = nullptr,
+             std::string metric_prefix = "net.conn");
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // Enqueue a frame for the writer thread; false once closing/closed.
+  bool send(Frame frame);
+
+  // Graceful shutdown: flush everything already enqueued, then a kGoodbye,
+  // then close. Peer observes a drained close, not a fault. Blocks (up to
+  // drain_timeout_ms) until the writer has actually flushed — without the
+  // wait, a Connection destroyed right after this call would hard-cut the
+  // socket under the writer and the peer would see a fault instead of the
+  // drained goodbye.
+  void close_graceful(double drain_timeout_ms = 2000.0);
+  // Hard shutdown: cut the socket now (pending outbound frames are lost).
+  void close_hard();
+
+  bool alive() const { return !down_.load(std::memory_order_acquire); }
+  int64_t frames_sent() const { return frames_sent_.load(); }
+  int64_t frames_received() const { return frames_received_.load(); }
+
+ private:
+  void reader_loop();
+  void writer_loop();
+  // Sends one frame through the fault injector; returns false if the
+  // connection must come down (send failure or injected cut).
+  bool send_now(const Frame& frame, std::string* down_reason);
+  void become_down(bool graceful, const std::string& reason);
+
+  Socket socket_;
+  ConnectionOptions options_;
+  FrameHandler on_frame_;
+  DownHandler on_down_;
+  std::shared_ptr<WireFaultInjector> injector_;
+  MetricRegistry* metrics_;
+  std::string metric_prefix_;
+
+  BlockingQueue<Frame> outbound_;
+  std::mutex down_mutex_;
+  std::condition_variable down_cv_;
+  std::atomic<bool> down_{false};
+  std::atomic<bool> peer_said_goodbye_{false};
+  std::atomic<int64_t> last_recv_ns_{0};
+  std::atomic<int64_t> frames_sent_{0};
+  std::atomic<int64_t> frames_received_{0};
+  std::thread reader_;
+  std::thread writer_;
+};
+
+}  // namespace net
+}  // namespace raylite
+}  // namespace rlgraph

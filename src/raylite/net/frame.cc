@@ -1,0 +1,130 @@
+#include "raylite/net/frame.h"
+
+#include <cstring>
+
+namespace rlgraph {
+namespace raylite {
+namespace net {
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kRequest:
+      return "request";
+    case FrameType::kResponse:
+      return "response";
+    case FrameType::kError:
+      return "error";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
+    case FrameType::kGoodbye:
+      return "goodbye";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> encode_frame(const Frame& frame) {
+  RLG_CHECK_MSG(frame.payload.size() <= kMaxFramePayload,
+                "frame payload " << frame.payload.size()
+                                 << " bytes exceeds wire cap");
+  ByteWriter w;
+  w.write_u32(kFrameMagic);
+  w.write_u8(static_cast<uint8_t>(frame.type));
+  w.write_u8(0);  // flags
+  w.write_u8(0);  // reserved
+  w.write_u8(0);  // reserved
+  w.write_u64(frame.request_id);
+  w.write_u32(static_cast<uint32_t>(frame.payload.size()));
+  w.write_bytes(frame.payload.data(), frame.payload.size());
+  std::vector<uint8_t> bytes = w.take();
+  RLG_CHECK(bytes.size() == kFrameHeaderBytes + frame.payload.size());
+  return bytes;
+}
+
+bool read_frame(Socket& socket, Frame* out) {
+  uint8_t header[kFrameHeaderBytes];
+  if (!socket.recv_all(header, sizeof(header))) return false;
+  uint32_t magic;
+  std::memcpy(&magic, header, 4);
+  if (magic != kFrameMagic) {
+    throw SerializationError("net frame: bad magic 0x" +
+                             std::to_string(magic) +
+                             " (stream corrupt or peer is not raylite)");
+  }
+  uint8_t type = header[4];
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kGoodbye)) {
+    throw SerializationError("net frame: unknown frame type " +
+                             std::to_string(type));
+  }
+  uint64_t request_id;
+  std::memcpy(&request_id, header + 8, 8);
+  uint32_t payload_size;
+  std::memcpy(&payload_size, header + 16, 4);
+  if (payload_size > kMaxFramePayload) {
+    throw SerializationError("net frame: payload size " +
+                             std::to_string(payload_size) +
+                             " exceeds wire cap");
+  }
+  out->type = static_cast<FrameType>(type);
+  out->request_id = request_id;
+  out->payload.resize(payload_size);
+  if (payload_size > 0 && !socket.recv_all(out->payload.data(), payload_size)) {
+    return false;  // cut mid-frame (peer death or injected truncation)
+  }
+  return true;
+}
+
+std::vector<uint8_t> encode_request_payload(const std::string& method,
+                                            const std::vector<uint8_t>& body) {
+  ByteWriter w;
+  w.write_string(method);
+  w.write_bytes(body.data(), body.size());
+  return w.take();
+}
+
+void decode_request_payload(const std::vector<uint8_t>& payload,
+                            std::string* method, std::vector<uint8_t>* body) {
+  ByteReader r(payload);
+  *method = r.read_string();
+  *body = r.read_remaining();
+}
+
+std::vector<uint8_t> encode_error_payload(const std::string& error_type,
+                                          const std::string& message) {
+  ByteWriter w;
+  w.write_string(error_type);
+  w.write_string(message);
+  return w.take();
+}
+
+void decode_error_payload(const std::vector<uint8_t>& payload,
+                          std::string* error_type, std::string* message) {
+  ByteReader r(payload);
+  *error_type = r.read_string();
+  *message = r.read_string();
+}
+
+void throw_remote_error(const std::string& error_type,
+                        const std::string& message) {
+  // Keep in sync with RpcServer's error_type_name(). Unknown types degrade
+  // to the base Error, never to a silent success.
+  if (error_type == "ValueError") throw ValueError(message);
+  if (error_type == "NotFoundError") throw NotFoundError(message);
+  if (error_type == "SerializationError") throw SerializationError(message);
+  if (error_type == "TimeoutError") throw TimeoutError(message);
+  if (error_type == "OverloadedError") throw OverloadedError(message);
+  if (error_type == "ActorLostError") throw ActorLostError(message);
+  if (error_type == "ActorDeadError") throw ActorDeadError(message);
+  if (error_type == "InjectedFaultError") throw InjectedFaultError(message);
+  if (error_type == "ConnectionLostError") throw ConnectionLostError(message);
+  if (error_type == "ConnectionError") throw ConnectionError(message);
+  if (error_type == "BuildError") throw BuildError(message);
+  if (error_type == "ConfigError") throw ConfigError(message);
+  throw Error(error_type + ": " + message);
+}
+
+}  // namespace net
+}  // namespace raylite
+}  // namespace rlgraph

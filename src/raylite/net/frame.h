@@ -1,0 +1,81 @@
+// Wire protocol for the raylite socket transport.
+//
+// Every message on a connection is one length-prefixed frame (little-endian,
+// the same byte conventions as the "RLGW" weight snapshot format in
+// util/serialization):
+//
+//   u32 magic        "RLGN" (0x4E474C52 little-endian on the wire)
+//   u8  type         FrameType
+//   u8  flags        reserved, must be 0
+//   u16 reserved     must be 0
+//   u64 request_id   correlates kResponse/kError with kRequest; 0 otherwise
+//   u32 payload_size bytes following the 20-byte header (capped)
+//   ... payload
+//
+// kRequest payloads are `string method` + opaque body bytes; kError payloads
+// are `string error_type` + `string message` so typed rlgraph errors survive
+// the wire. Anything that fails to parse (bad magic, oversized payload,
+// short read — e.g. an injected truncation) kills the connection: framing
+// never resynchronizes on a corrupt stream, it reconnects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "raylite/net/socket.h"
+#include "util/serialization.h"
+
+namespace rlgraph {
+namespace raylite {
+namespace net {
+
+constexpr uint32_t kFrameMagic = 0x4E474C52;  // "RLGN"
+constexpr uint32_t kFrameHeaderBytes = 20;
+// Frames above this size indicate a corrupt stream (or a caller bug), not a
+// legitimate payload. SampleBatches and weight snapshots are well under it.
+constexpr uint32_t kMaxFramePayload = 1u << 30;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,   // RPC call: payload = method string + body
+  kResponse = 2,  // RPC success: payload = result body
+  kError = 3,     // RPC failure: payload = error_type string + message string
+  kPing = 4,      // heartbeat probe (any received frame refreshes liveness)
+  kPong = 5,      // heartbeat reply
+  kGoodbye = 6,   // graceful close: peer drained and is going away
+};
+
+const char* to_string(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Header + payload as one contiguous buffer, ready for send_all.
+std::vector<uint8_t> encode_frame(const Frame& frame);
+
+// Blocking read of exactly one frame. Returns false on EOF / reset /
+// shutdown (connection is then unusable); throws SerializationError on a
+// corrupt header (bad magic / oversized payload / nonzero reserved bits).
+bool read_frame(Socket& socket, Frame* out);
+
+// Request/error payload helpers.
+std::vector<uint8_t> encode_request_payload(const std::string& method,
+                                            const std::vector<uint8_t>& body);
+void decode_request_payload(const std::vector<uint8_t>& payload,
+                            std::string* method, std::vector<uint8_t>* body);
+std::vector<uint8_t> encode_error_payload(const std::string& error_type,
+                                          const std::string& message);
+void decode_error_payload(const std::vector<uint8_t>& payload,
+                          std::string* error_type, std::string* message);
+
+// Rebuilds a typed rlgraph exception from a wire error payload so remote
+// failures rethrow as the same type the handler threw locally.
+[[noreturn]] void throw_remote_error(const std::string& error_type,
+                                     const std::string& message);
+
+}  // namespace net
+}  // namespace raylite
+}  // namespace rlgraph

@@ -1,0 +1,55 @@
+#include "raylite/net/remote_store.h"
+
+namespace rlgraph {
+namespace raylite {
+namespace net {
+
+void register_object_store_handlers(RpcServer* server, ObjectStore* store) {
+  server->register_handler(
+      "store.put", [store](const std::vector<uint8_t>& body) {
+        ObjectId id = store->put(body);
+        ByteWriter w;
+        w.write_u64(id.value);
+        return w.take();
+      });
+  server->register_handler(
+      "store.get", [store](const std::vector<uint8_t>& body) {
+        ByteReader r(body);
+        ObjectId id{r.read_u64()};
+        std::shared_ptr<const std::vector<uint8_t>> bytes =
+            store->get<std::vector<uint8_t>>(id);
+        return *bytes;
+      });
+  server->register_handler(
+      "store.erase", [store](const std::vector<uint8_t>& body) {
+        ByteReader r(body);
+        store->erase(ObjectId{r.read_u64()});
+        return std::vector<uint8_t>();
+      });
+}
+
+ObjectId RemoteObjectStore::put(const std::vector<uint8_t>& bytes) {
+  std::vector<uint8_t> reply = client_->call("store.put", bytes).get();
+  ByteReader r(reply);
+  return ObjectId{r.read_u64()};
+}
+
+std::vector<uint8_t> RemoteObjectStore::get(ObjectId id) {
+  return get_async(id).get();
+}
+
+Future<std::vector<uint8_t>> RemoteObjectStore::get_async(ObjectId id) {
+  ByteWriter w;
+  w.write_u64(id.value);
+  return client_->call("store.get", w.take());
+}
+
+void RemoteObjectStore::erase(ObjectId id) {
+  ByteWriter w;
+  w.write_u64(id.value);
+  client_->call("store.erase", w.take()).get();
+}
+
+}  // namespace net
+}  // namespace raylite
+}  // namespace rlgraph

@@ -1,0 +1,47 @@
+// The raylite object store over the wire.
+//
+// ObjectStoreServer exposes a process-local ObjectStore's byte payloads via
+// three RPC methods ("store.put" / "store.get" / "store.erase");
+// RemoteObjectStore is the client view: put() ships bytes to the hosting
+// process and returns the ObjectId, get() fetches them back. Payloads are
+// raw byte blobs — higher layers serialize (weight snapshots and sample
+// batches already have wire codecs), which keeps the store type-safe at the
+// boundary where type erasure cannot cross a process.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "raylite/net/rpc.h"
+#include "raylite/object_store.h"
+
+namespace rlgraph {
+namespace raylite {
+namespace net {
+
+// Registers object-store handlers on an RpcServer. The store must outlive
+// the server. Multiple services (e.g. an actor service and the store) can
+// share one server/port.
+void register_object_store_handlers(RpcServer* server, ObjectStore* store);
+
+class RemoteObjectStore {
+ public:
+  // Shares an existing client (typical: the same connection as actor RPCs).
+  explicit RemoteObjectStore(RpcClient* client) : client_(client) {}
+
+  // Ships the bytes to the remote store; returns its id there.
+  ObjectId put(const std::vector<uint8_t>& bytes);
+  // Fetches a remote object's bytes; throws NotFoundError if absent.
+  std::vector<uint8_t> get(ObjectId id);
+  void erase(ObjectId id);
+
+  // Async variants resolved through raylite futures.
+  Future<std::vector<uint8_t>> get_async(ObjectId id);
+
+ private:
+  RpcClient* client_;
+};
+
+}  // namespace net
+}  // namespace raylite
+}  // namespace rlgraph

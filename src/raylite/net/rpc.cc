@@ -1,0 +1,525 @@
+#include "raylite/net/rpc.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/trace.h"
+
+namespace rlgraph {
+namespace raylite {
+namespace net {
+
+namespace {
+
+// Most-derived first so remote rethrow reconstructs the exact type.
+std::string error_type_name(const std::exception& e) {
+  if (dynamic_cast<const ActorLostError*>(&e)) return "ActorLostError";
+  if (dynamic_cast<const ActorDeadError*>(&e)) return "ActorDeadError";
+  if (dynamic_cast<const InjectedFaultError*>(&e)) return "InjectedFaultError";
+  if (dynamic_cast<const ConnectionLostError*>(&e)) {
+    return "ConnectionLostError";
+  }
+  if (dynamic_cast<const ConnectionError*>(&e)) return "ConnectionError";
+  if (dynamic_cast<const SerializationError*>(&e)) return "SerializationError";
+  if (dynamic_cast<const TimeoutError*>(&e)) return "TimeoutError";
+  if (dynamic_cast<const OverloadedError*>(&e)) return "OverloadedError";
+  if (dynamic_cast<const NotFoundError*>(&e)) return "NotFoundError";
+  if (dynamic_cast<const BuildError*>(&e)) return "BuildError";
+  if (dynamic_cast<const ConfigError*>(&e)) return "ConfigError";
+  if (dynamic_cast<const ValueError*>(&e)) return "ValueError";
+  return "Error";
+}
+
+}  // namespace
+
+const char* to_string(RpcClientState state) {
+  switch (state) {
+    case RpcClientState::kConnected:
+      return "connected";
+    case RpcClientState::kReconnecting:
+      return "reconnecting";
+    case RpcClientState::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+// --- RpcClient -------------------------------------------------------------
+
+RpcClient::RpcClient(const Endpoint& endpoint, RpcClientOptions options,
+                     MetricRegistry* metrics,
+                     std::shared_ptr<WireFaultInjector> injector)
+    : endpoint_(endpoint),
+      options_(options),
+      metrics_(metrics),
+      injector_(std::move(injector)),
+      backoff_rng_(options.seed ^ 0x9E3779B97F4A7C15ULL),
+      backoff_ms_(options.backoff_initial_ms) {
+  Socket socket = Socket::connect(endpoint_, options_.connect_timeout_ms);
+  conn_ = make_connection(std::move(socket));
+  keeper_ = std::thread([this] { keeper_loop(); });
+}
+
+RpcClient::~RpcClient() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    state_ = RpcClientState::kDown;
+  }
+  cv_.notify_all();
+  if (keeper_.joinable()) keeper_.join();
+  std::vector<InFlight> doomed;
+  std::unique_ptr<Connection> conn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fail_all_in_flight_locked(&doomed, "client destroyed");
+    conn = std::move(conn_);
+  }
+  for (InFlight& f : doomed) {
+    f.state->set_error(std::make_exception_ptr(
+        ConnectionLostError("rpc client destroyed with call in flight")));
+  }
+  conn.reset();  // joins the connection threads
+}
+
+std::unique_ptr<Connection> RpcClient::make_connection(Socket socket) {
+  return std::make_unique<Connection>(
+      std::move(socket), options_.connection,
+      [this](Frame&& frame) { on_frame(std::move(frame)); },
+      [this](bool graceful, const std::string& reason) {
+        on_down(graceful, reason);
+      },
+      injector_, metrics_, "net.client");
+}
+
+Future<std::vector<uint8_t>> RpcClient::call(const std::string& method,
+                                             std::vector<uint8_t> body) {
+  trace::TraceSpan span("net", "net/rpc");
+  auto state = std::make_shared<detail::FutureState>();
+  Future<std::vector<uint8_t>> future(state);
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.payload = encode_request_payload(method, body);
+  Connection* conn = nullptr;
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == RpcClientState::kDown) {
+      state->set_error(std::make_exception_ptr(ActorLostError(
+          "rpc endpoint " + endpoint_.to_string() +
+          " is permanently down (reconnect budget exhausted)")));
+      return future;
+    }
+    if (state_ == RpcClientState::kReconnecting || conn_ == nullptr) {
+      state->set_error(std::make_exception_ptr(ConnectionLostError(
+          "rpc endpoint " + endpoint_.to_string() +
+          " is unreachable (reconnecting)")));
+      return future;
+    }
+    id = next_id_++;
+    frame.request_id = id;
+    InFlight entry;
+    entry.state = state;
+    entry.method = method;
+    entry.body = std::move(body);
+    entry.issued = std::chrono::steady_clock::now();
+    in_flight_.emplace(id, std::move(entry));
+    conn = conn_.get();
+    if (metrics_ != nullptr) metrics_->increment("net.client.calls");
+  }
+  if (!conn->send(std::move(frame))) {
+    // Raced the connection going down; on_down may or may not have seen our
+    // entry. Resolving twice is safe (first resolution wins).
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_.erase(id);
+    state->set_error(std::make_exception_ptr(ConnectionLostError(
+        "rpc endpoint " + endpoint_.to_string() + " went down mid-call")));
+  }
+  return future;
+}
+
+void RpcClient::on_frame(Frame&& frame) {
+  std::shared_ptr<detail::FutureState> state;
+  std::exception_ptr error;
+  std::shared_ptr<void> value;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = in_flight_.find(frame.request_id);
+    if (it == in_flight_.end()) {
+      // Duplicate response (injected duplication or retransmit overlap) or a
+      // response that raced a timeout. Drop it.
+      if (metrics_ != nullptr) {
+        metrics_->increment("net.client.stray_responses");
+      }
+      return;
+    }
+    state = it->second.state;
+    in_flight_.erase(it);
+  }
+  if (frame.type == FrameType::kResponse) {
+    value = std::make_shared<std::vector<uint8_t>>(std::move(frame.payload));
+  } else if (frame.type == FrameType::kError) {
+    std::string type, message;
+    try {
+      decode_error_payload(frame.payload, &type, &message);
+      throw_remote_error(type, message);
+    } catch (...) {
+      error = std::current_exception();
+    }
+  } else {
+    error = std::make_exception_ptr(
+        Error("unexpected frame type on rpc client"));
+  }
+  if (error) {
+    state->set_error(error);
+  } else {
+    state->set_value(std::move(value));
+  }
+  cv_.notify_all();  // wake drain_and_close waiters
+}
+
+void RpcClient::fail_all_in_flight_locked(std::vector<InFlight>* out,
+                                          const std::string& reason) {
+  (void)reason;
+  out->reserve(out->size() + in_flight_.size());
+  for (auto& [id, entry] : in_flight_) {
+    out->push_back(std::move(entry));
+  }
+  in_flight_.clear();
+}
+
+void RpcClient::on_down(bool graceful, const std::string& reason) {
+  std::vector<InFlight> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!stopping_) {
+      if (graceful || !options_.reconnect) {
+        state_ = RpcClientState::kDown;
+      } else if (state_ == RpcClientState::kConnected) {
+        state_ = RpcClientState::kReconnecting;
+        backoff_ms_ = options_.backoff_initial_ms;
+        next_attempt_ = std::chrono::steady_clock::now();
+      }
+    }
+    fail_all_in_flight_locked(&doomed, reason);
+    if (metrics_ != nullptr) {
+      metrics_->increment("net.client.connections_lost");
+    }
+  }
+  for (InFlight& f : doomed) {
+    f.state->set_error(std::make_exception_ptr(ConnectionLostError(
+        "connection to " + endpoint_.to_string() + " lost: " + reason)));
+  }
+  cv_.notify_all();
+}
+
+void RpcClient::keeper_loop() {
+  const auto tick = std::chrono::milliseconds(5);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    cv_.wait_for(lock, tick);
+    if (stopping_) break;
+
+    // 1. Reconnect state machine.
+    if (state_ == RpcClientState::kReconnecting &&
+        std::chrono::steady_clock::now() >= next_attempt_) {
+      std::unique_ptr<Connection> dead = std::move(conn_);
+      lock.unlock();
+      dead.reset();  // join the dead connection's threads
+      Socket socket;
+      bool ok = false;
+      try {
+        socket = Socket::connect(endpoint_, options_.connect_timeout_ms);
+        ok = true;
+      } catch (const ConnectionError&) {
+      }
+      lock.lock();
+      if (stopping_) break;
+      if (ok) {
+        conn_ = make_connection(std::move(socket));
+        state_ = RpcClientState::kConnected;
+        consecutive_failures_ = 0;
+        backoff_ms_ = options_.backoff_initial_ms;
+        ++reconnects_;
+        if (metrics_ != nullptr) metrics_->increment("net.client.reconnects");
+        RLG_LOG_INFO << "rpc client reconnected to " << endpoint_.to_string();
+      } else {
+        ++consecutive_failures_;
+        if (metrics_ != nullptr) {
+          metrics_->increment("net.client.reconnect_failures");
+        }
+        if (options_.max_reconnects >= 0 &&
+            consecutive_failures_ > options_.max_reconnects) {
+          state_ = RpcClientState::kDown;
+          if (metrics_ != nullptr) metrics_->increment("net.client.down");
+          RLG_LOG_WARN << "rpc client to " << endpoint_.to_string()
+                       << " giving up after " << consecutive_failures_
+                       << " failed reconnects";
+        } else {
+          // Exponential backoff with seeded +/- jitter so a fleet of
+          // clients does not reconnect in lockstep.
+          double jitter = 1.0 + options_.backoff_jitter *
+                                    backoff_rng_.uniform(-1.0, 1.0);
+          double wait_ms = std::max(0.1, backoff_ms_ * jitter);
+          next_attempt_ = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double, std::milli>(
+                                  wait_ms));
+          backoff_ms_ = std::min(backoff_ms_ * options_.backoff_multiplier,
+                                 options_.backoff_max_ms);
+        }
+      }
+    }
+
+    // 2. Per-call timeout scan (timeouts disabled when rpc_timeout_ms == 0).
+    if (options_.rpc_timeout_ms <= 0.0) continue;
+    auto now = std::chrono::steady_clock::now();
+    std::vector<std::shared_ptr<detail::FutureState>> timed_out;
+    std::vector<Frame> retransmit;
+    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+      double age_ms = std::chrono::duration<double, std::milli>(
+                          now - it->second.issued)
+                          .count();
+      if (age_ms < options_.rpc_timeout_ms) {
+        ++it;
+        continue;
+      }
+      if (it->second.retransmits < options_.max_rpc_retransmits &&
+          state_ == RpcClientState::kConnected && conn_ != nullptr) {
+        ++it->second.retransmits;
+        it->second.issued = now;
+        Frame frame;
+        frame.type = FrameType::kRequest;
+        frame.request_id = it->first;
+        frame.payload =
+            encode_request_payload(it->second.method, it->second.body);
+        retransmit.push_back(std::move(frame));
+        if (metrics_ != nullptr) {
+          metrics_->increment("net.client.retransmits");
+        }
+        ++it;
+      } else {
+        timed_out.push_back(it->second.state);
+        it = in_flight_.erase(it);
+        if (metrics_ != nullptr) {
+          metrics_->increment("net.client.rpc_timeouts");
+        }
+      }
+    }
+    if (!retransmit.empty() || !timed_out.empty()) {
+      Connection* conn = conn_.get();
+      lock.unlock();
+      for (Frame& frame : retransmit) {
+        if (conn != nullptr) conn->send(std::move(frame));
+      }
+      for (auto& state : timed_out) {
+        state->set_error(std::make_exception_ptr(TimeoutError(
+            "rpc to " + endpoint_.to_string() + " timed out after " +
+            std::to_string(options_.rpc_timeout_ms) + "ms")));
+      }
+      lock.lock();
+    }
+  }
+}
+
+RpcClientState RpcClient::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int64_t RpcClient::reconnects() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reconnects_;
+}
+
+size_t RpcClient::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_.size();
+}
+
+bool RpcClient::drain_and_close(double timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool drained = cv_.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms),
+      [&] { return in_flight_.empty() || state_ != RpcClientState::kConnected; });
+  drained = drained && in_flight_.empty();
+  stopping_ = true;
+  state_ = RpcClientState::kDown;
+  Connection* conn = conn_.get();
+  lock.unlock();
+  cv_.notify_all();
+  if (conn != nullptr && conn->alive()) conn->close_graceful();
+  if (keeper_.joinable()) keeper_.join();
+  return drained;
+}
+
+// --- RpcServer -------------------------------------------------------------
+
+RpcServer::RpcServer(const Endpoint& endpoint, RpcServerOptions options,
+                     MetricRegistry* metrics,
+                     std::shared_ptr<WireFaultInjector> injector)
+    : options_(options),
+      metrics_(metrics),
+      injector_(std::move(injector)),
+      listener_(endpoint) {}
+
+RpcServer::~RpcServer() { stop(); }
+
+void RpcServer::register_handler(const std::string& method,
+                                 RpcHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_[method] = std::move(handler);
+}
+
+void RpcServer::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void RpcServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Peer>> peers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    peers.swap(peers_);
+  }
+  for (auto& peer : peers) {
+    // Let the dispatcher drain queued requests, then say goodbye.
+    peer->requests.close();
+    if (peer->dispatcher.joinable()) peer->dispatcher.join();
+    if (peer->conn && peer->conn->alive()) peer->conn->close_graceful();
+    peer->conn.reset();
+  }
+}
+
+void RpcServer::accept_loop() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!running_) return;
+    }
+    Socket socket = listener_.accept(options_.accept_tick_ms);
+    reap_finished_peers();
+    if (!socket.valid()) continue;
+    auto peer = std::make_unique<Peer>();
+    Peer* raw = peer.get();
+    peer->conn = std::make_unique<Connection>(
+        std::move(socket), options_.connection,
+        [raw](Frame&& frame) { raw->requests.push(std::move(frame)); },
+        [raw](bool, const std::string&) { raw->requests.close(); },
+        injector_, metrics_, "net.server");
+    peer->dispatcher = std::thread([this, raw] { dispatch_loop(raw); });
+    if (metrics_ != nullptr) {
+      metrics_->increment("net.server.connections_accepted");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    peers_.push_back(std::move(peer));
+  }
+}
+
+void RpcServer::reap_finished_peers() {
+  std::vector<std::unique_ptr<Peer>> dead;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = peers_.begin(); it != peers_.end();) {
+      if ((*it)->conn != nullptr && !(*it)->conn->alive()) {
+        dead.push_back(std::move(*it));
+        it = peers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& peer : dead) {
+    peer->requests.close();
+    if (peer->dispatcher.joinable()) peer->dispatcher.join();
+    peer->conn.reset();
+  }
+}
+
+void RpcServer::dispatch_loop(Peer* peer) {
+  while (true) {
+    std::optional<Frame> request = peer->requests.pop();
+    if (!request.has_value()) return;  // queue closed and drained
+    if (request->type != FrameType::kRequest) continue;
+    const uint64_t id = request->request_id;
+
+    // Dedup: a duplicated or retransmitted request re-sends the cached
+    // response; the handler runs at most once per id per connection.
+    auto seen = peer->responded.find(id);
+    if (seen != peer->responded.end()) {
+      duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_ != nullptr) {
+        metrics_->increment("net.server.duplicates_suppressed");
+      }
+      peer->conn->send(seen->second);
+      continue;
+    }
+
+    Frame response;
+    response.request_id = id;
+    std::string method;
+    std::vector<uint8_t> body;
+    try {
+      decode_request_payload(request->payload, &method, &body);
+      RpcHandler handler;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = handlers_.find(method);
+        if (it == handlers_.end()) {
+          throw NotFoundError("no rpc handler registered for method '" +
+                              method + "'");
+        }
+        handler = it->second;
+      }
+      trace::TraceSpan span("net", "net/handler");
+      response.payload = handler(body);
+      response.type = FrameType::kResponse;
+    } catch (const std::exception& e) {
+      response.type = FrameType::kError;
+      response.payload = encode_error_payload(error_type_name(e), e.what());
+      if (metrics_ != nullptr) {
+        metrics_->increment("net.server.handler_errors");
+      }
+    }
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+    peer->responded.emplace(id, response);
+    peer->responded_order.push_back(id);
+    while (peer->responded_order.size() > options_.dedup_cache_size) {
+      peer->responded.erase(peer->responded_order.front());
+      peer->responded_order.pop_front();
+    }
+    peer->conn->send(std::move(response));
+  }
+}
+
+size_t RpcServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t alive = 0;
+  for (const auto& peer : peers_) {
+    if (peer->conn != nullptr && peer->conn->alive()) ++alive;
+  }
+  return alive;
+}
+
+int64_t RpcServer::requests_served() const {
+  return requests_served_.load(std::memory_order_relaxed);
+}
+
+int64_t RpcServer::duplicates_suppressed() const {
+  return duplicates_suppressed_.load(std::memory_order_relaxed);
+}
+
+}  // namespace net
+}  // namespace raylite
+}  // namespace rlgraph

@@ -1,0 +1,198 @@
+// RPC over the framed transport, resolved through raylite futures.
+//
+// RpcClient::call() returns the same raylite::Future the in-process actor
+// engine uses, so coordination loops (and raylite::wait / wait_for) treat a
+// remote call exactly like a mailbox call:
+//   * a response resolves the future with the payload bytes;
+//   * a remote handler exception resolves it errored with the same typed
+//     rlgraph exception (see frame.h);
+//   * peer death (EOF, heartbeat timeout, injected cut) resolves every
+//     in-flight future with ConnectionLostError — the error-state path PR 1
+//     supervision already consumes;
+//   * an expired per-call timeout retransmits (same request id; the server
+//     dedups) up to max_rpc_retransmits, then resolves TimeoutError.
+//
+// The client reconnects on its own: exponential backoff with seeded jitter
+// and a consecutive-failure budget. While reconnecting, calls fail fast
+// with ConnectionLostError so callers reroute; once the budget is exhausted
+// the client is permanently kDown and calls fail with ActorLostError —
+// feeding the supervisor's give-up machinery.
+//
+// RpcServer dispatches each connection's requests on a dedicated thread
+// (handlers may block without stalling heartbeats) and keeps a bounded
+// (request id -> response) cache per connection, so duplicated or
+// retransmitted frames re-send the cached response instead of re-executing
+// the handler: at-most-once execution per connection.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "raylite/actor.h"
+#include "raylite/net/connection.h"
+
+namespace rlgraph {
+namespace raylite {
+namespace net {
+
+struct RpcClientOptions {
+  ConnectionOptions connection;
+  double connect_timeout_ms = 2000.0;
+  // 0 disables per-call timeouts (futures then only resolve on response or
+  // connection death).
+  double rpc_timeout_ms = 0.0;
+  // Timed-out calls are re-sent with the same request id this many times
+  // before resolving TimeoutError (recovers injected frame drops).
+  int max_rpc_retransmits = 0;
+  // Reconnect policy: exponential backoff with +/- jitter, and a budget of
+  // consecutive failed attempts before the client goes permanently kDown
+  // (< 0 retries forever).
+  bool reconnect = true;
+  int max_reconnects = 5;
+  double backoff_initial_ms = 25.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 1000.0;
+  double backoff_jitter = 0.2;  // fraction of the backoff, uniform +/-
+  uint64_t seed = 0;
+};
+
+enum class RpcClientState { kConnected, kReconnecting, kDown };
+
+const char* to_string(RpcClientState state);
+
+class RpcClient {
+ public:
+  // Connects synchronously; throws ConnectionError if the peer cannot be
+  // reached within connect_timeout_ms (supervised restart paths rely on the
+  // constructor failing fast).
+  RpcClient(const Endpoint& endpoint, RpcClientOptions options,
+            MetricRegistry* metrics = nullptr,
+            std::shared_ptr<WireFaultInjector> injector = nullptr);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  Future<std::vector<uint8_t>> call(const std::string& method,
+                                    std::vector<uint8_t> body);
+
+  RpcClientState state() const;
+  bool connected() const { return state() == RpcClientState::kConnected; }
+  const Endpoint& endpoint() const { return endpoint_; }
+
+  // Waits up to timeout_ms for in-flight calls to resolve, then closes with
+  // a goodbye. Returns true if the drain completed (false: timed out and
+  // remaining futures were failed). The client is kDown afterwards.
+  bool drain_and_close(double timeout_ms);
+
+  int64_t reconnects() const;
+  size_t in_flight() const;
+
+ private:
+  struct InFlight {
+    std::shared_ptr<detail::FutureState> state;
+    std::string method;
+    std::vector<uint8_t> body;  // retained for retransmission
+    std::chrono::steady_clock::time_point issued;
+    int retransmits = 0;
+  };
+
+  void on_frame(Frame&& frame);
+  void on_down(bool graceful, const std::string& reason);
+  void keeper_loop();
+  void fail_all_in_flight_locked(std::vector<InFlight>* out,
+                                 const std::string& reason);
+  std::unique_ptr<Connection> make_connection(Socket socket);
+
+  const Endpoint endpoint_;
+  const RpcClientOptions options_;
+  MetricRegistry* metrics_;
+  std::shared_ptr<WireFaultInjector> injector_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unique_ptr<Connection> conn_;
+  RpcClientState state_ = RpcClientState::kConnected;
+  bool stopping_ = false;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, InFlight> in_flight_;
+  Rng backoff_rng_;
+  double backoff_ms_;
+  int consecutive_failures_ = 0;
+  std::chrono::steady_clock::time_point next_attempt_;
+  int64_t reconnects_ = 0;
+  std::thread keeper_;
+};
+
+using RpcHandler =
+    std::function<std::vector<uint8_t>(const std::vector<uint8_t>&)>;
+
+struct RpcServerOptions {
+  ConnectionOptions connection;
+  // Recent (request id -> response) entries kept per connection for dedup /
+  // retransmission.
+  size_t dedup_cache_size = 256;
+  double accept_tick_ms = 50.0;
+};
+
+class RpcServer {
+ public:
+  // Binds and listens immediately (so tcp:host:0 resolves a port); start()
+  // begins accepting. A shared injector applies to every accepted
+  // connection's send path.
+  RpcServer(const Endpoint& endpoint, RpcServerOptions options = {},
+            MetricRegistry* metrics = nullptr,
+            std::shared_ptr<WireFaultInjector> injector = nullptr);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  void register_handler(const std::string& method, RpcHandler handler);
+  void start();
+  // Graceful: stop accepting, drain each connection's queued requests, send
+  // goodbyes, join everything. Idempotent.
+  void stop();
+
+  const Endpoint& endpoint() const { return listener_.endpoint(); }
+  size_t active_connections() const;
+  int64_t requests_served() const;
+  int64_t duplicates_suppressed() const;
+
+ private:
+  struct Peer {
+    std::unique_ptr<Connection> conn;
+    BlockingQueue<Frame> requests;
+    std::thread dispatcher;
+    // Bounded request-id dedup with cached responses.
+    std::unordered_map<uint64_t, Frame> responded;
+    std::deque<uint64_t> responded_order;
+  };
+
+  void accept_loop();
+  void dispatch_loop(Peer* peer);
+  void reap_finished_peers();
+
+  RpcServerOptions options_;
+  MetricRegistry* metrics_;
+  std::shared_ptr<WireFaultInjector> injector_;
+  Listener listener_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, RpcHandler> handlers_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  bool running_ = false;
+  std::atomic<int64_t> requests_served_{0};
+  std::atomic<int64_t> duplicates_suppressed_{0};
+  std::thread accept_thread_;
+};
+
+}  // namespace net
+}  // namespace raylite
+}  // namespace rlgraph

@@ -1,0 +1,232 @@
+#include "raylite/net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace rlgraph {
+namespace raylite {
+namespace net {
+
+namespace {
+
+std::string errno_string() { return std::string(strerror(errno)); }
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// sockaddr builders. Unix paths longer than sun_path cannot be represented.
+socklen_t fill_sockaddr(const Endpoint& endpoint, sockaddr_storage* storage) {
+  std::memset(storage, 0, sizeof(*storage));
+  if (endpoint.kind == Endpoint::Kind::kTcp) {
+    auto* addr = reinterpret_cast<sockaddr_in*>(storage);
+    addr->sin_family = AF_INET;
+    addr->sin_port = htons(endpoint.port);
+    const char* host = endpoint.host.empty() ? "127.0.0.1"
+                                             : endpoint.host.c_str();
+    if (::inet_pton(AF_INET, host, &addr->sin_addr) != 1) {
+      throw ConnectionError("cannot parse IPv4 address '" + endpoint.host +
+                            "' (hostnames are not resolved; use an IP)");
+    }
+    return sizeof(sockaddr_in);
+  }
+  auto* addr = reinterpret_cast<sockaddr_un*>(storage);
+  addr->sun_family = AF_UNIX;
+  if (endpoint.path.size() + 1 > sizeof(addr->sun_path)) {
+    throw ConnectionError("unix socket path too long: " + endpoint.path);
+  }
+  std::strncpy(addr->sun_path, endpoint.path.c_str(),
+               sizeof(addr->sun_path) - 1);
+  return static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                endpoint.path.size() + 1);
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  Endpoint e;
+  if (spec.rfind("unix:", 0) == 0) {
+    e.kind = Kind::kUnix;
+    e.path = spec.substr(5);
+    RLG_REQUIRE(!e.path.empty(), "empty unix socket path in '" << spec << "'");
+    return e;
+  }
+  std::string rest = spec;
+  if (spec.rfind("tcp:", 0) == 0) rest = spec.substr(4);
+  size_t colon = rest.rfind(':');
+  RLG_REQUIRE(colon != std::string::npos,
+              "endpoint '" << spec << "' is not tcp:host:port or unix:path");
+  e.kind = Kind::kTcp;
+  e.host = rest.substr(0, colon);
+  int port = 0;
+  try {
+    port = std::stoi(rest.substr(colon + 1));
+  } catch (const std::exception&) {
+    port = -1;
+  }
+  RLG_REQUIRE(port >= 0 && port <= 65535,
+              "bad port in endpoint '" << spec << "'");
+  e.port = static_cast<uint16_t>(port);
+  return e;
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + (host.empty() ? "127.0.0.1" : host) + ":" +
+         std::to_string(port);
+}
+
+Socket Socket::connect(const Endpoint& endpoint, double timeout_ms) {
+  int family = endpoint.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) throw ConnectionError("socket(): " + errno_string());
+  Socket sock(fd);
+
+  sockaddr_storage storage;
+  socklen_t len = fill_sockaddr(endpoint, &storage);
+
+  // Non-blocking connect + poll so a dead peer resolves in timeout_ms, not
+  // the kernel's multi-minute TCP default.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&storage), len);
+  if (rc != 0 && errno != EINPROGRESS) {
+    throw ConnectionError("connect to " + endpoint.to_string() + ": " +
+                          errno_string());
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready <= 0) {
+      throw ConnectionError("connect to " + endpoint.to_string() +
+                            " timed out after " + std::to_string(timeout_ms) +
+                            "ms");
+    }
+    int err = 0;
+    socklen_t errlen = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen);
+    if (err != 0) {
+      throw ConnectionError("connect to " + endpoint.to_string() + ": " +
+                            std::string(strerror(err)));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  if (endpoint.kind == Endpoint::Kind::kTcp) set_nodelay(fd);
+  return sock;
+}
+
+bool Socket::send_all(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    int fd = fd_.load();
+    if (fd < 0) return false;
+    ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+bool Socket::recv_all(void* data, size_t n) {
+  auto* p = static_cast<uint8_t*>(data);
+  while (n > 0) {
+    int fd = fd_.load();
+    if (fd < 0) return false;
+    ssize_t got = ::recv(fd, p, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // orderly EOF
+    p += got;
+    n -= static_cast<size_t>(got);
+  }
+  return true;
+}
+
+void Socket::shutdown_both() {
+  int fd = fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Socket::close() {
+  int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
+Listener::Listener(const Endpoint& endpoint) : endpoint_(endpoint) {
+  int family = endpoint.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) throw ConnectionError("socket(): " + errno_string());
+  if (endpoint.kind == Endpoint::Kind::kTcp) {
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  } else {
+    // A stale path from a crashed previous process would fail bind().
+    ::unlink(endpoint.path.c_str());
+  }
+  sockaddr_storage storage;
+  socklen_t len = fill_sockaddr(endpoint, &storage);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&storage), len) != 0) {
+    std::string err = errno_string();
+    ::close(fd);
+    throw ConnectionError("bind " + endpoint.to_string() + ": " + err);
+  }
+  if (::listen(fd, 64) != 0) {
+    std::string err = errno_string();
+    ::close(fd);
+    throw ConnectionError("listen " + endpoint.to_string() + ": " + err);
+  }
+  if (endpoint.kind == Endpoint::Kind::kTcp && endpoint.port == 0) {
+    sockaddr_in bound;
+    socklen_t blen = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen);
+    endpoint_.port = ntohs(bound.sin_port);
+  }
+  fd_.store(fd);
+}
+
+Listener::~Listener() { close(); }
+
+Socket Listener::accept(double timeout_ms) {
+  int fd = fd_.load();
+  if (fd < 0) return Socket();
+  pollfd pfd{fd, POLLIN, 0};
+  int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  if (ready <= 0) return Socket();
+  int client = ::accept(fd, nullptr, nullptr);
+  if (client < 0) return Socket();
+  if (endpoint_.kind == Endpoint::Kind::kTcp) set_nodelay(client);
+  return Socket(client);
+}
+
+void Listener::close() {
+  int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (endpoint_.kind == Endpoint::Kind::kUnix) {
+    ::unlink(endpoint_.path.c_str());
+  }
+}
+
+}  // namespace net
+}  // namespace raylite
+}  // namespace rlgraph

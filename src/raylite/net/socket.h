@@ -1,0 +1,101 @@
+// POSIX socket primitives for the raylite cross-process transport.
+//
+// Endpoint parses the "tcp:host:port" / "unix:path" addresses used across
+// configs and CLIs; Socket is a thin RAII wrapper over a connected stream
+// socket (TCP with TCP_NODELAY, or Unix domain) with all-or-nothing
+// send/recv helpers; Listener accepts with a poll timeout so accept loops
+// can observe shutdown flags. All blocking reads can be broken from another
+// thread via shutdown_both() — the transport relies on that to tear down
+// reader threads without signals.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+namespace raylite {
+namespace net {
+
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host;    // tcp only
+  uint16_t port = 0;   // tcp only; 0 lets the OS pick (see Listener::endpoint)
+  std::string path;    // unix only
+
+  // Accepts "tcp:host:port" and "unix:/some/path".
+  static Endpoint parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+// A connected stream socket. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_.store(other.fd_.exchange(-1));
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  // Connect to `endpoint`, waiting up to `timeout_ms` for the handshake.
+  // Throws ConnectionError on refusal/timeout.
+  static Socket connect(const Endpoint& endpoint, double timeout_ms);
+
+  bool valid() const { return fd_.load() >= 0; }
+  int fd() const { return fd_.load(); }
+
+  // Write exactly `n` bytes; returns false if the peer is gone (EPIPE,
+  // reset, or local shutdown).
+  bool send_all(const void* data, size_t n);
+  // Read exactly `n` bytes; returns false on EOF/reset/local shutdown.
+  bool recv_all(void* data, size_t n);
+
+  // Break any blocked send/recv from another thread (fd stays open so no
+  // descriptor reuse race; close() happens in the owner's destructor).
+  void shutdown_both();
+  void close();
+
+ private:
+  std::atomic<int> fd_{-1};
+};
+
+// A listening socket. For tcp:host:0 the kernel-assigned port is reported
+// back through endpoint().
+class Listener {
+ public:
+  explicit Listener(const Endpoint& endpoint);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Wait up to `timeout_ms` for a connection; an invalid Socket on timeout
+  // or after close(). Safe to call in a loop with a shutdown flag.
+  Socket accept(double timeout_ms);
+
+  // The bound address (with the resolved port for tcp:host:0).
+  const Endpoint& endpoint() const { return endpoint_; }
+
+  void close();
+
+ private:
+  Endpoint endpoint_;
+  std::atomic<int> fd_{-1};
+};
+
+}  // namespace net
+}  // namespace raylite
+}  // namespace rlgraph

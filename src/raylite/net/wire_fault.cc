@@ -1,0 +1,103 @@
+#include "raylite/net/wire_fault.h"
+
+namespace rlgraph {
+namespace raylite {
+namespace net {
+
+const char* to_string(WireFaultAction action) {
+  switch (action) {
+    case WireFaultAction::kNone:
+      return "none";
+    case WireFaultAction::kDrop:
+      return "drop";
+    case WireFaultAction::kDelay:
+      return "delay";
+    case WireFaultAction::kDuplicate:
+      return "duplicate";
+    case WireFaultAction::kTruncate:
+      return "truncate";
+    case WireFaultAction::kDisconnect:
+      return "disconnect";
+  }
+  return "unknown";
+}
+
+WireFaultInjector::WireFaultInjector(WireFaultConfig config)
+    : config_(config), rng_(config.seed) {}
+
+WireFaultDecision WireFaultInjector::next() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t index = decisions_++;
+  // Draw unconditionally so the stream position is a pure function of the
+  // decision index, independent of warmup / deterministic overrides.
+  const double u = rng_.uniform();
+  const double delay_span =
+      rng_.uniform(config_.delay_min_ms, config_.delay_max_ms);
+
+  if (config_.disconnect_after_frames >= 0 &&
+      index >= config_.disconnect_after_frames) {
+    // One-shot: subsequent decisions fall through to the probabilistic
+    // schedule (the connection that consumed this decision is gone anyway;
+    // a successor connection starts from the next index).
+    config_.disconnect_after_frames = -1;
+    ++disconnects_;
+    return {WireFaultAction::kDisconnect, 0.0};
+  }
+  if (index < config_.warmup_frames) return {WireFaultAction::kNone, 0.0};
+
+  double edge = config_.disconnect_prob;
+  if (u < edge) {
+    ++disconnects_;
+    return {WireFaultAction::kDisconnect, 0.0};
+  }
+  edge += config_.truncate_prob;
+  if (u < edge) {
+    ++truncates_;
+    return {WireFaultAction::kTruncate, 0.0};
+  }
+  edge += config_.drop_prob;
+  if (u < edge) {
+    ++drops_;
+    return {WireFaultAction::kDrop, 0.0};
+  }
+  edge += config_.duplicate_prob;
+  if (u < edge) {
+    ++duplicates_;
+    return {WireFaultAction::kDuplicate, 0.0};
+  }
+  edge += config_.delay_prob;
+  if (u < edge) {
+    ++delays_;
+    return {WireFaultAction::kDelay, delay_span};
+  }
+  return {WireFaultAction::kNone, 0.0};
+}
+
+int64_t WireFaultInjector::decisions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decisions_;
+}
+int64_t WireFaultInjector::injected_drops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return drops_;
+}
+int64_t WireFaultInjector::injected_delays() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delays_;
+}
+int64_t WireFaultInjector::injected_duplicates() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return duplicates_;
+}
+int64_t WireFaultInjector::injected_truncates() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return truncates_;
+}
+int64_t WireFaultInjector::injected_disconnects() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disconnects_;
+}
+
+}  // namespace net
+}  // namespace raylite
+}  // namespace rlgraph

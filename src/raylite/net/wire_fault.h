@@ -1,0 +1,100 @@
+// Deterministic wire-level fault injection for the socket transport.
+//
+// The frame-granularity counterpart of raylite::FaultInjector: a
+// WireFaultInjector sits on a connection's send path and decides — from a
+// seeded Rng stream, so the schedule is a pure function of (seed, config,
+// frame index) — whether each outgoing data frame is sent normally, dropped,
+// delayed, duplicated, truncated mid-frame (cutting the connection), or
+// preceded by a hard disconnect. Chaos tests drive the transport through
+// injectors to prove heartbeat detection, reconnect/backoff, request dedup,
+// and error-state future resolution without real network faults.
+//
+// Only kRequest/kResponse/kError frames consult the injector; heartbeats and
+// goodbyes are exempt so an injected schedule perturbs *traffic*
+// deterministically rather than racing the liveness probes.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/random.h"
+
+namespace rlgraph {
+namespace raylite {
+namespace net {
+
+struct WireFaultConfig {
+  // Per-frame probabilities; evaluated in disconnect > truncate > drop >
+  // duplicate > delay order from a single uniform draw (sum should stay
+  // <= 1).
+  double disconnect_prob = 0.0;
+  double truncate_prob = 0.0;
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double delay_prob = 0.0;
+  // Injected delay duration, uniform in [delay_min_ms, delay_max_ms).
+  double delay_min_ms = 1.0;
+  double delay_max_ms = 5.0;
+  // No injection for the first `warmup_frames` decisions (lets a topology
+  // connect and exchange some traffic before chaos starts).
+  int64_t warmup_frames = 0;
+  // Deterministic disconnect after this many decided frames (0 cuts the very
+  // first data frame); < 0 disables. For tests that must observe >= 1 drop
+  // of a specific connection.
+  int64_t disconnect_after_frames = -1;
+  uint64_t seed = 0;
+};
+
+enum class WireFaultAction {
+  kNone,
+  kDrop,        // frame silently not sent
+  kDelay,       // frame sent after delay_ms (stalls the writer: congestion)
+  kDuplicate,   // frame sent twice back to back
+  kTruncate,    // only a prefix of the frame's bytes sent, then hard close
+  kDisconnect,  // connection hard-closed before the frame is sent
+};
+
+const char* to_string(WireFaultAction action);
+
+struct WireFaultDecision {
+  WireFaultAction action = WireFaultAction::kNone;
+  double delay_ms = 0.0;
+
+  bool operator==(const WireFaultDecision& other) const {
+    return action == other.action && delay_ms == other.delay_ms;
+  }
+};
+
+class WireFaultInjector {
+ public:
+  explicit WireFaultInjector(WireFaultConfig config);
+
+  // Draws the next decision from the seeded schedule. Thread-safe; with a
+  // single consumer (one connection's writer thread) the sequence depends
+  // only on the seed and config. A shared injector survives reconnects, so
+  // the schedule continues across replacement connections.
+  WireFaultDecision next();
+
+  const WireFaultConfig& config() const { return config_; }
+  int64_t decisions() const;
+  int64_t injected_drops() const;
+  int64_t injected_delays() const;
+  int64_t injected_duplicates() const;
+  int64_t injected_truncates() const;
+  int64_t injected_disconnects() const;
+
+ private:
+  WireFaultConfig config_;
+  Rng rng_;
+  mutable std::mutex mutex_;
+  int64_t decisions_ = 0;
+  int64_t drops_ = 0;
+  int64_t delays_ = 0;
+  int64_t duplicates_ = 0;
+  int64_t truncates_ = 0;
+  int64_t disconnects_ = 0;
+};
+
+}  // namespace net
+}  // namespace raylite
+}  // namespace rlgraph

@@ -1,0 +1,40 @@
+#include "tensor/tensor_io.h"
+
+namespace rlgraph {
+
+void write_tensor(ByteWriter* writer, const Tensor& tensor) {
+  writer->write_u8(static_cast<uint8_t>(tensor.dtype()));
+  writer->write_u32(static_cast<uint32_t>(tensor.shape().rank()));
+  for (int64_t d : tensor.shape().dims()) writer->write_i64(d);
+  writer->write_u64(tensor.byte_size());
+  writer->write_bytes(tensor.raw(), tensor.byte_size());
+}
+
+Tensor read_tensor(ByteReader* reader) {
+  const uint8_t dtype_byte = reader->read_u8();
+  if (dtype_byte > static_cast<uint8_t>(DType::kBool)) {
+    throw SerializationError("tensor stream has invalid dtype tag " +
+                             std::to_string(dtype_byte));
+  }
+  DType dtype = static_cast<DType>(dtype_byte);
+  uint32_t rank = reader->read_u32();
+  std::vector<int64_t> dims(rank);
+  for (uint32_t d = 0; d < rank; ++d) {
+    dims[d] = reader->read_i64();
+    if (dims[d] < 0) {
+      throw SerializationError("tensor stream has negative dimension " +
+                               std::to_string(dims[d]));
+    }
+  }
+  uint64_t nbytes = reader->read_u64();
+  Tensor t(dtype, Shape(dims));
+  if (t.byte_size() != nbytes) {
+    throw SerializationError(
+        "tensor stream byte count " + std::to_string(nbytes) +
+        " does not match shape " + t.shape().to_string());
+  }
+  reader->read_bytes(t.mutable_raw(), nbytes);
+  return t;
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,22 @@
+// Tensor wire codec shared by the weight-snapshot format ("RLGW",
+// agents/agent.cc) and the cross-process raylite transport (sample batches,
+// parameter-server resync). One tensor serializes as:
+//
+//   u8  dtype tag
+//   u32 rank, then rank x i64 dims
+//   u64 byte count, then the raw little-endian buffer
+//
+// read_tensor validates the dtype tag, dimension signs, and the byte count
+// against the decoded shape, throwing SerializationError on any mismatch —
+// a truncated or corrupt stream never produces a silently wrong tensor.
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/serialization.h"
+
+namespace rlgraph {
+
+void write_tensor(ByteWriter* writer, const Tensor& tensor);
+Tensor read_tensor(ByteReader* reader);
+
+}  // namespace rlgraph

@@ -72,6 +72,31 @@ class ActorDeadError : public Error {
   using Error::Error;
 };
 
+// A supervised actor slot is permanently gone: the supervisor exhausted its
+// restart budget and gave the worker up. Subclasses ActorDeadError so
+// existing dead-worker handling still applies, but callers (and
+// raylite::wait_for users calling get()) can distinguish "dead, a restart is
+// coming" from "lost for good — reroute permanently".
+class ActorLostError : public ActorDeadError {
+ public:
+  using ActorDeadError::ActorDeadError;
+};
+
+// The net transport could not establish a connection (refused, timed out,
+// unreachable, bad address).
+class ConnectionError : public Error {
+ public:
+  using Error::Error;
+};
+
+// An established connection died (peer crash, heartbeat timeout, partition,
+// injected disconnect). In-flight RPC futures resolve with this error; the
+// client may still reconnect — see ActorLostError for the permanent case.
+class ConnectionLostError : public ConnectionError {
+ public:
+  using ConnectionError::ConnectionError;
+};
+
 // A deterministically injected fault (raylite::FaultInjector); distinct from
 // organic failures so chaos tests can assert on the source.
 class InjectedFaultError : public Error {

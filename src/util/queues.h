@@ -82,8 +82,15 @@ class BlockingQueue {
   }
 
   // Wakes all waiters; subsequent pushes fail, pops drain remaining items.
+  // Idempotent: only the closing transition notifies, so concurrent closers
+  // (e.g. a connection's failure path racing its destructor) wake each
+  // blocked waiter exactly once. Notification happens with the lock held —
+  // a waiter in pop_for whose deadline expires during the close either
+  // observes closed_ under the lock or is woken by this notify; it can
+  // never re-block after the transition.
   void close() {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();

@@ -100,6 +100,13 @@ void ByteReader::read_bytes(void* out, size_t n) {
   pos_ += n;
 }
 
+std::vector<uint8_t> ByteReader::read_remaining() {
+  std::vector<uint8_t> out(buffer_.begin() + static_cast<long>(pos_),
+                           buffer_.end());
+  pos_ = buffer_.size();
+  return out;
+}
+
 void write_file(const std::string& path, const std::vector<uint8_t>& bytes) {
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   if (!f) throw Error("cannot open file for writing: " + path);

@@ -43,6 +43,9 @@ class ByteReader {
   double read_f64();
   std::string read_string();
   void read_bytes(void* out, size_t n);
+  // Consumes and returns every byte left in the stream (used by the net
+  // transport, whose request payloads end in an opaque body).
+  std::vector<uint8_t> read_remaining();
   bool at_end() const { return pos_ == buffer_.size(); }
   size_t remaining() const { return buffer_.size() - pos_; }
 

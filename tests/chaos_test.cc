@@ -15,6 +15,21 @@
 namespace rlgraph {
 namespace {
 
+// Sanitizer runs are 5-15x slower; tests that pit a task deadline against
+// honest task latency must scale BOTH sides or the deadline disqualifies
+// every task, not just the injected stragglers.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr double kTimeScale = 5.0;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr double kTimeScale = 5.0;
+#else
+constexpr double kTimeScale = 1.0;
+#endif
+#else
+constexpr double kTimeScale = 1.0;
+#endif
+
 SupervisorConfig fast_supervisor() {
   SupervisorConfig cfg;
   cfg.heartbeat_interval_ms = 2.0;
@@ -182,16 +197,16 @@ TEST(ApexChaosTest, StragglerTimeoutsReissueTasks) {
   cfg.learner_updates = false;
   cfg.enable_fault_injection = true;
   cfg.fault_config.delay_prob = 0.5;
-  cfg.fault_config.delay_min_ms = 300.0;
-  cfg.fault_config.delay_max_ms = 400.0;
+  cfg.fault_config.delay_min_ms = 300.0 * kTimeScale;
+  cfg.fault_config.delay_max_ms = 400.0 * kTimeScale;
   cfg.fault_config.warmup_tasks = 1;
   cfg.fault_config.seed = 23;
   cfg.supervisor = fast_supervisor();
-  cfg.task_timeout_ms = 100.0;
+  cfg.task_timeout_ms = 100.0 * kTimeScale;
   cfg.max_task_retries = 3;
 
   ApexExecutor exec(cfg);
-  ApexResult result = exec.run(2.0);
+  ApexResult result = exec.run(2.0 * kTimeScale);
 
   EXPECT_GT(result.env_frames, 0);
   EXPECT_GT(result.task_timeouts, 0);

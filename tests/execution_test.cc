@@ -194,6 +194,57 @@ TEST(ApexExecutorTest, DestructorWithoutRunIsClean) {
   // No run(): destruction must join/stop all actors without hanging.
 }
 
+// When a worker slot exhausts the supervisor's restart budget, the slot is
+// tombstoned: subsequent calls resolve to typed ActorLostError futures (not
+// the generic ActorDeadError), so coordination loops can tell "gone for
+// good, reroute permanently" from "restarting, retry soon" — and the error
+// arrives through the ordinary raylite::wait_for path.
+TEST(RayExecutorTest, GiveUpTombstonesSlotWithActorLostError) {
+  struct Doomed {
+    int work() { return 1; }
+  };
+  RayExecutor<Doomed> executor;
+  // The factory always throws: the first spawn fails, and so does every
+  // supervised restart, burning the budget.
+  executor.spawn_workers(1, [](int) -> std::unique_ptr<Doomed> {
+    throw Error("worker machine is on fire");
+  });
+  SupervisorConfig sup;
+  sup.heartbeat_interval_ms = 2.0;
+  sup.max_restarts_per_worker = 2;
+  sup.backoff_initial_ms = 1.0;
+  sup.backoff_max_ms = 4.0;
+  executor.start_supervision(sup);
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!executor.supervisor()->gave_up(0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(executor.supervisor()->gave_up(0));
+
+  // The tombstone may be installed just after gave_up flips; wait for it.
+  raylite::Future<int> fut;
+  bool lost = false;
+  while (std::chrono::steady_clock::now() < deadline && !lost) {
+    fut = executor.worker_handle(0)->call([](Doomed& d) { return d.work(); });
+    std::vector<raylite::UntypedFuture> futures = {fut};
+    auto ready =
+        raylite::wait_for(futures, 1, std::chrono::milliseconds(5000));
+    ASSERT_EQ(ready.size(), 1u);
+    try {
+      fut.get();
+    } catch (const ActorLostError&) {
+      lost = true;
+    } catch (const ActorDeadError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(lost);
+  EXPECT_EQ(executor.supervisor()->restarts(0), 2);
+  executor.stop_supervision();
+}
+
 TEST(ImpalaPipelineTest, EndToEndSmoke) {
   ImpalaConfig cfg;
   cfg.agent_config = Json::parse(R"({

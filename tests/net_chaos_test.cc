@@ -1,0 +1,232 @@
+// Wire-level chaos tests: seeded fault injection driving the transport
+// through partitions, mid-RPC peer kills, duplicated frames, and dropped
+// frames — asserting that every fault resolves to the documented state at
+// the futures API (DESIGN.md §4g) instead of a hang or a wrong answer.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "raylite/net/rpc.h"
+#include "raylite/net/wire_fault.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+namespace {
+
+namespace net = raylite::net;
+
+std::string unique_unix_endpoint(const char* tag) {
+  static std::atomic<int> counter{0};
+  std::string path = "/tmp/rlgc-" + std::to_string(::getpid()) + "-" +
+                     std::string(tag) + "-" +
+                     std::to_string(counter.fetch_add(1)) + ".sock";
+  std::remove(path.c_str());
+  return "unix:" + path;
+}
+
+template <typename Pred>
+bool wait_until(Pred pred, double timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double, std::milli>(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+net::RpcClientOptions fast_client_options() {
+  net::RpcClientOptions opts;
+  opts.connection.heartbeat_interval_ms = 20.0;
+  opts.connection.heartbeat_timeout_ms = 2000.0;
+  opts.backoff_initial_ms = 10.0;
+  opts.backoff_max_ms = 100.0;
+  opts.max_reconnects = 50;
+  opts.seed = 7;
+  return opts;
+}
+
+// An injected cut partitions the link mid-stream; in-flight calls resolve
+// ConnectionLostError, the client reconnects with backoff, and traffic
+// resumes on the replacement connection — the same injector (schedule
+// position preserved) rides across the reconnect.
+TEST(NetChaosTest, PartitionAndReconnect) {
+  auto endpoint = net::Endpoint::parse(unique_unix_endpoint("part"));
+  net::RpcServer server(endpoint);
+  server.register_handler("echo",
+                          [](const std::vector<uint8_t>& b) { return b; });
+  server.start();
+
+  net::WireFaultConfig wf;
+  wf.disconnect_after_frames = 2;  // cut the third outgoing request
+  wf.seed = 11;
+  auto injector = std::make_shared<net::WireFaultInjector>(wf);
+  net::RpcClient client(endpoint, fast_client_options(), nullptr, injector);
+
+  int ok = 0, lost = 0;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<uint8_t> body = {static_cast<uint8_t>(i)};
+    bool sent = false;
+    for (int attempt = 0; attempt < 50 && !sent; ++attempt) {
+      try {
+        ASSERT_EQ(client.call("echo", body).get(), body);
+        sent = true;
+        ++ok;
+      } catch (const ConnectionLostError&) {
+        ++lost;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    ASSERT_TRUE(sent) << "call " << i << " never made it through";
+  }
+  EXPECT_EQ(ok, 8);
+  EXPECT_GE(lost, 1);  // the injected cut was observed as a typed error
+  EXPECT_GE(client.reconnects(), 1);
+  EXPECT_EQ(injector->injected_disconnects(), 1);
+  EXPECT_TRUE(client.connected());
+}
+
+// The peer dies while an RPC is in flight (its response frame is cut on the
+// wire). The caller gets ConnectionLostError — not a hang, not a garbled
+// result — and the link heals for the next call.
+TEST(NetChaosTest, MidRpcPeerKill) {
+  auto endpoint = net::Endpoint::parse(unique_unix_endpoint("kill"));
+  net::WireFaultConfig wf;
+  wf.disconnect_after_frames = 0;  // the server's first response dies
+  wf.seed = 3;
+  auto server_injector = std::make_shared<net::WireFaultInjector>(wf);
+  net::RpcServer server(endpoint, net::RpcServerOptions{}, nullptr,
+                        server_injector);
+  std::atomic<int> handled{0};
+  server.register_handler("work", [&](const std::vector<uint8_t>& b) {
+    handled.fetch_add(1);
+    return b;
+  });
+  server.start();
+
+  net::RpcClient client(endpoint, fast_client_options());
+  EXPECT_THROW(client.call("work", {1}).get(), ConnectionLostError);
+  EXPECT_EQ(handled.load(), 1);  // the handler DID run; only the reply died
+
+  // The client reconnects; the retry succeeds end to end.
+  ASSERT_TRUE(wait_until([&] { return client.connected(); }, 5000.0));
+  EXPECT_EQ(client.call("work", {2}).get(), std::vector<uint8_t>{2});
+  EXPECT_EQ(handled.load(), 2);
+}
+
+// Every request frame is duplicated on the wire; the server's per-connection
+// dedup cache executes each request exactly once and re-sends the cached
+// response for the copy.
+TEST(NetChaosTest, DuplicateFrameDeliveryExecutesOnce) {
+  auto endpoint = net::Endpoint::parse(unique_unix_endpoint("dup"));
+  net::RpcServer server(endpoint);
+  std::atomic<int> executions{0};
+  server.register_handler("count", [&](const std::vector<uint8_t>& b) {
+    executions.fetch_add(1);
+    return b;
+  });
+  server.start();
+
+  net::WireFaultConfig wf;
+  wf.duplicate_prob = 1.0;
+  wf.seed = 21;
+  auto injector = std::make_shared<net::WireFaultInjector>(wf);
+  net::RpcClient client(endpoint, fast_client_options(), nullptr, injector);
+
+  const int kCalls = 6;
+  for (int i = 0; i < kCalls; ++i) {
+    std::vector<uint8_t> body = {static_cast<uint8_t>(i)};
+    EXPECT_EQ(client.call("count", body).get(), body);
+  }
+  EXPECT_EQ(executions.load(), kCalls);
+  EXPECT_EQ(injector->injected_duplicates(), kCalls);
+  // Duplicates were delivered and suppressed, not lost in transit.
+  EXPECT_TRUE(wait_until(
+      [&] { return server.duplicates_suppressed() >= kCalls; }, 5000.0));
+}
+
+// Dropped request frames are recovered by same-id retransmission after the
+// rpc timeout; the dedup cache makes the retransmit safe (at-most-once).
+TEST(NetChaosTest, DroppedFramesRecoveredByRetransmit) {
+  auto endpoint = net::Endpoint::parse(unique_unix_endpoint("drop"));
+  net::RpcServer server(endpoint);
+  std::atomic<int> executions{0};
+  server.register_handler("count", [&](const std::vector<uint8_t>& b) {
+    executions.fetch_add(1);
+    return b;
+  });
+  server.start();
+
+  net::WireFaultConfig wf;
+  wf.drop_prob = 0.5;
+  wf.seed = 1234;
+  auto injector = std::make_shared<net::WireFaultInjector>(wf);
+  net::RpcClientOptions opts = fast_client_options();
+  opts.rpc_timeout_ms = 150.0;
+  opts.max_rpc_retransmits = 10;
+  net::RpcClient client(endpoint, opts, nullptr, injector);
+
+  const int kCalls = 8;
+  for (int i = 0; i < kCalls; ++i) {
+    std::vector<uint8_t> body = {static_cast<uint8_t>(i)};
+    EXPECT_EQ(client.call("count", body).get(), body);
+  }
+  // The seeded schedule dropped at least one frame, and dedup kept handler
+  // executions at exactly one per logical call.
+  EXPECT_GE(injector->injected_drops(), 1);
+  EXPECT_EQ(executions.load(), kCalls);
+}
+
+// Same seed, same config, same traffic => the injector takes byte-identical
+// decisions (the acceptance criterion for reproducible chaos runs). The
+// schedule here avoids timing-dependent frame counts: duplicates are
+// per-sent-frame, the single cut is at a fixed frame index, and calls that
+// fail fast while disconnected never consume a decision.
+TEST(NetChaosTest, InjectedScheduleIsReproducible) {
+  auto run_once = [](uint64_t seed) {
+    auto endpoint = net::Endpoint::parse(unique_unix_endpoint("repro"));
+    net::RpcServer server(endpoint);
+    server.register_handler("echo",
+                            [](const std::vector<uint8_t>& b) { return b; });
+    server.start();
+    net::WireFaultConfig wf;
+    wf.duplicate_prob = 1.0;
+    wf.disconnect_after_frames = 3;
+    wf.seed = seed;
+    auto injector = std::make_shared<net::WireFaultInjector>(wf);
+    net::RpcClient client(endpoint, fast_client_options(), nullptr, injector);
+    const int kCalls = 6;
+    for (int i = 0; i < kCalls; ++i) {
+      std::vector<uint8_t> body = {static_cast<uint8_t>(i)};
+      bool sent = false;
+      for (int attempt = 0; attempt < 200 && !sent; ++attempt) {
+        try {
+          EXPECT_EQ(client.call("echo", body).get(), body);
+          sent = true;
+        } catch (const ConnectionLostError&) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      }
+      EXPECT_TRUE(sent);
+    }
+    client.drain_and_close(2000.0);
+    return std::make_tuple(injector->decisions(), injector->injected_drops(),
+                           injector->injected_duplicates(),
+                           injector->injected_disconnects());
+  };
+  auto a = run_once(42);
+  auto b = run_once(42);
+  EXPECT_EQ(a, b);
+  // One decision per delivered call, plus exactly one for the injected cut.
+  EXPECT_EQ(std::get<0>(a), 7);
+  EXPECT_EQ(std::get<3>(a), 1);
+}
+
+}  // namespace
+}  // namespace rlgraph

@@ -1,0 +1,239 @@
+// Multi-process Ape-X: sampler workers run in separate OS processes behind
+// the raylite/net transport, driven by the unchanged ApexExecutor
+// coordination loop. The binary doubles as the worker executable: when
+// launched with --apex-worker it serves an ApexWorkerService instead of
+// running tests, so the test spawns *itself* (no fork-without-exec: the
+// parent is multithreaded).
+//
+// The headline scenario (the PR's acceptance criterion): an Ape-X run with
+// two out-of-process samplers where one worker is SIGKILLed mid-run, the
+// supervisor restarts the slot through the reconnecting RPC proxy, a
+// respawned worker process takes over, and the run completes with both
+// sampling progress and at least one supervised restart on the books.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "execution/remote_worker.h"
+#include "util/errors.h"
+#include "util/serialization.h"
+
+extern char** environ;
+
+namespace rlgraph {
+namespace {
+
+namespace net = raylite::net;
+
+Json worker_agent_config() {
+  return Json::parse(R"({
+    "type": "apex",
+    "network": [{"type": "dense", "units": 16, "activation": "relu"}],
+    "memory": {"type": "prioritized", "capacity": 512},
+    "optimizer": {"type": "adam", "learning_rate": 0.001},
+    "exploration": {"eps_start": 0.6, "eps_end": 0.1, "decay_steps": 500},
+    "update": {"batch_size": 16, "sync_interval": 20, "min_records": 32}
+  })");
+}
+
+ApexConfig base_config() {
+  ApexConfig cfg;
+  cfg.agent_config = worker_agent_config();
+  cfg.env_spec = Json::parse(R"({"type": "grid_world"})");
+  cfg.envs_per_worker = 2;
+  cfg.num_replay_shards = 1;
+  cfg.worker_sample_size = 32;
+  cfg.min_shard_records = 32;
+  cfg.n_step = 3;
+  cfg.seed = 11;
+  return cfg;
+}
+
+std::string self_exe() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  RLG_REQUIRE(n > 0, "readlink(/proc/self/exe) failed");
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+std::string unique_unix_endpoint(const char* tag) {
+  static std::atomic<int> counter{0};
+  std::string path = "/tmp/rlgp-" + std::to_string(::getpid()) + "-" +
+                     std::string(tag) + "-" +
+                     std::to_string(counter.fetch_add(1)) + ".sock";
+  std::remove(path.c_str());
+  return "unix:" + path;
+}
+
+// Spawns this binary as `--apex-worker <config.json> <index> <endpoint>`.
+pid_t spawn_worker(const std::string& config_path, int index,
+                   const std::string& endpoint) {
+  std::string exe = self_exe();
+  std::string index_str = std::to_string(index);
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(exe.c_str()));
+  argv.push_back(const_cast<char*>("--apex-worker"));
+  argv.push_back(const_cast<char*>(config_path.c_str()));
+  argv.push_back(const_cast<char*>(index_str.c_str()));
+  argv.push_back(const_cast<char*>(endpoint.c_str()));
+  argv.push_back(nullptr);
+  pid_t pid = -1;
+  int rc = ::posix_spawn(&pid, exe.c_str(), nullptr, nullptr, argv.data(),
+                         environ);
+  RLG_REQUIRE(rc == 0, "posix_spawn failed: " << rc);
+  return pid;
+}
+
+// A worker is ready once its listener accepts connections.
+bool wait_for_listening(const std::string& endpoint, double timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double, std::milli>(timeout_ms);
+  net::Endpoint ep = net::Endpoint::parse(endpoint);
+  while (std::chrono::steady_clock::now() < deadline) {
+    try {
+      net::Socket probe = net::Socket::connect(ep, 200.0);
+      return true;
+    } catch (const ConnectionError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  return false;
+}
+
+std::string write_config_file(const ApexConfig& cfg, const char* tag) {
+  std::string path = "/tmp/rlgp-" + std::to_string(::getpid()) + "-" +
+                     std::string(tag) + ".json";
+  std::ofstream out(path);
+  out << apex_worker_config_to_json(cfg).dump(2);
+  return path;
+}
+
+void reap(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+// One out-of-process sampler, driven directly through the RemoteApexWorker
+// proxy: batches and counters round-trip the wire, and a graceful shutdown
+// RPC terminates the peer with exit code 0.
+TEST(NetProcessTest, RemoteWorkerRoundTrip) {
+  ApexConfig cfg = base_config();
+  std::string config_path = write_config_file(cfg, "rt");
+  std::string endpoint = unique_unix_endpoint("rt");
+  pid_t pid = spawn_worker(config_path, 0, endpoint);
+  ASSERT_TRUE(wait_for_listening(endpoint, 30000.0));
+
+  {
+    net::RpcClientOptions opts;
+    opts.rpc_timeout_ms = 0.0;
+    RemoteApexWorker worker(endpoint, opts);
+    SampleBatch batch;
+    try {
+      batch = worker.sample(16);
+    } catch (const std::exception& e) {
+      int status = 0;
+      pid_t r = ::waitpid(pid, &status, WNOHANG);
+      fprintf(stderr,
+              "sample failed: %s; waitpid=%d exited=%d code=%d sig=%d\n",
+              e.what(), (int)r, WIFEXITED(status),
+              WIFEXITED(status) ? WEXITSTATUS(status) : -1,
+              WIFSIGNALED(status) ? WTERMSIG(status) : -1);
+      throw;
+    }
+    EXPECT_GE(batch.num_records, 16);
+    EXPECT_EQ(batch.states.shape().dim(0), batch.num_records);
+    EXPECT_GT(batch.env_frames, 0);
+    EXPECT_GT(worker.executor_calls(), 0);
+    worker.shutdown_peer();
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  std::remove(config_path.c_str());
+}
+
+// The acceptance scenario: Ape-X with both samplers in separate processes;
+// one is SIGKILLed mid-run and respawned. The run must complete, keep
+// sampling, and record at least one supervised restart of the dead slot.
+TEST(NetProcessTest, ApexSurvivesWorkerProcessKill) {
+  ApexConfig cfg = base_config();
+  cfg.num_workers = 2;
+  std::string config_path = write_config_file(cfg, "kill");
+  std::string ep0 = unique_unix_endpoint("w0");
+  std::string ep1 = unique_unix_endpoint("w1");
+  pid_t pid0 = spawn_worker(config_path, 0, ep0);
+  pid_t pid1 = spawn_worker(config_path, 1, ep1);
+  ASSERT_TRUE(wait_for_listening(ep0, 60000.0));
+  ASSERT_TRUE(wait_for_listening(ep1, 60000.0));
+
+  cfg.remote_workers = {ep0, ep1};
+  // Fail fast on peer death, restart generously: the respawned process can
+  // take a while to come up on a loaded machine.
+  cfg.remote_client.connect_timeout_ms = 500.0;
+  cfg.remote_client.max_reconnects = 2;
+  cfg.remote_client.backoff_initial_ms = 20.0;
+  cfg.remote_client.backoff_max_ms = 100.0;
+  cfg.supervisor.heartbeat_interval_ms = 20.0;
+  cfg.supervisor.max_restarts_per_worker = 100;
+  cfg.supervisor.backoff_initial_ms = 50.0;
+  cfg.supervisor.backoff_max_ms = 250.0;
+  cfg.learner_updates = true;
+
+  ApexResult result;
+  {
+    ApexExecutor exec(cfg);
+    std::thread chaos([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+      ::kill(pid0, SIGKILL);
+      int status = 0;
+      ::waitpid(pid0, &status, 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      pid0 = spawn_worker(config_path, 0, ep0);
+    });
+    result = exec.run(8.0);
+    chaos.join();
+  }
+
+  EXPECT_GT(result.sample_tasks, 0);
+  EXPECT_GT(result.env_frames, 0);
+  EXPECT_GE(result.worker_restarts, 1);
+  // The kill surfaced as failed tasks, not a wedged run.
+  EXPECT_GE(result.task_failures, 1);
+
+  reap(pid0);
+  reap(pid1);
+  std::remove(config_path.c_str());
+}
+
+}  // namespace
+}  // namespace rlgraph
+
+// Custom main: worker mode must be handled before gtest sees argv.
+int main(int argc, char** argv) {
+  if (argc >= 5 && std::string(argv[1]) == "--apex-worker") {
+    using rlgraph::ApexConfig;
+    std::vector<uint8_t> bytes = rlgraph::read_file(argv[2]);
+    ApexConfig config = rlgraph::apex_worker_config_from_json(
+        rlgraph::Json::parse(std::string(bytes.begin(), bytes.end())));
+    int index = std::atoi(argv[3]);
+    rlgraph::run_apex_worker_server(config, index, argv[4]);
+    return 0;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

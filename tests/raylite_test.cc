@@ -235,6 +235,87 @@ TEST(ObjectStoreTest, ConcurrentPuts) {
   EXPECT_EQ(total.load(), (0 + 1 + 2 + 3) * 1000 * 100 + 4 * 4950);
 }
 
+// TSAN regression for the BlockingQueue close/pop_for race: many waiters
+// parked with deadlines, producers pushing, and two threads racing close().
+// Every waiter must return exactly once (item or nullopt) — no hang, no
+// double wake-up accounting, no data race on the closed flag.
+TEST(BlockingQueueTest, CloseRacingTimedPopsWakesEveryWaiterOnce) {
+  for (int round = 0; round < 20; ++round) {
+    BlockingQueue<int> queue;
+    constexpr int kWaiters = 8;
+    std::atomic<int> returns{0};
+    std::atomic<int> items{0};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWaiters; ++w) {
+      threads.emplace_back([&] {
+        // Deadline far in the future: only close() can wake an idle waiter.
+        auto got = queue.pop_for(std::chrono::seconds(30));
+        if (got.has_value()) items.fetch_add(1);
+        returns.fetch_add(1);
+      });
+    }
+    std::thread producer([&] {
+      for (int i = 0; i < 3; ++i) queue.push(i);
+    });
+    // Two closers race each other and the producer; only the closing
+    // transition may notify.
+    std::thread closer_a([&] { queue.close(); });
+    std::thread closer_b([&] { queue.close(); });
+    producer.join();
+    closer_a.join();
+    closer_b.join();
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(returns.load(), kWaiters);
+    EXPECT_LE(items.load(), 3);
+    // Pushes after close are refused; drained pops return nullopt promptly.
+    EXPECT_FALSE(queue.push(99));
+    while (queue.try_pop().has_value()) {
+    }
+    EXPECT_FALSE(queue.pop_for(std::chrono::milliseconds(1)).has_value());
+  }
+}
+
+// A task that throws ActorDeadError (or a subclass) poisons the actor: it
+// transitions to kFailed so supervision takes over, and queued/later calls
+// fail with the preserved error type. This is how a remote proxy whose
+// transport went permanently down feeds the restart path.
+TEST(ActorTest, ActorDeadErrorFromTaskPoisonsActor) {
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); });
+  EXPECT_EQ(actor.call([](Counter& c) { return c.add(1); }).get(), 1);
+
+  auto poisoned = actor.call([](Counter&) -> int {
+    throw ActorLostError("transport exhausted its reconnect budget");
+  });
+  EXPECT_THROW(poisoned.get(), ActorLostError);
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (actor.state() != ActorState::kFailed &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(actor.state(), ActorState::kFailed);
+
+  // Later calls resolve errored with the preserved ActorLostError type, and
+  // flow through wait_for like any other resolved future.
+  auto after = actor.call([](Counter& c) { return c.add(1); });
+  std::vector<UntypedFuture> futures = {after};
+  auto ready = wait_for(futures, 1, std::chrono::milliseconds(2000));
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_TRUE(after.failed());
+  EXPECT_THROW(after.get(), ActorLostError);
+}
+
+// Ordinary exceptions do NOT poison: the future errors, the actor lives.
+TEST(ActorTest, OrdinaryTaskExceptionDoesNotPoison) {
+  Actor<Counter> actor([] { return std::make_unique<Counter>(); });
+  auto bad = actor.call([](Counter&) -> int {
+    throw ValueError("just a bad argument");
+  });
+  EXPECT_THROW(bad.get(), ValueError);
+  EXPECT_EQ(actor.call([](Counter& c) { return c.add(5); }).get(), 5);
+  EXPECT_EQ(actor.state(), ActorState::kRunning);
+}
+
 }  // namespace
 }  // namespace raylite
 }  // namespace rlgraph
