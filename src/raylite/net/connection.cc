@@ -32,6 +32,11 @@ Connection::Connection(Socket socket, ConnectionOptions options,
       injector_(std::move(injector)),
       metrics_(metrics),
       metric_prefix_(std::move(metric_prefix)) {
+  // Bound blocking writes: if the peer stalls (stops reading without
+  // closing), the socket buffer fills and send_all would otherwise block
+  // forever — the writer could then neither ping nor trip the heartbeat
+  // timeout. With the timeout, the blocked send fails and becomes a fault.
+  socket_.set_send_timeout(options_.heartbeat_timeout_ms);
   last_recv_ns_.store(now_ns());
   reader_ = std::thread([this] { reader_loop(); });
   writer_ = std::thread([this] { writer_loop(); });
@@ -174,6 +179,19 @@ void Connection::writer_loop() {
       options_.heartbeat_interval_ms);
   const double timeout_ns = options_.heartbeat_timeout_ms * 1e6;
   while (!down_.load(std::memory_order_acquire)) {
+    // Check peer silence on EVERY iteration, not just idle ticks — under
+    // sustained outbound traffic pop_for never times out, and a stalled
+    // (reading nothing, sending nothing) peer must still be declared dead.
+    double silent_ns = static_cast<double>(
+        now_ns() - last_recv_ns_.load(std::memory_order_acquire));
+    if (silent_ns > timeout_ns) {
+      if (metrics_ != nullptr) {
+        metrics_->increment(metric_prefix_ + ".heartbeat_timeouts");
+      }
+      become_down(false, "heartbeat timeout (peer silent for " +
+                             std::to_string(silent_ns / 1e6) + "ms)");
+      return;
+    }
     std::optional<Frame> frame = outbound_.pop_for(idle_wait);
     std::string down_reason;
     if (frame.has_value()) {
@@ -188,17 +206,7 @@ void Connection::writer_loop() {
       become_down(true, "drained and closed");
       return;
     }
-    // Idle: probe the peer, and check how long it has been silent.
-    double silent_ns = static_cast<double>(
-        now_ns() - last_recv_ns_.load(std::memory_order_acquire));
-    if (silent_ns > timeout_ns) {
-      if (metrics_ != nullptr) {
-        metrics_->increment(metric_prefix_ + ".heartbeat_timeouts");
-      }
-      become_down(false, "heartbeat timeout (peer silent for " +
-                             std::to_string(silent_ns / 1e6) + "ms)");
-      return;
-    }
+    // Idle: probe the peer.
     Frame ping;
     ping.type = FrameType::kPing;
     if (!send_now(ping, &down_reason)) {

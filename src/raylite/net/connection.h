@@ -36,9 +36,12 @@ namespace net {
 
 struct ConnectionOptions {
   // Send a kPing after this much outbound idleness; expect *some* frame from
-  // the peer at least every heartbeat_timeout_ms. The timeout must comfortably
-  // exceed the interval (and sanitizer slowdowns): the defaults tolerate a
-  // 20x stall before declaring death.
+  // the peer at least every heartbeat_timeout_ms (checked on every writer
+  // iteration, so sustained outbound traffic cannot starve the check). The
+  // timeout also bounds each blocking socket write (SO_SNDTIMEO), so a peer
+  // that stops reading fails the send instead of wedging the writer. It must
+  // comfortably exceed the interval (and sanitizer slowdowns): the defaults
+  // tolerate a 20x stall before declaring death.
   double heartbeat_interval_ms = 50.0;
   double heartbeat_timeout_ms = 1000.0;
 };

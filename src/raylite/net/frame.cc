@@ -58,6 +58,10 @@ bool read_frame(Socket& socket, Frame* out) {
     throw SerializationError("net frame: unknown frame type " +
                              std::to_string(type));
   }
+  if (header[5] != 0 || header[6] != 0 || header[7] != 0) {
+    throw SerializationError(
+        "net frame: nonzero flags/reserved header bytes (stream corrupt)");
+  }
   uint64_t request_id;
   std::memcpy(&request_id, header + 8, 8);
   uint32_t payload_size;

@@ -100,8 +100,7 @@ Future<std::vector<uint8_t>> RpcClient::call(const std::string& method,
   Frame frame;
   frame.type = FrameType::kRequest;
   frame.payload = encode_request_payload(method, body);
-  Connection* conn = nullptr;
-  uint64_t id = 0;
+  bool sent = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (state_ == RpcClientState::kDown) {
@@ -116,7 +115,7 @@ Future<std::vector<uint8_t>> RpcClient::call(const std::string& method,
           " is unreachable (reconnecting)")));
       return future;
     }
-    id = next_id_++;
+    uint64_t id = next_id_++;
     frame.request_id = id;
     InFlight entry;
     entry.state = state;
@@ -124,14 +123,19 @@ Future<std::vector<uint8_t>> RpcClient::call(const std::string& method,
     entry.body = std::move(body);
     entry.issued = std::chrono::steady_clock::now();
     in_flight_.emplace(id, std::move(entry));
-    conn = conn_.get();
     if (metrics_ != nullptr) metrics_->increment("net.client.calls");
+    // send() only enqueues on the connection's unbounded outbound queue, so
+    // holding mutex_ across it is cheap — and necessary: keeper_loop moves
+    // conn_ out and destroys it under this same lock when reconnecting, so a
+    // raw Connection* used after unlock could be freed mid-send.
+    sent = conn_->send(std::move(frame));
+    if (!sent) {
+      // Raced the connection going down; on_down may or may not have seen
+      // our entry. Resolving twice is safe (first resolution wins).
+      in_flight_.erase(id);
+    }
   }
-  if (!conn->send(std::move(frame))) {
-    // Raced the connection going down; on_down may or may not have seen our
-    // entry. Resolving twice is safe (first resolution wins).
-    std::lock_guard<std::mutex> lock(mutex_);
-    in_flight_.erase(id);
+  if (!sent) {
     state->set_error(std::make_exception_ptr(ConnectionLostError(
         "rpc endpoint " + endpoint_.to_string() + " went down mid-call")));
   }
@@ -307,12 +311,13 @@ void RpcClient::keeper_loop() {
         }
       }
     }
-    if (!retransmit.empty() || !timed_out.empty()) {
-      Connection* conn = conn_.get();
+    // Retransmit under the lock (send only enqueues, see call()); resolving
+    // timed-out futures drops it since continuations may re-enter the client.
+    for (Frame& frame : retransmit) {
+      if (conn_ != nullptr) conn_->send(std::move(frame));
+    }
+    if (!timed_out.empty()) {
       lock.unlock();
-      for (Frame& frame : retransmit) {
-        if (conn != nullptr) conn->send(std::move(frame));
-      }
       for (auto& state : timed_out) {
         state->set_error(std::make_exception_ptr(TimeoutError(
             "rpc to " + endpoint_.to_string() + " timed out after " +
@@ -493,10 +498,18 @@ void RpcServer::dispatch_loop(Peer* peer) {
     }
     requests_served_.fetch_add(1, std::memory_order_relaxed);
 
+    peer->responded_bytes += response.payload.size();
     peer->responded.emplace(id, response);
     peer->responded_order.push_back(id);
-    while (peer->responded_order.size() > options_.dedup_cache_size) {
-      peer->responded.erase(peer->responded_order.front());
+    // Evict oldest-first until within both the entry and byte budgets,
+    // always keeping the newest entry (an oversized response may briefly
+    // exceed the byte budget alone, but never accumulates).
+    while (peer->responded_order.size() > 1 &&
+           (peer->responded_order.size() > options_.dedup_cache_size ||
+            peer->responded_bytes > options_.dedup_cache_bytes)) {
+      auto evict = peer->responded.find(peer->responded_order.front());
+      peer->responded_bytes -= evict->second.payload.size();
+      peer->responded.erase(evict);
       peer->responded_order.pop_front();
     }
     peer->conn->send(std::move(response));

@@ -136,8 +136,12 @@ using RpcHandler =
 struct RpcServerOptions {
   ConnectionOptions connection;
   // Recent (request id -> response) entries kept per connection for dedup /
-  // retransmission.
+  // retransmission, bounded both by entry count and by total payload bytes
+  // (large responses — e.g. encoded SampleBatches — would otherwise pin
+  // hundreds of MB per peer). The most recent response is always retained so
+  // an immediate retransmit still hits the cache.
   size_t dedup_cache_size = 256;
+  size_t dedup_cache_bytes = 8u << 20;
   double accept_tick_ms = 50.0;
 };
 
@@ -173,6 +177,7 @@ class RpcServer {
     // Bounded request-id dedup with cached responses.
     std::unordered_map<uint64_t, Frame> responded;
     std::deque<uint64_t> responded_order;
+    size_t responded_bytes = 0;
   };
 
   void accept_loop();

@@ -8,6 +8,7 @@
 #include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -126,6 +127,16 @@ Socket Socket::connect(const Endpoint& endpoint, double timeout_ms) {
   return sock;
 }
 
+void Socket::set_send_timeout(double timeout_ms) {
+  int fd = fd_.load();
+  if (fd < 0 || timeout_ms <= 0) return;
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 bool Socket::send_all(const void* data, size_t n) {
   const auto* p = static_cast<const uint8_t*>(data);
   while (n > 0) {
@@ -134,7 +145,7 @@ bool Socket::send_all(const void* data, size_t n) {
     ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return false;  // includes EAGAIN when a SO_SNDTIMEO-bounded write expires
     }
     if (sent == 0) return false;
     p += sent;

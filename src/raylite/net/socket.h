@@ -58,8 +58,14 @@ class Socket {
   int fd() const { return fd_.load(); }
 
   // Write exactly `n` bytes; returns false if the peer is gone (EPIPE,
-  // reset, or local shutdown).
+  // reset, or local shutdown) or a single blocking write exceeded the
+  // send timeout (see set_send_timeout).
   bool send_all(const void* data, size_t n);
+
+  // Bound each blocking write (SO_SNDTIMEO): a peer that stops reading can
+  // stall a write at most this long before send_all fails instead of
+  // blocking forever on a full socket buffer. <= 0 leaves writes unbounded.
+  void set_send_timeout(double timeout_ms);
   // Read exactly `n` bytes; returns false on EOF/reset/local shutdown.
   bool recv_all(void* data, size_t n);
 

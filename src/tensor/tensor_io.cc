@@ -1,5 +1,7 @@
 #include "tensor/tensor_io.h"
 
+#include <limits>
+
 namespace rlgraph {
 
 void write_tensor(ByteWriter* writer, const Tensor& tensor) {
@@ -27,12 +29,32 @@ Tensor read_tensor(ByteReader* reader) {
     }
   }
   uint64_t nbytes = reader->read_u64();
-  Tensor t(dtype, Shape(dims));
-  if (t.byte_size() != nbytes) {
+  // Validate the declared byte count against dtype/dims and the bytes left
+  // in the stream BEFORE allocating, so corrupt dims fail as the documented
+  // SerializationError instead of a multi-GB allocation or bad_alloc.
+  uint64_t expected = dtype_size(dtype);
+  for (int64_t d : dims) {
+    if (d != 0 &&
+        expected > std::numeric_limits<uint64_t>::max() /
+                       static_cast<uint64_t>(d)) {
+      throw SerializationError("tensor stream byte size overflows (corrupt "
+                               "dimensions)");
+    }
+    expected *= static_cast<uint64_t>(d);
+  }
+  if (expected != nbytes) {
     throw SerializationError(
         "tensor stream byte count " + std::to_string(nbytes) +
-        " does not match shape " + t.shape().to_string());
+        " does not match declared dtype/shape (" + std::to_string(expected) +
+        " expected)");
   }
+  if (nbytes > reader->remaining()) {
+    throw SerializationError(
+        "tensor stream truncated: " + std::to_string(nbytes) +
+        " bytes declared, " + std::to_string(reader->remaining()) +
+        " remaining");
+  }
+  Tensor t(dtype, Shape(dims));
   reader->read_bytes(t.mutable_raw(), nbytes);
   return t;
 }

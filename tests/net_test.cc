@@ -135,6 +135,17 @@ TEST(FrameTest, CorruptMagicThrowsSerializationError) {
   EXPECT_THROW(net::read_frame(server, &out), SerializationError);
 }
 
+TEST(FrameTest, NonzeroReservedBytesThrow) {
+  auto [client, server] = connected_pair("reserved");
+  net::Frame f;
+  f.type = net::FrameType::kPing;
+  std::vector<uint8_t> bytes = net::encode_frame(f);
+  bytes[5] = 0x01;  // flags must be 0 on the wire
+  ASSERT_TRUE(client.send_all(bytes.data(), bytes.size()));
+  net::Frame out;
+  EXPECT_THROW(net::read_frame(server, &out), SerializationError);
+}
+
 TEST(FrameTest, TruncatedFrameReadsAsEof) {
   auto [client, server] = connected_pair("trunc");
   net::Frame f;
@@ -228,6 +239,42 @@ TEST(ConnectionTest, HardCloseIsAFaultAtThePeer) {
   // Exactly once, even with reader and writer both observing the cut.
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   EXPECT_EQ(se.downs.load(), 1);
+}
+
+TEST(ConnectionTest, HeartbeatTimeoutFiresUnderSustainedTraffic) {
+  auto [c, s] = connected_pair("hb-busy");
+  net::Socket peer = std::move(s);
+  net::ConnectionOptions opts;
+  opts.heartbeat_interval_ms = 10.0;
+  opts.heartbeat_timeout_ms = 150.0;
+  ConnEvents ce;
+  net::Connection client(std::move(c), opts, ce.frame_handler(),
+                         ce.down_handler());
+  // A peer that reads everything but never sends: the client's writer never
+  // idles (pop_for always has a frame), so the silence check must run on
+  // busy iterations too — not only on idle ticks.
+  std::thread sink([&] {
+    uint8_t buf[256];
+    while (peer.recv_all(buf, 1)) {
+    }
+  });
+  net::Frame f;
+  f.type = net::FrameType::kRequest;
+  f.payload = {1, 2, 3};
+  ASSERT_TRUE(wait_until(
+      [&] {
+        client.send(f);
+        return ce.downs.load() == 1;
+      },
+      5000.0));
+  EXPECT_FALSE(ce.graceful.load());
+  {
+    std::lock_guard<std::mutex> lock(ce.mutex);
+    EXPECT_NE(ce.reason.find("heartbeat timeout"), std::string::npos);
+  }
+  client.close_hard();
+  peer.shutdown_both();
+  sink.join();
 }
 
 TEST(ConnectionTest, DataFramesFlowBothWays) {
@@ -406,6 +453,55 @@ TEST(RpcTest, DrainAndCloseResolvesEverything) {
 
 // --- Remote object store --------------------------------------------------
 
+TEST(RpcTest, DedupCacheIsByteBounded) {
+  auto endpoint = net::Endpoint::parse(unique_unix_endpoint("dedup-bytes"));
+  net::RpcServerOptions sopts;
+  sopts.dedup_cache_bytes = 2048;  // fits exactly one 1500-byte response
+  net::RpcServer server(endpoint, sopts);
+  std::atomic<int> executions{0};
+  server.register_handler("big", [&](const std::vector<uint8_t>&) {
+    executions.fetch_add(1);
+    return std::vector<uint8_t>(1500, 0xAB);
+  });
+  server.start();
+
+  // Speak the protocol directly so we control request ids.
+  net::Socket sock = net::Socket::connect(endpoint, 2000.0);
+  std::atomic<int> responses{0};
+  ConnEvents ce;
+  net::Connection conn(
+      std::move(sock), net::ConnectionOptions{},
+      [&](net::Frame&&) { responses.fetch_add(1); }, ce.down_handler());
+  auto request = [&](uint64_t id) {
+    net::Frame f;
+    f.type = net::FrameType::kRequest;
+    f.request_id = id;
+    f.payload = net::encode_request_payload("big", {});
+    EXPECT_TRUE(conn.send(std::move(f)));
+  };
+
+  request(1);
+  ASSERT_TRUE(wait_until([&] { return responses.load() == 1; }, 2000.0));
+  // Immediate retransmit of the newest id hits the cache: no re-execution.
+  request(1);
+  ASSERT_TRUE(wait_until([&] { return responses.load() == 2; }, 2000.0));
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(server.duplicates_suppressed(), 1);
+  // A second large response blows the byte budget and evicts id 1 (the
+  // newest entry is always the one retained) ...
+  request(2);
+  ASSERT_TRUE(wait_until([&] { return responses.load() == 3; }, 2000.0));
+  // ... so a late duplicate of id 1 re-executes instead of replaying a
+  // cached response that would otherwise pin unbounded memory.
+  request(1);
+  ASSERT_TRUE(wait_until([&] { return responses.load() == 4; }, 2000.0));
+  EXPECT_EQ(executions.load(), 3);
+  EXPECT_EQ(server.duplicates_suppressed(), 1);
+
+  conn.close_graceful();
+  server.stop();
+}
+
 TEST(RemoteStoreTest, PutGetEraseAcrossTheWire) {
   raylite::ObjectStore store;
   net::RpcServer server(net::Endpoint::parse(unique_unix_endpoint("store")));
@@ -440,6 +536,29 @@ TEST(TensorIoTest, RoundTripAndValidation) {
   std::vector<uint8_t> bytes = w2.take();
   bytes[0] = 0xFF;
   ByteReader r2(bytes);
+  EXPECT_THROW(read_tensor(&r2), SerializationError);
+}
+
+TEST(TensorIoTest, CorruptDimsFailBeforeAllocation) {
+  // Huge dims in a corrupt stream must throw SerializationError up front,
+  // not attempt a multi-TB allocation.
+  ByteWriter w;
+  w.write_u8(static_cast<uint8_t>(DType::kFloat32));
+  w.write_u32(2);
+  w.write_i64(int64_t{1} << 40);
+  w.write_i64(int64_t{1} << 40);
+  w.write_u64(64);
+  ByteReader r(w.take());
+  EXPECT_THROW(read_tensor(&r), SerializationError);
+
+  // A declared byte count larger than what is left in the stream fails
+  // cleanly too (truncated stream).
+  ByteWriter w2;
+  w2.write_u8(static_cast<uint8_t>(DType::kFloat32));
+  w2.write_u32(1);
+  w2.write_i64(4);
+  w2.write_u64(16);  // but no payload bytes follow
+  ByteReader r2(w2.take());
   EXPECT_THROW(read_tensor(&r2), SerializationError);
 }
 
