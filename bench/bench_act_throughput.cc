@@ -24,19 +24,27 @@ struct Row {
   int64_t envs;
   double frames_per_second;
   int64_t executor_calls;
+  // Static-backend plan-cache counters (zero elsewhere): compiles include
+  // shape-specialized recompiles, hits are steady-state lookups.
+  int64_t plan_compiles = 0;
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_evictions = 0;
+  int64_t plan_specializations = 0;
 };
 
-Row run_agent(const std::string& backend, bool fast_path, int64_t num_envs,
-              double seconds) {
+Row run_agent(const std::string& backend, bool fast_path, bool specialize,
+              int64_t num_envs, double seconds) {
   Json cfg = bench::pong_agent_config();
   cfg["backend"] = Json(backend);
   cfg["fast_path"] = Json(fast_path);
+  cfg["specialize_shapes"] = Json(specialize);
   VectorEnv env(bench::pong_env_spec(), num_envs, 7);
   DQNAgent agent(cfg, env.state_space(), env.action_space());
   agent.build();
 
   Tensor obs = env.reset();
-  // Warmup (traces the fast path on the first call).
+  // Warmup (traces the fast path / compiles the specialized batch-N plan
+  // on the first call).
   for (int i = 0; i < 5; ++i) {
     Tensor actions = agent.get_actions(obs);
     obs = env.step(actions).observations;
@@ -50,12 +58,19 @@ Row run_agent(const std::string& backend, bool fast_path, int64_t num_envs,
     frames += r.env_frames;
     obs = r.observations;
   }
-  std::string name = backend == "static"
-                         ? "TF RLgraph (static)"
-                         : (fast_path ? "PT RLgraph (fast-path)"
-                                      : "PT RLgraph (dispatch)");
-  return Row{name, num_envs, frames / watch.elapsed_seconds(),
-             agent.executor().execution_calls() - calls_before};
+  std::string name =
+      backend == "static"
+          ? (specialize ? "TF RLgraph (specialized)" : "TF RLgraph (dynamic)")
+          : (fast_path ? "PT RLgraph (fast-path)" : "PT RLgraph (dispatch)");
+  Row row{name, num_envs, frames / watch.elapsed_seconds(),
+          agent.executor().execution_calls() - calls_before};
+  if (Session* session = agent.executor().session()) {
+    row.plan_compiles = session->plan_compiles();
+    row.plan_cache_hits = session->plan_cache_hits();
+    row.plan_cache_evictions = session->plan_cache_evictions();
+    row.plan_specializations = session->plan_specializations();
+  }
+  return row;
 }
 
 Row run_hand_tuned(int64_t num_envs, double seconds) {
@@ -89,23 +104,33 @@ int main(int argc, char** argv) {
   if (bench::bench_scale() == bench::Scale::kQuick) {
     env_counts = {1, 4, 16};
   }
-  std::printf("%-26s %8s %14s %10s\n", "implementation", "envs",
-              "env_frames/s", "exec_calls");
+  std::printf("%-26s %8s %14s %10s %s\n", "implementation", "envs",
+              "env_frames/s", "exec_calls", "plan compiles/hits/evict/spec");
   for (int64_t envs : env_counts) {
     std::vector<Row> rows{
-        run_agent("static", true, envs, seconds),
-        run_agent("define_by_run", true, envs, seconds),
-        run_agent("define_by_run", false, envs, seconds),
+        run_agent("static", true, /*specialize=*/true, envs, seconds),
+        run_agent("static", true, /*specialize=*/false, envs, seconds),
+        run_agent("define_by_run", true, /*specialize=*/true, envs, seconds),
+        run_agent("define_by_run", false, /*specialize=*/true, envs, seconds),
         run_hand_tuned(envs, seconds),
     };
     for (const Row& r : rows) {
-      std::printf("%-26s %8lld %14.0f %10lld\n", r.impl.c_str(),
-                  static_cast<long long>(r.envs), r.frames_per_second,
-                  static_cast<long long>(r.executor_calls));
+      std::printf("%-26s %8lld %14.0f %10lld %lld/%lld/%lld/%lld\n",
+                  r.impl.c_str(), static_cast<long long>(r.envs),
+                  r.frames_per_second,
+                  static_cast<long long>(r.executor_calls),
+                  static_cast<long long>(r.plan_compiles),
+                  static_cast<long long>(r.plan_cache_hits),
+                  static_cast<long long>(r.plan_cache_evictions),
+                  static_cast<long long>(r.plan_specializations));
       Json params;
       params["impl"] = Json(r.impl);
       params["envs"] = Json(r.envs);
       params["exec_calls"] = Json(r.executor_calls);
+      params["plan_compiles"] = Json(r.plan_compiles);
+      params["plan_cache_hits"] = Json(r.plan_cache_hits);
+      params["plan_cache_evictions"] = Json(r.plan_cache_evictions);
+      params["plan_specializations"] = Json(r.plan_specializations);
       reporter.record("act_fps", r.frames_per_second, "env_frames/s",
                       std::move(params));
     }

@@ -60,9 +60,13 @@ std::vector<Tensor> make_observations(int n) {
 }
 
 // One-request-at-a-time baseline: batch-1 greedy act in a closed loop.
-double single_request_qps(double seconds) {
+// `specialize` toggles shape-specialized (static arena) plans against the
+// dynamic pool-allocating baseline.
+double single_request_qps(double seconds, bool specialize) {
   SpacePtr obs_space = FloatBox(Shape{kObsDim});
-  DQNAgent agent(serve_agent_config(), obs_space, IntBox(kNumActions));
+  Json cfg = serve_agent_config();
+  cfg["specialize_shapes"] = Json(specialize);
+  DQNAgent agent(cfg, obs_space, IntBox(kNumActions));
   agent.build();
   std::vector<Tensor> obs = make_observations(64);
   for (int i = 0; i < 32; ++i) {  // warmup: compile + cache the act plan
@@ -83,9 +87,14 @@ struct ServedResult {
   double mean_batch = 0;
   double p50 = 0, p95 = 0, p99 = 0;
   int64_t shed = 0;
+  int64_t padded_rows = 0;
 };
 
-ServedResult served_qps(int clients, int64_t max_batch, double seconds) {
+// `pad` buckets flushed batches to powers of two (each bucket hitting a
+// cached shape-specialized plan); `specialize` toggles the specialized
+// plans themselves in the serving replica.
+ServedResult served_qps(int clients, int64_t max_batch, double seconds,
+                        bool pad, bool specialize) {
   SpacePtr obs_space = FloatBox(Shape{kObsDim});
   serve::PolicyServerConfig cfg;
   cfg.num_shards = 1;
@@ -94,8 +103,10 @@ ServedResult served_qps(int clients, int64_t max_batch, double seconds) {
   // burst after a batch completes; anything longer is idle time.
   cfg.batcher.max_queue_delay = 100us;
   cfg.batcher.queue_capacity = 4096;
-  serve::PolicyServer server(serve_agent_config(), obs_space,
-                             IntBox(kNumActions), cfg);
+  cfg.pad_batches = pad;
+  Json agent_cfg = serve_agent_config();
+  agent_cfg["specialize_shapes"] = Json(specialize);
+  serve::PolicyServer server(agent_cfg, obs_space, IntBox(kNumActions), cfg);
   server.start();
 
   std::vector<Tensor> obs = make_observations(64);
@@ -160,6 +171,7 @@ ServedResult served_qps(int clients, int64_t max_batch, double seconds) {
   r.p95 = lat.p95();
   r.p99 = lat.p99();
   r.shed = m.counter("serve/shed_overload") + m.counter("serve/shed_deadline");
+  r.padded_rows = m.counter("serve/padded_rows");
   return r;
 }
 
@@ -179,19 +191,32 @@ int main(int argc, char** argv) {
                                     : std::vector<int>{1, 4, 16, 64};
 
   bench::print_header("serving throughput: dynamic batching vs single act()");
-  const double direct = single_request_qps(seconds);
-  std::printf("%-28s %10.0f req/s  (no serving tier)\n",
+  const double direct = single_request_qps(seconds, /*specialize=*/true);
+  const double direct_dynamic =
+      single_request_qps(seconds, /*specialize=*/false);
+  std::printf("%-28s %10.0f req/s  (no serving tier, specialized plans)\n",
               "direct get_actions()", direct);
+  std::printf("%-28s %10.0f req/s  (no serving tier, dynamic plans)\n",
+              "direct get_actions()", direct_dynamic);
   reporter.record("direct_call_qps", direct, "req/s");
+  reporter.record("direct_call_qps_dynamic", direct_dynamic, "req/s");
 
   for (int clients : client_counts) {
-    ServedResult base = served_qps(clients, /*max_batch=*/1, seconds);
-    ServedResult batched = served_qps(clients, /*max_batch=*/64, seconds);
+    ServedResult base = served_qps(clients, /*max_batch=*/1, seconds,
+                                   /*pad=*/false, /*specialize=*/true);
+    // Specialized + bucketed padding (the serving default) against the
+    // dynamic-plan, ragged-batch baseline.
+    ServedResult batched = served_qps(clients, /*max_batch=*/64, seconds,
+                                      /*pad=*/true, /*specialize=*/true);
+    ServedResult dynamic = served_qps(clients, /*max_batch=*/64, seconds,
+                                      /*pad=*/false, /*specialize=*/false);
     const double speedup = batched.qps / base.qps;
     std::printf(
-        "clients %4d  one-at-a-time %8.0f req/s | batched %8.0f req/s  "
-        "%5.2fx  batch %5.1f  p50 %5.2fms p95 %5.2fms p99 %5.2fms  shed %lld\n",
+        "clients %4d  one-at-a-time %8.0f req/s | specialized %8.0f req/s  "
+        "%5.2fx  batch %5.1f  padded %lld | dynamic %8.0f req/s  "
+        "p50 %5.2fms p95 %5.2fms p99 %5.2fms  shed %lld\n",
         clients, base.qps, batched.qps, speedup, batched.mean_batch,
+        static_cast<long long>(batched.padded_rows), dynamic.qps,
         batched.p50 * 1e3, batched.p95 * 1e3, batched.p99 * 1e3,
         static_cast<long long>(batched.shed));
     Json params;
@@ -199,8 +224,11 @@ int main(int argc, char** argv) {
     params["max_batch"] = Json(static_cast<int64_t>(64));
     reporter.record("one_at_a_time_qps", base.qps, "req/s", params);
     reporter.record("served_qps", batched.qps, "req/s", params);
+    reporter.record("served_qps_dynamic", dynamic.qps, "req/s", params);
     reporter.record("served_speedup", speedup, "x", params);
     reporter.record("served_mean_batch", batched.mean_batch, "req", params);
+    reporter.record("served_padded_rows",
+                    static_cast<double>(batched.padded_rows), "rows", params);
     reporter.record("served_p99_latency", batched.p99, "s", params);
   }
   return 0;

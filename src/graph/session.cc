@@ -1,5 +1,6 @@
 #include "graph/session.h"
 
+#include <set>
 #include <utility>
 
 #include "util/errors.h"
@@ -59,6 +60,31 @@ int64_t Session::PreparedCall::bytes_reused() const {
   return total;
 }
 
+int64_t Session::PreparedCall::bytes_allocated() const {
+  std::lock_guard<std::mutex> lock(arenas_mutex_);
+  int64_t total = 0;
+  for (const auto& arena : free_arenas_) {
+    total += arena->pool().bytes_allocated();
+  }
+  return total;
+}
+
+int64_t Session::PreparedCall::arena_block_allocs() const {
+  std::lock_guard<std::mutex> lock(arenas_mutex_);
+  int64_t total = 0;
+  for (const auto& arena : free_arenas_) total += arena->arena_block_allocs();
+  return total;
+}
+
+int64_t Session::PreparedCall::arena_alias_fallbacks() const {
+  std::lock_guard<std::mutex> lock(arenas_mutex_);
+  int64_t total = 0;
+  for (const auto& arena : free_arenas_) {
+    total += arena->arena_alias_fallbacks();
+  }
+  return total;
+}
+
 void Session::PreparedCall::set_check_kernel_purity(bool on) {
   std::lock_guard<std::mutex> lock(arenas_mutex_);
   for (auto& arena : free_arenas_) arena->set_check_kernel_purity(on);
@@ -67,20 +93,54 @@ void Session::PreparedCall::set_check_kernel_purity(bool on) {
   // list holds every arena between runs.
 }
 
-std::shared_ptr<Session::PreparedCall> Session::prepare(
-    const std::vector<Endpoint>& fetches, const std::vector<int>& feed_nodes) {
-  PlanKey key{fetches, feed_nodes};
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end()) {
-      trace::TraceSpan span("session", "session/cache_hit");
-      plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      if (metrics_ != nullptr) metrics_->increment("session/plan_cache_hits");
-      return it->second;
+std::shared_ptr<Session::PreparedCall> Session::cache_lookup(
+    const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = plan_cache_.find(key);
+  if (it == plan_cache_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // touch: most recent
+  trace::TraceSpan span("session", "session/cache_hit");
+  plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->increment("session/plan_cache_hits");
+  return it->second.call;
+}
+
+void Session::cache_insert(PlanKey key, std::shared_ptr<PreparedCall> call) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) return;  // lost a compile race: keep the first
+  lru_.push_front(key);
+  plan_cache_.emplace(std::move(key), CacheEntry{std::move(call), lru_.begin()});
+  while (plan_cache_.size() > plan_cache_capacity_ && !lru_.empty()) {
+    plan_cache_.erase(lru_.back());  // callers holding the shared_ptr keep it
+    lru_.pop_back();
+    plan_cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) {
+      metrics_->increment("session/plan_cache_evictions");
     }
   }
-  // Compile outside the lock (may be slow); last writer wins on a race.
+}
+
+void Session::set_plan_cache_capacity(size_t cap) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  plan_cache_capacity_ = cap == 0 ? 1 : cap;
+  while (plan_cache_.size() > plan_cache_capacity_ && !lru_.empty()) {
+    plan_cache_.erase(lru_.back());
+    lru_.pop_back();
+    plan_cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+size_t Session::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return plan_cache_.size();
+}
+
+std::shared_ptr<Session::PreparedCall> Session::prepare(
+    const std::vector<Endpoint>& fetches, const std::vector<int>& feed_nodes) {
+  PlanKey key{fetches, feed_nodes, {}};
+  if (std::shared_ptr<PreparedCall> hit = cache_lookup(key)) return hit;
+  // Compile outside the lock (may be slow); first writer wins on a race.
   trace::TraceSpan compile_span("session", "session/compile");
   std::shared_ptr<CompiledPlan> plan =
       CompiledPlan::compile(graph_, fetches, feed_nodes);
@@ -89,9 +149,47 @@ std::shared_ptr<Session::PreparedCall> Session::prepare(
   call->plan_ = std::move(plan);
   plan_compiles_.fetch_add(1, std::memory_order_relaxed);
   if (metrics_ != nullptr) metrics_->increment("session/plan_compiles");
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  auto [it, inserted] = plan_cache_.emplace(std::move(key), std::move(call));
-  return it->second;
+  cache_insert(std::move(key), call);
+  return call;
+}
+
+std::shared_ptr<Session::PreparedCall> Session::prepare_specialized(
+    const std::vector<Endpoint>& fetches, const std::vector<int>& feed_nodes,
+    const std::vector<Shape>& feed_shapes) {
+  std::vector<int64_t> shape_key;
+  for (const Shape& s : feed_shapes) {
+    shape_key.push_back(s.rank());
+    for (int d = 0; d < s.rank(); ++d) shape_key.push_back(s.dim(d));
+  }
+  // An empty shape component is the dynamic key; keep the namespaces
+  // disjoint even for zero-feed calls.
+  shape_key.push_back(static_cast<int64_t>(feed_shapes.size()));
+  PlanKey key{fetches, feed_nodes, std::move(shape_key)};
+  if (std::shared_ptr<PreparedCall> hit = cache_lookup(key)) return hit;
+
+  trace::TraceSpan compile_span("session", "session/compile_specialized");
+  std::shared_ptr<CompiledPlan> plan =
+      CompiledPlan::compile_specialized(graph_, fetches, feed_nodes,
+                                        feed_shapes);
+  if (plan == nullptr) {
+    // Shapes don't match the declared signature: serve the dynamic plan,
+    // and remember that under the specialized key so the next call with
+    // these shapes is a plain cache hit rather than a failed recompile.
+    std::shared_ptr<PreparedCall> dynamic = prepare(fetches, feed_nodes);
+    cache_insert(std::move(key), dynamic);
+    return dynamic;
+  }
+  auto call = std::make_shared<PreparedCall>();
+  call->session_ = this;
+  call->plan_ = std::move(plan);
+  plan_compiles_.fetch_add(1, std::memory_order_relaxed);
+  plan_specializations_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    metrics_->increment("session/plan_compiles");
+    metrics_->increment("session/plan_specializations");
+  }
+  cache_insert(std::move(key), call);
+  return call;
 }
 
 std::vector<Tensor> Session::run(const std::vector<Endpoint>& fetches,
@@ -140,8 +238,10 @@ void Session::record_run(const PreparedCall& call) {
 int64_t Session::bytes_reused() const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   int64_t total = 0;
-  for (const auto& [key, call] : plan_cache_) {
-    total += call->bytes_reused();
+  std::set<const PreparedCall*> seen;  // fallback entries alias dynamic ones
+  for (const auto& [key, entry] : plan_cache_) {
+    if (!seen.insert(entry.call.get()).second) continue;
+    total += entry.call->bytes_reused();
   }
   return total;
 }

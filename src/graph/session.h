@@ -11,9 +11,12 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "graph/exec_plan.h"
@@ -36,6 +39,11 @@ class Session {
     const CompiledPlan& plan() const { return *plan_; }
     // Aggregate pool stats over this call's arenas.
     int64_t bytes_reused() const;
+    int64_t bytes_allocated() const;
+    // Planned-arena stats (non-zero only for shape-specialized plans):
+    // contiguous-block allocations and alias-hazard pool fallbacks.
+    int64_t arena_block_allocs() const;
+    int64_t arena_alias_fallbacks() const;
     // Peak simultaneously-live value slots of the most recent run.
     int64_t last_peak_live_slots() const { return last_peak_; }
     void set_check_kernel_purity(bool on);
@@ -65,6 +73,23 @@ class Session {
   std::shared_ptr<PreparedCall> prepare(const std::vector<Endpoint>& fetches,
                                         const std::vector<int>& feed_nodes);
 
+  // Like prepare(), but specialized on concrete feed shapes (one per feed,
+  // typically a concrete leading batch dimension N). Cached under a key
+  // that additionally encodes the shapes, so each distinct N compiles once.
+  // When the shapes cannot specialize the plan (signature mismatch), the
+  // dynamic plan is cached under the specialized key — repeat callers pay
+  // one lookup, never a recompile.
+  std::shared_ptr<PreparedCall> prepare_specialized(
+      const std::vector<Endpoint>& fetches, const std::vector<int>& feed_nodes,
+      const std::vector<Shape>& feed_shapes);
+
+  // Bound on cached plans; exceeding it evicts the least recently used
+  // entry. Generous by default — shape-specialized callers add one entry
+  // per distinct batch size, which bucketing keeps small, but an unbucketed
+  // caller feeding arbitrary N must not grow the cache without bound.
+  void set_plan_cache_capacity(size_t cap);
+  size_t plan_cache_size() const;
+
   // Per-plan counters are aggregated into `metrics` (compiles, cache hits,
   // nodes executed, bytes reused) when set.
   void set_metrics(MetricRegistry* metrics) { metrics_ = metrics; }
@@ -73,6 +98,9 @@ class Session {
   int64_t nodes_executed() const { return nodes_executed_.load(); }
   int64_t plan_compiles() const { return plan_compiles_.load(); }
   int64_t plan_cache_hits() const { return plan_cache_hits_.load(); }
+  int64_t plan_cache_evictions() const { return plan_cache_evictions_.load(); }
+  // Successful shape-specialized compiles (subset of plan_compiles).
+  int64_t plan_specializations() const { return plan_specializations_.load(); }
   int64_t bytes_reused() const;
 
  private:
@@ -84,14 +112,30 @@ class Session {
   VariableStore* variables_;
   Rng* rng_;
 
-  using PlanKey = std::pair<std::vector<Endpoint>, std::vector<int>>;
+  // (fetches, feed nodes, encoded feed shapes). The shape component is
+  // empty for dynamic plans; specialized plans append rank-then-dims per
+  // feed so each concrete signature caches independently.
+  using PlanKey = std::tuple<std::vector<Endpoint>, std::vector<int>,
+                             std::vector<int64_t>>;
+  struct CacheEntry {
+    std::shared_ptr<PreparedCall> call;
+    std::list<PlanKey>::iterator lru_it;
+  };
+  // Cache lookup/insert/evict under cache_mutex_; lru_ front = most recent.
+  std::shared_ptr<PreparedCall> cache_lookup(const PlanKey& key);
+  void cache_insert(PlanKey key, std::shared_ptr<PreparedCall> call);
+
   mutable std::mutex cache_mutex_;
-  std::map<PlanKey, std::shared_ptr<PreparedCall>> plan_cache_;
+  std::map<PlanKey, CacheEntry> plan_cache_;
+  std::list<PlanKey> lru_;
+  size_t plan_cache_capacity_ = 256;
 
   std::atomic<int64_t> num_runs_{0};
   std::atomic<int64_t> nodes_executed_{0};
   std::atomic<int64_t> plan_compiles_{0};
   std::atomic<int64_t> plan_cache_hits_{0};
+  std::atomic<int64_t> plan_cache_evictions_{0};
+  std::atomic<int64_t> plan_specializations_{0};
   MetricRegistry* metrics_ = nullptr;
 };
 

@@ -1,5 +1,6 @@
 #include "serve/policy_server.h"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
@@ -37,6 +38,24 @@ PolicyServer::PolicyServer(EngineFactory factory, PolicyServerConfig config)
               "PolicyServer needs at least one shard, got "
                   << config_.num_shards);
   RLG_REQUIRE(factory_ != nullptr, "PolicyServer needs an engine factory");
+  if (config_.pad_batches) {
+    buckets_ = config_.batch_buckets;
+    if (buckets_.empty()) {
+      for (int64_t b = 1; b < config_.batcher.max_batch_size; b *= 2) {
+        buckets_.push_back(b);
+      }
+      buckets_.push_back(config_.batcher.max_batch_size);
+    }
+    std::sort(buckets_.begin(), buckets_.end());
+    for (int64_t b : buckets_) {
+      RLG_REQUIRE(b >= 1, "batch bucket sizes must be >= 1, got " << b);
+    }
+  }
+}
+
+int64_t PolicyServer::bucket_for(int64_t n) const {
+  auto it = std::lower_bound(buckets_.begin(), buckets_.end(), n);
+  return it == buckets_.end() ? n : *it;
 }
 
 PolicyServer::PolicyServer(Json agent_config, SpacePtr state_space,
@@ -144,20 +163,33 @@ void PolicyServer::serve_loop(int shard) {
                            static_cast<double>(have_version));
       }
 
+      // Pad ragged flushes up to a bucket size so the engine only ever
+      // sees a handful of distinct batch shapes (each hitting a cached
+      // shape-specialized plan). Padding rows repeat the last observation;
+      // their actions are computed and dropped below.
+      const int64_t real = static_cast<int64_t>(batch.size());
+      const int64_t padded =
+          config_.pad_batches ? bucket_for(real) : real;
       std::vector<Tensor> observations;
-      observations.reserve(batch.size());
+      observations.reserve(static_cast<size_t>(padded));
       for (const ActRequest& req : batch) observations.push_back(req.obs);
+      for (int64_t i = real; i < padded; ++i) {
+        observations.push_back(observations.back());
+      }
       Tensor actions;
       {
         trace::TraceSpan fwd_span("serve", "serve/forward");
-        fwd_span.set_arg("batch", static_cast<int64_t>(batch.size()));
+        fwd_span.set_arg("batch", padded);
         fwd_span.set_arg("policy_version", have_version);
         actions = engine->forward(stack_leading(observations));
       }
       std::vector<Tensor> per_request = unstack_leading(actions);
-      RLG_CHECK_MSG(per_request.size() == batch.size(),
+      RLG_CHECK_MSG(per_request.size() == static_cast<size_t>(padded),
                     "engine returned " << per_request.size()
-                        << " actions for a batch of " << batch.size());
+                        << " actions for a batch of " << padded);
+      if (padded > real) {
+        metrics_.increment("serve/padded_rows", padded - real);
+      }
 
       const ServeClock::time_point done = ServeClock::now();
       trace::TraceSpan respond_span("serve", "serve/respond");

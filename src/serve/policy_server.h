@@ -72,6 +72,17 @@ struct PolicyServerConfig {
   // Applied to act()/act_async() calls that pass no explicit deadline;
   // zero means requests wait for as long as the queue holds them.
   std::chrono::microseconds default_deadline{0};
+  // Round each flushed batch up to a bucket size by repeating the last
+  // observation (padding rows are computed and discarded, never answered).
+  // A handful of distinct batch sizes means a handful of shape-specialized
+  // plans: every forward pass hits a cached batch-N plan with a static
+  // memory layout instead of compiling — or dynamically allocating — per
+  // ragged flush size.
+  bool pad_batches = true;
+  // Ascending bucket sizes; empty = powers of two up to
+  // batcher.max_batch_size. A batch larger than every bucket is served
+  // unpadded at its natural size.
+  std::vector<int64_t> batch_buckets;
 };
 
 class PolicyServer {
@@ -112,7 +123,7 @@ class PolicyServer {
   ActResult act(const Tensor& obs);
 
   // Counters: serve/requests, serve/batches, serve/shed_overload,
-  // serve/shed_deadline, serve/batch_failures. Histograms:
+  // serve/shed_deadline, serve/batch_failures, serve/padded_rows. Histograms:
   // serve/latency_seconds, serve/queue_delay_seconds, serve/batch_size.
   // Gauge: serve/policy_version.
   MetricRegistry& metrics() { return metrics_; }
@@ -120,8 +131,11 @@ class PolicyServer {
  private:
   void serve_loop(int shard);
   ServeClock::time_point deadline_from_now(std::chrono::microseconds d) const;
+  // Smallest configured bucket >= n, or n itself when none fits.
+  int64_t bucket_for(int64_t n) const;
 
   const PolicyServerConfig config_;
+  std::vector<int64_t> buckets_;  // resolved ascending bucket sizes
   EngineFactory factory_;
   // Expected observation signature (agent-config construction only).
   bool check_obs_ = false;

@@ -9,6 +9,7 @@
 #include "env/grid_world.h"
 #include "graph/exec_plan.h"
 #include "graph/session.h"
+#include "util/thread_pool.h"
 
 namespace rlgraph {
 namespace {
@@ -168,6 +169,177 @@ TEST(ExecPlanBuilderTest, CountersTrackRunsAndNodes) {
   }
   EXPECT_EQ(plan->counters().runs.load(), 3);
   EXPECT_EQ(plan->counters().nodes_executed.load(), 3);
+}
+
+// --- shape-specialized plans (static arena planning) ------------------------
+
+struct ParallelismGuard {
+  explicit ParallelismGuard(size_t n) { set_global_parallelism(n); }
+  ~ParallelismGuard() { set_global_parallelism(1); }
+};
+
+class SpecializedPlanTest : public ExecPlanTest {
+ protected:
+  // A batchable elementwise pipeline with two branches per stage (step-DAG
+  // width 2, so the parallel executor engages at threads > 1); the whole
+  // DAG shape-resolves once the batch dim is concrete.
+  OpRef build_pipeline(int64_t inner, int depth = 4) {
+    OpRef x = ctx_.placeholder("x", DType::kFloat32,
+                               Shape{kUnknownDim, inner});
+    OpRef v = x;
+    for (int i = 0; i < depth; ++i) {
+      OpRef left = ctx_.neg(ctx_.mul(v, ctx_.scalar(2.0f)));
+      OpRef right = ctx_.relu(ctx_.add(v, ctx_.scalar(0.5f)));
+      v = ctx_.add(left, right);
+    }
+    x_ = x;
+    return v;
+  }
+
+  static Tensor make_feed(int64_t n, int64_t inner) {
+    std::vector<float> data(static_cast<size_t>(n * inner));
+    for (size_t i = 0; i < data.size(); ++i) data[i] = 0.03f * (float)i - 1.0f;
+    return Tensor::from_floats(Shape{n, inner}, data);
+  }
+
+  OpRef x_;
+};
+
+TEST_F(SpecializedPlanTest, SpecializedMatchesDynamicBitwise) {
+  OpRef v = build_pipeline(8);
+  Session s = make_session();
+  auto dynamic = s.prepare({{v.node, 0}}, {x_.node});
+  ASSERT_TRUE(dynamic->plan().feeds_batchable());
+
+  for (int64_t n : {1, 4, 16}) {
+    auto specialized =
+        s.prepare_specialized({{v.node, 0}}, {x_.node}, {Shape{n, 8}});
+    ASSERT_TRUE(specialized->plan().specialized());
+    ASSERT_NE(specialized->plan().arena_plan(), nullptr);
+    Tensor feed = make_feed(n, 8);
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      ParallelismGuard guard(threads);
+      Tensor a = dynamic->run({feed})[0];
+      Tensor b = specialized->run({feed})[0];
+      EXPECT_TRUE(a.equals(b)) << "N=" << n << " threads=" << threads;
+    }
+    // A mismatching batch must be rejected by the exact signature.
+    EXPECT_THROW(specialized->run({make_feed(n + 1, 8)}), ValueError);
+  }
+}
+
+TEST_F(SpecializedPlanTest, SteadyStateRunsBypassBufferPool) {
+  ParallelismGuard guard(1);  // the static arena serves the serial path
+  OpRef v = build_pipeline(64, /*depth=*/6);
+  Session s = make_session();
+  auto call = s.prepare_specialized({{v.node, 0}}, {x_.node}, {Shape{4, 64}});
+  ASSERT_NE(call->plan().arena_plan(), nullptr);
+  // Every kernel output resolved: the plan covers the whole pipeline.
+  EXPECT_EQ(call->plan().arena_plan()->planned_slots,
+            call->plan().num_steps());
+
+  Tensor feed = make_feed(4, 64);
+  // Results are dropped between runs, so nothing escapes the arena and the
+  // steady state reuses one contiguous block with zero pool traffic.
+  (void)call->run({feed});
+  const int64_t allocated = call->bytes_allocated();
+  const int64_t reused = call->bytes_reused();
+  const int64_t blocks = call->arena_block_allocs();
+  for (int i = 0; i < 10; ++i) (void)call->run({feed});
+  EXPECT_EQ(call->bytes_allocated(), allocated) << "pool allocation on the "
+                                                   "specialized hot path";
+  EXPECT_EQ(call->bytes_reused(), reused);
+  EXPECT_EQ(call->arena_block_allocs(), blocks);
+  EXPECT_EQ(call->arena_alias_fallbacks(), 0);
+  EXPECT_EQ(call->plan().counters().planned_runs.load(), 11);
+}
+
+TEST_F(SpecializedPlanTest, AliasingKernelFallsBackSafely) {
+  // identity() returns its input tensor, so the aliased buffer outlives the
+  // planner's interval for it; the runtime hazard check must withhold the
+  // range instead of letting a later step overwrite live data.
+  ParallelismGuard guard(1);
+  OpRef x = ctx_.placeholder("x", DType::kFloat32, Shape{kUnknownDim, 16});
+  OpRef a = ctx_.neg(x);
+  OpRef b = ctx_.identity(a);
+  OpRef c = ctx_.neg(b);
+  OpRef d = ctx_.mul(c, ctx_.scalar(3.0f));
+  Session s = make_session();
+  auto dynamic = s.prepare({{d.node, 0}}, {x.node});
+  auto specialized =
+      s.prepare_specialized({{d.node, 0}}, {x.node}, {Shape{4, 16}});
+  ASSERT_NE(specialized->plan().arena_plan(), nullptr);
+
+  Tensor feed = make_feed(4, 16);
+  for (int i = 0; i < 3; ++i) {
+    Tensor want = dynamic->run({feed})[0];
+    Tensor got = specialized->run({feed})[0];
+    EXPECT_TRUE(want.equals(got)) << "run " << i;
+  }
+}
+
+TEST_F(SpecializedPlanTest, SessionCachesPerShapeWithDynamicFallback) {
+  OpRef v = build_pipeline(8);
+  Session s = make_session();
+  auto n4 = s.prepare_specialized({{v.node, 0}}, {x_.node}, {Shape{4, 8}});
+  EXPECT_EQ(s.plan_specializations(), 1);
+  // Same shapes: pure cache hit, same call.
+  auto n4_again =
+      s.prepare_specialized({{v.node, 0}}, {x_.node}, {Shape{4, 8}});
+  EXPECT_EQ(n4_again.get(), n4.get());
+  EXPECT_EQ(s.plan_specializations(), 1);
+  EXPECT_GE(s.plan_cache_hits(), 1);
+  // A different batch compiles its own plan.
+  auto n8 = s.prepare_specialized({{v.node, 0}}, {x_.node}, {Shape{8, 8}});
+  EXPECT_NE(n8.get(), n4.get());
+  EXPECT_EQ(s.plan_specializations(), 2);
+
+  // Shapes that contradict the declared signature (inner dim 9 != 8) fall
+  // back to the dynamic plan, and the negative result is cached.
+  const int64_t compiles = s.plan_compiles();
+  auto bad = s.prepare_specialized({{v.node, 0}}, {x_.node}, {Shape{4, 9}});
+  EXPECT_FALSE(bad->plan().specialized());
+  auto bad_again =
+      s.prepare_specialized({{v.node, 0}}, {x_.node}, {Shape{4, 9}});
+  EXPECT_EQ(bad_again.get(), bad.get());
+  EXPECT_EQ(s.plan_compiles(), compiles + 1);  // the one dynamic compile
+}
+
+TEST_F(SpecializedPlanTest, PlanCacheEvictsLeastRecentlyUsed) {
+  OpRef v = build_pipeline(8);
+  Session s = make_session();
+  s.set_plan_cache_capacity(2);
+  (void)s.prepare_specialized({{v.node, 0}}, {x_.node}, {Shape{1, 8}});
+  (void)s.prepare_specialized({{v.node, 0}}, {x_.node}, {Shape{2, 8}});
+  EXPECT_EQ(s.plan_cache_size(), 2u);
+  EXPECT_EQ(s.plan_cache_evictions(), 0);
+  // Touch {1,8} so {2,8} is the LRU victim when {4,8} arrives.
+  (void)s.prepare_specialized({{v.node, 0}}, {x_.node}, {Shape{1, 8}});
+  (void)s.prepare_specialized({{v.node, 0}}, {x_.node}, {Shape{4, 8}});
+  EXPECT_EQ(s.plan_cache_size(), 2u);
+  EXPECT_EQ(s.plan_cache_evictions(), 1);
+  const int64_t compiles = s.plan_compiles();
+  (void)s.prepare_specialized({{v.node, 0}}, {x_.node}, {Shape{1, 8}});
+  EXPECT_EQ(s.plan_compiles(), compiles);  // survivor: still cached
+  (void)s.prepare_specialized({{v.node, 0}}, {x_.node}, {Shape{2, 8}});
+  EXPECT_EQ(s.plan_compiles(), compiles + 1);  // victim: recompiled
+}
+
+TEST_F(SpecializedPlanTest, BatchElementsCountsOnlyBatchableLiveFeeds) {
+  OpRef v = build_pipeline(8);
+  Session s = make_session();
+  auto call = s.prepare({{v.node, 0}}, {x_.node});
+  (void)call->run({make_feed(4, 8)});
+  (void)call->run({make_feed(16, 8)});
+  EXPECT_EQ(call->plan().counters().batch_elements.load(), 20);
+
+  // A fixed-signature (non-batchable) feed counts one element per run even
+  // though its leading extent is 3.
+  OpRef y = ctx_.placeholder("y", DType::kFloat32, Shape{3});
+  OpRef w = ctx_.neg(y);
+  auto fixed = s.prepare({{w.node, 0}}, {y.node});
+  (void)fixed->run({Tensor::from_floats(Shape{3}, {1, 2, 3})});
+  EXPECT_EQ(fixed->plan().counters().batch_elements.load(), 1);
 }
 
 // --- fast-path vs. session equivalence on a DQN update step ----------------

@@ -395,6 +395,93 @@ TEST(PolicyServerTest, AgentEngineMatchesDirectGreedyActions) {
   server.shutdown();
 }
 
+// Bucketed padding: every flushed batch is rounded up to a configured
+// bucket size before the forward pass, and the padding rows' actions are
+// dropped — clients only ever see answers to their own observations.
+class RowEchoEngine : public serve::ServingEngine {
+ public:
+  // Engines die with their shard thread at shutdown, so observed batch
+  // sizes are recorded into test-owned storage, not engine members.
+  RowEchoEngine(std::mutex* mu, std::vector<int64_t>* sizes)
+      : mu_(mu), sizes_(sizes) {}
+  void load(const PolicySnapshot&) override {}
+  Tensor forward(const Tensor& obs_batch) override {
+    const int64_t n = obs_batch.shape().dim(0);
+    {
+      std::lock_guard<std::mutex> lock(*mu_);
+      sizes_->push_back(n);
+    }
+    std::vector<float> out(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      out[static_cast<size_t>(i)] =
+          obs_batch.data<float>()[i] * 10.0f;  // action = f(own obs)
+    }
+    return Tensor::from_floats(Shape{n}, out);
+  }
+
+ private:
+  std::mutex* mu_;
+  std::vector<int64_t>* sizes_;
+};
+
+TEST(PolicyServerTest, PadsBatchesToBucketsAndTruncatesResponses) {
+  std::mutex mu;
+  std::vector<int64_t> seen_sizes;
+  PolicyServerConfig cfg;
+  cfg.num_shards = 1;
+  cfg.batcher.max_batch_size = 4;
+  cfg.batcher.max_queue_delay = 1ms;
+  cfg.pad_batches = true;
+  cfg.batch_buckets = {4};  // every batch pads to exactly 4 rows
+  PolicyServer server(
+      [&](int) { return std::make_unique<RowEchoEngine>(&mu, &seen_sizes); },
+      cfg);
+  server.start();
+
+  for (int i = 0; i < 6; ++i) {
+    ActResult r = server.act(obs1(static_cast<float>(i)));
+    EXPECT_FLOAT_EQ(r.action.scalar_value(), 10.0f * i) << "request " << i;
+  }
+  server.shutdown();
+
+  EXPECT_FALSE(seen_sizes.empty());
+  for (int64_t n : seen_sizes) {
+    EXPECT_EQ(n, 4) << "forward saw an unpadded batch";
+  }
+  // Sequential act() calls flush as batches of 1 real + 3 padding rows.
+  EXPECT_GE(server.metrics().counter("serve/padded_rows"), 6 * 3);
+}
+
+TEST(PolicyServerTest, OversizedBatchesServeUnpaddedPastLargestBucket) {
+  // A flush bigger than every bucket runs at its natural size: bucket_for
+  // falls through rather than truncating work.
+  std::mutex mu;
+  std::vector<int64_t> seen_sizes;
+  PolicyServerConfig cfg;
+  cfg.num_shards = 1;
+  cfg.batcher.max_batch_size = 8;
+  cfg.batcher.max_queue_delay = 50ms;  // wide window: coalesce the burst
+  cfg.pad_batches = true;
+  cfg.batch_buckets = {2};
+  PolicyServer server(
+      [&](int) { return std::make_unique<RowEchoEngine>(&mu, &seen_sizes); },
+      cfg);
+  server.start();
+
+  std::vector<std::future<ActResult>> futs;
+  for (int i = 0; i < 6; ++i) {
+    futs.push_back(server.act_async(obs1(static_cast<float>(i))));
+  }
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FLOAT_EQ(futs[static_cast<size_t>(i)].get().action.scalar_value(),
+                    10.0f * i);
+  }
+  server.shutdown();
+  for (int64_t n : seen_sizes) {
+    EXPECT_TRUE(n == 2 || n > 2) << "batch of " << n;
+  }
+}
+
 TEST(PolicyServerTest, RejectsMalformedObservationsAtAdmission) {
   SpacePtr obs_space = FloatBox(Shape{4});
   SpacePtr act_space = IntBox(3);

@@ -129,5 +129,71 @@ TEST(TensorTest, ZeroElementTensor) {
   EXPECT_TRUE(t.equals(t.clone()));
 }
 
+TEST(TensorTest, StackLeadingRejectsMismatchedParts) {
+  std::vector<Tensor> dtype_mismatch{
+      Tensor::from_floats(Shape{2}, {1.0f, 2.0f}),
+      Tensor::from_ints(Shape{2}, {3, 4}),
+  };
+  EXPECT_THROW(stack_leading(dtype_mismatch), ValueError);
+  std::vector<Tensor> shape_mismatch{
+      Tensor::from_floats(Shape{2}, {1.0f, 2.0f}),
+      Tensor::from_floats(Shape{3}, {3.0f, 4.0f, 5.0f}),
+  };
+  EXPECT_THROW(stack_leading(shape_mismatch), ValueError);
+  EXPECT_THROW(stack_leading({}), ValueError);
+}
+
+TEST(TensorTest, StackLeadingRankOneAndSinglePart) {
+  // Rank-1 parts stack into a matrix.
+  Tensor m = stack_leading({Tensor::from_floats(Shape{2}, {1.0f, 2.0f}),
+                            Tensor::from_floats(Shape{2}, {3.0f, 4.0f})});
+  EXPECT_EQ(m.shape(), (Shape{2, 2}));
+  EXPECT_EQ(m.to_floats(), (std::vector<float>{1, 2, 3, 4}));
+  // A single part just gains a leading batch dim of 1.
+  Tensor one = stack_leading({Tensor::from_ints(Shape{3}, {7, 8, 9})});
+  EXPECT_EQ(one.dtype(), DType::kInt32);
+  EXPECT_EQ(one.shape(), (Shape{1, 3}));
+  EXPECT_EQ(one.to_ints(), (std::vector<int32_t>{7, 8, 9}));
+  // Scalar parts stack into a vector.
+  Tensor v = stack_leading({Tensor::scalar(1.5f), Tensor::scalar(2.5f)});
+  EXPECT_EQ(v.shape(), Shape{2});
+  EXPECT_EQ(v.to_floats(), (std::vector<float>{1.5f, 2.5f}));
+}
+
+TEST(TensorTest, UnstackLeadingEdgeCases) {
+  EXPECT_THROW(unstack_leading(Tensor::scalar(1.0f)), ValueError);
+  // Rank-1 unstacks into scalars.
+  std::vector<Tensor> scalars =
+      unstack_leading(Tensor::from_floats(Shape{3}, {1.0f, 2.0f, 3.0f}));
+  ASSERT_EQ(scalars.size(), 3u);
+  EXPECT_EQ(scalars[1].shape(), Shape{});
+  EXPECT_DOUBLE_EQ(scalars[1].scalar_value(), 2.0);
+  // Leading dim of zero yields no parts.
+  EXPECT_TRUE(
+      unstack_leading(Tensor::zeros(DType::kFloat32, Shape{0, 4})).empty());
+  // Parts own their storage: mutating the batch later must not alias.
+  Tensor batch = Tensor::from_floats(Shape{2, 2}, {1, 2, 3, 4});
+  std::vector<Tensor> parts = unstack_leading(batch);
+  batch.mutable_data<float>()[0] = 99.0f;
+  EXPECT_EQ(parts[0].to_floats(), (std::vector<float>{1, 2}));
+}
+
+TEST(TensorTest, StackUnstackRoundTrip) {
+  std::vector<Tensor> parts{
+      Tensor::from_floats(Shape{2, 2}, {1, 2, 3, 4}),
+      Tensor::from_floats(Shape{2, 2}, {5, 6, 7, 8}),
+      Tensor::from_floats(Shape{2, 2}, {9, 10, 11, 12}),
+  };
+  Tensor batch = stack_leading(parts);
+  EXPECT_EQ(batch.shape(), (Shape{3, 2, 2}));
+  std::vector<Tensor> back = unstack_leading(batch);
+  ASSERT_EQ(back.size(), parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    EXPECT_TRUE(back[i].equals(parts[i])) << "part " << i;
+  }
+  // And the other direction: unstack then stack reproduces the batch.
+  EXPECT_TRUE(stack_leading(back).equals(batch));
+}
+
 }  // namespace
 }  // namespace rlgraph
