@@ -30,6 +30,10 @@ struct Row {
   int64_t plan_cache_hits = 0;
   int64_t plan_cache_evictions = 0;
   int64_t plan_specializations = 0;
+  // Fused composite-kernel dispatches (MatMul+bias+activation collapsed to
+  // one FusedDense step, etc.); zero when pattern fusion is off or the
+  // backend is define-by-run.
+  int64_t fused_dispatches = 0;
 };
 
 Row run_agent(const std::string& backend, bool fast_path, bool specialize,
@@ -70,6 +74,7 @@ Row run_agent(const std::string& backend, bool fast_path, bool specialize,
     row.plan_cache_evictions = session->plan_cache_evictions();
     row.plan_specializations = session->plan_specializations();
   }
+  row.fused_dispatches = agent.executor().fused_dispatches();
   return row;
 }
 
@@ -104,8 +109,9 @@ int main(int argc, char** argv) {
   if (bench::bench_scale() == bench::Scale::kQuick) {
     env_counts = {1, 4, 16};
   }
-  std::printf("%-26s %8s %14s %10s %s\n", "implementation", "envs",
-              "env_frames/s", "exec_calls", "plan compiles/hits/evict/spec");
+  std::printf("%-26s %8s %14s %10s %8s %s\n", "implementation", "envs",
+              "env_frames/s", "exec_calls", "fused",
+              "plan compiles/hits/evict/spec");
   for (int64_t envs : env_counts) {
     std::vector<Row> rows{
         run_agent("static", true, /*specialize=*/true, envs, seconds),
@@ -115,10 +121,11 @@ int main(int argc, char** argv) {
         run_hand_tuned(envs, seconds),
     };
     for (const Row& r : rows) {
-      std::printf("%-26s %8lld %14.0f %10lld %lld/%lld/%lld/%lld\n",
+      std::printf("%-26s %8lld %14.0f %10lld %8lld %lld/%lld/%lld/%lld\n",
                   r.impl.c_str(), static_cast<long long>(r.envs),
                   r.frames_per_second,
                   static_cast<long long>(r.executor_calls),
+                  static_cast<long long>(r.fused_dispatches),
                   static_cast<long long>(r.plan_compiles),
                   static_cast<long long>(r.plan_cache_hits),
                   static_cast<long long>(r.plan_cache_evictions),
@@ -127,6 +134,7 @@ int main(int argc, char** argv) {
       params["impl"] = Json(r.impl);
       params["envs"] = Json(r.envs);
       params["exec_calls"] = Json(r.executor_calls);
+      params["fused_dispatches"] = Json(r.fused_dispatches);
       params["plan_compiles"] = Json(r.plan_compiles);
       params["plan_cache_hits"] = Json(r.plan_cache_hits);
       params["plan_cache_evictions"] = Json(r.plan_cache_evictions);

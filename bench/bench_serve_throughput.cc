@@ -61,8 +61,11 @@ std::vector<Tensor> make_observations(int n) {
 
 // One-request-at-a-time baseline: batch-1 greedy act in a closed loop.
 // `specialize` toggles shape-specialized (static arena) plans against the
-// dynamic pool-allocating baseline.
-double single_request_qps(double seconds, bool specialize) {
+// dynamic pool-allocating baseline. The greedy act plan is fetch-only, so
+// pattern fusion engages on it; `fused_dispatches` (out-param) counts the
+// composite-kernel steps it dispatched instead of unfused op chains.
+double single_request_qps(double seconds, bool specialize,
+                          int64_t* fused_dispatches = nullptr) {
   SpacePtr obs_space = FloatBox(Shape{kObsDim});
   Json cfg = serve_agent_config();
   cfg["specialize_shapes"] = Json(specialize);
@@ -79,6 +82,9 @@ double single_request_qps(double seconds, bool specialize) {
     (void)agent.get_actions(o.reshaped(Shape{1, kObsDim}), false);
     ++requests;
   }
+  if (fused_dispatches != nullptr) {
+    *fused_dispatches = agent.executor().fused_dispatches();
+  }
   return static_cast<double>(requests) / watch.elapsed_seconds();
 }
 
@@ -88,13 +94,16 @@ struct ServedResult {
   double p50 = 0, p95 = 0, p99 = 0;
   int64_t shed = 0;
   int64_t padded_rows = 0;
+  int64_t quantized_serves = 0;
 };
 
 // `pad` buckets flushed batches to powers of two (each bucket hitting a
 // cached shape-specialized plan); `specialize` toggles the specialized
-// plans themselves in the serving replica.
+// plans themselves in the serving replica. `int8` publishes a quantized
+// weight variant and submits every request at int8 precision, routing the
+// batched forward passes through the replica's MatMulInt8 plan.
 ServedResult served_qps(int clients, int64_t max_batch, double seconds,
-                        bool pad, bool specialize) {
+                        bool pad, bool specialize, bool int8 = false) {
   SpacePtr obs_space = FloatBox(Shape{kObsDim});
   serve::PolicyServerConfig cfg;
   cfg.num_shards = 1;
@@ -104,10 +113,26 @@ ServedResult served_qps(int clients, int64_t max_batch, double seconds,
   cfg.batcher.max_queue_delay = 100us;
   cfg.batcher.queue_capacity = 4096;
   cfg.pad_batches = pad;
+  if (int8) cfg.default_precision = serve::Precision::kInt8;
   Json agent_cfg = serve_agent_config();
   agent_cfg["specialize_shapes"] = Json(specialize);
   serve::PolicyServer server(agent_cfg, obs_space, IntBox(kNumActions), cfg);
   server.start();
+
+  if (int8) {
+    // A trainer-side agent calibrates on a small observation sample and
+    // publishes its fp32 weights together with the RLGQ int8 variant; the
+    // serving replica installs both on its next snapshot check.
+    DQNAgent trainer(agent_cfg, obs_space, IntBox(kNumActions));
+    trainer.build();
+    Rng rng(11);
+    std::vector<float> cal(8 * kObsDim);
+    for (float& x : cal) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    trainer.enable_quantized_actions(
+        {Tensor::from_floats(Shape{8, kObsDim}, cal)});
+    server.store().publish_quantized(trainer.get_weights(),
+                                     trainer.export_weights_quantized());
+  }
 
   std::vector<Tensor> obs = make_observations(64);
   for (int i = 0; i < 8; ++i) (void)server.act(obs[0]);  // warmup
@@ -172,6 +197,7 @@ ServedResult served_qps(int clients, int64_t max_batch, double seconds,
   r.p99 = lat.p99();
   r.shed = m.counter("serve/shed_overload") + m.counter("serve/shed_deadline");
   r.padded_rows = m.counter("serve/padded_rows");
+  r.quantized_serves = m.counter("serve/quantized_serves");
   return r;
 }
 
@@ -191,14 +217,21 @@ int main(int argc, char** argv) {
                                     : std::vector<int>{1, 4, 16, 64};
 
   bench::print_header("serving throughput: dynamic batching vs single act()");
-  const double direct = single_request_qps(seconds, /*specialize=*/true);
+  int64_t fused_dispatches = 0;
+  const double direct =
+      single_request_qps(seconds, /*specialize=*/true, &fused_dispatches);
   const double direct_dynamic =
       single_request_qps(seconds, /*specialize=*/false);
-  std::printf("%-28s %10.0f req/s  (no serving tier, specialized plans)\n",
-              "direct get_actions()", direct);
+  std::printf(
+      "%-28s %10.0f req/s  fused %lld  (no serving tier, specialized "
+      "plans)\n",
+      "direct get_actions()", direct,
+      static_cast<long long>(fused_dispatches));
   std::printf("%-28s %10.0f req/s  (no serving tier, dynamic plans)\n",
               "direct get_actions()", direct_dynamic);
   reporter.record("direct_call_qps", direct, "req/s");
+  reporter.record("direct_fused_dispatches",
+                  static_cast<double>(fused_dispatches), "dispatches");
   reporter.record("direct_call_qps_dynamic", direct_dynamic, "req/s");
 
   for (int clients : client_counts) {
@@ -210,26 +243,38 @@ int main(int argc, char** argv) {
                                       /*pad=*/true, /*specialize=*/true);
     ServedResult dynamic = served_qps(clients, /*max_batch=*/64, seconds,
                                       /*pad=*/false, /*specialize=*/false);
+    // Same serving stack, every request tagged int8: batched forwards run
+    // the quantized MatMulInt8 plan published alongside the fp32 weights.
+    ServedResult int8 = served_qps(clients, /*max_batch=*/64, seconds,
+                                   /*pad=*/true, /*specialize=*/true,
+                                   /*int8=*/true);
     const double speedup = batched.qps / base.qps;
     std::printf(
         "clients %4d  one-at-a-time %8.0f req/s | specialized %8.0f req/s  "
-        "%5.2fx  batch %5.1f  padded %lld | dynamic %8.0f req/s  "
-        "p50 %5.2fms p95 %5.2fms p99 %5.2fms  shed %lld\n",
+        "%5.2fx  batch %5.1f  padded %lld | dynamic %8.0f req/s | "
+        "int8 %8.0f req/s  q_serves %lld  p50 %5.2fms p99 %5.2fms | "
+        "fp32 p50 %5.2fms p95 %5.2fms p99 %5.2fms  shed %lld\n",
         clients, base.qps, batched.qps, speedup, batched.mean_batch,
-        static_cast<long long>(batched.padded_rows), dynamic.qps,
-        batched.p50 * 1e3, batched.p95 * 1e3, batched.p99 * 1e3,
-        static_cast<long long>(batched.shed));
+        static_cast<long long>(batched.padded_rows), dynamic.qps, int8.qps,
+        static_cast<long long>(int8.quantized_serves), int8.p50 * 1e3,
+        int8.p99 * 1e3, batched.p50 * 1e3, batched.p95 * 1e3,
+        batched.p99 * 1e3, static_cast<long long>(batched.shed));
     Json params;
     params["clients"] = Json(static_cast<int64_t>(clients));
     params["max_batch"] = Json(static_cast<int64_t>(64));
     reporter.record("one_at_a_time_qps", base.qps, "req/s", params);
     reporter.record("served_qps", batched.qps, "req/s", params);
     reporter.record("served_qps_dynamic", dynamic.qps, "req/s", params);
+    reporter.record("served_qps_int8", int8.qps, "req/s", params);
     reporter.record("served_speedup", speedup, "x", params);
     reporter.record("served_mean_batch", batched.mean_batch, "req", params);
     reporter.record("served_padded_rows",
                     static_cast<double>(batched.padded_rows), "rows", params);
+    reporter.record("served_quantized_serves",
+                    static_cast<double>(int8.quantized_serves), "req", params);
     reporter.record("served_p99_latency", batched.p99, "s", params);
+    reporter.record("served_p50_latency_int8", int8.p50, "s", params);
+    reporter.record("served_p99_latency_int8", int8.p99, "s", params);
   }
   return 0;
 }

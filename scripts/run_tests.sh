@@ -46,7 +46,7 @@ done
 # transport. Labels are anchored: `net-multiproc` (SIGKILL chaos across real
 # processes) must NOT match — sanitizer runtimes don't follow exec'd
 # children, so it runs under the default config only.
-SANITIZE_LABELS='-L ^sanitize$|^net$|^serve$'
+SANITIZE_LABELS='-L ^sanitize$|^net$|^serve$|^passes$'
 
 failures=()
 

@@ -1,6 +1,9 @@
 #include "core/graph_executor.h"
 
+#include <cmath>
+
 #include "core/build_context.h"
+#include "tensor/kernels.h"
 #include "util/errors.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -86,6 +89,10 @@ const BuildStats& GraphExecutor::build() {
     }
     stats_.graph_nodes_after = graph_->num_nodes();
     session_ = std::make_unique<Session>(graph_, &variables_, &rng_);
+    // Plan-level pattern fusion rides the same opt-out as the build-time
+    // passes: inference plans dispatch fused composites, training plans
+    // (stateful closures) are left untouched by the pass itself.
+    session_->set_pattern_fusion(options_.optimize);
     if (options_.profiling) session_->set_metrics(&profile_);
   } else {
     ImperativeContext ctx(&variables_, &rng_, /*build_mode=*/true,
@@ -260,11 +267,23 @@ std::string GraphExecutor::graph_dump() const {
   return graph_->to_string();
 }
 
+namespace {
+// Int8 shadow variables are derived state (requantized from fp32 on every
+// weight update); weight snapshots and checkpoints carry only the fp32
+// source of truth so they stay importable into unquantized executors.
+bool is_int8_shadow(const std::string& name) {
+  constexpr char kSuffix[] = "/int8";
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+  return name.size() >= kSuffixLen &&
+         name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) == 0;
+}
+}  // namespace
+
 std::map<std::string, Tensor> GraphExecutor::get_weights(
     const std::string& prefix) {
   std::map<std::string, Tensor> out;
   for (const std::string& name : variables_.names()) {
-    if (name.rfind(prefix, 0) == 0) {
+    if (name.rfind(prefix, 0) == 0 && !is_int8_shadow(name)) {
       out.emplace(name, variables_.get(name).clone());
     }
   }
@@ -275,6 +294,233 @@ void GraphExecutor::set_weights(const std::map<std::string, Tensor>& weights) {
   for (const auto& [name, value] : weights) {
     variables_.set(name, value.clone());
   }
+  // Keep int8 shadows coherent with the fresh fp32 values. The shadows are
+  // requantized with the ORIGINAL calibration scales — the rewritten
+  // graphs bake those into their QuantizeLinear/MatMulInt8 attrs, so the
+  // scales must not drift with the weights.
+  std::map<std::string, float> shadow_scales;
+  for (const auto& [api, qa] : quantized_) {
+    for (const auto& [wname, scale] : qa->weight_scales) {
+      shadow_scales.emplace(wname, scale);
+    }
+  }
+  for (const auto& [wname, scale] : shadow_scales) {
+    auto it = weights.find(wname);
+    if (it == weights.end()) continue;
+    variables_.set(wname + "/int8",
+                   kernels::quantize_linear(it->second, scale));
+  }
+}
+
+// --- int8 quantized serving --------------------------------------------------
+
+namespace {
+float max_abs_value(const Tensor& t) {
+  const float* p = t.data<float>();
+  float m = 0.0f;
+  for (int64_t i = 0; i < t.num_elements(); ++i) {
+    float a = std::fabs(p[i]);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+// max-abs / 127, guarded so an all-zero calibration tensor still yields a
+// valid (positive) scale.
+float symmetric_scale(float max_abs) {
+  return max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+}
+}  // namespace
+
+int GraphExecutor::enable_quantized(
+    const std::string& api,
+    const std::vector<std::vector<Tensor>>& sample_inputs) {
+  RLG_REQUIRE(built_, "enable_quantized before build()");
+  RLG_REQUIRE(options_.backend == Backend::kStatic && session_ != nullptr,
+              "enable_quantized requires the static backend");
+  RLG_REQUIRE(!sample_inputs.empty(),
+              "enable_quantized needs at least one calibration sample");
+  ApiHandle handle = api_handle(api);
+  ApiEntry& entry = entries_[static_cast<size_t>(handle.id)];
+  RLG_REQUIRE(entry.prepared != nullptr,
+              "API '" << api << "' has no compiled plan");
+
+  // Eligible MatMuls in the fetched closure — the weight operand must be a
+  // Variable read, the same predicate quantize_inference_graph applies.
+  struct EligibleMatMul {
+    std::string node_name;
+    std::string var_name;
+    Endpoint input0;
+  };
+  std::vector<EligibleMatMul> matmuls;
+  {
+    std::vector<uint8_t> seen(static_cast<size_t>(graph_->num_nodes()), 0);
+    std::vector<int> stack;
+    for (const Endpoint& f : entry.fetches) {
+      if (!seen[static_cast<size_t>(f.node)]) {
+        seen[static_cast<size_t>(f.node)] = 1;
+        stack.push_back(f.node);
+      }
+    }
+    while (!stack.empty()) {
+      int id = stack.back();
+      stack.pop_back();
+      const NodeDef& nd = graph_->node(id);
+      if (nd.op == "MatMul" && nd.inputs.size() == 2 &&
+          nd.control_inputs.empty() && nd.inputs[1].index == 0) {
+        const NodeDef& wn = graph_->node(nd.inputs[1].node);
+        if (wn.op == "Variable") {
+          matmuls.push_back(EligibleMatMul{
+              nd.name, attr_string(wn.attrs, "var_name"), nd.inputs[0]});
+        }
+      }
+      for (const Endpoint& e : nd.inputs) {
+        if (!seen[static_cast<size_t>(e.node)]) {
+          seen[static_cast<size_t>(e.node)] = 1;
+          stack.push_back(e.node);
+        }
+      }
+      for (int c : nd.control_inputs) {
+        if (!seen[static_cast<size_t>(c)]) {
+          seen[static_cast<size_t>(c)] = 1;
+          stack.push_back(c);
+        }
+      }
+    }
+  }
+  if (matmuls.empty()) return 0;
+
+  // Calibrate activation scales: run the fp32 plan fetching every eligible
+  // MatMul's input over the sample set and track per-tensor max-abs.
+  std::vector<Endpoint> cal_fetches;
+  cal_fetches.reserve(matmuls.size());
+  for (const EligibleMatMul& m : matmuls) cal_fetches.push_back(m.input0);
+  std::shared_ptr<Session::PreparedCall> cal =
+      session_->prepare(cal_fetches, entry.feed_nodes);
+  std::vector<float> act_max(matmuls.size(), 0.0f);
+  for (const std::vector<Tensor>& sample : sample_inputs) {
+    std::vector<Tensor> vals = cal->run(sample);
+    for (size_t i = 0; i < matmuls.size(); ++i) {
+      act_max[i] = std::max(act_max[i], max_abs_value(vals[i]));
+    }
+  }
+  std::map<std::string, float> act_scales;
+  std::map<std::string, float> weight_scales;
+  for (size_t i = 0; i < matmuls.size(); ++i) {
+    act_scales[matmuls[i].node_name] = symmetric_scale(act_max[i]);
+    if (!weight_scales.count(matmuls[i].var_name)) {
+      weight_scales[matmuls[i].var_name] =
+          symmetric_scale(max_abs_value(variables_.get(matmuls[i].var_name)));
+    }
+  }
+  return enable_quantized_with_scales(api, act_scales, weight_scales);
+}
+
+int GraphExecutor::enable_quantized_with_scales(
+    const std::string& api, const std::map<std::string, float>& act_scales,
+    const std::map<std::string, float>& weight_scales,
+    const std::map<std::string, Tensor>& int8_weights) {
+  RLG_REQUIRE(built_, "enable_quantized_with_scales before build()");
+  RLG_REQUIRE(options_.backend == Backend::kStatic && session_ != nullptr,
+              "quantized serving requires the static backend");
+  ApiHandle handle = api_handle(api);
+  ApiEntry& entry = entries_[static_cast<size_t>(handle.id)];
+  RLG_REQUIRE(entry.prepared != nullptr,
+              "API '" << api << "' has no compiled plan");
+
+  QuantizeGraphResult q =
+      quantize_inference_graph(*graph_, act_scales, weight_scales);
+  if (q.graph == nullptr || q.quantized_matmuls == 0) return 0;
+
+  // Materialize the int8 shadow variables before the rewritten plan can
+  // run; Variable reads on unknown names throw at execution time.
+  for (const auto& [wname, scale] : weight_scales) {
+    std::string shadow = wname + "/int8";
+    Tensor qt;
+    auto it = int8_weights.find(wname);
+    if (it != int8_weights.end()) {
+      RLG_REQUIRE(it->second.dtype() == DType::kInt8,
+                  "int8 weight for '" << wname << "' has dtype "
+                                      << dtype_name(it->second.dtype()));
+      qt = it->second.clone();
+    } else {
+      qt = kernels::quantize_linear(variables_.get(wname), scale);
+    }
+    if (variables_.exists(shadow)) {
+      variables_.set(shadow, std::move(qt));
+    } else {
+      variables_.create(shadow, std::move(qt));
+    }
+  }
+
+  auto qa = std::make_unique<QuantizedApi>();
+  qa->graph = std::shared_ptr<const GraphDef>(q.graph);
+  qa->session = std::make_unique<Session>(qa->graph, &variables_, &rng_);
+  qa->session->set_pattern_fusion(options_.optimize);
+  if (options_.profiling) qa->session->set_metrics(&profile_);
+  qa->fetches.reserve(entry.fetches.size());
+  for (const Endpoint& f : entry.fetches) {
+    qa->fetches.push_back(q.endpoint_map.at(f));
+  }
+  qa->feed_nodes.reserve(entry.feed_nodes.size());
+  for (int id : entry.feed_nodes) {
+    qa->feed_nodes.push_back(q.endpoint_map.at(Endpoint{id, 0}).node);
+  }
+  qa->prepared = qa->session->prepare(qa->fetches, qa->feed_nodes);
+  qa->act_scales = act_scales;
+  qa->weight_scales = weight_scales;
+  qa->quantized_matmuls = q.quantized_matmuls;
+  int count = q.quantized_matmuls;
+  quantized_[api] = std::move(qa);
+  return count;
+}
+
+const GraphExecutor::QuantizedApi& GraphExecutor::quantized_api_or_throw(
+    const std::string& api) const {
+  auto it = quantized_.find(api);
+  if (it == quantized_.end()) {
+    throw NotFoundError("API '" + api +
+                        "' has no quantized plan; call enable_quantized first");
+  }
+  return *it->second;
+}
+
+bool GraphExecutor::quantized_enabled(const std::string& api) const {
+  return quantized_.count(api) > 0;
+}
+
+std::vector<Tensor> GraphExecutor::execute_quantized(
+    const std::string& api, const std::vector<Tensor>& inputs) {
+  const QuantizedApi& qa = quantized_api_or_throw(api);
+  ++execution_calls_;
+  if (options_.specialize_shapes && !inputs.empty() &&
+      qa.prepared->plan().feeds_batchable()) {
+    std::vector<Shape> shapes;
+    shapes.reserve(inputs.size());
+    for (const Tensor& t : inputs) shapes.push_back(t.shape());
+    return qa.session
+        ->prepare_specialized(qa.fetches, qa.feed_nodes, shapes)
+        ->run(inputs);
+  }
+  return qa.prepared->run(inputs);
+}
+
+const std::map<std::string, float>& GraphExecutor::quantized_act_scales(
+    const std::string& api) const {
+  return quantized_api_or_throw(api).act_scales;
+}
+
+const std::map<std::string, float>& GraphExecutor::quantized_weight_scales(
+    const std::string& api) const {
+  return quantized_api_or_throw(api).weight_scales;
+}
+
+int64_t GraphExecutor::fused_dispatches() const {
+  int64_t total = session_ != nullptr ? session_->fused_dispatches() : 0;
+  for (const auto& [api, qa] : quantized_) {
+    total += qa->session->fused_dispatches();
+  }
+  return total;
 }
 
 namespace {
@@ -286,7 +532,10 @@ std::vector<uint8_t> GraphExecutor::export_variables() {
   ByteWriter w;
   w.write_u32(kCheckpointMagic);
   w.write_u32(kCheckpointVersion);
-  std::vector<std::string> names = variables_.names();
+  std::vector<std::string> names;
+  for (const std::string& name : variables_.names()) {
+    if (!is_int8_shadow(name)) names.push_back(name);
+  }
   w.write_u32(static_cast<uint32_t>(names.size()));
   for (const std::string& name : names) {
     const Tensor& t = variables_.get(name);
@@ -319,6 +568,14 @@ void GraphExecutor::import_variables(const std::vector<uint8_t>& bytes) {
                                              << name << "'");
     r.read_bytes(t.mutable_raw(), nbytes);
     variables_.set(name, std::move(t));
+  }
+  // Checkpoints carry only fp32 variables; rebuild any int8 shadows from
+  // the restored values with their original calibration scales.
+  for (const auto& [api, qa] : quantized_) {
+    for (const auto& [wname, scale] : qa->weight_scales) {
+      variables_.set(wname + "/int8",
+                     kernels::quantize_linear(variables_.get(wname), scale));
+    }
   }
 }
 

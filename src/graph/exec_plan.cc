@@ -7,6 +7,7 @@
 #include <set>
 #include <utility>
 
+#include "graph/passes.h"
 #include "util/errors.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -148,8 +149,26 @@ std::vector<uint64_t> checksum_inputs(const std::vector<Tensor>& inputs) {
 
 std::shared_ptr<CompiledPlan> CompiledPlan::compile(
     std::shared_ptr<const GraphDef> graph, const std::vector<Endpoint>& fetches,
-    const std::vector<int>& feed_nodes) {
+    const std::vector<int>& feed_nodes, bool fuse_patterns) {
   RLG_REQUIRE(graph != nullptr, "CompiledPlan::compile requires a graph");
+  if (fuse_patterns) {
+    PlanFusionResult fused = fuse_plan_patterns(*graph, fetches);
+    if (fused.graph != nullptr && fused.steps_saved > 0) {
+      std::vector<Endpoint> new_fetches;
+      new_fetches.reserve(fetches.size());
+      for (const Endpoint& f : fetches) {
+        new_fetches.push_back(fused.endpoint_map.at(f));
+      }
+      std::vector<int> new_feeds;
+      new_feeds.reserve(feed_nodes.size());
+      for (int id : feed_nodes) {
+        new_feeds.push_back(fused.endpoint_map.at(Endpoint{id, 0}).node);
+      }
+      return compile(
+          std::shared_ptr<const GraphDef>(std::move(fused.graph)), new_fetches,
+          new_feeds, /*fuse_patterns=*/false);
+    }
+  }
   const int n = graph->num_nodes();
 
   for (int id : feed_nodes) {
@@ -248,6 +267,10 @@ std::shared_ptr<CompiledPlan> CompiledPlan::compile(
     step.num_outputs = node.num_outputs();
     step_of_node[static_cast<size_t>(id)] =
         static_cast<int>(plan->steps_.size());
+    if (node.op == "FusedDense" || node.op == "FusedConv2D" ||
+        node.op == "FusedElementwise") {
+      ++plan->fused_kernel_steps_;
+    }
     plan->steps_.push_back(std::move(step));
   }
 
@@ -287,9 +310,10 @@ std::shared_ptr<CompiledPlan> CompiledPlan::compile(
 
 std::shared_ptr<CompiledPlan> CompiledPlan::compile_specialized(
     std::shared_ptr<const GraphDef> graph, const std::vector<Endpoint>& fetches,
-    const std::vector<int>& feed_nodes, const std::vector<Shape>& feed_shapes) {
+    const std::vector<int>& feed_nodes, const std::vector<Shape>& feed_shapes,
+    bool fuse_patterns) {
   std::shared_ptr<CompiledPlan> plan =
-      compile(std::move(graph), fetches, feed_nodes);
+      compile(std::move(graph), fetches, feed_nodes, fuse_patterns);
   if (feed_shapes.size() != plan->feed_slots_.size()) return nullptr;
   for (size_t i = 0; i < feed_shapes.size(); ++i) {
     if (!feed_shapes[i].fully_specified() ||
@@ -496,6 +520,10 @@ std::vector<Tensor> CompiledPlan::execute(RunArena& arena,
   counters_.runs.fetch_add(1, std::memory_order_relaxed);
   counters_.nodes_executed.fetch_add(static_cast<int64_t>(steps_.size()),
                                      std::memory_order_relaxed);
+  if (fused_kernel_steps_ > 0) {
+    counters_.fused_dispatches.fetch_add(fused_kernel_steps_,
+                                         std::memory_order_relaxed);
+  }
   // A "batch" is the leading extent of feed 0, but only when the plan's
   // signature makes that a batch dimension and the feed actually reaches
   // the fetched subgraph; everything else (scalar feeds, feed-less plans,

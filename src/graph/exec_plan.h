@@ -164,6 +164,9 @@ class CompiledPlan {
     // shape-specialized plan); runs - planned_runs took the dynamic
     // pool-allocating path.
     std::atomic<int64_t> planned_runs{0};
+    // Fused-composite kernel dispatches (FusedDense / FusedConv2D /
+    // FusedElementwise steps) accumulated over all runs.
+    std::atomic<int64_t> fused_dispatches{0};
   };
 
   // Compile the transitive closure of `fetches` over `graph`. `feed_nodes`
@@ -173,9 +176,16 @@ class CompiledPlan {
   // tolerated (its value is dropped; APIs may legitimately ignore an
   // argument) but recorded in unused_feed_names() so callers that consider
   // it a bug — Session::run with an explicit feed map — can reject it.
+  //
+  // With `fuse_patterns` set, fuse_plan_patterns() runs over the fetched
+  // closure first; when it matches (inference-only closures), compilation
+  // proceeds on the rewritten graph with fetches/feeds remapped, so the
+  // plan dispatches the fused composite kernels instead of the op-per-node
+  // sequence. Fetched values are bitwise identical either way.
   static std::shared_ptr<CompiledPlan> compile(
       std::shared_ptr<const GraphDef> graph,
-      const std::vector<Endpoint>& fetches, const std::vector<int>& feed_nodes);
+      const std::vector<Endpoint>& fetches, const std::vector<int>& feed_nodes,
+      bool fuse_patterns = false);
 
   // Compile specialized on concrete feed shapes (one shape per feed node,
   // fully specified — in particular a concrete leading batch dimension N).
@@ -189,7 +199,7 @@ class CompiledPlan {
   static std::shared_ptr<CompiledPlan> compile_specialized(
       std::shared_ptr<const GraphDef> graph,
       const std::vector<Endpoint>& fetches, const std::vector<int>& feed_nodes,
-      const std::vector<Shape>& feed_shapes);
+      const std::vector<Shape>& feed_shapes, bool fuse_patterns = false);
 
   // Assembles a plan directly from lowered steps (the fast-path recorder's
   // route into this layer; also used by tests).
@@ -252,6 +262,8 @@ class CompiledPlan {
     return unused_feed_names_;
   }
   const Counters& counters() const { return counters_; }
+  // Steps dispatching a fused composite kernel (0 for unfused plans).
+  int fused_kernel_steps() const { return fused_kernel_steps_; }
 
  private:
   CompiledPlan() = default;
@@ -303,6 +315,7 @@ class CompiledPlan {
   std::vector<int> initial_ready_;  // steps with num_deps == 0
   int max_width_ = 1;
   size_t num_slots_ = 0;
+  int fused_kernel_steps_ = 0;
   bool specialized_ = false;
   // Whether the leading dim of feed 0 is a batch count worth accumulating
   // into Counters::batch_elements (decided against the declared signature

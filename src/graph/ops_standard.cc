@@ -214,40 +214,75 @@ void register_math_ops(OpRegistry& r) {
         return std::vector<Tensor>{acc};
       });
 
-  // FusedElementwise: chain of parameter-free float unary ops, applied in a
-  // single pass (produced by the fusion optimization pass).
+  // FusedElementwise: chain of parameter-free float elementwise ops applied
+  // in a single pass (produced by the fusion passes). The "ops" attr is a
+  // comma-separated list; each entry is either a unary op name ("Relu") or a
+  // binary op with a side marker ("Add:l" = running chain value is the LEFT
+  // operand, "Add:r" = right). Binary entries consume the node's extra
+  // inputs (inputs[1..]) in order of appearance; extras broadcast into the
+  // chain shape.
   reg(
       r, "FusedElementwise", float_unary_sig,
       [](KernelContext& k) {
         const std::string& chain = attr_string(k.node->attrs, "ops");
-        Tensor out(DType::kFloat32, k.inputs[0].shape());
-        const float* in = k.inputs[0].data<float>();
-        float* po = out.mutable_data<float>();
-        // Decode the comma-separated chain once into function pointers.
-        std::vector<float (*)(float)> fns;
+        std::vector<kernels::EwiseLink> links;
+        int next_extra = 0;
         size_t pos = 0;
         while (pos < chain.size()) {
           size_t comma = chain.find(',', pos);
-          std::string op = chain.substr(
+          std::string entry = chain.substr(
               pos, comma == std::string::npos ? std::string::npos : comma - pos);
           pos = comma == std::string::npos ? chain.size() : comma + 1;
-          if (op == "Neg") fns.push_back(+[](float x) { return -x; });
-          else if (op == "Exp") fns.push_back(+[](float x) { return std::exp(x); });
-          else if (op == "Log") fns.push_back(+[](float x) { return std::log(x); });
-          else if (op == "Sqrt") fns.push_back(+[](float x) { return std::sqrt(x); });
-          else if (op == "Square") fns.push_back(+[](float x) { return x * x; });
-          else if (op == "Abs") fns.push_back(+[](float x) { return std::fabs(x); });
-          else if (op == "Relu") fns.push_back(+[](float x) { return x > 0 ? x : 0.0f; });
-          else if (op == "Sigmoid") fns.push_back(+[](float x) { return 1.0f / (1.0f + std::exp(-x)); });
-          else if (op == "Tanh") fns.push_back(+[](float x) { return std::tanh(x); });
-          else throw ValueError("FusedElementwise: unsupported op " + op);
+          kernels::EwiseLink link;
+          size_t colon = entry.find(':');
+          if (colon == std::string::npos) {
+            link.op = entry;
+          } else {
+            link.op = entry.substr(0, colon);
+            std::string side = entry.substr(colon + 1);
+            RLG_REQUIRE(side == "l" || side == "r",
+                        "FusedElementwise: bad side marker in \"" << entry
+                                                                  << "\"");
+            link.binary = true;
+            link.chain_left = side == "l";
+            link.extra = next_extra++;
+          }
+          links.push_back(std::move(link));
         }
-        for (int64_t i = 0; i < k.inputs[0].num_elements(); ++i) {
-          float v = in[i];
-          for (auto fn : fns) v = fn(v);
-          po[i] = v;
-        }
-        return std::vector<Tensor>{out};
+        RLG_REQUIRE(
+            k.inputs.size() == static_cast<size_t>(next_extra) + 1,
+            "FusedElementwise: chain needs " << next_extra + 1 << " inputs, got "
+                                             << k.inputs.size());
+        std::vector<Tensor> extras(k.inputs.begin() + 1, k.inputs.end());
+        return std::vector<Tensor>{
+            kernels::fused_elementwise(k.inputs[0], extras, links)};
+      });
+
+  // Int8 quantization ops (produced by quantize_inference_graph).
+  reg(
+      r, "QuantizeLinear",
+      [](const SIC& c) {
+        RLG_REQUIRE(c.input_dtypes[0] == DType::kFloat32,
+                    "QuantizeLinear requires float32 input");
+        return single(DType::kInt8, c.input_shapes[0]);
+      },
+      [](KernelContext& k) {
+        return std::vector<Tensor>{kernels::quantize_linear(
+            k.inputs[0],
+            static_cast<float>(attr_double(k.node->attrs, "scale")))};
+      });
+
+  reg(
+      r, "DequantizeLinear",
+      [](const SIC& c) {
+        RLG_REQUIRE(c.input_dtypes[0] == DType::kInt8,
+                    "DequantizeLinear requires int8 input");
+        return single(DType::kFloat32, c.input_shapes[0]);
+      },
+      [](KernelContext& k) {
+        return std::vector<Tensor>{kernels::dequantize_linear(
+            k.inputs[0],
+            static_cast<float>(attr_double(k.node->attrs, "scale")))};
       });
 }
 
@@ -269,6 +304,65 @@ void register_linalg_ops(OpRegistry& r) {
         return single(DType::kFloat32, Shape{a.dim(0), b.dim(1)});
       },
       binary(&kernels::matmul));
+
+  // FusedDense: act(x @ w + bias), one dispatch. Produced by the plan-level
+  // pattern-fusion pass; has no gradient rule by design (fusion only runs on
+  // inference plans).
+  reg(
+      r, "FusedDense",
+      [](const SIC& c) {
+        RLG_REQUIRE(c.input_shapes.size() == 3, "FusedDense expects 3 inputs");
+        const Shape& a = c.input_shapes[0];
+        const Shape& b = c.input_shapes[1];
+        const Shape& bias = c.input_shapes[2];
+        RLG_REQUIRE(a.rank() == 2 && b.rank() == 2,
+                    "FusedDense requires rank-2 x/w, got "
+                        << a.to_string() << " x " << b.to_string());
+        if (a.dim(1) != kUnknownDim && b.dim(0) != kUnknownDim) {
+          RLG_REQUIRE(a.dim(1) == b.dim(0), "FusedDense inner dim mismatch: "
+                                                << a.to_string() << " x "
+                                                << b.to_string());
+        }
+        RLG_REQUIRE(bias.rank() == 1, "FusedDense bias must be rank 1");
+        if (bias.dim(0) != kUnknownDim && b.dim(1) != kUnknownDim) {
+          RLG_REQUIRE(bias.dim(0) == b.dim(1),
+                      "FusedDense bias dim mismatch: " << bias.to_string());
+        }
+        return single(DType::kFloat32, Shape{a.dim(0), b.dim(1)});
+      },
+      [](KernelContext& k) {
+        return std::vector<Tensor>{kernels::fused_dense(
+            k.inputs[0], k.inputs[1], k.inputs[2],
+            kernels::fused_activation_from_string(
+                attr_string(k.node->attrs, "activation")))};
+      });
+
+  // MatMulInt8: int8 x int8 -> float32 with int32 accumulation and a single
+  // output rescale (= input scale * weight scale).
+  reg(
+      r, "MatMulInt8",
+      [](const SIC& c) {
+        RLG_REQUIRE(c.input_shapes.size() == 2, "MatMulInt8 expects 2 inputs");
+        RLG_REQUIRE(c.input_dtypes[0] == DType::kInt8 &&
+                        c.input_dtypes[1] == DType::kInt8,
+                    "MatMulInt8 requires int8 inputs");
+        const Shape& a = c.input_shapes[0];
+        const Shape& b = c.input_shapes[1];
+        RLG_REQUIRE(a.rank() == 2 && b.rank() == 2,
+                    "MatMulInt8 requires rank-2 inputs, got "
+                        << a.to_string() << " x " << b.to_string());
+        if (a.dim(1) != kUnknownDim && b.dim(0) != kUnknownDim) {
+          RLG_REQUIRE(a.dim(1) == b.dim(0), "MatMulInt8 inner dim mismatch: "
+                                                << a.to_string() << " x "
+                                                << b.to_string());
+        }
+        return single(DType::kFloat32, Shape{a.dim(0), b.dim(1)});
+      },
+      [](KernelContext& k) {
+        return std::vector<Tensor>{kernels::matmul_int8(
+            k.inputs[0], k.inputs[1],
+            static_cast<float>(attr_double(k.node->attrs, "rescale")))};
+      });
 
   reg(
       r, "Transpose2D",
@@ -306,6 +400,46 @@ void register_linalg_ops(OpRegistry& r) {
             k.inputs[0], k.inputs[1],
             static_cast<int>(attr_int(k.node->attrs, "stride")),
             attr_bool(k.node->attrs, "same_padding", false))};
+      });
+
+  // FusedConv2D: act(conv2d(x, f) + bias[Cout]), one dispatch. Inference-only
+  // (no gradient rule), like FusedDense.
+  reg(
+      r, "FusedConv2D",
+      [](const SIC& c) {
+        RLG_REQUIRE(c.input_shapes.size() == 3, "FusedConv2D expects 3 inputs");
+        const Shape& in = c.input_shapes[0];
+        const Shape& f = c.input_shapes[1];
+        const Shape& bias = c.input_shapes[2];
+        RLG_REQUIRE(in.rank() == 4 && f.rank() == 4,
+                    "FusedConv2D expects NHWC x [kh,kw,cin,cout]");
+        RLG_REQUIRE(bias.rank() == 1, "FusedConv2D bias must be rank 1");
+        if (bias.dim(0) != kUnknownDim && f.dim(3) != kUnknownDim) {
+          RLG_REQUIRE(bias.dim(0) == f.dim(3),
+                      "FusedConv2D bias dim mismatch: " << bias.to_string());
+        }
+        int64_t stride = attr_int(c.node->attrs, "stride");
+        bool same = attr_bool(c.node->attrs, "same_padding", false);
+        int64_t h = in.dim(1), w = in.dim(2);
+        RLG_REQUIRE(h != kUnknownDim && w != kUnknownDim,
+                    "FusedConv2D spatial dims must be known at build time");
+        int64_t oh, ow;
+        if (same) {
+          oh = (h + stride - 1) / stride;
+          ow = (w + stride - 1) / stride;
+        } else {
+          oh = (h - f.dim(0)) / stride + 1;
+          ow = (w - f.dim(1)) / stride + 1;
+        }
+        return single(DType::kFloat32, Shape{in.dim(0), oh, ow, f.dim(3)});
+      },
+      [](KernelContext& k) {
+        return std::vector<Tensor>{kernels::fused_conv2d(
+            k.inputs[0], k.inputs[1], k.inputs[2],
+            static_cast<int>(attr_int(k.node->attrs, "stride")),
+            attr_bool(k.node->attrs, "same_padding", false),
+            kernels::fused_activation_from_string(
+                attr_string(k.node->attrs, "activation")))};
       });
 
   // Gradient kernels exposed as ops so the autodiff graph stays uniform.

@@ -40,4 +40,50 @@ OptimizeResult optimize_graph(const GraphDef& graph,
                               const std::vector<Endpoint>& roots,
                               const OptimizeOptions& options = {});
 
+// --- per-plan pattern fusion -------------------------------------------------
+//
+// Runs at plan-compile time on inference (fetch-only) plans, the way an NPU
+// compiler fuses its lowered IR: MatMul+AddBias(+activation) -> FusedDense,
+// Conv2D+AddBias(+activation) -> FusedConv2D, and elementwise chains
+// including binary ops with broadcast extras -> FusedElementwise. Training
+// plans are left untouched: if the fetched closure contains any stateful
+// node other than a Variable read (Assign, RNG draws, component state), the
+// pass declines so autodiff-expanded update graphs keep their unfused nodes.
+struct PlanFusionResult {
+  // Null when nothing was fused (stateful closure, or no pattern matched);
+  // callers then keep the original graph.
+  std::shared_ptr<GraphDef> graph;
+  // Total over every node of the input graph (absorbed nodes map to their
+  // fused replacement's output 0).
+  std::map<Endpoint, Endpoint> endpoint_map;
+  int fused_patterns = 0;  // FusedDense + FusedConv2D matches
+  int fused_chains = 0;    // elementwise chains (unary and binary links)
+  int steps_saved = 0;     // kernel dispatches eliminated per run
+};
+
+// `keep` endpoints (the plan's fetches) are never absorbed into a fused
+// node, so fetch slots survive with their values bitwise unchanged.
+PlanFusionResult fuse_plan_patterns(const GraphDef& graph,
+                                    const std::vector<Endpoint>& keep);
+
+// --- int8 post-training quantization ----------------------------------------
+//
+// Rewrites every MatMul whose weight operand is a Variable read into
+// QuantizeLinear(x) -> MatMulInt8(xq, <var>/int8) with an int32 accumulator
+// rescaled to float32 (scale_x * scale_w) at the output. Per-tensor
+// symmetric scales: `act_scales` maps MatMul node name -> calibrated input
+// activation scale, `weight_scales` maps variable name -> weight scale. The
+// caller is responsible for materializing the `<name>/int8` shadow
+// variables before the rewritten graph runs. MatMuls without both scales
+// are copied unchanged.
+struct QuantizeGraphResult {
+  std::shared_ptr<GraphDef> graph;  // null when no MatMul qualified
+  std::map<Endpoint, Endpoint> endpoint_map;
+  int quantized_matmuls = 0;
+};
+
+QuantizeGraphResult quantize_inference_graph(
+    const GraphDef& graph, const std::map<std::string, float>& act_scales,
+    const std::map<std::string, float>& weight_scales);
+
 }  // namespace rlgraph

@@ -143,7 +143,7 @@ std::shared_ptr<Session::PreparedCall> Session::prepare(
   // Compile outside the lock (may be slow); first writer wins on a race.
   trace::TraceSpan compile_span("session", "session/compile");
   std::shared_ptr<CompiledPlan> plan =
-      CompiledPlan::compile(graph_, fetches, feed_nodes);
+      CompiledPlan::compile(graph_, fetches, feed_nodes, pattern_fusion_);
   auto call = std::make_shared<PreparedCall>();
   call->session_ = this;
   call->plan_ = std::move(plan);
@@ -170,7 +170,7 @@ std::shared_ptr<Session::PreparedCall> Session::prepare_specialized(
   trace::TraceSpan compile_span("session", "session/compile_specialized");
   std::shared_ptr<CompiledPlan> plan =
       CompiledPlan::compile_specialized(graph_, fetches, feed_nodes,
-                                        feed_shapes);
+                                        feed_shapes, pattern_fusion_);
   if (plan == nullptr) {
     // Shapes don't match the declared signature: serve the dynamic plan,
     // and remember that under the specialized key so the next call with
@@ -226,10 +226,13 @@ void Session::record_run(const PreparedCall& call) {
   num_runs_.fetch_add(1, std::memory_order_relaxed);
   nodes_executed_.fetch_add(static_cast<int64_t>(call.plan().num_steps()),
                             std::memory_order_relaxed);
+  int fused = call.plan().fused_kernel_steps();
+  if (fused > 0) fused_dispatches_.fetch_add(fused, std::memory_order_relaxed);
   if (metrics_ != nullptr) {
     metrics_->increment("session/runs");
     metrics_->increment("session/nodes_executed",
                         static_cast<int64_t>(call.plan().num_steps()));
+    if (fused > 0) metrics_->increment("session/fused_dispatches", fused);
     metrics_->set_gauge("session/bytes_reused",
                         static_cast<double>(bytes_reused()));
   }

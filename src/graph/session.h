@@ -94,6 +94,14 @@ class Session {
   // nodes executed, bytes reused) when set.
   void set_metrics(MetricRegistry* metrics) { metrics_ = metrics; }
 
+  // Compile-time pattern fusion (see fuse_plan_patterns): inference-only
+  // plans dispatch FusedDense/FusedConv2D/FusedElementwise composites
+  // instead of the op-per-node sequence, bitwise identically. Off by
+  // default; the graph executor turns it on under its `optimize` option.
+  // Set before the first prepare() — cached plans are not recompiled.
+  void set_pattern_fusion(bool on) { pattern_fusion_ = on; }
+  bool pattern_fusion() const { return pattern_fusion_; }
+
   int64_t num_runs() const { return num_runs_.load(); }
   int64_t nodes_executed() const { return nodes_executed_.load(); }
   int64_t plan_compiles() const { return plan_compiles_.load(); }
@@ -101,6 +109,8 @@ class Session {
   int64_t plan_cache_evictions() const { return plan_cache_evictions_.load(); }
   // Successful shape-specialized compiles (subset of plan_compiles).
   int64_t plan_specializations() const { return plan_specializations_.load(); }
+  // Fused composite kernel dispatches accumulated over all runs.
+  int64_t fused_dispatches() const { return fused_dispatches_.load(); }
   int64_t bytes_reused() const;
 
  private:
@@ -136,6 +146,8 @@ class Session {
   std::atomic<int64_t> plan_cache_hits_{0};
   std::atomic<int64_t> plan_cache_evictions_{0};
   std::atomic<int64_t> plan_specializations_{0};
+  std::atomic<int64_t> fused_dispatches_{0};
+  bool pattern_fusion_ = false;
   MetricRegistry* metrics_ = nullptr;
 };
 

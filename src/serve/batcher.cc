@@ -1,11 +1,23 @@
 #include "serve/batcher.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/trace.h"
 
 namespace rlgraph {
 namespace serve {
+
+Precision precision_from_string(const std::string& s) {
+  if (s == "fp32") return Precision::kFp32;
+  if (s == "int8") return Precision::kInt8;
+  throw ValueError("unknown serving precision '" + s +
+                   "' (expected \"fp32\" or \"int8\")");
+}
+
+const char* precision_name(Precision p) {
+  return p == Precision::kInt8 ? "int8" : "fp32";
+}
 
 DynamicBatcher::DynamicBatcher(BatcherConfig config, MetricRegistry* metrics)
     : config_(config), metrics_(metrics) {
@@ -14,10 +26,23 @@ DynamicBatcher::DynamicBatcher(BatcherConfig config, MetricRegistry* metrics)
                   << config_.max_batch_size);
   RLG_REQUIRE(config_.queue_capacity >= 1,
               "batcher queue_capacity must be >= 1");
+  flush_buckets_ = config_.flush_buckets;
+  std::sort(flush_buckets_.begin(), flush_buckets_.end());
+  flush_buckets_.erase(
+      std::unique(flush_buckets_.begin(), flush_buckets_.end()),
+      flush_buckets_.end());
+  for (int64_t b : flush_buckets_) {
+    RLG_REQUIRE(b >= 1, "batcher flush buckets must be >= 1, got " << b);
+  }
   if (metrics_ != nullptr) {
     batch_size_hist_ = &metrics_->histogram("serve/batch_size");
     queue_delay_hist_ = &metrics_->histogram("serve/queue_delay_seconds");
   }
+}
+
+bool DynamicBatcher::at_flush_bucket(size_t n) const {
+  const int64_t sn = static_cast<int64_t>(n);
+  return std::binary_search(flush_buckets_.begin(), flush_buckets_.end(), sn);
 }
 
 DynamicBatcher::~DynamicBatcher() {
@@ -26,12 +51,14 @@ DynamicBatcher::~DynamicBatcher() {
 }
 
 std::future<ActResult> DynamicBatcher::submit(Tensor obs,
-                                              ServeClock::time_point deadline) {
+                                              ServeClock::time_point deadline,
+                                              Precision precision) {
   trace::TraceSpan span("serve", "serve/admit");
   ActRequest req;
   req.obs = std::move(obs);
   req.enqueued = ServeClock::now();
   req.deadline = deadline;
+  req.precision = precision;
   std::future<ActResult> fut = req.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -46,11 +73,13 @@ std::future<ActResult> DynamicBatcher::submit(Tensor obs,
     }
     queue_.push_back(std::move(req));
     // A sleeping worker only needs waking when a flush condition changes:
-    // the first request arriving (it anchors the flush deadline) or the
-    // batch filling up. Intermediate arrivals just join the pending batch —
-    // skipping their notify avoids a wakeup storm on the serving shard.
+    // the first request arriving (it anchors the flush deadline), the batch
+    // filling up, or the queue landing exactly on a flush bucket.
+    // Intermediate arrivals just join the pending batch — skipping their
+    // notify avoids a wakeup storm on the serving shard.
     if (queue_.size() != 1 &&
-        queue_.size() < static_cast<size_t>(config_.max_batch_size)) {
+        queue_.size() < static_cast<size_t>(config_.max_batch_size) &&
+        !at_flush_bucket(queue_.size())) {
       return fut;
     }
   }
@@ -66,15 +95,22 @@ std::vector<ActRequest> DynamicBatcher::next_batch() {
     if (queue_.empty()) return {};  // closed and drained
     // Wait out the flush window of the OLDEST request — later arrivals do
     // not extend it — unless a full batch accumulates (or close) first.
+    // Bucket-aware early out: the moment the queue sits exactly on a flush
+    // bucket the batch dispatches padding-free instead of waiting out the
+    // delay window only to be padded up to that same bucket anyway.
     const ServeClock::time_point flush_at =
         queue_.front().enqueued + config_.max_queue_delay;
     while (!closed_ && queue_.size() < max_batch &&
-           ServeClock::now() < flush_at) {
+           !at_flush_bucket(queue_.size()) && ServeClock::now() < flush_at) {
       ready_cv_.wait_until(lock, flush_at);
       // Another worker may have drained the queue while we slept.
       if (queue_.empty()) break;
     }
     if (queue_.empty()) continue;
+    if (metrics_ != nullptr && queue_.size() < max_batch &&
+        at_flush_bucket(queue_.size()) && ServeClock::now() < flush_at) {
+      metrics_->increment("serve/bucket_flushes");
+    }
 
     const ServeClock::time_point now = ServeClock::now();
     trace::TraceSpan assembly_span("serve", "serve/batch_assembly");

@@ -18,6 +18,7 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -33,17 +34,30 @@ using ServeClock = std::chrono::steady_clock;
 inline constexpr ServeClock::time_point kNoDeadline =
     ServeClock::time_point::max();
 
+// Numeric precision a request asks to be served at. kInt8 requests route
+// through the engine's quantized plan when one is loaded; servers fall back
+// to fp32 (and count the fallback) when it is not.
+enum class Precision { kFp32 = 0, kInt8 = 1 };
+
+// Parse "fp32" | "int8" (throws ValueError otherwise).
+Precision precision_from_string(const std::string& s);
+const char* precision_name(Precision p);
+
 // What a client gets back: the action for its observation plus the policy
 // version that computed it (all requests of one batch share a version).
 struct ActResult {
   Tensor action;
   int64_t policy_version = 0;
+  // The precision the request was actually served at (an int8 request can
+  // come back kFp32 when no quantized variant was available).
+  Precision served_precision = Precision::kFp32;
 };
 
 struct ActRequest {
   Tensor obs;  // single observation, no batch rank
   ServeClock::time_point enqueued;
   ServeClock::time_point deadline = kNoDeadline;
+  Precision precision = Precision::kFp32;
   std::promise<ActResult> promise;
 };
 
@@ -52,6 +66,12 @@ struct BatcherConfig {
   std::chrono::microseconds max_queue_delay{2000};
   // Bounded request queue (admission control); submits beyond this shed.
   size_t queue_capacity = 1024;
+  // Bucket-aware flushing: when non-empty (ascending sizes), a batch is
+  // dispatched the moment the queue reaches a bucket boundary instead of
+  // waiting out max_queue_delay — the flush lands exactly on a padding
+  // bucket, so bucketed servers pad nothing for it. Empty keeps the classic
+  // two-knob policy (full batch or oldest-request delay).
+  std::vector<int64_t> flush_buckets;
 };
 
 class DynamicBatcher {
@@ -67,7 +87,8 @@ class DynamicBatcher {
   // shed/engine error). Throws OverloadedError when the queue is at
   // capacity or the batcher is closed.
   std::future<ActResult> submit(Tensor obs,
-                                ServeClock::time_point deadline = kNoDeadline);
+                                ServeClock::time_point deadline = kNoDeadline,
+                                Precision precision = Precision::kFp32);
 
   // Worker side: block until a batch is ready per the flush policy and
   // return it (never empty while open). More waiting requests than
@@ -88,8 +109,14 @@ class DynamicBatcher {
   size_t pending() const;
 
  private:
+  // True when `n` pending requests sit exactly on a configured flush
+  // bucket. Queue growth is +1 per submit, so every boundary crossing is
+  // observed — no bucket can be jumped over.
+  bool at_flush_bucket(size_t n) const;
+
   const BatcherConfig config_;
-  MetricRegistry* metrics_;  // may be null
+  std::vector<int64_t> flush_buckets_;  // validated ascending, deduplicated
+  MetricRegistry* metrics_;             // may be null
   Histogram* batch_size_hist_ = nullptr;
   Histogram* queue_delay_hist_ = nullptr;
 

@@ -28,11 +28,51 @@ Tensor AgentServingEngine::forward(const Tensor& obs_batch) {
   return agent_->get_actions(obs_batch, /*explore=*/false);
 }
 
+void AgentServingEngine::load_quantized(const PolicySnapshot& snapshot) {
+  RLG_REQUIRE(snapshot.has_quantized(),
+              "cannot load a snapshot without a quantized variant");
+  agent_->import_weights_quantized(*snapshot.quantized);
+}
+
+bool AgentServingEngine::quantized_ready() const {
+  return agent_->quantized_actions_enabled();
+}
+
+Tensor AgentServingEngine::forward_quantized(const Tensor& obs_batch) {
+  return agent_->get_actions_quantized(obs_batch);
+}
+
+// --- RequestClassConfig ------------------------------------------------------
+
+RequestClassConfig RequestClassConfig::from_json(const Json& config) {
+  RequestClassConfig rc;
+  rc.precision = precision_from_string(config.get_string("precision", "fp32"));
+  rc.deadline =
+      std::chrono::microseconds(config.get_int("deadline_us", 0));
+  return rc;
+}
+
 // --- PolicyServer ------------------------------------------------------------
+
+namespace {
+
+// Explicitly configured padding buckets double as the batcher's flush
+// buckets (see PolicyServerConfig::batch_buckets); the implicit
+// power-of-two default stays delay-driven.
+BatcherConfig batcher_config_for(const PolicyServerConfig& config) {
+  BatcherConfig b = config.batcher;
+  if (b.flush_buckets.empty() && config.pad_batches &&
+      !config.batch_buckets.empty()) {
+    b.flush_buckets = config.batch_buckets;
+  }
+  return b;
+}
+
+}  // namespace
 
 PolicyServer::PolicyServer(EngineFactory factory, PolicyServerConfig config)
     : config_(config), factory_(std::move(factory)),
-      batcher_(config.batcher, &metrics_),
+      batcher_(batcher_config_for(config), &metrics_),
       latency_hist_(&metrics_.histogram("serve/latency_seconds")) {
   RLG_REQUIRE(config_.num_shards >= 1,
               "PolicyServer needs at least one shard, got "
@@ -106,11 +146,29 @@ ServeClock::time_point PolicyServer::deadline_from_now(
 }
 
 std::future<ActResult> PolicyServer::act_async(Tensor obs) {
-  return act_async(std::move(obs), config_.default_deadline);
+  return act_async(std::move(obs), config_.default_precision,
+                   config_.default_deadline);
 }
 
 std::future<ActResult> PolicyServer::act_async(
     Tensor obs, std::chrono::microseconds deadline) {
+  return act_async(std::move(obs), config_.default_precision, deadline);
+}
+
+std::future<ActResult> PolicyServer::act_async(
+    Tensor obs, const std::string& request_class) {
+  auto it = config_.request_classes.find(request_class);
+  if (it == config_.request_classes.end()) {
+    throw NotFoundError("unknown request class '" + request_class + "'");
+  }
+  const RequestClassConfig& rc = it->second;
+  return act_async(std::move(obs), rc.precision,
+                   rc.deadline.count() > 0 ? rc.deadline
+                                           : config_.default_deadline);
+}
+
+std::future<ActResult> PolicyServer::act_async(
+    Tensor obs, Precision precision, std::chrono::microseconds deadline) {
   RLG_REQUIRE(running_, "PolicyServer::act before start()");
   if (check_obs_) {
     RLG_REQUIRE(obs.dtype() == obs_dtype_ && obs.shape() == obs_shape_,
@@ -119,7 +177,8 @@ std::future<ActResult> PolicyServer::act_async(
                     << dtype_name(obs_dtype_) << obs_shape_.to_string()
                     << " (single observation, no batch rank)");
   }
-  return batcher_.submit(std::move(obs), deadline_from_now(deadline));
+  return batcher_.submit(std::move(obs), deadline_from_now(deadline),
+                         precision);
 }
 
 ActResult PolicyServer::act(const Tensor& obs) {
@@ -141,38 +200,24 @@ void PolicyServer::serve_loop(int shard) {
   }
 
   int64_t have_version = 0;
-  for (;;) {
-    std::vector<ActRequest> batch = batcher_.next_batch();
-    if (batch.empty()) return;  // closed and drained
+  int64_t have_quantized_version = 0;
 
-    if (engine_error != nullptr) {
-      for (ActRequest& req : batch) req.promise.set_exception(engine_error);
-      metrics_.increment("serve/batch_failures");
-      continue;
-    }
-
+  // One precision partition of a flushed batch, served as a single forward
+  // pass. A failure stays contained to the group's own requests — the other
+  // precision's promises may already be satisfied.
+  auto serve_group = [&](std::vector<ActRequest>& group, bool quantized,
+                         int64_t version) {
+    if (group.empty()) return;
     try {
-      // Hot-swap between batches: the whole batch runs one version.
-      PolicySnapshot snap = store_.snapshot();
-      if (snap.valid() && snap.version != have_version) {
-        trace::TraceSpan swap_span("serve", "serve/load_snapshot");
-        swap_span.set_arg("policy_version", snap.version);
-        engine->load(snap);
-        have_version = snap.version;
-        metrics_.set_gauge("serve/policy_version",
-                           static_cast<double>(have_version));
-      }
-
       // Pad ragged flushes up to a bucket size so the engine only ever
       // sees a handful of distinct batch shapes (each hitting a cached
       // shape-specialized plan). Padding rows repeat the last observation;
       // their actions are computed and dropped below.
-      const int64_t real = static_cast<int64_t>(batch.size());
-      const int64_t padded =
-          config_.pad_batches ? bucket_for(real) : real;
+      const int64_t real = static_cast<int64_t>(group.size());
+      const int64_t padded = config_.pad_batches ? bucket_for(real) : real;
       std::vector<Tensor> observations;
       observations.reserve(static_cast<size_t>(padded));
-      for (const ActRequest& req : batch) observations.push_back(req.obs);
+      for (const ActRequest& req : group) observations.push_back(req.obs);
       for (int64_t i = real; i < padded; ++i) {
         observations.push_back(observations.back());
       }
@@ -180,8 +225,11 @@ void PolicyServer::serve_loop(int shard) {
       {
         trace::TraceSpan fwd_span("serve", "serve/forward");
         fwd_span.set_arg("batch", padded);
-        fwd_span.set_arg("policy_version", have_version);
-        actions = engine->forward(stack_leading(observations));
+        fwd_span.set_arg("policy_version", version);
+        fwd_span.set_arg("int8", quantized ? 1 : 0);
+        Tensor stacked = stack_leading(observations);
+        actions = quantized ? engine->forward_quantized(stacked)
+                            : engine->forward(stacked);
       }
       std::vector<Tensor> per_request = unstack_leading(actions);
       RLG_CHECK_MSG(per_request.size() == static_cast<size_t>(padded),
@@ -193,21 +241,102 @@ void PolicyServer::serve_loop(int shard) {
 
       const ServeClock::time_point done = ServeClock::now();
       trace::TraceSpan respond_span("serve", "serve/respond");
-      respond_span.set_arg("batch", static_cast<int64_t>(batch.size()));
-      for (size_t i = 0; i < batch.size(); ++i) {
+      respond_span.set_arg("batch", real);
+      for (size_t i = 0; i < group.size(); ++i) {
         latency_hist_->record(
-            std::chrono::duration<double>(done - batch[i].enqueued).count());
-        batch[i].promise.set_value(
-            ActResult{std::move(per_request[i]), have_version});
+            std::chrono::duration<double>(done - group[i].enqueued).count());
+        ActResult result;
+        result.action = std::move(per_request[i]);
+        result.policy_version = version;
+        result.served_precision =
+            quantized ? Precision::kInt8 : Precision::kFp32;
+        group[i].promise.set_value(std::move(result));
       }
-      metrics_.increment("serve/requests",
-                         static_cast<int64_t>(batch.size()));
+      metrics_.increment("serve/requests", real);
       metrics_.increment("serve/batches");
+      if (quantized) metrics_.increment("serve/quantized_serves", real);
+    } catch (...) {
+      std::exception_ptr error = std::current_exception();
+      for (ActRequest& req : group) req.promise.set_exception(error);
+      metrics_.increment("serve/batch_failures");
+    }
+  };
+
+  for (;;) {
+    std::vector<ActRequest> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // closed and drained
+
+    if (engine_error != nullptr) {
+      for (ActRequest& req : batch) req.promise.set_exception(engine_error);
+      metrics_.increment("serve/batch_failures");
+      continue;
+    }
+
+    // Hot-swap between batches: the whole batch runs one fp32 version and
+    // (when present) one quantized version. Per-variant versions move
+    // independently — a fp32-only publication advances have_version while
+    // the int8 plan keeps serving its last paired version's requests only
+    // after a matching quantized publication (stale pairings are rejected
+    // below).
+    try {
+      PolicySnapshot snap = store_.snapshot();
+      // Quantized first: installing an RLGQ payload restores the fp32
+      // variables by DEQUANTIZING (the standalone-process import path), so
+      // the exact fp32 snapshot must load after it. The fp32 load then
+      // requantizes the int8 shadows with the imported scales — an exact
+      // round-trip back to the published int8 weights.
+      const bool loaded_quantized =
+          snap.has_quantized() && engine->supports_quantized() &&
+          snap.version != have_quantized_version;
+      if (loaded_quantized) {
+        trace::TraceSpan swap_span("serve", "serve/load_quantized");
+        swap_span.set_arg("policy_version", snap.version);
+        engine->load_quantized(snap);
+        have_quantized_version = snap.version;
+        metrics_.set_gauge("serve/quantized_policy_version",
+                           static_cast<double>(have_quantized_version));
+      }
+      if (snap.valid() &&
+          (snap.version != have_version || loaded_quantized)) {
+        trace::TraceSpan swap_span("serve", "serve/load_snapshot");
+        swap_span.set_arg("policy_version", snap.version);
+        engine->load(snap);
+        have_version = snap.version;
+        metrics_.set_gauge("serve/policy_version",
+                           static_cast<double>(have_version));
+      }
     } catch (...) {
       std::exception_ptr error = std::current_exception();
       for (ActRequest& req : batch) req.promise.set_exception(error);
       metrics_.increment("serve/batch_failures");
+      continue;
     }
+
+    // Partition by requested precision. int8 requests only route to the
+    // quantized plan while one is actually loaded AND paired with the
+    // current fp32 version; otherwise they fall back to fp32 (counted).
+    const bool quantized_live = engine->supports_quantized() &&
+                                engine->quantized_ready() &&
+                                have_quantized_version == have_version;
+    std::vector<ActRequest> fp32_group;
+    std::vector<ActRequest> int8_group;
+    int64_t fallbacks = 0;
+    for (ActRequest& req : batch) {
+      if (req.precision == Precision::kInt8) {
+        if (quantized_live) {
+          int8_group.push_back(std::move(req));
+          continue;
+        }
+        ++fallbacks;
+      }
+      fp32_group.push_back(std::move(req));
+    }
+    if (fallbacks > 0) {
+      metrics_.increment("serve/quantized_fallbacks", fallbacks);
+    }
+
+    serve_group(fp32_group, /*quantized=*/false, have_version);
+    serve_group(int8_group, /*quantized=*/true, have_quantized_version);
   }
 }
 

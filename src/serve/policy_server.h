@@ -22,7 +22,9 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -44,6 +46,19 @@ class ServingEngine {
   virtual void load(const PolicySnapshot& snapshot) = 0;
   // Greedy actions for a stacked observation batch [B, ...] -> [B, ...].
   virtual Tensor forward(const Tensor& obs_batch) = 0;
+
+  // --- int8 variant (optional) ---------------------------------------------
+  // Engines that can serve quantized plans override all three. The serve
+  // loop only calls load_quantized on snapshots with has_quantized(), and
+  // only calls forward_quantized while quantized_ready() — int8 requests
+  // fall back to fp32 otherwise.
+  virtual bool supports_quantized() const { return false; }
+  virtual void load_quantized(const PolicySnapshot& /*snapshot*/) {}
+  virtual bool quantized_ready() const { return false; }
+  virtual Tensor forward_quantized(const Tensor& obs_batch) {
+    (void)obs_batch;
+    throw NotFoundError("this serving engine has no quantized plan");
+  }
 };
 
 // The standard engine: a replica agent built from the trainer's declarative
@@ -59,10 +74,30 @@ class AgentServingEngine : public ServingEngine {
   void load(const PolicySnapshot& snapshot) override;
   Tensor forward(const Tensor& obs_batch) override;
 
+  // int8: load_quantized installs the snapshot's RLGQ payload via
+  // Agent::import_weights_quantized; forward_quantized runs the agent's
+  // int8 greedy plan. Ready once any quantized snapshot loaded (or the
+  // factory pre-enabled quantization on the replica).
+  bool supports_quantized() const override { return true; }
+  void load_quantized(const PolicySnapshot& snapshot) override;
+  bool quantized_ready() const override;
+  Tensor forward_quantized(const Tensor& obs_batch) override;
+
   Agent& agent() { return *agent_; }
 
  private:
   std::unique_ptr<Agent> agent_;
+};
+
+// One named request class: clients tag act_async calls with the class name
+// and inherit its precision and deadline. Parsed from JSON of the form
+// {"precision": "int8"|"fp32", "deadline_us": 2500}.
+struct RequestClassConfig {
+  Precision precision = Precision::kFp32;
+  // Zero inherits the server's default_deadline.
+  std::chrono::microseconds deadline{0};
+
+  static RequestClassConfig from_json(const Json& config);
 };
 
 struct PolicyServerConfig {
@@ -81,8 +116,17 @@ struct PolicyServerConfig {
   bool pad_batches = true;
   // Ascending bucket sizes; empty = powers of two up to
   // batcher.max_batch_size. A batch larger than every bucket is served
-  // unpadded at its natural size.
+  // unpadded at its natural size. Explicitly configured buckets also become
+  // the batcher's flush buckets (a queue sitting exactly on a bucket
+  // dispatches immediately, padding-free) unless batcher.flush_buckets is
+  // set; the implicit power-of-two default does not (its bucket 1 would
+  // flush every request as a singleton).
   std::vector<int64_t> batch_buckets;
+  // Precision for requests that name neither a precision nor a request
+  // class.
+  Precision default_precision = Precision::kFp32;
+  // Named request classes for act_async(obs, class_name).
+  std::map<std::string, RequestClassConfig> request_classes;
 };
 
 class PolicyServer {
@@ -119,13 +163,23 @@ class PolicyServer {
   std::future<ActResult> act_async(Tensor obs);
   std::future<ActResult> act_async(Tensor obs,
                                    std::chrono::microseconds deadline);
+  // Explicit precision (int8 requests fall back to fp32 — counted in
+  // serve/quantized_fallbacks — while no quantized variant is loaded).
+  std::future<ActResult> act_async(Tensor obs, Precision precision,
+                                   std::chrono::microseconds deadline);
+  // Route through a named request class from config.request_classes
+  // (precision + deadline); throws NotFoundError for unknown names.
+  std::future<ActResult> act_async(Tensor obs,
+                                   const std::string& request_class);
   // Blocking convenience around act_async.
   ActResult act(const Tensor& obs);
 
   // Counters: serve/requests, serve/batches, serve/shed_overload,
-  // serve/shed_deadline, serve/batch_failures, serve/padded_rows. Histograms:
-  // serve/latency_seconds, serve/queue_delay_seconds, serve/batch_size.
-  // Gauge: serve/policy_version.
+  // serve/shed_deadline, serve/batch_failures, serve/padded_rows,
+  // serve/bucket_flushes, serve/quantized_serves, serve/quantized_fallbacks.
+  // Histograms: serve/latency_seconds, serve/queue_delay_seconds,
+  // serve/batch_size. Gauges: serve/policy_version (per variant:
+  // serve/quantized_policy_version).
   MetricRegistry& metrics() { return metrics_; }
 
  private:

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "execution/param_server.h"
@@ -22,22 +23,38 @@ using WeightMap = ParameterServer::WeightMap;
 
 // One published policy version. version == 0 (weights null) means nothing
 // has been published yet; serving then runs the engines' initial weights.
+// A publication may additionally carry an int8 variant: the trainer's
+// Agent::export_weights_quantized() bytes (magic "RLGQ"), which serving
+// engines install to answer int8-precision requests. Both variants of one
+// publication share the version number.
 struct PolicySnapshot {
   int64_t version = 0;
   std::shared_ptr<const WeightMap> weights;
+  // Null when this version published no quantized variant.
+  std::shared_ptr<const std::vector<uint8_t>> quantized;
   bool valid() const { return weights != nullptr; }
+  bool has_quantized() const { return quantized != nullptr; }
 };
 
 class PolicyStore {
  public:
-  // Publish a new snapshot; returns its version (1, 2, ...).
+  // Publish a new snapshot; returns its version (1, 2, ...). Any quantized
+  // variant of an earlier version stops being served (the fp32 weights
+  // moved on; stale int8 weights must not answer for them).
   int64_t publish(WeightMap weights);
 
   // Publish from the Agent::export_weights() wire format — the trainer may
   // live in another process and ship bytes instead of tensors.
   int64_t publish_serialized(const std::vector<uint8_t>& bytes);
 
-  // Atomic (version, weights) pair of the newest publication.
+  // Publish fp32 weights together with their int8 variant (the trainer's
+  // export_weights_quantized() bytes); both carry the returned version.
+  int64_t publish_quantized(WeightMap weights,
+                            std::vector<uint8_t> quantized_bytes);
+
+  // Atomic (version, weights[, quantized]) of the newest publication. The
+  // quantized payload is only attached when it belongs to exactly the
+  // returned version.
   PolicySnapshot snapshot() const;
 
   int64_t version() const { return server_.version(); }
@@ -47,6 +64,9 @@ class PolicyStore {
 
  private:
   ParameterServer server_;
+  mutable std::mutex quantized_mutex_;
+  std::shared_ptr<const std::vector<uint8_t>> quantized_;
+  int64_t quantized_version_ = 0;  // version quantized_ belongs to
 };
 
 }  // namespace serve

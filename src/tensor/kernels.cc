@@ -951,6 +951,338 @@ Tensor random_int(const Shape& shape, int64_t n, Rng& rng) {
   return t;
 }
 
+namespace {
+// Exactly the activation expressions of the standalone unary kernels, so a
+// fused epilogue produces bit-identical results to the unfused op.
+inline float apply_fused_activation(float v, FusedActivation act) {
+  switch (act) {
+    case FusedActivation::kNone: return v;
+    case FusedActivation::kRelu: return v > 0.0f ? v : 0.0f;
+    case FusedActivation::kTanh: return std::tanh(v);
+    case FusedActivation::kSigmoid: return 1.0f / (1.0f + std::exp(-v));
+  }
+  return v;
+}
+}  // namespace
+
+FusedActivation fused_activation_from_string(const std::string& name) {
+  if (name.empty() || name == "none" || name == "linear") {
+    return FusedActivation::kNone;
+  }
+  if (name == "relu") return FusedActivation::kRelu;
+  if (name == "tanh") return FusedActivation::kTanh;
+  if (name == "sigmoid") return FusedActivation::kSigmoid;
+  throw ValueError("fused activation: unsupported \"" + name + "\"");
+}
+
+Tensor fused_dense(const Tensor& x, const Tensor& w, const Tensor& bias,
+                   FusedActivation act) {
+  check_dtype(x, DType::kFloat32, "fused_dense");
+  check_dtype(w, DType::kFloat32, "fused_dense");
+  check_dtype(bias, DType::kFloat32, "fused_dense");
+  RLG_REQUIRE(x.shape().rank() == 2 && w.shape().rank() == 2,
+              "fused_dense requires rank-2 operands, got "
+                  << x.shape().to_string() << " x " << w.shape().to_string());
+  int64_t m = x.shape().dim(0), k = x.shape().dim(1);
+  int64_t k2 = w.shape().dim(0), n = w.shape().dim(1);
+  RLG_REQUIRE(k == k2,
+              "fused_dense inner dims mismatch: " << k << " vs " << k2);
+  RLG_REQUIRE(bias.shape().rank() == 1 && bias.shape().dim(0) == n,
+              "fused_dense bias must be [" << n << "], got "
+                                           << bias.shape().to_string());
+  Tensor out = Tensor::zeros(DType::kFloat32, Shape{m, n});
+  const float* pa = x.data<float>();
+  const float* pb = w.data<float>();
+  const float* pbias = bias.data<float>();
+  float* po = out.mutable_data<float>();
+  // Same shard grain, k-blocking, and ascending-k accumulation as matmul;
+  // the bias + activation epilogue runs per owned row after the full k loop,
+  // inside the same shard, so fused == MatMul -> Add -> act bit for bit.
+  constexpr int64_t kKBlock = 256;
+  shard_range(rows_grain(2 * k * n), m,
+              [pa, pb, pbias, po, k, n, act](int64_t r0, int64_t r1) {
+                for (int64_t kb = 0; kb < k; kb += kKBlock) {
+                  int64_t ke = std::min(k, kb + kKBlock);
+                  for (int64_t i = r0; i < r1; ++i) {
+                    const float* arow = pa + i * k;
+                    float* orow = po + i * n;
+                    for (int64_t kk = kb; kk < ke; ++kk) {
+                      float av = arow[kk];
+                      if (av == 0.0f) continue;
+                      const float* brow = pb + kk * n;
+                      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+                    }
+                  }
+                }
+                for (int64_t i = r0; i < r1; ++i) {
+                  float* orow = po + i * n;
+                  for (int64_t j = 0; j < n; ++j) {
+                    orow[j] = apply_fused_activation(orow[j] + pbias[j], act);
+                  }
+                }
+              });
+  return out;
+}
+
+Tensor fused_conv2d(const Tensor& input, const Tensor& filter,
+                    const Tensor& bias, int stride, bool same_padding,
+                    FusedActivation act) {
+  check_dtype(input, DType::kFloat32, "fused_conv2d");
+  check_dtype(filter, DType::kFloat32, "fused_conv2d");
+  check_dtype(bias, DType::kFloat32, "fused_conv2d");
+  ConvDims d = conv_dims(input.shape(), filter.shape(), stride, same_padding);
+  RLG_REQUIRE(bias.shape().rank() == 1 && bias.shape().dim(0) == d.out_c,
+              "fused_conv2d bias must be [" << d.out_c << "], got "
+                                            << bias.shape().to_string());
+  Tensor out =
+      Tensor::zeros(DType::kFloat32, Shape{d.batch, d.out_h, d.out_w, d.out_c});
+  const float* pi = input.data<float>();
+  const float* pf = filter.data<float>();
+  const float* pbias = bias.data<float>();
+  float* po = out.mutable_data<float>();
+  // conv2d's shard decomposition and accumulation order, plus a per-pixel
+  // bias + activation epilogue on the shard's own output rows.
+  int64_t conv_row_flops = 2 * d.out_w * d.kh * d.kw * d.in_c * d.out_c;
+  shard_range(rows_grain(conv_row_flops), d.batch * d.out_h,
+              [&d, pi, pf, pbias, po, stride, act](int64_t row0, int64_t row1) {
+    for (int64_t row = row0; row < row1; ++row) {
+      int64_t b = row / d.out_h;
+      int64_t oh = row % d.out_h;
+      for (int64_t ow = 0; ow < d.out_w; ++ow) {
+        float* opix = po + ((b * d.out_h + oh) * d.out_w + ow) * d.out_c;
+        for (int64_t fh = 0; fh < d.kh; ++fh) {
+          int64_t ih = oh * stride + fh - d.pad_h;
+          if (ih < 0 || ih >= d.in_h) continue;
+          for (int64_t fw = 0; fw < d.kw; ++fw) {
+            int64_t iw = ow * stride + fw - d.pad_w;
+            if (iw < 0 || iw >= d.in_w) continue;
+            const float* ipix = pi + ((b * d.in_h + ih) * d.in_w + iw) * d.in_c;
+            const float* fpix = pf + (fh * d.kw + fw) * d.in_c * d.out_c;
+            for (int64_t c = 0; c < d.in_c; ++c) {
+              float iv = ipix[c];
+              if (iv == 0.0f) continue;
+              const float* frow = fpix + c * d.out_c;
+              for (int64_t oc = 0; oc < d.out_c; ++oc) {
+                opix[oc] += iv * frow[oc];
+              }
+            }
+          }
+        }
+        for (int64_t oc = 0; oc < d.out_c; ++oc) {
+          opix[oc] = apply_fused_activation(opix[oc] + pbias[oc], act);
+        }
+      }
+    }
+  });
+  return out;
+}
+
+namespace {
+struct CompiledLink {
+  float (*un)(float) = nullptr;
+  float (*bin)(float, float) = nullptr;
+  bool chain_left = true;
+  int extra = -1;
+};
+
+CompiledLink compile_link(const EwiseLink& link, size_t num_extras) {
+  CompiledLink c;
+  if (link.binary) {
+    c.chain_left = link.chain_left;
+    c.extra = link.extra;
+    RLG_REQUIRE(link.extra >= 0 &&
+                    static_cast<size_t>(link.extra) < num_extras,
+                "fused_elementwise: extra index " << link.extra
+                                                  << " out of range");
+    // Same lambdas as the standalone binary kernels.
+    if (link.op == "Add") c.bin = +[](float x, float y) { return x + y; };
+    else if (link.op == "Sub") c.bin = +[](float x, float y) { return x - y; };
+    else if (link.op == "Mul") c.bin = +[](float x, float y) { return x * y; };
+    else if (link.op == "Div") c.bin = +[](float x, float y) { return x / y; };
+    else if (link.op == "Minimum")
+      c.bin = +[](float x, float y) { return x < y ? x : y; };
+    else if (link.op == "Maximum")
+      c.bin = +[](float x, float y) { return x > y ? x : y; };
+    else
+      throw ValueError("fused_elementwise: unsupported binary op " + link.op);
+  } else {
+    // Same lambdas as the standalone unary kernels.
+    if (link.op == "Neg") c.un = +[](float x) { return -x; };
+    else if (link.op == "Exp") c.un = +[](float x) { return std::exp(x); };
+    else if (link.op == "Log") c.un = +[](float x) { return std::log(x); };
+    else if (link.op == "Sqrt") c.un = +[](float x) { return std::sqrt(x); };
+    else if (link.op == "Square") c.un = +[](float x) { return x * x; };
+    else if (link.op == "Abs") c.un = +[](float x) { return std::fabs(x); };
+    else if (link.op == "Relu")
+      c.un = +[](float x) { return x > 0.0f ? x : 0.0f; };
+    else if (link.op == "Sigmoid")
+      c.un = +[](float x) { return 1.0f / (1.0f + std::exp(-x)); };
+    else if (link.op == "Tanh") c.un = +[](float x) { return std::tanh(x); };
+    else
+      throw ValueError("fused_elementwise: unsupported unary op " + link.op);
+  }
+  return c;
+}
+}  // namespace
+
+Tensor fused_elementwise(const Tensor& x, const std::vector<Tensor>& extras,
+                         const std::vector<EwiseLink>& links) {
+  check_dtype(x, DType::kFloat32, "fused_elementwise");
+  for (const Tensor& e : extras) {
+    check_dtype(e, DType::kFloat32, "fused_elementwise");
+  }
+  std::vector<CompiledLink> steps;
+  steps.reserve(links.size());
+  for (const EwiseLink& l : links) steps.push_back(compile_link(l, extras.size()));
+  const Shape& oshape = x.shape();
+  int rank = oshape.rank();
+  int64_t n = oshape.num_elements();
+  // Per-extra broadcast strides against the chain (= output) shape, stride 0
+  // on broadcast dimensions — the same cursor scheme as binary_broadcast, so
+  // each extra element pairs with the same chain element as in the unfused
+  // broadcast op.
+  std::vector<std::vector<int64_t>> estrides(extras.size());
+  for (size_t e = 0; e < extras.size(); ++e) {
+    const Shape& es = extras[e].shape();
+    RLG_REQUIRE(es.rank() <= rank,
+                "fused_elementwise: extra " << es.to_string()
+                                            << " does not broadcast into "
+                                            << oshape.to_string());
+    auto cs = contiguous_strides(es);
+    estrides[e].assign(static_cast<size_t>(rank), 0);
+    for (int i = 0; i < rank; ++i) {
+      int ei = es.rank() - rank + i;
+      if (ei >= 0 && es.dim(ei) != 1) {
+        RLG_REQUIRE(es.dim(ei) == oshape.dim(i),
+                    "fused_elementwise: extra " << es.to_string()
+                                                << " does not broadcast into "
+                                                << oshape.to_string());
+        estrides[e][static_cast<size_t>(i)] = cs[static_cast<size_t>(ei)];
+      }
+    }
+  }
+  Tensor out(DType::kFloat32, oshape);
+  const float* px = x.data<float>();
+  std::vector<const float*> pext(extras.size());
+  for (size_t e = 0; e < extras.size(); ++e) pext[e] = extras[e].data<float>();
+  float* po = out.mutable_data<float>();
+  size_t ne = extras.size();
+  shard_range(kMathGrain, n, [&](int64_t begin, int64_t end) {
+    // Seed the odometer and every extra's strided cursor from the shard's
+    // first flat index, then walk exactly like the serial loop.
+    std::vector<int64_t> idx(static_cast<size_t>(rank), 0);
+    std::vector<int64_t> cursor(ne, 0);
+    int64_t rem = begin;
+    for (int d = rank - 1; d >= 0; --d) {
+      auto du = static_cast<size_t>(d);
+      idx[du] = rem % oshape.dim(d);
+      rem /= oshape.dim(d);
+      for (size_t e = 0; e < ne; ++e) cursor[e] += idx[du] * estrides[e][du];
+    }
+    for (int64_t flat = begin; flat < end; ++flat) {
+      float v = px[flat];
+      for (const CompiledLink& s : steps) {
+        if (s.un) {
+          v = s.un(v);
+        } else {
+          float o = pext[static_cast<size_t>(s.extra)]
+                        [cursor[static_cast<size_t>(s.extra)]];
+          v = s.chain_left ? s.bin(v, o) : s.bin(o, v);
+        }
+      }
+      po[flat] = v;
+      for (int d = rank - 1; d >= 0; --d) {
+        auto du = static_cast<size_t>(d);
+        ++idx[du];
+        for (size_t e = 0; e < ne; ++e) cursor[e] += estrides[e][du];
+        if (idx[du] < oshape.dim(d)) break;
+        for (size_t e = 0; e < ne; ++e) cursor[e] -= estrides[e][du] * idx[du];
+        idx[du] = 0;
+      }
+    }
+  });
+  return out;
+}
+
+Tensor quantize_linear(const Tensor& a, float scale) {
+  check_dtype(a, DType::kFloat32, "quantize_linear");
+  RLG_REQUIRE(std::isfinite(scale) && scale > 0.0f,
+              "quantize_linear: scale must be finite and positive, got "
+                  << scale);
+  Tensor out(DType::kInt8, a.shape());
+  const float* pa = a.data<float>();
+  int8_t* po = out.mutable_data<int8_t>();
+  shard_range(kCheapGrain, a.num_elements(),
+              [pa, po, scale](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  float q = std::round(pa[i] / scale);
+                  if (q > 127.0f) q = 127.0f;
+                  if (q < -127.0f) q = -127.0f;
+                  po[i] = static_cast<int8_t>(q);
+                }
+              });
+  return out;
+}
+
+Tensor dequantize_linear(const Tensor& a, float scale) {
+  check_dtype(a, DType::kInt8, "dequantize_linear");
+  RLG_REQUIRE(std::isfinite(scale) && scale > 0.0f,
+              "dequantize_linear: scale must be finite and positive, got "
+                  << scale);
+  Tensor out(DType::kFloat32, a.shape());
+  const int8_t* pa = a.data<int8_t>();
+  float* po = out.mutable_data<float>();
+  shard_range(kCheapGrain, a.num_elements(),
+              [pa, po, scale](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  po[i] = static_cast<float>(pa[i]) * scale;
+                }
+              });
+  return out;
+}
+
+Tensor matmul_int8(const Tensor& a, const Tensor& b, float rescale) {
+  check_dtype(a, DType::kInt8, "matmul_int8");
+  check_dtype(b, DType::kInt8, "matmul_int8");
+  RLG_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2,
+              "matmul_int8 requires rank-2 operands, got "
+                  << a.shape().to_string() << " x " << b.shape().to_string());
+  int64_t m = a.shape().dim(0), k = a.shape().dim(1);
+  int64_t k2 = b.shape().dim(0), n = b.shape().dim(1);
+  RLG_REQUIRE(k == k2,
+              "matmul_int8 inner dims mismatch: " << k << " vs " << k2);
+  Tensor out(DType::kFloat32, Shape{m, n});
+  const int8_t* pa = a.data<int8_t>();
+  const int8_t* pb = b.data<int8_t>();
+  float* po = out.mutable_data<float>();
+  // Integer accumulation is exact and associative, so sharding only needs
+  // disjoint output rows; each row accumulates into an int32 scratch vector
+  // and converts once at the end (single rounding step per element).
+  shard_range(rows_grain(2 * k * n), m,
+              [pa, pb, po, k, n, rescale](int64_t r0, int64_t r1) {
+                std::vector<int32_t> acc(static_cast<size_t>(n));
+                for (int64_t i = r0; i < r1; ++i) {
+                  std::fill(acc.begin(), acc.end(), 0);
+                  const int8_t* arow = pa + i * k;
+                  for (int64_t kk = 0; kk < k; ++kk) {
+                    int32_t av = arow[kk];
+                    if (av == 0) continue;
+                    const int8_t* brow = pb + kk * n;
+                    for (int64_t j = 0; j < n; ++j) {
+                      acc[static_cast<size_t>(j)] +=
+                          av * static_cast<int32_t>(brow[j]);
+                    }
+                  }
+                  float* orow = po + i * n;
+                  for (int64_t j = 0; j < n; ++j) {
+                    orow[j] = static_cast<float>(acc[static_cast<size_t>(j)]) *
+                              rescale;
+                  }
+                }
+              });
+  return out;
+}
+
 Tensor cast(const Tensor& a, DType target) { return a.cast(target); }
 
 }  // namespace kernels

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -101,6 +102,42 @@ Tensor random_uniform(const Shape& shape, double lo, double hi, Rng& rng);
 Tensor random_normal(const Shape& shape, double mean, double stddev, Rng& rng);
 // Random integers in [0, n) as int32.
 Tensor random_int(const Shape& shape, int64_t n, Rng& rng);
+
+// --- Fused composites --------------------------------------------------------
+// The pattern-fusion pass lowers MatMul+AddBias(+activation) and
+// Conv2D+AddBias(+activation) onto these. Bias add and activation run in the
+// accumulation loop's epilogue within the same output shard, so results are
+// bitwise identical to the unfused op sequence at any thread count.
+enum class FusedActivation { kNone = 0, kRelu = 1, kTanh = 2, kSigmoid = 3 };
+FusedActivation fused_activation_from_string(const std::string& name);
+// x: [M, K], w: [K, N], bias: [N] -> act(x @ w + bias), float32.
+Tensor fused_dense(const Tensor& x, const Tensor& w, const Tensor& bias,
+                   FusedActivation act);
+// NHWC conv + per-channel bias [Cout] + activation.
+Tensor fused_conv2d(const Tensor& input, const Tensor& filter,
+                    const Tensor& bias, int stride, bool same_padding,
+                    FusedActivation act);
+
+// One link of a fused elementwise chain: a unary map, or a binary op
+// combining the running value with `extras[extra]` (which broadcasts into
+// the chain shape; stride-0 iteration on broadcast dimensions).
+struct EwiseLink {
+  std::string op;          // "Relu", "Add", ...
+  bool binary = false;
+  bool chain_left = true;  // binary: running value is the left operand
+  int extra = -1;          // binary: index into `extras`
+};
+Tensor fused_elementwise(const Tensor& x, const std::vector<Tensor>& extras,
+                         const std::vector<EwiseLink>& links);
+
+// --- Int8 quantization -------------------------------------------------------
+// Symmetric per-tensor linear quantization:
+//   q = clamp(round(x / scale), -127, 127) as int8.
+Tensor quantize_linear(const Tensor& a, float scale);
+Tensor dequantize_linear(const Tensor& a, float scale);
+// a: int8 [M, K], b: int8 [K, N] -> float32 [M, N]. Accumulates in int32 and
+// rescales by `rescale` (= scale_a * scale_b) at the output.
+Tensor matmul_int8(const Tensor& a, const Tensor& b, float rescale);
 
 // --- Misc --------------------------------------------------------------------
 Tensor cast(const Tensor& a, DType target);

@@ -254,6 +254,47 @@ TEST_F(SpecializedPlanTest, SteadyStateRunsBypassBufferPool) {
   EXPECT_EQ(call->plan().counters().planned_runs.load(), 11);
 }
 
+TEST_F(SpecializedPlanTest, FusedDensePlanReachesZeroSteadyStateAllocs) {
+  // Pattern fusion runs before shape specialization, so the fused steps
+  // (FusedDense, FusedElementwise) must carry shape_fns that arena planning
+  // can resolve: a fused inference plan still reaches the zero-pool-traffic
+  // steady state of SteadyStateRunsBypassBufferPool.
+  ParallelismGuard guard(1);
+  std::vector<float> w(16 * 8), b(8);
+  for (size_t i = 0; i < w.size(); ++i) w[i] = 0.02f * (float)i - 1.2f;
+  for (size_t i = 0; i < b.size(); ++i) b[i] = 0.1f * (float)i;
+  store_.create("w", Tensor::from_floats(Shape{16, 8}, w));
+  store_.create("b", Tensor::from_floats(Shape{8}, b));
+  OpRef x = ctx_.placeholder("x", DType::kFloat32, Shape{kUnknownDim, 16});
+  OpRef h = ctx_.relu(ctx_.add(ctx_.matmul(x, ctx_.variable("w")),
+                               ctx_.variable("b")));
+  OpRef out = ctx_.mul(ctx_.neg(h), ctx_.scalar(0.5f));
+
+  Session s = make_session();
+  s.set_pattern_fusion(true);
+  auto call = s.prepare_specialized({{out.node, 0}}, {x.node}, {Shape{4, 16}});
+  ASSERT_TRUE(call->plan().specialized());
+  ASSERT_GT(call->plan().fused_kernel_steps(), 0);
+  ASSERT_NE(call->plan().arena_plan(), nullptr);
+  // Every step resolved — variable reads via their static attr shapes, the
+  // fused steps via their registered shape_fns.
+  EXPECT_EQ(call->plan().arena_plan()->planned_slots,
+            call->plan().num_steps());
+
+  Tensor feed = make_feed(4, 16);
+  (void)call->run({feed});
+  const int64_t allocated = call->bytes_allocated();
+  const int64_t reused = call->bytes_reused();
+  const int64_t blocks = call->arena_block_allocs();
+  for (int i = 0; i < 10; ++i) (void)call->run({feed});
+  EXPECT_EQ(call->bytes_allocated(), allocated)
+      << "pool allocation on the fused specialized hot path";
+  EXPECT_EQ(call->bytes_reused(), reused);
+  EXPECT_EQ(call->arena_block_allocs(), blocks);
+  EXPECT_EQ(call->arena_alias_fallbacks(), 0);
+  EXPECT_EQ(call->plan().counters().planned_runs.load(), 11);
+}
+
 TEST_F(SpecializedPlanTest, AliasingKernelFallsBackSafely) {
   // identity() returns its input tensor, so the aliased buffer outlives the
   // planner's interval for it; the runtime hazard check must withhold the

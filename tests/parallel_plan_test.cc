@@ -4,6 +4,8 @@
 // DQN training trace is reproducible at 1/2/8 threads.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "agents/dqn_agent.h"
 #include "backend/static_context.h"
 #include "env/grid_world.h"
@@ -135,6 +137,67 @@ TEST_F(ParallelPlanTest, FailingStepPropagatesFromParallelExecution) {
   EXPECT_THROW(plan->execute(arena, {Tensor::from_floats(Shape{32}, data)},
                              &store_, &rng_),
                Error);
+}
+
+TEST_F(ParallelPlanTest, FusedPlanBitwiseMatchesUnfusedAtAnyThreadCount) {
+  // A two-layer dense network plus an elementwise tail: pattern fusion
+  // collapses MatMul+Add+activation into FusedDense steps and the tail into
+  // one FusedElementwise. The fused kernels reuse the standalone kernels'
+  // shard grains and per-element loops, so results are bitwise identical to
+  // the unfused plan at any thread count — with fewer dispatches.
+  auto fill = [](int64_t count, float scale) {
+    std::vector<float> v(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      v[static_cast<size_t>(i)] =
+          scale * std::sin(0.37f * static_cast<float>(i));
+    }
+    return v;
+  };
+  store_.create("w1", Tensor::from_floats(Shape{32, 32}, fill(32 * 32, 0.3f)));
+  store_.create("b1", Tensor::from_floats(Shape{32}, fill(32, 0.1f)));
+  store_.create("w2", Tensor::from_floats(Shape{32, 16}, fill(32 * 16, 0.25f)));
+  store_.create("b2", Tensor::from_floats(Shape{16}, fill(16, 0.05f)));
+
+  OpRef x = ctx_.placeholder("x", DType::kFloat32, Shape{64, 32});
+  OpRef h1 = ctx_.relu(ctx_.add(ctx_.matmul(x, ctx_.variable("w1")),
+                                ctx_.variable("b1")));
+  OpRef h2 = ctx_.tanh(ctx_.add(ctx_.matmul(h1, ctx_.variable("w2")),
+                                ctx_.variable("b2")));
+  OpRef out = ctx_.mul(ctx_.neg(h2), ctx_.scalar(0.5f));
+
+  auto unfused =
+      CompiledPlan::compile(ctx_.graph(), {{out.node, 0}}, {x.node});
+  auto fused = CompiledPlan::compile(ctx_.graph(), {{out.node, 0}}, {x.node},
+                                     /*fuse_patterns=*/true);
+  EXPECT_GE(fused->fused_kernel_steps(), 3);  // 2x FusedDense + tail chain
+  EXPECT_LT(fused->num_steps(), unfused->num_steps());
+
+  Tensor feed = Tensor::from_floats(Shape{64, 32}, fill(64 * 32, 1.0f));
+  set_global_parallelism(1);
+  RunArena serial_arena;
+  std::vector<float> serial =
+      unfused->execute(serial_arena, {feed}, &store_, &rng_)[0].to_floats();
+  {
+    RunArena arena;
+    EXPECT_EQ(fused->execute(arena, {feed}, &store_, &rng_)[0].to_floats(),
+              serial);
+  }
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    ParallelismGuard guard(threads);
+    for (int rep = 0; rep < 3; ++rep) {
+      RunArena fused_arena;
+      EXPECT_EQ(
+          fused->execute(fused_arena, {feed}, &store_, &rng_)[0].to_floats(),
+          serial)
+          << threads << " threads, rep " << rep;
+      RunArena unfused_arena;
+      EXPECT_EQ(
+          unfused->execute(unfused_arena, {feed}, &store_, &rng_)[0]
+              .to_floats(),
+          serial)
+          << threads << " threads, rep " << rep;
+    }
+  }
 }
 
 Json dqn_config() {

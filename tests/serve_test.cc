@@ -130,6 +130,33 @@ TEST(DynamicBatcherTest, OverloadShedsWithTypedError) {
   EXPECT_THROW(f2.get(), OverloadedError);
 }
 
+TEST(DynamicBatcherTest, BucketBoundaryFlushesWithoutDelay) {
+  // With flush buckets configured, a batch flushes the moment the queue
+  // reaches a bucket boundary — it does not sit out max_queue_delay waiting
+  // for a full max_batch. Deterministic: the bucket is hit before
+  // next_batch() is even called, so no timing window is involved.
+  MetricRegistry metrics;
+  BatcherConfig cfg;
+  cfg.max_batch_size = 64;
+  cfg.max_queue_delay = 10s;  // must not matter
+  cfg.flush_buckets = {4};
+  DynamicBatcher batcher(cfg, &metrics);
+  std::vector<std::future<ActResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(batcher.submit(obs1(static_cast<float>(i))));
+  }
+
+  const auto t0 = ServeClock::now();
+  std::vector<ActRequest> batch = batcher.next_batch();
+  const double waited =
+      std::chrono::duration<double>(ServeClock::now() - t0).count();
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_LT(waited, 1.0);  // bucket flush, not the 10s delay
+  EXPECT_EQ(metrics.counter("serve/bucket_flushes"), 1);
+  for (ActRequest& r : batch) r.promise.set_value(ActResult{});
+  for (auto& f : futures) f.get();
+}
+
 TEST(DynamicBatcherTest, SubmitAfterCloseRejected) {
   DynamicBatcher batcher(BatcherConfig{});
   batcher.close();
@@ -480,6 +507,94 @@ TEST(PolicyServerTest, OversizedBatchesServeUnpaddedPastLargestBucket) {
   for (int64_t n : seen_sizes) {
     EXPECT_TRUE(n == 2 || n > 2) << "batch of " << n;
   }
+}
+
+// --- per-request-class precision routing -------------------------------------
+
+TEST(RequestClassConfigTest, ParsesPrecisionAndDeadline) {
+  serve::RequestClassConfig rc = serve::RequestClassConfig::from_json(
+      Json::parse(R"({"precision": "int8", "deadline_us": 5000})"));
+  EXPECT_EQ(rc.precision, serve::Precision::kInt8);
+  EXPECT_EQ(rc.deadline.count(), 5000);
+  serve::RequestClassConfig defaults =
+      serve::RequestClassConfig::from_json(Json::parse(R"({})"));
+  EXPECT_EQ(defaults.precision, serve::Precision::kFp32);
+  EXPECT_EQ(defaults.deadline.count(), 0);  // inherit the server default
+  EXPECT_THROW(serve::RequestClassConfig::from_json(
+                   Json::parse(R"({"precision": "fp16"})")),
+               ValueError);
+}
+
+TEST(PolicyServerTest, RoutesRequestClassesToQuantizedVariant) {
+  SpacePtr obs_space = FloatBox(Shape{4});
+  SpacePtr act_space = IntBox(3);
+  DQNAgent trainer(serve_dqn_config(), obs_space, act_space);
+  trainer.build();
+  Rng rng(3);
+  std::vector<float> cal(8 * 4);
+  for (float& x : cal) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  trainer.enable_quantized_actions({Tensor::from_floats(Shape{8, 4}, cal)});
+
+  PolicyServerConfig cfg;
+  cfg.num_shards = 1;
+  cfg.batcher.max_batch_size = 8;
+  cfg.batcher.max_queue_delay = 1ms;
+  serve::RequestClassConfig realtime;
+  realtime.precision = serve::Precision::kInt8;
+  cfg.request_classes["realtime"] = realtime;
+  cfg.request_classes["batch"] = serve::RequestClassConfig{};
+  PolicyServer server(serve_dqn_config(), obs_space, act_space, cfg);
+  server.store().publish_quantized(trainer.get_weights(),
+                                   trainer.export_weights_quantized());
+  server.start();
+
+  std::vector<float> v(4);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  Tensor obs = Tensor::from_floats(Shape{4}, v);
+  ActResult rt = server.act_async(obs, "realtime").get();
+  EXPECT_EQ(rt.served_precision, serve::Precision::kInt8);
+  EXPECT_EQ(rt.policy_version, 1);
+  // The int8 answer is the trainer's own quantized plan's answer.
+  Tensor want = trainer.get_actions_quantized(obs.reshaped(Shape{1, 4}));
+  EXPECT_EQ(static_cast<int32_t>(rt.action.scalar_value()), want.to_ints()[0]);
+
+  ActResult bt = server.act_async(obs, "batch").get();
+  EXPECT_EQ(bt.served_precision, serve::Precision::kFp32);
+  EXPECT_EQ(bt.policy_version, 1);
+
+  EXPECT_THROW(server.act_async(obs, "no-such-class"), NotFoundError);
+  server.shutdown();
+  EXPECT_GE(server.metrics().counter("serve/quantized_serves"), 1);
+  EXPECT_EQ(server.metrics().counter("serve/quantized_fallbacks"), 0);
+  EXPECT_EQ(server.metrics().gauge("serve/quantized_policy_version"), 1);
+}
+
+TEST(PolicyServerTest, Int8FallsBackToFp32WithoutQuantizedVariant) {
+  SpacePtr obs_space = FloatBox(Shape{4});
+  SpacePtr act_space = IntBox(3);
+  DQNAgent trainer(serve_dqn_config(), obs_space, act_space);
+  trainer.build();
+
+  PolicyServerConfig cfg;
+  cfg.num_shards = 1;
+  cfg.batcher.max_batch_size = 8;
+  cfg.batcher.max_queue_delay = 1ms;
+  cfg.default_precision = serve::Precision::kInt8;
+  PolicyServer server(serve_dqn_config(), obs_space, act_space, cfg);
+  server.store().publish(trainer.get_weights());  // fp32 only
+  server.start();
+
+  Rng rng(9);
+  std::vector<float> v(4);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  ActResult r = server.act(Tensor::from_floats(Shape{4}, v));
+  // No quantized variant published: the request is served fp32 and counted
+  // as a fallback, never failed.
+  EXPECT_EQ(r.served_precision, serve::Precision::kFp32);
+  EXPECT_EQ(r.policy_version, 1);
+  server.shutdown();
+  EXPECT_GE(server.metrics().counter("serve/quantized_fallbacks"), 1);
+  EXPECT_EQ(server.metrics().counter("serve/quantized_serves"), 0);
 }
 
 TEST(PolicyServerTest, RejectsMalformedObservationsAtAdmission) {
