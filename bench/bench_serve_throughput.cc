@@ -1,23 +1,31 @@
-// Serving-path benchmark: dynamic batching vs. one-request-at-a-time act().
+// Serving-path benchmark: closed-loop batching speedup + open-loop
+// saturation sweep.
 //
-// Baseline: the same PolicyServer with batching disabled (max_batch_size=1)
-// — every act() request pays its own dispatch round-trip (shard wakeup,
-// full per-call framework overhead of a batch-1 forward pass, client
-// wakeup). Batched: max_batch_size=32 with a queue-delay window sized to
-// the client resubmission burst; the dynamic batcher coalesces the
-// closed-loop clients' requests so dispatch and forward-pass overhead
-// amortize across the batch. Target: >= 3x the one-at-a-time QPS while
-// sustaining mean batch >= 8, with p99 latency bounded by max_queue_delay
-// plus one batched forward pass. A direct in-process get_actions() loop is
-// reported too, as the no-serving-tier reference point.
+// Part 1 (reference points): direct in-process get_actions() (no serving
+// tier, specialized and dynamic plans) and the closed-loop batching speedup
+// — the same PolicyServer at max_batch_size=1 (every request pays its own
+// dispatch round-trip) vs 64 (dispatch and forward-pass overhead amortize
+// across the batch), plus the int8 quantized serving path.
+//
+// Part 2 (the saturation sweep): closed-loop clients self-throttle, so
+// they can never show what overload looks like. The open-loop harness
+// (load_harness.h) offers Poisson arrivals at fixed rates spanning the
+// measured closed-loop capacity — below the knee, at it, and past it —
+// and reports offered vs attained QPS, per-tenant p50/p99, and shed/
+// timeout counts per point. Steady-state serving must still ride the PR 7
+// shape-specialized zero-alloc path: the sweep asserts the serving
+// replica's plan cache sees NO new compiles after warmup (every batched
+// forward hits a cached specialized plan).
 #include <cstdio>
 #include <deque>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "agents/dqn_agent.h"
 #include "bench_common.h"
+#include "load_harness.h"
 #include "serve/policy_server.h"
 
 namespace rlgraph {
@@ -88,42 +96,48 @@ double single_request_qps(double seconds, bool specialize,
   return static_cast<double>(requests) / watch.elapsed_seconds();
 }
 
-struct ServedResult {
-  double qps = 0;
-  double mean_batch = 0;
-  double p50 = 0, p95 = 0, p99 = 0;
-  int64_t shed = 0;
-  int64_t padded_rows = 0;
-  int64_t quantized_serves = 0;
-};
-
-// `pad` buckets flushed batches to powers of two (each bucket hitting a
-// cached shape-specialized plan); `specialize` toggles the specialized
-// plans themselves in the serving replica. `int8` publishes a quantized
-// weight variant and submits every request at int8 precision, routing the
-// batched forward passes through the replica's MatMulInt8 plan.
-ServedResult served_qps(int clients, int64_t max_batch, double seconds,
-                        bool pad, bool specialize, bool int8 = false) {
-  SpacePtr obs_space = FloatBox(Shape{kObsDim});
+serve::PolicyServerConfig server_config(int64_t max_batch, bool int8) {
   serve::PolicyServerConfig cfg;
   cfg.num_shards = 1;
   cfg.batcher.max_batch_size = max_batch;
-  // The window only has to cover the closed-loop clients' resubmission
-  // burst after a batch completes; anything longer is idle time.
+  // The window only has to cover the clients' resubmission burst after a
+  // batch completes; anything longer is idle time.
   cfg.batcher.max_queue_delay = 100us;
   cfg.batcher.queue_capacity = 4096;
-  cfg.pad_batches = pad;
+  cfg.pad_batches = true;
   if (int8) cfg.default_precision = serve::Precision::kInt8;
+  return cfg;
+}
+
+Json agent_config_specialized() {
   Json agent_cfg = serve_agent_config();
-  agent_cfg["specialize_shapes"] = Json(specialize);
-  serve::PolicyServer server(agent_cfg, obs_space, IntBox(kNumActions), cfg);
+  agent_cfg["specialize_shapes"] = Json(true);
+  return agent_cfg;
+}
+
+struct ServedResult {
+  double qps = 0;
+  double mean_batch = 0;
+  double p99 = 0;
+};
+
+// Closed-loop reference: `clients` pipeline-window threads keep 8 requests
+// outstanding each; measures the server's sustainable capacity (and the
+// batching speedup at max_batch 1 vs 64).
+ServedResult served_qps(int clients, int64_t max_batch, double seconds,
+                        bool int8 = false) {
+  SpacePtr obs_space = FloatBox(Shape{kObsDim});
+  serve::PolicyServerConfig cfg = server_config(max_batch, int8);
+  serve::PolicyServer server(agent_config_specialized(), obs_space,
+                             IntBox(kNumActions), cfg);
   server.start();
 
   if (int8) {
     // A trainer-side agent calibrates on a small observation sample and
     // publishes its fp32 weights together with the RLGQ int8 variant; the
     // serving replica installs both on its next snapshot check.
-    DQNAgent trainer(agent_cfg, obs_space, IntBox(kNumActions));
+    DQNAgent trainer(agent_config_specialized(), obs_space,
+                     IntBox(kNumActions));
     trainer.build();
     Rng rng(11);
     std::vector<float> cal(8 * kObsDim);
@@ -137,10 +151,6 @@ ServedResult served_qps(int clients, int64_t max_batch, double seconds,
   std::vector<Tensor> obs = make_observations(64);
   for (int i = 0; i < 8; ++i) (void)server.act(obs[0]);  // warmup
 
-  // Closed-loop clients with a pipeline window: each keeps kWindow
-  // requests outstanding (act_async) and refills as futures resolve, like
-  // a client library batching RPCs over one connection. A window of 1
-  // would serialize one context switch per request into the measurement.
   constexpr size_t kWindow = 8;
   std::atomic<bool> stop{false};
   std::atomic<int64_t> completed{0};
@@ -149,20 +159,15 @@ ServedResult served_qps(int clients, int64_t max_batch, double seconds,
     threads.emplace_back([&, c] {
       int64_t i = 0;
       std::deque<std::future<serve::ActResult>> inflight;
-      auto submit_one = [&]() -> bool {
-        try {
-          inflight.push_back(
-              server.act_async(obs[static_cast<size_t>((c + i++) % 64)]));
-          return true;
-        } catch (const OverloadedError&) {
-          std::this_thread::sleep_for(100us);  // back off, retry
-          return false;
-        }
-      };
       while (!stop.load(std::memory_order_relaxed)) {
         while (inflight.size() < kWindow &&
                !stop.load(std::memory_order_relaxed)) {
-          (void)submit_one();
+          try {
+            inflight.push_back(
+                server.act_async(obs[static_cast<size_t>((c + i++) % 64)]));
+          } catch (const OverloadedError&) {
+            std::this_thread::sleep_for(100us);  // back off, retry
+          }
         }
         if (inflight.empty()) continue;
         (void)inflight.front().get();
@@ -188,16 +193,11 @@ ServedResult served_qps(int clients, int64_t max_batch, double seconds,
   ServedResult r;
   r.qps = static_cast<double>(completed.load()) / elapsed;
   const int64_t batches = m.counter("serve/batches");
-  r.mean_batch = batches > 0 ? static_cast<double>(m.counter("serve/requests")) /
-                                   static_cast<double>(batches)
-                             : 0.0;
-  Histogram& lat = m.histogram("serve/latency_seconds");
-  r.p50 = lat.p50();
-  r.p95 = lat.p95();
-  r.p99 = lat.p99();
-  r.shed = m.counter("serve/shed_overload") + m.counter("serve/shed_deadline");
-  r.padded_rows = m.counter("serve/padded_rows");
-  r.quantized_serves = m.counter("serve/quantized_serves");
+  r.mean_batch =
+      batches > 0 ? static_cast<double>(m.counter("serve/requests")) /
+                        static_cast<double>(batches)
+                  : 0.0;
+  r.p99 = m.histogram("serve/latency_seconds").p99();
   return r;
 }
 
@@ -210,13 +210,11 @@ int main(int argc, char** argv) {
   bench::TraceFlag trace_flag(argc, argv);
   bench::Scale scale = bench::bench_scale();
   const double seconds =
-      scale == bench::Scale::kQuick ? 1.0
-                                    : (scale == bench::Scale::kFull ? 8.0 : 3.0);
-  const std::vector<int> client_counts =
-      scale == bench::Scale::kQuick ? std::vector<int>{16}
-                                    : std::vector<int>{1, 4, 16, 64};
+      scale == bench::Scale::kQuick
+          ? 1.0
+          : (scale == bench::Scale::kFull ? 8.0 : 3.0);
 
-  bench::print_header("serving throughput: dynamic batching vs single act()");
+  bench::print_header("serving throughput: batching speedup (closed loop)");
   int64_t fused_dispatches = 0;
   const double direct =
       single_request_qps(seconds, /*specialize=*/true, &fused_dispatches);
@@ -234,47 +232,157 @@ int main(int argc, char** argv) {
                   static_cast<double>(fused_dispatches), "dispatches");
   reporter.record("direct_call_qps_dynamic", direct_dynamic, "req/s");
 
-  for (int clients : client_counts) {
-    ServedResult base = served_qps(clients, /*max_batch=*/1, seconds,
-                                   /*pad=*/false, /*specialize=*/true);
-    // Specialized + bucketed padding (the serving default) against the
-    // dynamic-plan, ragged-batch baseline.
-    ServedResult batched = served_qps(clients, /*max_batch=*/64, seconds,
-                                      /*pad=*/true, /*specialize=*/true);
-    ServedResult dynamic = served_qps(clients, /*max_batch=*/64, seconds,
-                                      /*pad=*/false, /*specialize=*/false);
-    // Same serving stack, every request tagged int8: batched forwards run
-    // the quantized MatMulInt8 plan published alongside the fp32 weights.
-    ServedResult int8 = served_qps(clients, /*max_batch=*/64, seconds,
-                                   /*pad=*/true, /*specialize=*/true,
-                                   /*int8=*/true);
-    const double speedup = batched.qps / base.qps;
-    std::printf(
-        "clients %4d  one-at-a-time %8.0f req/s | specialized %8.0f req/s  "
-        "%5.2fx  batch %5.1f  padded %lld | dynamic %8.0f req/s | "
-        "int8 %8.0f req/s  q_serves %lld  p50 %5.2fms p99 %5.2fms | "
-        "fp32 p50 %5.2fms p95 %5.2fms p99 %5.2fms  shed %lld\n",
-        clients, base.qps, batched.qps, speedup, batched.mean_batch,
-        static_cast<long long>(batched.padded_rows), dynamic.qps, int8.qps,
-        static_cast<long long>(int8.quantized_serves), int8.p50 * 1e3,
-        int8.p99 * 1e3, batched.p50 * 1e3, batched.p95 * 1e3,
-        batched.p99 * 1e3, static_cast<long long>(batched.shed));
+  const int clients = 16;
+  ServedResult base = served_qps(clients, /*max_batch=*/1, seconds);
+  ServedResult batched = served_qps(clients, /*max_batch=*/64, seconds);
+  ServedResult int8 = served_qps(clients, /*max_batch=*/64, seconds,
+                                 /*int8=*/true);
+  const double speedup = batched.qps / base.qps;
+  std::printf(
+      "clients %4d  one-at-a-time %8.0f req/s | batched %8.0f req/s  "
+      "%5.2fx  batch %5.1f  p99 %5.2fms | int8 %8.0f req/s\n",
+      clients, base.qps, batched.qps, speedup, batched.mean_batch,
+      batched.p99 * 1e3, int8.qps);
+  reporter.record("one_at_a_time_qps", base.qps, "req/s");
+  reporter.record("served_qps", batched.qps, "req/s");
+  reporter.record("served_speedup", speedup, "x");
+  reporter.record("served_mean_batch", batched.mean_batch, "req");
+  reporter.record("served_p99_latency", batched.p99, "s");
+  reporter.record("served_qps_int8", int8.qps, "req/s");
+
+  // --- open-loop saturation sweep -------------------------------------------
+  // Offered rates are anchored to the measured closed-loop capacity so the
+  // sweep straddles the knee on any host: comfortably below, near, at, and
+  // 1.5x past saturation. One server instance serves the whole sweep (the
+  // steady-state plan-cache check below needs the warm replica).
+  bench::print_header("serving saturation: open-loop Poisson sweep");
+  const double capacity = batched.qps;
+  const std::vector<double> load_factors =
+      scale == bench::Scale::kQuick ? std::vector<double>{0.5, 1.5}
+                                    : std::vector<double>{0.25, 0.5, 0.75,
+                                                          1.0, 1.5};
+  const double sweep_seconds = scale == bench::Scale::kQuick ? 0.5 : 2.0;
+
+  SpacePtr obs_space = FloatBox(Shape{kObsDim});
+  // Factory-built engines, pointers retained: after the sweep we read the
+  // serving replica's plan-cache counters to confirm the steady state still
+  // rides the specialized zero-alloc path.
+  std::vector<serve::AgentServingEngine*> engines;
+  std::mutex engines_mu;
+  Json agent_cfg = agent_config_specialized();
+  serve::PolicyServerConfig sweep_cfg =
+      server_config(/*max_batch=*/64, /*int8=*/false);
+  // Bound queue wait so past-saturation requests time out instead of
+  // queueing into the next sweep point (exercises both shed and timeout).
+  sweep_cfg.default_deadline = std::chrono::microseconds(50000);
+  sweep_cfg.batcher.queue_capacity = 1024;
+  // One padding bucket: every flush pads to 64, so exactly one specialized
+  // batch-64 plan exists and the steady-state no-new-compiles check cannot
+  // be tripped by a load level visiting a bucket the warmup never saw.
+  sweep_cfg.batch_buckets = {64};
+  serve::PolicyServer server(
+      [&](int) {
+        auto engine = std::make_unique<serve::AgentServingEngine>(
+            agent_cfg, obs_space, IntBox(kNumActions));
+        std::lock_guard<std::mutex> lock(engines_mu);
+        engines.push_back(engine.get());
+        return engine;
+      },
+      sweep_cfg);
+  server.start();
+
+  bench::LoadConfig load;
+  load.observations = make_observations(64);
+  load.duration_seconds = sweep_seconds;
+  load.streams = bench::heavy_tail_streams({"alpha", "beta", "gamma"});
+  load.collector_threads = 2;
+
+  // Warmup point: compiles the specialized batch-bucket plans.
+  load.offered_qps = std::max(100.0, 0.1 * capacity);
+  load.seed = 1;
+  (void)bench::run_open_loop(server, load);
+
+  // Plan-cache baseline after warmup: steady state must add NO compiles.
+  int64_t compiles_before = 0, hits_before = 0, specializations = 0;
+  {
+    std::lock_guard<std::mutex> lock(engines_mu);
+    for (serve::AgentServingEngine* e : engines) {
+      if (Session* session = e->agent().executor().session()) {
+        compiles_before += session->plan_compiles();
+        hits_before += session->plan_cache_hits();
+        specializations += session->plan_specializations();
+      }
+    }
+  }
+
+  std::printf("closed-loop capacity %0.0f req/s; sweeping offered load\n",
+              capacity);
+  uint64_t seed = 42;
+  for (double factor : load_factors) {
+    load.offered_qps = factor * capacity;
+    load.seed = seed++;
+    bench::LoadReport report = bench::run_open_loop(server, load);
+    std::printf("offered %8.0f req/s (%4.2fx)  attained %8.0f req/s  "
+                "shed %6lld  timeout %6lld\n",
+                report.generated_qps, factor, report.attained_qps,
+                static_cast<long long>(report.shed),
+                static_cast<long long>(report.timeout));
+    std::printf("%s", report.table().c_str());
     Json params;
-    params["clients"] = Json(static_cast<int64_t>(clients));
-    params["max_batch"] = Json(static_cast<int64_t>(64));
-    reporter.record("one_at_a_time_qps", base.qps, "req/s", params);
-    reporter.record("served_qps", batched.qps, "req/s", params);
-    reporter.record("served_qps_dynamic", dynamic.qps, "req/s", params);
-    reporter.record("served_qps_int8", int8.qps, "req/s", params);
-    reporter.record("served_speedup", speedup, "x", params);
-    reporter.record("served_mean_batch", batched.mean_batch, "req", params);
-    reporter.record("served_padded_rows",
-                    static_cast<double>(batched.padded_rows), "rows", params);
-    reporter.record("served_quantized_serves",
-                    static_cast<double>(int8.quantized_serves), "req", params);
-    reporter.record("served_p99_latency", batched.p99, "s", params);
-    reporter.record("served_p50_latency_int8", int8.p50, "s", params);
-    reporter.record("served_p99_latency_int8", int8.p99, "s", params);
+    params["load_factor"] = Json(factor);
+    reporter.record("sweep_offered_qps", report.generated_qps, "req/s",
+                    params);
+    reporter.record("sweep_attained_qps", report.attained_qps, "req/s",
+                    params);
+    reporter.record("sweep_shed", static_cast<double>(report.shed), "req",
+                    params);
+    reporter.record("sweep_timeout", static_cast<double>(report.timeout),
+                    "req", params);
+    for (const bench::StreamStats& s : report.streams) {
+      Json sp = params;
+      sp["tenant"] = Json(s.name);
+      reporter.record("sweep_tenant_attained_qps", s.attained_qps, "req/s",
+                      sp);
+      reporter.record("sweep_tenant_p50", s.p50, "s", sp);
+      reporter.record("sweep_tenant_p99", s.p99, "s", sp);
+      reporter.record("sweep_tenant_shed", static_cast<double>(s.shed),
+                      "req", sp);
+      reporter.record("sweep_tenant_timeout", static_cast<double>(s.timeout),
+                      "req", sp);
+    }
+  }
+
+  int64_t compiles_after = 0, hits_after = 0;
+  {
+    std::lock_guard<std::mutex> lock(engines_mu);
+    for (serve::AgentServingEngine* e : engines) {
+      if (Session* session = e->agent().executor().session()) {
+        compiles_after += session->plan_compiles();
+        hits_after += session->plan_cache_hits();
+      }
+    }
+  }
+  server.shutdown();
+  const int64_t steady_compiles = compiles_after - compiles_before;
+  const int64_t steady_hits = hits_after - hits_before;
+  std::printf(
+      "steady-state plan cache: %lld new compiles (want 0), %lld hits, "
+      "%lld specialized plans live\n",
+      static_cast<long long>(steady_compiles),
+      static_cast<long long>(steady_hits),
+      static_cast<long long>(specializations));
+  reporter.record("steady_state_plan_compiles",
+                  static_cast<double>(steady_compiles), "compiles");
+  reporter.record("steady_state_plan_cache_hits",
+                  static_cast<double>(steady_hits), "hits");
+  reporter.record("plan_specializations",
+                  static_cast<double>(specializations), "plans");
+  if (steady_compiles != 0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state serving compiled %lld new plans — the "
+                 "specialized zero-alloc path regressed\n",
+                 static_cast<long long>(steady_compiles));
+    return 1;
   }
   return 0;
 }

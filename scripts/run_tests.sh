@@ -2,6 +2,9 @@
 # Full three-config test matrix (see README "Testing"):
 #
 #   1. default   — every test, optimized build               (ctest, all)
+#                  includes the `load-smoke` open-loop harness variant
+#                  (bench_serve_multitenant --smoke: fixed seed, ~2s, hard
+#                  conservation + SLO-counter assertions)
 #   2. tsan      — -DRLGRAPH_TSAN=ON, `sanitize`- and `net`-labeled tests
 #                  under ThreadSanitizer (thread-heavy, serving, and socket
 #                  transport suites)

@@ -1,0 +1,241 @@
+#include "serve/canary.h"
+
+#include <sstream>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+namespace serve {
+
+const char* canary_state_name(CanaryState s) {
+  switch (s) {
+    case CanaryState::kIdle: return "idle";
+    case CanaryState::kCanarying: return "canarying";
+    case CanaryState::kPromoted: return "promoted";
+    case CanaryState::kRolledBack: return "rolled_back";
+  }
+  return "?";
+}
+
+CanaryController::CanaryController(CanaryConfig config, MetricRegistry* metrics)
+    : config_(config), metrics_(metrics) {
+  RLG_REQUIRE(config_.weight >= 0.0 && config_.weight <= 1.0,
+              "canary weight must be in [0, 1], got " << config_.weight);
+  RLG_REQUIRE(config_.p99_ratio_guardband >= 1.0,
+              "canary p99_ratio_guardband must be >= 1");
+  RLG_REQUIRE(config_.error_rate_guardband >= 0.0,
+              "canary error_rate_guardband must be >= 0");
+  RLG_REQUIRE(config_.min_samples >= 1, "canary min_samples must be >= 1");
+}
+
+uint64_t CanaryController::hash_request_id(uint64_t id) {
+  // splitmix64: full-avalanche, constant-everywhere, no state. The routing
+  // split is therefore a pure function of the request id.
+  uint64_t z = id + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void CanaryController::set_state_locked(CanaryState s) {
+  state_ = s;
+  if (metrics_ != nullptr) {
+    metrics_->set_gauge("serve/canary_state", static_cast<double>(s));
+    metrics_->set_gauge("serve/canary_rolled_back",
+                        s == CanaryState::kRolledBack ? 1.0 : 0.0);
+  }
+}
+
+void CanaryController::start(int64_t baseline_version,
+                             int64_t candidate_version) {
+  RLG_REQUIRE(candidate_version != baseline_version,
+              "canary candidate must differ from the baseline version");
+  std::lock_guard<std::mutex> lock(mutex_);
+  baseline_version_ = baseline_version;
+  candidate_version_ = candidate_version;
+  route_threshold_ =
+      static_cast<uint64_t>(config_.weight * 4294967296.0);  // weight * 2^32
+  // Fresh epoch: consume whatever the histograms accumulated so stale
+  // outcomes from a previous rollout cannot leak into this one's windows.
+  (void)baseline_latency_.snapshot_window();
+  (void)canary_latency_.snapshot_window();
+  baseline_samples_epoch_ = baseline_samples_.load();
+  canary_samples_epoch_ = canary_samples_.load();
+  baseline_errors_epoch_ = baseline_errors_.load();
+  canary_errors_epoch_ = canary_errors_.load();
+  last_epoch_ = EpochStats{};
+  set_state_locked(CanaryState::kCanarying);
+  if (metrics_ != nullptr) {
+    metrics_->set_gauge("serve/canary_weight", config_.weight);
+    metrics_->set_gauge("serve/canary_baseline_version",
+                        static_cast<double>(baseline_version_));
+    metrics_->set_gauge("serve/canary_candidate_version",
+                        static_cast<double>(candidate_version_));
+  }
+}
+
+void CanaryController::end() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  set_state_locked(CanaryState::kIdle);
+  if (metrics_ != nullptr) metrics_->set_gauge("serve/canary_weight", 0.0);
+}
+
+CanaryState CanaryController::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int64_t CanaryController::baseline_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return baseline_version_;
+}
+
+int64_t CanaryController::candidate_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return candidate_version_;
+}
+
+double CanaryController::weight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_ == CanaryState::kCanarying ? config_.weight : 0.0;
+}
+
+RouteKind CanaryController::route(uint64_t request_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case CanaryState::kCanarying:
+      // Upper 32 hash bits vs the 32-bit threshold: an exact-integer
+      // comparison, so a given (request_id, weight) pair routes identically
+      // forever.
+      return (hash_request_id(request_id) >> 32) < route_threshold_
+                 ? RouteKind::kCanary
+                 : RouteKind::kBaseline;
+    case CanaryState::kPromoted:
+      return RouteKind::kCanary;
+    case CanaryState::kIdle:
+    case CanaryState::kRolledBack:
+      return RouteKind::kBaseline;
+  }
+  return RouteKind::kBaseline;
+}
+
+int64_t CanaryController::routed_version(uint64_t request_id) const {
+  return route(request_id) == RouteKind::kCanary ? candidate_version()
+                                                 : baseline_version();
+}
+
+int64_t CanaryController::serving_version(int64_t newest_version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case CanaryState::kIdle: return newest_version;
+    case CanaryState::kCanarying:
+    case CanaryState::kRolledBack: return baseline_version_;
+    case CanaryState::kPromoted: return candidate_version_;
+  }
+  return newest_version;
+}
+
+void CanaryController::record(RouteKind side, double latency_seconds,
+                              bool error) {
+  if (side == RouteKind::kCanary) {
+    canary_samples_.fetch_add(1, std::memory_order_relaxed);
+    if (error) {
+      canary_errors_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      canary_latency_.record(latency_seconds);
+    }
+  } else {
+    baseline_samples_.fetch_add(1, std::memory_order_relaxed);
+    if (error) {
+      baseline_errors_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      baseline_latency_.record(latency_seconds);
+    }
+  }
+}
+
+CanaryState CanaryController::evaluate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != CanaryState::kCanarying) return state_;
+
+  const int64_t base_n = baseline_samples_.load(std::memory_order_relaxed) -
+                         baseline_samples_epoch_;
+  const int64_t can_n = canary_samples_.load(std::memory_order_relaxed) -
+                        canary_samples_epoch_;
+  if (base_n < config_.min_samples || can_n < config_.min_samples) {
+    return state_;  // epoch still filling; no decision yet
+  }
+
+  // Consume the decision epoch: windowed latency snapshots plus the error/
+  // sample deltas since the previous decision.
+  HistogramSnapshot base_lat = baseline_latency_.snapshot_window();
+  HistogramSnapshot can_lat = canary_latency_.snapshot_window();
+  const int64_t base_err = baseline_errors_.load(std::memory_order_relaxed) -
+                           baseline_errors_epoch_;
+  const int64_t can_err = canary_errors_.load(std::memory_order_relaxed) -
+                          canary_errors_epoch_;
+  baseline_samples_epoch_ += base_n;
+  canary_samples_epoch_ += can_n;
+  baseline_errors_epoch_ += base_err;
+  canary_errors_epoch_ += can_err;
+
+  EpochStats epoch;
+  epoch.baseline_count = base_n;
+  epoch.canary_count = can_n;
+  epoch.baseline_p99 = base_lat.p99();
+  epoch.canary_p99 = can_lat.p99();
+  epoch.baseline_error_rate =
+      static_cast<double>(base_err) / static_cast<double>(base_n);
+  epoch.canary_error_rate =
+      static_cast<double>(can_err) / static_cast<double>(can_n);
+  last_epoch_ = epoch;
+
+  const bool error_breach =
+      epoch.canary_error_rate >
+      epoch.baseline_error_rate + config_.error_rate_guardband;
+  const bool p99_breach =
+      epoch.canary_p99 >
+      epoch.baseline_p99 * config_.p99_ratio_guardband +
+          config_.p99_slack_seconds;
+  if (error_breach || p99_breach) {
+    set_state_locked(CanaryState::kRolledBack);
+    if (metrics_ != nullptr) {
+      metrics_->increment("serve/canary_rollbacks");
+      metrics_->increment(error_breach ? "serve/canary_rollbacks_error_rate"
+                                       : "serve/canary_rollbacks_p99");
+      metrics_->set_gauge("serve/canary_weight", 0.0);
+    }
+    return state_;
+  }
+  if (config_.promote_after_samples > 0 &&
+      canary_samples_epoch_ >= config_.promote_after_samples) {
+    set_state_locked(CanaryState::kPromoted);
+    if (metrics_ != nullptr) metrics_->increment("serve/canary_promotions");
+  }
+  return state_;
+}
+
+CanaryController::EpochStats CanaryController::last_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_epoch_;
+}
+
+std::string CanaryController::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "canary state=" << canary_state_name(state_)
+     << " baseline=v" << baseline_version_
+     << " candidate=v" << candidate_version_;
+  if (last_epoch_.baseline_count > 0 || last_epoch_.canary_count > 0) {
+    os << " | last epoch: baseline p99=" << last_epoch_.baseline_p99 * 1e3
+       << "ms err=" << last_epoch_.baseline_error_rate
+       << " (n=" << last_epoch_.baseline_count << ")"
+       << ", canary p99=" << last_epoch_.canary_p99 * 1e3
+       << "ms err=" << last_epoch_.canary_error_rate
+       << " (n=" << last_epoch_.canary_count << ")";
+  }
+  return os.str();
+}
+
+}  // namespace serve
+}  // namespace rlgraph

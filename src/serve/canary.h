@@ -1,0 +1,140 @@
+// Canary rollout with automatic rollback, on top of the versioned
+// PolicyStore.
+//
+// A rollout routes a configured fraction of traffic to a candidate policy
+// version while the pinned baseline version keeps serving the rest. Routing
+// is a pure function of the request id — a splitmix64 hash compared against
+// a threshold precomputed from the canary weight — so the same request ids
+// always take the same path: no RNG, bitwise-replayable in tests and across
+// processes.
+//
+// Outcomes (latency, error) are recorded per side into windowed histograms.
+// evaluate() makes decisions on DECISION EPOCHS: once both sides have
+// accumulated min_samples since the previous decision, the window is
+// consumed (Histogram::snapshot_window) and the canary's windowed p99 and
+// error rate are compared against the baseline's from the SAME window —
+// never against all-time history, so a regression is judged against what
+// the baseline is doing right now under the same load. A breach latches
+// kRolledBack: the weight is effectively zero from that instant, every
+// subsequent route() returns the baseline, and no amount of later healthy
+// traffic un-latches it (no flapping); only an explicit start()/end() moves
+// the state again. Rollback itself fails no requests — it only flips
+// routing for requests not yet routed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/metrics.h"
+
+namespace rlgraph {
+namespace serve {
+
+struct CanaryConfig {
+  // Fraction of traffic routed to the candidate while canarying, in [0, 1].
+  double weight = 0.05;
+  // Rollback when canary_p99 > baseline_p99 * p99_ratio_guardband +
+  // p99_slack_seconds (the additive slack keeps microsecond-scale baselines
+  // from tripping the ratio on scheduler noise).
+  double p99_ratio_guardband = 1.5;
+  double p99_slack_seconds = 500e-6;
+  // Rollback when canary error rate exceeds baseline error rate by more
+  // than this (absolute, per window).
+  double error_rate_guardband = 0.02;
+  // Both sides must accumulate this many outcomes since the last decision
+  // before a new decision is made (one "decision epoch").
+  int64_t min_samples = 50;
+  // Auto-promote after this many cumulative healthy canary outcomes;
+  // 0 = never auto-promote (the operator promotes via end()).
+  int64_t promote_after_samples = 0;
+};
+
+enum class CanaryState { kIdle, kCanarying, kPromoted, kRolledBack };
+const char* canary_state_name(CanaryState s);
+
+// Which side a request is routed to / an outcome belongs to.
+enum class RouteKind { kBaseline, kCanary };
+
+class CanaryController {
+ public:
+  explicit CanaryController(CanaryConfig config,
+                            MetricRegistry* metrics = nullptr);
+
+  // Begin a rollout: pin `baseline_version` as stable, route
+  // config.weight of traffic to `candidate_version`. Clears any previous
+  // rollback latch (this is a NEW candidate attempt). State -> kCanarying.
+  void start(int64_t baseline_version, int64_t candidate_version);
+  // End the rollout and return to kIdle (newest-version-wins serving).
+  // Called after a promote (candidate is the newest version anyway), after
+  // acting on a rollback, or to abort.
+  void end();
+
+  CanaryState state() const;
+  bool active() const { return state() == CanaryState::kCanarying; }
+  int64_t baseline_version() const;
+  int64_t candidate_version() const;
+  double weight() const;
+
+  // Deterministic routing: pure in (request_id, weight threshold fixed at
+  // start()). kCanarying -> hash split; kPromoted -> always candidate;
+  // kIdle/kRolledBack -> always baseline.
+  RouteKind route(uint64_t request_id) const;
+  int64_t routed_version(uint64_t request_id) const;
+
+  // The version the stable serving path should run, given the store's
+  // newest published version: the pinned baseline while a rollout is in
+  // flight or rolled back, the candidate once promoted, newest when idle.
+  int64_t serving_version(int64_t newest_version) const;
+
+  // Record one served outcome. Latency lands in the side's windowed
+  // histogram (successes only — an error's latency says nothing about the
+  // version's speed); errors bump the side's windowed error count.
+  void record(RouteKind side, double latency_seconds, bool error);
+
+  // Run the guardband check; returns the (possibly new) state. Cheap when
+  // the current epoch has not accumulated min_samples yet.
+  CanaryState evaluate();
+
+  // splitmix64 — the deterministic routing hash, exposed for replay tests.
+  static uint64_t hash_request_id(uint64_t id);
+
+  // Latest consumed decision-epoch stats (zeroed until the first decision).
+  struct EpochStats {
+    int64_t baseline_count = 0, canary_count = 0;
+    double baseline_p99 = 0.0, canary_p99 = 0.0;
+    double baseline_error_rate = 0.0, canary_error_rate = 0.0;
+  };
+  EpochStats last_epoch() const;
+
+  std::string report() const;
+
+ private:
+  void set_state_locked(CanaryState s);
+
+  const CanaryConfig config_;
+  MetricRegistry* metrics_;  // may be null
+
+  mutable std::mutex mutex_;
+  CanaryState state_ = CanaryState::kIdle;
+  int64_t baseline_version_ = 0;
+  int64_t candidate_version_ = 0;
+  // weight quantized to a 32-bit threshold at start(): route is then an
+  // integer compare, identical on every platform.
+  uint64_t route_threshold_ = 0;
+  EpochStats last_epoch_;
+
+  // Per-side outcome accounting. Histograms window via snapshot_window();
+  // sample/error counts window via the *_epoch_ baselines consumed at each
+  // decision.
+  Histogram baseline_latency_;
+  Histogram canary_latency_;
+  std::atomic<int64_t> baseline_samples_{0}, canary_samples_{0};
+  std::atomic<int64_t> baseline_errors_{0}, canary_errors_{0};
+  int64_t baseline_samples_epoch_ = 0, canary_samples_epoch_ = 0;
+  int64_t baseline_errors_epoch_ = 0, canary_errors_epoch_ = 0;
+};
+
+}  // namespace serve
+}  // namespace rlgraph

@@ -49,6 +49,7 @@ RequestClassConfig RequestClassConfig::from_json(const Json& config) {
   rc.precision = precision_from_string(config.get_string("precision", "fp32"));
   rc.deadline =
       std::chrono::microseconds(config.get_int("deadline_us", 0));
+  rc.tenant = config.get_string("tenant", kDefaultTenant);
   return rc;
 }
 
@@ -72,12 +73,17 @@ BatcherConfig batcher_config_for(const PolicyServerConfig& config) {
 
 PolicyServer::PolicyServer(EngineFactory factory, PolicyServerConfig config)
     : config_(config), factory_(std::move(factory)),
-      batcher_(batcher_config_for(config), &metrics_),
+      canary_(config.canary, &metrics_),
+      batcher_(batcher_config_for(config), &metrics_, &tenants_),
       latency_hist_(&metrics_.histogram("serve/latency_seconds")) {
   RLG_REQUIRE(config_.num_shards >= 1,
               "PolicyServer needs at least one shard, got "
                   << config_.num_shards);
   RLG_REQUIRE(factory_ != nullptr, "PolicyServer needs an engine factory");
+  tenants_.set_default_config(config_.default_tenant);
+  for (const auto& entry : config_.tenants) {
+    tenants_.register_tenant(entry.first, entry.second);
+  }
   if (config_.pad_batches) {
     buckets_ = config_.batch_buckets;
     if (buckets_.empty()) {
@@ -146,30 +152,61 @@ ServeClock::time_point PolicyServer::deadline_from_now(
 }
 
 std::future<ActResult> PolicyServer::act_async(Tensor obs) {
-  return act_async(std::move(obs), config_.default_precision,
-                   config_.default_deadline);
+  return act_async(std::move(obs), ActOptions{});
 }
 
 std::future<ActResult> PolicyServer::act_async(
     Tensor obs, std::chrono::microseconds deadline) {
-  return act_async(std::move(obs), config_.default_precision, deadline);
+  ActOptions options;
+  options.deadline = deadline;
+  return act_async(std::move(obs), options);
 }
 
 std::future<ActResult> PolicyServer::act_async(
     Tensor obs, const std::string& request_class) {
-  auto it = config_.request_classes.find(request_class);
-  if (it == config_.request_classes.end()) {
-    throw NotFoundError("unknown request class '" + request_class + "'");
-  }
-  const RequestClassConfig& rc = it->second;
-  return act_async(std::move(obs), rc.precision,
-                   rc.deadline.count() > 0 ? rc.deadline
-                                           : config_.default_deadline);
+  ActOptions options;
+  options.request_class = request_class;
+  return act_async(std::move(obs), options);
 }
 
 std::future<ActResult> PolicyServer::act_async(
     Tensor obs, Precision precision, std::chrono::microseconds deadline) {
+  ActOptions options;
+  options.precision = precision;
+  options.deadline = deadline;
+  return act_async(std::move(obs), options);
+}
+
+std::future<ActResult> PolicyServer::act_async(Tensor obs,
+                                               const ActOptions& options) {
   RLG_REQUIRE(running_, "PolicyServer::act before start()");
+  const RequestClassConfig* rc = nullptr;
+  if (!options.request_class.empty()) {
+    auto it = config_.request_classes.find(options.request_class);
+    if (it == config_.request_classes.end()) {
+      throw NotFoundError("unknown request class '" + options.request_class +
+                          "'");
+    }
+    rc = &it->second;
+  }
+  const Precision precision = options.precision.has_value()
+                                  ? *options.precision
+                                  : (rc != nullptr ? rc->precision
+                                                   : config_.default_precision);
+  const std::chrono::microseconds deadline =
+      options.deadline.count() > 0
+          ? options.deadline
+          : (rc != nullptr && rc->deadline.count() > 0
+                 ? rc->deadline
+                 : config_.default_deadline);
+  const std::string& tenant = !options.tenant.empty()
+                                  ? options.tenant
+                                  : (rc != nullptr ? rc->tenant
+                                                   : std::string(kDefaultTenant));
+  const uint64_t request_id =
+      options.request_id != 0
+          ? options.request_id
+          : next_request_id_.fetch_add(1, std::memory_order_relaxed);
   if (check_obs_) {
     RLG_REQUIRE(obs.dtype() == obs_dtype_ && obs.shape() == obs_shape_,
                 "act observation is " << dtype_name(obs.dtype())
@@ -178,12 +215,41 @@ std::future<ActResult> PolicyServer::act_async(
                     << " (single observation, no batch rank)");
   }
   return batcher_.submit(std::move(obs), deadline_from_now(deadline),
-                         precision);
+                         precision, tenant, request_id);
 }
 
 ActResult PolicyServer::act(const Tensor& obs) {
   return act_async(obs).get();
 }
+
+// --- canary rollout ----------------------------------------------------------
+
+void PolicyServer::start_canary(int64_t candidate_version) {
+  PolicySnapshot candidate = store_.snapshot_version(candidate_version);
+  if (!candidate.valid()) {
+    throw NotFoundError("canary candidate version v" +
+                        std::to_string(candidate_version) +
+                        " is not in the policy store history");
+  }
+  // Baseline = the stable version the non-canary traffic keeps: the newest
+  // published version that is not the candidate itself (publishing the
+  // candidate and immediately canarying it is the normal flow).
+  int64_t baseline = 0;
+  const int64_t newest = store_.version();
+  if (newest != candidate_version) {
+    baseline = newest;
+  } else {
+    for (int64_t v : store_.history_versions()) {
+      if (v < candidate_version) baseline = std::max(baseline, v);
+    }
+  }
+  RLG_REQUIRE(baseline > 0,
+              "canary rollout needs a published baseline version distinct "
+              "from candidate v" << candidate_version);
+  canary_.start(baseline, candidate_version);
+}
+
+void PolicyServer::end_canary() { canary_.end(); }
 
 void PolicyServer::serve_loop(int shard) {
   std::unique_ptr<ServingEngine> engine;
@@ -202,11 +268,33 @@ void PolicyServer::serve_loop(int shard) {
   int64_t have_version = 0;
   int64_t have_quantized_version = 0;
 
-  // One precision partition of a flushed batch, served as a single forward
-  // pass. A failure stays contained to the group's own requests — the other
-  // precision's promises may already be satisfied.
+  // Canary replica: built lazily the first time this shard sees a
+  // canary-routed request, so shards pay for a second engine only while a
+  // rollout actually sends them traffic.
+  std::unique_ptr<ServingEngine> canary_engine;
+  std::exception_ptr canary_engine_error;
+  int64_t canary_have_version = 0;
+
+  // Fail a whole group with one error; canary-outcome recording feeds the
+  // controller's error-rate guardband.
+  auto fail_group = [&](std::vector<ActRequest>& group,
+                        const std::exception_ptr& error, RouteKind side,
+                        bool record_outcomes) {
+    for (ActRequest& req : group) {
+      req.promise.set_exception(error);
+      if (record_outcomes) canary_.record(side, 0.0, /*error=*/true);
+    }
+    metrics_.increment("serve/batch_failures");
+  };
+
+  // One partition of a flushed batch, served as a single forward pass
+  // through `eng`. A failure stays contained to the group's own requests —
+  // other groups' promises may already be satisfied. While a rollout is in
+  // flight (record_outcomes), every outcome lands in the controller's
+  // per-side window.
   auto serve_group = [&](std::vector<ActRequest>& group, bool quantized,
-                         int64_t version) {
+                         int64_t version, ServingEngine* eng, RouteKind side,
+                         bool record_outcomes) {
     if (group.empty()) return;
     try {
       // Pad ragged flushes up to a bucket size so the engine only ever
@@ -228,8 +316,8 @@ void PolicyServer::serve_loop(int shard) {
         fwd_span.set_arg("policy_version", version);
         fwd_span.set_arg("int8", quantized ? 1 : 0);
         Tensor stacked = stack_leading(observations);
-        actions = quantized ? engine->forward_quantized(stacked)
-                            : engine->forward(stacked);
+        actions = quantized ? eng->forward_quantized(stacked)
+                            : eng->forward(stacked);
       }
       std::vector<Tensor> per_request = unstack_leading(actions);
       RLG_CHECK_MSG(per_request.size() == static_cast<size_t>(padded),
@@ -243,22 +331,23 @@ void PolicyServer::serve_loop(int shard) {
       trace::TraceSpan respond_span("serve", "serve/respond");
       respond_span.set_arg("batch", real);
       for (size_t i = 0; i < group.size(); ++i) {
-        latency_hist_->record(
-            std::chrono::duration<double>(done - group[i].enqueued).count());
+        const double latency =
+            std::chrono::duration<double>(done - group[i].enqueued).count();
+        latency_hist_->record(latency);
+        if (record_outcomes) canary_.record(side, latency, /*error=*/false);
         ActResult result;
         result.action = std::move(per_request[i]);
         result.policy_version = version;
         result.served_precision =
             quantized ? Precision::kInt8 : Precision::kFp32;
+        result.request_id = group[i].request_id;
         group[i].promise.set_value(std::move(result));
       }
       metrics_.increment("serve/requests", real);
       metrics_.increment("serve/batches");
       if (quantized) metrics_.increment("serve/quantized_serves", real);
     } catch (...) {
-      std::exception_ptr error = std::current_exception();
-      for (ActRequest& req : group) req.promise.set_exception(error);
-      metrics_.increment("serve/batch_failures");
+      fail_group(group, std::current_exception(), side, record_outcomes);
     }
   };
 
@@ -272,14 +361,44 @@ void PolicyServer::serve_loop(int shard) {
       continue;
     }
 
+    // Canary split first: routing is a pure function of each request id, so
+    // the partition is identical no matter which shard flushed the batch.
+    // Outcomes are only attributed while the rollout is live.
+    const bool canary_active = canary_.active();
+    std::vector<ActRequest> canary_group;
+    if (canary_active) {
+      std::vector<ActRequest> stable;
+      stable.reserve(batch.size());
+      for (ActRequest& req : batch) {
+        if (canary_.route(req.request_id) == RouteKind::kCanary) {
+          canary_group.push_back(std::move(req));
+        } else {
+          stable.push_back(std::move(req));
+        }
+      }
+      batch = std::move(stable);
+    }
+
     // Hot-swap between batches: the whole batch runs one fp32 version and
     // (when present) one quantized version. Per-variant versions move
     // independently — a fp32-only publication advances have_version while
     // the int8 plan keeps serving its last paired version's requests only
     // after a matching quantized publication (stale pairings are rejected
-    // below).
+    // below). While a rollout is in flight the stable side stays PINNED to
+    // the controller's baseline version even if newer versions (the
+    // candidate among them) have been published.
     try {
-      PolicySnapshot snap = store_.snapshot();
+      PolicySnapshot snap;
+      const int64_t newest = store_.version();
+      const int64_t target = canary_.serving_version(newest);
+      if (target == newest) {
+        snap = store_.snapshot();
+      } else {
+        snap = store_.snapshot_version(target);
+        // Pinned version evicted from history (many publishes mid-rollout):
+        // degrade to newest rather than serve nothing.
+        if (!snap.valid()) snap = store_.snapshot();
+      }
       // Quantized first: installing an RLGQ payload restores the fp32
       // variables by DEQUANTIZING (the standalone-process import path), so
       // the exact fp32 snapshot must load after it. The fp32 load then
@@ -307,14 +426,17 @@ void PolicyServer::serve_loop(int shard) {
       }
     } catch (...) {
       std::exception_ptr error = std::current_exception();
-      for (ActRequest& req : batch) req.promise.set_exception(error);
-      metrics_.increment("serve/batch_failures");
+      fail_group(batch, error, RouteKind::kBaseline, canary_active);
+      if (!canary_group.empty()) {
+        fail_group(canary_group, error, RouteKind::kCanary, canary_active);
+      }
       continue;
     }
 
-    // Partition by requested precision. int8 requests only route to the
-    // quantized plan while one is actually loaded AND paired with the
-    // current fp32 version; otherwise they fall back to fp32 (counted).
+    // Partition the stable side by requested precision. int8 requests only
+    // route to the quantized plan while one is actually loaded AND paired
+    // with the current fp32 version; otherwise they fall back to fp32
+    // (counted).
     const bool quantized_live = engine->supports_quantized() &&
                                 engine->quantized_ready() &&
                                 have_quantized_version == have_version;
@@ -331,12 +453,65 @@ void PolicyServer::serve_loop(int shard) {
       }
       fp32_group.push_back(std::move(req));
     }
+
+    serve_group(fp32_group, /*quantized=*/false, have_version, engine.get(),
+                RouteKind::kBaseline, canary_active);
+    serve_group(int8_group, /*quantized=*/true, have_quantized_version,
+                engine.get(), RouteKind::kBaseline, canary_active);
+
+    // The canary side runs its own replica on the candidate version,
+    // fp32-only (int8-in-canary counts as a quantized fallback). Build and
+    // load failures fail ONLY the canary group and are recorded as canary
+    // errors — a broken candidate rolls itself back through the error-rate
+    // guardband instead of taking the stable side down.
+    if (!canary_group.empty()) {
+      for (const ActRequest& req : canary_group) {
+        if (req.precision == Precision::kInt8) ++fallbacks;
+      }
+      if (canary_engine == nullptr && canary_engine_error == nullptr) {
+        try {
+          canary_engine = factory_(shard);
+        } catch (...) {
+          canary_engine_error = std::current_exception();
+          metrics_.increment("serve/engine_failures");
+          RLG_LOG_ERROR << "serve shard " << shard
+                        << " failed to build its canary engine";
+        }
+      }
+      std::exception_ptr canary_error = canary_engine_error;
+      if (canary_error == nullptr) {
+        try {
+          const int64_t candidate = canary_.candidate_version();
+          if (candidate != canary_have_version) {
+            PolicySnapshot snap = store_.snapshot_version(candidate);
+            RLG_REQUIRE(snap.valid(), "canary candidate v" << candidate
+                            << " is not in the policy store history");
+            trace::TraceSpan swap_span("serve", "serve/load_canary");
+            swap_span.set_arg("policy_version", candidate);
+            canary_engine->load(snap);
+            canary_have_version = candidate;
+          }
+        } catch (...) {
+          canary_error = std::current_exception();
+        }
+      }
+      if (canary_error != nullptr) {
+        fail_group(canary_group, canary_error, RouteKind::kCanary,
+                   /*record_outcomes=*/true);
+      } else {
+        serve_group(canary_group, /*quantized=*/false, canary_have_version,
+                    canary_engine.get(), RouteKind::kCanary,
+                    /*record_outcomes=*/true);
+      }
+    }
+
     if (fallbacks > 0) {
       metrics_.increment("serve/quantized_fallbacks", fallbacks);
     }
 
-    serve_group(fp32_group, /*quantized=*/false, have_version);
-    serve_group(int8_group, /*quantized=*/true, have_quantized_version);
+    // One guardband check per served batch: cheap until a decision epoch
+    // fills, and rollback flips routing before the next batch is assembled.
+    if (canary_active) canary_.evaluate();
   }
 }
 

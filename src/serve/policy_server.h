@@ -24,13 +24,16 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "agents/agent.h"
 #include "serve/batcher.h"
+#include "serve/canary.h"
 #include "serve/policy_store.h"
+#include "serve/tenant.h"
 
 namespace rlgraph {
 namespace serve {
@@ -90,14 +93,37 @@ class AgentServingEngine : public ServingEngine {
 };
 
 // One named request class: clients tag act_async calls with the class name
-// and inherit its precision and deadline. Parsed from JSON of the form
-// {"precision": "int8"|"fp32", "deadline_us": 2500}.
+// and inherit its precision, deadline, and tenant. Parsed from JSON of the
+// form {"precision": "int8"|"fp32", "deadline_us": 2500, "tenant": "rt"}.
 struct RequestClassConfig {
   Precision precision = Precision::kFp32;
   // Zero inherits the server's default_deadline.
   std::chrono::microseconds deadline{0};
+  // Tenant the class's requests are admitted under ("" = default tenant).
+  std::string tenant = kDefaultTenant;
 
   static RequestClassConfig from_json(const Json& config);
+};
+
+// Per-call routing options for act_async. Every field is optional; unset
+// fields inherit from the request class (when named) and then the server
+// defaults. This is the one submission surface the load harness and
+// multi-tenant clients use — the positional act_async overloads are
+// conveniences over it.
+struct ActOptions {
+  // Tenant for admission control and fair queueing; "" = the request
+  // class's tenant, falling back to the default tenant.
+  std::string tenant;
+  // Named request class from PolicyServerConfig::request_classes ("" =
+  // none; unknown names throw NotFoundError).
+  std::string request_class;
+  // Overrides the class/server precision when set.
+  std::optional<Precision> precision;
+  // Overrides the class/server deadline when > 0.
+  std::chrono::microseconds deadline{0};
+  // Deterministic canary-routing key; 0 auto-assigns from the server's
+  // monotonic counter. Pass explicit ids to replay a routing schedule.
+  uint64_t request_id = 0;
 };
 
 struct PolicyServerConfig {
@@ -127,6 +153,13 @@ struct PolicyServerConfig {
   Precision default_precision = Precision::kFp32;
   // Named request classes for act_async(obs, class_name).
   std::map<std::string, RequestClassConfig> request_classes;
+  // --- control plane ---------------------------------------------------------
+  // Per-tenant admission quotas / queue bounds / DRR weights; tenants not
+  // named here run under default_tenant (unlimited quota unless set).
+  std::map<std::string, TenantConfig> tenants;
+  TenantConfig default_tenant;
+  // Guardbands for canary rollouts started via start_canary().
+  CanaryConfig canary;
 };
 
 class PolicyServer {
@@ -156,6 +189,23 @@ class PolicyServer {
   // Publish here (directly or via store().publish*) to hot-swap weights.
   PolicyStore& store() { return store_; }
 
+  // Per-tenant admission state (register tenants / inspect quotas).
+  TenantRegistry& tenants() { return tenants_; }
+
+  // --- canary rollout --------------------------------------------------------
+  // Route config.canary.weight of traffic to `candidate_version` (a
+  // version published to the store; it may be newer than the serving
+  // version — the baseline stays pinned while the rollout is in flight).
+  // The controller auto-rolls-back on guardband breach; check
+  // canary().state() or the serve/canary_* metrics. Throws NotFoundError
+  // when the candidate is not in the store's version history.
+  void start_canary(int64_t candidate_version);
+  // Finish the rollout: back to newest-version-wins serving. Call after a
+  // promote (publish nothing — the candidate is already newest), after
+  // acting on a rollback (republish a fixed candidate), or to abort.
+  void end_canary();
+  CanaryController& canary() { return canary_; }
+
   // Submit one observation (no batch rank). Throws OverloadedError when
   // admission control sheds the request; the future carries TimeoutError if
   // the deadline expires in the queue, or the engine's error if the batched
@@ -168,18 +218,26 @@ class PolicyServer {
   std::future<ActResult> act_async(Tensor obs, Precision precision,
                                    std::chrono::microseconds deadline);
   // Route through a named request class from config.request_classes
-  // (precision + deadline); throws NotFoundError for unknown names.
+  // (precision + deadline + tenant); throws NotFoundError for unknown
+  // names.
   std::future<ActResult> act_async(Tensor obs,
                                    const std::string& request_class);
+  // The full submission surface: tenant, request class, precision,
+  // deadline, and an explicit request id in one place.
+  std::future<ActResult> act_async(Tensor obs, const ActOptions& options);
   // Blocking convenience around act_async.
   ActResult act(const Tensor& obs);
 
   // Counters: serve/requests, serve/batches, serve/shed_overload,
-  // serve/shed_deadline, serve/batch_failures, serve/padded_rows,
-  // serve/bucket_flushes, serve/quantized_serves, serve/quantized_fallbacks.
+  // serve/shed_deadline, serve/shed_total{reason=...} (reason in deadline |
+  // overload | tenant_quota | tenant_queue), serve/tenant_shed{tenant=...},
+  // serve/batch_failures, serve/padded_rows, serve/bucket_flushes,
+  // serve/quantized_serves, serve/quantized_fallbacks, serve/canary_rollbacks
+  // (+ _p99 / _error_rate splits), serve/canary_promotions.
   // Histograms: serve/latency_seconds, serve/queue_delay_seconds,
   // serve/batch_size. Gauges: serve/policy_version (per variant:
-  // serve/quantized_policy_version).
+  // serve/quantized_policy_version), serve/canary_state,
+  // serve/canary_rolled_back, serve/canary_weight.
   MetricRegistry& metrics() { return metrics_; }
 
  private:
@@ -198,7 +256,10 @@ class PolicyServer {
 
   MetricRegistry metrics_;
   PolicyStore store_;
+  TenantRegistry tenants_;  // before batcher_: the batcher holds a pointer
+  CanaryController canary_;
   DynamicBatcher batcher_;
+  std::atomic<uint64_t> next_request_id_{1};
   Histogram* latency_hist_;
   std::vector<std::thread> shards_;
   std::atomic<bool> running_{false};

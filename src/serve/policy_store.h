@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -57,16 +58,40 @@ class PolicyStore {
   // returned version.
   PolicySnapshot snapshot() const;
 
+  // A specific published version, for canary routing: while a rollout is in
+  // flight the baseline shards keep serving the pinned stable version even
+  // though a newer candidate has been published. Versions come from a
+  // bounded history (the newest `history_capacity` publications, default
+  // 8); an unknown or evicted version returns an invalid snapshot.
+  // Quantized variants attach only to the version they were published with.
+  PolicySnapshot snapshot_version(int64_t version) const;
+
+  // Resize the version history (>= 1); evicts oldest beyond the new bound.
+  void set_history_capacity(size_t capacity);
+
+  // Versions currently held in the history, ascending (e.g. to pick a
+  // canary baseline: the newest version that is not the candidate).
+  std::vector<int64_t> history_versions() const;
+
   int64_t version() const { return server_.version(); }
 
   // The underlying server, e.g. to attach a staleness gauge.
   ParameterServer& parameter_server() { return server_; }
 
  private:
+  void record_history(int64_t version);
+
   ParameterServer server_;
   mutable std::mutex quantized_mutex_;
   std::shared_ptr<const std::vector<uint8_t>> quantized_;
   int64_t quantized_version_ = 0;  // version quantized_ belongs to
+
+  // Bounded version -> weights history backing snapshot_version(). Entries
+  // share the immutable maps the ParameterServer published — history costs
+  // shared_ptrs, not weight copies.
+  mutable std::mutex history_mutex_;
+  size_t history_capacity_ = 8;
+  std::map<int64_t, std::shared_ptr<const WeightMap>> history_;
 };
 
 }  // namespace serve

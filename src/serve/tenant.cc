@@ -1,0 +1,115 @@
+#include "serve/tenant.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+namespace serve {
+
+TenantConfig TenantConfig::from_json(const Json& config) {
+  TenantConfig tc;
+  tc.quota_qps = config.get_double("quota_qps", 0.0);
+  tc.burst = config.get_double("burst", 0.0);
+  tc.queue_capacity =
+      static_cast<size_t>(config.get_int("queue_capacity", 0));
+  tc.weight = static_cast<uint64_t>(config.get_int("weight", 1));
+  RLG_REQUIRE(tc.quota_qps >= 0.0, "tenant quota_qps must be >= 0");
+  RLG_REQUIRE(tc.burst >= 0.0, "tenant burst must be >= 0");
+  RLG_REQUIRE(tc.weight >= 1, "tenant weight must be >= 1");
+  return tc;
+}
+
+void TenantRegistry::set_default_config(TenantConfig config) {
+  RLG_REQUIRE(config.weight >= 1, "tenant weight must be >= 1");
+  std::lock_guard<std::mutex> lock(mutex_);
+  default_config_ = config;
+}
+
+void TenantRegistry::register_tenant(const std::string& id,
+                                     TenantConfig config) {
+  RLG_REQUIRE(config.weight >= 1, "tenant weight must be >= 1, tenant '"
+                                      << id << "'");
+  RLG_REQUIRE(config.quota_qps >= 0.0 && config.burst >= 0.0,
+              "tenant quota/burst must be >= 0, tenant '" << id << "'");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket b;
+  b.config = config;
+  b.tokens = 0.0;  // filled on first refill (buckets start full)
+  buckets_[id] = b;
+}
+
+bool TenantRegistry::has(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.count(id) > 0;
+}
+
+TenantConfig TenantRegistry::config(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(id);
+  return it == buckets_.end() ? default_config_ : it->second.config;
+}
+
+std::vector<std::string> TenantRegistry::tenant_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(buckets_.size());
+  for (const auto& [id, bucket] : buckets_) ids.push_back(id);
+  return ids;
+}
+
+TenantRegistry::Bucket& TenantRegistry::bucket_locked(
+    const std::string& id) const {
+  auto it = buckets_.find(id);
+  if (it == buckets_.end()) {
+    Bucket b;
+    b.config = default_config_;
+    it = buckets_.emplace(id, b).first;
+  }
+  return it->second;
+}
+
+void TenantRegistry::refill(Bucket& b, ServeClock::time_point now) {
+  const double burst = b.config.burst > 0.0
+                           ? b.config.burst
+                           : std::max(b.config.quota_qps, 1.0);
+  if (!b.primed) {
+    // Buckets start full: a tenant's first burst up to `burst` requests is
+    // admitted even before any quota has "accrued".
+    b.tokens = burst;
+    b.last = now;
+    b.primed = true;
+    return;
+  }
+  if (now > b.last) {
+    const double dt = std::chrono::duration<double>(now - b.last).count();
+    b.tokens = std::min(burst, b.tokens + dt * b.config.quota_qps);
+    b.last = now;
+  }
+}
+
+bool TenantRegistry::try_admit(const std::string& id,
+                               ServeClock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& b = bucket_locked(id);
+  if (b.config.quota_qps <= 0.0) return true;  // unlimited
+  refill(b, now);
+  if (b.tokens < 1.0) return false;
+  b.tokens -= 1.0;
+  return true;
+}
+
+double TenantRegistry::tokens(const std::string& id,
+                              ServeClock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& b = bucket_locked(id);
+  if (b.config.quota_qps <= 0.0) {
+    return b.config.burst > 0.0 ? b.config.burst
+                                : std::max(b.config.quota_qps, 1.0);
+  }
+  refill(b, now);
+  return b.tokens;
+}
+
+}  // namespace serve
+}  // namespace rlgraph

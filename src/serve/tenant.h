@@ -1,0 +1,98 @@
+// Multi-tenant admission control for the serving control plane.
+//
+// Every act request names a tenant (the empty string is the default tenant,
+// so single-tenant callers need no changes). A TenantRegistry holds the
+// per-tenant policy knobs — a token-bucket admission quota, a bound on the
+// tenant's sub-queue inside the DynamicBatcher, and a deficit-round-robin
+// weight — and the live token-bucket state. Admission is checked at
+// submit() time, before a request ever touches the shared queue: a tenant
+// that offers 10x its quota is shed at its own bucket with a tenant-scoped
+// OverloadedError while every other tenant's traffic is untouched.
+//
+// Token buckets take the current time as an argument instead of reading the
+// clock themselves, so quota tests replay deterministically from synthetic
+// timestamps.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace rlgraph {
+namespace serve {
+
+using ServeClock = std::chrono::steady_clock;
+
+// No deadline: the request waits as long as the queue holds it.
+inline constexpr ServeClock::time_point kNoDeadline =
+    ServeClock::time_point::max();
+
+// The id every request without an explicit tenant runs under.
+inline const std::string kDefaultTenant = "";
+
+struct TenantConfig {
+  // Steady-state admission quota in requests/second; 0 = unlimited (the
+  // token bucket always admits).
+  double quota_qps = 0.0;
+  // Token-bucket depth — how far above quota_qps a short burst may go.
+  // 0 picks max(quota_qps, 1): one second of quota, at least one request.
+  double burst = 0.0;
+  // Bound on this tenant's sub-queue inside the batcher; 0 inherits the
+  // batcher's per-tenant default (BatcherConfig::tenant_queue_capacity).
+  size_t queue_capacity = 0;
+  // Deficit-round-robin quantum: how many requests this tenant may place
+  // into each assembling batch per scheduling round, relative to the other
+  // tenants with queued work. Must be >= 1.
+  uint64_t weight = 1;
+
+  // {"quota_qps": 100, "burst": 200, "queue_capacity": 64, "weight": 2}
+  static TenantConfig from_json(const Json& config);
+};
+
+class TenantRegistry {
+ public:
+  TenantRegistry() = default;
+
+  // Unknown tenants are admitted under this config (defaults to an
+  // unlimited quota so an unconfigured registry changes nothing).
+  void set_default_config(TenantConfig config);
+  void register_tenant(const std::string& id, TenantConfig config);
+  bool has(const std::string& id) const;
+  // The registered config, or the default config for unknown tenants.
+  TenantConfig config(const std::string& id) const;
+  std::vector<std::string> tenant_ids() const;
+
+  // Token-bucket admission: refill from elapsed time at quota_qps (capped
+  // at burst), then spend one token. Buckets start full. Returns false —
+  // shed this request, the tenant is over quota — when no token is
+  // available. Tenants with quota_qps == 0 always admit.
+  bool try_admit(const std::string& id, ServeClock::time_point now);
+
+  // Remaining tokens after refilling to `now` (test/introspection hook;
+  // unlimited tenants report burst).
+  double tokens(const std::string& id, ServeClock::time_point now) const;
+
+ private:
+  struct Bucket {
+    TenantConfig config;
+    double tokens = 0.0;
+    ServeClock::time_point last{};
+    bool primed = false;  // first admit initializes `last`
+  };
+
+  // Must hold mutex_. Creates the bucket (default config) on first sight.
+  Bucket& bucket_locked(const std::string& id) const;
+  static void refill(Bucket& b, ServeClock::time_point now);
+
+  mutable std::mutex mutex_;
+  mutable std::map<std::string, Bucket> buckets_;
+  TenantConfig default_config_;
+};
+
+}  // namespace serve
+}  // namespace rlgraph

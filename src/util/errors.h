@@ -57,11 +57,28 @@ class TimeoutError : public Error {
   using Error::Error;
 };
 
-// Admission control rejected a request: the serving queue is at capacity or
-// the server is shutting down. Clients should back off and retry.
+// Admission control rejected a request: the serving queue is at capacity,
+// a tenant exhausted its admission quota, or the server is shutting down.
+// Clients should back off and retry. Multi-tenant admission control tags the
+// error with the shedding scope — a global condition (every tenant is
+// affected, the whole box is saturated) versus a tenant-local one (only this
+// tenant's quota or sub-queue is exhausted; other tenants are unaffected) —
+// plus the tenant id, so clients and tests can tell "back off, the service
+// is overloaded" from "back off, *you* are over quota".
 class OverloadedError : public Error {
  public:
+  enum class Scope { kUnspecified, kGlobal, kTenant };
+
   using Error::Error;
+  OverloadedError(const std::string& what, Scope scope, std::string tenant)
+      : Error(what), scope_(scope), tenant_(std::move(tenant)) {}
+
+  Scope scope() const { return scope_; }
+  const std::string& tenant() const { return tenant_; }
+
+ private:
+  Scope scope_ = Scope::kUnspecified;
+  std::string tenant_;
 };
 
 // A raylite actor is no longer able to serve calls: its factory threw, an

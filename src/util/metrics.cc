@@ -100,10 +100,69 @@ double Histogram::quantile(double q) const {
   return kMaxValue;
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  int64_t total = 0;
+  for (int64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double rank = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      return Histogram::bucket_midpoint(static_cast<int>(i));
+    }
+  }
+  return Histogram::kMaxValue;
+}
+
+std::string HistogramSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "count=" << count << " mean=" << mean() << " p50=" << p50()
+     << " p95=" << p95() << " p99=" << p99();
+  return os.str();
+}
+
+HistogramSnapshot Histogram::snapshot_total() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets + 2);
+  for (int i = 0; i < kNumBuckets + 2; ++i) {
+    int64_t c = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[static_cast<size_t>(i)] = c;
+    snap.count += c;
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+HistogramSnapshot Histogram::snapshot_window() {
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets + 2);
+  for (int i = 0; i < kNumBuckets + 2; ++i) {
+    // Cumulative counts only grow; the delta against the stored baseline is
+    // exactly what landed since the previous window. Records racing this
+    // walk land in whichever window observes them — never lost, never
+    // counted twice.
+    int64_t cur = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[static_cast<size_t>(i)] = cur - window_base_[i];
+    snap.count += cur - window_base_[i];
+    window_base_[i] = cur;
+  }
+  double cur_sum = sum_.load(std::memory_order_relaxed);
+  snap.sum = cur_sum - window_base_sum_;
+  window_base_sum_ = cur_sum;
+  return snap;
+}
+
 void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(window_mutex_);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+  for (int64_t& b : window_base_) b = 0;
+  window_base_sum_ = 0.0;
 }
 
 std::string Histogram::to_string() const {

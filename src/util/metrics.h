@@ -50,6 +50,26 @@ class SummaryStats {
   double max_ = 0.0;
 };
 
+// An immutable point-in-time view of a Histogram's counts — either the
+// all-time distribution or the delta since the previous window snapshot.
+// Quantiles use the same bucket geometry (and carry the same ~one-bucket
+// approximation) as the live histogram, but walk plain ints: a snapshot is
+// cheap to copy, compare, and reason about in control-plane decisions.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double mean() const { return count == 0 ? 0.0 : sum / double(count); }
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+  std::string to_string() const;
+
+  // Per-bucket counts, same layout as Histogram ([0]=under, [last]=over).
+  // Public so tests can poke at it; most callers only need the quantiles.
+  std::vector<int64_t> buckets;
+};
+
 // Fixed log-bucketed distribution with lock-light recording, used for
 // serving latency and batch-size distributions where many threads record
 // concurrently on a hot path.
@@ -87,17 +107,36 @@ class Histogram {
   double p95() const { return quantile(0.95); }
   double p99() const { return quantile(0.99); }
 
+  // The all-time distribution as a plain-int snapshot.
+  HistogramSnapshot snapshot_total() const;
+
+  // Windowed view for control-plane decisions (canary rollback, per-version
+  // p99): the observations recorded since the PREVIOUS snapshot_window()
+  // call (or since construction/reset for the first call), leaving the
+  // cumulative counts untouched. Each call consumes its window — successive
+  // calls partition the recording timeline into disjoint windows, so a
+  // regression that started five minutes ago is not diluted by five hours
+  // of healthy all-time history. Not for hot paths: takes an internal lock
+  // against concurrent snapshot_window()/reset().
+  HistogramSnapshot snapshot_window();
+
   void reset();
   // "count=N mean=... p50=... p95=... p99=... max=..."
   std::string to_string() const;
 
+  static double bucket_midpoint(int index);
+
  private:
   static int bucket_index(double v);
-  static double bucket_midpoint(int index);
 
   std::atomic<int64_t> buckets_[kNumBuckets + 2];  // [0]=under, [last]=over
   std::atomic<double> sum_{0.0};
   std::atomic<double> max_{0.0};
+
+  // Baseline for snapshot_window deltas; only touched under window_mutex_.
+  std::mutex window_mutex_;
+  int64_t window_base_[kNumBuckets + 2] = {};
+  double window_base_sum_ = 0.0;
 };
 
 // Thread-safe registry of named counters, gauges, and timers, used by

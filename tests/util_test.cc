@@ -277,6 +277,50 @@ TEST(MetricsTest, HistogramConcurrentRecordsAllLand) {
   EXPECT_NE(reg.report().find("lat: count=20000"), std::string::npos);
 }
 
+TEST(MetricsTest, HistogramWindowedSnapshotConsumesDisjointWindows) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i * 1e-3);
+  HistogramSnapshot w1 = h.snapshot_window();
+  EXPECT_EQ(w1.count, 100);
+  EXPECT_NEAR(w1.mean(), 0.0505, 1e-6);
+  EXPECT_GT(w1.p50(), 0.035);
+  EXPECT_LT(w1.p50(), 0.070);
+
+  // The window was consumed: with nothing recorded since, the next window
+  // is empty even though the cumulative distribution is not.
+  HistogramSnapshot w2 = h.snapshot_window();
+  EXPECT_EQ(w2.count, 0);
+  EXPECT_DOUBLE_EQ(w2.p99(), 0.0);
+
+  // Only post-consumption recordings land in the next window — a shifted
+  // distribution shows up undiluted by the earlier history...
+  for (int i = 0; i < 50; ++i) h.record(1.0);
+  HistogramSnapshot w3 = h.snapshot_window();
+  EXPECT_EQ(w3.count, 50);
+  EXPECT_GT(w3.p50(), 0.5);
+
+  // ...while the cumulative counts keep everything.
+  EXPECT_EQ(h.count(), 150);
+  HistogramSnapshot total = h.snapshot_total();
+  EXPECT_EQ(total.count, 150);
+  EXPECT_LT(total.p50(), 0.5);  // dominated by the 100 small samples
+}
+
+TEST(MetricsTest, HistogramWindowSurvivesOutOfRangeAndReset) {
+  Histogram h;
+  h.record(-1.0);  // underflow
+  h.record(1e9);   // overflow
+  HistogramSnapshot w = h.snapshot_window();
+  EXPECT_EQ(w.count, 2);  // under/overflow buckets are part of the window
+
+  h.record(1e-3);
+  h.reset();  // reset clears the window baseline along with the counts
+  for (int i = 0; i < 5; ++i) h.record(1e-3);
+  w = h.snapshot_window();
+  EXPECT_EQ(w.count, 5);
+  EXPECT_EQ(h.count(), 5);
+}
+
 // --- Serialization -----------------------------------------------------------
 
 TEST(SerializationTest, PrimitivesRoundTrip) {
