@@ -1,0 +1,96 @@
+// Continuous-control learning curve (DESIGN.md §4k, not a paper figure):
+// squashed-Gaussian SAC on the deterministic pendulum swing-up env. Prints
+// episode return, the 20-episode mean, and the auto-tuned entropy
+// coefficient — the EXPERIMENTS.md reward-vs-steps table comes from this
+// binary at medium scale. Fixed seeds throughout, so rows are reproducible
+// run to run.
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <numeric>
+
+#include "agents/sac_agent.h"
+#include "bench_common.h"
+#include "env/pendulum_env.h"
+
+namespace rlgraph {
+namespace {
+
+Json sac_config() {
+  return Json::parse(R"({
+    "type": "sac",
+    "network": [{"type": "dense", "units": 64, "activation": "relu"},
+                {"type": "dense", "units": 64, "activation": "relu"}],
+    "optimizer": {"type": "adam", "learning_rate": 0.003},
+    "memory": {"capacity": 20000},
+    "update": {"batch_size": 64, "min_records": 500},
+    "seed": 11
+  })");
+}
+
+void run(int episodes) {
+  PendulumEnv env(PendulumEnv::Config{});
+  env.seed(3);
+  SacAgent agent(sac_config(), env.state_space(), env.action_space());
+  const auto t_build = std::chrono::steady_clock::now();
+  agent.build();
+  std::printf("build: %.1f ms\n",
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t_build)
+                  .count());
+
+  std::printf("%-8s %-8s %-10s %-10s %-8s\n", "episode", "steps", "return",
+              "mean20", "alpha");
+  std::deque<double> window;
+  const auto t0 = std::chrono::steady_clock::now();
+  Tensor obs = env.reset();
+  double ep_return = 0.0;
+  int64_t steps = 0;
+  int episode = 0;
+  while (episode < episodes) {
+    Tensor batch = obs.reshaped(Shape{1, 3});
+    Tensor action = agent.get_actions(batch, /*explore=*/true);
+    StepResult r = env.step_continuous(action);
+    agent.observe(batch, action,
+                  Tensor::from_floats(Shape{1}, {(float)r.reward}),
+                  r.observation.reshaped(Shape{1, 3}),
+                  Tensor::from_bools(Shape{1}, {r.terminal}));
+    ep_return += r.reward;
+    ++steps;
+    agent.update();
+    obs = r.observation;
+    if (r.terminal) {
+      ++episode;
+      window.push_back(ep_return);
+      if (window.size() > 20) window.pop_front();
+      const double mean =
+          std::accumulate(window.begin(), window.end(), 0.0) / window.size();
+      if (episode <= 5 || episode % 5 == 0) {
+        std::printf("%-8d %-8lld %-10.1f %-10.1f %-8.3f\n", episode,
+                    static_cast<long long>(steps), ep_return, mean,
+                    agent.alpha());
+      }
+      ep_return = 0.0;
+      obs = env.reset();
+    }
+  }
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  std::printf("trained %lld env steps in %.1f s (%.0f steps/s)\n",
+              static_cast<long long>(steps), secs,
+              static_cast<double>(steps) / secs);
+}
+
+}  // namespace
+}  // namespace rlgraph
+
+int main() {
+  using namespace rlgraph;
+  bench::print_header("SAC on pendulum: continuous-control learning curve");
+  int episodes = 60;
+  if (bench::bench_scale() == bench::Scale::kQuick) episodes = 3;
+  if (bench::bench_scale() == bench::Scale::kFull) episodes = 100;
+  run(episodes);
+  return 0;
+}

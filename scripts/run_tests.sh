@@ -48,8 +48,10 @@ done
 # The sanitizer configs target the thread-heavy suites plus the socket
 # transport. Labels are anchored: `net-multiproc` (SIGKILL chaos across real
 # processes) must NOT match — sanitizer runtimes don't follow exec'd
-# children, so it runs under the default config only.
-SANITIZE_LABELS='-L ^sanitize$|^net$|^serve$|^passes$'
+# children, so it runs under the default config only — and `^continuous$`
+# pulls in the fast SAC/continuous-control suites without matching
+# `continuous-train` (a full training run, too slow when instrumented).
+SANITIZE_LABELS='-L ^sanitize$|^net$|^serve$|^passes$|^continuous$'
 
 failures=()
 

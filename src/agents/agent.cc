@@ -327,6 +327,7 @@ std::unique_ptr<Agent> make_impala_agent(const Json&, SpacePtr, SpacePtr);
 std::unique_ptr<Agent> make_actor_critic_agent(const Json&, SpacePtr,
                                                SpacePtr);
 std::unique_ptr<Agent> make_ppo_agent(const Json&, SpacePtr, SpacePtr);
+std::unique_ptr<Agent> make_sac_agent(const Json&, SpacePtr, SpacePtr);
 
 std::unique_ptr<Agent> make_agent(const Json& config, SpacePtr state_space,
                                   SpacePtr action_space) {
@@ -345,6 +346,10 @@ std::unique_ptr<Agent> make_agent(const Json& config, SpacePtr state_space,
   }
   if (type == "ppo") {
     return make_ppo_agent(config, std::move(state_space),
+                          std::move(action_space));
+  }
+  if (type == "sac") {
+    return make_sac_agent(config, std::move(state_space),
                           std::move(action_space));
   }
   throw ConfigError("unknown agent type: '" + type + "'");

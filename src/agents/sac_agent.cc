@@ -1,0 +1,402 @@
+#include "agents/sac_agent.h"
+
+#include <cmath>
+
+#include "components/memories.h"
+#include "components/optimizers.h"
+#include "components/synchronizer.h"
+#include "core/build_context.h"
+#include "util/errors.h"
+
+namespace rlgraph {
+
+namespace {
+
+// Holds the trainable log(alpha) scalar and its loss. A separate component
+// so the variable scopes cleanly ("agent/entropy-coeff/log_alpha") and the
+// alpha optimizer can pull exactly this one variable.
+class EntropyCoeff : public Component {
+ public:
+  EntropyCoeff(std::string name, double initial_alpha, double target_entropy)
+      : Component(std::move(name)), initial_alpha_(initial_alpha),
+        target_entropy_(target_entropy) {
+    RLG_REQUIRE(initial_alpha_ > 0.0, "initial_alpha must be > 0");
+
+    // get_alpha() -> exp(log_alpha), scalar.
+    register_api(
+        "get_alpha", [this](BuildContext& ctx, const OpRecs& inputs) {
+          return graph_fn(
+              ctx, "get_alpha",
+              [this](OpContext& ops, const std::vector<OpRef>&) {
+                return std::vector<OpRef>{
+                    ops.exp(ops.variable(scope() + "/log_alpha"))};
+              },
+              inputs, 1, {FloatBox()});
+        });
+
+    // get_loss(mean_logp) -> -log_alpha * (mean_logp + target_entropy).
+    // mean_logp arrives detached (computed in a previous executor call), so
+    // the only gradient path is into log_alpha itself.
+    register_api(
+        "get_loss", [this](BuildContext& ctx, const OpRecs& inputs) {
+          RLG_REQUIRE(inputs.size() == 1, "get_loss expects (mean_logp)");
+          return graph_fn(
+              ctx, "alpha_loss",
+              [this](OpContext& ops, const std::vector<OpRef>& in) {
+                OpRef log_alpha = ops.variable(scope() + "/log_alpha");
+                OpRef target = ops.add(
+                    in[0],
+                    ops.scalar(static_cast<float>(target_entropy_)));
+                return std::vector<OpRef>{
+                    ops.neg(ops.mul(log_alpha, target))};
+              },
+              inputs, 1, {FloatBox()});
+        });
+  }
+
+  void create_variables(BuildContext& ctx) override {
+    create_var(ctx, "log_alpha",
+               Tensor::scalar(static_cast<float>(std::log(initial_alpha_))));
+  }
+
+ private:
+  double initial_alpha_;
+  double target_entropy_;
+};
+
+}  // namespace
+
+SacAgent::SacAgent(Json config, SpacePtr state_space, SpacePtr action_space)
+    : Agent(std::move(config), std::move(state_space),
+            std::move(action_space)) {
+  RLG_REQUIRE(action_space_->is_box(), "SAC requires a Box action space");
+  const auto& box = static_cast<const BoxSpace&>(*action_space_);
+  RLG_REQUIRE(box.dtype() == DType::kFloat32 && box.num_categories() == 0,
+              "SAC requires a continuous (float Box) action space");
+  action_dim_ = box.value_shape().num_elements();
+  const Json& update = config_.get("update");
+  batch_size_ = update.is_null() ? 64 : update.get_int("batch_size", 64);
+  min_records_ = update.is_null() ? 200 : update.get_int("min_records", 200);
+}
+
+void SacAgent::setup_graph() {
+  auto root = std::make_shared<Component>("agent");
+
+  const Json& network = config_.at("network");
+  const Json& critic_network = config_.get("critic_network").is_null()
+                                   ? network
+                                   : config_.get("critic_network");
+
+  auto* policy = root->add_component(std::make_shared<Policy>(
+      "policy", network, action_space_, PolicyHead::kSquashedGaussian));
+  auto* critic1 = root->add_component(
+      std::make_shared<ContinuousQCritic>("critic-1", critic_network));
+  auto* critic2 = root->add_component(
+      std::make_shared<ContinuousQCritic>("critic-2", critic_network));
+  auto* target1 = root->add_component(
+      std::make_shared<ContinuousQCritic>("target-critic-1", critic_network));
+  auto* target2 = root->add_component(
+      std::make_shared<ContinuousQCritic>("target-critic-2", critic_network));
+
+  const Json& mem_config = config_.get("memory");
+  int64_t capacity =
+      mem_config.is_null() ? 100000 : mem_config.get_int("capacity", 100000);
+  auto* memory =
+      root->add_component(std::make_shared<RingMemory>("memory", capacity));
+
+  Json opt_config = config_.get("optimizer").is_null()
+                        ? Json(JsonObject{})
+                        : config_.get("optimizer");
+  Json alpha_opt_config = config_.get("alpha_optimizer").is_null()
+                              ? opt_config
+                              : config_.get("alpha_optimizer");
+  auto* actor_opt =
+      root->add_component(make_optimizer("actor-optimizer", opt_config));
+  auto* critic_opt =
+      root->add_component(make_optimizer("critic-optimizer", opt_config));
+  auto* alpha_opt =
+      root->add_component(make_optimizer("alpha-optimizer", alpha_opt_config));
+
+  const double gamma = config_.get_double("discount", 0.99);
+  const double tau = config_.get_double("tau", 0.005);
+  const double target_entropy = config_.get_double(
+      "target_entropy", -static_cast<double>(action_dim_));
+  auto* entropy_coeff = root->add_component(std::make_shared<EntropyCoeff>(
+      "entropy-coeff", config_.get_double("initial_alpha", 0.2),
+      target_entropy));
+
+  auto* sync1 = root->add_component(std::make_shared<Synchronizer>(
+      "sync-1", "agent/critic-1", "agent/target-critic-1", tau));
+  auto* sync2 = root->add_component(std::make_shared<Synchronizer>(
+      "sync-2", "agent/critic-2", "agent/target-critic-2", tau));
+  auto* hard_sync1 = root->add_component(std::make_shared<Synchronizer>(
+      "hard-sync-1", "agent/critic-1", "agent/target-critic-1"));
+  auto* hard_sync2 = root->add_component(std::make_shared<Synchronizer>(
+      "hard-sync-2", "agent/critic-2", "agent/target-critic-2"));
+
+  // --- root API methods ----------------------------------------------------
+
+  // act(states [B, ...]) -> sampled actions [B, D].
+  root->register_api("act",
+                     [policy](BuildContext& ctx, const OpRecs& inputs) {
+                       RLG_REQUIRE(inputs.size() == 1, "act expects (states)");
+                       OpRecs out = policy->call_api(ctx, "sample_action_logp",
+                                                     inputs);
+                       return OpRecs{out[0]};
+                     });
+  // act_greedy(states) -> deterministic squashed-mean actions [B, D].
+  root->register_api("act_greedy",
+                     [policy](BuildContext& ctx, const OpRecs& inputs) {
+                       return policy->call_api(ctx, "get_action", inputs);
+                     });
+
+  // observe(s, a, r, s2, t) -> insert count (uniform priorities).
+  SpacePtr record_space = Tuple({
+      state_space_->with_batch_rank(),
+      action_space_->with_batch_rank(),
+      FloatBox()->with_batch_rank(),
+      state_space_->with_batch_rank(),
+      BoolBox()->with_batch_rank(),
+  });
+  root->register_api(
+      "observe",
+      [root_raw = root.get(), memory, record_space](
+          BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 5, "observe expects (s, a, r, s2, t)");
+        OpRec record;
+        record.space = record_space;
+        for (size_t i = 0; i < 5; ++i) {
+          if (!inputs[i].abstract()) record.ops.push_back(inputs[i].op());
+        }
+        OpRec ones = root_raw->graph_fn(
+            ctx, "unit_priorities",
+            [](OpContext& ops, const std::vector<OpRef>& in) {
+              return std::vector<OpRef>{ops.ones_like(in[0])};
+            },
+            {inputs[2]})[0];
+        return memory->call_api(ctx, "insert_records", {record, ones});
+      });
+
+  // sample_batch(n) -> (s, a, r, s2, t, indices, weights).
+  root->register_api("sample_batch",
+                     [memory](BuildContext& ctx, const OpRecs& inputs) {
+                       OpRecs out =
+                           memory->call_api(ctx, "get_records", inputs);
+                       if (ctx.assembling()) out.resize(7);
+                       return out;
+                     });
+
+  // update_critic(s, a, r, s2, t) -> (critic_loss, update_group).
+  // Target: r + gamma*(1-t)*(min(Q1', Q2')(s2, a2) - alpha*logp(a2|s2)),
+  // a2 freshly sampled from the current policy; both critics regress onto
+  // the same stopped target.
+  root->register_api(
+      "update_critic",
+      [root_raw = root.get(), policy, critic1, critic2, target1, target2,
+       entropy_coeff, critic_opt, gamma](BuildContext& ctx,
+                                         const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 5,
+                    "update_critic expects (s, a, r, s2, t)");
+        const OpRec& s = inputs[0];
+        const OpRec& a = inputs[1];
+        const OpRec& r = inputs[2];
+        const OpRec& s2 = inputs[3];
+        const OpRec& t = inputs[4];
+        OpRecs next = policy->call_api(ctx, "sample_action_logp", {s2});
+        OpRec q1t = target1->call_api(ctx, "get_q", {s2, next[0]})[0];
+        OpRec q2t = target2->call_api(ctx, "get_q", {s2, next[0]})[0];
+        OpRec q1 = critic1->call_api(ctx, "get_q", {s, a})[0];
+        OpRec q2 = critic2->call_api(ctx, "get_q", {s, a})[0];
+        OpRec alpha = entropy_coeff->call_api(ctx, "get_alpha", {})[0];
+        OpRec loss = root_raw->graph_fn(
+            ctx, "critic_loss",
+            [gamma](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef q1 = in[0], q2 = in[1], r = in[2], t = in[3];
+              OpRef q1t = in[4], q2t = in[5], logp2 = in[6], alpha = in[7];
+              OpRef not_term = ops.sub(
+                  ops.scalar(1.0f), ops.cast(t, DType::kFloat32));
+              OpRef soft_q = ops.sub(ops.minimum(q1t, q2t),
+                                     ops.mul(alpha, logp2));
+              OpRef target = ops.add(
+                  r, ops.mul(ops.scalar(static_cast<float>(gamma)),
+                             ops.mul(not_term, soft_q)));
+              target = ops.stop_gradient(target);
+              OpRef td1 = ops.square(ops.sub(q1, target));
+              OpRef td2 = ops.square(ops.sub(q2, target));
+              return std::vector<OpRef>{ops.mul(
+                  ops.scalar(0.5f), ops.reduce_mean(ops.add(td1, td2)))};
+            },
+            {q1, q2, r, t, q1t, q2t, next[1], alpha}, 1, {FloatBox()})[0];
+        OpRecs vars = critic1->variable_recs(ctx);
+        OpRecs vars2 = critic2->variable_recs(ctx);
+        vars.insert(vars.end(), vars2.begin(), vars2.end());
+        OpRecs step_inputs{loss};
+        step_inputs.insert(step_inputs.end(), vars.begin(), vars.end());
+        OpRecs opt_out = critic_opt->call_api(ctx, "step", step_inputs);
+        return OpRecs{loss, opt_out[0]};
+      });
+
+  // update_actor(s) -> (actor_loss, mean_logp, update_group).
+  // loss = mean(alpha*logp - min(Q1, Q2)(s, a)), a reparameterized.
+  root->register_api(
+      "update_actor",
+      [root_raw = root.get(), policy, critic1, critic2, entropy_coeff,
+       actor_opt](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 1, "update_actor expects (states)");
+        OpRecs sampled = policy->call_api(ctx, "sample_action_logp", inputs);
+        OpRec q1 = critic1->call_api(ctx, "get_q", {inputs[0], sampled[0]})[0];
+        OpRec q2 = critic2->call_api(ctx, "get_q", {inputs[0], sampled[0]})[0];
+        OpRec alpha = entropy_coeff->call_api(ctx, "get_alpha", {})[0];
+        OpRecs lm = root_raw->graph_fn(
+            ctx, "actor_loss",
+            [](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef logp = in[0], q1 = in[1], q2 = in[2], alpha = in[3];
+              OpRef qmin = ops.minimum(q1, q2);
+              OpRef loss = ops.reduce_mean(
+                  ops.sub(ops.mul(ops.stop_gradient(alpha), logp), qmin));
+              OpRef mean_logp =
+                  ops.stop_gradient(ops.reduce_mean(logp));
+              return std::vector<OpRef>{loss, mean_logp};
+            },
+            {sampled[1], q1, q2, alpha}, 2, {FloatBox(), FloatBox()});
+        OpRecs vars = policy->variable_recs(ctx);
+        OpRecs step_inputs{lm[0]};
+        step_inputs.insert(step_inputs.end(), vars.begin(), vars.end());
+        OpRecs opt_out = actor_opt->call_api(ctx, "step", step_inputs);
+        return OpRecs{lm[0], lm[1], opt_out[0]};
+      });
+
+  // update_alpha(mean_logp) -> (alpha_loss, update_group). The updated
+  // alpha value is NOT fetched here: a variable read in the same plan as
+  // the optimizer's assign is unordered against it (the read is not an
+  // ancestor of the assign), so callers use get_alpha in a follow-up call.
+  root->register_api(
+      "update_alpha",
+      [entropy_coeff, alpha_opt](BuildContext& ctx,
+                                 const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 1, "update_alpha expects (mean_logp)");
+        OpRec loss = entropy_coeff->call_api(ctx, "get_loss", inputs)[0];
+        OpRecs vars = entropy_coeff->variable_recs(ctx);
+        OpRecs step_inputs{loss};
+        step_inputs.insert(step_inputs.end(), vars.begin(), vars.end());
+        OpRecs opt_out = alpha_opt->call_api(ctx, "step", step_inputs);
+        return OpRecs{loss, opt_out[0]};
+      });
+
+  // get_alpha() -> current exp(log_alpha).
+  root->register_api("get_alpha",
+                     [entropy_coeff](BuildContext& ctx, const OpRecs& inputs) {
+                       return entropy_coeff->call_api(ctx, "get_alpha",
+                                                      inputs);
+                     });
+
+  auto sync_api = [](Synchronizer* a, Synchronizer* b) {
+    return [a, b](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+      OpRec c1 = a->call_api(ctx, "sync", inputs)[0];
+      OpRec c2 = b->call_api(ctx, "sync", inputs)[0];
+      return OpRecs{c1, c2};
+    };
+  };
+  root->register_api("sync_targets", sync_api(sync1, sync2));
+  // Hard copy used once after build so targets start identical to the
+  // online critics.
+  root->register_api("sync_targets_hard", sync_api(hard_sync1, hard_sync2));
+
+  root->register_api("memory_size",
+                     [memory](BuildContext& ctx, const OpRecs& inputs) {
+                       return memory->call_api(ctx, "get_size", inputs);
+                     });
+
+  // --- declared API input spaces -------------------------------------------
+  SpacePtr state_b = state_space_->with_batch_rank();
+  SpacePtr action_b = action_space_->with_batch_rank();
+  SpacePtr float_b = FloatBox()->with_batch_rank();
+  SpacePtr bool_b = BoolBox()->with_batch_rank();
+  SpacePtr int_scalar = IntBox(1 << 30);
+  api_spaces_ = {
+      {"act", {state_b}},
+      {"act_greedy", {state_b}},
+      {"observe", {state_b, action_b, float_b, state_b, bool_b}},
+      {"sample_batch", {int_scalar}},
+      {"update_critic", {state_b, action_b, float_b, state_b, bool_b}},
+      {"update_actor", {state_b}},
+      {"update_alpha", {FloatBox()}},
+      {"get_alpha", {}},
+      {"sync_targets", {}},
+      {"sync_targets_hard", {}},
+      {"memory_size", {}},
+  };
+  root_ = std::move(root);
+}
+
+void SacAgent::on_built() {
+  GraphExecutor& ex = executor();
+  h_act_ = ex.api_handle("act");
+  h_act_greedy_ = ex.api_handle("act_greedy");
+  h_observe_ = ex.api_handle("observe");
+  h_sample_batch_ = ex.api_handle("sample_batch");
+  h_update_critic_ = ex.api_handle("update_critic");
+  h_update_actor_ = ex.api_handle("update_actor");
+  h_update_alpha_ = ex.api_handle("update_alpha");
+  h_get_alpha_ = ex.api_handle("get_alpha");
+  h_sync_targets_ = ex.api_handle("sync_targets");
+  h_sync_targets_hard_ = ex.api_handle("sync_targets_hard");
+  h_memory_size_ = ex.api_handle("memory_size");
+  // Targets start as exact copies of the online critics.
+  ex.execute(h_sync_targets_hard_, {});
+}
+
+Tensor SacAgent::get_actions(const Tensor& states, bool explore) {
+  return executor().execute(explore ? h_act_ : h_act_greedy_, {states})[0];
+}
+
+void SacAgent::observe(const Tensor& states, const Tensor& actions,
+                       const Tensor& rewards, const Tensor& next_states,
+                       const Tensor& terminals) {
+  executor().execute(h_observe_,
+                     {states, actions, rewards, next_states, terminals});
+}
+
+double SacAgent::update() {
+  if (memory_size() < std::max(min_records_, batch_size_)) return 0.0;
+  std::vector<Tensor> batch = sample_batch(batch_size_);
+  return update_from_batch(batch[0], batch[1], batch[2], batch[3], batch[4]);
+}
+
+double SacAgent::update_from_batch(const Tensor& states, const Tensor& actions,
+                                   const Tensor& rewards,
+                                   const Tensor& next_states,
+                                   const Tensor& terminals) {
+  std::vector<Tensor> critic_out = executor().execute(
+      h_update_critic_, {states, actions, rewards, next_states, terminals});
+  std::vector<Tensor> actor_out =
+      executor().execute(h_update_actor_, {states});
+  std::vector<Tensor> alpha_out =
+      executor().execute(h_update_alpha_, {actor_out[1]});
+  sync_targets();
+  last_actor_loss_ = actor_out[0].scalar_value();
+  last_alpha_loss_ = alpha_out[0].scalar_value();
+  last_alpha_ = executor().execute(h_get_alpha_, {})[0].scalar_value();
+  return critic_out[0].scalar_value();
+}
+
+std::vector<Tensor> SacAgent::sample_batch(int64_t n) {
+  return executor().execute(h_sample_batch_,
+                            {Tensor::scalar_int(static_cast<int32_t>(n))});
+}
+
+int64_t SacAgent::memory_size() {
+  return static_cast<int64_t>(
+      executor().execute(h_memory_size_, {})[0].scalar_value());
+}
+
+void SacAgent::sync_targets() { executor().execute(h_sync_targets_, {}); }
+
+std::unique_ptr<Agent> make_sac_agent(const Json& config,
+                                      SpacePtr state_space,
+                                      SpacePtr action_space) {
+  return std::make_unique<SacAgent>(config, std::move(state_space),
+                                    std::move(action_space));
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,83 @@
+// SacAgent: Soft Actor-Critic for continuous action spaces.
+//
+// The first continuous-control workload: a squashed-Gaussian policy
+// (components/policy.h, PolicyHead::kSquashedGaussian), twin Q critics with
+// polyak-averaged target networks, entropy-coefficient auto-tuning against a
+// target entropy, and uniform replay. Exploration IS the policy's sampling
+// head — there is no separate exploration component; greedy acting
+// (explore=false) returns the squashed mean, which is what the PolicyServer
+// serves.
+//
+// One update() is four executor calls on purpose: sample -> critic step ->
+// actor step -> alpha step (+ polyak sync). Reads of a variable and in-plan
+// assigns to it are only ordered when the read is an ancestor of the assign,
+// so chaining "update critics, then evaluate the updated critics for the
+// actor loss" inside ONE plan would race; separate calls sequence them.
+//
+// Config keys (all optional unless noted):
+//   "network": [...layer list...]            (required; actor torso)
+//   "critic_network": [...layer list...]     (default: same as "network")
+//   "memory": {"capacity": N}
+//   "optimizer": {"type": "adam", "learning_rate": 3e-4}   (actor + critic)
+//   "alpha_optimizer": {...}                 (default: same as "optimizer")
+//   "discount": 0.99, "tau": 0.005,
+//   "target_entropy": -action_dim, "initial_alpha": 0.2,
+//   "update": {"batch_size": 64, "min_records": 200}
+#pragma once
+
+#include "agents/agent.h"
+#include "components/policy.h"
+
+namespace rlgraph {
+
+class SacAgent : public Agent {
+ public:
+  SacAgent(Json config, SpacePtr state_space, SpacePtr action_space);
+
+  // Returns actions [B, D]. explore=true samples from the squashed
+  // Gaussian; explore=false returns the deterministic squashed mean.
+  Tensor get_actions(const Tensor& states, bool explore = true) override;
+
+  void observe(const Tensor& states, const Tensor& actions,
+               const Tensor& rewards, const Tensor& next_states,
+               const Tensor& terminals) override;
+
+  // One SAC step (critic, actor, alpha, polyak sync); returns the critic
+  // loss. No-op (returns 0) until the memory holds min_records records.
+  double update() override;
+
+  // Last auxiliary values from update(), for logging and tests.
+  double last_actor_loss() const { return last_actor_loss_; }
+  double last_alpha_loss() const { return last_alpha_loss_; }
+  double alpha() const { return last_alpha_; }
+
+  // Sample {s, a, r, s2, t, indices, weights} from replay without updating.
+  std::vector<Tensor> sample_batch(int64_t n);
+  // Update critics/actor/alpha from an explicit batch; returns critic loss.
+  double update_from_batch(const Tensor& states, const Tensor& actions,
+                           const Tensor& rewards, const Tensor& next_states,
+                           const Tensor& terminals);
+  int64_t memory_size();
+  // Polyak-averaged target update (tau from config).
+  void sync_targets();
+
+  int64_t batch_size() const { return batch_size_; }
+
+ protected:
+  void setup_graph() override;
+  void on_built() override;
+
+ private:
+  int64_t action_dim_ = 0;
+  int64_t batch_size_ = 64;
+  int64_t min_records_ = 200;
+  double last_actor_loss_ = 0.0;
+  double last_alpha_loss_ = 0.0;
+  double last_alpha_ = 0.0;
+
+  ApiHandle h_act_, h_act_greedy_, h_observe_, h_sample_batch_,
+      h_update_critic_, h_update_actor_, h_update_alpha_, h_get_alpha_,
+      h_sync_targets_, h_sync_targets_hard_, h_memory_size_;
+};
+
+}  // namespace rlgraph

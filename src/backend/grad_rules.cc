@@ -100,6 +100,10 @@ void register_standard_grads(GradRegistry& r) {
     OpRef t = f.outputs[0];
     return G{ctx.mul(dy[0], ctx.sub(ctx.scalar(1.0f), ctx.square(t)))};
   });
+  r.register_grad("Softplus",
+                  [](OpContext& ctx, const RefInfo& f, const G& dy) {
+                    return G{ctx.mul(dy[0], ctx.sigmoid(f.inputs[0]))};
+                  });
   r.register_grad("Clip", [](OpContext& ctx, const RefInfo& f, const G& dy) {
     OpRef x = f.inputs[0];
     OpRef lo = ctx.scalar(static_cast<float>(attr_double(f.attrs, "lo")));

@@ -128,6 +128,7 @@ class OpContext {
   OpRef relu(OpRef a) { return apply("Relu", {a}); }
   OpRef sigmoid(OpRef a) { return apply("Sigmoid", {a}); }
   OpRef tanh(OpRef a) { return apply("Tanh", {a}); }
+  OpRef softplus(OpRef a) { return apply("Softplus", {a}); }
   OpRef identity(OpRef a) { return apply("Identity", {a}); }
   OpRef stop_gradient(OpRef a) { return apply("StopGradient", {a}); }
   OpRef matmul(OpRef a, OpRef b) { return apply("MatMul", {a, b}); }

@@ -1,5 +1,7 @@
 #include "components/policy.h"
 
+#include <cmath>
+
 #include "core/build_context.h"
 #include "util/errors.h"
 
@@ -9,11 +11,27 @@ Policy::Policy(std::string name, const Json& network_config,
                SpacePtr action_space, PolicyHead head)
     : Component(std::move(name)), head_(head) {
   RLG_REQUIRE(action_space != nullptr && action_space->is_box(),
-              "Policy requires a categorical box action space");
+              "Policy requires a box action space");
   const auto& box = static_cast<const BoxSpace&>(*action_space);
-  RLG_REQUIRE(box.num_categories() > 0,
-              "Policy requires a categorical (IntBox) action space");
-  num_actions_ = box.num_categories();
+  if (head_ == PolicyHead::kSquashedGaussian) {
+    RLG_REQUIRE(box.dtype() == DType::kFloat32 && box.num_categories() == 0,
+                "squashed-Gaussian head requires a float Box action space");
+    action_dim_ = box.value_shape().num_elements();
+    RLG_REQUIRE(action_dim_ > 0,
+                "squashed-Gaussian head requires a non-scalar action shape");
+    for (int64_t d = 0; d < action_dim_; ++d) {
+      double lo = box.low(d), hi = box.high(d);
+      RLG_REQUIRE(lo > -1e29 && hi < 1e29 && hi > lo,
+                  "squashed-Gaussian head requires finite action bounds, got ["
+                      << lo << ", " << hi << "] at dim " << d);
+      action_scale_.push_back(static_cast<float>((hi - lo) / 2.0));
+      action_center_.push_back(static_cast<float>((hi + lo) / 2.0));
+    }
+  } else {
+    RLG_REQUIRE(box.num_categories() > 0,
+                "Policy requires a categorical (IntBox) action space");
+    num_actions_ = box.num_categories();
+  }
 
   network_ =
       add_component(std::make_shared<NeuralNetwork>("network", network_config));
@@ -36,6 +54,13 @@ Policy::Policy(std::string name, const Json& network_config,
       value_head_ =
           add_component(std::make_shared<DenseLayer>("value-head", 1));
       register_categorical_apis();
+      break;
+    case PolicyHead::kSquashedGaussian:
+      mean_head_ =
+          add_component(std::make_shared<DenseLayer>("mean-head", action_dim_));
+      logstd_head_ = add_component(
+          std::make_shared<DenseLayer>("logstd-head", action_dim_));
+      register_squashed_gaussian_apis();
       break;
   }
 }
@@ -116,18 +141,137 @@ void Policy::register_categorical_apis() {
                });
 }
 
-OpRecs Policy::variable_recs(BuildContext& ctx) {
-  if (ctx.assembling()) return {};
-  OpRecs out;
-  for (const std::string& name : variable_names_recursive()) {
-    OpRef ref = ctx.ops().variable(name);
-    Shape s = ctx.ops().shape(ref);
-    auto space = std::make_shared<BoxSpace>(ctx.ops().dtype(ref),
-                                            s.fully_specified() ? s : Shape{},
-                                            -1e30, 1e30);
-    out.emplace_back(space, ref);
+// Clamp range for the log-std head: keeps σ in [e^-5, e^2] so neither the
+// sample noise nor the log-prob's 1/σ can blow up early in training.
+constexpr double kLogStdMin = -5.0;
+constexpr double kLogStdMax = 2.0;
+
+OpRef squashed_gaussian_logp(OpContext& ops, OpRef u, OpRef mean, OpRef logstd,
+                             OpRef log_scale) {
+  // Gaussian log-density of the pre-squash sample u under N(μ, σ²):
+  //   −0.5·z² − log σ − 0.5·log(2π),  z = (u − μ)/σ.
+  OpRef z = ops.div(ops.sub(u, mean), ops.exp(logstd));
+  OpRef gauss = ops.sub(
+      ops.sub(ops.mul(ops.scalar(-0.5f), ops.square(z)), logstd),
+      ops.scalar(0.91893853320467274f));  // 0.5 log(2π)
+  // Change-of-variables for a = center + scale·tanh(u):
+  //   log|da/du| = log scale + log(1 − tanh²u)
+  // with the stable identity log(1 − tanh²u) = 2(log 2 − u − softplus(−2u)).
+  OpRef log1m_tanh2 = ops.mul(
+      ops.scalar(2.0f),
+      ops.sub(ops.sub(ops.scalar(0.69314718055994531f), u),
+              ops.softplus(ops.mul(ops.scalar(-2.0f), u))));
+  OpRef correction = ops.add(log_scale, log1m_tanh2);
+  return ops.reduce_sum(ops.sub(gauss, correction), 1);
+}
+
+void Policy::register_squashed_gaussian_apis() {
+  const int64_t d = action_dim_;
+  std::vector<float> scale = action_scale_, center = action_center_;
+  std::vector<float> log_scale(scale.size());
+  std::vector<double> lows(scale.size()), highs(scale.size());
+  for (size_t i = 0; i < scale.size(); ++i) {
+    log_scale[i] = std::log(scale[i]);
+    lows[i] = static_cast<double>(center[i] - scale[i]);
+    highs[i] = static_cast<double>(center[i] + scale[i]);
   }
-  return out;
+  SpacePtr action_b =
+      FloatBox(Shape{d}, std::move(lows), std::move(highs))->with_batch_rank();
+  SpacePtr row_b = FloatBox(Shape{d})->with_batch_rank();
+
+  register_api(
+      "get_mean_logstd",
+      [this, row_b](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 1, "get_mean_logstd expects (states)");
+        OpRec features = network_->call_api(ctx, "apply", inputs)[0];
+        OpRec mean = mean_head_->call_api(ctx, "apply", {features})[0];
+        OpRec logstd = logstd_head_->call_api(ctx, "apply", {features})[0];
+        OpRec clipped = graph_fn(
+            ctx, "clip_logstd",
+            [](OpContext& ops, const std::vector<OpRef>& in) {
+              return std::vector<OpRef>{
+                  ops.clip(in[0], kLogStdMin, kLogStdMax)};
+            },
+            {logstd}, 1, {row_b})[0];
+        return OpRecs{mean, clipped};
+      });
+
+  // Reparameterized sample + its exact log-prob. The Gaussian noise comes
+  // from the stateful RandomNormalLike op on the seeded serial RNG chain,
+  // so traces are bitwise reproducible at any thread count.
+  register_api(
+      "sample_action_logp",
+      [this, d, scale, center, log_scale, action_b](
+          BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        OpRecs ml = call_api(ctx, "get_mean_logstd", inputs);
+        return graph_fn(
+            ctx, "sample_squashed",
+            [d, scale, center, log_scale](OpContext& ops,
+                                          const std::vector<OpRef>& in) {
+              OpRef mean = in[0], logstd = in[1];
+              OpRef eps = ops.apply("RandomNormalLike", {mean});
+              OpRef u = ops.add(mean, ops.mul(ops.exp(logstd), eps));
+              OpRef scale_c =
+                  ops.constant(Tensor::from_floats(Shape{1, d}, scale));
+              OpRef center_c =
+                  ops.constant(Tensor::from_floats(Shape{1, d}, center));
+              OpRef log_scale_c =
+                  ops.constant(Tensor::from_floats(Shape{1, d}, log_scale));
+              OpRef action =
+                  ops.add(ops.mul(ops.tanh(u), scale_c), center_c);
+              OpRef logp =
+                  squashed_gaussian_logp(ops, u, mean, logstd, log_scale_c);
+              return std::vector<OpRef>{action, logp};
+            },
+            {ml[0], ml[1]}, 2, {action_b, FloatBox()->with_batch_rank()});
+      });
+
+  register_api(
+      "get_action",
+      [this, d, scale, center, action_b](BuildContext& ctx,
+                                         const OpRecs& inputs) -> OpRecs {
+        OpRecs ml = call_api(ctx, "get_mean_logstd", inputs);
+        return graph_fn(
+            ctx, "greedy",
+            [d, scale, center](OpContext& ops, const std::vector<OpRef>& in) {
+              OpRef scale_c =
+                  ops.constant(Tensor::from_floats(Shape{1, d}, scale));
+              OpRef center_c =
+                  ops.constant(Tensor::from_floats(Shape{1, d}, center));
+              return std::vector<OpRef>{
+                  ops.add(ops.mul(ops.tanh(in[0]), scale_c), center_c)};
+            },
+            {ml[0]}, 1, {action_b});
+      });
+}
+
+// --- ContinuousQCritic -------------------------------------------------------
+
+ContinuousQCritic::ContinuousQCritic(std::string name,
+                                     const Json& network_config)
+    : Component(std::move(name)) {
+  network_ =
+      add_component(std::make_shared<NeuralNetwork>("network", network_config));
+  q_head_ = add_component(std::make_shared<DenseLayer>("q-head", 1));
+
+  register_api(
+      "get_q", [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
+        RLG_REQUIRE(inputs.size() == 2, "get_q expects (states, actions)");
+        OpRec sa = graph_fn(
+            ctx, "concat_sa",
+            [](OpContext& ops, const std::vector<OpRef>& in) {
+              return std::vector<OpRef>{ops.concat({in[0], in[1]}, 1)};
+            },
+            inputs)[0];
+        OpRec features = network_->call_api(ctx, "apply", {sa})[0];
+        OpRec q = q_head_->call_api(ctx, "apply", {features})[0];
+        return graph_fn(
+            ctx, "squeeze_q",
+            [](OpContext& ops, const std::vector<OpRef>& in) {
+              return std::vector<OpRef>{ops.squeeze(in[0], 1)};
+            },
+            {q}, 1, {FloatBox()->with_batch_rank()});
+      });
 }
 
 }  // namespace rlgraph

@@ -10,21 +10,19 @@
 
 namespace rlgraph {
 
-enum class PolicyHead { kQValues, kDuelingQ, kCategorical };
+enum class PolicyHead { kQValues, kDuelingQ, kCategorical, kSquashedGaussian };
 
 class Policy : public Component {
  public:
-  // `action_space` must be a categorical IntBox; `network_config` is the
-  // layer list (see NeuralNetwork).
+  // Discrete heads require a categorical IntBox `action_space`; the
+  // squashed-Gaussian head requires a bounded FloatBox (per-dimension bounds
+  // honored). `network_config` is the layer list (see NeuralNetwork).
   Policy(std::string name, const Json& network_config, SpacePtr action_space,
          PolicyHead head = PolicyHead::kQValues);
 
   int64_t num_actions() const { return num_actions_; }
+  int64_t action_dim() const { return action_dim_; }
   NeuralNetwork& network() { return *network_; }
-
-  // Build-time helper: refs of every trainable variable under this policy
-  // (the paper's policy.variables()); empty in assemble mode.
-  OpRecs variable_recs(BuildContext& ctx);
 
  private:
   // APIs registered depending on head type:
@@ -32,16 +30,45 @@ class Policy : public Component {
   //  Categorical: get_logits_value(states) -> (logits, value);
   //               sample_action(states) -> sampled action;
   //               get_action(states) -> greedy action
+  //  Squashed Gaussian: get_mean_logstd(states) -> (mean, log_std);
+  //               sample_action_logp(states) -> (action, logp);
+  //               get_action(states) -> deterministic tanh(mean) action
   void register_q_apis();
   void register_categorical_apis();
+  void register_squashed_gaussian_apis();
 
-  int64_t num_actions_;
+  int64_t num_actions_ = 0;
+  int64_t action_dim_ = 0;  // squashed-Gaussian head only
   PolicyHead head_;
   NeuralNetwork* network_;
   DenseLayer* q_head_ = nullptr;
   DenseLayer* value_head_ = nullptr;      // dueling V or categorical value
   DenseLayer* advantage_head_ = nullptr;  // dueling A
   DenseLayer* logits_head_ = nullptr;     // categorical
+  DenseLayer* mean_head_ = nullptr;       // squashed Gaussian μ
+  DenseLayer* logstd_head_ = nullptr;     // squashed Gaussian log σ
+  // Per-dimension affine map from tanh(u) in (-1, 1) to the action bounds.
+  std::vector<float> action_scale_;
+  std::vector<float> action_center_;
+};
+
+// Squashed-Gaussian log-prob pieces, shared between the Policy head and the
+// gradcheck programs so the tests pin the exact graph the agent trains.
+// All inputs are [B, D]; returns the summed per-row log-prob [B]:
+//   logp = Σ_d [ N(u; μ, σ).logp − log(scale_d) − 2(log 2 − u − softplus(−2u)) ]
+OpRef squashed_gaussian_logp(OpContext& ops, OpRef u, OpRef mean, OpRef logstd,
+                             OpRef log_scale);
+
+// State-action value function for continuous actions: Q(s, a) computed over
+// the concatenated [states, actions] vector. API:
+//   get_q(states, actions) -> q [B]
+class ContinuousQCritic : public Component {
+ public:
+  ContinuousQCritic(std::string name, const Json& network_config);
+
+ private:
+  NeuralNetwork* network_;
+  DenseLayer* q_head_;
 };
 
 }  // namespace rlgraph

@@ -6,22 +6,37 @@
 namespace rlgraph {
 
 Synchronizer::Synchronizer(std::string name, std::string source_prefix,
-                           std::string dest_prefix)
+                           std::string dest_prefix, double tau)
     : Component(std::move(name)), source_prefix_(std::move(source_prefix)),
-      dest_prefix_(std::move(dest_prefix)) {
-  // sync() -> number of variables copied.
+      dest_prefix_(std::move(dest_prefix)), tau_(tau) {
+  RLG_REQUIRE(tau_ > 0.0 && tau_ <= 1.0,
+              "synchronizer tau must be in (0, 1], got " << tau_);
+  // sync() -> number of variables copied/blended.
   register_api(
       "sync", [this](BuildContext& ctx, const OpRecs& inputs) -> OpRecs {
         VariableStore* store =
             ctx.assembling() ? nullptr : &ctx.ops().variable_store();
         std::string src = source_prefix_, dst = dest_prefix_;
-        CustomKernel kernel = [store, src, dst](const std::vector<Tensor>&) {
+        const float tau = static_cast<float>(tau_);
+        CustomKernel kernel = [store, src, dst,
+                               tau](const std::vector<Tensor>&) {
           int32_t copied = 0;
           for (const std::string& name : store->names()) {
             if (name.rfind(src, 0) != 0) continue;
             std::string target = dst + name.substr(src.size());
             if (!store->exists(target)) continue;
-            store->set(target, store->get(name).clone());
+            const Tensor& s = store->get(name);
+            if (tau < 1.0f && s.dtype() == DType::kFloat32) {
+              Tensor d = store->get(target).clone();
+              const float* sp = s.data<float>();
+              float* dp = d.mutable_data<float>();
+              for (int64_t i = 0; i < d.num_elements(); ++i) {
+                dp[i] = tau * sp[i] + (1.0f - tau) * dp[i];
+              }
+              store->set(target, std::move(d));
+            } else {
+              store->set(target, s.clone());
+            }
             ++copied;
           }
           RLG_REQUIRE(copied > 0, "synchronizer copied no variables from '"

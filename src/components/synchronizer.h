@@ -11,12 +11,15 @@ namespace rlgraph {
 class Synchronizer : public Component {
  public:
   // Copies every variable named `<source_prefix>/X` to `<dest_prefix>/X`.
+  // tau = 1 is a hard copy; tau < 1 is a polyak (exponential moving
+  // average) update on float variables: dest = tau*src + (1-tau)*dest.
   Synchronizer(std::string name, std::string source_prefix,
-               std::string dest_prefix);
+               std::string dest_prefix, double tau = 1.0);
 
  private:
   std::string source_prefix_;
   std::string dest_prefix_;
+  double tau_;
 };
 
 }  // namespace rlgraph

@@ -353,4 +353,18 @@ std::vector<std::string> Component::variable_names_recursive() const {
   return out;
 }
 
+OpRecs Component::variable_recs(BuildContext& ctx) {
+  if (ctx.assembling()) return {};
+  OpRecs out;
+  for (const std::string& name : variable_names_recursive()) {
+    OpRef ref = ctx.ops().variable(name);
+    Shape s = ctx.ops().shape(ref);
+    auto space = std::make_shared<BoxSpace>(ctx.ops().dtype(ref),
+                                            s.fully_specified() ? s : Shape{},
+                                            -1e30, 1e30);
+    out.emplace_back(space, ref);
+  }
+  return out;
+}
+
 }  // namespace rlgraph

@@ -154,6 +154,10 @@ class Component {
   }
   // Scoped names of all variables in this subtree.
   std::vector<std::string> variable_names_recursive() const;
+  // Build-time helper: refs of every trainable variable in this subtree
+  // (the paper's component.variables()); empty in assemble mode. Feeds
+  // optimizer `step` calls for any component, not just policies.
+  OpRecs variable_recs(BuildContext& ctx);
 
  private:
   friend class GraphBuilder;

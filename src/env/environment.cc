@@ -13,12 +13,17 @@ int64_t Environment::num_actions() const {
   return box.num_categories();
 }
 
+StepResult Environment::step_continuous(const Tensor& /*action*/) {
+  throw ValueError("this environment has no continuous action interface");
+}
+
 // Built-in factories (explicit registration avoids the static-initializer
 // dead-stripping problem with static libraries).
 std::unique_ptr<Environment> make_grid_world(const Json&);
 std::unique_ptr<Environment> make_catch(const Json&);
 std::unique_ptr<Environment> make_pong(const Json&);
 std::unique_ptr<Environment> make_dmlab(const Json&);
+std::unique_ptr<Environment> make_pendulum(const Json&);
 
 namespace {
 using Factory = std::function<std::unique_ptr<Environment>(const Json&)>;
@@ -28,6 +33,7 @@ std::map<std::string, Factory>& factories() {
       {"catch", make_catch},
       {"pong", make_pong},
       {"dmlab", make_dmlab},
+      {"pendulum", make_pendulum},
   };
   return *m;
 }

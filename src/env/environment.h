@@ -32,6 +32,9 @@ class Environment {
 
   virtual Tensor reset() = 0;
   virtual StepResult step(int64_t action) = 0;
+  // Continuous-action step: `action` is a float tensor matching the action
+  // space's value shape. Only continuous-control environments override this.
+  virtual StepResult step_continuous(const Tensor& action);
   virtual void seed(uint64_t seed) = 0;
 
   // Environment frames consumed per step() (frame-skip), for the

@@ -1,0 +1,99 @@
+#include "env/pendulum_env.h"
+
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace rlgraph {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+// Wrap an angle into [-pi, pi].
+double wrap_angle(double a) {
+  a = std::fmod(a + kPi, 2.0 * kPi);
+  if (a < 0) a += 2.0 * kPi;
+  return a - kPi;
+}
+}  // namespace
+
+PendulumEnv::PendulumEnv(Config config) : config_(config), rng_(7) {
+  RLG_REQUIRE(config_.max_torque > 0, "Pendulum max_torque must be > 0");
+  RLG_REQUIRE(config_.torque_bins >= 2, "Pendulum torque_bins must be >= 2");
+  state_space_ = FloatBox(Shape{3}, -config_.max_speed, config_.max_speed);
+  action_space_ = FloatBox(Shape{1}, {-config_.max_torque},
+                           {config_.max_torque});
+}
+
+std::unique_ptr<Environment> PendulumEnv::from_json(const Json& spec) {
+  Config c;
+  c.max_torque = spec.get_double("max_torque", 2.0);
+  c.max_speed = spec.get_double("max_speed", 8.0);
+  c.dt = spec.get_double("dt", 0.05);
+  c.gravity = spec.get_double("gravity", 10.0);
+  c.max_steps = spec.get_int("max_steps", 200);
+  c.torque_bins = spec.get_int("torque_bins", 5);
+  return std::make_unique<PendulumEnv>(c);
+}
+
+std::unique_ptr<Environment> make_pendulum(const Json& spec) {
+  return PendulumEnv::from_json(spec);
+}
+
+Tensor PendulumEnv::observe() const {
+  return Tensor::from_floats(Shape{3}, {static_cast<float>(std::cos(theta_)),
+                                        static_cast<float>(std::sin(theta_)),
+                                        static_cast<float>(theta_dot_)});
+}
+
+Tensor PendulumEnv::reset() {
+  theta_ = rng_.uniform(-kPi, kPi);
+  theta_dot_ = rng_.uniform(-1.0, 1.0);
+  steps_ = 0;
+  return observe();
+}
+
+StepResult PendulumEnv::apply_torque(double torque) {
+  torque = std::min(config_.max_torque, std::max(-config_.max_torque, torque));
+  ++steps_;
+
+  const double g = config_.gravity, m = config_.mass, l = config_.length;
+  const double dt = config_.dt;
+  // Cost is computed on the pre-step state, matching the classic task.
+  const double angle_err = wrap_angle(theta_);
+  const double cost = angle_err * angle_err + 0.1 * theta_dot_ * theta_dot_ +
+                      0.001 * torque * torque;
+
+  // Semi-implicit Euler on  ml^2 * theta'' = 3/2 * mgl * sin(theta) + 3u.
+  theta_dot_ += (3.0 * g / (2.0 * l) * std::sin(theta_) +
+                 3.0 / (m * l * l) * torque) *
+                dt;
+  theta_dot_ = std::min(config_.max_speed,
+                        std::max(-config_.max_speed, theta_dot_));
+  theta_ = theta_ + theta_dot_ * dt;
+
+  StepResult r;
+  r.observation = observe();
+  r.reward = -cost;
+  r.terminal = steps_ >= config_.max_steps;
+  return r;
+}
+
+StepResult PendulumEnv::step_continuous(const Tensor& action) {
+  RLG_REQUIRE(action.dtype() == DType::kFloat32 && action.num_elements() == 1,
+              "Pendulum expects one float torque, got "
+                  << action.shape().to_string());
+  return apply_torque(static_cast<double>(action.data<float>()[0]));
+}
+
+StepResult PendulumEnv::step(int64_t action) {
+  RLG_REQUIRE(action >= 0 && action < config_.torque_bins,
+              "Pendulum discrete action out of range: " << action);
+  // Uniform torque grid over [-max_torque, max_torque].
+  const double t = -config_.max_torque +
+                   2.0 * config_.max_torque * static_cast<double>(action) /
+                       static_cast<double>(config_.torque_bins - 1);
+  return apply_torque(t);
+}
+
+}  // namespace rlgraph

@@ -1,0 +1,60 @@
+// PendulumEnv: the classic underactuated swing-up task, as a cheap
+// deterministic continuous-control benchmark (the pendulum/reacher slot in
+// the ROADMAP's scenario-diversity item).
+//
+// State is the pole angle theta (0 = upright) and angular velocity
+// theta_dot; the observation is [cos(theta), sin(theta), theta_dot] and the
+// action is a single torque in [-max_torque, max_torque]. Reward is the
+// standard  -(theta^2 + 0.1*theta_dot^2 + 0.001*torque^2)  per step, so an
+// episode return near 0 means the pole is balanced upright. Episodes are a
+// fixed horizon (no terminal states inside an episode); reset() draws the
+// initial (theta, theta_dot) from the env's own seeded Rng, so trajectories
+// are bitwise reproducible given seed().
+//
+// step(int64_t) is also provided for discrete agents: the action id indexes
+// a uniform torque grid over [-max_torque, max_torque].
+#pragma once
+
+#include "env/environment.h"
+#include "util/random.h"
+
+namespace rlgraph {
+
+class PendulumEnv : public Environment {
+ public:
+  struct Config {
+    double max_torque = 2.0;
+    double max_speed = 8.0;
+    double dt = 0.05;
+    double gravity = 10.0;
+    double mass = 1.0;
+    double length = 1.0;
+    int64_t max_steps = 200;
+    // Grid resolution for the discrete step() adapter.
+    int64_t torque_bins = 5;
+  };
+
+  explicit PendulumEnv(Config config);
+  static std::unique_ptr<Environment> from_json(const Json& spec);
+
+  SpacePtr state_space() const override { return state_space_; }
+  SpacePtr action_space() const override { return action_space_; }
+  Tensor reset() override;
+  StepResult step(int64_t action) override;
+  StepResult step_continuous(const Tensor& action) override;
+  void seed(uint64_t seed) override { rng_ = Rng(seed); }
+
+ private:
+  Tensor observe() const;
+  StepResult apply_torque(double torque);
+
+  Config config_;
+  SpacePtr state_space_;
+  SpacePtr action_space_;
+  double theta_ = 0.0;
+  double theta_dot_ = 0.0;
+  int64_t steps_ = 0;
+  Rng rng_;
+};
+
+}  // namespace rlgraph

@@ -459,13 +459,19 @@ std::vector<Tensor> CompiledPlan::execute(RunArena& arena,
       feed_dtypes_.empty() ? 0 : feed_values.size();  // built plans skip
   for (size_t i = 0; i < validated; ++i) {
     const Tensor& v = feed_values[i];
+    // Name the declared signature (the placeholder's space) next to the
+    // provided one so a bad feed is diagnosable from the message alone.
     RLG_REQUIRE(v.dtype() == feed_dtypes_[i],
-                "feed for '" << feed_names_[i] << "' has dtype "
-                             << dtype_name(v.dtype()) << ", expected "
-                             << dtype_name(feed_dtypes_[i]));
+                "feed for '" << feed_names_[i] << "' provides "
+                             << dtype_name(v.dtype()) << v.shape().to_string()
+                             << " but the feed is declared "
+                             << dtype_name(feed_dtypes_[i])
+                             << feed_shapes_[i].to_string());
     RLG_REQUIRE(feed_shapes_[i].matches(v.shape()),
-                "feed for '" << feed_names_[i] << "' has shape "
-                             << v.shape().to_string() << ", expected "
+                "feed for '" << feed_names_[i] << "' provides "
+                             << dtype_name(v.dtype()) << v.shape().to_string()
+                             << " but the feed is declared "
+                             << dtype_name(feed_dtypes_[i])
                              << feed_shapes_[i].to_string());
   }
 

@@ -183,6 +183,7 @@ void register_math_ops(OpRegistry& r) {
   reg(r, "Relu", float_unary_sig, unary(&kernels::relu));
   reg(r, "Sigmoid", float_unary_sig, unary(&kernels::sigmoid));
   reg(r, "Tanh", float_unary_sig, unary(&kernels::tanh));
+  reg(r, "Softplus", float_unary_sig, unary(&kernels::softplus));
 
   reg(
       r, "Clip", float_unary_sig,
@@ -743,6 +744,19 @@ void register_random_ops(OpRegistry& r) {
         return std::vector<Tensor>{kernels::random_uniform(
             k.inputs[0].shape(), attr_double(k.node->attrs, "lo", 0.0),
             attr_double(k.node->attrs, "hi", 1.0), *k.rng)};
+      },
+      /*stateful=*/true);
+
+  // RandomNormalLike(x): Gaussian floats with x's runtime shape. Stateful —
+  // pinned to the serial RNG chain by the scheduler, so sampled traces are
+  // bitwise identical at any thread count.
+  reg(
+      r, "RandomNormalLike",
+      [](const SIC& c) { return single(DType::kFloat32, c.input_shapes[0]); },
+      [](KernelContext& k) {
+        return std::vector<Tensor>{kernels::random_normal(
+            k.inputs[0].shape(), attr_double(k.node->attrs, "mean", 0.0),
+            attr_double(k.node->attrs, "stddev", 1.0), *k.rng)};
       },
       /*stateful=*/true);
 

@@ -27,6 +27,30 @@ BoxSpace::BoxSpace(DType dtype, Shape value_shape, double low, double high,
                                                     << "]");
 }
 
+BoxSpace::BoxSpace(DType dtype, Shape value_shape, std::vector<double> lows,
+                   std::vector<double> highs)
+    : dtype_(dtype), value_shape_(std::move(value_shape)), lows_(std::move(lows)),
+      highs_(std::move(highs)), num_categories_(0) {
+  RLG_REQUIRE(value_shape_.fully_specified(),
+              "box value shape must be fully specified, got "
+                  << value_shape_.to_string());
+  RLG_REQUIRE(
+      static_cast<int64_t>(lows_.size()) == value_shape_.num_elements() &&
+          lows_.size() == highs_.size(),
+      "per-dim bounds need one (low, high) per value element: got "
+          << lows_.size() << "/" << highs_.size() << " for shape "
+          << value_shape_.to_string());
+  low_ = lows_[0];
+  high_ = highs_[0];
+  for (size_t i = 0; i < lows_.size(); ++i) {
+    RLG_REQUIRE(lows_[i] <= highs_[i], "box bounds inverted at dim "
+                                           << i << ": [" << lows_[i] << ", "
+                                           << highs_[i] << "]");
+    low_ = std::min(low_, lows_[i]);
+    high_ = std::max(high_, highs_[i]);
+  }
+}
+
 Shape BoxSpace::full_shape() const {
   Shape s = value_shape_;
   if (time_rank_) s = s.prepend(kUnknownDim);
@@ -35,8 +59,13 @@ Shape BoxSpace::full_shape() const {
 }
 
 SpacePtr BoxSpace::with_ranks(bool batch, bool time) const {
-  auto out = std::make_shared<BoxSpace>(dtype_, value_shape_, low_, high_,
-                                        num_categories_);
+  std::shared_ptr<BoxSpace> out;
+  if (per_dim_bounds()) {
+    out = std::make_shared<BoxSpace>(dtype_, value_shape_, lows_, highs_);
+  } else {
+    out = std::make_shared<BoxSpace>(dtype_, value_shape_, low_, high_,
+                                     num_categories_);
+  }
   out->batch_rank_ = batch;
   out->time_rank_ = time;
   return out;
@@ -51,7 +80,18 @@ NestedTensor BoxSpace::sample(Rng& rng, int64_t batch_size,
     case DType::kFloat32: {
       double lo = std::max(low_, -1.0e4);
       double hi = std::min(high_, 1.0e4);
-      return NestedTensor(kernels::random_uniform(s, lo, hi, rng));
+      Tensor t = kernels::random_uniform(s, lo, hi, rng);
+      if (per_dim_bounds()) {
+        // Re-scale each flattened value element into its own interval.
+        float* p = t.mutable_data<float>();
+        const int64_t n = value_shape_.num_elements();
+        for (int64_t i = 0; i < t.num_elements(); ++i) {
+          double u = (p[i] - lo) / (hi > lo ? hi - lo : 1.0);
+          int64_t d = i % n;
+          p[i] = static_cast<float>(lows_[d] + u * (highs_[d] - lows_[d]));
+        }
+      }
+      return NestedTensor(std::move(t));
     }
     case DType::kInt32: {
       int64_t n = num_categories_ > 0
@@ -95,6 +135,15 @@ bool BoxSpace::contains(const NestedTensor& value) const {
   if (t.dtype() != dtype_) return false;
   if (!full_shape().matches(t.shape())) return false;
   if (dtype_ == DType::kFloat32 || dtype_ == DType::kInt32) {
+    if (per_dim_bounds()) {
+      const int64_t n = value_shape_.num_elements();
+      for (int64_t i = 0; i < t.num_elements(); ++i) {
+        double v = t.at_flat(i);
+        int64_t d = i % n;
+        if (v < lows_[d] || v > highs_[d]) return false;
+      }
+      return true;
+    }
     double lo = num_categories_ > 0 ? 0.0 : low_;
     double hi = num_categories_ > 0 ? static_cast<double>(num_categories_ - 1)
                                     : high_;
@@ -110,8 +159,8 @@ bool BoxSpace::equals(const Space& other) const {
   if (other.kind() != SpaceKind::kBox) return false;
   const auto& o = static_cast<const BoxSpace&>(other);
   return dtype_ == o.dtype_ && value_shape_ == o.value_shape_ &&
-         low_ == o.low_ && high_ == o.high_ &&
-         num_categories_ == o.num_categories_ &&
+         low_ == o.low_ && high_ == o.high_ && lows_ == o.lows_ &&
+         highs_ == o.highs_ && num_categories_ == o.num_categories_ &&
          batch_rank_ == o.batch_rank_ && time_rank_ == o.time_rank_;
 }
 
@@ -136,8 +185,16 @@ Json BoxSpace::to_json() const {
   if (num_categories_ > 0) {
     j["num_categories"] = Json(num_categories_);
   } else if (dtype_ == DType::kFloat32) {
-    j["low"] = Json(low_);
-    j["high"] = Json(high_);
+    if (per_dim_bounds()) {
+      JsonArray lows, highs;
+      for (double v : lows_) lows.push_back(Json(v));
+      for (double v : highs_) highs.push_back(Json(v));
+      j["low"] = Json(lows);
+      j["high"] = Json(highs);
+    } else {
+      j["low"] = Json(low_);
+      j["high"] = Json(high_);
+    }
   }
   if (batch_rank_) j["add_batch_rank"] = Json(true);
   if (time_rank_) j["add_time_rank"] = Json(true);
@@ -153,6 +210,12 @@ void BoxSpace::flatten_into(
 SpacePtr FloatBox(Shape shape, double low, double high) {
   return std::make_shared<BoxSpace>(DType::kFloat32, std::move(shape), low,
                                     high);
+}
+
+SpacePtr FloatBox(Shape shape, std::vector<double> lows,
+                  std::vector<double> highs) {
+  return std::make_shared<BoxSpace>(DType::kFloat32, std::move(shape),
+                                    std::move(lows), std::move(highs));
 }
 
 SpacePtr IntBox(int64_t num_categories, Shape shape) {
@@ -386,8 +449,19 @@ SpacePtr Space::from_json(const Json& spec) {
     }
     Shape shape{dims};
     if (type == "float") {
-      out = FloatBox(shape, spec.get_double("low", -1e30),
-                     spec.get_double("high", 1e30));
+      if (spec.has("low") && spec.at("low").is_array()) {
+        std::vector<double> lows, highs;
+        for (const Json& v : spec.at("low").as_array()) {
+          lows.push_back(v.as_double());
+        }
+        for (const Json& v : spec.at("high").as_array()) {
+          highs.push_back(v.as_double());
+        }
+        out = FloatBox(shape, std::move(lows), std::move(highs));
+      } else {
+        out = FloatBox(shape, spec.get_double("low", -1e30),
+                       spec.get_double("high", 1e30));
+      }
     } else if (type == "int") {
       out = IntBox(spec.get_int("num_categories", 2), shape);
     } else if (type == "bool") {

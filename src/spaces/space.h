@@ -81,6 +81,11 @@ class BoxSpace : public Space {
  public:
   BoxSpace(DType dtype, Shape value_shape, double low, double high,
            int64_t num_categories = 0);
+  // Per-dimension bounds over the flattened value shape (continuous action
+  // spaces with heterogeneous actuator limits). Vector length must equal
+  // value_shape.num_elements().
+  BoxSpace(DType dtype, Shape value_shape, std::vector<double> lows,
+           std::vector<double> highs);
 
   SpaceKind kind() const override { return SpaceKind::kBox; }
   DType dtype() const { return dtype_; }
@@ -90,6 +95,10 @@ class BoxSpace : public Space {
   Shape full_shape() const;
   double low() const { return low_; }
   double high() const { return high_; }
+  // Bounds for flattened value element i (scalar bounds broadcast).
+  double low(int64_t i) const { return lows_.empty() ? low_ : lows_[i]; }
+  double high(int64_t i) const { return highs_.empty() ? high_ : highs_[i]; }
+  bool per_dim_bounds() const { return !lows_.empty(); }
   // > 0 for categorical int spaces (action spaces).
   int64_t num_categories() const { return num_categories_; }
 
@@ -111,11 +120,17 @@ class BoxSpace : public Space {
   Shape value_shape_;
   double low_;
   double high_;
+  // Non-empty iff per-dimension bounds were given; length ==
+  // value_shape_.num_elements().
+  std::vector<double> lows_;
+  std::vector<double> highs_;
   int64_t num_categories_;
 };
 
 // Convenience factories mirroring the paper's FloatBox / IntBox / BoolBox.
 SpacePtr FloatBox(Shape shape = {}, double low = -1e30, double high = 1e30);
+SpacePtr FloatBox(Shape shape, std::vector<double> lows,
+                  std::vector<double> highs);
 SpacePtr IntBox(int64_t num_categories, Shape shape = {});
 SpacePtr BoolBox(Shape shape = {});
 

@@ -278,6 +278,16 @@ Tensor sigmoid(const Tensor& a) {
 Tensor tanh(const Tensor& a) {
   return unary_float(a, [](float x) { return std::tanh(x); }, "tanh");
 }
+Tensor softplus(const Tensor& a) {
+  // max(x, 0) + log1p(exp(-|x|)): never overflows, and keeps full float
+  // precision for large |x| where the naive log(1 + exp(x)) saturates.
+  return unary_float(
+      a,
+      [](float x) {
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::abs(x)));
+      },
+      "softplus");
+}
 Tensor clip(const Tensor& a, double lo, double hi) {
   float flo = static_cast<float>(lo);
   float fhi = static_cast<float>(hi);

@@ -42,6 +42,8 @@ Tensor abs(const Tensor& a);
 Tensor relu(const Tensor& a);
 Tensor sigmoid(const Tensor& a);
 Tensor tanh(const Tensor& a);
+// Numerically stable log(1 + exp(x)).
+Tensor softplus(const Tensor& a);
 Tensor clip(const Tensor& a, double lo, double hi);
 
 // where(cond: bool, a, b) with broadcasting of cond against a/b.

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include "agents/dqn_agent.h"
+#include "agents/sac_agent.h"
 #include "env/grid_world.h"
+#include "env/pendulum_env.h"
 #include "tensor/kernels.h"
+#include "util/thread_pool.h"
 
 namespace rlgraph {
 namespace {
@@ -101,6 +104,141 @@ TEST(DeterminismTest, DifferentSeedsDiverge) {
   Trace a = run(cfg1, 100);
   Trace b = run(cfg2, 100);
   EXPECT_NE(a.actions, b.actions);
+}
+
+// --- SAC / continuous control ------------------------------------------------
+//
+// The squashed-Gaussian sampling path draws from a stateful RandomNormalLike
+// op pinned to the executor's serial RNG chain, so the float action stream
+// must be BITWISE reproducible: across runs under the same seed, and at any
+// inter-op thread count (stateful steps stay ordered on the serial path).
+
+Json sac_config(const std::string& backend) {
+  Json cfg = Json::parse(R"({
+    "type": "sac",
+    "network": [{"type": "dense", "units": 16, "activation": "relu"}],
+    "optimizer": {"type": "adam", "learning_rate": 0.003},
+    "memory": {"capacity": 512},
+    "update": {"batch_size": 16, "min_records": 32},
+    "seed": 13
+  })");
+  cfg["backend"] = Json(backend);
+  return cfg;
+}
+
+struct SacTrace {
+  std::vector<float> actions;  // compared with ==, i.e. bitwise
+  std::vector<double> losses;
+};
+
+SacTrace sac_run(const Json& cfg, int steps) {
+  PendulumEnv env(PendulumEnv::Config{});
+  env.seed(5);
+  SacAgent agent(cfg, env.state_space(), env.action_space());
+  agent.build();
+  SacTrace trace;
+  Tensor obs = env.reset();
+  for (int i = 0; i < steps; ++i) {
+    Tensor batch = obs.reshaped(Shape{1, 3});
+    Tensor action = agent.get_actions(batch, /*explore=*/true);
+    trace.actions.push_back(action.to_floats()[0]);
+    StepResult r = env.step_continuous(action);
+    agent.observe(batch, action,
+                  Tensor::from_floats(Shape{1}, {(float)r.reward}),
+                  r.observation.reshaped(Shape{1, 3}),
+                  Tensor::from_bools(Shape{1}, {r.terminal}));
+    trace.losses.push_back(agent.update());
+    obs = r.terminal ? env.reset() : r.observation;
+  }
+  return trace;
+}
+
+struct ParallelismGuard {
+  explicit ParallelismGuard(size_t n) { set_global_parallelism(n); }
+  ~ParallelismGuard() { set_global_parallelism(1); }
+};
+
+TEST(SacDeterminismTest, SamplingBitwiseIdenticalAcrossThreadCounts) {
+  SacTrace serial = sac_run(sac_config("static"), 80);
+  for (size_t threads : {2u, 8u}) {
+    ParallelismGuard guard(threads);
+    SacTrace t = sac_run(sac_config("static"), 80);
+    EXPECT_EQ(t.actions, serial.actions) << threads << " threads";
+    EXPECT_EQ(t.losses, serial.losses) << threads << " threads";
+  }
+}
+
+TEST(SacDeterminismTest, SameSeedSameRunBitwise) {
+  SacTrace a = sac_run(sac_config("static"), 80);
+  SacTrace b = sac_run(sac_config("static"), 80);
+  EXPECT_EQ(a.actions, b.actions);
+  EXPECT_EQ(a.losses, b.losses);
+}
+
+TEST(SacDeterminismTest, DifferentSeedsDiverge) {
+  Json other = sac_config("static");
+  other["seed"] = Json(4242);
+  SacTrace a = sac_run(sac_config("static"), 40);
+  SacTrace b = sac_run(other, 40);
+  EXPECT_NE(a.actions, b.actions);
+}
+
+// Golden trace for one SAC update step: the same replayed batch produces the
+// same critic/actor/alpha losses on both backends, and re-running the whole
+// sequence under the static backend reproduces them exactly.
+struct SacUpdateGolden {
+  double critic_loss, actor_loss, alpha_loss, alpha;
+  std::vector<float> greedy;
+};
+
+SacUpdateGolden sac_one_update(const std::string& backend) {
+  PendulumEnv env(PendulumEnv::Config{});
+  env.seed(5);
+  SacAgent agent(sac_config(backend), env.state_space(), env.action_space());
+  agent.build();
+  Tensor obs = env.reset();
+  for (int i = 0; i < 48; ++i) {
+    Tensor batch = obs.reshaped(Shape{1, 3});
+    Tensor action = agent.get_actions(batch, /*explore=*/true);
+    StepResult r = env.step_continuous(action);
+    agent.observe(batch, action,
+                  Tensor::from_floats(Shape{1}, {(float)r.reward}),
+                  r.observation.reshaped(Shape{1, 3}),
+                  Tensor::from_bools(Shape{1}, {r.terminal}));
+    obs = r.terminal ? env.reset() : r.observation;
+  }
+  SacUpdateGolden g;
+  g.critic_loss = agent.update();
+  g.actor_loss = agent.last_actor_loss();
+  g.alpha_loss = agent.last_alpha_loss();
+  g.alpha = agent.alpha();
+  Tensor probe = Tensor::from_floats(Shape{2, 3},
+                                     {0.5f, -0.5f, 1.0f, -1.0f, 0.2f, 3.0f});
+  g.greedy = agent.get_actions(probe, /*explore=*/false).to_floats();
+  return g;
+}
+
+TEST(SacDeterminismTest, GoldenUpdateStepMatchesAcrossBackends) {
+  SacUpdateGolden s = sac_one_update("static");
+  SacUpdateGolden i = sac_one_update("define_by_run");
+  EXPECT_NEAR(s.critic_loss, i.critic_loss, 1e-4);
+  EXPECT_NEAR(s.actor_loss, i.actor_loss, 1e-4);
+  EXPECT_NEAR(s.alpha_loss, i.alpha_loss, 1e-4);
+  EXPECT_NEAR(s.alpha, i.alpha, 1e-5);
+  ASSERT_EQ(s.greedy.size(), i.greedy.size());
+  for (size_t k = 0; k < s.greedy.size(); ++k) {
+    EXPECT_NEAR(s.greedy[k], i.greedy[k], 1e-5) << "greedy action " << k;
+  }
+}
+
+TEST(SacDeterminismTest, GoldenUpdateStepExactlyReproducible) {
+  SacUpdateGolden a = sac_one_update("static");
+  SacUpdateGolden b = sac_one_update("static");
+  EXPECT_EQ(a.critic_loss, b.critic_loss);
+  EXPECT_EQ(a.actor_loss, b.actor_loss);
+  EXPECT_EQ(a.alpha_loss, b.alpha_loss);
+  EXPECT_EQ(a.alpha, b.alpha);
+  EXPECT_EQ(a.greedy, b.greedy);  // bitwise
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include "env/catch_env.h"
 #include "env/dmlab_sim.h"
 #include "env/grid_world.h"
+#include "env/pendulum_env.h"
 #include "env/pong_sim.h"
 #include "env/vector_env.h"
 #include "spaces/nested.h"
@@ -166,6 +167,88 @@ TEST(DmLabSimTest, FixedEpisodeLength) {
   StepResult r;
   for (int i = 0; i < 5; ++i) r = env.step(4);
   EXPECT_TRUE(r.terminal);
+}
+
+TEST(PendulumEnvTest, SpacesAndRegistry) {
+  Json spec;
+  spec["type"] = Json("pendulum");
+  auto env = make_environment(spec);
+  ASSERT_NE(env, nullptr);
+  const auto& act = static_cast<const BoxSpace&>(*env->action_space());
+  EXPECT_EQ(act.dtype(), DType::kFloat32);
+  EXPECT_EQ(act.value_shape(), (Shape{1}));
+  EXPECT_EQ(act.low(0), -2.0);
+  EXPECT_EQ(act.high(0), 2.0);
+  Tensor obs = env->reset();
+  EXPECT_EQ(obs.shape(), (Shape{3}));
+  EXPECT_TRUE(env->state_space()->contains(NestedTensor(obs)));
+  // Observation is [cos, sin, theta_dot]: the first two lie on the circle.
+  float c = obs.data<float>()[0], s = obs.data<float>()[1];
+  EXPECT_NEAR(c * c + s * s, 1.0, 1e-5);
+}
+
+TEST(PendulumEnvTest, DeterministicUnderSeedAndFixedHorizon) {
+  PendulumEnv a(PendulumEnv::Config{});
+  PendulumEnv b(PendulumEnv::Config{});
+  a.seed(42);
+  b.seed(42);
+  EXPECT_TRUE(a.reset().equals(b.reset()));
+  Tensor torque = Tensor::from_floats(Shape{1, 1}, {0.7f});
+  StepResult ra, rb;
+  for (int i = 0; i < 200; ++i) {
+    ra = a.step_continuous(torque);
+    rb = b.step_continuous(torque);
+    EXPECT_TRUE(ra.observation.equals(rb.observation)) << "step " << i;
+    EXPECT_EQ(ra.reward, rb.reward) << "step " << i;
+    EXPECT_LE(ra.reward, 0.0) << "pendulum reward is a negative cost";
+    EXPECT_EQ(ra.terminal, i == 199) << "fixed 200-step horizon";
+  }
+  // Different seeds draw different initial states.
+  PendulumEnv c(PendulumEnv::Config{});
+  c.seed(7);
+  EXPECT_FALSE(a.reset().equals(c.reset()));
+}
+
+TEST(PendulumEnvTest, DiscreteStepMapsOntoTorqueGrid) {
+  // With 5 torque bins over [-2, 2], discrete action 2 is exactly zero
+  // torque; the continuous zero-torque step must match it state-for-state.
+  PendulumEnv disc(PendulumEnv::Config{});
+  PendulumEnv cont(PendulumEnv::Config{});
+  disc.seed(11);
+  cont.seed(11);
+  disc.reset();
+  cont.reset();
+  for (int i = 0; i < 10; ++i) {
+    StepResult rd = disc.step(2);
+    StepResult rc =
+        cont.step_continuous(Tensor::from_floats(Shape{1, 1}, {0.0f}));
+    EXPECT_TRUE(rd.observation.equals(rc.observation)) << "step " << i;
+    EXPECT_EQ(rd.reward, rc.reward) << "step " << i;
+  }
+  EXPECT_THROW(disc.step(5), ValueError);
+  EXPECT_THROW(disc.step(-1), ValueError);
+}
+
+TEST(PendulumEnvTest, ContinuousActionsAreClampedToMaxTorque) {
+  PendulumEnv a(PendulumEnv::Config{});
+  PendulumEnv b(PendulumEnv::Config{});
+  a.seed(3);
+  b.seed(3);
+  a.reset();
+  b.reset();
+  StepResult ra =
+      a.step_continuous(Tensor::from_floats(Shape{1, 1}, {50.0f}));
+  StepResult rb =
+      b.step_continuous(Tensor::from_floats(Shape{1, 1}, {2.0f}));
+  EXPECT_TRUE(ra.observation.equals(rb.observation));
+  EXPECT_EQ(ra.reward, rb.reward) << "cost must use the clamped torque";
+}
+
+TEST(EnvironmentTest, DefaultStepContinuousThrows) {
+  GridWorld env(GridWorld::Config{4, 0.01, 30, false});
+  env.reset();
+  EXPECT_THROW(env.step_continuous(Tensor::from_floats(Shape{1, 1}, {0.5f})),
+               ValueError);
 }
 
 TEST(VectorEnvTest, BatchedStepAndAutoReset) {

@@ -112,6 +112,35 @@ TEST_F(ExecPlanTest, RunNamesUnusedFeeds) {
   }
 }
 
+TEST_F(ExecPlanTest, FeedValidationNamesDeclaredAndProvidedSignatures) {
+  // A mismatched feed must name BOTH sides — the declared placeholder
+  // space/shape and what the caller actually provided — so agent-API feed
+  // bugs are diagnosable from the message alone.
+  OpRef x = ctx_.placeholder("states", DType::kFloat32, Shape{3});
+  OpRef out = ctx_.neg(x);
+  Session s = make_session();
+  auto call = s.prepare({{out.node, 0}}, {x.node});
+
+  try {
+    call->run({Tensor::from_floats(Shape{2}, {1.0f, 2.0f})});
+    FAIL() << "expected ValueError for shape mismatch";
+  } catch (const ValueError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'states'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("provides float32(2)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("declared float32(3)"), std::string::npos) << msg;
+  }
+
+  try {
+    call->run({Tensor::from_ints(Shape{3}, {1, 2, 3})});
+    FAIL() << "expected ValueError for dtype mismatch";
+  } catch (const ValueError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("provides int32(3)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("declared float32(3)"), std::string::npos) << msg;
+  }
+}
+
 TEST_F(ExecPlanTest, PreparedPositionalCallToleratesUnusedFeed) {
   // API calls feed arguments positionally; an API that ignores one of its
   // declared arguments must still be preparable (the value is dropped).

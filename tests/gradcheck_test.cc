@@ -13,6 +13,7 @@
 
 #include "components/layers.h"
 #include "components/losses.h"
+#include "components/policy.h"
 #include "core/component_test.h"
 #include "gradcheck.h"
 #include "tensor/kernels.h"
@@ -138,6 +139,73 @@ Program dqn_program(double discount, bool double_q, double huber_delta) {
   };
 }
 
+// --- SAC / squashed-Gaussian programs ----------------------------------------
+//
+// The log-prob program calls the SAME free function the Policy head builds
+// its graph from (components/policy.h), so the finite-difference validation
+// covers the exact graph the agent trains — no separate fidelity pin needed.
+
+// Inputs: (u, mean, logstd, log_scale). Loss = mean over the batch of the
+// squashed log-prob, exercising the Gaussian density, the log-std path and
+// the stable tanh-Jacobian correction together.
+Program squashed_logp_program() {
+  return [](OpContext& ops, const std::vector<OpRef>& in) {
+    return ops.reduce_mean(
+        squashed_gaussian_logp(ops, in[0], in[1], in[2], in[3]));
+  };
+}
+
+// The tanh-correction path in isolation: loss = mean(log(1 - tanh(u)^2))
+// via the softplus form 2*(log 2 - u - softplus(-2u)) used by the policy.
+Program tanh_correction_program() {
+  return [](OpContext& ops, const std::vector<OpRef>& in) {
+    OpRef log2 = ops.scalar(0.69314718055994531f);
+    OpRef inner = ops.softplus(ops.mul(ops.scalar(-2.0f), in[0]));
+    return ops.reduce_mean(
+        ops.mul(ops.scalar(2.0f), ops.sub(ops.sub(log2, in[0]), inner)));
+  };
+}
+
+// SAC actor loss: mean(stop_grad(alpha) * logp - min(q1, q2)).
+// Inputs: (alpha, logp, q1, q2).
+Program sac_actor_program() {
+  return [](OpContext& ops, const std::vector<OpRef>& in) {
+    OpRef alpha = ops.stop_gradient(in[0]);
+    OpRef min_q = ops.minimum(in[2], in[3]);
+    return ops.reduce_mean(ops.sub(ops.mul(alpha, in[1]), min_q));
+  };
+}
+
+// SAC twin-critic loss, op-for-op with SacAgent's critic_loss graph fn.
+// Inputs: (q1, q2, rewards, q1_target, q2_target, logp_next, alpha,
+// terminals); the soft Bellman target is stop-gradient'd.
+Program sac_critic_program(double discount) {
+  return [discount](OpContext& ops, const std::vector<OpRef>& in) {
+    OpRef q1 = in[0], q2 = in[1], rewards = in[2];
+    OpRef q1t = in[3], q2t = in[4], logp2 = in[5], alpha = in[6];
+    OpRef not_terminal =
+        ops.sub(ops.scalar(1.0f), ops.cast(in[7], DType::kFloat32));
+    OpRef soft_q = ops.sub(ops.minimum(q1t, q2t), ops.mul(alpha, logp2));
+    OpRef target = ops.stop_gradient(ops.add(
+        rewards, ops.mul(ops.scalar(static_cast<float>(discount)),
+                         ops.mul(not_terminal, soft_q))));
+    OpRef td1 = ops.square(ops.sub(q1, target));
+    OpRef td2 = ops.square(ops.sub(q2, target));
+    return ops.reduce_mean(ops.mul(ops.scalar(0.5f), ops.add(td1, td2)));
+  };
+}
+
+// Entropy-coefficient loss: -log_alpha * (mean(logp) + target_entropy).
+// Inputs: (log_alpha scalar, logp).
+Program sac_alpha_program(double target_entropy) {
+  return [target_entropy](OpContext& ops, const std::vector<OpRef>& in) {
+    OpRef mean_logp = ops.reduce_mean(in[1]);
+    return ops.neg(ops.mul(
+        in[0], ops.add(mean_logp,
+                       ops.scalar(static_cast<float>(target_entropy)))));
+  };
+}
+
 // --- input samplers ----------------------------------------------------------
 
 std::function<std::vector<Tensor>(Rng&)> dense_inputs(
@@ -227,6 +295,71 @@ std::vector<Tensor> dqn_two_branch_inputs(Rng&) {
 // sensitivity), so only q and the importance weights are checked.
 const std::vector<size_t> kDqnCheckedInputs{0, 6};
 
+std::function<std::vector<Tensor>(Rng&)> squashed_logp_inputs(int64_t batch,
+                                                              int64_t dim) {
+  return [=](Rng& rng) {
+    return std::vector<Tensor>{
+        kernels::random_uniform(Shape{batch, dim}, -1.5, 1.5, rng),   // u
+        kernels::random_uniform(Shape{batch, dim}, -0.8, 0.8, rng),   // mean
+        kernels::random_uniform(Shape{batch, dim}, -1.0, 0.5, rng),   // logstd
+        kernels::random_uniform(Shape{1, dim}, -0.5, 0.7, rng)};      // scale
+  };
+}
+
+std::function<std::vector<Tensor>(Rng&)> tanh_correction_inputs(int64_t batch,
+                                                                int64_t dim) {
+  return [=](Rng& rng) {
+    return std::vector<Tensor>{
+        kernels::random_uniform(Shape{batch, dim}, -2.5, 2.5, rng)};
+  };
+}
+
+// q1/q2 sampled from disjoint ranges so min(q1, q2) stays at least 0.3 from
+// its kink — finite differences are valid on both sides. `q1_below` flips
+// which critic wins so both min branches get covered across cases.
+std::function<std::vector<Tensor>(Rng&)> sac_actor_inputs(int64_t batch,
+                                                          bool q1_below) {
+  return [=](Rng& rng) {
+    double lo1 = q1_below ? 0.2 : 1.5, hi1 = q1_below ? 0.9 : 2.2;
+    double lo2 = q1_below ? 1.5 : 0.2, hi2 = q1_below ? 2.2 : 0.9;
+    return std::vector<Tensor>{
+        kernels::random_uniform(Shape{}, 0.1, 0.5, rng),            // alpha
+        kernels::random_uniform(Shape{batch}, -2.0, 1.0, rng),      // logp
+        kernels::random_uniform(Shape{batch}, lo1, hi1, rng),       // q1
+        kernels::random_uniform(Shape{batch}, lo2, hi2, rng)};      // q2
+  };
+}
+
+std::function<std::vector<Tensor>(Rng&)> sac_critic_inputs(int64_t batch) {
+  return [=](Rng& rng) {
+    std::vector<bool> terms;
+    for (int64_t i = 0; i < batch; ++i) terms.push_back(i % 3 == 1);
+    return std::vector<Tensor>{
+        kernels::random_uniform(Shape{batch}, -1.0, 1.0, rng),      // q1
+        kernels::random_uniform(Shape{batch}, -1.0, 1.0, rng),      // q2
+        kernels::random_uniform(Shape{batch}, -1.5, 0.0, rng),      // rewards
+        kernels::random_uniform(Shape{batch}, 0.2, 0.9, rng),       // q1t
+        kernels::random_uniform(Shape{batch}, 1.2, 1.9, rng),       // q2t
+        kernels::random_uniform(Shape{batch}, -2.0, 0.5, rng),      // logp2
+        kernels::random_uniform(Shape{}, 0.1, 0.4, rng),            // alpha
+        Tensor::from_bools(Shape{batch}, terms)};
+  };
+}
+
+std::function<std::vector<Tensor>(Rng&)> sac_alpha_inputs(int64_t batch) {
+  return [=](Rng& rng) {
+    return std::vector<Tensor>{
+        kernels::random_uniform(Shape{}, -1.5, 0.5, rng),           // log_alpha
+        kernels::random_uniform(Shape{batch}, -3.0, 0.5, rng)};     // logp
+  };
+}
+
+// Everything past q1/q2 reaches the critic loss only through the
+// stop-gradient'd soft Bellman target.
+const std::vector<size_t> kSacCriticCheckedInputs{0, 1};
+// alpha enters the actor loss through StopGradient.
+const std::vector<size_t> kSacActorCheckedInputs{1, 2, 3};
+
 INSTANTIATE_TEST_SUITE_P(
     Losses, ComponentGradTest,
     ::testing::Values(
@@ -240,6 +373,30 @@ INSTANTIATE_TEST_SUITE_P(
                   xent_inputs(2, 3), {}, {}},
         CheckCase{"cross_entropy_wide", cross_entropy_program(),
                   xent_inputs(3, 7), {}, {}}));
+
+INSTANTIATE_TEST_SUITE_P(
+    SacLosses, ComponentGradTest,
+    ::testing::Values(
+        CheckCase{"squashed_logp_small", squashed_logp_program(),
+                  squashed_logp_inputs(2, 1), {}, {}},
+        CheckCase{"squashed_logp_wide", squashed_logp_program(),
+                  squashed_logp_inputs(3, 4), {}, {}},
+        CheckCase{"tanh_correction_small", tanh_correction_program(),
+                  tanh_correction_inputs(2, 2), {}, {}},
+        CheckCase{"tanh_correction_wide", tanh_correction_program(),
+                  tanh_correction_inputs(4, 3), {}, {}},
+        CheckCase{"sac_actor_q1_wins", sac_actor_program(),
+                  sac_actor_inputs(3, true), kSacActorCheckedInputs, {}},
+        CheckCase{"sac_actor_q2_wins", sac_actor_program(),
+                  sac_actor_inputs(4, false), kSacActorCheckedInputs, {}},
+        CheckCase{"sac_critic_small", sac_critic_program(0.95),
+                  sac_critic_inputs(3), kSacCriticCheckedInputs, {}},
+        CheckCase{"sac_critic_wide", sac_critic_program(0.99),
+                  sac_critic_inputs(6), kSacCriticCheckedInputs, {}},
+        CheckCase{"sac_alpha_small", sac_alpha_program(-1.0),
+                  sac_alpha_inputs(3), {}, {}},
+        CheckCase{"sac_alpha_wide", sac_alpha_program(-2.0),
+                  sac_alpha_inputs(8), {}, {}}));
 
 INSTANTIATE_TEST_SUITE_P(
     DenseLayers, ComponentGradTest,

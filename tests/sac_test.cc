@@ -1,0 +1,289 @@
+// Continuous-control tests: the squashed-Gaussian policy head (shapes,
+// bounds, log-std clipping, deterministic-vs-sampled acting), the
+// squashed log-prob math against a double-precision reference, and the
+// SacAgent (finite losses, replay gating, target-network init, weight
+// snapshot round-trips through the serving wire format).
+//
+// Runs under the `continuous` ctest label; the slow training-to-gate test
+// lives in sac_train_test.cc (`continuous-train`) so sanitizer sweeps can
+// include this suite without paying for a full training run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agents/sac_agent.h"
+#include "backend/imperative_context.h"
+#include "components/policy.h"
+#include "core/component_test.h"
+#include "env/pendulum_env.h"
+#include "tensor/kernels.h"
+
+namespace rlgraph {
+namespace {
+
+// --- squashed-Gaussian policy head -------------------------------------------
+
+// Action space with asymmetric per-dimension bounds to catch scale/center
+// mix-ups that a symmetric [-1, 1] box would hide.
+SpacePtr bounded_action_space() {
+  return FloatBox(Shape{2}, {-2.0, -1.0}, {2.0, 3.0});
+}
+
+ComponentTest make_squashed_policy_test() {
+  Json network = Json::parse(R"([{"type": "dense", "units": 8,
+                                  "activation": "tanh"}])");
+  auto policy = std::make_shared<Policy>("policy", network,
+                                         bounded_action_space(),
+                                         PolicyHead::kSquashedGaussian);
+  SpacePtr state = FloatBox(Shape{3})->with_batch_rank();
+  return ComponentTest(std::move(policy),
+                       {{"get_mean_logstd", {state}},
+                        {"sample_action_logp", {state}},
+                        {"get_action", {state}}});
+}
+
+TEST(SquashedGaussianPolicyTest, HeadShapesAndLogStdClipping) {
+  auto test = make_squashed_policy_test();
+  auto out = test.test_with_sampled_inputs("get_mean_logstd", 5);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].shape(), (Shape{5, 2}));  // mean
+  EXPECT_EQ(out[1].shape(), (Shape{5, 2}));  // log_std
+  for (int64_t i = 0; i < out[1].num_elements(); ++i) {
+    EXPECT_GE(out[1].at_flat(i), -5.0 - 1e-6);
+    EXPECT_LE(out[1].at_flat(i), 2.0 + 1e-6);
+  }
+}
+
+TEST(SquashedGaussianPolicyTest, SampledActionsStayInBoundsWithFiniteLogp) {
+  auto test = make_squashed_policy_test();
+  auto out = test.test_with_sampled_inputs("sample_action_logp", 64);
+  ASSERT_EQ(out.size(), 2u);
+  ASSERT_EQ(out[0].shape(), (Shape{64, 2}));
+  ASSERT_EQ(out[1].shape(), (Shape{64}));
+  SpacePtr space = bounded_action_space();
+  const auto& box = static_cast<const BoxSpace&>(*space);
+  for (int64_t i = 0; i < 64; ++i) {
+    for (int64_t d = 0; d < 2; ++d) {
+      float a = out[0].data<float>()[i * 2 + d];
+      EXPECT_GE(a, box.low(d)) << "row " << i << " dim " << d;
+      EXPECT_LE(a, box.high(d)) << "row " << i << " dim " << d;
+    }
+    EXPECT_TRUE(std::isfinite(out[1].data<float>()[i])) << "row " << i;
+  }
+}
+
+TEST(SquashedGaussianPolicyTest, GreedyIsDeterministicSamplingIsNot) {
+  auto test = make_squashed_policy_test();
+  Rng rng(3);
+  Tensor s = kernels::random_uniform(Shape{4, 3}, -1.0, 1.0, rng);
+  Tensor greedy1 = test.test("get_action", {s})[0];
+  Tensor greedy2 = test.test("get_action", {s})[0];
+  EXPECT_TRUE(greedy1.equals(greedy2));
+  // Greedy actions are also inside the (strictly interior of the) box.
+  SpacePtr space = bounded_action_space();
+  const auto& box = static_cast<const BoxSpace&>(*space);
+  for (int64_t i = 0; i < greedy1.num_elements(); ++i) {
+    EXPECT_GE(greedy1.at_flat(i), box.low(i % 2));
+    EXPECT_LE(greedy1.at_flat(i), box.high(i % 2));
+  }
+  // Sampling draws from the executor's stateful RNG chain: consecutive
+  // calls advance the stream and must differ.
+  Tensor sampled1 = test.test("sample_action_logp", {s})[0];
+  Tensor sampled2 = test.test("sample_action_logp", {s})[0];
+  EXPECT_FALSE(sampled1.equals(sampled2));
+}
+
+TEST(SquashedGaussianPolicyTest, RequiresBoundedFloatBox) {
+  Json network = Json::parse(R"([{"type": "dense", "units": 4}])");
+  // Discrete action space: wrong head.
+  EXPECT_THROW(Policy("p", network, IntBox(3),
+                      PolicyHead::kSquashedGaussian),
+               ValueError);
+  // Unbounded float box: tanh squashing needs finite bounds to map onto.
+  EXPECT_THROW(Policy("p", network, FloatBox(Shape{2}),
+                      PolicyHead::kSquashedGaussian),
+               ValueError);
+}
+
+// --- squashed log-prob math ---------------------------------------------------
+
+Tensor eval_logp(const Tensor& u, const Tensor& mean, const Tensor& logstd,
+                 const Tensor& log_scale) {
+  VariableStore store;
+  Rng rng(1);
+  ImperativeContext ctx(&store, &rng, /*build_mode=*/false);
+  OpRef out = squashed_gaussian_logp(ctx, ctx.literal(u), ctx.literal(mean),
+                                     ctx.literal(logstd),
+                                     ctx.literal(log_scale));
+  return ctx.value(out);
+}
+
+TEST(SquashedGaussianMathTest, LogpMatchesDoubleReference) {
+  const int64_t B = 3, D = 2;
+  Rng rng(17);
+  Tensor u = kernels::random_uniform(Shape{B, D}, -1.5, 1.5, rng);
+  Tensor mean = kernels::random_uniform(Shape{B, D}, -0.8, 0.8, rng);
+  Tensor logstd = kernels::random_uniform(Shape{B, D}, -1.0, 0.5, rng);
+  Tensor log_scale = kernels::random_uniform(Shape{1, D}, -0.5, 0.7, rng);
+
+  Tensor got = eval_logp(u, mean, logstd, log_scale);
+  ASSERT_EQ(got.shape(), (Shape{B}));
+  for (int64_t i = 0; i < B; ++i) {
+    double want = 0.0;
+    for (int64_t d = 0; d < D; ++d) {
+      double uu = u.data<float>()[i * D + d];
+      double mu = mean.data<float>()[i * D + d];
+      double ls = logstd.data<float>()[i * D + d];
+      double z = (uu - mu) / std::exp(ls);
+      double gauss = -0.5 * z * z - ls - 0.5 * std::log(2.0 * M_PI);
+      // Exact tanh-squash correction: log d(tanh u)/du = log(1 - tanh^2 u).
+      double corr = std::log(1.0 - std::tanh(uu) * std::tanh(uu));
+      want += gauss - log_scale.data<float>()[d] - corr;
+    }
+    EXPECT_NEAR(got.data<float>()[i], want, 1e-4) << "row " << i;
+  }
+}
+
+TEST(SquashedGaussianMathTest, TanhCorrectionStableAtSaturation) {
+  // At |u| = 12, float tanh(u) rounds to exactly 1, so the naive
+  // log(1 - tanh^2) is log(0) = -inf. The softplus form the policy uses,
+  // 2*(log 2 - u - softplus(-2u)), stays finite and matches the
+  // double-precision value.
+  Tensor u = Tensor::from_floats(Shape{1, 1}, {12.0f});
+  Tensor zero = Tensor::from_floats(Shape{1, 1}, {0.0f});
+  Tensor log_scale = Tensor::from_floats(Shape{1, 1}, {0.0f});
+  float naive = std::log(1.0f - std::tanh(12.0f) * std::tanh(12.0f));
+  ASSERT_FALSE(std::isfinite(naive));
+
+  // With mean = u and logstd = 0 the Gaussian term is the constant
+  // -0.5*log(2*pi); what is left is minus the correction.
+  Tensor logp = eval_logp(u, u, zero, log_scale);
+  double correction =
+      -(logp.data<float>()[0] + 0.5 * std::log(2.0 * M_PI));
+  double want = std::log1p(-std::tanh(12.0) * std::tanh(12.0));
+  EXPECT_TRUE(std::isfinite(logp.data<float>()[0]));
+  EXPECT_NEAR(correction, want, 1e-3);
+}
+
+// --- SacAgent -----------------------------------------------------------------
+
+Json sac_config() {
+  return Json::parse(R"({
+    "type": "sac",
+    "network": [{"type": "dense", "units": 16, "activation": "relu"}],
+    "optimizer": {"type": "adam", "learning_rate": 0.003},
+    "memory": {"capacity": 512},
+    "update": {"batch_size": 16, "min_records": 32},
+    "seed": 7
+  })");
+}
+
+// Drive `steps` random-policy pendulum steps into the agent's replay.
+void fill_replay(SacAgent& agent, PendulumEnv& env, int steps) {
+  Tensor obs = env.reset();
+  for (int i = 0; i < steps; ++i) {
+    Tensor batch = obs.reshaped(Shape{1, 3});
+    Tensor action = agent.get_actions(batch, /*explore=*/true);
+    StepResult r = env.step_continuous(action);
+    agent.observe(batch, action,
+                  Tensor::from_floats(Shape{1}, {(float)r.reward}),
+                  r.observation.reshaped(Shape{1, 3}),
+                  Tensor::from_bools(Shape{1}, {r.terminal}));
+    obs = r.terminal ? env.reset() : r.observation;
+  }
+}
+
+TEST(SacAgentTest, UpdateGatesOnMinRecordsThenProducesFiniteLosses) {
+  PendulumEnv env(PendulumEnv::Config{});
+  env.seed(1);
+  SacAgent agent(sac_config(), env.state_space(), env.action_space());
+  agent.build();
+
+  fill_replay(agent, env, 8);
+  EXPECT_EQ(agent.update(), 0.0) << "must no-op below min_records";
+  fill_replay(agent, env, 40);
+  ASSERT_GE(agent.memory_size(), 32);
+
+  double critic_loss = agent.update();
+  EXPECT_TRUE(std::isfinite(critic_loss));
+  EXPECT_GT(critic_loss, 0.0);  // squared TD errors
+  EXPECT_TRUE(std::isfinite(agent.last_actor_loss()));
+  EXPECT_TRUE(std::isfinite(agent.last_alpha_loss()));
+  EXPECT_GT(agent.alpha(), 0.0);  // alpha = exp(log_alpha) stays positive
+}
+
+TEST(SacAgentTest, TargetCriticsStartEqualToOnlineCritics) {
+  PendulumEnv env(PendulumEnv::Config{});
+  SacAgent agent(sac_config(), env.state_space(), env.action_space());
+  agent.build();
+  auto weights = agent.get_weights();
+  int compared = 0;
+  for (const auto& [name, tensor] : weights) {
+    const std::string online = "agent/critic-";
+    auto pos = name.find(online);
+    if (pos == std::string::npos) continue;
+    std::string target_name = name;
+    target_name.replace(pos, online.size(), "agent/target-critic-");
+    auto it = weights.find(target_name);
+    if (it == weights.end()) continue;
+    EXPECT_TRUE(it->second.equals(tensor)) << name;
+    ++compared;
+  }
+  EXPECT_GE(compared, 4) << "expected weights+bias for two critic torsos";
+}
+
+TEST(SacAgentTest, PolyakSyncMovesTargetsTowardOnline) {
+  PendulumEnv env(PendulumEnv::Config{});
+  env.seed(2);
+  SacAgent agent(sac_config(), env.state_space(), env.action_space());
+  agent.build();
+  fill_replay(agent, env, 48);
+  agent.update();  // one step: online critics move, targets blend by tau
+
+  auto weights = agent.get_weights();
+  double total_gap = 0.0;
+  for (const auto& [name, tensor] : weights) {
+    auto pos = name.find("agent/critic-");
+    if (pos == std::string::npos) continue;
+    std::string target_name = name;
+    target_name.replace(pos, std::string("agent/critic-").size(),
+                        "agent/target-critic-");
+    auto it = weights.find(target_name);
+    if (it == weights.end()) continue;
+    for (int64_t i = 0; i < tensor.num_elements(); ++i) {
+      total_gap += std::abs(tensor.at_flat(i) - it->second.at_flat(i));
+    }
+  }
+  // tau = 0.005: targets lag the online nets but are no longer identical.
+  EXPECT_GT(total_gap, 0.0);
+}
+
+TEST(SacAgentTest, WeightsRoundTripAndGreedyActionsMatchBitwise) {
+  PendulumEnv env(PendulumEnv::Config{});
+  SacAgent source(sac_config(), env.state_space(), env.action_space());
+  source.build();
+  std::vector<uint8_t> bytes = source.export_weights();
+
+  Json cfg = sac_config();
+  cfg["seed"] = Json(static_cast<int64_t>(999));  // different init
+  SacAgent restored(cfg, env.state_space(), env.action_space());
+  restored.build();
+  restored.import_weights(bytes);
+
+  auto want = source.get_weights();
+  auto got = restored.get_weights();
+  ASSERT_EQ(want.size(), got.size());
+  for (const auto& [name, tensor] : want) {
+    ASSERT_TRUE(got.count(name)) << name;
+    EXPECT_TRUE(got[name].equals(tensor)) << name;
+  }
+
+  Rng rng(5);
+  Tensor states = kernels::random_uniform(Shape{6, 3}, -1.0, 1.0, rng);
+  Tensor a = source.get_actions(states, /*explore=*/false);
+  Tensor b = restored.get_actions(states, /*explore=*/false);
+  EXPECT_TRUE(a.equals(b)) << "greedy mean actions must survive the round trip";
+}
+
+}  // namespace
+}  // namespace rlgraph

@@ -1,0 +1,75 @@
+// End-to-end continuous-control training gate: SacAgent learns pendulum
+// swing-up from scratch under a fixed seed, reaching a mean episode return
+// of at least -250 over the last 20 episodes (random policy sits near -1200;
+// a balanced pole is near 0). This is the ISSUE acceptance gate for the SAC
+// workload and the slowest test in the tree (~30s optimized), so it carries
+// its own `continuous-train` label and stays out of the sanitizer sweeps.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <numeric>
+
+#include "agents/sac_agent.h"
+#include "env/pendulum_env.h"
+
+namespace rlgraph {
+namespace {
+
+TEST(SacTrainingTest, ReachesPendulumRewardGate) {
+  PendulumEnv env(PendulumEnv::Config{});
+  env.seed(3);
+
+  Json cfg = Json::parse(R"({
+    "type": "sac",
+    "network": [{"type": "dense", "units": 64, "activation": "relu"},
+                {"type": "dense", "units": 64, "activation": "relu"}],
+    "optimizer": {"type": "adam", "learning_rate": 0.003},
+    "memory": {"capacity": 20000},
+    "update": {"batch_size": 64, "min_records": 500},
+    "seed": 11
+  })");
+  SacAgent agent(cfg, env.state_space(), env.action_space());
+  agent.build();
+
+  // The gate run: up to 50 episodes (200 steps each), one update per env
+  // step, early exit as soon as the 20-episode window clears -250. Under
+  // this exact seed pair the gate is reached around episode 31.
+  constexpr double kGate = -250.0;
+  constexpr int kMaxEpisodes = 50;
+  std::deque<double> window;
+  double best_mean = -1e30;
+  Tensor obs = env.reset();
+  double ep_return = 0.0;
+  int episodes = 0;
+  bool reached = false;
+  while (episodes < kMaxEpisodes && !reached) {
+    Tensor batch = obs.reshaped(Shape{1, 3});
+    Tensor action = agent.get_actions(batch, /*explore=*/true);
+    StepResult r = env.step_continuous(action);
+    agent.observe(batch, action,
+                  Tensor::from_floats(Shape{1}, {(float)r.reward}),
+                  r.observation.reshaped(Shape{1, 3}),
+                  Tensor::from_bools(Shape{1}, {r.terminal}));
+    ep_return += r.reward;
+    agent.update();
+    obs = r.observation;
+    if (r.terminal) {
+      ++episodes;
+      window.push_back(ep_return);
+      if (window.size() > 20) window.pop_front();
+      const double mean =
+          std::accumulate(window.begin(), window.end(), 0.0) / window.size();
+      if (mean > best_mean) best_mean = mean;
+      if (window.size() == 20 && mean >= kGate) reached = true;
+      ep_return = 0.0;
+      obs = env.reset();
+    }
+  }
+  EXPECT_TRUE(reached) << "best 20-episode mean return after " << episodes
+                       << " episodes: " << best_mean << " (gate " << kGate
+                       << ")";
+  EXPECT_GT(agent.alpha(), 0.0);
+}
+
+}  // namespace
+}  // namespace rlgraph

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "agents/dqn_agent.h"
+#include "agents/sac_agent.h"
 #include "serve/batcher.h"
 #include "serve/policy_server.h"
 #include "serve/policy_store.h"
@@ -632,6 +633,80 @@ TEST(BatchingPrimitivesTest, StackRejectsMismatchedParts) {
   parts.push_back(Tensor::from_floats(Shape{3}, {1, 2, 3}));
   EXPECT_THROW(stack_leading(parts), ValueError);
   EXPECT_THROW(stack_leading({}), ValueError);
+}
+
+// --- continuous-control serving ----------------------------------------------
+//
+// The SAC serve path: a trainer publishes weights, the server answers with
+// deterministic squashed-mean actions. Dense forward passes are row-wise
+// independent, so a served action must be BITWISE identical to the trainer's
+// greedy action for the same observation regardless of how requests coalesce
+// — exercised here at batch sizes 1, 4 and 16 against the padded-bucket
+// shape-specialized plans.
+
+Json serve_sac_config() {
+  return Json::parse(R"({
+    "type": "sac",
+    "network": [{"type": "dense", "units": 16, "activation": "relu"},
+                {"type": "dense", "units": 16, "activation": "relu"}],
+    "memory": {"capacity": 256},
+    "optimizer": {"type": "adam", "learning_rate": 0.001},
+    "update": {"batch_size": 16, "min_records": 32},
+    "seed": 21
+  })");
+}
+
+TEST(PolicyServerTest, SacMeanActionsMatchTrainerGreedyAcrossBatchSizes) {
+  SpacePtr obs_space = FloatBox(Shape{3});
+  SpacePtr act_space = FloatBox(Shape{1}, {-2.0}, {2.0});
+
+  SacAgent trainer(serve_sac_config(), obs_space, act_space);
+  trainer.build();
+
+  PolicyServerConfig cfg;
+  cfg.num_shards = 1;
+  cfg.batcher.max_batch_size = 16;
+  cfg.batcher.max_queue_delay = 10ms;  // lets concurrent requests coalesce
+  cfg.pad_batches = true;
+  cfg.batch_buckets = {1, 4, 16};  // the shape-specialized plan sizes
+  PolicyServer server(serve_sac_config(), obs_space, act_space, cfg);
+  server.store().publish(trainer.get_weights());
+  server.start();
+
+  Rng rng(77);
+  std::vector<Tensor> observations;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<float> v(3);
+    for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    observations.push_back(Tensor::from_floats(Shape{3}, v));
+  }
+  // Reference: greedy actions for the full stacked batch in one plan run.
+  Tensor want = trainer.get_actions(stack_leading(observations),
+                                    /*explore=*/false);
+  ASSERT_EQ(want.shape(), (Shape{16, 1}));
+
+  for (int concurrency : {1, 4, 16}) {
+    std::vector<Tensor> got(16);
+    for (int base = 0; base < 16; base += concurrency) {
+      std::vector<std::thread> threads;
+      for (int k = 0; k < concurrency; ++k) {
+        threads.emplace_back([&, base, k] {
+          got[static_cast<size_t>(base + k)] =
+              server.act(observations[static_cast<size_t>(base + k)]).action;
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(got[static_cast<size_t>(i)].shape(), (Shape{1}))
+          << "concurrency " << concurrency << " obs " << i;
+      // Bitwise: float equality, no tolerance.
+      EXPECT_EQ(got[static_cast<size_t>(i)].to_floats()[0],
+                want.data<float>()[i])
+          << "concurrency " << concurrency << " obs " << i;
+    }
+  }
+  server.shutdown();
 }
 
 }  // namespace

@@ -53,6 +53,56 @@ TEST(BoxSpaceTest, SampleRespectsBoundsAndShape) {
   EXPECT_TRUE(a->contains(av));
 }
 
+TEST(BoxSpaceTest, PerDimensionBounds) {
+  SpacePtr s = FloatBox(Shape{3}, {-2.0, 0.0, 1.0}, {2.0, 1.0, 5.0});
+  const auto& box = static_cast<const BoxSpace&>(*s);
+  ASSERT_TRUE(box.per_dim_bounds());
+  EXPECT_EQ(box.low(0), -2.0);
+  EXPECT_EQ(box.high(1), 1.0);
+  EXPECT_EQ(box.low(2), 1.0);
+
+  // One vector element per flattened value element, lows <= highs.
+  EXPECT_THROW(FloatBox(Shape{3}, {-1.0, -1.0}, {1.0, 1.0, 1.0}), ValueError);
+  EXPECT_THROW(FloatBox(Shape{2}, {-1.0, 2.0}, {1.0, 1.0}), ValueError);
+
+  // contains() and sample() honor each dimension's own range.
+  Rng rng(9);
+  NestedTensor v = s->with_batch_rank()->sample(rng, 50);
+  EXPECT_TRUE(s->with_batch_rank()->contains(v));
+  for (int64_t i = 0; i < 50; ++i) {
+    for (int64_t d = 0; d < 3; ++d) {
+      float x = v.tensor().data<float>()[i * 3 + d];
+      EXPECT_GE(x, box.low(d)) << "row " << i << " dim " << d;
+      EXPECT_LE(x, box.high(d)) << "row " << i << " dim " << d;
+    }
+  }
+  EXPECT_FALSE(s->contains(
+      NestedTensor(Tensor::from_floats(Shape{3}, {0.0f, 0.5f, 0.5f}))))
+      << "0.5 is below dim 2's low of 1.0";
+}
+
+TEST(BoxSpaceTest, PerDimensionBoundsEqualityAndJson) {
+  SpacePtr a = FloatBox(Shape{2}, {-2.0, -1.0}, {2.0, 3.0});
+  SpacePtr b = FloatBox(Shape{2}, {-2.0, -1.0}, {2.0, 3.0});
+  SpacePtr c = FloatBox(Shape{2}, {-2.0, -1.0}, {2.0, 4.0});
+  SpacePtr scalar_bounds = FloatBox(Shape{2}, -2.0, 3.0);
+  EXPECT_TRUE(a->equals(*b));
+  EXPECT_FALSE(a->equals(*c));
+  EXPECT_FALSE(a->equals(*scalar_bounds));
+
+  SpacePtr rebuilt = Space::from_json(a->to_json());
+  EXPECT_TRUE(a->equals(*rebuilt))
+      << a->to_string() << " vs " << rebuilt->to_string();
+  const auto& box = static_cast<const BoxSpace&>(*rebuilt);
+  EXPECT_TRUE(box.per_dim_bounds());
+  EXPECT_EQ(box.high(1), 3.0);
+
+  SpacePtr parsed = Space::from_json(Json::parse(
+      R"({"type": "float", "shape": [2], "low": [-2.0, -1.0],
+          "high": [2.0, 3.0]})"));
+  EXPECT_TRUE(a->equals(*parsed));
+}
+
 TEST(BoxSpaceTest, ContainsRejectsViolations) {
   SpacePtr s = FloatBox(Shape{2}, 0.0, 1.0);
   EXPECT_TRUE(s->contains(NestedTensor(
